@@ -1,0 +1,79 @@
+"""Ablation — cardinality encoding choice (totalizer vs sequential).
+
+Not a paper figure: DESIGN.md calls out the cardinality encoding as the
+main degree of freedom our Z3 substitution introduces, so this bench
+quantifies it.  Both encodings are bidirectional and truncated; the
+totalizer builds a balanced merge tree (more clauses, shorter
+propagation chains), the sequential counter a register chain (fewer
+variables on small bounds, longer chains).
+"""
+
+import pytest
+
+from repro.core import ObservabilityProblem, ResiliencySpec, ScadaAnalyzer
+from repro.grid import case57
+from repro.scada import GeneratorConfig, generate_scada
+
+ENCODINGS = ["totalizer", "sequential"]
+_stats = {}
+
+
+def _analyzer(encoding):
+    synthetic = generate_scada(
+        case57(),
+        GeneratorConfig(measurement_fraction=0.8, hierarchy_level=2,
+                        dual_home_fraction=0.2, seed=0))
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    return ScadaAnalyzer(synthetic.network, problem,
+                         card_encoding=encoding)
+
+
+@pytest.mark.parametrize("encoding", ENCODINGS)
+def test_encoding_verify_time(benchmark, encoding):
+    analyzer = _analyzer(encoding)
+    spec = ResiliencySpec.observability(k=2)
+
+    def run():
+        return analyzer.verify(spec, minimize=False)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    _stats[encoding] = (result.num_vars, result.num_clauses,
+                        result.status.value)
+
+
+@pytest.mark.parametrize("encoding", ENCODINGS)
+def test_encodings_agree(benchmark, encoding):
+    """Both encodings must produce identical verdicts."""
+    analyzer = _analyzer(encoding)
+
+    def verdicts():
+        return tuple(
+            analyzer.verify(ResiliencySpec.observability(k=k),
+                            minimize=False).status
+            for k in (0, 1, 2))
+
+    outcome = benchmark.pedantic(verdicts, rounds=1, iterations=1)
+    _stats[f"verdicts-{encoding}"] = outcome
+
+
+def test_report_ablation(benchmark, report):
+    def make():
+        lines = ["encoding   | vars | clauses | verdict(k=2)"]
+        for encoding in ENCODINGS:
+            if encoding not in _stats:
+                analyzer = _analyzer(encoding)
+                result = analyzer.verify(
+                    ResiliencySpec.observability(k=2), minimize=False)
+                _stats[encoding] = (result.num_vars, result.num_clauses,
+                                    result.status.value)
+            num_vars, clauses, verdict = _stats[encoding]
+            lines.append(f"{encoding:10} | {num_vars:4d} | {clauses:7d} | "
+                         f"{verdict}")
+        a = _stats.get("verdicts-totalizer")
+        b = _stats.get("verdicts-sequential")
+        if a and b:
+            assert a == b, (a, b)
+            lines.append(f"verdict agreement across k=0..2: {a == b}")
+        report("ablation_cardinality", "\n".join(lines))
+
+    benchmark.pedantic(make, rounds=1, iterations=1)

@@ -1,0 +1,64 @@
+"""Ablation — cost of certifying unsat answers with the RUP checker.
+
+``verify(..., certify=True)`` re-validates a resilient verdict with an
+independent proof checker; this bench quantifies the overhead on the
+case study and on a 30-bus synthetic system.
+"""
+
+import pytest
+
+from repro.cases import case_analyzer
+from repro.core import (
+    ObservabilityProblem,
+    ResiliencySpec,
+    ScadaAnalyzer,
+)
+from repro.grid import case30
+from repro.scada import GeneratorConfig, generate_scada
+
+_times = {}
+
+
+@pytest.fixture(scope="module")
+def systems():
+    case = case_analyzer("fig3")
+    synthetic = generate_scada(
+        case30(),
+        GeneratorConfig(measurement_fraction=0.8, dual_home_fraction=0.3,
+                        seed=1))
+    synthetic_analyzer = ScadaAnalyzer(
+        synthetic.network, ObservabilityProblem.from_table(synthetic.table))
+    return {"case5bus": (case, ResiliencySpec.observability(k1=1, k2=1)),
+            "case30": (synthetic_analyzer,
+                       ResiliencySpec.observability(k=0))}
+
+
+@pytest.mark.parametrize("name", ["case5bus", "case30"])
+@pytest.mark.parametrize("certify", [False, True],
+                         ids=["plain", "certified"])
+def test_certify_overhead(benchmark, systems, name, certify):
+    analyzer, spec = systems[name]
+
+    def run():
+        return analyzer.verify(spec, certify=certify)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.is_resilient
+    if certify:
+        assert result.details["proof_checked"] is True
+    _times[name, certify] = benchmark.stats.stats.mean
+
+
+def test_report_certify(benchmark, report):
+    def make():
+        lines = ["system   | plain (s) | certified (s) | overhead"]
+        for name in ("case5bus", "case30"):
+            plain = _times.get((name, False))
+            certified = _times.get((name, True))
+            if plain and certified:
+                lines.append(f"{name:8} | {plain:9.4f} | "
+                             f"{certified:13.4f} | "
+                             f"x{certified / plain:.2f}")
+        report("ablation_certify", "\n".join(lines))
+
+    benchmark.pedantic(make, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Ablation — fresh re-encoding vs incremental (push/pop) verification.
+
+Maximal-resiliency search issues a sequence of budget-only-different
+queries; the incremental analyzer encodes the delivery layer once and
+scopes budgets with activation literals, reusing learned clauses.
+"""
+
+import pytest
+
+from repro.analysis import max_total_resiliency
+from repro.core import ObservabilityProblem, ScadaAnalyzer
+from repro.core.incremental import IncrementalAnalyzer
+from repro.grid import case57
+from repro.scada import GeneratorConfig, generate_scada
+
+_results = {}
+
+
+@pytest.fixture(scope="module")
+def system():
+    synthetic = generate_scada(
+        case57(),
+        GeneratorConfig(measurement_fraction=0.8, dual_home_fraction=0.3,
+                        seed=1))
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    return synthetic.network, problem
+
+
+def test_fresh_max_resiliency(benchmark, system):
+    network, problem = system
+
+    def run():
+        return max_total_resiliency(ScadaAnalyzer(network, problem))
+
+    _results["fresh"] = benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_incremental_max_resiliency(benchmark, system):
+    network, problem = system
+
+    def run():
+        return IncrementalAnalyzer(network,
+                                   problem).max_total_resiliency()
+
+    _results["incremental"] = benchmark.pedantic(run, rounds=3,
+                                                 iterations=1)
+
+
+def test_report_incremental(benchmark, report):
+    def make():
+        fresh = _results.get("fresh")
+        incremental = _results.get("incremental")
+        lines = [
+            f"max-resiliency (fresh encoding)      : k* = {fresh}",
+            f"max-resiliency (incremental push/pop): k* = {incremental}",
+        ]
+        if fresh is not None and incremental is not None:
+            assert fresh == incremental
+            lines.append("verdict parity: True")
+        report("ablation_incremental", "\n".join(lines))
+
+    benchmark.pedantic(make, rounds=1, iterations=1)

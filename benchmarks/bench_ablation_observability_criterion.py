@@ -1,0 +1,74 @@
+"""Ablation — the paper's counting criterion vs numerical rank.
+
+The paper's observability definition (full state coverage + at least n
+unique delivered measurements) is a *necessary* condition for numerical
+observability, cheaper to encode but potentially optimistic.  This
+bench measures, over random failure sets, how often the two criteria
+disagree — i.e. how conservative the paper's abstraction is — and the
+cost of the numeric check.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ObservabilityProblem, ScadaAnalyzer
+from repro.grid import is_rank_observable
+from repro.grid.ieee_cases import ieee14
+from repro.scada import GeneratorConfig, generate_scada
+
+_summary = {}
+
+
+@pytest.fixture(scope="module")
+def system():
+    synthetic = generate_scada(
+        ieee14(),
+        GeneratorConfig(measurement_fraction=0.8, dual_home_fraction=0.2,
+                        seed=4))
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    return synthetic, ScadaAnalyzer(synthetic.network, problem)
+
+
+def test_criteria_comparison(benchmark, system):
+    synthetic, analyzer = system
+    rng = random.Random(0)
+    field = analyzer.network.field_device_ids
+
+    def compare():
+        agree = 0
+        optimistic = 0
+        trials = 200
+        for _ in range(trials):
+            failed = set(rng.sample(field, rng.randint(0, 3)))
+            delivered = analyzer.reference.delivered_measurements(failed)
+            paper = analyzer.reference.observable(failed)
+            rank = is_rank_observable(synthetic.table, delivered,
+                                      reference_bus=1)
+            if paper == rank:
+                agree += 1
+            elif paper and not rank:
+                optimistic += 1
+        return agree, optimistic, trials
+
+    agree, optimistic, trials = benchmark.pedantic(compare, rounds=1,
+                                                   iterations=1)
+    _summary["counts"] = (agree, optimistic, trials)
+    # Rank-observable must imply paper-observable (necessity).
+    assert agree + optimistic == trials
+
+
+def test_report_criterion(benchmark, report):
+    def make():
+        agree, optimistic, trials = _summary.get("counts", (0, 0, 0))
+        lines = [
+            f"random failure trials      : {trials}",
+            f"criteria agree             : {agree}",
+            f"paper-yes but rank-no      : {optimistic} "
+            f"(the abstraction's optimism)",
+            f"rank-yes but paper-no      : {trials - agree - optimistic} "
+            f"(must be 0: necessity)",
+        ]
+        report("ablation_observability_criterion", "\n".join(lines))
+
+    benchmark.pedantic(make, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""Fig. 5(a) — k-resilient observability verification time vs bus size.
+
+Paper shape: execution time grows between linearly and quadratically in
+the number of buses, and unsat (resilient) runs take longer than sat
+runs.  We time the certified-resilient budget k* (unsat) and k*+1 (sat)
+for synthetic SCADA systems over 14/30/57/118-bus grids.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import measure_instance
+from repro.core import Property
+
+BUS_SIZES = [14, 30, 57, 118]
+_points = {}
+
+
+@pytest.mark.parametrize("bus_size", BUS_SIZES)
+def test_observability_scaling(benchmark, bus_size):
+    point = measure_instance(bus_size, hierarchy=1, seed=0,
+                             prop=Property.OBSERVABILITY, runs=1)
+    _points[bus_size] = point
+    spec_k = point.max_k + 1  # the sat (threat-finding) check
+
+    from repro.core import ObservabilityProblem, ResiliencySpec, ScadaAnalyzer
+    from repro.grid.ieee_cases import case_by_buses
+    from repro.scada import GeneratorConfig, generate_scada
+
+    synthetic = generate_scada(
+        case_by_buses(bus_size, seed=0),
+        GeneratorConfig(measurement_fraction=0.7, hierarchy_level=1, seed=0))
+    analyzer = ScadaAnalyzer(
+        synthetic.network, ObservabilityProblem.from_table(synthetic.table))
+    result = benchmark.pedantic(
+        lambda: analyzer.verify(ResiliencySpec.observability(k=spec_k),
+                                minimize=False),
+        rounds=3, iterations=1)
+    assert result is not None
+
+
+def test_report_fig5a(benchmark, report):
+    lines = ["bus_size | devices | sat time (s) | unsat time (s) | clauses"]
+    for bus_size in BUS_SIZES:
+        point = _points.get(bus_size)
+        if point is None:
+            point = measure_instance(bus_size, hierarchy=1, seed=0, runs=1)
+        lines.append(f"{bus_size:8d} | {point.num_devices:7d} | "
+                     f"{point.sat_time:12.3f} | {point.unsat_time:14.3f} | "
+                     f"{point.num_clauses:7d}")
+    # Growth-order estimate between the extreme points (paper: between
+    # linear and quadratic in the bus count).
+    small, big = _points.get(14), _points.get(118)
+    if small and big and small.sat_time > 0 and big.sat_time > 0:
+        alpha = (math.log(big.sat_time / small.sat_time)
+                 / math.log(118 / 14))
+        lines.append(f"growth order alpha (sat series): {alpha:.2f}")
+    benchmark.pedantic(
+        lambda: report("fig5a_observability_scaling", "\n".join(lines)),
+        rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Fig. 6(a) — execution time vs hierarchy level, 14-bus system.
+
+Paper shape: as the hierarchy deepens, sat (threat-finding) time tends
+to fall — deeper hierarchies concentrate more IEDs behind important
+RTUs, so threats are easier to find — while unsat time tends to rise
+(the whole space must still be exhausted over a larger model).
+"""
+
+import pytest
+
+from repro.analysis import sweep_hierarchy
+from repro.core import Property
+
+LEVELS = [1, 2, 3, 4]
+_sweep = {}
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_hierarchy_14bus(benchmark, level):
+    def run():
+        sweep = sweep_hierarchy(14, [level], seeds=(0, 1, 2), runs=1)
+        _sweep[level] = sweep
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sweep.points
+
+
+def test_report_fig6a(benchmark, report):
+    def make():
+        lines = ["hierarchy | devices | sat time (s) | unsat time (s)"]
+        for level in LEVELS:
+            sweep = _sweep.get(level)
+            if sweep is None:
+                sweep = sweep_hierarchy(14, [level], seeds=(0,), runs=1)
+            stats = sweep.aggregate("hierarchy")[level]
+            lines.append(f"{level:9d} | {stats['devices']:7.0f} | "
+                         f"{stats['sat_time']:12.3f} | "
+                         f"{stats['unsat_time']:14.3f}")
+        report("fig6a_hierarchy_14bus", "\n".join(lines))
+
+    benchmark.pedantic(make, rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""Fig. 6(b) — execution time vs hierarchy level, 57-bus system."""
+
+import pytest
+
+from repro.analysis import sweep_hierarchy
+
+LEVELS = [1, 2, 3]
+_sweep = {}
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_hierarchy_57bus(benchmark, level):
+    def run():
+        sweep = sweep_hierarchy(57, [level], seeds=(0,), runs=1)
+        _sweep[level] = sweep
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sweep.points
+
+
+def test_report_fig6b(benchmark, report):
+    def make():
+        lines = ["hierarchy | devices | sat time (s) | unsat time (s)"]
+        for level in LEVELS:
+            sweep = _sweep.get(level)
+            if sweep is None:
+                sweep = sweep_hierarchy(57, [level], seeds=(0,), runs=1)
+            stats = sweep.aggregate("hierarchy")[level]
+            lines.append(f"{level:9d} | {stats['devices']:7.0f} | "
+                         f"{stats['sat_time']:12.3f} | "
+                         f"{stats['unsat_time']:14.3f}")
+        report("fig6b_hierarchy_57bus", "\n".join(lines))
+
+    benchmark.pedantic(make, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+"""Fig. 7(b) — threat-space size vs hierarchy level (14-bus).
+
+Paper shape: deeper hierarchies create more RTU interdependence, so the
+number of threat vectors grows with the hierarchy level, and grows
+further when the resiliency specification widens.
+"""
+
+import pytest
+
+from repro.analysis import threat_space
+from repro.core import ObservabilityProblem, ResiliencySpec, ScadaAnalyzer
+from repro.grid import ieee14
+from repro.scada import GeneratorConfig, generate_scada
+
+LEVELS = [1, 2, 3]
+SPECS = [("(1,1)", dict(k1=1, k2=1)),
+         ("(2,1)", dict(k1=2, k2=1)),
+         ("(2,2)", dict(k1=2, k2=2))]
+_sizes = {}
+
+
+def _analyzer(level, seed=0):
+    synthetic = generate_scada(
+        ieee14(),
+        GeneratorConfig(measurement_fraction=0.7, hierarchy_level=level,
+                        dual_home_fraction=0.2, seed=seed))
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    return ScadaAnalyzer(synthetic.network, problem)
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_threat_space_enumeration(benchmark, level):
+    analyzer = _analyzer(level)
+
+    def enumerate_all():
+        for label, budget in SPECS:
+            spec = ResiliencySpec.observability(**budget)
+            space = threat_space(analyzer, spec, limit=500)
+            _sizes[level, label] = space.size
+        return _sizes
+
+    benchmark.pedantic(enumerate_all, rounds=1, iterations=1)
+    assert all((level, label) in _sizes for label, _ in SPECS)
+
+
+def test_report_fig7b(benchmark, report):
+    def make():
+        header = "hierarchy | " + " | ".join(
+            f"{label:>6}" for label, _ in SPECS)
+        lines = [header]
+        for level in LEVELS:
+            row = [f"{level:9d}"]
+            for label, budget in SPECS:
+                size = _sizes.get((level, label))
+                if size is None:
+                    spec = ResiliencySpec.observability(**budget)
+                    size = threat_space(_analyzer(level), spec,
+                                        limit=500).size
+                    _sizes[level, label] = size
+                row.append(f"{size:6d}")
+            lines.append(" | ".join(row))
+        # Wider specs must never shrink the threat space.
+        for level in LEVELS:
+            sizes = [_sizes[level, label] for label, _ in SPECS]
+            assert sizes == sorted(sizes), (level, sizes)
+        report("fig7b_threat_space", "\n".join(lines))
+
+    benchmark.pedantic(make, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+"""Table II / §IV — the 5-bus case study, Scenarios 1 and 2.
+
+Regenerates every verdict the paper reports for the case study and
+benchmarks the individual verification calls.
+"""
+
+import pytest
+
+from repro.cases import case_analyzer
+from repro.core import ResiliencySpec, Status
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return case_analyzer("fig3")
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return case_analyzer("fig4")
+
+
+def test_scenario1_11_observability(benchmark, fig3):
+    spec = ResiliencySpec.observability(k1=1, k2=1)
+    result = benchmark(lambda: fig3.verify(spec))
+    assert result.status is Status.RESILIENT
+
+
+def test_scenario1_21_observability(benchmark, fig3):
+    spec = ResiliencySpec.observability(k1=2, k2=1)
+    result = benchmark(lambda: fig3.verify(spec))
+    assert result.status is Status.THREAT_FOUND
+
+
+def test_scenario1_21_threat_enumeration(benchmark, fig3):
+    spec = ResiliencySpec.observability(k1=2, k2=1)
+    vectors = benchmark(lambda: fig3.enumerate_threat_vectors(spec))
+    assert len(vectors) == 9
+
+
+def test_scenario2_11_secured(benchmark, fig3):
+    spec = ResiliencySpec.secured_observability(k1=1, k2=1)
+    result = benchmark(lambda: fig3.verify(spec))
+    assert result.status is Status.THREAT_FOUND
+
+
+def test_scenario2_fig4_single_rtu(benchmark, fig4):
+    spec = ResiliencySpec.secured_observability(k1=0, k2=1)
+    result = benchmark(lambda: fig4.verify(spec))
+    assert result.status is Status.THREAT_FOUND
+    assert result.threat.failed_rtus == frozenset({12})
+
+
+def test_report_case_study(benchmark, report, fig3, fig4):
+    """Emit the full Table-II style verdict listing."""
+    lines = []
+    for name, analyzer in (("fig3", fig3), ("fig4", fig4)):
+        lines.append(f"-- topology {name} --")
+        for spec in (
+            ResiliencySpec.observability(k1=1, k2=1),
+            ResiliencySpec.observability(k1=2, k2=1),
+            ResiliencySpec.observability(k1=3, k2=0),
+            ResiliencySpec.observability(k1=4, k2=0),
+            ResiliencySpec.secured_observability(k1=1, k2=0),
+            ResiliencySpec.secured_observability(k1=0, k2=1),
+            ResiliencySpec.secured_observability(k1=1, k2=1),
+        ):
+            lines.append("  " + analyzer.verify(spec).summary())
+    benchmark.pedantic(
+        lambda: report("table2_case_study", "\n".join(lines)),
+        rounds=1, iterations=1)

@@ -1,0 +1,34 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md §4).  Besides pytest-benchmark timings, each
+module writes the series the corresponding figure plots into
+``benchmarks/results/<name>.txt`` so the shapes can be inspected and
+compared with the paper (EXPERIMENTS.md records that comparison).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Write (and echo) a named result table."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        print(f"\n===== {name} =====\n{text}")
+
+    return _write

@@ -1,0 +1,42 @@
+"""repro — SCADA resiliency verification for smart grids.
+
+A from-scratch reproduction of "Formal Analysis for Dependable
+Supervisory Control and Data Acquisition in Smart Grids" (DSN 2016),
+including its SMT substrate (a CDCL SAT solver plus a Boolean/
+cardinality term layer), the power-grid and SCADA configuration models,
+the SCADA Analyzer itself, and the paper's evaluation harness.
+
+Quickstart::
+
+    from repro.cases import case_analyzer
+    from repro.core import ResiliencySpec
+
+    analyzer = case_analyzer("fig3")
+    result = analyzer.verify(ResiliencySpec.observability(k1=2, k2=1))
+    print(result.summary())
+"""
+
+from .core import (
+    FailureBudget,
+    ObservabilityProblem,
+    Property,
+    ResiliencySpec,
+    ScadaAnalyzer,
+    Status,
+    ThreatVector,
+    VerificationResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FailureBudget",
+    "ObservabilityProblem",
+    "Property",
+    "ResiliencySpec",
+    "ScadaAnalyzer",
+    "Status",
+    "ThreatVector",
+    "VerificationResult",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Evaluation drivers: scalability, maximal resiliency, threat space,
+attack-cost analysis."""
+
+from .attack_cost import AttackCostResult, cheapest_threat, uniform_costs
+from .monte_carlo import AvailabilityEstimate, estimate_availability
+from .max_resiliency import (
+    max_ied_resiliency,
+    max_rtu_resiliency,
+    max_total_resiliency,
+)
+from .scaling import (
+    ScalingPoint,
+    ScalingSweep,
+    measure_instance,
+    sweep_bus_sizes,
+    sweep_hierarchy,
+)
+from .threat_space import ThreatSpace, threat_space
+
+__all__ = [
+    "AttackCostResult",
+    "AvailabilityEstimate",
+    "ScalingPoint",
+    "ScalingSweep",
+    "ThreatSpace",
+    "cheapest_threat",
+    "estimate_availability",
+    "max_ied_resiliency",
+    "max_rtu_resiliency",
+    "max_total_resiliency",
+    "measure_instance",
+    "sweep_bus_sizes",
+    "sweep_hierarchy",
+    "uniform_costs",
+    "threat_space",
+]

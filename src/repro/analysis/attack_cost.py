@@ -1,0 +1,165 @@
+"""Cheapest-attack analysis: minimum-cost threat vectors.
+
+The paper's contingency model treats all device failures alike; real
+adversaries do not — taking down a hardened control-center RTU costs
+more than DoS-ing a field IED.  This module assigns every field device
+an integer *attack cost* and finds the **minimum total cost** at which a
+threat vector exists, plus the vector realizing it.
+
+Encoding: a budget ``Σ cost_i · down_i ≤ C`` is a cardinality constraint
+over a multiset in which each device's down-literal appears ``cost_i``
+times; binary search over ``C`` (with the property negation fixed)
+yields the optimum with O(log ΣC) solver calls — a small-weights
+MaxSAT-style linear-search specialization that fits the substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..core.analyzer import ScadaAnalyzer
+from ..core.encoder import ModelEncoder
+from ..core.results import ThreatVector
+from ..core.specs import Property, ResiliencySpec
+from ..smt.solver import Result, Solver
+from ..smt.terms import AtMost, Not
+
+__all__ = ["AttackCostResult", "cheapest_threat", "uniform_costs"]
+
+
+@dataclass
+class AttackCostResult:
+    """The cheapest threat vector and its cost."""
+
+    prop: Property
+    cost: Optional[int]            # None when no threat exists at all
+    threat: Optional[ThreatVector]
+    costs: Dict[int, int]
+    solver_calls: int = 0
+
+    @property
+    def attack_exists(self) -> bool:
+        return self.cost is not None
+
+    def summary(self) -> str:
+        if not self.attack_exists:
+            return (f"{self.prop.value}: no failure set of any cost "
+                    f"violates the property")
+        assert self.threat is not None
+        return (f"{self.prop.value}: cheapest attack costs {self.cost} "
+                f"— [{self.threat.describe()}]")
+
+
+def uniform_costs(analyzer: ScadaAnalyzer, ied_cost: int = 1,
+                  rtu_cost: int = 3) -> Dict[int, int]:
+    """A cost map with distinct IED and RTU prices."""
+    costs = {ied: ied_cost for ied in analyzer.network.ied_ids}
+    costs.update({rtu: rtu_cost for rtu in analyzer.network.rtu_ids})
+    return costs
+
+
+def _vector_cost(threat: ThreatVector, costs: Mapping[int, int]) -> int:
+    return sum(costs[d] for d in threat.failed_devices)
+
+
+def cheapest_threat(analyzer: ScadaAnalyzer,
+                    prop: Property = Property.OBSERVABILITY,
+                    costs: Optional[Mapping[int, int]] = None,
+                    r: int = 1,
+                    max_conflicts: Optional[int] = None
+                    ) -> AttackCostResult:
+    """Find the minimum-cost failure set violating *prop*.
+
+    ``costs`` maps every field device to a positive integer; omitted
+    devices default to cost 1.  Raises on non-positive costs.
+    """
+    network = analyzer.network
+    cost_map = {device: 1 for device in network.field_device_ids}
+    if costs:
+        cost_map.update(costs)
+    for device, cost in cost_map.items():
+        if cost < 1:
+            raise ValueError(f"device {device} has non-positive cost")
+        if device not in network.devices:
+            raise ValueError(f"unknown device {device} in cost map")
+
+    encoder = ModelEncoder(network, analyzer.problem)
+    solver = Solver(card_encoding=analyzer.card_encoding)
+    solver.add(*encoder.availability_axioms())
+    solver.add(*encoder.delivery_definitions(secured=False))
+    if prop.uses_security:
+        solver.add(*encoder.delivery_definitions(secured=True))
+    if prop is Property.OBSERVABILITY:
+        solver.add(encoder.not_observability(secured=False))
+    elif prop is Property.SECURED_OBSERVABILITY:
+        solver.add(encoder.not_observability(secured=True))
+    elif prop is Property.COMMAND_DELIVERABILITY:
+        solver.add(encoder.not_command_deliverability())
+    else:
+        solver.add(encoder.not_bad_data_detectability(r))
+
+    weighted = []
+    for device, cost in sorted(cost_map.items()):
+        weighted.extend([Not(encoder.node(device))] * cost)
+    total = len(weighted)
+
+    calls = 0
+
+    def threat_within(budget: int) -> Optional[set]:
+        nonlocal calls
+        calls += 1
+        solver.push()
+        solver.add(AtMost(weighted, budget))
+        outcome = solver.check(max_conflicts=max_conflicts)
+        try:
+            if outcome is Result.UNKNOWN:
+                raise RuntimeError("conflict budget exhausted in "
+                                   "cheapest-threat search")
+            if outcome is Result.UNSAT:
+                return None
+            model = solver.model()
+            return {
+                device
+                for device, var in encoder.field_node_vars().items()
+                if not model.value(var)
+            }
+        finally:
+            solver.pop()
+
+    # Is there any threat at all?
+    best = threat_within(total)
+    if best is None:
+        return AttackCostResult(prop=prop, cost=None, threat=None,
+                                costs=cost_map, solver_calls=calls)
+
+    spec = _spec_for(prop, total, r)
+    lo, hi = 0, sum(cost_map[d] for d in best)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        found = threat_within(mid)
+        if found is None:
+            lo = mid + 1
+        else:
+            hi = min(mid, sum(cost_map[d] for d in found))
+            best = found
+
+    minimal = analyzer.reference.minimize_threat(spec, best)
+    threat = ThreatVector(
+        failed_ieds=frozenset(minimal & set(network.ied_ids)),
+        failed_rtus=frozenset(minimal & set(network.rtu_ids)),
+        minimal=True,
+    )
+    final_cost = sum(cost_map[d] for d in minimal)
+    return AttackCostResult(prop=prop, cost=final_cost, threat=threat,
+                            costs=cost_map, solver_calls=calls)
+
+
+def _spec_for(prop: Property, k: int, r: int) -> ResiliencySpec:
+    if prop is Property.OBSERVABILITY:
+        return ResiliencySpec.observability(k=k)
+    if prop is Property.SECURED_OBSERVABILITY:
+        return ResiliencySpec.secured_observability(k=k)
+    if prop is Property.COMMAND_DELIVERABILITY:
+        return ResiliencySpec.command_deliverability(k=k)
+    return ResiliencySpec.bad_data_detectability(r=r, k=k)

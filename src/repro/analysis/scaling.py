@@ -1,0 +1,176 @@
+"""Scalability sweep drivers (Fig. 5 and Fig. 6).
+
+The paper measures verification time against problem size (bus count)
+and hierarchy level, separating ``sat`` (threat found) from ``unsat``
+(resilient) runs: for a given instance the budget ``k*`` at which the
+system is maximally resilient yields the slowest *unsat*, and ``k*+1``
+yields a *sat* — timing both reproduces the paper's two curves on
+principled points rather than arbitrary budgets.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.analyzer import ScadaAnalyzer
+from ..core.problem import ObservabilityProblem
+from ..core.results import Status
+from ..core.specs import Property, ResiliencySpec
+from ..grid.ieee_cases import case_by_buses
+from ..scada.generator import GeneratorConfig, generate_scada
+from .max_resiliency import max_total_resiliency
+
+__all__ = ["ScalingPoint", "ScalingSweep", "measure_instance",
+           "sweep_bus_sizes", "sweep_hierarchy"]
+
+
+@dataclass
+class ScalingPoint:
+    """Timing of one synthetic instance."""
+
+    bus_size: int
+    hierarchy: int
+    seed: int
+    num_devices: int
+    max_k: int
+    sat_times: List[float] = field(default_factory=list)
+    unsat_times: List[float] = field(default_factory=list)
+    num_vars: int = 0
+    num_clauses: int = 0
+
+    @property
+    def sat_time(self) -> float:
+        return statistics.mean(self.sat_times) if self.sat_times else 0.0
+
+    @property
+    def unsat_time(self) -> float:
+        return statistics.mean(self.unsat_times) if self.unsat_times else 0.0
+
+
+@dataclass
+class ScalingSweep:
+    """A collection of scaling points with aggregation helpers."""
+
+    prop: Property
+    points: List[ScalingPoint] = field(default_factory=list)
+
+    def aggregate(self, key: str) -> Dict[int, Dict[str, float]]:
+        """Mean sat/unsat time grouped by ``bus_size`` or ``hierarchy``."""
+        groups: Dict[int, List[ScalingPoint]] = {}
+        for point in self.points:
+            groups.setdefault(getattr(point, key), []).append(point)
+        out: Dict[int, Dict[str, float]] = {}
+        for value, pts in sorted(groups.items()):
+            out[value] = {
+                "sat_time": statistics.mean(p.sat_time for p in pts),
+                "unsat_time": statistics.mean(p.unsat_time for p in pts),
+                "devices": statistics.mean(p.num_devices for p in pts),
+                "vars": statistics.mean(p.num_vars for p in pts),
+                "clauses": statistics.mean(p.num_clauses for p in pts),
+            }
+        return out
+
+    def format_table(self, key: str) -> str:
+        rows = [f"{key:>10} | devices | sat time (s) | unsat time (s)"]
+        rows.append("-" * len(rows[0]))
+        for value, stats in self.aggregate(key).items():
+            rows.append(
+                f"{value:>10} | {stats['devices']:7.0f} | "
+                f"{stats['sat_time']:12.3f} | {stats['unsat_time']:14.3f}")
+        return "\n".join(rows)
+
+
+def _spec_for(prop: Property, k: int) -> ResiliencySpec:
+    if prop is Property.OBSERVABILITY:
+        return ResiliencySpec.observability(k=k)
+    if prop is Property.SECURED_OBSERVABILITY:
+        return ResiliencySpec.secured_observability(k=k)
+    if prop is Property.COMMAND_DELIVERABILITY:
+        return ResiliencySpec.command_deliverability(k=k)
+    return ResiliencySpec.bad_data_detectability(r=1, k=k)
+
+
+def measure_instance(bus_size: int, hierarchy: int, seed: int,
+                     prop: Property = Property.OBSERVABILITY,
+                     runs: int = 3,
+                     measurement_fraction: float = 0.7,
+                     secure_fraction: float = 0.8,
+                     max_conflicts: Optional[int] = None) -> ScalingPoint:
+    """Generate one synthetic SCADA instance and time sat/unsat checks.
+
+    For secured-observability sweeps pass ``secure_fraction=1.0`` so the
+    maximal resiliency is non-degenerate (a system with insecure links
+    fails secured observability with zero failures, which collapses the
+    unsat series).
+    """
+    config = GeneratorConfig(
+        measurement_fraction=measurement_fraction,
+        hierarchy_level=hierarchy,
+        secure_fraction=secure_fraction,
+        seed=seed,
+    )
+    synthetic = generate_scada(case_by_buses(bus_size, seed=seed), config)
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    analyzer = ScadaAnalyzer(synthetic.network, problem)
+
+    max_k = max_total_resiliency(analyzer, prop,
+                                 max_conflicts=max_conflicts)
+    point = ScalingPoint(
+        bus_size=bus_size, hierarchy=hierarchy, seed=seed,
+        num_devices=synthetic.num_devices, max_k=max_k,
+    )
+    unsat_k = max(max_k, 0)
+    sat_k = max_k + 1
+    for _ in range(runs):
+        unsat_result = analyzer.verify(_spec_for(prop, unsat_k),
+                                       minimize=False,
+                                       max_conflicts=max_conflicts)
+        sat_result = analyzer.verify(_spec_for(prop, sat_k),
+                                     minimize=False,
+                                     max_conflicts=max_conflicts)
+        if max_k >= 0 and unsat_result.status is Status.RESILIENT:
+            point.unsat_times.append(unsat_result.total_time)
+        if sat_result.status is Status.THREAT_FOUND:
+            point.sat_times.append(sat_result.total_time)
+        point.num_vars = sat_result.num_vars
+        point.num_clauses = sat_result.num_clauses
+    return point
+
+
+def sweep_bus_sizes(bus_sizes: Sequence[int],
+                    prop: Property = Property.OBSERVABILITY,
+                    seeds: Sequence[int] = (0, 1, 2),
+                    hierarchy: int = 1,
+                    runs: int = 3,
+                    secure_fraction: float = 0.8,
+                    max_conflicts: Optional[int] = None) -> ScalingSweep:
+    """Fig. 5: verification time vs problem size."""
+    sweep = ScalingSweep(prop=prop)
+    for bus_size in bus_sizes:
+        for seed in seeds:
+            sweep.points.append(measure_instance(
+                bus_size, hierarchy, seed, prop=prop, runs=runs,
+                secure_fraction=secure_fraction,
+                max_conflicts=max_conflicts))
+    return sweep
+
+
+def sweep_hierarchy(bus_size: int,
+                    hierarchy_levels: Sequence[int],
+                    prop: Property = Property.OBSERVABILITY,
+                    seeds: Sequence[int] = (0, 1, 2),
+                    runs: int = 3,
+                    secure_fraction: float = 0.8,
+                    max_conflicts: Optional[int] = None) -> ScalingSweep:
+    """Fig. 6: verification time vs hierarchy level."""
+    sweep = ScalingSweep(prop=prop)
+    for level in hierarchy_levels:
+        for seed in seeds:
+            sweep.points.append(measure_instance(
+                bus_size, level, seed, prop=prop, runs=runs,
+                secure_fraction=secure_fraction,
+                max_conflicts=max_conflicts))
+    return sweep

@@ -1,0 +1,23 @@
+"""Concrete case studies from the paper."""
+
+from .case5bus import (
+    JACOBIAN_ROWS,
+    MEASUREMENT_MAP,
+    NUM_STATES,
+    SECURITY_PROFILES,
+    case_analyzer,
+    case_problem,
+    fig3_network,
+    fig4_network,
+)
+
+__all__ = [
+    "JACOBIAN_ROWS",
+    "MEASUREMENT_MAP",
+    "NUM_STATES",
+    "SECURITY_PROFILES",
+    "case_analyzer",
+    "case_problem",
+    "fig3_network",
+    "fig4_network",
+]

@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``verify <config>``
+    Verify a configuration file's resiliency requirement (or one given
+    on the command line); print the verdict and any threat vector.
+
+``enumerate <config>``
+    Enumerate all minimal threat vectors of a specification.
+
+``case5bus``
+    Re-run the paper's §IV case study and print both scenarios.
+
+``generate``
+    Generate a synthetic SCADA system (§V-A policy) and write it as a
+    configuration file.
+
+``harden <config>``
+    Search for a minimal configuration repair restoring a failed
+    specification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import threat_space
+from .core import (
+    ObservabilityProblem,
+    Property,
+    ResiliencySpec,
+    ScadaAnalyzer,
+    Status,
+)
+from .core.hardening import harden
+from .grid.ieee_cases import case_by_buses
+from .scada import (
+    CaseConfig,
+    GeneratorConfig,
+    dump_config,
+    generate_scada,
+    load_config,
+)
+
+__all__ = ["main"]
+
+
+def _spec_from_args(args, fallback: Optional[ResiliencySpec]
+                    ) -> ResiliencySpec:
+    if args.k is None and args.k1 is None and args.k2 is None:
+        if fallback is not None:
+            return fallback
+        raise SystemExit("no requirement in the file; pass --k or "
+                         "--k1/--k2")
+    prop = Property(args.property)
+    if args.k is not None:
+        budget = {"k": args.k}
+    else:
+        budget = {"k1": args.k1 or 0, "k2": args.k2 or 0}
+    budget["link_k"] = getattr(args, "link_k", None)
+    if prop is Property.OBSERVABILITY:
+        return ResiliencySpec.observability(**budget)
+    if prop is Property.SECURED_OBSERVABILITY:
+        return ResiliencySpec.secured_observability(**budget)
+    if prop is Property.COMMAND_DELIVERABILITY:
+        return ResiliencySpec.command_deliverability(**budget)
+    return ResiliencySpec.bad_data_detectability(r=args.r, **budget)
+
+
+def _add_spec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--property", default="observability",
+                        choices=[p.value for p in Property],
+                        help="resiliency property to verify")
+    parser.add_argument("--k", type=int, default=None,
+                        help="total failure budget")
+    parser.add_argument("--k1", type=int, default=None,
+                        help="IED failure budget")
+    parser.add_argument("--k2", type=int, default=None,
+                        help="RTU failure budget")
+    parser.add_argument("-r", type=int, default=1,
+                        help="corrupted-measurement budget (bad data)")
+    parser.add_argument("--link-k", type=int, default=None, dest="link_k",
+                        help="additionally admit this many link failures")
+
+
+def _cmd_verify(args) -> int:
+    config = load_config(args.config)
+    spec = _spec_from_args(args, config.spec)
+    analyzer = ScadaAnalyzer(config.network, config.problem)
+    if args.dump_smt2:
+        with open(args.dump_smt2, "w", encoding="utf-8") as handle:
+            handle.write(analyzer.export_smtlib(spec))
+        print(f"wrote SMT-LIB model to {args.dump_smt2}")
+    result = analyzer.verify(spec, certify=args.certify)
+    if args.certify and result.is_resilient:
+        checked = result.details.get("proof_checked")
+        print(f"  unsat proof independently checked: {checked}")
+    print(result.summary())
+    if result.status is Status.THREAT_FOUND and result.threat:
+        threat = result.threat
+        print("  failed devices :", threat.describe(config.network.label))
+        if threat.undelivered_measurements:
+            lost = sorted(threat.undelivered_measurements)
+            print("  lost measurements:", " ".join(map(str, lost)))
+        if threat.uncovered_states:
+            states = sorted(threat.uncovered_states)
+            print("  uncovered states :", " ".join(map(str, states)))
+    print(f"  model: {result.num_vars} vars, {result.num_clauses} clauses")
+    return 0 if result.is_resilient else 1
+
+
+def _cmd_enumerate(args) -> int:
+    config = load_config(args.config)
+    spec = _spec_from_args(args, config.spec)
+    analyzer = ScadaAnalyzer(config.network, config.problem)
+    space = threat_space(analyzer, spec, limit=args.limit)
+    print(f"{spec.describe()}: {space.size} minimal threat vector(s)")
+    for vector in space.vectors:
+        print("  -", vector.describe(config.network.label))
+    return 0 if space.size == 0 else 1
+
+
+def _cmd_case5bus(args) -> int:
+    from .cases import case_analyzer
+
+    for topology in ("fig3", "fig4"):
+        analyzer = case_analyzer(topology)
+        print(f"== topology {topology} ==")
+        for spec in (
+            ResiliencySpec.observability(k1=1, k2=1),
+            ResiliencySpec.observability(k1=2, k2=1),
+            ResiliencySpec.secured_observability(k1=1, k2=0),
+            ResiliencySpec.secured_observability(k1=0, k2=1),
+            ResiliencySpec.secured_observability(k1=1, k2=1),
+        ):
+            result = analyzer.verify(spec)
+            print(" ", result.summary())
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    bus_system = case_by_buses(args.buses, seed=args.seed)
+    config = GeneratorConfig(
+        measurement_fraction=args.fraction,
+        hierarchy_level=args.hierarchy,
+        secure_fraction=args.secure_fraction,
+        seed=args.seed,
+    )
+    synthetic = generate_scada(bus_system, config)
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    case = CaseConfig(network=synthetic.network, problem=problem, spec=None)
+    text = dump_config(case, rows=synthetic.table.rows)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}: {len(synthetic.network.ied_ids)} IEDs, "
+              f"{len(synthetic.network.rtu_ids)} RTUs, "
+              f"{synthetic.plan.num_measurements} measurements")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_max_resiliency(args) -> int:
+    from .analysis import (
+        max_ied_resiliency,
+        max_rtu_resiliency,
+        max_total_resiliency,
+    )
+
+    config = load_config(args.config)
+    analyzer = ScadaAnalyzer(config.network, config.problem)
+    prop = Property(args.property)
+    print(f"maximal resiliency ({prop.value}):")
+    print(f"  any field devices: {max_total_resiliency(analyzer, prop)}")
+    print(f"  IEDs only        : {max_ied_resiliency(analyzer, prop)}")
+    print(f"  RTUs only        : {max_rtu_resiliency(analyzer, prop)}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .report import audit_report
+
+    config = load_config(args.config)
+    text = audit_report(config.network, config.problem,
+                        threat_limit=args.limit,
+                        include_hardening=not args.no_hardening)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_harden(args) -> int:
+    config = load_config(args.config)
+    spec = _spec_from_args(args, config.spec)
+    result = harden(config.network, config.problem, spec,
+                    max_repairs=args.max_repairs)
+    print(result.summary())
+    return 0 if result.succeeded else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SCADA resiliency verification (DSN'16 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = sub.add_parser("verify", help="verify a configuration")
+    p_verify.add_argument("config")
+    p_verify.add_argument("--dump-smt2", default=None, dest="dump_smt2",
+                          help="also write the model as SMT-LIB 2")
+    p_verify.add_argument("--certify", action="store_true",
+                          help="re-check unsat verdicts with the RUP "
+                               "proof checker")
+    _add_spec_args(p_verify)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_enum = sub.add_parser("enumerate",
+                            help="enumerate minimal threat vectors")
+    p_enum.add_argument("config")
+    p_enum.add_argument("--limit", type=int, default=None)
+    _add_spec_args(p_enum)
+    p_enum.set_defaults(func=_cmd_enumerate)
+
+    p_case = sub.add_parser("case5bus", help="run the paper's case study")
+    p_case.set_defaults(func=_cmd_case5bus)
+
+    p_gen = sub.add_parser("generate",
+                           help="generate a synthetic SCADA system")
+    p_gen.add_argument("--buses", type=int, default=14,
+                       choices=(14, 30, 57, 118))
+    p_gen.add_argument("--hierarchy", type=int, default=1)
+    p_gen.add_argument("--fraction", type=float, default=0.7)
+    p_gen.add_argument("--secure-fraction", type=float, default=0.8)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", default=None)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_max = sub.add_parser("max-resiliency",
+                           help="search the maximal tolerable budgets")
+    p_max.add_argument("config")
+    p_max.add_argument("--property", default="observability",
+                       choices=[p.value for p in Property])
+    p_max.set_defaults(func=_cmd_max_resiliency)
+
+    p_report = sub.add_parser("report",
+                              help="produce a Markdown audit report")
+    p_report.add_argument("config")
+    p_report.add_argument("--out", default=None)
+    p_report.add_argument("--limit", type=int, default=100)
+    p_report.add_argument("--no-hardening", action="store_true")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_harden = sub.add_parser("harden",
+                              help="search for configuration repairs")
+    p_harden.add_argument("config")
+    p_harden.add_argument("--max-repairs", type=int, default=2)
+    _add_spec_args(p_harden)
+    p_harden.set_defaults(func=_cmd_harden)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

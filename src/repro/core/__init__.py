@@ -1,0 +1,30 @@
+"""The paper's contribution: SCADA resiliency verification.
+
+Public entry point: :class:`ScadaAnalyzer`, configured with a
+:class:`~repro.scada.network.ScadaNetwork` and an
+:class:`ObservabilityProblem`, verifying :class:`ResiliencySpec`
+instances.
+"""
+
+from .analyzer import ScadaAnalyzer
+from .encoder import ModelEncoder
+from .incremental import IncrementalAnalyzer
+from .problem import ObservabilityProblem, group_rows_by_component
+from .reference import ReferenceEvaluator
+from .results import Status, ThreatVector, VerificationResult
+from .specs import FailureBudget, Property, ResiliencySpec
+
+__all__ = [
+    "FailureBudget",
+    "IncrementalAnalyzer",
+    "ModelEncoder",
+    "ObservabilityProblem",
+    "Property",
+    "ReferenceEvaluator",
+    "ResiliencySpec",
+    "ScadaAnalyzer",
+    "Status",
+    "ThreatVector",
+    "VerificationResult",
+    "group_rows_by_component",
+]

@@ -1,0 +1,154 @@
+"""The observability side of a verification problem.
+
+The formal model needs exactly three facts about the power system:
+
+* the number of state variables ``n``,
+* ``StateSet_Z`` — which states each measurement touches (the non-zero
+  columns of its Jacobian row), and
+* ``UMsrSet_E`` — which measurements observe the same electrical
+  component and therefore count once toward the unique-measurement tally.
+
+:class:`ObservabilityProblem` carries these, built either from a
+:class:`~repro.grid.jacobian.JacobianTable` (component identity is known
+from the measurement taxonomy) or from a raw Jacobian matrix using the
+paper's own rule: two rows observe the same component iff they are equal
+or exact negations of each other (§III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from ..grid.jacobian import JacobianTable
+
+__all__ = ["ObservabilityProblem", "group_rows_by_component"]
+
+
+def group_rows_by_component(
+    rows: Sequence[Mapping[int, float]],
+    indices: Sequence[int],
+    tolerance: float = 1e-9,
+) -> List[List[int]]:
+    """Group measurement indices whose rows are equal or negated.
+
+    Implements the paper's ``UMsrSet`` condition: measurements *Z* and
+    *Z'* represent the same electrical component when their rows have
+    non-zero entries on the same columns with pairwise equal (or all
+    pairwise negated) values.
+    """
+    def canonical(row: Mapping[int, float]):
+        items = sorted((bus, coeff) for bus, coeff in row.items()
+                       if abs(coeff) > tolerance)
+        if not items:
+            return ()
+        # Normalize sign by the first non-zero coefficient.
+        sign = 1.0 if items[0][1] > 0 else -1.0
+        return tuple((bus, round(sign * coeff / tolerance) * tolerance)
+                     for bus, coeff in items)
+
+    groups: Dict[tuple, List[int]] = {}
+    for row, index in zip(rows, indices):
+        groups.setdefault(canonical(row), []).append(index)
+    return [sorted(group) for group in groups.values()]
+
+
+class ObservabilityProblem:
+    """States, state sets, and unique-measurement groups."""
+
+    def __init__(self, num_states: int,
+                 state_sets: Mapping[int, Sequence[int]],
+                 unique_groups: Sequence[Sequence[int]]) -> None:
+        if num_states < 1:
+            raise ValueError("num_states must be positive")
+        self.num_states = num_states
+        self.state_sets: Dict[int, Set[int]] = {
+            z: set(states) for z, states in state_sets.items()}
+        self.unique_groups: List[List[int]] = [
+            sorted(group) for group in unique_groups]
+        self._validate()
+
+    def _validate(self) -> None:
+        for z, states in self.state_sets.items():
+            for state in states:
+                if not 1 <= state <= self.num_states:
+                    raise ValueError(
+                        f"measurement {z} references state {state}, "
+                        f"outside 1..{self.num_states}")
+        grouped = [z for group in self.unique_groups for z in group]
+        if len(grouped) != len(set(grouped)):
+            raise ValueError("a measurement appears in two unique groups")
+        missing = set(grouped) - set(self.state_sets)
+        if missing:
+            raise ValueError(f"groups reference unknown measurements "
+                             f"{sorted(missing)}")
+        ungrouped = set(self.state_sets) - set(grouped)
+        if ungrouped:
+            # Every measurement is its own component unless grouped.
+            for z in sorted(ungrouped):
+                self.unique_groups.append([z])
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: JacobianTable) -> "ObservabilityProblem":
+        """Build from a Jacobian table.
+
+        Unique-measurement groups come from the paper's row-comparison
+        rule rather than the measurement taxonomy: besides pairing the
+        forward/backward flows of each line, the rule also recognizes
+        that a leaf bus's injection equals the flow into it — exactly
+        the injection-redundancy case §III-C discusses.
+        """
+        indices = [msr.index for msr in table.plan.measurements]
+        groups = group_rows_by_component(table.rows, indices)
+        return cls(
+            num_states=table.plan.num_states,
+            state_sets=table.state_sets(),
+            unique_groups=groups,
+        )
+
+    @classmethod
+    def from_rows(cls, num_states: int,
+                  rows: Sequence[Mapping[int, float]],
+                  indices: Optional[Sequence[int]] = None
+                  ) -> "ObservabilityProblem":
+        """Build from raw Jacobian rows (Table II style input).
+
+        Component grouping falls back to the paper's row-comparison rule.
+        """
+        if indices is None:
+            indices = list(range(1, len(rows) + 1))
+        state_sets = {
+            index: [bus for bus, coeff in row.items() if coeff != 0.0]
+            for row, index in zip(rows, indices)
+        }
+        groups = group_rows_by_component(rows, indices)
+        return cls(num_states=num_states, state_sets=state_sets,
+                   unique_groups=groups)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def measurement_indices(self) -> List[int]:
+        return sorted(self.state_sets)
+
+    @property
+    def num_measurements(self) -> int:
+        return len(self.state_sets)
+
+    @property
+    def num_components(self) -> int:
+        return len(self.unique_groups)
+
+    def measurements_covering(self, state: int) -> List[int]:
+        """All measurements whose ``StateSet`` contains *state*."""
+        return sorted(z for z, states in self.state_sets.items()
+                      if state in states)
+
+    def states(self) -> range:
+        return range(1, self.num_states + 1)
+
+    def __repr__(self) -> str:
+        return (f"ObservabilityProblem(n={self.num_states}, "
+                f"m={self.num_measurements}, "
+                f"components={self.num_components})")

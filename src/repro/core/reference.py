@@ -1,0 +1,260 @@
+"""A direct (non-SAT) evaluator of the paper's predicates.
+
+Given a concrete failure set, this evaluator computes delivered/secured
+measurements and the observability, secured-observability, and bad-data
+predicates by plain graph walking and counting.  It serves three roles:
+
+* ground truth for validating every threat vector the SAT model emits,
+* brute-force verification of ``unsat`` answers on small systems, and
+* the minimization oracle that shrinks raw SAT models to *minimal*
+  threat vectors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..scada.network import ScadaNetwork
+from .problem import ObservabilityProblem
+from .specs import Property, ResiliencySpec
+
+__all__ = ["ReferenceEvaluator"]
+
+
+class ReferenceEvaluator:
+    """Evaluates the resiliency predicates for explicit failure sets."""
+
+    def __init__(self, network: ScadaNetwork,
+                 problem: ObservabilityProblem) -> None:
+        self.network = network
+        self.problem = problem
+        # Pre-compute the path lists once; they are static configuration.
+        self._assured_paths = {
+            ied: network.assured_paths(ied) for ied in network.ied_ids}
+        self._secured_paths = {
+            ied: network.secured_paths(ied) for ied in network.ied_ids}
+        self._command_paths = {
+            device: network.assured_paths(device)
+            for device in network.field_device_ids}
+        self._link_pairs = {link.node_pair
+                            for link in network.topology.links}
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def _path_alive(self, path: Sequence[int], failed: Set[int],
+                    failed_links: FrozenSet = frozenset()) -> bool:
+        if any(device in failed for device in path):
+            return False
+        if failed_links:
+            for a, b in zip(path, path[1:]):
+                if ((a, b) if a < b else (b, a)) in failed_links:
+                    return False
+        return True
+
+    def assured_delivery(self, ied: int, failed: Set[int],
+                         failed_links: FrozenSet = frozenset()) -> bool:
+        """``AssuredDelivery_I`` under the given failure set."""
+        if ied in failed:
+            return False
+        return any(self._path_alive(path, failed, failed_links)
+                   for path in self._assured_paths[ied])
+
+    def secured_delivery(self, ied: int, failed: Set[int],
+                         failed_links: FrozenSet = frozenset()) -> bool:
+        """``SecuredDelivery_I`` under the given failure set."""
+        if ied in failed:
+            return False
+        return any(self._path_alive(path, failed, failed_links)
+                   for path in self._secured_paths[ied])
+
+    def delivered_measurements(self, failed: Iterable[int],
+                               secured: bool = False,
+                               failed_links: Iterable = ()) -> Set[int]:
+        """The measurements reaching the MTU (``D_Z`` / ``S_Z``)."""
+        failed_set = set(failed)
+        links = frozenset(tuple(sorted(p)) for p in failed_links)
+        check = self.secured_delivery if secured else self.assured_delivery
+        out: Set[int] = set()
+        for ied in self.network.ied_ids:
+            if check(ied, failed_set, links):
+                out.update(self.network.measurements_of(ied))
+        # Only measurements known to the observability problem count.
+        return out & set(self.problem.state_sets)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def observable(self, failed: Iterable[int],
+                   secured: bool = False,
+                   failed_links: Iterable = ()) -> bool:
+        """The paper's (secured) observability predicate."""
+        delivered = self.delivered_measurements(failed, secured=secured,
+                                                failed_links=failed_links)
+        covered: Set[int] = set()
+        for z in delivered:
+            covered.update(self.problem.state_sets[z])
+        if covered != set(self.problem.states()):
+            return False
+        unique_delivered = sum(
+            1 for group in self.problem.unique_groups
+            if any(z in delivered for z in group))
+        return unique_delivered >= self.problem.num_states
+
+    def bad_data_detectable(self, failed: Iterable[int], r: int,
+                            failed_links: Iterable = ()) -> bool:
+        """Every state is covered by more than *r* secured measurements."""
+        delivered = self.delivered_measurements(failed, secured=True,
+                                                failed_links=failed_links)
+        for state in self.problem.states():
+            covering = sum(
+                1 for z in self.problem.measurements_covering(state)
+                if z in delivered)
+            if covering < r + 1:
+                return False
+        return True
+
+    def command_deliverable(self, failed: Iterable[int],
+                            failed_links: Iterable = ()) -> bool:
+        """Every alive field device has an alive assured path to the
+        MTU (the command-deliverability extension)."""
+        failed_set = set(failed)
+        links = frozenset(tuple(sorted(p)) for p in failed_links)
+        for device in self.network.field_device_ids:
+            if device in failed_set:
+                continue
+            if not any(self._path_alive(path, failed_set, links)
+                       for path in self._command_paths[device]):
+                return False
+        return True
+
+    def property_holds(self, spec: ResiliencySpec,
+                       failed: Iterable[int],
+                       failed_links: Iterable = ()) -> bool:
+        """Evaluate the spec's property for one failure set."""
+        if spec.property is Property.OBSERVABILITY:
+            return self.observable(failed, secured=False,
+                                   failed_links=failed_links)
+        if spec.property is Property.SECURED_OBSERVABILITY:
+            return self.observable(failed, secured=True,
+                                   failed_links=failed_links)
+        if spec.property is Property.COMMAND_DELIVERABILITY:
+            return self.command_deliverable(failed,
+                                            failed_links=failed_links)
+        return self.bad_data_detectable(failed, spec.r,
+                                        failed_links=failed_links)
+
+    # ------------------------------------------------------------------
+    # Budget helpers
+    # ------------------------------------------------------------------
+
+    def within_budget(self, spec: ResiliencySpec,
+                      failed: Iterable[int],
+                      failed_links: Iterable = ()) -> bool:
+        links = set(failed_links)
+        if spec.link_k is None:
+            if links:
+                return False
+        else:
+            if len(links) > spec.link_k:
+                return False
+            if any(tuple(sorted(p)) not in self._link_pairs
+                   for p in links):
+                return False
+        failed_set = set(failed)
+        ieds = failed_set & set(self.network.ied_ids)
+        rtus = failed_set & set(self.network.rtu_ids)
+        if failed_set - ieds - rtus:
+            return False  # only field devices may fail
+        budget = spec.budget
+        if budget.is_split:
+            assert budget.k1 is not None and budget.k2 is not None
+            return len(ieds) <= budget.k1 and len(rtus) <= budget.k2
+        assert budget.k is not None
+        return len(failed_set) <= budget.k
+
+    def is_threat(self, spec: ResiliencySpec,
+                  failed: Iterable[int],
+                  failed_links: Iterable = ()) -> bool:
+        """Whether *failed* (+ *failed_links*) is a valid threat vector."""
+        failed_set = set(failed)
+        links = frozenset(tuple(sorted(p)) for p in failed_links)
+        return (self.within_budget(spec, failed_set, links)
+                and not self.property_holds(spec, failed_set, links))
+
+    # ------------------------------------------------------------------
+    # Minimization and brute force
+    # ------------------------------------------------------------------
+
+    def minimize_threat(self, spec: ResiliencySpec,
+                        failed: Iterable[int],
+                        failed_links: Iterable = ()) -> FrozenSet[int]:
+        """Shrink a threat vector to an inclusion-minimal one.
+
+        Greedily tries to revive each failed device; the result still
+        violates the property but no proper subset of it does.  Device
+        minimization only — use :meth:`minimize_threat_with_links` when
+        links participate.
+        """
+        current = set(failed)
+        links = frozenset(tuple(sorted(p)) for p in failed_links)
+        if self.property_holds(spec, current, links):
+            raise ValueError("not a threat vector: the property holds")
+        for device in sorted(current):
+            smaller = current - {device}
+            if not self.property_holds(spec, smaller, links):
+                current = smaller
+        return frozenset(current)
+
+    def minimize_threat_with_links(self, spec: ResiliencySpec,
+                                   failed: Iterable[int],
+                                   failed_links: Iterable = ()):
+        """Inclusion-minimal device *and* link failure sets."""
+        devices = frozenset(
+            self.minimize_threat(spec, failed, failed_links))
+        links = {tuple(sorted(p)) for p in failed_links}
+        for link in sorted(links):
+            smaller = frozenset(links - {link})
+            if not self.property_holds(spec, devices, smaller):
+                links = set(smaller)
+        return devices, frozenset(links)
+
+    def brute_force_threats(self, spec: ResiliencySpec,
+                            minimal_only: bool = True
+                            ) -> List[FrozenSet[int]]:
+        """All threat vectors by exhaustive subset enumeration.
+
+        Exponential — usable only on small systems; the tests use it to
+        certify ``unsat`` answers and threat-space counts.
+        """
+        ieds = self.network.ied_ids
+        rtus = self.network.rtu_ids
+        budget = spec.budget
+        threats: List[FrozenSet[int]] = []
+        if budget.is_split:
+            assert budget.k1 is not None and budget.k2 is not None
+            ied_choices = _subsets_up_to(ieds, budget.k1)
+            rtu_choices = _subsets_up_to(rtus, budget.k2)
+            candidates = (set(a) | set(b)
+                          for a in ied_choices for b in rtu_choices)
+        else:
+            assert budget.k is not None
+            candidates = (set(c) for c in
+                          _subsets_up_to(ieds + rtus, budget.k))
+        for failed in candidates:
+            if not self.property_holds(spec, failed):
+                threats.append(frozenset(failed))
+        if minimal_only:
+            threats = [t for t in threats
+                       if not any(o < t for o in threats)]
+        return sorted(set(threats), key=lambda t: (len(t), sorted(t)))
+
+
+def _subsets_up_to(items: Sequence[int], k: int) -> List[Tuple[int, ...]]:
+    out: List[Tuple[int, ...]] = []
+    for size in range(0, min(k, len(items)) + 1):
+        out.extend(itertools.combinations(items, size))
+    return out

@@ -1,0 +1,174 @@
+"""Resiliency specifications.
+
+The paper verifies three properties (§III):
+
+* ``k``-resilient observability,
+* ``k``-resilient *secured* observability,
+* ``(k, r)``-resilient bad-data detectability,
+
+each either with a *total* failure budget ``k`` over all field devices
+or a *split* budget ``(k1, k2)`` counting IED and RTU failures
+separately.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Property", "FailureBudget", "ResiliencySpec"]
+
+
+class Property(enum.Enum):
+    """The verifiable resiliency property.
+
+    ``COMMAND_DELIVERABILITY`` is an extension: the paper's motivation
+    (§II-B) includes "delivering control commands from the provider's
+    side to the field devices"; this property demands that every *alive*
+    field device stays reachable from the MTU under the failure budget.
+    """
+
+    OBSERVABILITY = "observability"
+    SECURED_OBSERVABILITY = "secured-observability"
+    BAD_DATA_DETECTABILITY = "bad-data-detectability"
+    COMMAND_DELIVERABILITY = "command-deliverability"
+
+    @property
+    def uses_security(self) -> bool:
+        """Whether the property depends on secured delivery."""
+        return self in (Property.SECURED_OBSERVABILITY,
+                        Property.BAD_DATA_DETECTABILITY)
+
+
+@dataclass(frozen=True)
+class FailureBudget:
+    """How many field devices may fail.
+
+    Exactly one of the two forms is active: a *total* budget ``k``
+    (any mix of IEDs and RTUs) or a *split* budget ``(k1, k2)``.
+    """
+
+    k: Optional[int] = None
+    k1: Optional[int] = None
+    k2: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        split = self.k1 is not None or self.k2 is not None
+        if self.k is None and not split:
+            raise ValueError("a budget needs k or (k1, k2)")
+        if self.k is not None and split:
+            raise ValueError("give either k or (k1, k2), not both")
+        if split and (self.k1 is None or self.k2 is None):
+            raise ValueError("a split budget needs both k1 and k2")
+        for value in (self.k, self.k1, self.k2):
+            if value is not None and value < 0:
+                raise ValueError("budgets are non-negative")
+
+    @classmethod
+    def total(cls, k: int) -> "FailureBudget":
+        """Any *k* field devices may fail."""
+        return cls(k=k)
+
+    @classmethod
+    def split(cls, k1: int, k2: int) -> "FailureBudget":
+        """Up to *k1* IEDs and *k2* RTUs may fail."""
+        return cls(k1=k1, k2=k2)
+
+    @property
+    def is_split(self) -> bool:
+        return self.k is None
+
+    @property
+    def max_failures(self) -> int:
+        """An upper bound on the number of failed devices."""
+        if self.k is not None:
+            return self.k
+        assert self.k1 is not None and self.k2 is not None
+        return self.k1 + self.k2
+
+    def describe(self) -> str:
+        if self.is_split:
+            return f"({self.k1}, {self.k2})"
+        return str(self.k)
+
+    def __repr__(self) -> str:
+        return f"FailureBudget({self.describe()})"
+
+
+@dataclass(frozen=True)
+class ResiliencySpec:
+    """A property plus its failure budget (and ``r`` for bad data).
+
+    ``link_k`` optionally admits up to that many *communication link*
+    failures in addition to the device budget.  The paper folds link
+    failures into device unavailability ("a link failure toward the
+    device", §III-B); modeling them separately is a strict extension —
+    ``link_k=None`` reproduces the paper's model exactly.
+    """
+
+    property: Property
+    budget: FailureBudget
+    r: int = 1
+    link_k: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.r < 0:
+            raise ValueError("r must be non-negative")
+        if self.link_k is not None and self.link_k < 0:
+            raise ValueError("link_k must be non-negative")
+
+    @classmethod
+    def observability(cls, k: Optional[int] = None,
+                      k1: Optional[int] = None,
+                      k2: Optional[int] = None,
+                      link_k: Optional[int] = None) -> "ResiliencySpec":
+        return cls(Property.OBSERVABILITY, _budget(k, k1, k2),
+                   link_k=link_k)
+
+    @classmethod
+    def secured_observability(cls, k: Optional[int] = None,
+                              k1: Optional[int] = None,
+                              k2: Optional[int] = None,
+                              link_k: Optional[int] = None
+                              ) -> "ResiliencySpec":
+        return cls(Property.SECURED_OBSERVABILITY, _budget(k, k1, k2),
+                   link_k=link_k)
+
+    @classmethod
+    def command_deliverability(cls, k: Optional[int] = None,
+                               k1: Optional[int] = None,
+                               k2: Optional[int] = None,
+                               link_k: Optional[int] = None
+                               ) -> "ResiliencySpec":
+        return cls(Property.COMMAND_DELIVERABILITY, _budget(k, k1, k2),
+                   link_k=link_k)
+
+    @classmethod
+    def bad_data_detectability(cls, r: int, k: Optional[int] = None,
+                               k1: Optional[int] = None,
+                               k2: Optional[int] = None,
+                               link_k: Optional[int] = None
+                               ) -> "ResiliencySpec":
+        return cls(Property.BAD_DATA_DETECTABILITY, _budget(k, k1, k2),
+                   r=r, link_k=link_k)
+
+    def describe(self) -> str:
+        if self.property is Property.BAD_DATA_DETECTABILITY:
+            text = (f"({self.budget.describe()}, {self.r})-resilient "
+                    f"{self.property.value}")
+        else:
+            text = (f"{self.budget.describe()}-resilient "
+                    f"{self.property.value}")
+        if self.link_k is not None:
+            text += f" (+{self.link_k} link failures)"
+        return text
+
+
+def _budget(k: Optional[int], k1: Optional[int],
+            k2: Optional[int]) -> FailureBudget:
+    if k is not None:
+        return FailureBudget.total(k)
+    if k1 is None or k2 is None:
+        raise ValueError("give k, or both k1 and k2")
+    return FailureBudget.split(k1, k2)

@@ -1,0 +1,40 @@
+"""Power-grid substrate: bus systems, measurements, DC Jacobians."""
+
+from .bus_system import Branch, BusSystem, from_branch_list
+from .estimation import (
+    DcStateEstimator,
+    EstimationResult,
+    UnobservableError,
+    chi_square_threshold,
+)
+from .ieee_cases import (
+    CASE_SIZES,
+    IEEE14_BRANCHES,
+    case30,
+    case57,
+    case118,
+    case_by_buses,
+    ieee14,
+    synthetic_grid,
+)
+from .jacobian import JacobianTable, jacobian_matrix, jacobian_row, state_sets
+from .measurements import (
+    Measurement,
+    MeasurementPlan,
+    MeasurementType,
+    full_measurement_plan,
+    sampled_measurement_plan,
+)
+from .observability import covered_states, is_rank_observable, rank_of_rows
+
+__all__ = [
+    "Branch", "BusSystem", "CASE_SIZES", "DcStateEstimator",
+    "EstimationResult", "IEEE14_BRANCHES", "UnobservableError",
+    "chi_square_threshold",
+    "JacobianTable", "Measurement", "MeasurementPlan", "MeasurementType",
+    "case30", "case57", "case118", "case_by_buses", "covered_states",
+    "from_branch_list", "full_measurement_plan", "ieee14",
+    "is_rank_observable", "jacobian_matrix", "jacobian_row",
+    "rank_of_rows", "sampled_measurement_plan", "state_sets",
+    "synthetic_grid",
+]

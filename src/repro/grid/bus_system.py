@@ -1,0 +1,136 @@
+"""Transmission-grid model: buses and branches.
+
+The paper's observability analysis works on the DC power-flow model of a
+bus system: each branch has a susceptance, each measurement is a linear
+function of the bus state variables (voltage phase angles), and the
+Jacobian rows are built from branch susceptances (see
+:mod:`repro.grid.jacobian`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["Branch", "BusSystem"]
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A transmission line (or transformer) between two buses."""
+
+    index: int
+    from_bus: int
+    to_bus: int
+    reactance: float
+
+    def __post_init__(self) -> None:
+        if self.from_bus == self.to_bus:
+            raise ValueError(f"branch {self.index} is a self-loop")
+        if self.reactance <= 0:
+            raise ValueError(
+                f"branch {self.index} must have positive reactance")
+
+    @property
+    def susceptance(self) -> float:
+        """The DC susceptance ``b = 1/x``."""
+        return 1.0 / self.reactance
+
+    @property
+    def buses(self) -> Tuple[int, int]:
+        return (self.from_bus, self.to_bus)
+
+
+class BusSystem:
+    """A bus/branch network with 1-based bus numbering."""
+
+    def __init__(self, name: str, num_buses: int,
+                 branches: Sequence[Branch]) -> None:
+        if num_buses < 1:
+            raise ValueError("a bus system needs at least one bus")
+        self.name = name
+        self.num_buses = num_buses
+        self.branches: List[Branch] = list(branches)
+        self._validate()
+        self._adjacency: Dict[int, List[Branch]] = {
+            bus: [] for bus in range(1, num_buses + 1)}
+        for branch in self.branches:
+            self._adjacency[branch.from_bus].append(branch)
+            self._adjacency[branch.to_bus].append(branch)
+
+    def _validate(self) -> None:
+        seen_indices: Set[int] = set()
+        seen_pairs: Set[Tuple[int, int]] = set()
+        for branch in self.branches:
+            if branch.index in seen_indices:
+                raise ValueError(f"duplicate branch index {branch.index}")
+            seen_indices.add(branch.index)
+            for bus in branch.buses:
+                if not 1 <= bus <= self.num_buses:
+                    raise ValueError(
+                        f"branch {branch.index} references bus {bus}, "
+                        f"outside 1..{self.num_buses}")
+            pair = (min(branch.buses), max(branch.buses))
+            if pair in seen_pairs:
+                raise ValueError(f"parallel branch between {pair}")
+            seen_pairs.add(pair)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.branches)
+
+    def branch(self, index: int) -> Branch:
+        """Look up a branch by its index."""
+        for branch in self.branches:
+            if branch.index == index:
+                return branch
+        raise KeyError(f"no branch with index {index}")
+
+    def incident_branches(self, bus: int) -> List[Branch]:
+        """Branches touching *bus*."""
+        return list(self._adjacency[bus])
+
+    def neighbors(self, bus: int) -> List[int]:
+        """Buses adjacent to *bus*."""
+        out = []
+        for branch in self._adjacency[bus]:
+            out.append(branch.to_bus if branch.from_bus == bus
+                       else branch.from_bus)
+        return out
+
+    def degree(self, bus: int) -> int:
+        return len(self._adjacency[bus])
+
+    def average_degree(self) -> float:
+        """Mean bus degree; ≈3 for real power grids (paper §V-B)."""
+        return 2.0 * self.num_branches / self.num_buses
+
+    def is_connected(self) -> bool:
+        """Whether every bus is reachable from bus 1."""
+        if self.num_buses == 1:
+            return True
+        seen = {1}
+        frontier = [1]
+        while frontier:
+            bus = frontier.pop()
+            for nxt in self.neighbors(bus):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return len(seen) == self.num_buses
+
+    def __repr__(self) -> str:
+        return (f"BusSystem({self.name!r}, buses={self.num_buses}, "
+                f"branches={self.num_branches})")
+
+
+def from_branch_list(name: str, num_buses: int,
+                     branch_data: Iterable[Tuple[int, int, float]]) -> BusSystem:
+    """Build a :class:`BusSystem` from ``(from, to, reactance)`` triples."""
+    branches = [
+        Branch(index=i, from_bus=f, to_bus=t, reactance=x)
+        for i, (f, t, x) in enumerate(branch_data, start=1)
+    ]
+    return BusSystem(name, num_buses, branches)

@@ -1,0 +1,138 @@
+"""IEEE test-system topologies used by the paper's evaluation.
+
+The paper generates synthetic SCADA systems over the IEEE 14-, 30-, 57-
+and 118-bus test systems.  The 14-bus system is transcribed exactly
+(branch endpoints and reactances); for the larger systems the full
+per-branch datasets are not available offline, so we substitute
+*topology-equivalent synthetic grids*: the real systems' bus and branch
+counts (30/41, 57/80, 118/186) with the power-grid degree profile the
+paper itself relies on ("the average degree of a node is roughly 3,
+regardless of the number of buses", §V-B).  Only the topology and branch
+susceptances enter the verification model, so the scalability trends
+depend on exactly these quantities.  The substitution is recorded in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from .bus_system import BusSystem, from_branch_list
+
+__all__ = [
+    "ieee14", "case30", "case57", "case118", "case_by_buses",
+    "synthetic_grid", "IEEE14_BRANCHES", "CASE_SIZES",
+]
+
+# (from_bus, to_bus, reactance) — the standard IEEE 14-bus test system.
+IEEE14_BRANCHES: List[Tuple[int, int, float]] = [
+    (1, 2, 0.05917),
+    (1, 5, 0.22304),
+    (2, 3, 0.19797),
+    (2, 4, 0.17632),
+    (2, 5, 0.17388),
+    (3, 4, 0.17103),
+    (4, 5, 0.04211),
+    (4, 7, 0.20912),
+    (4, 9, 0.55618),
+    (5, 6, 0.25202),
+    (6, 11, 0.19890),
+    (6, 12, 0.25581),
+    (6, 13, 0.13027),
+    (7, 8, 0.17615),
+    (7, 9, 0.11001),
+    (9, 10, 0.08450),
+    (9, 14, 0.27038),
+    (10, 11, 0.19207),
+    (12, 13, 0.19988),
+    (13, 14, 0.34802),
+]
+
+# Real branch counts of the corresponding IEEE test systems.
+CASE_SIZES: Dict[int, int] = {14: 20, 30: 41, 57: 80, 118: 186}
+
+
+def ieee14() -> BusSystem:
+    """The exact IEEE 14-bus test system."""
+    return from_branch_list("ieee14", 14, IEEE14_BRANCHES)
+
+
+def synthetic_grid(num_buses: int, num_branches: int,
+                   seed: int = 0, name: str = "") -> BusSystem:
+    """A connected synthetic grid with a power-grid-like degree profile.
+
+    Construction: a random spanning tree (guaranteeing connectivity)
+    followed by extra chords biased toward low-degree buses, which keeps
+    the degree distribution tight around the 2·branches/buses mean, as in
+    real transmission grids.  Reactances are drawn from the range spanned
+    by the IEEE 14-bus data.
+    """
+    if num_branches < num_buses - 1:
+        raise ValueError("need at least a spanning tree of branches")
+    max_branches = num_buses * (num_buses - 1) // 2
+    if num_branches > max_branches:
+        raise ValueError("more branches than bus pairs")
+    rng = random.Random(seed)
+    name = name or f"synthetic{num_buses}"
+
+    edges: List[Tuple[int, int]] = []
+    used = set()
+    degree = [0] * (num_buses + 1)
+
+    def connect(a: int, b: int) -> None:
+        pair = (min(a, b), max(a, b))
+        used.add(pair)
+        edges.append(pair)
+        degree[a] += 1
+        degree[b] += 1
+
+    # Random spanning tree: attach each new bus to a random existing one.
+    order = list(range(1, num_buses + 1))
+    rng.shuffle(order)
+    for pos in range(1, num_buses):
+        connect(order[pos], rng.choice(order[:pos]))
+
+    # Chords, biased toward low-degree buses.
+    attempts = 0
+    while len(edges) < num_branches:
+        attempts += 1
+        if attempts > 100 * num_branches:
+            raise RuntimeError("could not place all chords")
+        candidates = rng.sample(range(1, num_buses + 1), 4)
+        candidates.sort(key=lambda bus: degree[bus])
+        a, b = candidates[0], candidates[1]
+        if a == b or (min(a, b), max(a, b)) in used:
+            continue
+        connect(a, b)
+
+    lo = min(x for _, _, x in IEEE14_BRANCHES)
+    hi = max(x for _, _, x in IEEE14_BRANCHES)
+    branch_data = [(a, b, rng.uniform(lo, hi)) for a, b in edges]
+    return from_branch_list(name, num_buses, branch_data)
+
+
+def case30(seed: int = 0) -> BusSystem:
+    """A 30-bus grid with the IEEE 30-bus system's branch count."""
+    return synthetic_grid(30, CASE_SIZES[30], seed=seed, name="case30")
+
+
+def case57(seed: int = 0) -> BusSystem:
+    """A 57-bus grid with the IEEE 57-bus system's branch count."""
+    return synthetic_grid(57, CASE_SIZES[57], seed=seed, name="case57")
+
+
+def case118(seed: int = 0) -> BusSystem:
+    """A 118-bus grid with the IEEE 118-bus system's branch count."""
+    return synthetic_grid(118, CASE_SIZES[118], seed=seed, name="case118")
+
+
+def case_by_buses(num_buses: int, seed: int = 0) -> BusSystem:
+    """The evaluation case for a given bus count (14/30/57/118)."""
+    if num_buses == 14:
+        return ieee14()
+    if num_buses in CASE_SIZES:
+        return synthetic_grid(num_buses, CASE_SIZES[num_buses], seed=seed,
+                              name=f"case{num_buses}")
+    raise ValueError(f"no evaluation case for {num_buses} buses; "
+                     f"choose one of {sorted(CASE_SIZES)}")

@@ -1,0 +1,203 @@
+"""Measurement taxonomy and the unique-component (`UMsrSet`) grouping.
+
+The paper's observability constraint counts *unique* delivered
+measurements: a forward and a backward power-flow reading of the same
+line represent the same electrical component and must be counted once
+(`UMsrSet_E`).  This module models measurements, builds the full
+candidate set for a bus system (two flow measurements per line plus one
+injection per bus — the "maximum possible measurements" baseline of
+Fig. 7(a)), and groups measurements by electrical component.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .bus_system import BusSystem
+
+__all__ = [
+    "MeasurementType", "Measurement", "MeasurementPlan",
+    "full_measurement_plan", "sampled_measurement_plan",
+]
+
+
+class MeasurementType(enum.Enum):
+    """The three DC measurement kinds the paper uses."""
+
+    LINE_FLOW_FORWARD = "flow_fwd"
+    LINE_FLOW_BACKWARD = "flow_bwd"
+    BUS_INJECTION = "injection"
+
+    @property
+    def is_flow(self) -> bool:
+        return self is not MeasurementType.BUS_INJECTION
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A single meter reading.
+
+    ``element`` is a branch index for flow measurements and a bus number
+    for injections.  ``index`` is the 1-based measurement id ``Z`` used
+    throughout the formal model.
+    """
+
+    index: int
+    mtype: MeasurementType
+    element: int
+
+    @property
+    def component_key(self) -> Tuple[str, int]:
+        """The electrical component ``E`` this measurement observes.
+
+        Forward and backward flows of one line share a key; that is
+        exactly the paper's ``UMsrSet`` equivalence.
+        """
+        if self.mtype.is_flow:
+            return ("line", self.element)
+        return ("bus", self.element)
+
+    def describe(self) -> str:
+        kind = {
+            MeasurementType.LINE_FLOW_FORWARD: "P_fwd(line {0})",
+            MeasurementType.LINE_FLOW_BACKWARD: "P_bwd(line {0})",
+            MeasurementType.BUS_INJECTION: "P_inj(bus {0})",
+        }[self.mtype]
+        return f"z{self.index}: " + kind.format(self.element)
+
+
+class MeasurementPlan:
+    """The measurement set attached to a bus system."""
+
+    def __init__(self, bus_system: BusSystem,
+                 measurements: Sequence[Measurement]) -> None:
+        self.bus_system = bus_system
+        self.measurements: List[Measurement] = list(measurements)
+        self._validate()
+
+    def _validate(self) -> None:
+        seen = set()
+        branch_ids = {b.index for b in self.bus_system.branches}
+        for msr in self.measurements:
+            if msr.index in seen:
+                raise ValueError(f"duplicate measurement index {msr.index}")
+            seen.add(msr.index)
+            if msr.mtype.is_flow:
+                if msr.element not in branch_ids:
+                    raise ValueError(
+                        f"measurement {msr.index} references unknown "
+                        f"branch {msr.element}")
+            elif not 1 <= msr.element <= self.bus_system.num_buses:
+                raise ValueError(
+                    f"measurement {msr.index} references unknown "
+                    f"bus {msr.element}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_measurements(self) -> int:
+        return len(self.measurements)
+
+    @property
+    def num_states(self) -> int:
+        """Number of state variables (bus phase angles), per the paper."""
+        return self.bus_system.num_buses
+
+    def by_index(self, index: int) -> Measurement:
+        for msr in self.measurements:
+            if msr.index == index:
+                return msr
+        raise KeyError(f"no measurement with index {index}")
+
+    def unique_component_sets(self) -> Dict[Tuple[str, int], List[int]]:
+        """``UMsrSet_E``: component key → measurement indices observing it."""
+        groups: Dict[Tuple[str, int], List[int]] = {}
+        for msr in self.measurements:
+            groups.setdefault(msr.component_key, []).append(msr.index)
+        return groups
+
+    def indices(self) -> List[int]:
+        return [msr.index for msr in self.measurements]
+
+    def __repr__(self) -> str:
+        return (f"MeasurementPlan({self.bus_system.name!r}, "
+                f"m={self.num_measurements}, n={self.num_states})")
+
+
+def full_measurement_plan(bus_system: BusSystem) -> MeasurementPlan:
+    """Every possible measurement: 2 per line + 1 injection per bus.
+
+    This is the "maximum possible measurements for a bus system" that
+    Fig. 7(a)'s percentages are relative to.
+    """
+    measurements: List[Measurement] = []
+    index = 0
+    for branch in bus_system.branches:
+        index += 1
+        measurements.append(Measurement(
+            index, MeasurementType.LINE_FLOW_FORWARD, branch.index))
+        index += 1
+        measurements.append(Measurement(
+            index, MeasurementType.LINE_FLOW_BACKWARD, branch.index))
+    for bus in range(1, bus_system.num_buses + 1):
+        index += 1
+        measurements.append(Measurement(
+            index, MeasurementType.BUS_INJECTION, bus))
+    return MeasurementPlan(bus_system, measurements)
+
+
+def sampled_measurement_plan(
+    bus_system: BusSystem,
+    fraction: float,
+    seed: int = 0,
+    ensure_coverage: bool = True,
+) -> MeasurementPlan:
+    """Sample a fraction of the maximum measurement set.
+
+    With ``ensure_coverage`` (the default, matching how real measurement
+    plans are engineered), the sample is topped up so that every bus is
+    touched by at least one selected measurement; the requested fraction
+    is treated as a minimum.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    full = full_measurement_plan(bus_system)
+    rng = random.Random(seed)
+    want = max(1, round(fraction * full.num_measurements))
+    pool = list(full.measurements)
+    rng.shuffle(pool)
+    chosen = pool[:want]
+    if ensure_coverage:
+        covered = _buses_covered(bus_system, chosen)
+        remaining = pool[want:]
+        for msr in remaining:
+            if len(covered) == bus_system.num_buses:
+                break
+            touches = _touched_buses(bus_system, msr)
+            if touches - covered:
+                chosen.append(msr)
+                covered |= touches
+    chosen.sort(key=lambda m: m.index)
+    renumbered = [
+        Measurement(i, msr.mtype, msr.element)
+        for i, msr in enumerate(chosen, start=1)
+    ]
+    return MeasurementPlan(bus_system, renumbered)
+
+
+def _touched_buses(bus_system: BusSystem, msr: Measurement) -> set:
+    if msr.mtype.is_flow:
+        branch = bus_system.branch(msr.element)
+        return set(branch.buses)
+    return {msr.element} | set(bus_system.neighbors(msr.element))
+
+
+def _buses_covered(bus_system: BusSystem,
+                   measurements: Iterable[Measurement]) -> set:
+    covered: set = set()
+    for msr in measurements:
+        covered |= _touched_buses(bus_system, msr)
+    return covered

@@ -1,0 +1,73 @@
+"""Numeric observability oracle.
+
+The paper's formal model uses a *combinatorial* observability definition
+(state coverage plus a unique-measurement count).  True numerical
+observability is a rank condition on the delivered Jacobian rows; this
+module provides that rank check as an independent oracle, used by the
+tests to relate the two notions and by the ablation benchmark comparing
+the paper's criterion against the rank criterion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from .jacobian import JacobianTable
+
+__all__ = ["rank_of_rows", "is_rank_observable", "covered_states"]
+
+
+def rank_of_rows(table: JacobianTable,
+                 msr_indices: Iterable[int]) -> int:
+    """Numerical rank of the Jacobian restricted to given measurements."""
+    positions = {msr.index: pos
+                 for pos, msr in enumerate(table.plan.measurements)}
+    rows = []
+    n = table.plan.num_states
+    for index in msr_indices:
+        dense = np.zeros(n)
+        for bus, coeff in table.rows[positions[index]].items():
+            dense[bus - 1] = coeff
+        rows.append(dense)
+    if not rows:
+        return 0
+    return int(np.linalg.matrix_rank(np.vstack(rows)))
+
+
+def is_rank_observable(table: JacobianTable,
+                       msr_indices: Iterable[int],
+                       reference_bus: Optional[int] = None) -> bool:
+    """Whether the given measurements determine all states numerically.
+
+    Without a reference bus, full rank ``n`` is required (the paper
+    treats all buses as states).  With ``reference_bus`` given, the
+    conventional power-system criterion (rank ``n − 1`` after removing
+    the reference angle) is used instead.
+    """
+    n = table.plan.num_states
+    target = n if reference_bus is None else n - 1
+    indices = list(msr_indices)
+    if reference_bus is None:
+        return rank_of_rows(table, indices) >= target
+    positions = {msr.index: pos
+                 for pos, msr in enumerate(table.plan.measurements)}
+    rows = []
+    for index in indices:
+        dense = np.zeros(n)
+        for bus, coeff in table.rows[positions[index]].items():
+            dense[bus - 1] = coeff
+        rows.append(np.delete(dense, reference_bus - 1))
+    if not rows:
+        return target == 0
+    return int(np.linalg.matrix_rank(np.vstack(rows))) >= target
+
+
+def covered_states(table: JacobianTable,
+                   msr_indices: Iterable[int]) -> Set[int]:
+    """Buses appearing in the state set of any given measurement."""
+    covered: Set[int] = set()
+    for index in msr_indices:
+        covered.update(table.state_set(index))
+    return covered

@@ -1,0 +1,29 @@
+"""From-scratch SAT substrate: CNF, DIMACS I/O, a CDCL solver, AllSAT.
+
+This package replaces the Z3 dependency of the original paper; the
+paper's verification model is Boolean once its counting sums are
+translated to cardinality encodings (see :mod:`repro.smt`).
+"""
+
+from .cnf import CNF
+from .dimacs import dumps, loads, parse_dimacs, write_dimacs
+from .enumeration import count_models, enumerate_models
+from .solver import Clause, SatSolver, SolverStats
+from .types import TautologyError, neg, normalize_clause, var_of
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "SatSolver",
+    "SolverStats",
+    "TautologyError",
+    "count_models",
+    "dumps",
+    "enumerate_models",
+    "loads",
+    "neg",
+    "normalize_clause",
+    "parse_dimacs",
+    "var_of",
+    "write_dimacs",
+]

@@ -1,0 +1,93 @@
+"""A mutable CNF formula container.
+
+:class:`CNF` is the interchange format between the SMT layer, the DIMACS
+reader/writer, and the CDCL solver.  It stores clauses as lists of DIMACS
+literals and tracks the number of allocated variables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .types import TautologyError, normalize_clause
+
+__all__ = ["CNF"]
+
+
+class CNF:
+    """A CNF formula: a bag of clauses over variables ``1..num_vars``."""
+
+    def __init__(self, num_vars: int = 0,
+                 clauses: Optional[Iterable[Sequence[int]]] = None) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self.clauses: List[List[int]] = []
+        if clauses is not None:
+            for clause in clauses:
+                self.add_clause(clause)
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate *count* fresh variables and return them."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Add a clause, silently dropping tautologies.
+
+        Variables mentioned by the clause beyond ``num_vars`` grow the
+        variable count, so clauses can be added before declaring
+        variables explicitly.
+        """
+        try:
+            clause = normalize_clause(lits)
+        except TautologyError:
+            return
+        for lit in clause:
+            v = lit if lit > 0 else -lit
+            if v > self.num_vars:
+                self.num_vars = v
+        self.clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Sequence[int]]) -> None:
+        """Add every clause from *clauses*."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[List[int]]:
+        return iter(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(num_vars={self.num_vars}, clauses={len(self.clauses)})"
+
+    def copy(self) -> "CNF":
+        """Return an independent copy of this formula."""
+        dup = CNF(self.num_vars)
+        dup.clauses = [list(c) for c in self.clauses]
+        return dup
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate the formula under a full assignment.
+
+        *assignment* is indexed by variable (entry 0 unused).  Raises
+        :class:`IndexError` if the assignment is too short.
+        """
+        for clause in self.clauses:
+            satisfied = False
+            for lit in clause:
+                v = lit if lit > 0 else -lit
+                if assignment[v] == (lit > 0):
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True

@@ -1,0 +1,96 @@
+"""DIMACS CNF reading and writing.
+
+The standard interchange format lets the substrate be exercised against
+external benchmark files, and lets encodings produced by the SMT layer be
+dumped for offline inspection.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO, Union
+
+from .cnf import CNF
+
+__all__ = ["parse_dimacs", "write_dimacs", "loads", "dumps"]
+
+
+class DimacsError(ValueError):
+    """Raised for malformed DIMACS input."""
+
+
+def parse_dimacs(stream: Union[TextIO, str]) -> CNF:
+    """Parse DIMACS CNF text from a file object or string."""
+    if isinstance(stream, str):
+        stream = io.StringIO(stream)
+
+    declared_vars = None
+    declared_clauses = None
+    cnf = CNF()
+    pending: list[int] = []
+
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"line {lineno}: bad problem line {line!r}")
+            try:
+                declared_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError as exc:
+                raise DimacsError(f"line {lineno}: {exc}") from exc
+            continue
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise DimacsError(f"line {lineno}: bad literal {token!r}") from exc
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+
+    if pending:
+        # Tolerate a final clause without the trailing 0, as many
+        # generators emit it.
+        cnf.add_clause(pending)
+
+    if declared_vars is not None and declared_vars > cnf.num_vars:
+        cnf.num_vars = declared_vars
+    if declared_clauses is not None and declared_clauses != len(cnf.clauses):
+        # Tautologies are dropped by CNF.add_clause, so a mismatch is
+        # possible for legal input; only a larger-than-declared count is
+        # suspicious enough to reject.
+        if len(cnf.clauses) > declared_clauses:
+            raise DimacsError(
+                f"more clauses ({len(cnf.clauses)}) than declared "
+                f"({declared_clauses})"
+            )
+    return cnf
+
+
+def write_dimacs(cnf: CNF, stream: TextIO, comment: str = "") -> None:
+    """Serialize *cnf* in DIMACS format onto *stream*."""
+    if comment:
+        for line in comment.splitlines():
+            stream.write(f"c {line}\n")
+    stream.write(f"p cnf {cnf.num_vars} {len(cnf.clauses)}\n")
+    for clause in cnf.clauses:
+        stream.write(" ".join(str(lit) for lit in clause))
+        stream.write(" 0\n")
+
+
+def loads(text: str) -> CNF:
+    """Parse DIMACS text into a :class:`CNF`."""
+    return parse_dimacs(text)
+
+
+def dumps(cnf: CNF, comment: str = "") -> str:
+    """Serialize *cnf* to a DIMACS string."""
+    buf = io.StringIO()
+    write_dimacs(cnf, buf, comment=comment)
+    return buf.getvalue()

@@ -1,0 +1,73 @@
+"""Model enumeration (AllSAT) with projection.
+
+Threat-space analysis (Fig. 7(b) of the paper) needs *all* threat
+vectors, not just one.  This module enumerates satisfying assignments of
+a solver projected onto a chosen variable set, blocking each found
+projection with a clause so it is not reported twice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from .solver import SatSolver
+
+__all__ = ["enumerate_models", "count_models"]
+
+
+def enumerate_models(
+    solver: SatSolver,
+    projection: Sequence[int],
+    limit: Optional[int] = None,
+    assumptions: Sequence[int] = (),
+    max_conflicts_per_model: Optional[int] = None,
+) -> Iterator[List[int]]:
+    """Yield models projected onto *projection* (positive variable ids).
+
+    Each yielded model is the list of DIMACS literals over the projection
+    variables (``v`` if true, ``-v`` if false).  After each model, a
+    blocking clause over the projection is added to *solver*, so the
+    enumeration has the side effect of permanently excluding the found
+    projections.
+
+    ``limit`` bounds the number of models; ``None`` enumerates all.
+    Raises :class:`RuntimeError` if a per-model conflict budget expires.
+    """
+    produced = 0
+    while limit is None or produced < limit:
+        result = solver.solve(assumptions=assumptions,
+                              max_conflicts=max_conflicts_per_model)
+        if result is None:
+            raise RuntimeError("conflict budget exhausted during enumeration")
+        if not result:
+            return
+        cube = [v if solver.model_value(v) else -v for v in projection]
+        yield list(cube)
+        produced += 1
+        if not solver.add_clause([-lit for lit in cube]):
+            return
+
+
+def count_models(
+    solver: SatSolver,
+    projection: Sequence[int],
+    assumptions: Sequence[int] = (),
+    limit: Optional[int] = None,
+) -> int:
+    """Count the projected models (up to *limit*, if given)."""
+    return sum(1 for _ in enumerate_models(
+        solver, projection, limit=limit, assumptions=assumptions))
+
+
+def enumerate_filtered(
+    solver: SatSolver,
+    projection: Sequence[int],
+    keep: Callable[[List[int]], bool],
+    limit: Optional[int] = None,
+) -> List[List[int]]:
+    """Enumerate projected models, retaining those accepted by *keep*."""
+    out: List[List[int]] = []
+    for cube in enumerate_models(solver, projection, limit=limit):
+        if keep(cube):
+            out.append(cube)
+    return out

@@ -1,0 +1,191 @@
+"""Unsat-proof checking (DRUP-style, additions only).
+
+When the analyzer certifies a system resilient, that certificate is an
+*unsat* answer — the most consequential result the tool produces and
+the one a buggy solver could silently get wrong.  With proof logging
+enabled, the CDCL solver records every learned clause; this module
+re-validates the run independently: each learned clause must be a
+**reverse unit propagation (RUP)** consequence of the original clauses
+plus the previously checked ones, and unit propagation on the final
+database must yield a conflict (the empty clause).
+
+The checker shares no code with the solver's propagation loop — it is a
+from-scratch two-watched-literal propagator — so a bug would have to be
+made twice, in different code, to go unnoticed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .types import to_internal
+
+__all__ = ["ProofChecker", "check_unsat_proof", "ProofError"]
+
+_UNDEF = -1
+
+
+class ProofError(ValueError):
+    """Raised when a proof step is not a RUP consequence."""
+
+
+class ProofChecker:
+    """Incremental RUP checker over DIMACS clauses."""
+
+    def __init__(self, num_vars: int) -> None:
+        self.num_vars = 0
+        self._value: List[int] = [_UNDEF, _UNDEF]
+        self._watches: List[List[List[int]]] = [[], []]
+        self._trail: List[int] = []
+        self._units: List[int] = []
+        self._contradiction = False
+        self._ensure(num_vars)
+
+    def _ensure(self, num_vars: int) -> None:
+        while self.num_vars < num_vars:
+            self.num_vars += 1
+            self._value.extend((_UNDEF, _UNDEF))
+            self._watches.append([])
+            self._watches.append([])
+
+    # ------------------------------------------------------------------
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Add a clause to the database (no RUP check)."""
+        ilits = [to_internal(l) for l in lits]
+        top = max((abs(l) for l in lits), default=0)
+        self._ensure(top)
+        if not ilits:
+            self._contradiction = True
+            return
+        if len(ilits) == 1:
+            self._units.append(ilits[0])
+            return
+        clause = list(ilits)
+        self._watches[clause[0]].append(clause)
+        self._watches[clause[1]].append(clause)
+
+    def _assign(self, ilit: int, trail: List[int]) -> bool:
+        """Assign ilit true; False on immediate contradiction."""
+        val = self._value[ilit]
+        if val == 1:
+            return True
+        if val == 0:
+            return False
+        self._value[ilit] = 1
+        self._value[ilit ^ 1] = 0
+        trail.append(ilit)
+        return True
+
+    def _propagate(self, queue: List[int], trail: List[int]) -> bool:
+        """Unit propagation; returns False when a conflict arises."""
+        head = 0
+        while head < len(queue):
+            ilit = queue[head]
+            head += 1
+            false_lit = ilit ^ 1
+            watchers = self._watches[false_lit]
+            i = 0
+            j = 0
+            n = len(watchers)
+            value = self._value
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if value[first] == 1:
+                    watchers[j] = clause
+                    j += 1
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    cand = clause[k]
+                    if value[cand] != 0:
+                        clause[1] = cand
+                        clause[k] = false_lit
+                        self._watches[cand].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                watchers[j] = clause
+                j += 1
+                if value[first] == 0:
+                    while i < n:
+                        watchers[j] = watchers[i]
+                        i += 1
+                        j += 1
+                    del watchers[j:]
+                    return False
+                # Unit: assign first.
+                value[first] = 1
+                value[first ^ 1] = 0
+                trail.append(first)
+                queue.append(first)
+            del watchers[j:]
+        return True
+
+    def _unwind(self, trail: List[int]) -> None:
+        for ilit in trail:
+            self._value[ilit] = _UNDEF
+            self._value[ilit ^ 1] = _UNDEF
+
+    # ------------------------------------------------------------------
+
+    def is_rup(self, lits: Sequence[int]) -> bool:
+        """Whether *lits* is a RUP consequence of the current database."""
+        if self._contradiction:
+            return True
+        top = max((abs(l) for l in lits), default=0)
+        self._ensure(top)
+        trail: List[int] = []
+        queue: List[int] = []
+        ok = True
+        # Assert the standing units first.
+        for unit in self._units:
+            if not self._assign(unit, trail):
+                ok = False
+                break
+            queue.append(unit)
+        if ok:
+            # Assume the negation of the candidate clause.
+            for lit in lits:
+                ilit = to_internal(lit) ^ 1
+                if not self._assign(ilit, trail):
+                    ok = False
+                    break
+                queue.append(ilit)
+        if ok:
+            ok = not self._propagate(queue, trail)
+        else:
+            ok = True  # contradiction while assuming: RUP holds
+        self._unwind(trail)
+        return ok
+
+    def check_and_add(self, lits: Sequence[int]) -> None:
+        """Verify one proof step and admit it to the database."""
+        if not self.is_rup(lits):
+            raise ProofError(f"clause {list(lits)} is not RUP")
+        self.add_clause(lits)
+
+
+def check_unsat_proof(original_clauses: Sequence[Sequence[int]],
+                      learned_clauses: Sequence[Sequence[int]],
+                      num_vars: Optional[int] = None) -> bool:
+    """Validate a full unsat proof.
+
+    Returns ``True`` iff every learned clause is RUP in order and the
+    final database propagates to a conflict (empty clause).  Raises
+    :class:`ProofError` on the first failing step.
+    """
+    top = num_vars or 0
+    checker = ProofChecker(top)
+    for clause in original_clauses:
+        checker.add_clause(clause)
+    for clause in learned_clauses:
+        checker.check_and_add(clause)
+    if not checker.is_rup([]):
+        raise ProofError("final database does not propagate to a conflict")
+    return True

@@ -1,0 +1,715 @@
+"""A CDCL SAT solver.
+
+This is the solving engine that replaces Z3 for the paper's model (which
+is purely Boolean once cardinality sums are encoded).  It implements the
+standard conflict-driven clause-learning architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause minimization,
+* VSIDS-style variable activities with phase saving,
+* Luby-sequence restarts,
+* learned-clause database reduction keyed on LBD ("glue"),
+* solving under assumptions, with extraction of an unsatisfiable core
+  over the assumption set (the ``analyzeFinal`` mechanism).
+
+The public literal convention is DIMACS (signed integers); internally a
+literal ``v``/``-v`` is encoded as ``2v``/``2v+1`` so flat lists can be
+indexed by literal.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .types import from_internal, to_internal
+
+__all__ = ["SatSolver", "SolverStats", "Clause"]
+
+_UNDEF = -1
+
+
+class Clause:
+    """A clause in the solver's database.
+
+    ``lits`` holds internal literal indices.  The first two positions are
+    the watched literals.
+    """
+
+    __slots__ = ("lits", "learned", "activity", "lbd")
+
+    def __init__(self, lits: List[int], learned: bool = False) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+        self.lbd = 0
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+    def __repr__(self) -> str:
+        body = " ".join(str(from_internal(lit)) for lit in self.lits)
+        kind = "L" if self.learned else "O"
+        return f"Clause[{kind}]({body})"
+
+
+class SolverStats:
+    """Counters describing the work a solve performed."""
+
+    __slots__ = (
+        "conflicts", "decisions", "propagations", "restarts",
+        "learned_clauses", "deleted_clauses", "max_decision_level",
+    )
+
+    def __init__(self) -> None:
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.learned_clauses = 0
+        self.deleted_clauses = 0
+        self.max_decision_level = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"SolverStats({fields})"
+
+
+def _luby(i: int) -> int:
+    """The i-th element (0-based) of the Luby restart sequence
+    1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    size = 1
+    seq = 0
+    while size < i + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) // 2
+        seq -= 1
+        i = i % size
+    return 1 << seq
+
+
+class SatSolver:
+    """An incremental CDCL solver over DIMACS-style literals."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        # Indexed by internal literal: 1 true, 0 false, -1 unassigned.
+        self._value: List[int] = [_UNDEF, _UNDEF]
+        # Indexed by variable.
+        self._level: List[int] = [0]
+        self._reason: List[Optional[Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [True]
+        self._seen: List[int] = [0]
+        # Indexed by internal literal: clauses watching that literal.
+        self._watches: List[List[Clause]] = [[], []]
+
+        self._clauses: List[Clause] = []
+        self._learned: List[Clause] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 1.0 / 0.999
+        self._order_heap: List[tuple] = []
+
+        self._ok = True
+        self._clauses_added = 0
+        self._proof_originals: Optional[List[List[int]]] = None
+        self._proof_learned: Optional[List[List[int]]] = None
+        self._model: List[bool] = []
+        self._core: List[int] = []
+        self._assumption_set: set = set()
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------------
+    # Variable and clause management
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self.num_vars += 1
+        self._value.extend((_UNDEF, _UNDEF))
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._seen.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        heappush(self._order_heap, (0.0, self.num_vars))
+        return self.num_vars
+
+    def _ensure_vars(self, lits: Iterable[int]) -> None:
+        top = 0
+        for lit in lits:
+            v = lit if lit > 0 else -lit
+            if v > top:
+                top = v
+        while self.num_vars < top:
+            self.new_var()
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a clause of DIMACS literals.
+
+        Returns ``False`` when the solver's clause set has become
+        trivially unsatisfiable (an empty clause, possibly after level-0
+        simplification); further calls are then no-ops.
+        """
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            raise RuntimeError("add_clause is only legal at decision level 0")
+        self._clauses_added += 1
+        if self._proof_originals is not None:
+            self._proof_originals.append(list(lits))
+        self._ensure_vars(lits)
+
+        seen = set()
+        simplified: List[int] = []
+        value = self._value
+        for lit in lits:
+            ilit = to_internal(lit)
+            if ilit in seen:
+                continue
+            if ilit ^ 1 in seen:
+                return True  # tautology
+            val = value[ilit]
+            if val == 1:
+                return True  # already satisfied at level 0
+            if val == 0:
+                continue  # already false at level 0: drop the literal
+            seen.add(ilit)
+            simplified.append(ilit)
+
+        if not simplified:
+            self._ok = False
+            return False
+        if len(simplified) == 1:
+            if not self._enqueue(simplified[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+
+        clause = Clause(simplified, learned=False)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        """Add every clause; returns ``False`` once unsatisfiable."""
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause)
+            if not ok:
+                break
+        return ok
+
+    def _attach(self, clause: Clause) -> None:
+        # Convention: _watches[lit] holds the clauses in which `lit` is
+        # one of the two watched literals; the list is visited when `lit`
+        # becomes false.
+        self._watches[clause.lits[0]].append(clause)
+        self._watches[clause.lits[1]].append(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment and propagation
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, ilit: int, reason: Optional[Clause]) -> bool:
+        val = self._value[ilit]
+        if val != _UNDEF:
+            return val == 1
+        var = ilit >> 1
+        self._value[ilit] = 1
+        self._value[ilit ^ 1] = 0
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = not (ilit & 1)
+        self._trail.append(ilit)
+        return True
+
+    def _propagate(self) -> Optional[Clause]:
+        """Unit propagation; returns the conflicting clause, if any."""
+        value = self._value
+        watches = self._watches
+        trail = self._trail
+        while self._qhead < len(trail):
+            ilit = trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            false_lit = ilit ^ 1
+            watchers = watches[false_lit]
+            i = 0
+            j = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # Put the false literal in position 1.
+                if lits[0] == false_lit:
+                    lits[0] = lits[1]
+                    lits[1] = false_lit
+                first = lits[0]
+                if value[first] == 1:
+                    watchers[j] = clause
+                    j += 1
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for k in range(2, len(lits)):
+                    cand = lits[k]
+                    if value[cand] != 0:
+                        lits[1] = cand
+                        lits[k] = false_lit
+                        watches[cand].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                watchers[j] = clause
+                j += 1
+                if value[first] == 0:
+                    # Conflict: restore remaining watchers and bail out.
+                    while i < n:
+                        watchers[j] = watchers[i]
+                        j += 1
+                        i += 1
+                    del watchers[j:]
+                    self._qhead = len(trail)
+                    return clause
+                # Unit.
+                var = first >> 1
+                value[first] = 1
+                value[first ^ 1] = 0
+                self._level[var] = len(self._trail_lim)
+                self._reason[var] = clause
+                self._phase[var] = not (first & 1)
+                trail.append(first)
+            del watchers[j:]
+        return None
+
+    # ------------------------------------------------------------------
+    # Decisions and backtracking
+    # ------------------------------------------------------------------
+
+    def _decide(self) -> Optional[int]:
+        heap = self._order_heap
+        value = self._value
+        while heap:
+            act, var = heappop(heap)
+            if value[var << 1] == _UNDEF and -act == self._activity[var]:
+                return var
+            if value[var << 1] == _UNDEF and -act != self._activity[var]:
+                # Stale entry; the fresh one is elsewhere in the heap.
+                continue
+        # Heap exhausted: fall back to a scan (rare; keeps correctness if
+        # stale entries were all consumed).
+        for var in range(1, self.num_vars + 1):
+            if value[var << 1] == _UNDEF:
+                return var
+        return None
+
+    def _bump_var(self, var: int) -> None:
+        act = self._activity[var] + self._var_inc
+        self._activity[var] = act
+        if act > 1e100:
+            self._rescale_activities()
+            act = self._activity[var]
+        if self._value[var << 1] == _UNDEF:
+            heappush(self._order_heap, (-act, var))
+
+    def _rescale_activities(self) -> None:
+        activity = self._activity
+        for var in range(1, self.num_vars + 1):
+            activity[var] *= 1e-100
+        self._var_inc *= 1e-100
+        self._order_heap = [
+            (-activity[var], var)
+            for var in range(1, self.num_vars + 1)
+            if self._value[var << 1] == _UNDEF
+        ]
+        self._order_heap.sort()
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        value = self._value
+        trail = self._trail
+        for idx in range(len(trail) - 1, bound - 1, -1):
+            ilit = trail[idx]
+            var = ilit >> 1
+            value[ilit] = _UNDEF
+            value[ilit ^ 1] = _UNDEF
+            self._reason[var] = None
+            heappush(self._order_heap, (-self._activity[var], var))
+        del trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = bound
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: Clause) -> tuple:
+        """First-UIP analysis; returns (learned internal lits, backjump level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = self._seen
+        level = self._level
+        reason = self._reason
+        trail = self._trail
+        current_level = len(self._trail_lim)
+
+        counter = 0
+        p = -1
+        idx = len(trail) - 1
+        clause: Optional[Clause] = conflict
+
+        to_clear: List[int] = []
+        while True:
+            assert clause is not None
+            if clause.learned:
+                self._bump_clause(clause)
+            start = 0 if p == -1 else 1
+            lits = clause.lits
+            for k in range(start, len(lits)):
+                q = lits[k]
+                var = q >> 1
+                if seen[var] or level[var] == 0:
+                    continue
+                seen[var] = 1
+                to_clear.append(var)
+                self._bump_var(var)
+                if level[var] >= current_level:
+                    counter += 1
+                else:
+                    learned.append(q)
+            # Find the next literal to resolve on.
+            while not seen[trail[idx] >> 1]:
+                idx -= 1
+            p = trail[idx]
+            idx -= 1
+            var = p >> 1
+            clause = reason[var]
+            seen[var] = 0
+            counter -= 1
+            if counter == 0:
+                break
+        learned[0] = p ^ 1
+
+        # Clause minimization: drop literals implied by the rest.
+        abstract_levels = 0
+        for lit in learned[1:]:
+            abstract_levels |= 1 << (level[lit >> 1] & 31)
+        kept = [learned[0]]
+        for lit in learned[1:]:
+            if reason[lit >> 1] is None or not self._redundant(
+                    lit, abstract_levels, to_clear):
+                kept.append(lit)
+        learned = kept
+
+        for var in to_clear:
+            seen[var] = 0
+
+        if len(learned) == 1:
+            back_level = 0
+        else:
+            # Move the literal with the highest level (below current) to
+            # position 1.
+            best = 1
+            for k in range(2, len(learned)):
+                if level[learned[k] >> 1] > level[learned[best] >> 1]:
+                    best = k
+            learned[1], learned[best] = learned[best], learned[1]
+            back_level = level[learned[1] >> 1]
+        return learned, back_level
+
+    def _redundant(self, lit: int, abstract_levels: int,
+                   to_clear: List[int]) -> bool:
+        """Check whether *lit* is implied by other learned-clause literals."""
+        seen = self._seen
+        level = self._level
+        reason = self._reason
+        stack = [lit]
+        top = len(to_clear)
+        while stack:
+            current = stack.pop()
+            clause = reason[current >> 1]
+            if clause is None:
+                # Shouldn't happen for stacked literals, but be safe.
+                for var in to_clear[top:]:
+                    seen[var] = 0
+                del to_clear[top:]
+                return False
+            for q in clause.lits[1:]:
+                var = q >> 1
+                if seen[var] or level[var] == 0:
+                    continue
+                if reason[var] is not None and (
+                        (1 << (level[var] & 31)) & abstract_levels):
+                    seen[var] = 1
+                    to_clear.append(var)
+                    stack.append(q)
+                else:
+                    for cleared in to_clear[top:]:
+                        seen[cleared] = 0
+                    del to_clear[top:]
+                    return False
+        return True
+
+    def _compute_lbd(self, lits: Sequence[int]) -> int:
+        levels = {self._level[lit >> 1] for lit in lits}
+        levels.discard(0)
+        return len(levels)
+
+    def _bump_clause(self, clause: Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for learned in self._learned:
+                learned.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    # ------------------------------------------------------------------
+    # Learned clause DB reduction
+    # ------------------------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        learned = self._learned
+        locked = set()
+        for var in range(1, self.num_vars + 1):
+            clause = self._reason[var]
+            if clause is not None:
+                locked.add(id(clause))
+        learned.sort(key=lambda c: (c.lbd, -c.activity))
+        keep_count = len(learned) // 2
+        kept: List[Clause] = []
+        removed = set()
+        for index, clause in enumerate(learned):
+            if index < keep_count or clause.lbd <= 2 or id(clause) in locked:
+                kept.append(clause)
+            else:
+                removed.add(id(clause))
+                self.stats.deleted_clauses += 1
+        if removed:
+            for watchlist in self._watches:
+                watchlist[:] = [c for c in watchlist if id(c) not in removed]
+        self._learned = kept
+
+    # ------------------------------------------------------------------
+    # Top-level search
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = (),
+              max_conflicts: Optional[int] = None) -> Optional[bool]:
+        """Solve under *assumptions* (DIMACS literals).
+
+        Returns ``True`` (sat: :attr:`model` is valid), ``False``
+        (unsat: :meth:`core` holds a subset of the assumptions that is
+        jointly unsatisfiable with the clauses), or ``None`` when
+        *max_conflicts* was exhausted.
+        """
+        self._model = []
+        self._core = []
+        if not self._ok:
+            return False
+        self._ensure_vars(assumptions)
+        assumption_ilits = [to_internal(lit) for lit in assumptions]
+        self._assumption_set = set(assumption_ilits)
+
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return False
+
+        restart_base = 100
+        restart_idx = 0
+        conflicts_this_solve = 0
+        max_learnts = max(1000, len(self._clauses) // 3)
+
+        budget = _luby(restart_idx) * restart_base
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_this_solve += 1
+                if max_conflicts is not None and \
+                        conflicts_this_solve > max_conflicts:
+                    self._cancel_until(0)
+                    return None
+                if not self._trail_lim:
+                    self._ok = False
+                    return False
+                learned, back_level = self._analyze(conflict)
+                if self._proof_learned is not None:
+                    self._proof_learned.append(
+                        [from_internal(lit) for lit in learned])
+                self._cancel_until(back_level)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        self._ok = False
+                        return False
+                else:
+                    clause = Clause(learned, learned=True)
+                    clause.lbd = self._compute_lbd(learned)
+                    self._learned.append(clause)
+                    self.stats.learned_clauses += 1
+                    self._attach(clause)
+                    self._enqueue(learned[0], clause)
+                self._var_inc *= self._var_decay
+                self._cla_inc *= self._cla_decay
+                budget -= 1
+                if budget <= 0:
+                    restart_idx += 1
+                    budget = _luby(restart_idx) * restart_base
+                    self.stats.restarts += 1
+                    self._cancel_until(0)
+                if len(self._learned) > max_learnts:
+                    self._reduce_db()
+                    max_learnts = int(max_learnts * 1.3)
+                continue
+
+            # No conflict: extend the assignment.
+            next_lit = self._next_assumption(assumption_ilits)
+            if next_lit == 0:
+                return False  # an assumption is already falsified
+            if next_lit is None:
+                var = self._decide()
+                if var is None:
+                    self._store_model()
+                    self._cancel_until(0)
+                    return True
+                self.stats.decisions += 1
+                ilit = (var << 1) | (0 if self._phase[var] else 1)
+                self._new_decision_level()
+                self._enqueue(ilit, None)
+            else:
+                self._new_decision_level()
+                self._enqueue(next_lit, None)
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+        if len(self._trail_lim) > self.stats.max_decision_level:
+            self.stats.max_decision_level = len(self._trail_lim)
+
+    def _next_assumption(self, assumption_ilits: List[int]):
+        """Return the next unassigned assumption literal.
+
+        Returns ``None`` when all assumptions hold, or ``0`` when an
+        assumption is falsified (after computing the core).
+        """
+        for ilit in assumption_ilits[len(self._trail_lim):]:
+            val = self._value[ilit]
+            if val == 1:
+                # Already satisfied: still open a level so indexing by
+                # decision level keeps matching the assumption order.
+                self._new_decision_level()
+                continue
+            if val == 0:
+                self._analyze_final(ilit)
+                self._cancel_until(0)
+                return 0
+            return ilit
+        return None
+
+    def _analyze_final(self, failed_ilit: int) -> None:
+        """Compute an assumption core given a falsified assumption."""
+        core = {from_internal(failed_ilit)}
+        seen = [0] * (self.num_vars + 1)
+        queue = [failed_ilit ^ 1]
+        seen[failed_ilit >> 1] = 1
+        while queue:
+            lit = queue.pop()
+            var = lit >> 1
+            if self._level[var] == 0:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                if lit in self._assumption_set:
+                    core.add(from_internal(lit))
+                continue
+            for q in reason.lits[1:]:
+                if not seen[q >> 1]:
+                    seen[q >> 1] = 1
+                    queue.append(q ^ 1)
+        self._core = sorted(core, key=abs)
+
+    def _store_model(self) -> None:
+        model = [False] * (self.num_vars + 1)
+        for var in range(1, self.num_vars + 1):
+            val = self._value[var << 1]
+            model[var] = val == 1 if val != _UNDEF else self._phase[var]
+        self._model = model
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def model(self) -> List[bool]:
+        """The satisfying assignment from the last sat answer.
+
+        Indexed by variable; entry 0 is unused.
+        """
+        if not self._model:
+            raise RuntimeError("no model available (last solve was not sat)")
+        return self._model
+
+    def model_value(self, lit: int) -> bool:
+        """Evaluate a DIMACS literal under the stored model."""
+        model = self.model
+        v = lit if lit > 0 else -lit
+        value = model[v]
+        return value if lit > 0 else not value
+
+    def enable_proof(self) -> None:
+        """Start recording an unsat proof (original + learned clauses).
+
+        Must be called before any clause is added; the log can be
+        validated with :func:`repro.sat.proof.check_unsat_proof` after an
+        assumption-free unsat answer.
+        """
+        if self._clauses_added:
+            raise RuntimeError("enable_proof() before adding clauses")
+        self._proof_originals = []
+        self._proof_learned = []
+
+    @property
+    def proof(self) -> Optional[tuple]:
+        """The recorded (originals, learned) clause lists, if enabled."""
+        if self._proof_originals is None:
+            return None
+        return (self._proof_originals, self._proof_learned)
+
+    def core(self) -> List[int]:
+        """Assumption literals forming an unsat core of the last solve."""
+        return list(self._core)
+
+    @property
+    def num_clauses(self) -> int:
+        """Clauses currently in the database (after level-0
+        simplification)."""
+        return len(self._clauses)
+
+    @property
+    def num_clauses_added(self) -> int:
+        """Clauses submitted via :meth:`add_clause`, before level-0
+        simplification — the *encoded* model size."""
+        return self._clauses_added
+
+    @property
+    def num_learned(self) -> int:
+        return len(self._learned)

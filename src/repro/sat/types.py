@@ -1,0 +1,88 @@
+"""Core literal and clause types for the SAT substrate.
+
+Literals follow the DIMACS convention at the public API: a variable is a
+positive integer ``v`` (1-based) and its negation is ``-v``.  The solver
+internally re-encodes literals as non-negative indices (``2*v`` for the
+positive literal, ``2*v + 1`` for the negative one) so that lists can be
+indexed directly; the helpers here convert between the two forms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "neg",
+    "var_of",
+    "to_internal",
+    "from_internal",
+    "internal_neg",
+    "normalize_clause",
+    "TautologyError",
+]
+
+
+class TautologyError(ValueError):
+    """Raised when a clause contains a literal and its negation."""
+
+
+def neg(lit: int) -> int:
+    """Return the negation of a DIMACS literal."""
+    return -lit
+
+
+def var_of(lit: int) -> int:
+    """Return the (positive) variable underlying a DIMACS literal."""
+    return lit if lit > 0 else -lit
+
+
+def to_internal(lit: int) -> int:
+    """Convert a DIMACS literal to the internal index encoding."""
+    if lit > 0:
+        return lit << 1
+    return ((-lit) << 1) | 1
+
+
+def from_internal(ilit: int) -> int:
+    """Convert an internal literal index back to DIMACS form."""
+    v = ilit >> 1
+    return -v if ilit & 1 else v
+
+
+def internal_neg(ilit: int) -> int:
+    """Negate an internal literal index."""
+    return ilit ^ 1
+
+
+def normalize_clause(lits: Iterable[int]) -> List[int]:
+    """Deduplicate a clause and detect tautologies.
+
+    Returns the sorted, duplicate-free clause.  Raises
+    :class:`TautologyError` when the clause contains complementary
+    literals (such a clause is always true and should be dropped by the
+    caller), and :class:`ValueError` on a zero literal.
+    """
+    seen = set()
+    out: List[int] = []
+    for lit in lits:
+        if lit == 0:
+            raise ValueError("0 is not a valid DIMACS literal")
+        if lit in seen:
+            continue
+        if -lit in seen:
+            raise TautologyError(f"clause contains both {lit} and {-lit}")
+        seen.add(lit)
+        out.append(lit)
+    out.sort(key=abs)
+    return out
+
+
+def max_var(clauses: Sequence[Sequence[int]]) -> int:
+    """Return the largest variable index mentioned by *clauses*."""
+    best = 0
+    for clause in clauses:
+        for lit in clause:
+            v = lit if lit > 0 else -lit
+            if v > best:
+                best = v
+    return best

@@ -1,0 +1,37 @@
+"""SCADA network substrate: devices, crypto policy, topology, generator."""
+
+from .config_io import CaseConfig, dump_config, load_config, parse_config
+from .crypto import (
+    AUTHENTICATION_RULES,
+    BROKEN_ALGORITHMS,
+    DEFAULT_POLICY,
+    INTEGRITY_RULES,
+    CryptoPolicy,
+)
+from .devices import CryptoProfile, Device, DeviceType, make_device
+from .generator import GeneratorConfig, SyntheticScada, generate_scada
+from .network import ScadaNetwork
+from .topology import Link, Topology, logical_hops
+
+__all__ = [
+    "AUTHENTICATION_RULES",
+    "CaseConfig",
+    "dump_config",
+    "load_config",
+    "parse_config",
+    "BROKEN_ALGORITHMS",
+    "CryptoPolicy",
+    "CryptoProfile",
+    "DEFAULT_POLICY",
+    "Device",
+    "DeviceType",
+    "GeneratorConfig",
+    "INTEGRITY_RULES",
+    "Link",
+    "ScadaNetwork",
+    "SyntheticScada",
+    "Topology",
+    "generate_scada",
+    "logical_hops",
+    "make_device",
+]

@@ -1,0 +1,286 @@
+"""Reading and writing SCADA Analyzer configuration files.
+
+The format mirrors the paper's Table II input: the Jacobian, the device
+inventory, the communication links, the measurement-to-IED map, the
+per-pair security profiles, and the resiliency requirement.  It is a
+line-oriented format with ``[section]`` headers and ``#`` comments:
+
+.. code-block:: text
+
+    [system]
+    states = 5
+
+    [jacobian]
+    # one row per measurement: dense coefficients
+    16.9 -16.9 0 0 0
+    ...
+
+    [devices]
+    ied = 1-8
+    rtu = 9-12
+    mtu = 13
+    router = 14
+
+    [links]
+    1 9
+    9 14
+    ...
+
+    [measurements]
+    # IED: measurement indices
+    1: 1 9
+    2: 3 4 5
+
+    [security]
+    # device pair: algorithm/key-length list
+    1 9: hmac 128
+    2 9: chap 64 sha2 128
+
+    [requirements]
+    property = secured-observability
+    k1 = 1
+    k2 = 1
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from ..core.problem import ObservabilityProblem
+from ..core.specs import Property, ResiliencySpec
+from .devices import CryptoProfile, Device, DeviceType
+from .network import ScadaNetwork
+from .topology import Link
+
+__all__ = ["CaseConfig", "parse_config", "load_config", "dump_config"]
+
+
+class ConfigError(ValueError):
+    """Raised on malformed configuration input."""
+
+
+@dataclass
+class CaseConfig:
+    """A parsed configuration: the verification inputs plus the spec."""
+
+    network: ScadaNetwork
+    problem: ObservabilityProblem
+    spec: Optional[ResiliencySpec] = None
+
+
+_SECTIONS = ("system", "jacobian", "devices", "links", "measurements",
+             "security", "requirements")
+
+
+def _parse_id_list(text: str) -> List[int]:
+    """Parse ``1-8`` / ``9 10 11`` / ``1-3 7`` id lists."""
+    out: List[int] = []
+    for token in text.replace(",", " ").split():
+        if "-" in token and not token.startswith("-"):
+            lo, hi = token.split("-", 1)
+            out.extend(range(int(lo), int(hi) + 1))
+        else:
+            out.append(int(token))
+    return out
+
+
+def parse_config(source: Union[str, TextIO]) -> CaseConfig:
+    """Parse a configuration from a string or file object."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+
+    sections: Dict[str, List[Tuple[int, str]]] = {name: []
+                                                  for name in _SECTIONS}
+    current: Optional[str] = None
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current = line[1:-1].strip().lower()
+            if current not in sections:
+                raise ConfigError(f"line {lineno}: unknown section "
+                                  f"[{current}]")
+            continue
+        if current is None:
+            raise ConfigError(f"line {lineno}: content before any section")
+        sections[current].append((lineno, line))
+
+    # [system] -----------------------------------------------------------
+    num_states = None
+    for lineno, line in sections["system"]:
+        key, _, value = line.partition("=")
+        if key.strip() == "states":
+            num_states = int(value)
+    if num_states is None:
+        raise ConfigError("[system] must define 'states'")
+
+    # [jacobian] ----------------------------------------------------------
+    rows: List[Dict[int, float]] = []
+    for lineno, line in sections["jacobian"]:
+        values = [float(tok) for tok in line.split()]
+        if len(values) != num_states:
+            raise ConfigError(
+                f"line {lineno}: expected {num_states} coefficients, "
+                f"got {len(values)}")
+        rows.append({bus: coeff for bus, coeff in
+                     enumerate(values, start=1) if coeff != 0.0})
+    if not rows:
+        raise ConfigError("[jacobian] is empty")
+    problem = ObservabilityProblem.from_rows(num_states, rows)
+
+    # [devices] -----------------------------------------------------------
+    devices: List[Device] = []
+    for lineno, line in sections["devices"]:
+        kind, _, ids = line.partition("=")
+        kind = kind.strip().lower()
+        try:
+            dtype = DeviceType(kind)
+        except ValueError as exc:
+            raise ConfigError(f"line {lineno}: unknown device type "
+                              f"{kind!r}") from exc
+        for device_id in _parse_id_list(ids):
+            devices.append(Device(device_id, dtype))
+    if not devices:
+        raise ConfigError("[devices] is empty")
+
+    # [links] -------------------------------------------------------------
+    links: List[Link] = []
+    for index, (lineno, line) in enumerate(sections["links"], start=1):
+        parts = line.split()
+        if len(parts) != 2:
+            raise ConfigError(f"line {lineno}: a link is two device ids")
+        links.append(Link(index=index, a=int(parts[0]), b=int(parts[1])))
+
+    # [measurements] --------------------------------------------------------
+    measurement_map: Dict[int, List[int]] = {}
+    for lineno, line in sections["measurements"]:
+        ied_text, _, msrs = line.partition(":")
+        if not msrs:
+            raise ConfigError(f"line {lineno}: expected 'ied: z1 z2 ...'")
+        measurement_map[int(ied_text)] = [int(t) for t in msrs.split()]
+
+    # [security] ------------------------------------------------------------
+    pair_security: Dict[Tuple[int, int], Tuple[CryptoProfile, ...]] = {}
+    for lineno, line in sections["security"]:
+        pair_text, _, profiles = line.partition(":")
+        parts = pair_text.split()
+        if len(parts) != 2 or not profiles.strip():
+            raise ConfigError(
+                f"line {lineno}: expected 'a b: algo bits ...'")
+        pair = (int(parts[0]), int(parts[1]))
+        pair_security[pair] = CryptoProfile.parse_many(profiles)
+
+    network = ScadaNetwork(
+        devices=devices,
+        links=links,
+        measurement_map=measurement_map,
+        pair_security=pair_security,
+    )
+
+    # [requirements] ----------------------------------------------------------
+    spec = _parse_requirements(sections["requirements"])
+    return CaseConfig(network=network, problem=problem, spec=spec)
+
+
+def _parse_requirements(lines) -> Optional[ResiliencySpec]:
+    if not lines:
+        return None
+    values: Dict[str, str] = {}
+    for lineno, line in lines:
+        key, sep, value = line.partition("=")
+        if not sep:
+            raise ConfigError(f"line {lineno}: expected 'key = value'")
+        values[key.strip().lower()] = value.strip()
+    try:
+        prop = Property(values.get("property", "observability"))
+    except ValueError as exc:
+        raise ConfigError(f"unknown property "
+                          f"{values.get('property')!r}") from exc
+    r = int(values.get("r", 1))
+    if "k" in values:
+        budget = {"k": int(values["k"])}
+    elif "k1" in values or "k2" in values:
+        budget = {"k1": int(values.get("k1", 0)),
+                  "k2": int(values.get("k2", 0))}
+    else:
+        budget = {"k": 1}
+    if prop is Property.OBSERVABILITY:
+        return ResiliencySpec.observability(**budget)
+    if prop is Property.SECURED_OBSERVABILITY:
+        return ResiliencySpec.secured_observability(**budget)
+    return ResiliencySpec.bad_data_detectability(r=r, **budget)
+
+
+def load_config(path: str) -> CaseConfig:
+    """Load a configuration file from *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_config(handle)
+
+
+def dump_config(config: CaseConfig, rows: List[Dict[int, float]] = None,
+                stream: Optional[TextIO] = None) -> str:
+    """Serialize a :class:`CaseConfig` back to the text format.
+
+    Jacobian rows are reconstructed from the problem's state sets when
+    not given explicitly; coefficients are then only 0/1 indicators, so
+    pass *rows* to preserve numeric values.
+    """
+    network = config.network
+    problem = config.problem
+    out = io.StringIO()
+    out.write("[system]\n")
+    out.write(f"states = {problem.num_states}\n\n")
+
+    out.write("[jacobian]\n")
+    indices = problem.measurement_indices
+    for position, z in enumerate(indices):
+        if rows is not None:
+            row = rows[position]
+        else:
+            row = {bus: 1.0 for bus in problem.state_sets[z]}
+        dense = [row.get(bus, 0.0) for bus in
+                 range(1, problem.num_states + 1)]
+        out.write(" ".join(f"{v:g}" for v in dense) + "\n")
+    out.write("\n[devices]\n")
+    by_type: Dict[DeviceType, List[int]] = {}
+    for device in network.devices.values():
+        by_type.setdefault(device.dtype, []).append(device.device_id)
+    for dtype in (DeviceType.IED, DeviceType.RTU, DeviceType.MTU,
+                  DeviceType.ROUTER):
+        ids = sorted(by_type.get(dtype, []))
+        if ids:
+            out.write(f"{dtype.value} = " +
+                      " ".join(str(i) for i in ids) + "\n")
+
+    out.write("\n[links]\n")
+    for link in network.topology.links:
+        out.write(f"{link.a} {link.b}\n")
+
+    out.write("\n[measurements]\n")
+    for ied in sorted(network.measurement_map):
+        msrs = " ".join(str(z) for z in network.measurement_map[ied])
+        out.write(f"{ied}: {msrs}\n")
+
+    out.write("\n[security]\n")
+    for (a, b), profiles in sorted(network.pair_security.items()):
+        text = " ".join(str(p) for p in profiles)
+        out.write(f"{a} {b}: {text}\n")
+
+    if config.spec is not None:
+        out.write("\n[requirements]\n")
+        out.write(f"property = {config.spec.property.value}\n")
+        budget = config.spec.budget
+        if budget.is_split:
+            out.write(f"k1 = {budget.k1}\nk2 = {budget.k2}\n")
+        else:
+            out.write(f"k = {budget.k}\n")
+        if config.spec.property is Property.BAD_DATA_DETECTABILITY:
+            out.write(f"r = {config.spec.r}\n")
+
+    text = out.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text

@@ -1,0 +1,111 @@
+"""Cryptographic strength policy for secured delivery.
+
+The paper's ``SecuredDelivery`` constraint requires each communicating
+pair to be *Authenticated* and *IntegrityProtected*, judged against a
+vulnerability-aware table: CHAP authenticates but gives no integrity,
+DES is considered broken, HMAC with ≥128-bit keys authenticates, SHA-2
+with ≥128-bit state protects integrity, and so on (§III-D).
+
+The policy is data: two rule tables mapping algorithm → minimum key
+length, plus a broken-algorithm list.  ``aes`` at ≥256 bits is treated
+as authenticated encryption (confidentiality *and* integrity), which is
+how Table II's ``rsa 2048 aes 256`` control-center links are evidently
+meant to be read (Scenario 2 treats them as secured).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from .devices import CryptoProfile
+
+__all__ = [
+    "AUTHENTICATION_RULES", "INTEGRITY_RULES", "BROKEN_ALGORITHMS",
+    "CryptoPolicy", "DEFAULT_POLICY",
+]
+
+#: algorithm → minimum key bits that count as authentication.
+AUTHENTICATION_RULES: Dict[str, int] = {
+    "hmac": 128,
+    "chap": 0,       # CHAP authenticates at any key length (§III-D)
+    "rsa": 2048,
+    "dsa": 2048,
+    "ecdsa": 256,
+    "aes": 256,      # authenticated encryption modes
+    "sha2": 128,     # an HMAC-SHA2 construction authenticates too
+    "sha256": 128,
+}
+
+#: algorithm → minimum key bits that count as integrity protection.
+INTEGRITY_RULES: Dict[str, int] = {
+    "sha256": 128,
+    "sha2": 128,
+    "sha512": 128,
+    "hmac": 256,     # plain HMAC tags need long keys to count (§III-D:
+                     # "hmac 128" pairs are *not* integrity protected)
+    "aes": 256,      # authenticated encryption modes
+}
+
+#: algorithms with known practical breaks; never count for anything.
+BROKEN_ALGORITHMS: FrozenSet[str] = frozenset({"des", "3des", "md5", "rc4",
+                                               "sha1"})
+
+
+class CryptoPolicy:
+    """Decides authentication/integrity from crypto profile sets."""
+
+    def __init__(self,
+                 authentication_rules: Dict[str, int] = AUTHENTICATION_RULES,
+                 integrity_rules: Dict[str, int] = INTEGRITY_RULES,
+                 broken: Iterable[str] = BROKEN_ALGORITHMS) -> None:
+        self.authentication_rules = dict(authentication_rules)
+        self.integrity_rules = dict(integrity_rules)
+        self.broken = frozenset(a.lower() for a in broken)
+
+    # ------------------------------------------------------------------
+
+    def _satisfies(self, profile: CryptoProfile,
+                   rules: Dict[str, int]) -> bool:
+        if profile.algorithm in self.broken:
+            return False
+        minimum = rules.get(profile.algorithm)
+        return minimum is not None and profile.key_bits >= minimum
+
+    def profile_authenticates(self, profile: CryptoProfile) -> bool:
+        """Whether one profile suffices for authentication."""
+        return self._satisfies(profile, self.authentication_rules)
+
+    def profile_protects_integrity(self, profile: CryptoProfile) -> bool:
+        """Whether one profile suffices for integrity protection."""
+        return self._satisfies(profile, self.integrity_rules)
+
+    # ------------------------------------------------------------------
+
+    def authenticated(self, profiles: Iterable[CryptoProfile]) -> bool:
+        """``Authenticated_{i,j}``: some shared profile authenticates."""
+        return any(self.profile_authenticates(p) for p in profiles)
+
+    def integrity_protected(self, profiles: Iterable[CryptoProfile]) -> bool:
+        """``IntegrityProtected_{i,j}``: some shared profile protects
+        integrity."""
+        return any(self.profile_protects_integrity(p) for p in profiles)
+
+    def secured(self, profiles: Iterable[CryptoProfile]) -> bool:
+        """Authenticated *and* integrity protected (SecuredDelivery's
+        per-hop requirement)."""
+        profiles = list(profiles)
+        return (self.authenticated(profiles)
+                and self.integrity_protected(profiles))
+
+    # ------------------------------------------------------------------
+
+    def shared_profiles(self, left: Iterable[CryptoProfile],
+                        right: Iterable[CryptoProfile]
+                        ) -> Tuple[CryptoProfile, ...]:
+        """``CryptoPropPairing``: the profiles both parties support."""
+        right_set = set(right)
+        return tuple(p for p in left if p in right_set)
+
+
+#: The policy used throughout unless a caller overrides it.
+DEFAULT_POLICY = CryptoPolicy()

@@ -1,0 +1,131 @@
+"""SCADA device model: IEDs, RTUs, MTU, routers, and crypto profiles.
+
+Devices carry the configuration the paper's formal model consumes: a
+type (``Ied_i`` / ``Rtu_i``), the communication protocols they support
+(``CommProto_i``), their cryptographic capabilities (``CryptType_{i,K}``
+with algorithm ``CAlgo_K`` and key length ``CKey_K``), and an optional
+address (``IpAddr_i``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+__all__ = ["DeviceType", "CryptoProfile", "Device"]
+
+#: ICS protocols the model recognizes for ``CommProtoPairing``.
+KNOWN_PROTOCOLS = frozenset({"modbus", "dnp3", "iec61850", "iccp"})
+
+
+class DeviceType(enum.Enum):
+    """The SCADA device classes of the paper's topology (Fig. 1)."""
+
+    IED = "ied"
+    RTU = "rtu"
+    MTU = "mtu"
+    ROUTER = "router"
+
+    @property
+    def is_field_device(self) -> bool:
+        """IEDs and RTUs are the field devices that may fail in a
+        contingency (they populate the failure budget ``k``)."""
+        return self in (DeviceType.IED, DeviceType.RTU)
+
+
+@dataclass(frozen=True, order=True)
+class CryptoProfile:
+    """A cryptographic capability: an algorithm and a key length."""
+
+    algorithm: str
+    key_bits: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "algorithm", self.algorithm.lower())
+        if self.key_bits < 0:
+            raise ValueError("key_bits must be non-negative")
+
+    @classmethod
+    def parse(cls, text: str) -> "CryptoProfile":
+        """Parse ``"hmac 128"``-style text (as in the paper's Table II)."""
+        parts = text.split()
+        if len(parts) != 2:
+            raise ValueError(f"expected 'algorithm bits', got {text!r}")
+        return cls(parts[0], int(parts[1]))
+
+    @classmethod
+    def parse_many(cls, text: str) -> Tuple["CryptoProfile", ...]:
+        """Parse a flat ``"chap 64 sha2 128"`` list of profiles."""
+        parts = text.split()
+        if len(parts) % 2 != 0:
+            raise ValueError(f"odd token count in profile list {text!r}")
+        return tuple(cls(parts[i], int(parts[i + 1]))
+                     for i in range(0, len(parts), 2))
+
+    def __str__(self) -> str:
+        return f"{self.algorithm} {self.key_bits}"
+
+
+@dataclass(frozen=True)
+class Device:
+    """One SCADA device and its communication/security configuration."""
+
+    device_id: int
+    dtype: DeviceType
+    protocols: FrozenSet[str] = frozenset({"dnp3"})
+    crypto: Tuple[CryptoProfile, ...] = ()
+    ip_address: Optional[str] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.device_id < 1:
+            raise ValueError("device ids are positive integers")
+        object.__setattr__(
+            self, "protocols", frozenset(p.lower() for p in self.protocols))
+
+    @property
+    def is_ied(self) -> bool:
+        return self.dtype is DeviceType.IED
+
+    @property
+    def is_rtu(self) -> bool:
+        return self.dtype is DeviceType.RTU
+
+    @property
+    def is_mtu(self) -> bool:
+        return self.dtype is DeviceType.MTU
+
+    @property
+    def is_router(self) -> bool:
+        return self.dtype is DeviceType.ROUTER
+
+    @property
+    def is_field_device(self) -> bool:
+        return self.dtype.is_field_device
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity, e.g. ``IED 3``."""
+        if self.name:
+            return self.name
+        return f"{self.dtype.name} {self.device_id}"
+
+    def __repr__(self) -> str:
+        return f"Device({self.label})"
+
+
+def make_device(device_id: int, dtype: DeviceType,
+                protocols: Sequence[str] = ("dnp3",),
+                crypto: Sequence[CryptoProfile] = (),
+                ip_address: Optional[str] = None,
+                name: str = "") -> Device:
+    """Convenience constructor accepting plain sequences."""
+    return Device(
+        device_id=device_id,
+        dtype=dtype,
+        protocols=frozenset(protocols),
+        crypto=tuple(crypto),
+        ip_address=ip_address,
+        name=name,
+    )

@@ -1,0 +1,232 @@
+"""Synthetic SCADA system generator (paper §V-A).
+
+The paper evaluates scalability on "arbitrarily created" SCADA networks
+over IEEE bus systems, with this policy:
+
+* one IED per two power-flow measurements, one IED per consumption
+  (injection) measurement;
+* RTU count proportional to the number of buses;
+* each IED attached to an RTU; RTUs arranged in a hierarchy whose
+  *hierarchy level* parameter sets the average number of intermediate
+  RTUs on the path from an IED to the MTU;
+* a control-center router in front of the MTU (Fig. 1 / Fig. 3).
+
+Security profiles are drawn from pools modeled on Table II, with a
+``secure_fraction`` knob controlling how many pairs get integrity-
+protected profiles (used by the secured-observability experiments).
+Everything is driven by one seeded RNG for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..grid.bus_system import BusSystem
+from ..grid.jacobian import JacobianTable
+from ..grid.measurements import (
+    MeasurementPlan,
+    sampled_measurement_plan,
+)
+from .devices import CryptoProfile, Device, DeviceType
+from .network import ScadaNetwork
+from .topology import Link
+
+__all__ = ["GeneratorConfig", "SyntheticScada", "generate_scada"]
+
+#: Profile pools modeled on Table II's entries.
+STRONG_FIELD_PROFILE = CryptoProfile.parse_many("chap 64 sha2 256")
+WEAK_FIELD_PROFILE = CryptoProfile.parse_many("hmac 128")
+STRONG_BACKBONE_PROFILE = CryptoProfile.parse_many("rsa 2048 aes 256")
+WEAK_BACKBONE_PROFILE = CryptoProfile.parse_many("rsa 2048")
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the synthetic SCADA generator."""
+
+    measurement_fraction: float = 0.7
+    hierarchy_level: int = 1
+    secure_fraction: float = 0.8
+    rtus_per_bus: float = 1 / 3
+    extra_rtu_link_fraction: float = 0.2
+    dual_home_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hierarchy_level < 1:
+            raise ValueError("hierarchy_level must be at least 1")
+        if not 0 < self.measurement_fraction <= 1:
+            raise ValueError("measurement_fraction must be in (0, 1]")
+        if not 0 <= self.secure_fraction <= 1:
+            raise ValueError("secure_fraction must be in [0, 1]")
+        if not 0 <= self.dual_home_fraction <= 1:
+            raise ValueError("dual_home_fraction must be in [0, 1]")
+
+
+@dataclass
+class SyntheticScada:
+    """A generated SCADA system ready for verification."""
+
+    network: ScadaNetwork
+    plan: MeasurementPlan
+    table: JacobianTable
+    config: GeneratorConfig
+    bus_system: BusSystem
+
+    @property
+    def num_devices(self) -> int:
+        """Field devices (IEDs + RTUs), the paper's device count."""
+        return len(self.network.field_device_ids)
+
+
+def generate_scada(bus_system: BusSystem,
+                   config: Optional[GeneratorConfig] = None,
+                   plan: Optional[MeasurementPlan] = None) -> SyntheticScada:
+    """Generate a synthetic SCADA system over *bus_system*.
+
+    A caller may pass an explicit measurement *plan*; otherwise one is
+    sampled per ``config.measurement_fraction``.
+    """
+    config = config or GeneratorConfig()
+    rng = random.Random(config.seed)
+    if plan is None:
+        plan = sampled_measurement_plan(
+            bus_system, config.measurement_fraction, seed=config.seed)
+    table = JacobianTable(plan)
+
+    flow_msrs = [m.index for m in plan.measurements if m.mtype.is_flow]
+    injection_msrs = [m.index for m in plan.measurements
+                      if not m.mtype.is_flow]
+
+    # --- IEDs: one per two flow measurements, one per injection. ------
+    measurement_map: Dict[int, List[int]] = {}
+    next_id = 1
+    rng.shuffle(flow_msrs)
+    for start in range(0, len(flow_msrs), 2):
+        measurement_map[next_id] = sorted(flow_msrs[start:start + 2])
+        next_id += 1
+    for z in injection_msrs:
+        measurement_map[next_id] = [z]
+        next_id += 1
+    ied_ids = sorted(measurement_map)
+
+    # --- RTUs in a hierarchy. ------------------------------------------
+    num_rtus = max(2, round(bus_system.num_buses * config.rtus_per_bus))
+    rtu_ids = list(range(next_id, next_id + num_rtus))
+    next_id += num_rtus
+    router_id = next_id
+    mtu_id = next_id + 1
+
+    levels = _assign_levels(rtu_ids, config.hierarchy_level, rng)
+    max_level = max(levels.values())
+    by_level: Dict[int, List[int]] = {}
+    for rtu, level in levels.items():
+        by_level.setdefault(level, []).append(rtu)
+
+    links: List[Link] = []
+    link_idx = 0
+
+    def add_link(a: int, b: int) -> None:
+        nonlocal link_idx
+        link_idx += 1
+        links.append(Link(index=link_idx, a=a, b=b))
+
+    pair_security: Dict[Tuple[int, int], Tuple[CryptoProfile, ...]] = {}
+
+    def set_security(a: int, b: int,
+                     strong: Sequence[CryptoProfile],
+                     weak: Sequence[CryptoProfile]) -> None:
+        chosen = strong if rng.random() < config.secure_fraction else weak
+        pair_security[(min(a, b), max(a, b))] = tuple(chosen)
+
+    # RTU backbone: level-1 RTUs reach the MTU through the router; each
+    # deeper RTU uplinks to a random RTU one level shallower.
+    for rtu in by_level.get(1, []):
+        add_link(rtu, router_id)
+        set_security(rtu, mtu_id,
+                     STRONG_BACKBONE_PROFILE, WEAK_BACKBONE_PROFILE)
+    for level in range(2, max_level + 1):
+        for rtu in by_level.get(level, []):
+            parent = rng.choice(by_level[level - 1])
+            add_link(rtu, parent)
+            set_security(rtu, parent,
+                         STRONG_BACKBONE_PROFILE, WEAK_FIELD_PROFILE)
+    add_link(router_id, mtu_id)
+
+    # Redundant RTU-RTU cross links.
+    extra = int(config.extra_rtu_link_fraction * num_rtus)
+    existing = {link.node_pair for link in links}
+    attempts = 0
+    while extra > 0 and attempts < 50 * num_rtus:
+        attempts += 1
+        a, b = rng.sample(rtu_ids, 2)
+        pair = (min(a, b), max(a, b))
+        if pair in existing or abs(levels[a] - levels[b]) > 1:
+            continue
+        existing.add(pair)
+        add_link(a, b)
+        set_security(a, b, STRONG_BACKBONE_PROFILE, WEAK_FIELD_PROFILE)
+        extra -= 1
+
+    # IEDs attach to RTUs, spread evenly but randomly.  A fraction of
+    # IEDs is dual-homed to a second RTU for delivery redundancy.
+    shuffled_rtus = list(rtu_ids)
+    for pos, ied in enumerate(ied_ids):
+        if pos % len(shuffled_rtus) == 0:
+            rng.shuffle(shuffled_rtus)
+        rtu = shuffled_rtus[pos % len(shuffled_rtus)]
+        add_link(ied, rtu)
+        set_security(ied, rtu, STRONG_FIELD_PROFILE, WEAK_FIELD_PROFILE)
+        if len(rtu_ids) > 1 and rng.random() < config.dual_home_fraction:
+            backup = rng.choice([r for r in rtu_ids if r != rtu])
+            add_link(ied, backup)
+            set_security(ied, backup,
+                         STRONG_FIELD_PROFILE, WEAK_FIELD_PROFILE)
+
+    devices = (
+        [Device(i, DeviceType.IED) for i in ied_ids]
+        + [Device(i, DeviceType.RTU) for i in rtu_ids]
+        + [Device(router_id, DeviceType.ROUTER)]
+        + [Device(mtu_id, DeviceType.MTU)]
+    )
+    # Forwarding follows the hierarchy: the longest sensible route is
+    # IED → deepest RTU chain → router → MTU, plus slack for one
+    # lateral cross-link hop.
+    network = ScadaNetwork(
+        devices=devices,
+        links=links,
+        measurement_map=measurement_map,
+        pair_security=pair_security,
+        name=f"synthetic-{bus_system.name}-h{config.hierarchy_level}"
+             f"-s{config.seed}",
+        max_path_length=max_level + 5,
+    )
+    return SyntheticScada(network=network, plan=plan, table=table,
+                          config=config, bus_system=bus_system)
+
+
+def _assign_levels(rtu_ids: Sequence[int], hierarchy_level: int,
+                   rng: random.Random) -> Dict[int, int]:
+    """Assign RTU depths with mean ≈ hierarchy_level.
+
+    Depths are drawn uniformly from ``1..2h-1`` (mean ``h``); every depth
+    from 1 up to the deepest drawn is guaranteed non-empty so uplinks
+    always have a parent level.
+    """
+    top = max(1, 2 * hierarchy_level - 1)
+    levels = {rtu: rng.randint(1, top) for rtu in rtu_ids}
+    # Guarantee all levels 1..max are inhabited.
+    used = sorted(set(levels.values()))
+    required = list(range(1, max(used) + 1))
+    missing = [lvl for lvl in required if lvl not in used]
+    rtus = list(rtu_ids)
+    rng.shuffle(rtus)
+    for lvl, rtu in zip(missing, rtus):
+        levels[rtu] = lvl
+    # Re-check: if reassignment emptied a level (tiny RTU counts), clamp
+    # everything into a contiguous prefix.
+    present = sorted(set(levels.values()))
+    remap = {old: new for new, old in enumerate(present, start=1)}
+    return {rtu: remap[lvl] for rtu, lvl in levels.items()}

@@ -1,0 +1,250 @@
+"""The SCADA network container: devices + topology + measurement map.
+
+This is the configuration object the SCADA Analyzer verifies.  It binds
+
+* the device inventory (:mod:`repro.scada.devices`),
+* the communication topology (:mod:`repro.scada.topology`),
+* the IED → measurement mapping (``MsrSet_I``), and
+* the security profiles of communicating pairs (Table II's
+  "security profile between the communicating entities" section),
+
+and exposes the *static* predicates of the formal model —
+``CommProtoPairing``, ``CryptoPropPairing``, ``Authenticated``,
+``IntegrityProtected`` — which the encoder folds into the path
+constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .crypto import DEFAULT_POLICY, CryptoPolicy
+from .devices import CryptoProfile, Device
+from .topology import Link, Topology, logical_hops
+
+__all__ = ["ScadaNetwork"]
+
+
+def _pair_key(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+class ScadaNetwork:
+    """A complete SCADA configuration under analysis."""
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        links: Sequence[Link],
+        measurement_map: Mapping[int, Sequence[int]],
+        pair_security: Optional[Mapping[Tuple[int, int],
+                                        Sequence[CryptoProfile]]] = None,
+        policy: CryptoPolicy = DEFAULT_POLICY,
+        name: str = "scada",
+        max_paths: int = 1000,
+        max_path_length: Optional[int] = None,
+        main_mtu: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.policy = policy
+        self.max_paths = max_paths
+        self.max_path_length = max_path_length
+        self._main_mtu = main_mtu
+        self.devices: Dict[int, Device] = {}
+        for device in devices:
+            if device.device_id in self.devices:
+                raise ValueError(f"duplicate device id {device.device_id}")
+            self.devices[device.device_id] = device
+        self.topology = Topology(self.devices.keys(), links)
+        self.measurement_map: Dict[int, List[int]] = {
+            ied: list(msrs) for ied, msrs in measurement_map.items()}
+        self.pair_security: Dict[Tuple[int, int], Tuple[CryptoProfile, ...]] = {}
+        for pair, profiles in (pair_security or {}).items():
+            self.pair_security[_pair_key(*pair)] = tuple(profiles)
+        self._validate()
+        self._path_cache: Dict[int, List[List[int]]] = {}
+
+    def _validate(self) -> None:
+        mtus = [d for d in self.devices.values() if d.is_mtu]
+        if not mtus:
+            raise ValueError("at least one MTU is required")
+        if self._main_mtu is None:
+            if len(mtus) == 1:
+                self._main_mtu = mtus[0].device_id
+            else:
+                # Paper §III-B: with several MTUs, one is the main one
+                # (the main control center); default to the lowest id.
+                self._main_mtu = min(d.device_id for d in mtus)
+        elif not self.devices.get(self._main_mtu, None) or \
+                not self.devices[self._main_mtu].is_mtu:
+            raise ValueError(f"main_mtu={self._main_mtu} is not an MTU")
+        seen_msrs: Set[int] = set()
+        for ied_id, msrs in self.measurement_map.items():
+            device = self.devices.get(ied_id)
+            if device is None:
+                raise ValueError(f"measurement map references unknown "
+                                 f"device {ied_id}")
+            if not device.is_ied:
+                raise ValueError(f"device {ied_id} carries measurements "
+                                 "but is not an IED")
+            for z in msrs:
+                if z in seen_msrs:
+                    raise ValueError(f"measurement {z} assigned to "
+                                     "multiple IEDs")
+                seen_msrs.add(z)
+        for pair in self.pair_security:
+            for end in pair:
+                if end not in self.devices:
+                    raise ValueError(f"security profile references unknown "
+                                     f"device {end}")
+
+    # ------------------------------------------------------------------
+    # Device views
+    # ------------------------------------------------------------------
+
+    @property
+    def mtu_id(self) -> int:
+        """The main MTU — the destination of all measurement paths."""
+        assert self._main_mtu is not None
+        return self._main_mtu
+
+    @property
+    def mtu_ids(self) -> List[int]:
+        """All MTUs (main first)."""
+        others = sorted(d.device_id for d in self.devices.values()
+                        if d.is_mtu and d.device_id != self.mtu_id)
+        return [self.mtu_id] + others
+
+    @property
+    def ied_ids(self) -> List[int]:
+        return sorted(d.device_id for d in self.devices.values() if d.is_ied)
+
+    @property
+    def rtu_ids(self) -> List[int]:
+        return sorted(d.device_id for d in self.devices.values() if d.is_rtu)
+
+    @property
+    def router_ids(self) -> Set[int]:
+        return {d.device_id for d in self.devices.values() if d.is_router}
+
+    @property
+    def field_device_ids(self) -> List[int]:
+        """IEDs and RTUs — the failure candidates of the k-budget."""
+        return sorted(d.device_id for d in self.devices.values()
+                      if d.is_field_device)
+
+    def device(self, device_id: int) -> Device:
+        return self.devices[device_id]
+
+    def label(self, device_id: int) -> str:
+        return self.devices[device_id].label
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+
+    def measurements_of(self, ied_id: int) -> List[int]:
+        """``MsrSet_I``."""
+        return list(self.measurement_map.get(ied_id, []))
+
+    def ied_of_measurement(self, msr_index: int) -> int:
+        for ied_id, msrs in self.measurement_map.items():
+            if msr_index in msrs:
+                return ied_id
+        raise KeyError(f"measurement {msr_index} is not assigned to any IED")
+
+    def assigned_measurements(self) -> List[int]:
+        return sorted(z for msrs in self.measurement_map.values()
+                      for z in msrs)
+
+    # ------------------------------------------------------------------
+    # Static pairing predicates
+    # ------------------------------------------------------------------
+
+    def comm_proto_pairing(self, a: int, b: int) -> bool:
+        """``CommProtoPairing_{i,j}``: a shared communication protocol."""
+        return bool(self.devices[a].protocols & self.devices[b].protocols)
+
+    def security_profiles(self, a: int, b: int) -> Tuple[CryptoProfile, ...]:
+        """The crypto profiles available between *a* and *b*.
+
+        An explicit pair entry (Table II style) wins; otherwise the
+        intersection of the two devices' own capabilities is used.
+        """
+        explicit = self.pair_security.get(_pair_key(a, b))
+        if explicit is not None:
+            return explicit
+        return self.policy.shared_profiles(
+            self.devices[a].crypto, self.devices[b].crypto)
+
+    def crypto_pairing_ok(self, a: int, b: int) -> bool:
+        """``CryptoPropPairing_{i,j}``: the handshake can succeed.
+
+        True when the pair shares at least one profile, or when neither
+        side requires cryptography at all.
+        """
+        if self.security_profiles(a, b):
+            return True
+        return not self.devices[a].crypto and not self.devices[b].crypto
+
+    def hop_assured(self, a: int, b: int) -> bool:
+        """Whether data can transit hop (a, b) at all."""
+        return self.comm_proto_pairing(a, b) and self.crypto_pairing_ok(a, b)
+
+    def hop_authenticated(self, a: int, b: int) -> bool:
+        """``Authenticated_{i,j}``."""
+        return self.policy.authenticated(self.security_profiles(a, b))
+
+    def hop_integrity_protected(self, a: int, b: int) -> bool:
+        """``IntegrityProtected_{i,j}``."""
+        return self.policy.integrity_protected(self.security_profiles(a, b))
+
+    def hop_secured(self, a: int, b: int) -> bool:
+        """Authenticated and integrity protected (and deliverable)."""
+        return (self.hop_assured(a, b)
+                and self.hop_authenticated(a, b)
+                and self.hop_integrity_protected(a, b))
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def forwarding_paths(self, device_id: int) -> List[List[int]]:
+        """``P_I``: simple paths from a field device to the MTU.
+
+        IEDs never appear as intermediate hops (they are data sources
+        and command sinks, not forwarders).
+        """
+        cached = self._path_cache.get(device_id)
+        if cached is None:
+            other_ieds = {i for i in self.ied_ids if i != device_id}
+            cached = self.topology.simple_paths(
+                device_id, self.mtu_id, max_paths=self.max_paths,
+                no_transit=other_ieds,
+                max_length=self.max_path_length)
+            self._path_cache[device_id] = cached
+        return cached
+
+    def assured_paths(self, device_id: int) -> List[List[int]]:
+        """Paths whose every logical hop passes protocol/crypto pairing."""
+        routers = self.router_ids
+        return [
+            path for path in self.forwarding_paths(device_id)
+            if all(self.hop_assured(a, b)
+                   for a, b in logical_hops(path, routers))
+        ]
+
+    def secured_paths(self, device_id: int) -> List[List[int]]:
+        """Paths whose every logical hop is authenticated and integrity
+        protected."""
+        routers = self.router_ids
+        return [
+            path for path in self.forwarding_paths(device_id)
+            if all(self.hop_secured(a, b)
+                   for a, b in logical_hops(path, routers))
+        ]
+
+    def __repr__(self) -> str:
+        return (f"ScadaNetwork({self.name!r}, ieds={len(self.ied_ids)}, "
+                f"rtus={len(self.rtu_ids)}, "
+                f"links={len(self.topology.links)})")

@@ -1,0 +1,166 @@
+"""SCADA communication topology: links and path enumeration.
+
+The paper abstracts a communication path as a sequence of links between
+devices (``P_{I,z}``, the z-th forwarding path from IED *I* to the MTU),
+with routers transparent to the security pairing: pairing applies
+between consecutive *non-router* devices ("the communication among field
+devices in SCADA can be abstracted as point to point", §III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Link", "Topology", "logical_hops"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A bidirectional communication link (``NodePair_l``)."""
+
+    index: int
+    a: int
+    b: int
+    up: bool = True
+    medium: str = "ethernet"
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError(f"link {self.index} is a self-loop")
+
+    @property
+    def node_pair(self) -> Tuple[int, int]:
+        return (min(self.a, self.b), max(self.a, self.b))
+
+    def other_end(self, device_id: int) -> int:
+        if device_id == self.a:
+            return self.b
+        if device_id == self.b:
+            return self.a
+        raise ValueError(f"device {device_id} is not on link {self.index}")
+
+
+class Topology:
+    """The link graph over device ids."""
+
+    def __init__(self, device_ids: Iterable[int],
+                 links: Sequence[Link]) -> None:
+        self.device_ids: Set[int] = set(device_ids)
+        self.links: List[Link] = list(links)
+        self._validate()
+        self._adjacency: Dict[int, List[Link]] = {
+            d: [] for d in self.device_ids}
+        for link in self.links:
+            self._adjacency[link.a].append(link)
+            self._adjacency[link.b].append(link)
+
+    def _validate(self) -> None:
+        seen_indices: Set[int] = set()
+        seen_pairs: Set[Tuple[int, int]] = set()
+        for link in self.links:
+            if link.index in seen_indices:
+                raise ValueError(f"duplicate link index {link.index}")
+            seen_indices.add(link.index)
+            for end in (link.a, link.b):
+                if end not in self.device_ids:
+                    raise ValueError(
+                        f"link {link.index} references unknown device {end}")
+            if link.node_pair in seen_pairs:
+                raise ValueError(
+                    f"parallel link between {link.node_pair}")
+            seen_pairs.add(link.node_pair)
+
+    # ------------------------------------------------------------------
+
+    def neighbors(self, device_id: int) -> List[int]:
+        """Devices one live link away from *device_id*."""
+        return [link.other_end(device_id)
+                for link in self._adjacency[device_id] if link.up]
+
+    def link_between(self, a: int, b: int) -> Link:
+        for link in self._adjacency[a]:
+            if link.other_end(a) == b:
+                return link
+        raise KeyError(f"no link between {a} and {b}")
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """Graph reachability over live links (``Reachable_{i,j}``)."""
+        if src == dst:
+            return True
+        seen = {src}
+        frontier = [src]
+        while frontier:
+            current = frontier.pop()
+            for nxt in self.neighbors(current):
+                if nxt == dst:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    def simple_paths(self, src: int, dst: int,
+                     max_paths: int = 1000,
+                     no_transit: Optional[Set[int]] = None,
+                     max_length: Optional[int] = None
+                     ) -> List[List[int]]:
+        """All simple paths from *src* to *dst* over live links.
+
+        Paths are device-id sequences including both endpoints.  Devices
+        in *no_transit* may appear only as endpoints, never as
+        intermediate hops (IEDs are data sources, not forwarders).
+        *max_length* bounds the number of devices on a path — SCADA
+        forwarding follows the RTU hierarchy, so overlong meanders are
+        not real routes and would blow up the encoding on dense RTU
+        meshes.  The enumeration is capped at *max_paths* (raising if
+        exceeded).
+        """
+        blocked = no_transit or set()
+        paths: List[List[int]] = []
+        on_path: Set[int] = {src}
+        path: List[int] = [src]
+
+        def walk(current: int) -> None:
+            if len(paths) > max_paths:
+                return
+            for nxt in self.neighbors(current):
+                if nxt == dst:
+                    if max_length is None or len(path) + 1 <= max_length:
+                        paths.append(path + [dst])
+                        if len(paths) > max_paths:
+                            raise RuntimeError(
+                                f"more than {max_paths} paths between "
+                                f"{src} and {dst}")
+                elif nxt not in on_path and nxt not in blocked:
+                    if max_length is not None and \
+                            len(path) + 2 > max_length:
+                        continue
+                    on_path.add(nxt)
+                    path.append(nxt)
+                    walk(nxt)
+                    path.pop()
+                    on_path.remove(nxt)
+
+        if src == dst:
+            return [[src]]
+        walk(src)
+        return paths
+
+    def __repr__(self) -> str:
+        return (f"Topology(devices={len(self.device_ids)}, "
+                f"links={len(self.links)})")
+
+
+def logical_hops(path: Sequence[int],
+                 router_ids: Set[int]) -> List[Tuple[int, int]]:
+    """Consecutive non-router device pairs along *path*.
+
+    Security and protocol pairing are evaluated on these hops: a path
+    ``IED → RTU → router → MTU`` pairs ``(IED, RTU)`` and ``(RTU, MTU)``
+    with the router transparent, matching Table II's end-to-end security
+    profile entries such as ``9 13 rsa 2048``.
+    """
+    endpoints = [d for d in path if d not in router_ids]
+    return [(endpoints[i], endpoints[i + 1])
+            for i in range(len(endpoints) - 1)]

@@ -1,0 +1,44 @@
+"""SMT layer: Boolean/cardinality terms, Tseitin encoding, solver facade.
+
+Together with :mod:`repro.sat` this package stands in for Z3 in the
+paper's toolchain: the paper's constraint language (Boolean logic plus
+counting sums over Booleans) maps onto terms here one-to-one.
+"""
+
+from .cardinality import (
+    Totalizer,
+    encode_at_least_sequential,
+    encode_at_most_sequential,
+)
+from .smtlib import term_to_sexpr, to_smtlib
+from .solver import Model, Result, Solver, SolverStatistics
+from .terms import (
+    FALSE,
+    TRUE,
+    And,
+    AtLeast,
+    AtMost,
+    Bool,
+    Bools,
+    BoolVal,
+    BoolVar,
+    CardTerm,
+    Exactly,
+    Iff,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    Term,
+    Xor,
+    evaluate,
+)
+from .tseitin import Encoder
+
+__all__ = [
+    "And", "AtLeast", "AtMost", "Bool", "Bools", "BoolVal", "BoolVar",
+    "CardTerm", "Encoder", "Exactly", "FALSE", "Iff", "Implies", "Ite",
+    "Model", "Not", "Or", "Result", "Solver", "SolverStatistics", "TRUE",
+    "Term", "Totalizer", "Xor", "encode_at_least_sequential", "term_to_sexpr", "to_smtlib",
+    "encode_at_most_sequential", "evaluate",
+]

@@ -1,0 +1,189 @@
+"""Cardinality-constraint encodings.
+
+The paper's model contains counting constraints in three places: the
+failure budget (``N - Σ Node_i ≤ k``), the unique-measurement count
+(``Σ DelUMsr_E ≥ n``), and bad-data redundancy (``Σ SE_{X,Z} ≥ r + 1``).
+These are compiled to CNF here.
+
+Two encodings are provided:
+
+* :class:`Totalizer` — Bailleux & Boulier's unary totalizer, truncated at
+  the needed bound (*k-simplification*).  The encoding is
+  *bidirectional*: output ``o_j`` is true **iff** at least ``j`` inputs
+  are true (with ``o_bound`` meaning "at least bound").  Bidirectionality
+  lets cardinality atoms appear under any polarity in a formula.
+* :func:`encode_at_most_sequential` — Sinz's sequential counter, which
+  directly asserts an at-most-k constraint.  Kept as the ablation
+  baseline for the encoding-choice benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sat.cnf import CNF
+
+__all__ = ["Totalizer", "SequentialCounter", "encode_at_most_sequential",
+           "encode_at_least_sequential"]
+
+
+class Totalizer:
+    """A truncated, bidirectional unary counter over input literals.
+
+    ``outputs[j-1]`` (1-based count *j*) is a variable that is true iff
+    at least ``j`` of the inputs are true, for ``j < bound``; the last
+    output (count ``bound``) is true iff at least ``bound`` inputs are
+    true.  ``bound`` of ``min(len(lits), requested)`` outputs are built.
+    """
+
+    def __init__(self, cnf: CNF, lits: Sequence[int], bound: int) -> None:
+        if bound < 1:
+            raise ValueError("bound must be at least 1")
+        self.cnf = cnf
+        self.lits = list(lits)
+        self.bound = min(bound, len(self.lits))
+        if not self.lits:
+            self.outputs: List[int] = []
+        else:
+            self.outputs = self._build(self.lits)
+
+    def _build(self, lits: Sequence[int]) -> List[int]:
+        if len(lits) == 1:
+            return [lits[0]]
+        mid = len(lits) // 2
+        left = self._build(lits[:mid])
+        right = self._build(lits[mid:])
+        return self._merge(left, right)
+
+    def _merge(self, left: List[int], right: List[int]) -> List[int]:
+        cnf = self.cnf
+        size = min(len(left) + len(right), self.bound)
+        out = [cnf.new_var() for _ in range(size)]
+
+        # Forward: ≥i on the left and ≥j on the right imply
+        # ≥min(i+j, size) overall.  (i = 0 / j = 0 impose no premise.)
+        for i in range(len(left) + 1):
+            for j in range(len(right) + 1):
+                total = i + j
+                if total == 0:
+                    continue
+                clause = [out[min(total, size) - 1]]
+                if i > 0:
+                    clause.append(-left[i - 1])
+                if j > 0:
+                    clause.append(-right[j - 1])
+                cnf.add_clause(clause)
+
+        # Backward: out_t implies that every split i + j = t - 1 has
+        # ≥i+1 on the left or ≥j+1 on the right.  A positive literal is
+        # omitted when its count is unreachable on that side (then the
+        # other side alone must account for the total).
+        for t in range(1, size + 1):
+            for i in range(t):
+                j = t - 1 - i
+                clause = [-out[t - 1]]
+                if i + 1 <= len(left):
+                    clause.append(left[i])
+                if j + 1 <= len(right):
+                    clause.append(right[j])
+                cnf.add_clause(clause)
+        return out
+
+
+def encode_at_most_sequential(cnf: CNF, lits: Sequence[int], k: int) -> None:
+    """Assert ``sum(lits) <= k`` with Sinz's sequential counter.
+
+    This *asserts* the constraint (adds clauses that are falsified by any
+    assignment with more than *k* true inputs); it does not produce a
+    reified literal, so it is only usable for top-level constraints.
+    """
+    n = len(lits)
+    if k < 0:
+        cnf.add_clause([])  # unsatisfiable
+        return
+    if k >= n:
+        return
+    if k == 0:
+        for lit in lits:
+            cnf.add_clause([-lit])
+        return
+    # s[i][j] = at least j+1 of the first i+1 inputs are true.
+    s = [[cnf.new_var() for _ in range(k)] for _ in range(n)]
+    cnf.add_clause([-lits[0], s[0][0]])
+    for j in range(1, k):
+        cnf.add_clause([-s[0][j]])
+    for i in range(1, n):
+        cnf.add_clause([-lits[i], s[i][0]])
+        cnf.add_clause([-s[i - 1][0], s[i][0]])
+        for j in range(1, k):
+            cnf.add_clause([-lits[i], -s[i - 1][j - 1], s[i][j]])
+            cnf.add_clause([-s[i - 1][j], s[i][j]])
+        cnf.add_clause([-lits[i], -s[i - 1][k - 1]])
+
+
+def encode_at_least_sequential(cnf: CNF, lits: Sequence[int], k: int) -> None:
+    """Assert ``sum(lits) >= k`` via the dual at-most on negations."""
+    n = len(lits)
+    if k <= 0:
+        return
+    if k > n:
+        cnf.add_clause([])
+        return
+    encode_at_most_sequential(cnf, [-lit for lit in lits], n - k)
+
+
+class SequentialCounter:
+    """A truncated, bidirectional sequential (Sinz-style) counter.
+
+    Same contract as :class:`Totalizer` — ``outputs[j-1]`` is true iff
+    at least ``j`` inputs are true (saturating at ``bound``) — but built
+    as a linear register chain instead of a balanced merge tree.  Kept
+    as the alternative encoding for the cardinality-ablation benchmark.
+    """
+
+    def __init__(self, cnf: CNF, lits: Sequence[int], bound: int) -> None:
+        if bound < 1:
+            raise ValueError("bound must be at least 1")
+        self.cnf = cnf
+        self.lits = list(lits)
+        self.bound = min(bound, len(self.lits))
+        if not self.lits:
+            self.outputs: List[int] = []
+            return
+        k = self.bound
+        # register[j-1] after input i: at least j of the first i inputs.
+        register: List[int] = [self.lits[0]]
+        for j in range(2, k + 1):
+            register.append(None)  # unreachable counts start absent
+        for i in range(1, len(self.lits)):
+            x = self.lits[i]
+            fresh: List[int] = []
+            top = min(i + 1, k)
+            for j in range(1, top + 1):
+                s = cnf.new_var()
+                prev_same = register[j - 1] if j - 1 < len(register) else None
+                prev_less = register[j - 2] if j >= 2 else True
+                # s ↔ prev_same ∨ (x ∧ prev_less)
+                if prev_less is True:
+                    # s ↔ prev_same ∨ x
+                    if prev_same is None:
+                        cnf.add_clause([-s, x])
+                        cnf.add_clause([s, -x])
+                    else:
+                        cnf.add_clause([-s, prev_same, x])
+                        cnf.add_clause([s, -prev_same])
+                        cnf.add_clause([s, -x])
+                elif prev_same is None:
+                    # s ↔ x ∧ prev_less
+                    cnf.add_clause([-s, x])
+                    cnf.add_clause([-s, prev_less])
+                    cnf.add_clause([s, -x, -prev_less])
+                else:
+                    # s ↔ prev_same ∨ (x ∧ prev_less)
+                    cnf.add_clause([-s, prev_same, x])
+                    cnf.add_clause([-s, prev_same, prev_less])
+                    cnf.add_clause([s, -prev_same])
+                    cnf.add_clause([s, -x, -prev_less])
+                fresh.append(s)
+            register = fresh
+        self.outputs = list(register)

@@ -1,0 +1,209 @@
+"""A z3py-style solver facade over the CDCL engine.
+
+This is the interface the SCADA Analyzer programs against, mirroring the
+small slice of the z3py API the paper's implementation would have used:
+``add``, ``check`` (with assumptions), ``model``, ``push``/``pop``, and
+``unsat_core``.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Dict, List, Optional
+
+from ..sat.solver import SatSolver
+from .terms import BoolVar, Term
+from .tseitin import Encoder
+
+__all__ = ["Result", "Model", "Solver", "SolverStatistics"]
+
+
+class Result(enum.Enum):
+    """Outcome of a :meth:`Solver.check` call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Result does not coerce to bool; compare with Result.SAT/UNSAT")
+
+
+class Model:
+    """A satisfying assignment, queryable by term."""
+
+    def __init__(self, encoder: Encoder, raw_model: List[bool]) -> None:
+        self._encoder = encoder
+        self._raw = raw_model
+
+    def value(self, term: Term) -> bool:
+        """Evaluate *term* under this model."""
+        return self._encoder.decode(term, self._raw)
+
+    def __getitem__(self, term: Term) -> bool:
+        return self.value(term)
+
+    def true_variables(self) -> List[str]:
+        """Names of all encoded variables assigned true."""
+        return sorted(
+            name for name, var in self._encoder.var_names.items()
+            if var < len(self._raw) and self._raw[var]
+        )
+
+    def __repr__(self) -> str:
+        sample = self.true_variables()[:8]
+        return f"Model(true={sample}{'...' if len(sample) == 8 else ''})"
+
+
+class SolverStatistics:
+    """Sizes and timings of the encoded problem and the last check."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.num_clauses = 0
+        self.check_time = 0.0
+        self.checks = 0
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+    def __repr__(self) -> str:
+        return (f"SolverStatistics(vars={self.num_vars}, "
+                f"clauses={self.num_clauses}, checks={self.checks}, "
+                f"time={self.check_time:.3f}s)")
+
+
+class Solver:
+    """SMT-style solver for Boolean + cardinality terms.
+
+    ``push``/``pop`` are implemented with activation literals: each level
+    owns a selector variable, clauses added at that level are guarded by
+    it, and ``check`` passes the live selectors as solver assumptions.
+    """
+
+    def __init__(self, card_encoding: str = "totalizer",
+                 produce_proof: bool = False) -> None:
+        self._sat = SatSolver()
+        if produce_proof:
+            self._sat.enable_proof()
+        self._encoder = Encoder(self._sat, card_encoding=card_encoding)
+        self._selectors: List[int] = []
+        self._assertions: List[List[Term]] = [[]]
+        self._model: Optional[Model] = None
+        self._core_terms: List[Term] = []
+        self.statistics = SolverStatistics()
+
+    # ------------------------------------------------------------------
+
+    def add(self, *terms: Term) -> None:
+        """Assert terms at the current scope level."""
+        for term in terms:
+            if not isinstance(term, Term):
+                raise TypeError(f"expected Term, got {type(term).__name__}")
+            self._assertions[-1].append(term)
+            if self._selectors:
+                lit = self._encoder.literal(term)
+                self._sat.add_clause([-self._selectors[-1], lit])
+            else:
+                self._encoder.assert_term(term)
+
+    def push(self) -> None:
+        """Open a new assertion scope."""
+        self._selectors.append(self._sat.new_var())
+        self._assertions.append([])
+
+    def pop(self) -> None:
+        """Discard the most recent scope and its assertions."""
+        if not self._selectors:
+            raise RuntimeError("pop without matching push")
+        selector = self._selectors.pop()
+        self._assertions.pop()
+        # Permanently disable the scope's clauses.
+        self._sat.add_clause([-selector])
+
+    def assertions(self) -> List[Term]:
+        """All currently live assertions, outermost first."""
+        return [t for level in self._assertions for t in level]
+
+    # ------------------------------------------------------------------
+
+    def check(self, *assumptions: Term,
+              max_conflicts: Optional[int] = None) -> Result:
+        """Solve the current assertions under optional assumption terms."""
+        self._model = None
+        self._core_terms = []
+        assumption_lits: List[int] = list(self._selectors)
+        lit_to_term: Dict[int, Term] = {}
+        for term in assumptions:
+            lit = self._encoder.literal(term)
+            assumption_lits.append(lit)
+            lit_to_term[lit] = term
+
+        started = time.perf_counter()
+        before = self._sat.stats.as_dict()
+        outcome = self._sat.solve(assumptions=assumption_lits,
+                                  max_conflicts=max_conflicts)
+        after = self._sat.stats.as_dict()
+        self.statistics.check_time += time.perf_counter() - started
+        self.statistics.checks += 1
+        self.statistics.num_vars = self._sat.num_vars
+        self.statistics.num_clauses = self._sat.num_clauses_added
+        for field in ("conflicts", "decisions", "propagations"):
+            self.statistics.__dict__[field] += after[field] - before[field]
+
+        if outcome is None:
+            return Result.UNKNOWN
+        if outcome:
+            self._model = Model(self._encoder, list(self._sat.model))
+            return Result.SAT
+        self._core_terms = [
+            lit_to_term[lit] for lit in self._sat.core() if lit in lit_to_term
+        ]
+        return Result.UNSAT
+
+    def model(self) -> Model:
+        """The model from the last sat check."""
+        if self._model is None:
+            raise RuntimeError("model() requires a preceding sat check")
+        return self._model
+
+    def unsat_core(self) -> List[Term]:
+        """Assumption terms forming an unsat core of the last check."""
+        return list(self._core_terms)
+
+    # ------------------------------------------------------------------
+
+    def bool_var(self, name: str) -> BoolVar:
+        """Convenience constructor (parity with ``z3.Bool``)."""
+        return BoolVar(name)
+
+    @property
+    def num_vars(self) -> int:
+        return self._sat.num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Encoded clause count (before level-0 simplification)."""
+        return self._sat.num_clauses_added
+
+    def validate_unsat_proof(self) -> bool:
+        """Re-check the last unsat answer with the independent RUP
+        checker.  Only valid after an assumption-free UNSAT from a
+        solver constructed with ``produce_proof=True``."""
+        from ..sat.proof import check_unsat_proof
+
+        proof = self._sat.proof
+        if proof is None:
+            raise RuntimeError("solver was not constructed with "
+                               "produce_proof=True")
+        if self._selectors:
+            raise RuntimeError("proof validation is not supported with "
+                               "open push/pop scopes")
+        originals, learned = proof
+        return check_unsat_proof(originals, learned,
+                                 num_vars=self._sat.num_vars)

@@ -1,0 +1,377 @@
+"""Boolean term AST for the SMT layer.
+
+The paper encodes its verification model in "SMT logics" with Boolean and
+integer terms, where every integer expression is a *count* of Boolean
+terms compared against a constant.  This AST therefore provides the
+Boolean connectives plus cardinality atoms (:class:`AtMost` /
+:class:`AtLeast`), which together cover the paper's whole constraint
+language.
+
+Terms are immutable.  ``&``, ``|``, ``~``, ``>>`` (implies) and ``^``
+(xor) are overloaded for ergonomic construction, mirroring z3py.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+__all__ = [
+    "Term", "BoolVal", "BoolVar", "NotTerm", "AndTerm", "OrTerm",
+    "XorTerm", "IteTerm", "CardTerm",
+    "TRUE", "FALSE", "Bool", "Bools", "Not", "And", "Or", "Implies",
+    "Iff", "Xor", "Ite", "AtMost", "AtLeast", "Exactly", "evaluate",
+]
+
+
+class Term:
+    """Base class for Boolean terms."""
+
+    __slots__ = ("_key",)
+
+    def key(self) -> Tuple:
+        """A structural key used for hash-consing during encoding.
+
+        Keys are memoized per node, so computing the key of a shared DAG
+        is linear in its size.  Structurally equal terms encode to the
+        same solver variables.
+        """
+        try:
+            return self._key
+        except AttributeError:
+            key = self._compute_key()
+            self._key = key
+            return key
+
+    def _compute_key(self) -> Tuple:
+        raise NotImplementedError
+
+    # Operator sugar -------------------------------------------------
+    def __and__(self, other: "Term") -> "Term":
+        return And(self, other)
+
+    def __or__(self, other: "Term") -> "Term":
+        return Or(self, other)
+
+    def __invert__(self) -> "Term":
+        return Not(self)
+
+    def __rshift__(self, other: "Term") -> "Term":
+        return Implies(self, other)
+
+    def __xor__(self, other: "Term") -> "Term":
+        return Xor(self, other)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Term) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+class BoolVal(Term):
+    """A Boolean constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def _compute_key(self) -> Tuple:
+        return ("val", self.value)
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = BoolVal(True)
+FALSE = BoolVal(False)
+
+
+class BoolVar(Term):
+    """A named Boolean variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def _compute_key(self) -> Tuple:
+        return ("var", self.name)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class NotTerm(Term):
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: Term) -> None:
+        self.arg = arg
+
+    def _compute_key(self) -> Tuple:
+        return ("not", self.arg.key())
+
+    def __repr__(self) -> str:
+        return f"Not({self.arg!r})"
+
+
+class AndTerm(Term):
+    __slots__ = ("args",)
+
+    def __init__(self, args: Tuple[Term, ...]) -> None:
+        self.args = args
+
+    def _compute_key(self) -> Tuple:
+        return ("and",) + tuple(a.key() for a in self.args)
+
+    def __repr__(self) -> str:
+        return "And(" + ", ".join(repr(a) for a in self.args) + ")"
+
+
+class OrTerm(Term):
+    __slots__ = ("args",)
+
+    def __init__(self, args: Tuple[Term, ...]) -> None:
+        self.args = args
+
+    def _compute_key(self) -> Tuple:
+        return ("or",) + tuple(a.key() for a in self.args)
+
+    def __repr__(self) -> str:
+        return "Or(" + ", ".join(repr(a) for a in self.args) + ")"
+
+
+class XorTerm(Term):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Term, right: Term) -> None:
+        self.left = left
+        self.right = right
+
+    def _compute_key(self) -> Tuple:
+        return ("xor", self.left.key(), self.right.key())
+
+    def __repr__(self) -> str:
+        return f"Xor({self.left!r}, {self.right!r})"
+
+
+class IteTerm(Term):
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond: Term, then: Term, other: Term) -> None:
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+    def _compute_key(self) -> Tuple:
+        return ("ite", self.cond.key(), self.then.key(), self.other.key())
+
+    def __repr__(self) -> str:
+        return f"Ite({self.cond!r}, {self.then!r}, {self.other!r})"
+
+
+class CardTerm(Term):
+    """A cardinality atom: ``count(args) <= k`` or ``count(args) >= k``."""
+
+    __slots__ = ("args", "k", "at_most")
+
+    def __init__(self, args: Tuple[Term, ...], k: int, at_most: bool) -> None:
+        self.args = args
+        self.k = k
+        self.at_most = at_most
+
+    def _compute_key(self) -> Tuple:
+        tag = "atmost" if self.at_most else "atleast"
+        return (tag, self.k) + tuple(a.key() for a in self.args)
+
+    def __repr__(self) -> str:
+        name = "AtMost" if self.at_most else "AtLeast"
+        return f"{name}([{len(self.args)} terms], {self.k})"
+
+
+# ----------------------------------------------------------------------
+# Constructors (with light simplification)
+# ----------------------------------------------------------------------
+
+def Bool(name: str) -> BoolVar:
+    """Create a named Boolean variable."""
+    return BoolVar(name)
+
+
+def Bools(names: str) -> Tuple[BoolVar, ...]:
+    """Create several variables from a whitespace-separated name list."""
+    return tuple(BoolVar(n) for n in names.split())
+
+
+def Not(term: Term) -> Term:
+    if isinstance(term, BoolVal):
+        return FALSE if term.value else TRUE
+    if isinstance(term, NotTerm):
+        return term.arg
+    return NotTerm(term)
+
+
+def _flatten(cls, args: Iterable[Term]) -> Tuple[Term, ...]:
+    out = []
+    for arg in args:
+        if not isinstance(arg, Term):
+            raise TypeError(f"expected Term, got {type(arg).__name__}")
+        if isinstance(arg, cls):
+            out.extend(arg.args)
+        else:
+            out.append(arg)
+    return tuple(out)
+
+
+def And(*args: Term) -> Term:
+    flat = _flatten(AndTerm, args)
+    kept = []
+    for arg in flat:
+        if isinstance(arg, BoolVal):
+            if not arg.value:
+                return FALSE
+            continue
+        kept.append(arg)
+    if not kept:
+        return TRUE
+    if len(kept) == 1:
+        return kept[0]
+    return AndTerm(tuple(kept))
+
+
+def Or(*args: Term) -> Term:
+    flat = _flatten(OrTerm, args)
+    kept = []
+    for arg in flat:
+        if isinstance(arg, BoolVal):
+            if arg.value:
+                return TRUE
+            continue
+        kept.append(arg)
+    if not kept:
+        return FALSE
+    if len(kept) == 1:
+        return kept[0]
+    return OrTerm(tuple(kept))
+
+
+def Implies(antecedent: Term, consequent: Term) -> Term:
+    return Or(Not(antecedent), consequent)
+
+
+def Iff(left: Term, right: Term) -> Term:
+    if isinstance(left, BoolVal):
+        return right if left.value else Not(right)
+    if isinstance(right, BoolVal):
+        return left if right.value else Not(left)
+    return Not(XorTerm(left, right))
+
+
+def Xor(left: Term, right: Term) -> Term:
+    if isinstance(left, BoolVal):
+        return Not(right) if left.value else right
+    if isinstance(right, BoolVal):
+        return Not(left) if right.value else left
+    return XorTerm(left, right)
+
+
+def Ite(cond: Term, then: Term, other: Term) -> Term:
+    if isinstance(cond, BoolVal):
+        return then if cond.value else other
+    return IteTerm(cond, then, other)
+
+
+def _card_args(args: Sequence[Term]) -> Tuple[Tuple[Term, ...], int]:
+    """Split constants out of cardinality arguments.
+
+    Returns the non-constant arguments and the number of constant-true
+    arguments (which shift the threshold).
+    """
+    kept = []
+    true_count = 0
+    for arg in args:
+        if not isinstance(arg, Term):
+            raise TypeError(f"expected Term, got {type(arg).__name__}")
+        if isinstance(arg, BoolVal):
+            if arg.value:
+                true_count += 1
+            continue
+        kept.append(arg)
+    return tuple(kept), true_count
+
+
+def AtMost(args: Sequence[Term], k: int) -> Term:
+    """True iff at most *k* of *args* are true."""
+    kept, trues = _card_args(args)
+    k = k - trues
+    if k < 0:
+        return FALSE
+    if k >= len(kept):
+        return TRUE
+    if k == 0:
+        return And(*[Not(a) for a in kept])
+    return CardTerm(kept, k, at_most=True)
+
+
+def AtLeast(args: Sequence[Term], k: int) -> Term:
+    """True iff at least *k* of *args* are true."""
+    kept, trues = _card_args(args)
+    k = k - trues
+    if k <= 0:
+        return TRUE
+    if k > len(kept):
+        return FALSE
+    if k == len(kept):
+        return And(*kept)
+    if k == 1:
+        return Or(*kept)
+    return CardTerm(kept, k, at_most=False)
+
+
+def Exactly(args: Sequence[Term], k: int) -> Term:
+    """True iff exactly *k* of *args* are true."""
+    return And(AtMost(args, k), AtLeast(args, k))
+
+
+# ----------------------------------------------------------------------
+# Ground evaluation
+# ----------------------------------------------------------------------
+
+def evaluate(term: Term, assignment: Mapping[str, bool]) -> bool:
+    """Evaluate *term* under a full name-to-value assignment.
+
+    Raises :class:`KeyError` if a variable is missing from *assignment*.
+    Used by tests and the reference evaluator as ground truth for the
+    encoder.
+    """
+    cache: Dict[int, bool] = {}
+
+    def rec(t: Term) -> bool:
+        cached = cache.get(id(t))
+        if cached is not None:
+            return cached
+        if isinstance(t, BoolVal):
+            value = t.value
+        elif isinstance(t, BoolVar):
+            value = bool(assignment[t.name])
+        elif isinstance(t, NotTerm):
+            value = not rec(t.arg)
+        elif isinstance(t, AndTerm):
+            value = all(rec(a) for a in t.args)
+        elif isinstance(t, OrTerm):
+            value = any(rec(a) for a in t.args)
+        elif isinstance(t, XorTerm):
+            value = rec(t.left) != rec(t.right)
+        elif isinstance(t, IteTerm):
+            value = rec(t.then) if rec(t.cond) else rec(t.other)
+        elif isinstance(t, CardTerm):
+            count = sum(1 for a in t.args if rec(a))
+            value = count <= t.k if t.at_most else count >= t.k
+        else:
+            raise TypeError(f"unknown term type {type(t).__name__}")
+        cache[id(t)] = value
+        return value
+
+    return rec(term)

@@ -1,0 +1,122 @@
+"""Minimum-cost threat vector search."""
+
+import itertools
+
+import pytest
+
+from repro.analysis import cheapest_threat, uniform_costs
+from repro.cases import case_analyzer
+from repro.core import Property, ScadaAnalyzer
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return case_analyzer("fig3")
+
+
+def _brute_cheapest(analyzer, costs, secured=False):
+    """Exhaustive minimum-cost threat (small systems only)."""
+    field = analyzer.network.field_device_ids
+    best = None
+    for size in range(0, len(field) + 1):
+        for combo in itertools.combinations(field, size):
+            cost = sum(costs[d] for d in combo)
+            if best is not None and cost >= best:
+                continue
+            if not analyzer.reference.observable(set(combo),
+                                                 secured=secured):
+                best = cost
+        # All-unit-cost pruning is not valid for mixed costs, so scan all
+        # sizes; the 12-device case study keeps this tractable.
+    return best
+
+
+def test_unit_costs_match_brute_force(fig3):
+    costs = {d: 1 for d in fig3.network.field_device_ids}
+    result = cheapest_threat(fig3, costs=costs)
+    expected = _brute_cheapest(fig3, costs)
+    assert result.attack_exists
+    assert result.cost == expected
+    # The reported vector is a genuine threat of exactly that size.
+    from repro.core import ResiliencySpec
+    spec = ResiliencySpec.observability(k=result.cost)
+    assert fig3.reference.is_threat(spec, result.threat.failed_devices)
+
+
+def test_weighted_costs_match_brute_force(fig3):
+    costs = uniform_costs(fig3, ied_cost=1, rtu_cost=4)
+    result = cheapest_threat(fig3, costs=costs)
+    expected = _brute_cheapest(fig3, costs)
+    assert result.cost == expected
+    # The returned vector realizes the optimum.
+    realized = sum(costs[d] for d in result.threat.failed_devices)
+    assert realized == result.cost
+
+
+def test_secured_property_cheaper(fig3):
+    """Secured observability has strictly more failure modes, so the
+    cheapest secured attack can never cost more than the plain one."""
+    costs = uniform_costs(fig3, ied_cost=2, rtu_cost=5)
+    plain = cheapest_threat(fig3, Property.OBSERVABILITY, costs)
+    secured = cheapest_threat(fig3, Property.SECURED_OBSERVABILITY, costs)
+    assert secured.cost <= plain.cost
+
+
+def test_rtu_pricing_changes_the_attack(fig3):
+    """With RTUs effectively free the optimum uses RTUs; with RTUs
+    prohibitively priced it shifts to IEDs."""
+    cheap_rtus = cheapest_threat(
+        fig3, costs=uniform_costs(fig3, ied_cost=10, rtu_cost=1))
+    dear_rtus = cheapest_threat(
+        fig3, costs=uniform_costs(fig3, ied_cost=1, rtu_cost=100))
+    assert cheap_rtus.threat.failed_rtus
+    assert not dear_rtus.threat.failed_rtus
+
+
+def test_no_attack_possible():
+    """A problem whose states are covered by unassigned measurements is
+    unobservable from the start — cost 0 —, while a trivially observable
+    one with no deliverable failure mode reports cost 0 as well; use a
+    2-IED network where observability survives all failures of *one*
+    type to exercise the None path instead."""
+    from repro.core import ObservabilityProblem
+    from repro.scada import Device, DeviceType, Link, ScadaNetwork
+
+    # Observability needs only state 1, covered by both measurements,
+    # and the unique-count threshold is 1 — but failing *everything*
+    # still kills delivery, so a threat always exists for field-device
+    # failures.  The no-attack case therefore needs zero field devices
+    # to matter: make the problem have zero states?  Not allowed.  The
+    # realistic no-attack case: problem already unobservable → cost 0.
+    devices = [Device(1, DeviceType.IED), Device(2, DeviceType.RTU),
+               Device(3, DeviceType.MTU)]
+    links = [Link(1, 1, 2), Link(2, 2, 3)]
+    network = ScadaNetwork(devices=devices, links=links,
+                           measurement_map={1: [1]})
+    problem = ObservabilityProblem(num_states=2, state_sets={1: [1]},
+                                   unique_groups=[[1]])
+    analyzer = ScadaAnalyzer(network, problem)
+    result = cheapest_threat(analyzer)
+    assert result.attack_exists
+    assert result.cost == 0  # state 2 is uncovered with no failures
+
+
+def test_invalid_costs_rejected(fig3):
+    with pytest.raises(ValueError):
+        cheapest_threat(fig3, costs={1: 0})
+    with pytest.raises(ValueError):
+        cheapest_threat(fig3, costs={999: 2})
+
+
+def test_summary_strings(fig3):
+    result = cheapest_threat(fig3)
+    assert "cheapest attack costs" in result.summary()
+
+
+def test_cheapest_command_deliverability_attack(fig3):
+    result = cheapest_threat(fig3, Property.COMMAND_DELIVERABILITY,
+                             uniform_costs(fig3, ied_cost=1, rtu_cost=2))
+    assert result.attack_exists
+    # The optimum is any single RTU (cost 2): stranding its IEDs.
+    assert result.cost == 2
+    assert result.threat.failed_rtus

@@ -1,0 +1,88 @@
+"""Maximal-resiliency search."""
+
+import pytest
+
+from repro.analysis import (
+    max_ied_resiliency,
+    max_rtu_resiliency,
+    max_total_resiliency,
+)
+from repro.cases import case_analyzer
+from repro.core import Property, ResiliencySpec, ScadaAnalyzer, Status
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return case_analyzer("fig3")
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return case_analyzer("fig4")
+
+
+def test_case_study_ied_resiliency(fig3):
+    # Paper: tolerates exactly 3 IED-only failures.
+    assert max_ied_resiliency(fig3) == 3
+
+
+def test_case_study_fig4_rtu_resiliency(fig4):
+    # Paper: Fig. 4 is not resilient to any RTU failure.
+    assert max_rtu_resiliency(fig4) == 0
+    assert max_ied_resiliency(fig4) == 3
+
+
+def test_secured_maxima(fig3):
+    assert max_ied_resiliency(
+        fig3, Property.SECURED_OBSERVABILITY) >= 1
+    assert max_rtu_resiliency(
+        fig3, Property.SECURED_OBSERVABILITY) >= 1
+
+
+def test_total_resiliency_consistent_with_verify(fig3):
+    k = max_total_resiliency(fig3)
+    assert fig3.verify(ResiliencySpec.observability(k=k)).is_resilient
+    assert not fig3.verify(
+        ResiliencySpec.observability(k=k + 1)).is_resilient
+
+
+def test_negative_one_when_property_never_holds(tiny_network,
+                                                tiny_problem):
+    analyzer = ScadaAnalyzer(tiny_network, tiny_problem)
+    # Secured observability fails even with zero failures.
+    assert max_total_resiliency(
+        analyzer, Property.SECURED_OBSERVABILITY) == -1
+
+
+def test_monotonicity_on_synthetic(ieee14_analyzer):
+    k = max_total_resiliency(ieee14_analyzer)
+    assert k >= 0
+    for smaller in range(k + 1):
+        spec = ResiliencySpec.observability(k=smaller)
+        assert ieee14_analyzer.verify(spec).is_resilient
+
+
+def test_more_measurements_no_less_resilient():
+    """Fig. 7(a) trend: larger measurement sets ⇒ resiliency no lower."""
+    from repro.core import ObservabilityProblem
+    from repro.grid import ieee14, sampled_measurement_plan
+    from repro.scada import GeneratorConfig, generate_scada
+
+    maxima = []
+    for fraction in (0.5, 1.0):
+        plan = sampled_measurement_plan(ieee14(), fraction, seed=11)
+        syn = generate_scada(ieee14(), GeneratorConfig(seed=11), plan=plan)
+        analyzer = ScadaAnalyzer(
+            syn.network, ObservabilityProblem.from_table(syn.table))
+        maxima.append(max_ied_resiliency(analyzer))
+    assert maxima[1] >= maxima[0]
+
+
+def test_command_deliverability_maxima(fig3):
+    # RTU 9 strands IEDs 1-3, so no RTU failure is tolerated...
+    assert max_rtu_resiliency(
+        fig3, Property.COMMAND_DELIVERABILITY) == 0
+    # ...but IED failures never strand anyone else.
+    n_ieds = len(fig3.network.ied_ids)
+    assert max_ied_resiliency(
+        fig3, Property.COMMAND_DELIVERABILITY) == n_ieds

@@ -1,0 +1,90 @@
+"""Monte-Carlo availability estimation."""
+
+import pytest
+
+from repro.analysis import (
+    estimate_availability,
+    max_total_resiliency,
+)
+from repro.cases import case_analyzer
+from repro.core import Property
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return case_analyzer("fig3")
+
+
+def test_zero_failure_probability_is_fully_available(fig3):
+    estimate = estimate_availability(fig3, failure_probability=0.0,
+                                     samples=200)
+    assert estimate.availability == 1.0
+    assert estimate.violations == 0
+
+
+def test_certain_failure_kills_availability(fig3):
+    estimate = estimate_availability(fig3, failure_probability=1.0,
+                                     samples=50)
+    assert estimate.availability == 0.0
+
+
+def test_availability_decreases_with_failure_rate(fig3):
+    low = estimate_availability(fig3, failure_probability=0.02,
+                                samples=2000, seed=1)
+    high = estimate_availability(fig3, failure_probability=0.3,
+                                 samples=2000, seed=1)
+    assert low.availability >= high.availability
+
+
+def test_certificate_cross_check(fig3):
+    k_star = max_total_resiliency(fig3)
+    estimate = estimate_availability(fig3, failure_probability=0.1,
+                                     samples=3000, seed=2,
+                                     certificate=k_star)
+    # Certified-safe scenarios were encountered and none violated
+    # (a violation would have raised inside the estimator).
+    assert estimate.skipped_by_certificate > 0
+    assert 0.0 <= estimate.availability <= 1.0
+
+
+def test_wrong_certificate_is_caught(fig3):
+    k_star = max_total_resiliency(fig3)
+    with pytest.raises(AssertionError):
+        estimate_availability(fig3, failure_probability=0.4,
+                              samples=3000, seed=3,
+                              certificate=k_star + 3)
+
+
+def test_per_device_overrides(fig3):
+    # Making one RTU certain to fail caps availability hard.
+    rtu = fig3.network.rtu_ids[0]
+    estimate = estimate_availability(
+        fig3, failure_probability=0.0, per_device={rtu: 1.0},
+        samples=300, seed=4)
+    expected_holds = fig3.reference.observable({rtu})
+    assert (estimate.availability == 1.0) == expected_holds
+
+
+def test_input_validation(fig3):
+    with pytest.raises(ValueError):
+        estimate_availability(fig3, failure_probability=1.5)
+    with pytest.raises(ValueError):
+        estimate_availability(fig3, per_device={9999: 0.5})
+    with pytest.raises(ValueError):
+        estimate_availability(fig3, per_device={1: 2.0})
+    with pytest.raises(ValueError):
+        estimate_availability(fig3, prop=Property.BAD_DATA_DETECTABILITY)
+
+
+def test_deterministic_under_seed(fig3):
+    a = estimate_availability(fig3, failure_probability=0.2,
+                              samples=500, seed=7)
+    b = estimate_availability(fig3, failure_probability=0.2,
+                              samples=500, seed=7)
+    assert a.violations == b.violations
+
+
+def test_summary_string(fig3):
+    estimate = estimate_availability(fig3, failure_probability=0.1,
+                                     samples=100)
+    assert "availability" in estimate.summary()

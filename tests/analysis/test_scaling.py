@@ -1,0 +1,45 @@
+"""Scalability sweep drivers."""
+
+import pytest
+
+from repro.analysis import measure_instance, sweep_bus_sizes, sweep_hierarchy
+from repro.core import Property
+
+
+def test_measure_instance_14bus():
+    point = measure_instance(14, 1, 0, runs=1)
+    assert point.num_devices > 10
+    assert point.max_k >= 0
+    assert point.sat_times  # found a threat at max_k + 1
+    assert point.num_vars > 0
+
+
+def test_sweep_bus_sizes_small():
+    sweep = sweep_bus_sizes([14], seeds=(0,), runs=1)
+    table = sweep.format_table("bus_size")
+    assert "14" in table
+    aggregated = sweep.aggregate("bus_size")
+    assert 14 in aggregated
+    assert aggregated[14]["devices"] > 0
+
+
+def test_sweep_hierarchy_small():
+    sweep = sweep_hierarchy(14, [1, 2], seeds=(0,), runs=1)
+    aggregated = sweep.aggregate("hierarchy")
+    assert set(aggregated) == {1, 2}
+
+
+def test_secured_sweep_has_larger_models():
+    plain = measure_instance(14, 1, 0, runs=1,
+                             prop=Property.OBSERVABILITY)
+    secured = measure_instance(14, 1, 0, runs=1, secure_fraction=1.0,
+                               prop=Property.SECURED_OBSERVABILITY)
+    # Paper §V-B: the secured model is larger.
+    assert secured.num_clauses > plain.num_clauses
+
+
+@pytest.mark.slow
+def test_measure_instance_30bus():
+    point = measure_instance(30, 2, 0, runs=1)
+    assert point.num_devices > 30
+    assert point.sat_times

@@ -1,0 +1,49 @@
+"""Threat-space enumeration and statistics."""
+
+import pytest
+
+from repro.analysis import threat_space
+from repro.cases import case_analyzer
+from repro.core import ResiliencySpec
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return case_analyzer("fig3")
+
+
+def test_case_study_space_size(fig3):
+    space = threat_space(fig3, ResiliencySpec.observability(k1=2, k2=1))
+    assert space.size == 9
+    assert not space.truncated
+
+
+def test_histogram_by_size(fig3):
+    space = threat_space(fig3, ResiliencySpec.observability(k1=2, k2=1))
+    histogram = space.by_size()
+    assert sum(histogram.values()) == 9
+    assert all(size <= 3 for size in histogram)
+
+
+def test_limit_marks_truncation(fig3):
+    space = threat_space(fig3, ResiliencySpec.observability(k1=2, k2=1),
+                         limit=3)
+    assert space.size == 3
+    assert space.truncated
+
+
+def test_empty_space_when_resilient(fig3):
+    space = threat_space(fig3, ResiliencySpec.observability(k1=1, k2=1))
+    assert space.size == 0
+
+
+def test_larger_spec_grows_space(fig3):
+    """Fig. 7(b) trend: wider budgets ⇒ more threat vectors."""
+    small = threat_space(fig3, ResiliencySpec.observability(k1=2, k2=1))
+    large = threat_space(fig3, ResiliencySpec.observability(k1=2, k2=2))
+    assert large.size >= small.size
+
+
+def test_repr(fig3):
+    space = threat_space(fig3, ResiliencySpec.observability(k1=2, k2=1))
+    assert "9" in repr(space)

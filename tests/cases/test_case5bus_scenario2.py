@@ -1,0 +1,99 @@
+"""Scenario 2 (§IV-C): k1,k2-resilient *secured* observability."""
+
+import pytest
+
+from repro.cases import (
+    MEASUREMENT_MAP,
+    case_analyzer,
+    fig3_network,
+)
+from repro.core import ResiliencySpec, Status
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return case_analyzer("fig3")
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return case_analyzer("fig4")
+
+
+def test_fig3_11_secured_resiliency_fails(fig3):
+    """Paper: "the system is not (1,1)-resilient in terms of secured
+    observability, although it is (1,1)-resilient observable"."""
+    secured = fig3.verify(ResiliencySpec.secured_observability(k1=1, k2=1))
+    plain = fig3.verify(ResiliencySpec.observability(k1=1, k2=1))
+    assert secured.status is Status.THREAT_FOUND
+    assert plain.status is Status.RESILIENT
+
+
+def test_fig3_threat_vector_ied3_rtu11(fig3):
+    """Paper: "if IED 3 and RTU 11 are unavailable, it is not possible
+    to observe the system securely"."""
+    spec = ResiliencySpec.secured_observability(k1=1, k2=1)
+    vectors = fig3.enumerate_threat_vectors(spec)
+    failure_sets = {tuple(sorted(v.failed_devices)) for v in vectors}
+    assert (3, 11) in failure_sets
+
+
+def test_fig3_five_threat_vectors(fig3):
+    """Paper: "There are 4 more threat vectors" — 5 total."""
+    spec = ResiliencySpec.secured_observability(k1=1, k2=1)
+    assert len(fig3.enumerate_threat_vectors(spec)) == 5
+
+
+def test_fig3_single_failure_resilient(fig3):
+    """Paper: "(1,0) or (0,1) … the model gives unsat result"."""
+    assert fig3.verify(
+        ResiliencySpec.secured_observability(k1=1, k2=0)).is_resilient
+    assert fig3.verify(
+        ResiliencySpec.secured_observability(k1=0, k2=1)).is_resilient
+
+
+def test_insecure_sources_are_ied1_and_ied4(fig3):
+    """Paper: some measurements are "not data integrity protected" —
+    in our reconstruction IED 1 (hmac-128 hop) and IED 4 (no profile /
+    hmac-128 uplink) can never deliver securely."""
+    network = fig3_network()
+    assert network.secured_paths(1) == []
+    assert network.secured_paths(4) == []
+    for ied in (2, 3, 5, 6, 7, 8):
+        assert network.secured_paths(ied), ied
+
+
+def test_fig4_one_rtu_failure_breaks_secured(fig4):
+    """Paper: "the system is not resilient any more for one RTU
+    failure. However, there is only one threat vector (unavailability
+    of RTU 12)"."""
+    spec = ResiliencySpec.secured_observability(k1=0, k2=1)
+    vectors = fig4.enumerate_threat_vectors(spec)
+    assert len(vectors) == 1
+    assert vectors[0].failed_rtus == frozenset({12})
+
+
+def test_fig3_secured_enumeration_agrees_with_brute_force(fig3):
+    spec = ResiliencySpec.secured_observability(k1=1, k2=1)
+    enumerated = {tuple(sorted(v.failed_devices))
+                  for v in fig3.enumerate_threat_vectors(spec)}
+    brute = {tuple(sorted(t))
+             for t in fig3.reference.brute_force_threats(spec)}
+    assert enumerated == brute
+
+
+def test_measurement_map_covers_all_fourteen():
+    assigned = sorted(z for msrs in MEASUREMENT_MAP.values() for z in msrs)
+    assert assigned == list(range(1, 15))
+
+
+def test_fig3_bad_data_detectability(fig3):
+    """Extension: with IED 1 and IED 4 insecure, several states lack
+    double secured coverage, so (k,1)-resilient bad-data detectability
+    cannot hold even at k = 0 — unless r = 0."""
+    result = fig3.verify(ResiliencySpec.bad_data_detectability(r=0, k=0))
+    assert result.status is Status.RESILIENT
+    result = fig3.verify(ResiliencySpec.bad_data_detectability(r=1, k=0))
+    # Validated against the reference evaluator either way.
+    expected = fig3.reference.bad_data_detectable([], r=1)
+    assert result.is_resilient == expected

@@ -1,0 +1,98 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import ObservabilityProblem, ScadaAnalyzer
+from repro.grid import ieee14
+from repro.scada import (
+    CryptoProfile,
+    Device,
+    DeviceType,
+    GeneratorConfig,
+    Link,
+    ScadaNetwork,
+    generate_scada,
+)
+
+
+def brute_force_sat(num_vars, clauses):
+    """Reference satisfiability by exhaustive enumeration."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in c) for c in clauses):
+            return True
+    return False
+
+
+def random_cnf(rng: random.Random, max_vars: int = 8,
+               max_clauses: int = 30, max_width: int = 3):
+    """A random small CNF instance for fuzzing."""
+    n = rng.randint(2, max_vars)
+    m = rng.randint(1, max_clauses)
+    clauses = []
+    for _ in range(m):
+        width = rng.randint(1, max_width)
+        clause = []
+        for _ in range(width):
+            v = rng.randint(1, n)
+            clause.append(v if rng.random() < 0.5 else -v)
+        clauses.append(clause)
+    return n, clauses
+
+
+@pytest.fixture
+def tiny_network():
+    """A 2-IED, 1-RTU network used by many core tests.
+
+    IED 1 and IED 2 both uplink through RTU 3 to MTU 4; IED 1's link is
+    secured, IED 2's link authenticates only.
+    """
+    devices = [
+        Device(1, DeviceType.IED),
+        Device(2, DeviceType.IED),
+        Device(3, DeviceType.RTU),
+        Device(4, DeviceType.MTU),
+    ]
+    links = [
+        Link(1, 1, 3), Link(2, 2, 3), Link(3, 3, 4),
+    ]
+    pair_security = {
+        (1, 3): CryptoProfile.parse_many("chap 64 sha2 256"),
+        (2, 3): CryptoProfile.parse_many("hmac 128"),
+        (3, 4): CryptoProfile.parse_many("rsa 2048 aes 256"),
+    }
+    return ScadaNetwork(
+        devices=devices, links=links,
+        measurement_map={1: [1], 2: [2]},
+        pair_security=pair_security,
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def tiny_problem():
+    """Two measurements over two states: z1 → {1}, z2 → {2}."""
+    return ObservabilityProblem(
+        num_states=2,
+        state_sets={1: [1], 2: [2]},
+        unique_groups=[[1], [2]],
+    )
+
+
+@pytest.fixture
+def ieee14_synthetic():
+    """A deterministic synthetic SCADA system over the IEEE 14-bus grid."""
+    return generate_scada(
+        ieee14(),
+        GeneratorConfig(measurement_fraction=0.6, hierarchy_level=1, seed=3),
+    )
+
+
+@pytest.fixture
+def ieee14_analyzer(ieee14_synthetic):
+    problem = ObservabilityProblem.from_table(ieee14_synthetic.table)
+    return ScadaAnalyzer(ieee14_synthetic.network, problem)

@@ -1,0 +1,106 @@
+"""The SCADA Analyzer: verdicts, threat vectors, enumeration."""
+
+import pytest
+
+from repro.core import (
+    ObservabilityProblem,
+    ResiliencySpec,
+    ScadaAnalyzer,
+    Status,
+)
+
+
+@pytest.fixture
+def analyzer(tiny_network, tiny_problem):
+    return ScadaAnalyzer(tiny_network, tiny_problem)
+
+
+def test_zero_budget_observability_holds(analyzer):
+    result = analyzer.verify(ResiliencySpec.observability(k=0))
+    assert result.status is Status.RESILIENT
+    assert result.is_resilient
+    assert result.threat is None
+    assert "HOLDS" in result.summary()
+
+
+def test_single_failure_breaks_tiny_system(analyzer):
+    result = analyzer.verify(ResiliencySpec.observability(k=1))
+    assert result.status is Status.THREAT_FOUND
+    assert result.threat is not None
+    assert result.threat.size == 1
+    assert "VIOLATED" in result.summary()
+
+
+def test_threat_vector_details(analyzer):
+    result = analyzer.verify(ResiliencySpec.observability(k=1))
+    threat = result.threat
+    assert threat.minimal
+    assert threat.undelivered_measurements
+    assert threat.uncovered_states
+    # Human-readable description names device types.
+    assert "IED" in threat.describe() or "RTU" in threat.describe()
+
+
+def test_secured_observability_fails_without_failures(analyzer):
+    # z2's hop is not integrity protected, so secured observability
+    # fails already at budget zero, with an *empty* threat vector.
+    result = analyzer.verify(ResiliencySpec.secured_observability(k=0))
+    assert result.status is Status.THREAT_FOUND
+    assert result.threat.size == 0
+    assert "no failures needed" in result.threat.describe()
+
+
+def test_unminimized_vector_is_still_valid(analyzer):
+    result = analyzer.verify(ResiliencySpec.observability(k=2),
+                             minimize=False)
+    assert result.status is Status.THREAT_FOUND
+    assert not result.threat.minimal
+    assert analyzer.reference.is_threat(
+        ResiliencySpec.observability(k=2), result.threat.failed_devices)
+
+
+def test_split_budget_verification(analyzer):
+    result = analyzer.verify(ResiliencySpec.observability(k1=0, k2=1))
+    assert result.status is Status.THREAT_FOUND
+    assert result.threat.failed_rtus == frozenset({3})
+    assert result.threat.failed_ieds == frozenset()
+
+
+def test_enumeration_matches_brute_force(analyzer):
+    spec = ResiliencySpec.observability(k=2)
+    enumerated = {tuple(sorted(t.failed_devices))
+                  for t in analyzer.enumerate_threat_vectors(spec)}
+    brute = {tuple(sorted(t))
+             for t in analyzer.reference.brute_force_threats(spec)}
+    assert enumerated == brute == {(1,), (2,), (3,)}
+
+
+def test_enumeration_limit(analyzer):
+    spec = ResiliencySpec.observability(k=2)
+    assert len(analyzer.enumerate_threat_vectors(spec, limit=2)) == 2
+
+
+def test_enumeration_nonminimal_counts_assignments(analyzer):
+    spec = ResiliencySpec.observability(k=1)
+    raw = analyzer.enumerate_threat_vectors(spec, minimal=False)
+    # Exactly the three singleton failure assignments.
+    assert len(raw) == 3
+
+
+def test_result_records_model_size(analyzer):
+    result = analyzer.verify(ResiliencySpec.observability(k=1))
+    assert result.num_vars > 0
+    assert result.num_clauses > 0
+    assert result.total_time >= 0
+
+
+def test_model_size_without_solving(analyzer):
+    sizes = analyzer.model_size(ResiliencySpec.secured_observability(k=1))
+    assert sizes["vars"] > 0 and sizes["clauses"] > 0
+
+
+def test_bad_data_spec(analyzer):
+    result = analyzer.verify(
+        ResiliencySpec.bad_data_detectability(r=0, k=0))
+    # State 2 has no secured measurement at all.
+    assert result.status is Status.THREAT_FOUND

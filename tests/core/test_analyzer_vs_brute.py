@@ -1,0 +1,77 @@
+"""Randomized cross-validation: SAT verdicts against brute force."""
+
+import pytest
+
+from repro.core import ObservabilityProblem, ResiliencySpec, ScadaAnalyzer, Status
+from repro.grid import ieee14
+from repro.scada import GeneratorConfig, generate_scada
+
+
+def _analyzer(seed, secure_fraction=0.8, hierarchy=1):
+    syn = generate_scada(ieee14(), GeneratorConfig(
+        measurement_fraction=0.55, hierarchy_level=hierarchy, seed=seed,
+        secure_fraction=secure_fraction))
+    problem = ObservabilityProblem.from_table(syn.table)
+    return ScadaAnalyzer(syn.network, problem)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_observability_verdicts_match_brute_force(seed, k):
+    analyzer = _analyzer(seed)
+    spec = ResiliencySpec.observability(k=k)
+    result = analyzer.verify(spec)
+    brute = analyzer.reference.brute_force_threats(spec,
+                                                   minimal_only=False)
+    expected = Status.THREAT_FOUND if brute else Status.RESILIENT
+    assert result.status == expected
+    if result.threat is not None:
+        assert analyzer.reference.is_threat(spec,
+                                            result.threat.failed_devices)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("k", [0, 1])
+def test_secured_verdicts_match_brute_force(seed, k):
+    analyzer = _analyzer(seed, secure_fraction=0.7)
+    spec = ResiliencySpec.secured_observability(k=k)
+    result = analyzer.verify(spec)
+    brute = analyzer.reference.brute_force_threats(spec,
+                                                   minimal_only=False)
+    expected = Status.THREAT_FOUND if brute else Status.RESILIENT
+    assert result.status == expected
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_split_budget_verdicts_match_brute_force(seed):
+    analyzer = _analyzer(seed, hierarchy=2)
+    for k1, k2 in [(1, 0), (0, 1), (1, 1), (2, 1)]:
+        spec = ResiliencySpec.observability(k1=k1, k2=k2)
+        result = analyzer.verify(spec)
+        brute = analyzer.reference.brute_force_threats(
+            spec, minimal_only=False)
+        expected = Status.THREAT_FOUND if brute else Status.RESILIENT
+        assert result.status == expected, (k1, k2)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_minimal_enumeration_matches_brute_force(seed):
+    analyzer = _analyzer(seed)
+    spec = ResiliencySpec.observability(k=2)
+    enumerated = {tuple(sorted(t.failed_devices))
+                  for t in analyzer.enumerate_threat_vectors(spec)}
+    brute = {tuple(sorted(t))
+             for t in analyzer.reference.brute_force_threats(spec)}
+    assert enumerated == brute
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_bad_data_verdicts_match_brute_force(seed):
+    analyzer = _analyzer(seed, secure_fraction=1.0)
+    for r, k in [(0, 0), (0, 1), (1, 0)]:
+        spec = ResiliencySpec.bad_data_detectability(r=r, k=k)
+        result = analyzer.verify(spec)
+        brute = analyzer.reference.brute_force_threats(
+            spec, minimal_only=False)
+        expected = Status.THREAT_FOUND if brute else Status.RESILIENT
+        assert result.status == expected, (r, k)

@@ -1,0 +1,94 @@
+"""The command-deliverability property (extension)."""
+
+import itertools
+
+import pytest
+
+from repro.cases import case_analyzer
+from repro.core import Property, ResiliencySpec, ScadaAnalyzer, Status
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return case_analyzer("fig3")
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return case_analyzer("fig4")
+
+
+def test_baseline_all_devices_commandable(fig3):
+    assert fig3.reference.command_deliverable([])
+    result = fig3.verify(ResiliencySpec.command_deliverability(k=0))
+    assert result.status is Status.RESILIENT
+
+
+def test_rtu_failure_strands_its_ieds(fig3):
+    """RTU 9 down leaves IEDs 1-3 alive but uncommandable."""
+    assert not fig3.reference.command_deliverable([9])
+    result = fig3.verify(ResiliencySpec.command_deliverability(k=1))
+    assert result.status is Status.THREAT_FOUND
+
+
+def test_failed_devices_dont_count_as_stranded(fig3):
+    """Failing RTU 9 *and* its IEDs leaves nothing stranded behind it,
+    but RTU 10's subtree shows the same pattern elsewhere; verify the
+    reference treats dead devices as out of scope."""
+    # Kill RTU 9 and all its IEDs: the rest of the network is intact.
+    assert fig3.reference.command_deliverable([9, 1, 2, 3])
+
+
+def test_verdicts_match_brute_force(fig3):
+    spec = ResiliencySpec.command_deliverability(k=1)
+    field = fig3.network.field_device_ids
+    brute = any(
+        not fig3.reference.command_deliverable({device})
+        for device in field)
+    result = fig3.verify(spec)
+    assert (result.status is Status.THREAT_FOUND) == brute
+    if result.threat:
+        assert fig3.reference.is_threat(spec, result.threat.failed_devices)
+
+
+def test_brute_force_k2(fig3):
+    spec = ResiliencySpec.command_deliverability(k=2)
+    field = fig3.network.field_device_ids
+    brute = []
+    for size in (0, 1, 2):
+        for combo in itertools.combinations(field, size):
+            if not fig3.reference.command_deliverable(set(combo)):
+                brute.append(frozenset(combo))
+    result = fig3.verify(spec)
+    assert (result.status is Status.THREAT_FOUND) == bool(brute)
+
+
+def test_enumeration_matches_brute_force(fig3):
+    spec = ResiliencySpec.command_deliverability(k=1)
+    enumerated = {tuple(sorted(v.failed_devices))
+                  for v in fig3.enumerate_threat_vectors(spec)}
+    brute = {tuple(sorted(t))
+             for t in fig3.reference.brute_force_threats(spec)}
+    assert enumerated == brute
+
+
+def test_fig4_rtu12_strands_more(fig4):
+    """In Fig. 4, RTU 12 carries RTU 9's subtree too."""
+    assert not fig4.reference.command_deliverable([12])
+    result = fig4.verify(
+        ResiliencySpec.command_deliverability(k1=0, k2=1))
+    assert result.status is Status.THREAT_FOUND
+
+
+def test_link_budget_composes(fig3):
+    spec = ResiliencySpec.command_deliverability(k=0, link_k=1)
+    result = fig3.verify(spec)
+    # Cutting any IED uplink strands that IED.
+    assert result.status is Status.THREAT_FOUND
+    assert result.threat.failed_links
+
+
+def test_property_enum_wiring():
+    assert not Property.COMMAND_DELIVERABILITY.uses_security
+    spec = ResiliencySpec.command_deliverability(k=2)
+    assert "command-deliverability" in spec.describe()

@@ -1,0 +1,67 @@
+"""Configuration hardening (the paper's future-work synthesis)."""
+
+import pytest
+
+from repro.core import ResiliencySpec, ScadaAnalyzer, Status
+from repro.core.hardening import Repair, harden
+
+
+def test_no_repairs_needed_when_spec_holds(tiny_network, tiny_problem):
+    result = harden(tiny_network, tiny_problem,
+                    ResiliencySpec.observability(k=0))
+    assert result.succeeded
+    assert result.repairs == []
+    assert "no repairs" in result.summary()
+
+
+def test_security_upgrade_restores_secured_observability(
+        tiny_network, tiny_problem):
+    # z2's weak hop makes secured observability fail at k = 0; upgrading
+    # one pair's profile must fix it.
+    spec = ResiliencySpec.secured_observability(k=0)
+    result = harden(tiny_network, tiny_problem, spec, allow_links=False)
+    assert result.succeeded
+    assert len(result.repairs) == 1
+    assert result.repairs[0].kind == "upgrade-security"
+    verdict = ScadaAnalyzer(result.network, tiny_problem).verify(spec)
+    assert verdict.status is Status.RESILIENT
+
+
+def test_fig4_single_point_of_failure_fixed_by_link():
+    from repro.cases import case_problem, fig4_network
+    spec = ResiliencySpec.observability(k1=0, k2=1)
+    result = harden(fig4_network(), case_problem(), spec,
+                    allow_upgrades=False)
+    assert result.succeeded
+    assert all(r.kind == "add-link" for r in result.repairs)
+    verdict = ScadaAnalyzer(result.network,
+                            case_problem()).verify(spec)
+    assert verdict.status is Status.RESILIENT
+
+
+def test_minimum_cardinality_first():
+    from repro.cases import case_problem, fig4_network
+    spec = ResiliencySpec.observability(k1=0, k2=1)
+    result = harden(fig4_network(), case_problem(), spec)
+    assert len(result.repairs) == 1  # one link suffices
+
+
+def test_impossible_hardening_reports_failure(tiny_network, tiny_problem):
+    # No repair can survive losing both IEDs: the data sources are gone.
+    spec = ResiliencySpec.observability(k=2)
+    result = harden(tiny_network, tiny_problem, spec, max_repairs=1)
+    assert not result.succeeded
+    assert result.network is None
+    assert "no repair" in result.summary()
+
+
+def test_verify_call_budget_enforced(tiny_network, tiny_problem):
+    spec = ResiliencySpec.observability(k=2)
+    with pytest.raises(RuntimeError):
+        harden(tiny_network, tiny_problem, spec, max_repairs=2,
+               max_verify_calls=1)
+
+
+def test_repair_descriptions():
+    assert "upgrade" in Repair("upgrade-security", (1, 2)).describe()
+    assert "link" in Repair("add-link", (1, 2)).describe()

@@ -1,0 +1,165 @@
+"""End-to-end property tests: random small SCADA systems.
+
+Hypothesis generates arbitrary small configurations (topology,
+measurement map, security profiles) and the analyzer's verdicts are
+checked against exhaustive failure-set enumeration — the strongest
+statement that the SAT encoding implements exactly the paper's
+predicates.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ObservabilityProblem,
+    ResiliencySpec,
+    ScadaAnalyzer,
+    Status,
+)
+from repro.scada import CryptoProfile, Device, DeviceType, Link, ScadaNetwork
+
+SECURITY_POOL = [
+    None,                                      # no profile
+    "hmac 128",                                # auth only
+    "chap 64 sha2 128",                        # secured
+    "rsa 2048 aes 256",                        # secured
+    "des 256",                                 # broken
+]
+
+
+@st.composite
+def small_scada(draw):
+    num_ieds = draw(st.integers(min_value=2, max_value=5))
+    num_rtus = draw(st.integers(min_value=1, max_value=3))
+    num_states = draw(st.integers(min_value=2, max_value=4))
+
+    ied_ids = list(range(1, num_ieds + 1))
+    rtu_ids = list(range(num_ieds + 1, num_ieds + num_rtus + 1))
+    mtu = num_ieds + num_rtus + 1
+
+    links = []
+    pair_security = {}
+    index = 0
+
+    def add_link(a, b):
+        nonlocal index
+        index += 1
+        links.append(Link(index, a, b))
+        profile = draw(st.sampled_from(SECURITY_POOL))
+        if profile is not None:
+            pair_security[(min(a, b), max(a, b))] = \
+                CryptoProfile.parse_many(profile)
+
+    # Every IED gets at least one RTU uplink; maybe a second.
+    for ied in ied_ids:
+        add_link(ied, draw(st.sampled_from(rtu_ids)))
+        if draw(st.booleans()) and num_rtus > 1:
+            other = draw(st.sampled_from(rtu_ids))
+            if not any(l.node_pair == (min(ied, other), max(ied, other))
+                       for l in links):
+                add_link(ied, other)
+
+    # RTU uplinks: each RTU connects to the MTU or a lower-id RTU.
+    for pos, rtu in enumerate(rtu_ids):
+        if pos == 0 or draw(st.booleans()):
+            add_link(rtu, mtu)
+        else:
+            add_link(rtu, draw(st.sampled_from(rtu_ids[:pos])))
+
+    # Measurements: 1..2 per IED, each over 1..2 states.
+    measurement_map = {}
+    state_sets = {}
+    z = 0
+    for ied in ied_ids:
+        msrs = []
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            z += 1
+            size = draw(st.integers(min_value=1, max_value=2))
+            states = draw(st.lists(
+                st.integers(min_value=1, max_value=num_states),
+                min_size=size, max_size=size, unique=True))
+            state_sets[z] = states
+            msrs.append(z)
+        measurement_map[ied] = msrs
+
+    devices = ([Device(i, DeviceType.IED) for i in ied_ids]
+               + [Device(i, DeviceType.RTU) for i in rtu_ids]
+               + [Device(mtu, DeviceType.MTU)])
+    network = ScadaNetwork(devices=devices, links=links,
+                           measurement_map=measurement_map,
+                           pair_security=pair_security)
+    problem = ObservabilityProblem(num_states=num_states,
+                                   state_sets=state_sets,
+                                   unique_groups=[[i] for i in state_sets])
+    return network, problem
+
+
+@given(small_scada(), st.integers(min_value=0, max_value=3),
+       st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_verdicts_match_brute_force(system, k, secured):
+    network, problem = system
+    analyzer = ScadaAnalyzer(network, problem)
+    if secured:
+        spec = ResiliencySpec.secured_observability(k=k)
+    else:
+        spec = ResiliencySpec.observability(k=k)
+    result = analyzer.verify(spec)
+    brute = analyzer.reference.brute_force_threats(spec,
+                                                   minimal_only=False)
+    expected = Status.THREAT_FOUND if brute else Status.RESILIENT
+    assert result.status == expected
+    if result.threat is not None:
+        assert analyzer.reference.is_threat(spec,
+                                            result.threat.failed_devices)
+
+
+@given(small_scada(), st.integers(min_value=1, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_minimal_enumeration_matches_brute_force(system, k):
+    network, problem = system
+    analyzer = ScadaAnalyzer(network, problem)
+    spec = ResiliencySpec.observability(k=k)
+    enumerated = {tuple(sorted(t.failed_devices))
+                  for t in analyzer.enumerate_threat_vectors(spec)}
+    brute = {tuple(sorted(t))
+             for t in analyzer.reference.brute_force_threats(spec)}
+    assert enumerated == brute
+
+
+@given(small_scada(), st.integers(min_value=0, max_value=2),
+       st.integers(min_value=0, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_bad_data_matches_brute_force(system, k, r):
+    network, problem = system
+    analyzer = ScadaAnalyzer(network, problem)
+    spec = ResiliencySpec.bad_data_detectability(r=r, k=k)
+    result = analyzer.verify(spec)
+    brute = analyzer.reference.brute_force_threats(spec,
+                                                   minimal_only=False)
+    expected = Status.THREAT_FOUND if brute else Status.RESILIENT
+    assert result.status == expected
+
+
+@given(small_scada())
+@settings(max_examples=30, deadline=None)
+def test_certified_unsat_proofs_always_check(system):
+    network, problem = system
+    analyzer = ScadaAnalyzer(network, problem)
+    spec = ResiliencySpec.observability(k=0)
+    result = analyzer.verify(spec, certify=True)
+    if result.is_resilient:
+        assert result.details["proof_checked"] is True
+
+
+@given(small_scada(), st.integers(min_value=0, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_monotonicity_in_k(system, k):
+    """A threat within budget k is a threat within k+1."""
+    network, problem = system
+    analyzer = ScadaAnalyzer(network, problem)
+    small = analyzer.verify(ResiliencySpec.observability(k=k),
+                            minimize=False)
+    big = analyzer.verify(ResiliencySpec.observability(k=k + 1),
+                          minimize=False)
+    if small.status is Status.THREAT_FOUND:
+        assert big.status is Status.THREAT_FOUND

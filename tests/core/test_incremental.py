@@ -1,0 +1,109 @@
+"""Incremental analyzer: verdict parity with the fresh-encoding one."""
+
+import pytest
+
+from repro.core import (
+    FailureBudget,
+    ObservabilityProblem,
+    Property,
+    ResiliencySpec,
+    ScadaAnalyzer,
+    Status,
+)
+from repro.core.incremental import IncrementalAnalyzer
+from repro.grid import ieee14
+from repro.scada import GeneratorConfig, generate_scada
+
+
+@pytest.fixture(scope="module")
+def system():
+    synthetic = generate_scada(
+        ieee14(),
+        GeneratorConfig(measurement_fraction=0.7, dual_home_fraction=0.3,
+                        seed=6))
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    return synthetic.network, problem
+
+
+def test_verdict_parity_total_budgets(system):
+    network, problem = system
+    fresh = ScadaAnalyzer(network, problem)
+    incremental = IncrementalAnalyzer(network, problem)
+    for k in range(0, 5):
+        budget = FailureBudget.total(k)
+        a = fresh.verify(ResiliencySpec.observability(k=k),
+                         minimize=False).status
+        b = incremental.verify_budget(budget, minimize=False).status
+        assert a == b, k
+
+
+def test_verdict_parity_split_budgets(system):
+    network, problem = system
+    fresh = ScadaAnalyzer(network, problem)
+    incremental = IncrementalAnalyzer(network, problem)
+    for k1, k2 in [(0, 0), (1, 0), (0, 1), (2, 1), (3, 2)]:
+        budget = FailureBudget.split(k1, k2)
+        a = fresh.verify(ResiliencySpec.observability(k1=k1, k2=k2),
+                         minimize=False).status
+        b = incremental.verify_budget(budget, minimize=False).status
+        assert a == b, (k1, k2)
+
+
+def test_secured_property(system):
+    network, problem = system
+    incremental = IncrementalAnalyzer(
+        network, problem, prop=Property.SECURED_OBSERVABILITY)
+    fresh = ScadaAnalyzer(network, problem)
+    for k in (0, 1, 2):
+        a = fresh.verify(ResiliencySpec.secured_observability(k=k),
+                         minimize=False).status
+        b = incremental.verify_budget(FailureBudget.total(k),
+                                      minimize=False).status
+        assert a == b, k
+
+
+def test_threat_vectors_validate(system):
+    network, problem = system
+    incremental = IncrementalAnalyzer(network, problem)
+    result = incremental.verify_budget(FailureBudget.total(4))
+    if result.status is Status.THREAT_FOUND:
+        assert incremental.reference.is_threat(
+            result.spec, result.threat.failed_devices)
+        assert result.threat.minimal
+
+
+def test_queries_are_independent(system):
+    """A wide budget query must not leak into a later narrow one."""
+    network, problem = system
+    incremental = IncrementalAnalyzer(network, problem)
+    wide = incremental.verify_budget(FailureBudget.total(6),
+                                     minimize=False)
+    narrow = incremental.verify_budget(FailureBudget.total(0),
+                                       minimize=False)
+    fresh = ScadaAnalyzer(network, problem)
+    expected = fresh.verify(ResiliencySpec.observability(k=0),
+                            minimize=False).status
+    assert narrow.status == expected
+    # And re-asking the wide one still matches.
+    again = incremental.verify_budget(FailureBudget.total(6),
+                                      minimize=False)
+    assert again.status == wide.status
+
+
+def test_max_resiliency_matches_binary_search(system):
+    from repro.analysis import max_total_resiliency
+    network, problem = system
+    fresh = ScadaAnalyzer(network, problem)
+    incremental = IncrementalAnalyzer(network, problem)
+    assert incremental.max_total_resiliency() == \
+        max_total_resiliency(fresh)
+
+
+def test_case_study_parity():
+    from repro.cases import case_problem, fig3_network
+    network, problem = fig3_network(), case_problem()
+    incremental = IncrementalAnalyzer(network, problem)
+    assert incremental.verify_budget(
+        FailureBudget.split(1, 1)).is_resilient
+    result = incremental.verify_budget(FailureBudget.split(2, 1))
+    assert result.status is Status.THREAT_FOUND

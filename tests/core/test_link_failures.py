@@ -1,0 +1,108 @@
+"""Link-failure contingencies (extension of the paper's model)."""
+
+import itertools
+
+import pytest
+
+from repro.cases import case_analyzer
+from repro.core import ResiliencySpec, ScadaAnalyzer, Status
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return case_analyzer("fig3")
+
+
+def test_link_k_zero_matches_paper_model(fig3):
+    """link_k=0 admits no link failures: verdicts match link_k=None."""
+    for budget in (dict(k1=1, k2=1), dict(k1=2, k2=1)):
+        plain = fig3.verify(ResiliencySpec.observability(**budget))
+        pinned = fig3.verify(
+            ResiliencySpec.observability(**budget, link_k=0))
+        assert plain.status == pinned.status
+
+
+def test_single_link_failure_threats(fig3):
+    """With zero device failures and one link failure, the threat
+    vectors are exactly the critical links."""
+    spec = ResiliencySpec.observability(k=0, link_k=1)
+    vectors = fig3.enumerate_threat_vectors(spec)
+    found = {tuple(sorted(v.failed_links))[0] for v in vectors}
+    # Brute force over all single links.
+    expected = set()
+    for link in fig3.network.topology.links:
+        if not fig3.reference.observable([], failed_links=[link.node_pair]):
+            expected.add(link.node_pair)
+    assert found == expected
+    for vector in vectors:
+        assert not vector.failed_devices
+
+
+def test_router_uplink_is_critical(fig3):
+    """Cutting the router-MTU link disconnects everything."""
+    assert not fig3.reference.observable([], failed_links=[(13, 14)])
+    spec = ResiliencySpec.observability(k=0, link_k=1)
+    result = fig3.verify(spec)
+    assert result.status is Status.THREAT_FOUND
+    assert result.threat.failed_links
+
+
+def test_link_failure_equivalent_to_leaf_device_failure(fig3):
+    """Cutting an IED's only uplink equals failing the IED (the paper's
+    argument for folding link failures into Node_i)."""
+    by_link = fig3.reference.delivered_measurements(
+        [], failed_links=[(1, 9)])
+    by_device = fig3.reference.delivered_measurements([1])
+    assert by_link == by_device
+
+
+def test_combined_device_and_link_budget(fig3):
+    spec = ResiliencySpec.observability(k1=1, k2=0, link_k=1)
+    result = fig3.verify(spec)
+    # Any verdict must agree with explicit enumeration.
+    threats_exist = False
+    links = [l.node_pair for l in fig3.network.topology.links]
+    for ied in fig3.network.ied_ids + [None]:
+        for link in links + [None]:
+            failed = {ied} if ied is not None else set()
+            failed_links = [link] if link is not None else []
+            if not fig3.reference.property_holds(spec, failed,
+                                                 failed_links):
+                threats_exist = True
+    assert (result.status is Status.THREAT_FOUND) == threats_exist
+    if result.threat is not None:
+        assert fig3.reference.is_threat(spec,
+                                        result.threat.failed_devices,
+                                        result.threat.failed_links)
+
+
+def test_minimized_link_threats_are_minimal(fig3):
+    spec = ResiliencySpec.observability(k=1, link_k=1)
+    vectors = fig3.enumerate_threat_vectors(spec, limit=10)
+    for vector in vectors:
+        devices = set(vector.failed_devices)
+        links = set(vector.failed_links)
+        for device in devices:
+            assert fig3.reference.property_holds(
+                spec, devices - {device}, links)
+        for link in links:
+            assert fig3.reference.property_holds(
+                spec, devices, links - {link})
+
+
+def test_within_budget_rejects_unknown_links(fig3):
+    spec = ResiliencySpec.observability(k=0, link_k=1)
+    assert not fig3.reference.within_budget(spec, [], [(1, 2)])
+    assert fig3.reference.within_budget(spec, [], [(1, 9)])
+    none_spec = ResiliencySpec.observability(k=1)
+    assert not fig3.reference.within_budget(none_spec, [], [(1, 9)])
+
+
+def test_negative_link_k_rejected():
+    with pytest.raises(ValueError):
+        ResiliencySpec.observability(k=1, link_k=-1)
+
+
+def test_describe_mentions_links():
+    spec = ResiliencySpec.observability(k=1, link_k=2)
+    assert "link" in spec.describe()

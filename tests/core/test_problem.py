@@ -1,0 +1,94 @@
+"""ObservabilityProblem construction and the row-comparison rule."""
+
+import pytest
+
+from repro.core import ObservabilityProblem, group_rows_by_component
+from repro.grid import JacobianTable, full_measurement_plan, ieee14
+
+
+def test_basic_construction():
+    problem = ObservabilityProblem(
+        num_states=3,
+        state_sets={1: [1, 2], 2: [3]},
+        unique_groups=[[1], [2]],
+    )
+    assert problem.num_measurements == 2
+    assert problem.measurements_covering(2) == [1]
+    assert list(problem.states()) == [1, 2, 3]
+
+
+def test_ungrouped_measurements_become_singletons():
+    problem = ObservabilityProblem(
+        num_states=2, state_sets={1: [1], 2: [2]}, unique_groups=[[1]])
+    assert sorted(map(tuple, problem.unique_groups)) == [(1,), (2,)]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ObservabilityProblem(0, {}, [])
+    with pytest.raises(ValueError):
+        ObservabilityProblem(2, {1: [5]}, [])  # state out of range
+    with pytest.raises(ValueError):
+        ObservabilityProblem(2, {1: [1]}, [[1], [1]])  # duplicated
+    with pytest.raises(ValueError):
+        ObservabilityProblem(2, {1: [1]}, [[9]])  # unknown measurement
+
+
+def test_group_rows_equal():
+    rows = [{1: 2.0, 2: -2.0}, {1: 2.0, 2: -2.0}, {1: 3.0}]
+    groups = group_rows_by_component(rows, [1, 2, 3])
+    assert sorted(map(tuple, groups)) == [(1, 2), (3,)]
+
+
+def test_group_rows_negated():
+    rows = [{1: 2.0, 2: -2.0}, {1: -2.0, 2: 2.0}]
+    groups = group_rows_by_component(rows, [1, 2])
+    assert groups == [[1, 2]]
+
+
+def test_group_rows_different_support_not_grouped():
+    rows = [{1: 2.0, 2: -2.0}, {1: 2.0, 3: -2.0}]
+    groups = group_rows_by_component(rows, [1, 2])
+    assert len(groups) == 2
+
+
+def test_group_rows_scaled_rows_not_grouped():
+    # Same support but different magnitudes → different components.
+    rows = [{1: 2.0, 2: -2.0}, {1: 4.0, 2: -4.0}]
+    groups = group_rows_by_component(rows, [1, 2])
+    assert len(groups) == 2
+
+
+def test_from_rows():
+    rows = [{1: 1.0}, {1: -1.0}, {2: 5.0}]
+    problem = ObservabilityProblem.from_rows(2, rows)
+    assert problem.num_measurements == 3
+    assert sorted(map(tuple, problem.unique_groups)) == [(1, 2), (3,)]
+    assert problem.state_sets[3] == {2}
+
+
+def test_from_table_groups_flow_pairs():
+    table = JacobianTable(full_measurement_plan(ieee14()))
+    problem = ObservabilityProblem.from_table(table)
+    sizes = sorted(len(g) for g in problem.unique_groups)
+    # Every line contributes a (fwd, bwd) pair; leaf-bus injections merge
+    # into their line's component (bus 8 in IEEE-14), making one group
+    # of three.
+    assert max(sizes) >= 2
+    assert problem.num_states == 14
+
+
+def test_from_table_leaf_bus_injection_redundancy():
+    """Bus 8 hangs off line 7-8, so its injection row equals the
+    backward flow on that line — the paper's redundancy example."""
+    table = JacobianTable(full_measurement_plan(ieee14()))
+    problem = ObservabilityProblem.from_table(table)
+    plan = table.plan
+    line78 = next(b.index for b in plan.bus_system.branches
+                  if b.buses == (7, 8))
+    flows = [m.index for m in plan.measurements
+             if m.mtype.is_flow and m.element == line78]
+    injection8 = next(m.index for m in plan.measurements
+                      if not m.mtype.is_flow and m.element == 8)
+    group = next(g for g in problem.unique_groups if injection8 in g)
+    assert set(flows) <= set(group)

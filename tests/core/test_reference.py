@@ -1,0 +1,98 @@
+"""The reference (non-SAT) evaluator."""
+
+import pytest
+
+from repro.core import ObservabilityProblem, ResiliencySpec
+from repro.core.reference import ReferenceEvaluator
+
+
+@pytest.fixture
+def evaluator(tiny_network, tiny_problem):
+    return ReferenceEvaluator(tiny_network, tiny_problem)
+
+
+def test_delivery_all_alive(evaluator):
+    assert evaluator.assured_delivery(1, set())
+    assert evaluator.assured_delivery(2, set())
+    assert evaluator.delivered_measurements([]) == {1, 2}
+
+
+def test_failed_ied_does_not_deliver(evaluator):
+    assert not evaluator.assured_delivery(1, {1})
+    assert evaluator.delivered_measurements([1]) == {2}
+
+
+def test_failed_rtu_blocks_everything(evaluator):
+    assert evaluator.delivered_measurements([3]) == set()
+
+
+def test_secured_delivery_respects_crypto(evaluator):
+    # IED 2's hop is hmac-128: authenticated but not integrity protected.
+    assert evaluator.secured_delivery(1, set())
+    assert not evaluator.secured_delivery(2, set())
+    assert evaluator.delivered_measurements([], secured=True) == {1}
+
+
+def test_observable_baseline(evaluator):
+    assert evaluator.observable([])
+    # Secured observability already fails: z2 is never secured.
+    assert not evaluator.observable([], secured=True)
+
+
+def test_observability_needs_coverage(evaluator):
+    assert not evaluator.observable([1])  # state 1 uncovered
+    assert not evaluator.observable([2])
+
+
+def test_bad_data_needs_redundancy(evaluator):
+    # One secured measurement per state is below the r+1 = 2 threshold.
+    assert not evaluator.bad_data_detectable([], r=1)
+    assert evaluator.bad_data_detectable([], r=0) is False  # z2 insecure
+    spec = ResiliencySpec.bad_data_detectability(r=0, k=0)
+    assert not evaluator.property_holds(spec, [])
+
+
+def test_within_budget_total(evaluator):
+    spec = ResiliencySpec.observability(k=1)
+    assert evaluator.within_budget(spec, [1])
+    assert not evaluator.within_budget(spec, [1, 2])
+    assert not evaluator.within_budget(spec, [4])  # MTU can't fail
+
+
+def test_within_budget_split(evaluator):
+    spec = ResiliencySpec.observability(k1=1, k2=0)
+    assert evaluator.within_budget(spec, [1])
+    assert not evaluator.within_budget(spec, [3])
+    assert not evaluator.within_budget(spec, [1, 2])
+
+
+def test_is_threat(evaluator):
+    spec = ResiliencySpec.observability(k=1)
+    assert evaluator.is_threat(spec, [1])
+    assert not evaluator.is_threat(spec, [])
+    assert not evaluator.is_threat(spec, [1, 2])  # over budget
+
+
+def test_minimize_threat(evaluator):
+    spec = ResiliencySpec.observability(k=2)
+    minimal = evaluator.minimize_threat(spec, {1, 2})
+    # Either single IED already breaks observability.
+    assert len(minimal) == 1
+    with pytest.raises(ValueError):
+        evaluator.minimize_threat(spec, set())
+
+
+def test_brute_force_threats(evaluator):
+    spec = ResiliencySpec.observability(k=1)
+    threats = evaluator.brute_force_threats(spec)
+    assert sorted(map(tuple, (sorted(t) for t in threats))) == \
+        [(1,), (2,), (3,)]
+    raw = evaluator.brute_force_threats(spec, minimal_only=False)
+    assert len(raw) == 3
+
+
+def test_brute_force_split_budget(evaluator):
+    spec = ResiliencySpec.observability(k1=1, k2=0)
+    threats = evaluator.brute_force_threats(spec)
+    assert sorted(map(tuple, (sorted(t) for t in threats))) == \
+        [(1,), (2,)]

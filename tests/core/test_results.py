@@ -1,0 +1,72 @@
+"""Result and threat-vector presentation."""
+
+import pytest
+
+from repro.core import ResiliencySpec, Status, ThreatVector, VerificationResult
+
+
+def _vector(**kwargs):
+    defaults = dict(failed_ieds=frozenset({1, 2}),
+                    failed_rtus=frozenset({9}))
+    defaults.update(kwargs)
+    return ThreatVector(**defaults)
+
+
+def test_failed_devices_union():
+    vector = _vector()
+    assert vector.failed_devices == frozenset({1, 2, 9})
+    assert vector.size == 3
+
+
+def test_size_counts_links():
+    vector = _vector(failed_links=frozenset({(3, 4)}))
+    assert vector.size == 4
+
+
+def test_describe_default_labels():
+    text = _vector().describe()
+    assert "IED 1" in text and "IED 2" in text and "RTU 9" in text
+
+
+def test_describe_custom_labeler():
+    text = _vector().describe(lambda i: f"dev{i}")
+    assert "dev1" in text and "dev9" in text
+
+
+def test_describe_links():
+    vector = _vector(failed_links=frozenset({(3, 4)}))
+    assert "link 3-4" in vector.describe()
+
+
+def test_empty_vector_message():
+    vector = ThreatVector(failed_ieds=frozenset(),
+                          failed_rtus=frozenset())
+    assert "no failures needed" in vector.describe()
+
+
+def test_result_summary_states():
+    spec = ResiliencySpec.observability(k=1)
+    resilient = VerificationResult(spec=spec, status=Status.RESILIENT)
+    assert "HOLDS" in resilient.summary()
+    assert resilient.is_resilient
+
+    threat = VerificationResult(spec=spec, status=Status.THREAT_FOUND,
+                                threat=_vector())
+    assert "VIOLATED" in threat.summary()
+    assert not threat.is_resilient
+
+    unknown = VerificationResult(spec=spec, status=Status.UNKNOWN)
+    assert "UNKNOWN" in unknown.summary()
+
+
+def test_total_time_is_sum():
+    spec = ResiliencySpec.observability(k=1)
+    result = VerificationResult(spec=spec, status=Status.RESILIENT,
+                                solve_time=0.25, encode_time=0.5)
+    assert result.total_time == pytest.approx(0.75)
+
+
+def test_repr_roundtrips_summary():
+    spec = ResiliencySpec.observability(k=1)
+    result = VerificationResult(spec=spec, status=Status.RESILIENT)
+    assert "HOLDS" in repr(result)

@@ -1,0 +1,68 @@
+"""Resiliency specification types."""
+
+import pytest
+
+from repro.core import FailureBudget, Property, ResiliencySpec
+
+
+def test_total_budget():
+    budget = FailureBudget.total(3)
+    assert not budget.is_split
+    assert budget.max_failures == 3
+    assert budget.describe() == "3"
+
+
+def test_split_budget():
+    budget = FailureBudget.split(2, 1)
+    assert budget.is_split
+    assert budget.max_failures == 3
+    assert budget.describe() == "(2, 1)"
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        FailureBudget()
+    with pytest.raises(ValueError):
+        FailureBudget(k=1, k1=1, k2=1)
+    with pytest.raises(ValueError):
+        FailureBudget(k1=1)
+    with pytest.raises(ValueError):
+        FailureBudget(k=-1)
+    with pytest.raises(ValueError):
+        FailureBudget.split(-1, 0)
+
+
+def test_spec_constructors():
+    spec = ResiliencySpec.observability(k=2)
+    assert spec.property is Property.OBSERVABILITY
+    assert not spec.property.uses_security
+    spec = ResiliencySpec.secured_observability(k1=1, k2=1)
+    assert spec.property.uses_security
+    spec = ResiliencySpec.bad_data_detectability(r=2, k=1)
+    assert spec.r == 2
+
+
+def test_spec_requires_complete_budget():
+    with pytest.raises(ValueError):
+        ResiliencySpec.observability()
+    with pytest.raises(ValueError):
+        ResiliencySpec.observability(k1=1)
+
+
+def test_spec_rejects_negative_r():
+    with pytest.raises(ValueError):
+        ResiliencySpec.bad_data_detectability(r=-1, k=1)
+
+
+def test_describe_strings():
+    assert ResiliencySpec.observability(k=2).describe() == \
+        "2-resilient observability"
+    assert ResiliencySpec.secured_observability(k1=1, k2=0).describe() == \
+        "(1, 0)-resilient secured-observability"
+    text = ResiliencySpec.bad_data_detectability(r=1, k=2).describe()
+    assert text.startswith("(2, 1)-resilient")
+
+
+def test_spec_is_hashable():
+    assert len({ResiliencySpec.observability(k=1),
+                ResiliencySpec.observability(k=1)}) == 1

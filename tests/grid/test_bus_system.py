@@ -1,0 +1,65 @@
+"""Bus system model."""
+
+import pytest
+
+from repro.grid import Branch, BusSystem, from_branch_list, ieee14
+
+
+def test_branch_susceptance():
+    branch = Branch(1, 1, 2, 0.25)
+    assert branch.susceptance == pytest.approx(4.0)
+
+
+def test_branch_validation():
+    with pytest.raises(ValueError):
+        Branch(1, 2, 2, 0.1)
+    with pytest.raises(ValueError):
+        Branch(1, 1, 2, 0.0)
+
+
+def test_from_branch_list():
+    system = from_branch_list("toy", 3, [(1, 2, 0.1), (2, 3, 0.2)])
+    assert system.num_branches == 2
+    assert system.branch(1).buses == (1, 2)
+
+
+def test_duplicate_branch_index_rejected():
+    with pytest.raises(ValueError):
+        BusSystem("bad", 2, [Branch(1, 1, 2, 0.1), Branch(1, 2, 1, 0.2)])
+
+
+def test_parallel_branch_rejected():
+    branches = [Branch(1, 1, 2, 0.1), Branch(2, 2, 1, 0.2)]
+    with pytest.raises(ValueError):
+        BusSystem("bad", 2, branches)
+
+
+def test_out_of_range_bus_rejected():
+    with pytest.raises(ValueError):
+        BusSystem("bad", 2, [Branch(1, 1, 3, 0.1)])
+
+
+def test_neighbors_and_degree():
+    system = from_branch_list("toy", 4,
+                              [(1, 2, 0.1), (1, 3, 0.1), (3, 4, 0.1)])
+    assert sorted(system.neighbors(1)) == [2, 3]
+    assert system.degree(1) == 2
+    assert system.degree(4) == 1
+
+
+def test_connectivity():
+    connected = from_branch_list("c", 3, [(1, 2, 0.1), (2, 3, 0.1)])
+    assert connected.is_connected()
+    disconnected = from_branch_list("d", 3, [(1, 2, 0.1)])
+    assert not disconnected.is_connected()
+
+
+def test_average_degree_ieee14():
+    system = ieee14()
+    # The paper cites ~3 as the typical grid degree.
+    assert 2.5 < system.average_degree() < 3.5
+
+
+def test_unknown_branch_lookup():
+    with pytest.raises(KeyError):
+        ieee14().branch(999)

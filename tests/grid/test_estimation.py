@@ -1,0 +1,111 @@
+"""DC state estimation and bad-data detection."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    DcStateEstimator,
+    JacobianTable,
+    UnobservableError,
+    chi_square_threshold,
+    full_measurement_plan,
+    ieee14,
+    sampled_measurement_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return JacobianTable(full_measurement_plan(ieee14()))
+
+
+@pytest.fixture(scope="module")
+def true_angles():
+    rng = np.random.default_rng(42)
+    angles = rng.normal(0.0, 0.1, 14)
+    angles[0] = 0.0  # reference bus 1
+    return angles
+
+
+def test_noiseless_roundtrip(table, true_angles):
+    estimator = DcStateEstimator(table)
+    readings = estimator.measure(true_angles)
+    result = estimator.estimate(readings)
+    np.testing.assert_allclose(result.angles, true_angles, atol=1e-8)
+    assert result.objective == pytest.approx(0.0, abs=1e-9)
+    assert result.chi_square_passes
+
+
+def test_noisy_estimation_close(table, true_angles):
+    estimator = DcStateEstimator(table, sigma=0.01)
+    rng = np.random.default_rng(7)
+    readings = estimator.measure(true_angles, noise=0.01, rng=rng)
+    result = estimator.estimate(readings)
+    np.testing.assert_allclose(result.angles, true_angles, atol=0.05)
+    assert result.chi_square_passes
+
+
+def test_unobservable_raises(table, true_angles):
+    estimator = DcStateEstimator(table)
+    readings = estimator.measure(true_angles, indices=[1, 2])
+    with pytest.raises(UnobservableError):
+        estimator.estimate(readings)
+
+
+def test_empty_readings_raise(table):
+    with pytest.raises(UnobservableError):
+        DcStateEstimator(table).estimate({})
+
+
+def test_reference_bus_validation(table):
+    with pytest.raises(ValueError):
+        DcStateEstimator(table, reference_bus=0)
+    with pytest.raises(ValueError):
+        DcStateEstimator(table, reference_bus=99)
+
+
+def test_gross_error_detected_with_redundancy(table, true_angles):
+    estimator = DcStateEstimator(table, sigma=0.01)
+    rng = np.random.default_rng(3)
+    readings = estimator.measure(true_angles, noise=0.005, rng=rng)
+    corrupted = max(readings)
+    readings[corrupted] += 1.0  # gross error
+    result = estimator.estimate(readings)
+    assert not result.chi_square_passes
+    suspect, _ = result.largest_normalized_residual()
+    clean, removed = estimator.detect_and_remove_bad_data(readings)
+    assert corrupted in removed
+    assert clean.chi_square_passes
+    np.testing.assert_allclose(clean.angles, true_angles, atol=0.05)
+
+
+def test_critical_measurement_error_is_undetectable(true_angles):
+    """The paper's §III-E premise: with a critical (non-redundant)
+    measurement, bad data cannot be detected."""
+    plan = sampled_measurement_plan(ieee14(), 0.25, seed=1)
+    table = JacobianTable(plan)
+    estimator = DcStateEstimator(table, sigma=0.01)
+    readings = estimator.measure(true_angles[:14])
+    # With zero redundancy (m == n-1) the residuals vanish identically,
+    # so corrupting any measurement passes the chi-square test.
+    indices = sorted(readings)
+    h = estimator._h_matrix(indices)
+    if len(indices) == h.shape[1]:  # exactly determined
+        readings[indices[0]] += 1.0
+        result = estimator.estimate(readings)
+        assert result.chi_square_passes  # the error slips through
+
+
+def test_chi_square_threshold_table_and_approximation():
+    assert chi_square_threshold(1) == pytest.approx(3.841)
+    assert chi_square_threshold(10) == pytest.approx(18.307)
+    assert chi_square_threshold(0) == 0.0
+    # Approximation beyond the table is monotone and plausible.
+    assert chi_square_threshold(40) > chi_square_threshold(30)
+    assert 40 < chi_square_threshold(40) < 70
+
+
+def test_measure_subset(table, true_angles):
+    estimator = DcStateEstimator(table)
+    readings = estimator.measure(true_angles, indices=[1, 3, 5])
+    assert sorted(readings) == [1, 3, 5]

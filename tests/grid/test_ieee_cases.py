@@ -1,0 +1,69 @@
+"""IEEE case data and synthetic grid generation."""
+
+import pytest
+
+from repro.grid import (
+    CASE_SIZES,
+    case30,
+    case57,
+    case118,
+    case_by_buses,
+    ieee14,
+    synthetic_grid,
+)
+
+
+def test_ieee14_shape():
+    system = ieee14()
+    assert system.num_buses == 14
+    assert system.num_branches == 20
+    assert system.is_connected()
+
+
+def test_ieee14_known_susceptances():
+    system = ieee14()
+    line12 = system.branch(1)
+    assert line12.buses == (1, 2)
+    assert line12.susceptance == pytest.approx(16.90, abs=0.01)
+    line45 = system.branch(7)
+    assert line45.susceptance == pytest.approx(23.75, abs=0.01)
+
+
+@pytest.mark.parametrize("factory,buses", [
+    (case30, 30), (case57, 57), (case118, 118),
+])
+def test_synthetic_cases_match_real_sizes(factory, buses):
+    system = factory()
+    assert system.num_buses == buses
+    assert system.num_branches == CASE_SIZES[buses]
+    assert system.is_connected()
+    # Power-grid degree profile the paper relies on.
+    assert 2.0 < system.average_degree() < 4.0
+
+
+def test_synthetic_grid_is_deterministic():
+    a = synthetic_grid(20, 28, seed=5)
+    b = synthetic_grid(20, 28, seed=5)
+    assert [(x.from_bus, x.to_bus, x.reactance) for x in a.branches] == \
+           [(x.from_bus, x.to_bus, x.reactance) for x in b.branches]
+
+
+def test_synthetic_grid_seed_changes_topology():
+    a = synthetic_grid(20, 28, seed=1)
+    b = synthetic_grid(20, 28, seed=2)
+    assert [(x.from_bus, x.to_bus) for x in a.branches] != \
+           [(x.from_bus, x.to_bus) for x in b.branches]
+
+
+def test_synthetic_grid_bounds():
+    with pytest.raises(ValueError):
+        synthetic_grid(10, 8, seed=0)  # below spanning tree
+    with pytest.raises(ValueError):
+        synthetic_grid(4, 7, seed=0)  # above complete graph
+
+
+def test_case_by_buses_dispatch():
+    assert case_by_buses(14).name == "ieee14"
+    assert case_by_buses(57).num_buses == 57
+    with pytest.raises(ValueError):
+        case_by_buses(99)

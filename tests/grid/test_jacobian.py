@@ -1,0 +1,92 @@
+"""DC Jacobian construction."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    JacobianTable,
+    Measurement,
+    MeasurementPlan,
+    MeasurementType,
+    full_measurement_plan,
+    ieee14,
+    jacobian_matrix,
+    jacobian_row,
+    state_sets,
+)
+
+
+def test_forward_flow_row():
+    system = ieee14()
+    msr = Measurement(1, MeasurementType.LINE_FLOW_FORWARD, 1)
+    row = jacobian_row(system, msr)
+    b = system.branch(1).susceptance
+    assert row == {1: pytest.approx(b), 2: pytest.approx(-b)}
+
+
+def test_backward_flow_negates_forward():
+    system = ieee14()
+    fwd = jacobian_row(system, Measurement(
+        1, MeasurementType.LINE_FLOW_FORWARD, 3))
+    bwd = jacobian_row(system, Measurement(
+        2, MeasurementType.LINE_FLOW_BACKWARD, 3))
+    for bus, coeff in fwd.items():
+        assert bwd[bus] == pytest.approx(-coeff)
+
+
+def test_injection_row_sums_to_zero():
+    system = ieee14()
+    for bus in range(1, 15):
+        row = jacobian_row(system, Measurement(
+            1, MeasurementType.BUS_INJECTION, bus))
+        assert sum(row.values()) == pytest.approx(0.0, abs=1e-9)
+        assert row[bus] > 0
+
+
+def test_injection_touches_neighborhood():
+    system = ieee14()
+    row = jacobian_row(system, Measurement(
+        1, MeasurementType.BUS_INJECTION, 4))
+    assert set(row) == {4} | set(system.neighbors(4))
+
+
+def test_jacobian_matrix_shape_and_rank():
+    plan = full_measurement_plan(ieee14())
+    h = jacobian_matrix(plan)
+    assert h.shape == (plan.num_measurements, 14)
+    # The full DC Jacobian has rank n-1 (angles are relative).
+    assert np.linalg.matrix_rank(h) == 13
+
+
+def test_state_sets_match_nonzeros():
+    plan = full_measurement_plan(ieee14())
+    h = jacobian_matrix(plan)
+    sets = state_sets(plan)
+    for pos, msr in enumerate(plan.measurements):
+        nonzero = {bus + 1 for bus in np.nonzero(h[pos])[0]}
+        assert set(sets[msr.index]) == nonzero
+
+
+def test_table_with_explicit_rows():
+    plan = MeasurementPlan(ieee14(), [
+        Measurement(1, MeasurementType.BUS_INJECTION, 1),
+        Measurement(2, MeasurementType.BUS_INJECTION, 2),
+    ])
+    rows = [{1: 2.0, 2: -2.0}, {2: 5.0}]
+    table = JacobianTable(plan, rows)
+    assert table.state_set(1) == [1, 2]
+    assert table.state_set(2) == [2]
+    assert table.matrix().shape == (2, 14)
+
+
+def test_table_row_count_mismatch():
+    plan = MeasurementPlan(ieee14(), [
+        Measurement(1, MeasurementType.BUS_INJECTION, 1)])
+    with pytest.raises(ValueError):
+        JacobianTable(plan, rows=[{1: 1.0}, {2: 1.0}])
+
+
+def test_table_unknown_measurement():
+    table = JacobianTable(full_measurement_plan(ieee14()))
+    with pytest.raises(KeyError):
+        table.state_set(10_000)

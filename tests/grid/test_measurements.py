@@ -1,0 +1,108 @@
+"""Measurement taxonomy and unique-component grouping."""
+
+import pytest
+
+from repro.grid import (
+    Measurement,
+    MeasurementPlan,
+    MeasurementType,
+    full_measurement_plan,
+    ieee14,
+    sampled_measurement_plan,
+)
+
+
+def test_full_plan_size():
+    system = ieee14()
+    plan = full_measurement_plan(system)
+    # 2 flow readings per line + 1 injection per bus.
+    assert plan.num_measurements == 2 * system.num_branches + system.num_buses
+    assert plan.num_states == 14
+
+
+def test_component_keys_pair_flows():
+    fwd = Measurement(1, MeasurementType.LINE_FLOW_FORWARD, 7)
+    bwd = Measurement(2, MeasurementType.LINE_FLOW_BACKWARD, 7)
+    inj = Measurement(3, MeasurementType.BUS_INJECTION, 7)
+    assert fwd.component_key == bwd.component_key
+    assert fwd.component_key != inj.component_key
+
+
+def test_unique_component_sets_on_full_plan():
+    plan = full_measurement_plan(ieee14())
+    groups = plan.unique_component_sets()
+    # One component per line plus one per bus.
+    assert len(groups) == 20 + 14
+    sizes = sorted(len(v) for v in groups.values())
+    assert sizes.count(2) == 20 and sizes.count(1) == 14
+
+
+def test_validation_rejects_duplicates():
+    system = ieee14()
+    msr = Measurement(1, MeasurementType.BUS_INJECTION, 1)
+    with pytest.raises(ValueError):
+        MeasurementPlan(system, [msr, msr])
+
+
+def test_validation_rejects_unknown_elements():
+    system = ieee14()
+    with pytest.raises(ValueError):
+        MeasurementPlan(system, [
+            Measurement(1, MeasurementType.LINE_FLOW_FORWARD, 999)])
+    with pytest.raises(ValueError):
+        MeasurementPlan(system, [
+            Measurement(1, MeasurementType.BUS_INJECTION, 999)])
+
+
+def test_sampled_plan_fraction():
+    system = ieee14()
+    full = full_measurement_plan(system)
+    plan = sampled_measurement_plan(system, 0.5, seed=1,
+                                    ensure_coverage=False)
+    assert plan.num_measurements == round(0.5 * full.num_measurements)
+
+
+def test_sampled_plan_coverage_topup():
+    system = ieee14()
+    plan = sampled_measurement_plan(system, 0.1, seed=1)
+    touched = set()
+    for msr in plan.measurements:
+        if msr.mtype.is_flow:
+            touched.update(system.branch(msr.element).buses)
+        else:
+            touched.add(msr.element)
+            touched.update(system.neighbors(msr.element))
+    assert touched == set(range(1, 15))
+
+
+def test_sampled_plan_deterministic():
+    system = ieee14()
+    a = sampled_measurement_plan(system, 0.6, seed=9)
+    b = sampled_measurement_plan(system, 0.6, seed=9)
+    assert [(m.mtype, m.element) for m in a.measurements] == \
+           [(m.mtype, m.element) for m in b.measurements]
+
+
+def test_sampled_plan_renumbers_contiguously():
+    plan = sampled_measurement_plan(ieee14(), 0.4, seed=2)
+    assert plan.indices() == list(range(1, plan.num_measurements + 1))
+
+
+def test_bad_fraction_rejected():
+    with pytest.raises(ValueError):
+        sampled_measurement_plan(ieee14(), 0.0)
+    with pytest.raises(ValueError):
+        sampled_measurement_plan(ieee14(), 1.5)
+
+
+def test_by_index_lookup():
+    plan = full_measurement_plan(ieee14())
+    assert plan.by_index(1).index == 1
+    with pytest.raises(KeyError):
+        plan.by_index(10_000)
+
+
+def test_describe_strings():
+    plan = full_measurement_plan(ieee14())
+    text = plan.measurements[0].describe()
+    assert "z1" in text and "line" in text

@@ -1,0 +1,56 @@
+"""Numeric observability oracle."""
+
+import pytest
+
+from repro.grid import (
+    JacobianTable,
+    covered_states,
+    full_measurement_plan,
+    ieee14,
+    is_rank_observable,
+    rank_of_rows,
+    sampled_measurement_plan,
+)
+
+
+def test_full_plan_rank():
+    table = JacobianTable(full_measurement_plan(ieee14()))
+    all_indices = table.plan.indices()
+    assert rank_of_rows(table, all_indices) == 13
+
+
+def test_rank_of_empty_selection():
+    table = JacobianTable(full_measurement_plan(ieee14()))
+    assert rank_of_rows(table, []) == 0
+
+
+def test_reference_bus_observability():
+    table = JacobianTable(full_measurement_plan(ieee14()))
+    indices = table.plan.indices()
+    # Full rank-n fails (DC matrix always rank n-1)...
+    assert not is_rank_observable(table, indices)
+    # ...but with a reference bus the conventional criterion holds.
+    assert is_rank_observable(table, indices, reference_bus=1)
+
+
+def test_subset_loses_observability():
+    table = JacobianTable(full_measurement_plan(ieee14()))
+    few = table.plan.indices()[:3]
+    assert not is_rank_observable(table, few, reference_bus=1)
+
+
+def test_covered_states():
+    table = JacobianTable(full_measurement_plan(ieee14()))
+    # The first measurement is the forward flow on line 1-2.
+    assert covered_states(table, [1]) == {1, 2}
+    assert covered_states(table, []) == set()
+
+
+def test_paper_criterion_is_necessary_for_rank():
+    """Rank observability (with reference) implies the paper's counting
+    criterion over the same rows."""
+    table = JacobianTable(sampled_measurement_plan(ieee14(), 0.8, seed=4))
+    indices = table.plan.indices()
+    if is_rank_observable(table, indices, reference_bus=1):
+        covered = covered_states(table, indices)
+        assert covered == set(range(1, 15))

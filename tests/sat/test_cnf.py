@@ -1,0 +1,69 @@
+"""Unit tests for the CNF container."""
+
+import pytest
+
+from repro.sat import CNF
+
+
+def test_new_var_sequence():
+    cnf = CNF()
+    assert cnf.new_var() == 1
+    assert cnf.new_var() == 2
+    assert cnf.num_vars == 2
+
+
+def test_new_vars_bulk():
+    cnf = CNF()
+    assert cnf.new_vars(3) == [1, 2, 3]
+    with pytest.raises(ValueError):
+        cnf.new_vars(-1)
+
+
+def test_add_clause_grows_num_vars():
+    cnf = CNF()
+    cnf.add_clause([4, -2])
+    assert cnf.num_vars == 4
+    assert len(cnf) == 1
+
+
+def test_tautologies_are_dropped():
+    cnf = CNF()
+    cnf.add_clause([1, -1])
+    assert len(cnf) == 0
+
+
+def test_constructor_with_clauses():
+    cnf = CNF(clauses=[[1, 2], [-1]])
+    assert len(cnf) == 2
+    assert cnf.num_vars == 2
+
+
+def test_copy_is_independent():
+    cnf = CNF(clauses=[[1, 2]])
+    dup = cnf.copy()
+    dup.add_clause([3])
+    assert len(cnf) == 1
+    assert len(dup) == 2
+
+
+def test_evaluate():
+    cnf = CNF(clauses=[[1, -2], [2, 3]])
+    assert cnf.evaluate([None, True, False, True])
+    assert not cnf.evaluate([None, False, True, False])
+
+
+def test_negative_num_vars_rejected():
+    with pytest.raises(ValueError):
+        CNF(num_vars=-1)
+
+
+def test_iteration_yields_clauses():
+    cnf = CNF(clauses=[[1], [2, -3]])
+    assert sorted(map(tuple, cnf)) == [(1,), (2, -3)]
+
+
+def test_extend_adds_all():
+    cnf = CNF()
+    cnf.extend([[1, 2], [-1], [2, 3]])
+    assert len(cnf) == 3
+    assert cnf.num_vars == 3

@@ -1,0 +1,87 @@
+"""DIMACS parsing and serialization."""
+
+import pytest
+
+from repro.sat import CNF, dumps, loads
+from repro.sat.dimacs import DimacsError
+
+
+def test_roundtrip():
+    cnf = CNF(clauses=[[1, -2], [2, 3], [-1]])
+    text = dumps(cnf, comment="test formula")
+    back = loads(text)
+    assert back.num_vars == cnf.num_vars
+    assert sorted(map(tuple, back.clauses)) == sorted(map(tuple, cnf.clauses))
+
+
+def test_parse_with_comments_and_blank_lines():
+    text = """
+c a comment
+p cnf 3 2
+
+1 -2 0
+c another
+2 3 0
+"""
+    cnf = loads(text)
+    assert cnf.num_vars == 3
+    assert len(cnf) == 2
+
+
+def test_declared_vars_respected_when_larger():
+    cnf = loads("p cnf 10 1\n1 2 0\n")
+    assert cnf.num_vars == 10
+
+
+def test_missing_trailing_zero_tolerated():
+    cnf = loads("p cnf 2 1\n1 2\n")
+    assert len(cnf) == 1
+
+
+def test_bad_problem_line():
+    with pytest.raises(DimacsError):
+        loads("p sat 3 2\n1 0\n")
+
+
+def test_bad_literal():
+    with pytest.raises(DimacsError):
+        loads("p cnf 2 1\n1 x 0\n")
+
+
+def test_too_many_clauses_rejected():
+    with pytest.raises(DimacsError):
+        loads("p cnf 2 1\n1 0\n2 0\n")
+
+
+def test_multiline_clause():
+    cnf = loads("p cnf 3 1\n1\n2\n3 0\n")
+    assert cnf.clauses == [[1, 2, 3]]
+
+
+def test_roundtrip_fuzz():
+    import random
+    from repro.sat import SatSolver
+    rng = random.Random(17)
+    for _ in range(50):
+        n = rng.randint(1, 15)
+        m = rng.randint(1, 40)
+        cnf = CNF(num_vars=n)
+        for _ in range(m):
+            clause = [v if rng.random() < 0.5 else -v
+                      for v in rng.sample(range(1, n + 1),
+                                          rng.randint(1, min(4, n)))]
+            cnf.add_clause(clause)
+        back = loads(dumps(cnf))
+        assert back.num_vars == cnf.num_vars
+        assert sorted(map(tuple, back.clauses)) == \
+            sorted(map(tuple, cnf.clauses))
+
+        # Satisfiability equivalence through the round trip.
+        def solve(formula):
+            solver = SatSolver()
+            while solver.num_vars < formula.num_vars:
+                solver.new_var()
+            ok = all(solver.add_clause(c) for c in formula.clauses)
+            return solver.solve() if ok else False
+
+        assert solve(cnf) == solve(back)

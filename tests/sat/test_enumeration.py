@@ -1,0 +1,88 @@
+"""AllSAT enumeration with projection."""
+
+import itertools
+
+import pytest
+
+from repro.sat import SatSolver, count_models, enumerate_models
+
+
+def _fresh(clauses, num_vars):
+    s = SatSolver()
+    while s.num_vars < num_vars:
+        s.new_var()
+    for c in clauses:
+        s.add_clause(c)
+    return s
+
+
+def test_enumerate_all_models_of_or():
+    s = _fresh([[1, 2]], 2)
+    models = list(enumerate_models(s, [1, 2]))
+    assert len(models) == 3
+    assert sorted(map(tuple, models)) == sorted(
+        {(1, 2), (1, -2), (-1, 2)})
+
+
+def test_projection_collapses_irrelevant_vars():
+    # var 3 is free; projecting onto {1} should give at most 2 models.
+    s = _fresh([[1, 2], [3, -3, 2]], 3)
+    models = list(enumerate_models(s, [1]))
+    assert len(models) <= 2
+
+
+def test_count_models_matches_truth_table():
+    clauses = [[1, 2, 3], [-1, -2]]
+    expected = 0
+    for bits in itertools.product([False, True], repeat=3):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in c)
+               for c in clauses):
+            expected += 1
+    s = _fresh(clauses, 3)
+    assert count_models(s, [1, 2, 3]) == expected
+
+
+def test_limit_truncates():
+    s = _fresh([], 3)
+    models = list(enumerate_models(s, [1, 2, 3], limit=5))
+    assert len(models) == 5
+
+
+def test_enumeration_on_unsat_is_empty():
+    s = _fresh([[1], [-1]], 1)
+    assert list(enumerate_models(s, [1])) == []
+
+
+def test_budget_exhaustion_raises():
+    holes = 6
+    s = SatSolver()
+    P = {}
+    v = 0
+    for p in range(holes + 1):
+        for h in range(holes):
+            v += 1
+            P[p, h] = v
+    for p in range(holes + 1):
+        s.add_clause([P[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(holes + 1):
+            for p2 in range(p1 + 1, holes + 1):
+                s.add_clause([-P[p1, h], -P[p2, h]])
+    with pytest.raises(RuntimeError):
+        list(enumerate_models(s, [1], max_conflicts_per_model=1))
+
+
+def test_enumerate_filtered():
+    from repro.sat.enumeration import enumerate_filtered
+    s = _fresh([[1, 2]], 2)
+    kept = enumerate_filtered(s, [1, 2], keep=lambda cube: cube[0] > 0)
+    # Only models with var 1 true survive the filter.
+    assert all(cube[0] == 1 for cube in kept)
+    assert len(kept) == 2
+
+
+def test_blocking_is_permanent():
+    s = _fresh([], 2)
+    list(enumerate_models(s, [1, 2]))
+    # All four assignments are now blocked.
+    assert s.solve() is False

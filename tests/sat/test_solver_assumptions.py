@@ -1,0 +1,71 @@
+"""Solving under assumptions and unsat-core extraction."""
+
+import random
+
+from repro.sat import SatSolver
+from tests.conftest import brute_force_sat, random_cnf
+
+
+def test_assumptions_restrict_models():
+    s = SatSolver()
+    s.add_clause([1, 2])
+    assert s.solve(assumptions=[-1]) is True
+    assert s.model_value(2)
+    assert s.solve(assumptions=[-2]) is True
+    assert s.model_value(1)
+    assert s.solve(assumptions=[-1, -2]) is False
+
+
+def test_solver_usable_after_unsat_assumptions():
+    s = SatSolver()
+    s.add_clause([1, 2])
+    assert s.solve(assumptions=[-1, -2]) is False
+    assert s.solve() is True
+
+
+def test_core_is_subset_of_assumptions():
+    s = SatSolver()
+    s.add_clause([-1, 3])
+    s.add_clause([-2, -3])
+    assert s.solve(assumptions=[1, 2, 5]) is False
+    core = s.core()
+    assert set(core) <= {1, 2, 5}
+    assert core  # non-empty
+
+
+def test_core_excludes_irrelevant_assumptions():
+    s = SatSolver()
+    s.add_clause([-1])
+    assert s.solve(assumptions=[1, 7]) is False
+    assert s.core() == [1]
+
+
+def test_contradictory_assumption_pair_in_core():
+    s = SatSolver()
+    s.add_clause([1, 2])  # make the vars known
+    assert s.solve(assumptions=[1, -1]) is False
+    assert set(s.core()) == {1, -1}
+
+
+def test_seeded_fuzz_assumptions():
+    rng = random.Random(7)
+    for _ in range(150):
+        n, clauses = random_cnf(rng, max_vars=7, max_clauses=20)
+        assumptions = []
+        for v in range(1, n + 1):
+            roll = rng.random()
+            if roll < 0.2:
+                assumptions.append(v)
+            elif roll < 0.4:
+                assumptions.append(-v)
+        solver = SatSolver()
+        ok = all(solver.add_clause(c) for c in clauses)
+        result = solver.solve(assumptions=assumptions) if ok else False
+        expected = brute_force_sat(
+            n, clauses + [[a] for a in assumptions])
+        assert result == expected
+        if not result and ok:
+            core = solver.core()
+            assert set(core) <= set(assumptions)
+            # The core itself must be unsatisfiable with the clauses.
+            assert not brute_force_sat(n, clauses + [[a] for a in core])

@@ -1,0 +1,67 @@
+"""Randomized cross-validation of the solver against brute force."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import SatSolver
+from tests.conftest import brute_force_sat, random_cnf
+
+
+def test_seeded_fuzz_against_brute_force():
+    rng = random.Random(20160628)
+    for _ in range(250):
+        n, clauses = random_cnf(rng)
+        solver = SatSolver()
+        ok = all(solver.add_clause(c) for c in clauses)
+        result = solver.solve() if ok else False
+        assert result == brute_force_sat(n, clauses)
+        if result:
+            for clause in clauses:
+                assert any(solver.model_value(l) for l in clause)
+
+
+@st.composite
+def cnf_instances(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=20))
+    clauses = []
+    for _ in range(m):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = []
+        for _ in range(width):
+            v = draw(st.integers(min_value=1, max_value=n))
+            sign = draw(st.booleans())
+            clause.append(v if sign else -v)
+        clauses.append(clause)
+    return n, clauses
+
+
+@given(cnf_instances())
+@settings(max_examples=150, deadline=None)
+def test_hypothesis_agreement_with_brute_force(instance):
+    n, clauses = instance
+    solver = SatSolver()
+    ok = all(solver.add_clause(c) for c in clauses)
+    result = solver.solve() if ok else False
+    assert result == brute_force_sat(n, clauses)
+
+
+@given(cnf_instances(), st.integers(min_value=0, max_value=2 ** 6 - 1))
+@settings(max_examples=100, deadline=None)
+def test_hypothesis_blocked_model_is_not_refound(instance, mask):
+    """Blocking a satisfying assignment and re-solving never returns it."""
+    n, clauses = instance
+    solver = SatSolver()
+    while solver.num_vars < n:
+        solver.new_var()
+    ok = all(solver.add_clause(c) for c in clauses)
+    if not ok or not solver.solve():
+        return
+    model_lits = [v if solver.model_value(v) else -v
+                  for v in range(1, n + 1)]
+    solver.add_clause([-l for l in model_lits])
+    if solver.solve():
+        new_lits = [v if solver.model_value(v) else -v
+                    for v in range(1, n + 1)]
+        assert new_lits != model_lits

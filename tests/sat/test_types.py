@@ -1,0 +1,61 @@
+"""Unit tests for literal/clause primitives."""
+
+import pytest
+
+from repro.sat.types import (
+    TautologyError,
+    from_internal,
+    internal_neg,
+    max_var,
+    neg,
+    normalize_clause,
+    to_internal,
+    var_of,
+)
+
+
+def test_neg_flips_sign():
+    assert neg(3) == -3
+    assert neg(-7) == 7
+
+
+def test_var_of_strips_sign():
+    assert var_of(5) == 5
+    assert var_of(-5) == 5
+
+
+@pytest.mark.parametrize("lit", [1, -1, 42, -42, 1000, -1000])
+def test_internal_roundtrip(lit):
+    assert from_internal(to_internal(lit)) == lit
+
+
+def test_internal_encoding_layout():
+    assert to_internal(1) == 2
+    assert to_internal(-1) == 3
+    assert to_internal(2) == 4
+
+
+def test_internal_neg_is_involution():
+    for lit in (1, -1, 9, -9):
+        ilit = to_internal(lit)
+        assert internal_neg(internal_neg(ilit)) == ilit
+        assert from_internal(internal_neg(ilit)) == -lit
+
+
+def test_normalize_deduplicates_and_sorts():
+    assert normalize_clause([3, 1, 3, -2]) == [1, -2, 3]
+
+
+def test_normalize_rejects_zero():
+    with pytest.raises(ValueError):
+        normalize_clause([1, 0])
+
+
+def test_normalize_detects_tautology():
+    with pytest.raises(TautologyError):
+        normalize_clause([1, -1])
+
+
+def test_max_var():
+    assert max_var([[1, -5], [3]]) == 5
+    assert max_var([]) == 0

@@ -1,0 +1,132 @@
+"""Configuration file parsing and serialization."""
+
+import pytest
+
+from repro.core import ObservabilityProblem, Property
+from repro.scada import (
+    CaseConfig,
+    GeneratorConfig,
+    dump_config,
+    generate_scada,
+    parse_config,
+)
+from repro.scada.config_io import ConfigError
+from repro.grid import ieee14
+
+MINIMAL = """
+[system]
+states = 2
+
+[jacobian]
+1.5 0
+0 -2.5
+
+[devices]
+ied = 1 2
+rtu = 3
+mtu = 4
+
+[links]
+1 3
+2 3
+3 4
+
+[measurements]
+1: 1
+2: 2
+
+[security]
+1 3: chap 64 sha2 128
+
+[requirements]
+property = observability
+k = 1
+"""
+
+
+def test_parse_minimal():
+    config = parse_config(MINIMAL)
+    assert config.problem.num_states == 2
+    assert config.network.ied_ids == [1, 2]
+    assert config.network.mtu_id == 4
+    assert config.spec is not None
+    assert config.spec.budget.k == 1
+
+
+def test_parse_id_ranges():
+    text = MINIMAL.replace("ied = 1 2", "ied = 1-2")
+    config = parse_config(text)
+    assert config.network.ied_ids == [1, 2]
+
+
+def test_split_budget_requirements():
+    text = MINIMAL.replace("k = 1", "k1 = 2\nk2 = 1").replace(
+        "property = observability", "property = secured-observability")
+    config = parse_config(text)
+    assert config.spec.property is Property.SECURED_OBSERVABILITY
+    assert config.spec.budget.k1 == 2
+    assert config.spec.budget.k2 == 1
+
+
+def test_requirements_optional():
+    text = MINIMAL[:MINIMAL.index("[requirements]")]
+    config = parse_config(text)
+    assert config.spec is None
+
+
+def test_errors():
+    with pytest.raises(ConfigError):
+        parse_config("stray content")
+    with pytest.raises(ConfigError):
+        parse_config("[bogus]\n")
+    with pytest.raises(ConfigError):
+        parse_config("[system]\nstates = 2\n[jacobian]\n1 2 3\n")
+    with pytest.raises(ConfigError):
+        parse_config("[system]\nfoo = 2\n")
+    with pytest.raises(ConfigError):
+        parse_config(MINIMAL.replace("property = observability",
+                                     "property = bogus"))
+    with pytest.raises(ConfigError):
+        parse_config(MINIMAL.replace("1 3: chap 64 sha2 128",
+                                     "1: chap 64"))
+
+
+def test_comments_and_blanks_ignored():
+    text = "# leading comment\n" + MINIMAL.replace(
+        "[links]", "[links]\n# the links")
+    config = parse_config(text)
+    assert len(config.network.topology.links) == 3
+
+
+def test_roundtrip_through_dump():
+    config = parse_config(MINIMAL)
+    text = dump_config(config)
+    back = parse_config(text)
+    assert back.network.ied_ids == config.network.ied_ids
+    assert back.problem.num_states == config.problem.num_states
+    assert back.spec.budget.describe() == config.spec.budget.describe()
+    assert back.network.pair_security == config.network.pair_security
+
+
+def test_roundtrip_generated_system():
+    syn = generate_scada(ieee14(), GeneratorConfig(seed=8))
+    problem = ObservabilityProblem.from_table(syn.table)
+    case = CaseConfig(network=syn.network, problem=problem, spec=None)
+    text = dump_config(case, rows=syn.table.rows)
+    back = parse_config(text)
+    assert back.problem.num_states == problem.num_states
+    assert back.problem.num_measurements == problem.num_measurements
+    assert sorted(back.network.measurement_map) == \
+           sorted(syn.network.measurement_map)
+    # Unique grouping from numeric rows must match the taxonomy-derived
+    # grouping of the generator.
+    assert sorted(map(tuple, back.problem.unique_groups)) == \
+           sorted(map(tuple, problem.unique_groups))
+
+
+def test_load_config(tmp_path):
+    from repro.scada import load_config
+    path = tmp_path / "case.scada"
+    path.write_text(MINIMAL)
+    config = load_config(str(path))
+    assert config.network.mtu_id == 4

@@ -1,0 +1,78 @@
+"""Crypto strength policy (the Authenticated/IntegrityProtected rules)."""
+
+import pytest
+
+from repro.scada import CryptoPolicy, CryptoProfile, DEFAULT_POLICY
+
+
+def P(text):
+    return CryptoProfile.parse(text)
+
+
+def test_hmac_128_authenticates_but_no_integrity():
+    # The §III-D example: "hmac 128" pairs are authenticated yet the
+    # transmission is not integrity protected.
+    assert DEFAULT_POLICY.profile_authenticates(P("hmac 128"))
+    assert not DEFAULT_POLICY.profile_protects_integrity(P("hmac 128"))
+
+
+def test_chap_authenticates_only():
+    assert DEFAULT_POLICY.profile_authenticates(P("chap 64"))
+    assert not DEFAULT_POLICY.profile_protects_integrity(P("chap 64"))
+
+
+def test_sha2_protects_integrity():
+    assert DEFAULT_POLICY.profile_protects_integrity(P("sha2 128"))
+    assert DEFAULT_POLICY.profile_protects_integrity(P("sha256 256"))
+
+
+def test_key_length_thresholds():
+    assert not DEFAULT_POLICY.profile_authenticates(P("hmac 64"))
+    assert not DEFAULT_POLICY.profile_authenticates(P("rsa 1024"))
+    assert DEFAULT_POLICY.profile_authenticates(P("rsa 2048"))
+    assert not DEFAULT_POLICY.profile_protects_integrity(P("sha2 64"))
+
+
+def test_broken_algorithms_never_count():
+    # DES is explicitly called out as broken in the paper.
+    assert not DEFAULT_POLICY.profile_authenticates(P("des 256"))
+    assert not DEFAULT_POLICY.profile_protects_integrity(P("des 256"))
+    assert not DEFAULT_POLICY.profile_protects_integrity(P("md5 128"))
+
+
+def test_aes_256_is_authenticated_encryption():
+    assert DEFAULT_POLICY.profile_authenticates(P("aes 256"))
+    assert DEFAULT_POLICY.profile_protects_integrity(P("aes 256"))
+
+
+def test_secured_requires_both():
+    secured_pair = CryptoProfile.parse_many("chap 64 sha2 128")
+    assert DEFAULT_POLICY.secured(secured_pair)
+    auth_only = CryptoProfile.parse_many("hmac 128")
+    assert not DEFAULT_POLICY.secured(auth_only)
+    integrity_only = CryptoProfile.parse_many("sha999 0")
+    assert not DEFAULT_POLICY.secured(integrity_only)
+    assert not DEFAULT_POLICY.secured(())
+
+
+def test_shared_profiles_intersection():
+    left = CryptoProfile.parse_many("hmac 128 sha2 256")
+    right = CryptoProfile.parse_many("sha2 256 rsa 2048")
+    shared = DEFAULT_POLICY.shared_profiles(left, right)
+    assert shared == (CryptoProfile("sha2", 256),)
+
+
+def test_custom_policy():
+    policy = CryptoPolicy(
+        authentication_rules={"toy": 1},
+        integrity_rules={"toy": 10},
+        broken=["bad"],
+    )
+    assert policy.authenticated([P("toy 1")])
+    assert not policy.integrity_protected([P("toy 1")])
+    assert policy.integrity_protected([P("toy 10")])
+    assert not policy.authenticated([P("bad 100")])
+
+
+def test_unknown_algorithm_counts_for_nothing():
+    assert not DEFAULT_POLICY.authenticated([P("rot13 9000")])

@@ -1,0 +1,60 @@
+"""Device model."""
+
+import pytest
+
+from repro.scada import CryptoProfile, Device, DeviceType, make_device
+
+
+def test_crypto_profile_parse():
+    profile = CryptoProfile.parse("HMAC 128")
+    assert profile.algorithm == "hmac"
+    assert profile.key_bits == 128
+
+
+def test_crypto_profile_parse_many():
+    profiles = CryptoProfile.parse_many("chap 64 sha2 128")
+    assert len(profiles) == 2
+    assert profiles[1] == CryptoProfile("sha2", 128)
+
+
+def test_crypto_profile_parse_errors():
+    with pytest.raises(ValueError):
+        CryptoProfile.parse("hmac")
+    with pytest.raises(ValueError):
+        CryptoProfile.parse_many("chap 64 sha2")
+    with pytest.raises(ValueError):
+        CryptoProfile("aes", -1)
+
+
+def test_crypto_profile_str_roundtrip():
+    profile = CryptoProfile("rsa", 2048)
+    assert CryptoProfile.parse(str(profile)) == profile
+
+
+def test_device_type_predicates():
+    assert DeviceType.IED.is_field_device
+    assert DeviceType.RTU.is_field_device
+    assert not DeviceType.MTU.is_field_device
+    assert not DeviceType.ROUTER.is_field_device
+
+
+def test_device_properties():
+    ied = Device(1, DeviceType.IED)
+    assert ied.is_ied and ied.is_field_device
+    assert not ied.is_mtu
+    assert ied.label == "IED 1"
+
+
+def test_device_protocols_lowercased():
+    device = make_device(1, DeviceType.RTU, protocols=["DNP3", "Modbus"])
+    assert device.protocols == frozenset({"dnp3", "modbus"})
+
+
+def test_device_id_validation():
+    with pytest.raises(ValueError):
+        Device(0, DeviceType.IED)
+
+
+def test_named_device_label():
+    device = make_device(5, DeviceType.MTU, name="control-center")
+    assert device.label == "control-center"

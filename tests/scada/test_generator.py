@@ -1,0 +1,112 @@
+"""The synthetic SCADA generator (§V-A policy)."""
+
+import pytest
+
+from repro.core import ObservabilityProblem
+from repro.grid import ieee14, case30
+from repro.scada import GeneratorConfig, generate_scada
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GeneratorConfig(hierarchy_level=0)
+    with pytest.raises(ValueError):
+        GeneratorConfig(measurement_fraction=0)
+    with pytest.raises(ValueError):
+        GeneratorConfig(secure_fraction=1.5)
+
+
+def test_ied_policy_matches_paper():
+    """One IED per two flow measurements, one per injection."""
+    syn = generate_scada(ieee14(), GeneratorConfig(seed=1))
+    flows = sum(1 for m in syn.plan.measurements if m.mtype.is_flow)
+    injections = syn.plan.num_measurements - flows
+    expected_ieds = (flows + 1) // 2 + injections
+    assert len(syn.network.ied_ids) == expected_ieds
+
+
+def test_every_measurement_assigned_exactly_once():
+    syn = generate_scada(ieee14(), GeneratorConfig(seed=2))
+    assigned = syn.network.assigned_measurements()
+    assert assigned == syn.plan.indices()
+
+
+def test_all_ieds_reach_mtu():
+    syn = generate_scada(ieee14(), GeneratorConfig(seed=3,
+                                                   hierarchy_level=3))
+    for ied in syn.network.ied_ids:
+        assert syn.network.forwarding_paths(ied), ied
+
+
+def test_determinism():
+    a = generate_scada(ieee14(), GeneratorConfig(seed=7))
+    b = generate_scada(ieee14(), GeneratorConfig(seed=7))
+    assert [l.node_pair for l in a.network.topology.links] == \
+           [l.node_pair for l in b.network.topology.links]
+    assert a.network.pair_security == b.network.pair_security
+
+
+def test_seed_changes_network():
+    a = generate_scada(ieee14(), GeneratorConfig(seed=1))
+    b = generate_scada(ieee14(), GeneratorConfig(seed=2))
+    assert [l.node_pair for l in a.network.topology.links] != \
+           [l.node_pair for l in b.network.topology.links]
+
+
+def test_hierarchy_increases_depth():
+    flat = generate_scada(ieee14(), GeneratorConfig(seed=4,
+                                                    hierarchy_level=1))
+    deep = generate_scada(ieee14(), GeneratorConfig(seed=4,
+                                                    hierarchy_level=3))
+
+    def mean_path_len(syn):
+        lengths = [len(syn.network.forwarding_paths(i)[0])
+                   for i in syn.network.ied_ids]
+        return sum(lengths) / len(lengths)
+
+    assert mean_path_len(deep) > mean_path_len(flat)
+
+
+def test_secure_fraction_extremes():
+    locked = generate_scada(ieee14(), GeneratorConfig(seed=5,
+                                                      secure_fraction=1.0))
+    for ied in locked.network.ied_ids:
+        assert locked.network.secured_paths(ied), ied
+    open_ = generate_scada(ieee14(), GeneratorConfig(seed=5,
+                                                     secure_fraction=0.0))
+    secured = [i for i in open_.network.ied_ids
+               if open_.network.secured_paths(i)]
+    assert not secured
+
+
+def test_device_count_scales_with_buses():
+    small = generate_scada(ieee14(), GeneratorConfig(seed=1))
+    big = generate_scada(case30(), GeneratorConfig(seed=1))
+    assert big.num_devices > small.num_devices
+
+
+def test_problem_builds_from_generated_table():
+    syn = generate_scada(ieee14(), GeneratorConfig(seed=6))
+    problem = ObservabilityProblem.from_table(syn.table)
+    assert problem.num_states == 14
+    assert problem.num_measurements == syn.plan.num_measurements
+
+
+def test_dual_homing_adds_redundant_paths():
+    from repro.scada import GeneratorConfig, generate_scada
+    from repro.grid import ieee14
+    single = generate_scada(ieee14(), GeneratorConfig(seed=9))
+    dual = generate_scada(ieee14(), GeneratorConfig(
+        seed=9, dual_home_fraction=1.0))
+    single_paths = sum(len(single.network.forwarding_paths(i))
+                       for i in single.network.ied_ids)
+    dual_paths = sum(len(dual.network.forwarding_paths(i))
+                     for i in dual.network.ied_ids)
+    assert dual_paths > single_paths
+
+
+def test_dual_home_fraction_validated():
+    import pytest
+    from repro.scada import GeneratorConfig
+    with pytest.raises(ValueError):
+        GeneratorConfig(dual_home_fraction=2.0)

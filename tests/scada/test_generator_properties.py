@@ -1,0 +1,57 @@
+"""Hypothesis invariants of the synthetic SCADA generator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ObservabilityProblem
+from repro.grid import ieee14
+from repro.scada import GeneratorConfig, generate_scada
+
+
+@given(
+    fraction=st.floats(min_value=0.3, max_value=1.0),
+    hierarchy=st.integers(min_value=1, max_value=4),
+    secure=st.floats(min_value=0.0, max_value=1.0),
+    dual=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_generated_systems_are_well_formed(fraction, hierarchy, secure,
+                                           dual, seed):
+    config = GeneratorConfig(
+        measurement_fraction=fraction,
+        hierarchy_level=hierarchy,
+        secure_fraction=secure,
+        dual_home_fraction=dual,
+        seed=seed,
+    )
+    synthetic = generate_scada(ieee14(), config)
+    network = synthetic.network
+
+    # Structural invariants.
+    assert network.mtu_id  # exactly one MTU (validated on construction)
+    assert network.assigned_measurements() == synthetic.plan.indices()
+    for ied in network.ied_ids:
+        paths = network.forwarding_paths(ied)
+        assert paths, f"IED {ied} cannot reach the MTU"
+        for path in paths:
+            assert path[0] == ied and path[-1] == network.mtu_id
+            # No other IED serves as a transit hop.
+            assert not (set(path[1:-1]) & set(network.ied_ids))
+
+    # Every pair with a security entry is an actual communicating pair
+    # (it lies on some logical hop of some path).
+    hops = set()
+    routers = network.router_ids
+    for device in network.field_device_ids:
+        for path in network.forwarding_paths(device):
+            nodes = [d for d in path if d not in routers]
+            hops.update((min(a, b), max(a, b))
+                        for a, b in zip(nodes, nodes[1:]))
+    for pair in network.pair_security:
+        assert pair in hops, pair
+
+    # The derived observability problem is self-consistent.
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    assert problem.num_states == 14
+    grouped = sorted(z for group in problem.unique_groups for z in group)
+    assert grouped == synthetic.plan.indices()

@@ -1,0 +1,90 @@
+"""Multi-MTU SCADA systems (paper §III-B: one main MTU, secondaries
+relay to it)."""
+
+import pytest
+
+from repro.core import (
+    ObservabilityProblem,
+    ResiliencySpec,
+    ScadaAnalyzer,
+    Status,
+)
+from repro.scada import CryptoProfile, Device, DeviceType, Link, ScadaNetwork
+
+
+def _two_mtu_network(main=None):
+    """IED 1 → RTU 2 → secondary MTU 4 → main MTU 3."""
+    devices = [
+        Device(1, DeviceType.IED),
+        Device(2, DeviceType.RTU),
+        Device(3, DeviceType.MTU),
+        Device(4, DeviceType.MTU),
+    ]
+    links = [Link(1, 1, 2), Link(2, 2, 4), Link(3, 4, 3)]
+    security = {
+        (1, 2): CryptoProfile.parse_many("chap 64 sha2 128"),
+        (2, 4): CryptoProfile.parse_many("rsa 2048 aes 256"),
+        (3, 4): CryptoProfile.parse_many("rsa 2048 aes 256"),
+    }
+    return ScadaNetwork(devices=devices, links=links,
+                        measurement_map={1: [1]},
+                        pair_security=security,
+                        main_mtu=main)
+
+
+def test_lowest_id_mtu_is_main_by_default():
+    network = _two_mtu_network()
+    assert network.mtu_id == 3
+    assert network.mtu_ids == [3, 4]
+
+
+def test_explicit_main_mtu():
+    network = _two_mtu_network(main=4)
+    assert network.mtu_id == 4
+    # With MTU 4 as main, IED 1's path ends there directly.
+    assert network.forwarding_paths(1) == [[1, 2, 4]]
+
+
+def test_invalid_main_mtu_rejected():
+    with pytest.raises(ValueError):
+        _two_mtu_network(main=2)  # an RTU
+    with pytest.raises(ValueError):
+        _two_mtu_network(main=99)
+
+
+def test_no_mtu_rejected():
+    with pytest.raises(ValueError):
+        ScadaNetwork(
+            devices=[Device(1, DeviceType.IED), Device(2, DeviceType.RTU)],
+            links=[Link(1, 1, 2)],
+            measurement_map={1: [1]})
+
+
+def test_paths_relay_through_secondary_mtu():
+    network = _two_mtu_network()
+    assert network.forwarding_paths(1) == [[1, 2, 4, 3]]
+    # The secondary MTU is a real pairing endpoint, not transparent.
+    assert network.secured_paths(1) == [[1, 2, 4, 3]]
+
+
+def test_secondary_mtu_never_fails_in_model():
+    """Like routers and the main MTU, secondary MTUs are not failure
+    candidates (only field devices populate the budget)."""
+    network = _two_mtu_network()
+    assert 4 not in network.field_device_ids
+    problem = ObservabilityProblem(num_states=1, state_sets={1: [1]},
+                                   unique_groups=[[1]])
+    analyzer = ScadaAnalyzer(network, problem)
+    # Only IED 1 or RTU 2 can fail; either breaks observability.
+    result = analyzer.verify(ResiliencySpec.observability(k=1))
+    assert result.status is Status.THREAT_FOUND
+    assert result.threat.failed_devices <= {1, 2}
+    result = analyzer.verify(ResiliencySpec.observability(k=0))
+    assert result.status is Status.RESILIENT
+
+
+def test_single_mtu_networks_unchanged():
+    from repro.cases import fig3_network
+    network = fig3_network()
+    assert network.mtu_id == 13
+    assert network.mtu_ids == [13]

@@ -1,0 +1,188 @@
+"""The ScadaNetwork container and its static predicates."""
+
+import pytest
+
+from repro.scada import (
+    CryptoProfile,
+    Device,
+    DeviceType,
+    Link,
+    ScadaNetwork,
+    make_device,
+)
+
+
+def _network(**overrides):
+    kwargs = dict(
+        devices=[
+            Device(1, DeviceType.IED),
+            Device(2, DeviceType.RTU),
+            Device(3, DeviceType.ROUTER),
+            Device(4, DeviceType.MTU),
+        ],
+        links=[Link(1, 1, 2), Link(2, 2, 3), Link(3, 3, 4)],
+        measurement_map={1: [1, 2]},
+        pair_security={
+            (1, 2): CryptoProfile.parse_many("chap 64 sha2 128"),
+            (2, 4): CryptoProfile.parse_many("rsa 2048 aes 256"),
+        },
+    )
+    kwargs.update(overrides)
+    return ScadaNetwork(**kwargs)
+
+
+def test_device_views():
+    network = _network()
+    assert network.ied_ids == [1]
+    assert network.rtu_ids == [2]
+    assert network.router_ids == {3}
+    assert network.mtu_id == 4
+    assert network.field_device_ids == [1, 2]
+
+
+def test_at_least_one_mtu_required():
+    with pytest.raises(ValueError):
+        _network(devices=[Device(1, DeviceType.IED),
+                          Device(2, DeviceType.RTU)])
+
+
+def test_multiple_mtus_pick_a_main():
+    # §III-B: several MTUs are allowed; one acts as the main MTU.
+    network = _network(devices=[Device(1, DeviceType.IED),
+                                Device(2, DeviceType.RTU),
+                                Device(3, DeviceType.MTU),
+                                Device(4, DeviceType.MTU)])
+    assert network.mtu_id == 3
+    assert network.mtu_ids == [3, 4]
+
+
+def test_duplicate_device_rejected():
+    with pytest.raises(ValueError):
+        _network(devices=[Device(1, DeviceType.IED),
+                          Device(1, DeviceType.RTU),
+                          Device(4, DeviceType.MTU)])
+
+
+def test_measurement_map_validation():
+    with pytest.raises(ValueError):
+        _network(measurement_map={2: [1]})  # RTU can't carry measurements
+    with pytest.raises(ValueError):
+        _network(measurement_map={99: [1]})
+
+
+def test_measurement_assigned_once():
+    devices = [Device(1, DeviceType.IED), Device(5, DeviceType.IED),
+               Device(2, DeviceType.RTU), Device(4, DeviceType.MTU)]
+    links = [Link(1, 1, 2), Link(2, 5, 2), Link(3, 2, 4)]
+    with pytest.raises(ValueError):
+        ScadaNetwork(devices=devices, links=links,
+                     measurement_map={1: [1], 5: [1]})
+
+
+def test_measurement_lookup():
+    network = _network()
+    assert network.measurements_of(1) == [1, 2]
+    assert network.ied_of_measurement(2) == 1
+    with pytest.raises(KeyError):
+        network.ied_of_measurement(99)
+    assert network.assigned_measurements() == [1, 2]
+
+
+def test_comm_proto_pairing_defaults():
+    network = _network()
+    assert network.comm_proto_pairing(1, 2)  # both default dnp3
+
+
+def test_comm_proto_mismatch_blocks_assured():
+    devices = [
+        make_device(1, DeviceType.IED, protocols=["modbus"]),
+        make_device(2, DeviceType.RTU, protocols=["dnp3"]),
+        Device(3, DeviceType.ROUTER),
+        Device(4, DeviceType.MTU),
+    ]
+    network = _network(devices=devices)
+    assert not network.comm_proto_pairing(1, 2)
+    assert not network.hop_assured(1, 2)
+    assert network.assured_paths(1) == []
+
+
+def test_pair_security_beats_device_intersection():
+    network = _network()
+    profiles = network.security_profiles(1, 2)
+    assert CryptoProfile("sha2", 128) in profiles
+
+
+def test_device_level_crypto_intersection():
+    shared = CryptoProfile("sha2", 256)
+    devices = [
+        make_device(1, DeviceType.IED, crypto=[shared,
+                                               CryptoProfile("hmac", 128)]),
+        make_device(2, DeviceType.RTU, crypto=[shared]),
+        Device(3, DeviceType.ROUTER),
+        Device(4, DeviceType.MTU),
+    ]
+    network = _network(devices=devices, pair_security={})
+    assert network.security_profiles(1, 2) == (shared,)
+
+
+def test_crypto_pairing_mismatch():
+    devices = [
+        make_device(1, DeviceType.IED, crypto=[CryptoProfile("hmac", 128)]),
+        make_device(2, DeviceType.RTU, crypto=[CryptoProfile("rsa", 2048)]),
+        Device(3, DeviceType.ROUTER),
+        Device(4, DeviceType.MTU),
+    ]
+    network = _network(devices=devices, pair_security={})
+    assert not network.crypto_pairing_ok(1, 2)
+    # With no crypto requirements at all, pairing trivially succeeds.
+    bare = _network(pair_security={})
+    assert bare.crypto_pairing_ok(1, 2)
+
+
+def test_hop_security_predicates():
+    network = _network()
+    assert network.hop_authenticated(1, 2)   # chap
+    assert network.hop_integrity_protected(1, 2)  # sha2 128
+    assert network.hop_secured(1, 2)
+    assert network.hop_secured(2, 4)
+
+
+def test_paths_route_through_router():
+    network = _network()
+    assert network.forwarding_paths(1) == [[1, 2, 3, 4]]
+    assert network.assured_paths(1) == [[1, 2, 3, 4]]
+    # The (2, 4) profile covers the logical hop across the router.
+    assert network.secured_paths(1) == [[1, 2, 3, 4]]
+
+
+def test_unsecured_hop_removes_secured_path():
+    network = _network(pair_security={
+        (1, 2): CryptoProfile.parse_many("hmac 128"),  # auth only
+        (2, 4): CryptoProfile.parse_many("rsa 2048 aes 256"),
+    })
+    assert network.assured_paths(1) == [[1, 2, 3, 4]]
+    assert network.secured_paths(1) == []
+
+
+def test_security_reference_unknown_device():
+    with pytest.raises(ValueError):
+        _network(pair_security={(1, 99): ()})
+
+
+def test_ieds_never_forward_traffic():
+    """A dual-homed IED must not appear inside another IED's path."""
+    devices = [
+        Device(1, DeviceType.IED),
+        Device(2, DeviceType.IED),
+        Device(3, DeviceType.RTU),
+        Device(5, DeviceType.RTU),
+        Device(4, DeviceType.MTU),
+    ]
+    links = [Link(1, 1, 3), Link(2, 2, 3), Link(3, 2, 5),
+             Link(4, 3, 4), Link(5, 5, 4)]
+    network = ScadaNetwork(devices=devices, links=links,
+                           measurement_map={1: [1], 2: [2]})
+    for path in network.forwarding_paths(1):
+        assert 2 not in path
+    # IED 2 itself still uses both of its uplinks.
+    assert len(network.forwarding_paths(2)) == 2

@@ -1,0 +1,117 @@
+"""Topology: links, reachability, path enumeration."""
+
+import pytest
+
+from repro.scada import Link, Topology, logical_hops
+
+
+def _diamond():
+    """1 - {2,3} - 4 diamond."""
+    links = [Link(1, 1, 2), Link(2, 1, 3), Link(3, 2, 4), Link(4, 3, 4)]
+    return Topology([1, 2, 3, 4], links)
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        Link(1, 2, 2)
+
+
+def test_link_other_end():
+    link = Link(1, 3, 7)
+    assert link.other_end(3) == 7
+    assert link.other_end(7) == 3
+    with pytest.raises(ValueError):
+        link.other_end(9)
+
+
+def test_duplicate_link_index_rejected():
+    with pytest.raises(ValueError):
+        Topology([1, 2, 3], [Link(1, 1, 2), Link(1, 2, 3)])
+
+
+def test_parallel_link_rejected():
+    with pytest.raises(ValueError):
+        Topology([1, 2], [Link(1, 1, 2), Link(2, 2, 1)])
+
+
+def test_unknown_device_rejected():
+    with pytest.raises(ValueError):
+        Topology([1, 2], [Link(1, 1, 9)])
+
+
+def test_neighbors_skip_down_links():
+    links = [Link(1, 1, 2), Link(2, 1, 3, up=False)]
+    topology = Topology([1, 2, 3], links)
+    assert topology.neighbors(1) == [2]
+
+
+def test_reachability():
+    topology = _diamond()
+    assert topology.reachable(1, 4)
+    assert topology.reachable(4, 1)
+    assert topology.reachable(1, 1)
+    isolated = Topology([1, 2, 3], [Link(1, 1, 2)])
+    assert not isolated.reachable(1, 3)
+
+
+def test_simple_paths_diamond():
+    topology = _diamond()
+    paths = topology.simple_paths(1, 4)
+    assert sorted(paths) == [[1, 2, 4], [1, 3, 4]]
+
+
+def test_simple_paths_same_node():
+    assert _diamond().simple_paths(2, 2) == [[2]]
+
+
+def test_simple_paths_cap():
+    # Complete graph on 7 nodes has many paths; cap must trigger.
+    n = 7
+    links = []
+    idx = 0
+    for a in range(1, n + 1):
+        for b in range(a + 1, n + 1):
+            idx += 1
+            links.append(Link(idx, a, b))
+    topology = Topology(range(1, n + 1), links)
+    with pytest.raises(RuntimeError):
+        topology.simple_paths(1, n, max_paths=10)
+
+
+def test_link_between():
+    topology = _diamond()
+    assert topology.link_between(1, 2).index == 1
+    with pytest.raises(KeyError):
+        topology.link_between(2, 3)
+
+
+def test_logical_hops_skip_routers():
+    path = [1, 9, 14, 13]
+    assert logical_hops(path, {14}) == [(1, 9), (9, 13)]
+    assert logical_hops(path, set()) == [(1, 9), (9, 14), (14, 13)]
+    assert logical_hops([1], set()) == []
+
+
+def test_no_transit_blocks_intermediate_hops():
+    links = [Link(1, 1, 2), Link(2, 2, 3), Link(3, 1, 4), Link(4, 4, 3)]
+    topology = Topology([1, 2, 3, 4], links)
+    all_paths = topology.simple_paths(1, 3)
+    assert len(all_paths) == 2
+    restricted = topology.simple_paths(1, 3, no_transit={4})
+    assert restricted == [[1, 2, 3]]
+
+
+def test_no_transit_allows_endpoints():
+    links = [Link(1, 1, 2), Link(2, 2, 3)]
+    topology = Topology([1, 2, 3], links)
+    assert topology.simple_paths(1, 3, no_transit={1, 3}) == [[1, 2, 3]]
+
+
+def test_max_length_bounds_paths():
+    links = [Link(1, 1, 2), Link(2, 2, 4), Link(3, 1, 3), Link(4, 3, 5),
+             Link(5, 5, 4)]
+    topology = Topology([1, 2, 3, 4, 5], links)
+    all_paths = topology.simple_paths(1, 4)
+    assert sorted(map(len, all_paths)) == [3, 4]
+    short = topology.simple_paths(1, 4, max_length=3)
+    assert short == [[1, 2, 4]]

@@ -1,0 +1,89 @@
+"""Property-based tests: solver agreement with ground-truth evaluation."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import (
+    And,
+    AtLeast,
+    AtMost,
+    Bool,
+    Iff,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    Result,
+    Solver,
+    Xor,
+    evaluate,
+)
+
+NAMES = ["a", "b", "c", "d", "e"]
+
+
+def _terms(depth):
+    leaf = st.sampled_from([Bool(n) for n in NAMES])
+    if depth == 0:
+        return leaf
+    sub = _terms(depth - 1)
+
+    def card(args_k):
+        args, k, at_most = args_k
+        return AtMost(args, k) if at_most else AtLeast(args, k)
+
+    return st.one_of(
+        leaf,
+        st.builds(Not, sub),
+        st.builds(lambda x, y: And(x, y), sub, sub),
+        st.builds(lambda x, y: Or(x, y), sub, sub),
+        st.builds(Implies, sub, sub),
+        st.builds(Iff, sub, sub),
+        st.builds(Xor, sub, sub),
+        st.builds(Ite, sub, sub, sub),
+        st.builds(
+            card,
+            st.tuples(
+                st.lists(leaf, min_size=1, max_size=5),
+                st.integers(min_value=0, max_value=5),
+                st.booleans(),
+            ),
+        ),
+    )
+
+
+@given(_terms(3))
+@settings(max_examples=120, deadline=None)
+def test_sat_iff_some_assignment_satisfies(term):
+    expected = any(
+        evaluate(term, dict(zip(NAMES, bits)))
+        for bits in itertools.product([False, True], repeat=len(NAMES)))
+    solver = Solver()
+    solver.add(term)
+    outcome = solver.check()
+    assert outcome == (Result.SAT if expected else Result.UNSAT)
+    if outcome == Result.SAT:
+        model = solver.model()
+        assignment = {n: model[Bool(n)] for n in NAMES}
+        assert evaluate(term, assignment)
+
+
+@given(_terms(2))
+@settings(max_examples=80, deadline=None)
+def test_term_and_negation_partition_models(term):
+    """#models(t) + #models(~t) == 2^n."""
+    def count(t):
+        solver = Solver()
+        solver.add(t)
+        n = 0
+        while solver.check() == Result.SAT:
+            model = solver.model()
+            cube = [Bool(name) if model[Bool(name)] else Not(Bool(name))
+                    for name in NAMES]
+            solver.add(Not(And(*cube)))
+            n += 1
+            assert n <= 2 ** len(NAMES)
+        return n
+
+    assert count(term) + count(Not(term)) == 2 ** len(NAMES)

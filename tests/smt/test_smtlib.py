@@ -1,0 +1,164 @@
+"""SMT-LIB 2 export, validated with a miniature s-expression evaluator."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt import (
+    And,
+    AtLeast,
+    AtMost,
+    Bool,
+    FALSE,
+    Iff,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    TRUE,
+    Xor,
+    evaluate,
+    term_to_sexpr,
+    to_smtlib,
+)
+
+
+def _tokenize(text):
+    return text.replace("(", " ( ").replace(")", " ) ").split()
+
+
+def _parse(tokens):
+    token = tokens.pop(0)
+    if token == "(":
+        out = []
+        while tokens[0] != ")":
+            out.append(_parse(tokens))
+        tokens.pop(0)
+        return out
+    return token
+
+
+def _eval_sexpr(node, env):
+    """Evaluate the SMT-LIB Boolean fragment we emit."""
+    if isinstance(node, str):
+        if node == "true":
+            return True
+        if node == "false":
+            return False
+        return env[node]
+    head = node[0]
+    if isinstance(head, list):  # ((_ at-most k) args...)
+        assert head[0] == "_"
+        op, k = head[1], int(head[2])
+        count = sum(1 for arg in node[1:] if _eval_sexpr(arg, env))
+        return count <= k if op == "at-most" else count >= k
+    if head == "not":
+        return not _eval_sexpr(node[1], env)
+    if head == "and":
+        return all(_eval_sexpr(a, env) for a in node[1:])
+    if head == "or":
+        return any(_eval_sexpr(a, env) for a in node[1:])
+    if head == "xor":
+        return _eval_sexpr(node[1], env) != _eval_sexpr(node[2], env)
+    if head == "ite":
+        if _eval_sexpr(node[1], env):
+            return _eval_sexpr(node[2], env)
+        return _eval_sexpr(node[3], env)
+    raise AssertionError(f"unexpected operator {head}")
+
+
+NAMES = ["a", "b", "c", "d"]
+VARS = [Bool(n) for n in NAMES]
+
+
+def _random_term(rng, depth):
+    if depth == 0 or rng.random() < 0.3:
+        return rng.choice(VARS)
+    op = rng.choice(["not", "and", "or", "xor", "ite", "imp", "iff",
+                     "atmost", "atleast"])
+    sub = lambda: _random_term(rng, depth - 1)
+    if op == "not":
+        return Not(sub())
+    if op == "and":
+        return And(sub(), sub())
+    if op == "or":
+        return Or(sub(), sub())
+    if op == "xor":
+        return Xor(sub(), sub())
+    if op == "ite":
+        return Ite(sub(), sub(), sub())
+    if op == "imp":
+        return Implies(sub(), sub())
+    if op == "iff":
+        return Iff(sub(), sub())
+    args = [rng.choice(VARS) for _ in range(rng.randint(2, 4))]
+    k = rng.randint(1, len(args) - 1)
+    return AtMost(args, k) if op == "atmost" else AtLeast(args, k)
+
+
+def test_sexpr_semantics_match_evaluate():
+    rng = random.Random(3)
+    for _ in range(80):
+        term = _random_term(rng, 3)
+        sexpr = _parse(_tokenize(term_to_sexpr(term)))
+        for bits in itertools.product([False, True], repeat=len(NAMES)):
+            env = dict(zip(NAMES, bits))
+            assert _eval_sexpr(sexpr, env) == evaluate(term, env), term
+
+
+def test_constants():
+    assert term_to_sexpr(TRUE) == "true"
+    assert term_to_sexpr(FALSE) == "false"
+
+
+def test_symbol_quoting():
+    weird = Bool("Node 3")
+    assert term_to_sexpr(weird) == "|Node 3|"
+    plain = Bool("Node_3")
+    assert term_to_sexpr(plain) == "Node_3"
+
+
+def test_script_structure():
+    a, b = VARS[0], VARS[1]
+    script = to_smtlib([Or(a, b), AtMost([a, b], 1)],
+                       comment="two lines\nof comment")
+    assert script.startswith("; two lines\n; of comment\n")
+    assert "(set-logic QF_FD)" in script
+    assert script.count("(declare-const") == 2
+    assert "(assert (or a b))" in script
+    assert "(assert ((_ at-most 1) a b))" in script
+    assert "(check-sat)" in script
+
+
+def test_script_without_logic_and_model():
+    script = to_smtlib([VARS[0]], logic="", check_sat=False,
+                       get_model=False)
+    assert "set-logic" not in script
+    assert "check-sat" not in script
+
+
+def test_analyzer_export():
+    from repro.cases import case_analyzer
+    from repro.core import ResiliencySpec
+    analyzer = case_analyzer("fig3")
+    script = analyzer.export_smtlib(
+        ResiliencySpec.observability(k1=1, k2=1))
+    # Every field device's Node variable is declared.
+    for device in analyzer.network.field_device_ids:
+        assert f"Node_{device}" in script
+    assert "at-most" in script
+    assert "(check-sat)" in script
+    # Balanced parentheses.
+    assert script.count("(") == script.count(")")
+
+
+def test_cli_dump_smt2(tmp_path, capsys):
+    from repro.cli import main
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    smt_path = str(tmp_path / "model.smt2")
+    main(["verify", path, "--k", "1", "--dump-smt2", smt_path])
+    text = open(smt_path).read()
+    assert "(check-sat)" in text

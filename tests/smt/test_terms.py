@@ -1,0 +1,151 @@
+"""Term construction, simplification, and evaluation."""
+
+import pytest
+
+from repro.smt import (
+    FALSE,
+    TRUE,
+    And,
+    AtLeast,
+    AtMost,
+    Bool,
+    Bools,
+    BoolVal,
+    Exactly,
+    Iff,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    Xor,
+    evaluate,
+)
+from repro.smt.terms import AndTerm, CardTerm, NotTerm, OrTerm
+
+a, b, c = Bools("a b c")
+
+
+def test_bools_splits_names():
+    x, y = Bools("x y")
+    assert x.name == "x" and y.name == "y"
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ValueError):
+        Bool("")
+
+
+def test_structural_equality_and_hash():
+    assert Bool("a") == Bool("a")
+    assert hash(And(a, b)) == hash(And(a, b))
+    assert And(a, b) != And(b, a)  # order matters structurally
+
+
+def test_not_simplifications():
+    assert Not(TRUE) is FALSE
+    assert Not(FALSE) is TRUE
+    assert Not(Not(a)) is a
+
+
+def test_and_flattening_and_units():
+    term = And(a, And(b, c))
+    assert isinstance(term, AndTerm)
+    assert len(term.args) == 3
+    assert And(a, TRUE) is a
+    assert And(a, FALSE) is FALSE
+    assert And() is TRUE
+
+
+def test_or_flattening_and_units():
+    term = Or(a, Or(b, c))
+    assert isinstance(term, OrTerm)
+    assert len(term.args) == 3
+    assert Or(a, FALSE) is a
+    assert Or(a, TRUE) is TRUE
+    assert Or() is FALSE
+
+
+def test_implies_is_or_form():
+    term = Implies(a, b)
+    assert evaluate(term, {"a": True, "b": False}) is False
+    assert evaluate(term, {"a": False, "b": False}) is True
+
+
+def test_iff_constant_folding():
+    assert Iff(TRUE, a) is a
+    assert Iff(a, FALSE) == Not(a)
+
+
+def test_xor_constant_folding():
+    assert Xor(FALSE, a) is a
+    assert Xor(TRUE, a) == Not(a)
+
+
+def test_ite_constant_condition():
+    assert Ite(TRUE, a, b) is a
+    assert Ite(FALSE, a, b) is b
+
+
+def test_operator_sugar():
+    assert (a & b) == And(a, b)
+    assert (a | b) == Or(a, b)
+    assert (~a) == Not(a)
+    assert (a >> b) == Implies(a, b)
+    assert (a ^ b) == Xor(a, b)
+
+
+def test_atmost_boundary_simplifications():
+    assert AtMost([a, b], 2) is TRUE
+    assert AtMost([a, b], 3) is TRUE
+    assert AtMost([a, b], -1) is FALSE
+    zero = AtMost([a, b], 0)
+    assert evaluate(zero, {"a": False, "b": False})
+    assert not evaluate(zero, {"a": True, "b": False})
+
+
+def test_atleast_boundary_simplifications():
+    assert AtLeast([a, b], 0) is TRUE
+    assert AtLeast([a, b], 3) is FALSE
+    assert AtLeast([a, b], 1) == Or(a, b)
+    assert AtLeast([a, b], 2) == And(a, b)
+
+
+def test_cardinality_constant_shift():
+    # A constant-true argument raises the effective count.
+    term = AtMost([a, TRUE, b], 1)
+    assert isinstance(term, AndTerm)  # reduces to AtMost(.., 0) = ~a & ~b
+    term = AtLeast([a, TRUE, b, c], 2)
+    assert isinstance(term, CardTerm) or isinstance(term, OrTerm)
+
+
+def test_exactly_semantics():
+    term = Exactly([a, b, c], 2)
+    assert evaluate(term, {"a": True, "b": True, "c": False})
+    assert not evaluate(term, {"a": True, "b": True, "c": True})
+    assert not evaluate(term, {"a": True, "b": False, "c": False})
+
+
+def test_evaluate_missing_var_raises():
+    with pytest.raises(KeyError):
+        evaluate(And(a, b), {"a": True})
+
+
+def test_evaluate_all_node_kinds():
+    assign = {"a": True, "b": False, "c": True}
+    assert evaluate(Ite(a, b, c), assign) is False
+    assert evaluate(Xor(a, b), assign) is True
+    assert evaluate(BoolVal(True), {}) is True
+    assert evaluate(AtLeast([a, b, c], 2), assign) is True
+
+
+def test_type_errors():
+    with pytest.raises(TypeError):
+        And(a, "b")
+    with pytest.raises(TypeError):
+        AtMost([a, 1], 1)
+
+
+def test_repr_smoke():
+    assert "a" in repr(a)
+    assert "And" in repr(And(a, b))
+    assert "AtMost" in repr(AtMost([a, b, c], 1))

@@ -1,0 +1,140 @@
+"""Tseitin encoding: model equivalence with direct evaluation."""
+
+import itertools
+import random
+
+from repro.sat import SatSolver
+from repro.smt import (
+    And,
+    AtLeast,
+    AtMost,
+    Bool,
+    Iff,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    Xor,
+    evaluate,
+)
+from repro.smt.tseitin import Encoder
+
+NAMES = ["a", "b", "c", "d"]
+VARS = [Bool(n) for n in NAMES]
+
+
+def _count_models(term, names=NAMES):
+    """Count satisfying assignments over `names` via the encoder."""
+    solver = SatSolver()
+    encoder = Encoder(solver)
+    lit = encoder.literal(term)
+    solver.add_clause([lit])
+    input_vars = [encoder.var(n) for n in names]
+    count = 0
+    while solver.solve():
+        cube = [v if solver.model_value(v) else -v for v in input_vars]
+        count += 1
+        assert count <= 2 ** len(names) + 1, "runaway enumeration"
+        solver.add_clause([-l for l in cube])
+    return count
+
+
+def _truth_count(term, names=NAMES):
+    return sum(
+        1 for bits in itertools.product([False, True], repeat=len(names))
+        if evaluate(term, dict(zip(names, bits))))
+
+
+def test_single_variable():
+    assert _count_models(VARS[0]) == 8
+
+
+def test_negation():
+    assert _count_models(Not(VARS[0])) == 8
+
+
+def test_gates_model_counts():
+    a, b, c, d = VARS
+    for term in [
+        And(a, b),
+        Or(a, b, c),
+        Xor(a, b),
+        Iff(a, b),
+        Implies(a, b),
+        Ite(a, b, c),
+        And(Or(a, b), Or(c, d), Not(And(a, c))),
+        Xor(Xor(a, b), Xor(c, d)),
+    ]:
+        assert _count_models(term) == _truth_count(term), term
+
+
+def test_cardinality_model_counts():
+    a, b, c, d = VARS
+    for term in [
+        AtMost([a, b, c], 1),
+        AtMost([a, b, c, d], 2),
+        AtLeast([a, b, c, d], 3),
+        Not(AtMost([a, b, c], 1)),
+        Not(AtLeast([a, b, c, d], 2)),
+        Or(AtMost([a, b], 0), AtLeast([c, d], 2)),
+        And(Not(AtMost([a, b, c], 1)), AtMost([a, b, c], 2)),
+    ]:
+        assert _count_models(term) == _truth_count(term), term
+
+
+def test_shared_subterms_encode_once():
+    a, b = VARS[0], VARS[1]
+    shared = And(a, b)
+    solver = SatSolver()
+    encoder = Encoder(solver)
+    lit1 = encoder.literal(Or(shared, VARS[2]))
+    vars_before = solver.num_vars
+    lit2 = encoder.literal(Or(shared, VARS[3]))
+    # Encoding the second Or must not re-encode the shared And gate.
+    assert encoder.literal(shared) == encoder.literal(And(a, b))
+
+
+def test_assert_term_splits_conjunctions():
+    solver = SatSolver()
+    encoder = Encoder(solver)
+    a, b = VARS[0], VARS[1]
+    encoder.assert_term(And(a, Not(b)))
+    assert solver.solve() is True
+    assert solver.model_value(encoder.var("a"))
+    assert not solver.model_value(encoder.var("b"))
+
+
+def test_true_false_constants():
+    from repro.smt import FALSE, TRUE
+    solver = SatSolver()
+    encoder = Encoder(solver)
+    t = encoder.literal(TRUE)
+    solver.add_clause([t])
+    assert solver.solve() is True
+    encoder.assert_term(FALSE)
+    assert solver.solve() is False
+
+
+def test_decode_matches_evaluate():
+    rng = random.Random(5)
+    a, b, c, d = VARS
+    pool = [
+        And(a, Or(b, Not(c))),
+        Xor(a, Iff(b, d)),
+        AtLeast([a, b, c, d], 2),
+        Ite(a, AtMost([b, c], 1), Or(c, d)),
+    ]
+    for term in pool:
+        solver = SatSolver()
+        encoder = Encoder(solver)
+        lit = encoder.literal(term)
+        solver.add_clause([lit])
+        if not solver.solve():
+            continue
+        model = solver.model
+        assign = {n: model[encoder.var(n)] for n in NAMES
+                  if n in encoder.var_names}
+        for name in NAMES:
+            assign.setdefault(name, False)
+        assert encoder.decode(term, model) == evaluate(term, assign)
+        assert encoder.decode(term, model) is True

@@ -1,0 +1,117 @@
+"""End-to-end CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_case5bus_command(capsys):
+    assert main(["case5bus"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out and "fig4" in out
+    assert "HOLDS" in out and "VIOLATED" in out
+
+
+def test_generate_verify_roundtrip(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    assert main(["generate", "--buses", "14", "--seed", "5",
+                 "--out", path]) == 0
+    code = main(["verify", path, "--k", "0"])
+    out = capsys.readouterr().out
+    assert code in (0, 1)
+    assert "observability" in out
+
+
+def test_generate_to_stdout(capsys):
+    assert main(["generate", "--buses", "14", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "[system]" in out and "[links]" in out
+
+
+def test_verify_with_split_budget(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["verify", path, "--k1", "1", "--k2", "0",
+                 "--property", "secured-observability"])
+    out = capsys.readouterr().out
+    assert "secured-observability" in out
+    assert code in (0, 1)
+
+
+def test_verify_threat_details_printed(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["verify", path, "--k", "5"])
+    out = capsys.readouterr().out
+    if code == 1:
+        assert "failed devices" in out
+
+
+def test_enumerate_command(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["enumerate", path, "--k", "2", "--limit", "5"])
+    out = capsys.readouterr().out
+    assert "threat vector" in out
+    assert code in (0, 1)
+
+
+def test_missing_requirement_errors(tmp_path):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    with pytest.raises(SystemExit):
+        main(["verify", path])
+
+
+def test_harden_command(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["harden", path, "--k", "0", "--max-repairs", "1"])
+    out = capsys.readouterr().out
+    assert "observability" in out
+    assert code in (0, 1)
+
+
+def test_max_resiliency_command(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    assert main(["max-resiliency", path]) == 0
+    out = capsys.readouterr().out
+    assert "maximal resiliency" in out
+    assert "IEDs only" in out
+
+
+def test_verify_with_link_budget(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["verify", path, "--k", "0", "--link-k", "1"])
+    out = capsys.readouterr().out
+    assert "link failures" in out
+    assert code in (0, 1)
+
+
+def test_verify_command_deliverability(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["verify", path, "--k2", "1", "--k1", "0",
+                 "--property", "command-deliverability"])
+    out = capsys.readouterr().out
+    assert "command-deliverability" in out
+    assert code in (0, 1)
+
+
+def test_verify_certify_flag(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["verify", path, "--k", "0", "--certify"])
+    out = capsys.readouterr().out
+    if code == 0:
+        assert "independently checked: True" in out

@@ -1,0 +1,31 @@
+"""Every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+@pytest.mark.slow
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=600)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_runs_fast():
+    script = pathlib.Path(__file__).parent.parent / "examples" / \
+        "quickstart.py"
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=120)
+    assert completed.returncode == 0, completed.stderr
+    assert "HOLDS" in completed.stdout
+    assert "threat vectors" in completed.stdout

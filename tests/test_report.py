@@ -1,0 +1,64 @@
+"""The Markdown audit-report generator."""
+
+import pytest
+
+from repro.cases import case_problem, fig3_network, fig4_network
+from repro.report import audit_report
+
+
+@pytest.fixture(scope="module")
+def fig3_report():
+    return audit_report(fig3_network(), case_problem())
+
+
+def test_report_sections(fig3_report):
+    for heading in ("# SCADA resiliency audit", "## Inventory",
+                    "## Maximal resiliency",
+                    "## Threat space beyond the certificate",
+                    "## Cheapest attack", "## Hardening suggestions"):
+        assert heading in fig3_report
+
+
+def test_report_inventory_numbers(fig3_report):
+    assert "8 IEDs, 4 RTUs" in fig3_report
+    assert "14 measurements" in fig3_report
+    assert "5 states" in fig3_report
+
+
+def test_report_flags_unprotected_sources(fig3_report):
+    # IED 1 and IED 4 cannot deliver securely in the case study.
+    assert "unprotected data sources" in fig3_report
+    assert "IED 1" in fig3_report and "IED 4" in fig3_report
+
+
+def test_report_contains_known_maxima(fig3_report):
+    # Observability tolerates 3 IEDs-only failures (paper).
+    assert "| observability |" in fig3_report
+
+
+def test_report_cheapest_attack_lines(fig3_report):
+    assert "cheapest attack costs" in fig3_report
+
+
+def test_report_fig4_suggests_repairs():
+    text = audit_report(fig4_network(), case_problem())
+    assert "restored by" in text or "no ≤2-step repair" in text
+
+
+def test_report_without_optional_sections():
+    text = audit_report(fig3_network(), case_problem(),
+                        include_hardening=False,
+                        include_attack_cost=False)
+    assert "## Hardening suggestions" not in text
+    assert "## Cheapest attack" not in text
+
+
+def test_cli_report_command(tmp_path, capsys):
+    from repro.cli import main
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    out_path = str(tmp_path / "audit.md")
+    code = main(["report", path, "--out", out_path, "--no-hardening"])
+    assert code == 0
+    text = open(out_path).read()
+    assert "# SCADA resiliency audit" in text
