@@ -1,0 +1,100 @@
+"""Ablation — CNF preprocessing (SatELite-style simplification).
+
+Not a paper figure: quantifies the ``preprocess=True`` solver mode
+added with the lint subsystem.  Before each check the buffered Tseitin
+encoding is simplified (unit propagation, pure literals, subsumption,
+self-subsuming resolution, bounded variable elimination with the named
+model variables frozen) and the reduced formula is solved fresh.
+
+Workloads are the Fig. 5(a) observability-scaling instances (14/30-bus
+synthetic SCADA systems) and a Fig. 7(a)-style measurement-sampled
+14-bus instance.  Verdicts with and without preprocessing must agree.
+"""
+
+import pytest
+
+from repro.core import ObservabilityProblem, ResiliencySpec, ScadaAnalyzer
+from repro.grid import ieee14, sampled_measurement_plan
+from repro.grid.ieee_cases import case_by_buses
+from repro.lint import preprocess_cnf
+from repro.scada import GeneratorConfig, generate_scada
+
+MODES = ["baseline", "preprocess"]
+_stats = {}
+
+
+def _fig5a_instance(bus_size):
+    synthetic = generate_scada(
+        case_by_buses(bus_size, seed=0),
+        GeneratorConfig(measurement_fraction=0.7, hierarchy_level=1, seed=0))
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    return synthetic.network, problem
+
+
+def _fig7a_instance(fraction=0.6, seed=0):
+    plan = sampled_measurement_plan(ieee14(), fraction, seed=seed)
+    synthetic = generate_scada(
+        ieee14(),
+        GeneratorConfig(seed=seed, dual_home_fraction=0.3),
+        plan=plan)
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    return synthetic.network, problem
+
+
+WORKLOADS = {
+    "fig5a-14bus": (_fig5a_instance, (14,), ResiliencySpec.observability(k=1)),
+    "fig5a-30bus": (_fig5a_instance, (30,), ResiliencySpec.observability(k=1)),
+    "fig7a-14bus": (_fig7a_instance, (), ResiliencySpec.observability(k=2)),
+}
+
+
+def _analyzer(workload, preprocess):
+    build, build_args, _ = WORKLOADS[workload]
+    network, problem = build(*build_args)
+    return ScadaAnalyzer(network, problem, lint=False,
+                         preprocess=preprocess)
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("mode", MODES)
+def test_preprocess_verify_time(benchmark, workload, mode):
+    analyzer = _analyzer(workload, preprocess=(mode == "preprocess"))
+    spec = WORKLOADS[workload][2]
+
+    def run():
+        return analyzer.verify(spec, minimize=False)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    _stats[(workload, mode)] = result.status.value
+
+
+def test_report_ablation_preprocess(benchmark, report):
+    def make():
+        lines = ["workload    | clauses | simplified | vars | simp vars | "
+                 "verdict agreement"]
+        for workload in sorted(WORKLOADS):
+            spec = WORKLOADS[workload][2]
+            analyzer = _analyzer(workload, preprocess=True)
+            cnf, frozen = analyzer.export_cnf(spec)
+            simplified = preprocess_cnf(cnf.copy(), frozen=frozen)
+            n_orig = len(cnf.clauses)
+            n_simp = len(simplified.cnf.clauses)
+            v_orig = cnf.num_vars
+            v_simp = v_orig - simplified.stats["eliminated_vars"]
+            base = _stats.get((workload, "baseline"))
+            prep = _stats.get((workload, "preprocess"))
+            if base is None:
+                base = _analyzer(workload, False).verify(
+                    spec, minimize=False).status.value
+            if prep is None:
+                prep = analyzer.verify(spec, minimize=False).status.value
+            assert base == prep, (workload, base, prep)
+            # The simplifier must actually shrink the Fig. 5(a) encodings.
+            if workload.startswith("fig5a"):
+                assert n_simp < n_orig, (workload, n_orig, n_simp)
+            lines.append(f"{workload:11} | {n_orig:7d} | {n_simp:10d} | "
+                         f"{v_orig:4d} | {v_simp:9d} | "
+                         f"{base} == {prep}")
+        report("ablation_preprocess", "\n".join(lines))
+
+    benchmark.pedantic(make, rounds=1, iterations=1)

@@ -10,12 +10,22 @@ Usage::
     python examples/quickstart.py
 """
 
-from repro.cases import case_analyzer
+from repro.cases import case_analyzer, case_problem, fig3_network
 from repro.core import ResiliencySpec, Status
+from repro.lint import lint_case
 
 
 def main() -> None:
-    print("== Scenario 1: observability, Fig. 3 topology ==")
+    # Lint first: the analyzer refuses configurations with error-level
+    # findings, so surface the diagnostics before verifying anything.
+    print("== Lint: Fig. 3 configuration ==")
+    report = lint_case(fig3_network(), case_problem())
+    for diagnostic in report:
+        print(f"  {diagnostic.format()}")
+    print(f"  {report.summary()}")
+    assert not report.has_errors  # warnings only (two hmac-128 IEDs)
+
+    print("\n== Scenario 1: observability, Fig. 3 topology ==")
     fig3 = case_analyzer("fig3")
 
     spec = ResiliencySpec.observability(k1=1, k2=1)

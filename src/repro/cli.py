@@ -7,6 +7,11 @@ Commands
     Verify a configuration file's resiliency requirement (or one given
     on the command line); print the verdict and any threat vector.
 
+``lint <config>``
+    Statically analyze a configuration (or a DIMACS file) without
+    invoking the solver; exit 0 when clean, 1 on error-level findings,
+    2 when the input cannot be parsed.
+
 ``enumerate <config>``
     Enumerate all minimal threat vectors of a specification.
 
@@ -30,6 +35,7 @@ from typing import List, Optional
 
 from .analysis import threat_space
 from .core import (
+    ConfigurationLintError,
     ObservabilityProblem,
     Property,
     ResiliencySpec,
@@ -88,9 +94,19 @@ def _add_spec_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_verify(args) -> int:
-    config = load_config(args.config)
+    # Lenient load: structural defects reach the lint gate below, which
+    # reports all of them at once instead of dying on the first.
+    config = load_config(args.config, strict=False)
     spec = _spec_from_args(args, config.spec)
-    analyzer = ScadaAnalyzer(config.network, config.problem)
+    try:
+        analyzer = ScadaAnalyzer(config.network, config.problem,
+                                 lint=not args.no_lint,
+                                 preprocess=args.preprocess)
+    except ConfigurationLintError as exc:
+        print(exc.report.to_text(), file=sys.stderr)
+        print("verification refused: the configuration fails lint "
+              "(use --no-lint to override)", file=sys.stderr)
+        return 2
     if args.dump_smt2:
         with open(args.dump_smt2, "w", encoding="utf-8") as handle:
             handle.write(analyzer.export_smtlib(spec))
@@ -111,6 +127,62 @@ def _cmd_verify(args) -> int:
             print("  uncovered states :", " ".join(map(str, states)))
     print(f"  model: {result.num_vars} vars, {result.num_clauses} clauses")
     return 0 if result.is_resilient else 1
+
+
+def _cmd_lint(args) -> int:
+    from .lint import Diagnostic, LintReport, Severity, analyze_cnf, lint_case
+    from .scada.config_io import ConfigError
+
+    def emit(report: LintReport, code: int) -> int:
+        if args.format == "json":
+            print(report.to_json())
+        else:
+            print(report.to_text())
+        return code
+
+    if args.config.endswith((".cnf", ".dimacs")):
+        from .sat.dimacs import DimacsError, parse_dimacs
+
+        try:
+            with open(args.config, "r", encoding="utf-8") as handle:
+                cnf = parse_dimacs(handle.read())
+        except (OSError, DimacsError, ValueError) as exc:
+            report = LintReport(subject=args.config)
+            report.append(Diagnostic("CONFIG001", Severity.ERROR, str(exc)))
+            return emit(report, 2)
+        report = analyze_cnf(cnf, subject=args.config)
+        return emit(report, report.exit_code())
+
+    builtins = {"fig3", "fig4", "case5bus"}
+    if args.config in builtins:
+        from .cases import case_problem, fig3_network, fig4_network
+
+        network = (fig4_network() if args.config == "fig4"
+                   else fig3_network())
+        problem = case_problem()
+        file_spec = None
+    else:
+        try:
+            config = load_config(args.config, strict=False)
+        except (OSError, ConfigError, ValueError) as exc:
+            report = LintReport(subject=args.config)
+            report.append(Diagnostic("CONFIG001", Severity.ERROR, str(exc)))
+            return emit(report, 2)
+        network, problem, file_spec = (config.network, config.problem,
+                                       config.spec)
+
+    if args.k is not None or args.k1 is not None or args.k2 is not None:
+        spec = _spec_from_args(args, file_spec)
+    else:
+        spec = file_spec
+
+    report = lint_case(network, problem, spec)
+    if args.encoding and not report.has_errors:
+        reference = spec or ResiliencySpec.observability(k=1)
+        analyzer = ScadaAnalyzer(network, problem, lint=False)
+        cnf, frozen = analyzer.export_cnf(reference)
+        report.extend(analyze_cnf(cnf, frozen=frozen).diagnostics)
+    return emit(report, report.exit_code())
 
 
 def _cmd_enumerate(args) -> int:
@@ -220,8 +292,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--certify", action="store_true",
                           help="re-check unsat verdicts with the RUP "
                                "proof checker")
+    p_verify.add_argument("--no-lint", action="store_true", dest="no_lint",
+                          help="skip the configuration linter and verify "
+                               "even with error-level diagnostics")
+    p_verify.add_argument("--preprocess", action="store_true",
+                          help="simplify the CNF encoding before solving")
     _add_spec_args(p_verify)
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_lint = sub.add_parser(
+        "lint", help="statically analyze a configuration")
+    p_lint.add_argument("config",
+                        help="a configuration file, a builtin case "
+                             "(fig3/fig4/case5bus), or a DIMACS file "
+                             "(*.cnf, *.dimacs)")
+    p_lint.add_argument("--format", default="text",
+                        choices=("text", "json"),
+                        help="diagnostic output format")
+    p_lint.add_argument("--encoding", action="store_true",
+                        help="also analyze the Tseitin CNF encoding")
+    _add_spec_args(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_enum = sub.add_parser("enumerate",
                             help="enumerate minimal threat vectors")
@@ -270,7 +361,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; the usual
+        # CLI convention is to exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

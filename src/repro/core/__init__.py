@@ -6,7 +6,7 @@ Public entry point: :class:`ScadaAnalyzer`, configured with a
 instances.
 """
 
-from .analyzer import ScadaAnalyzer
+from .analyzer import ConfigurationLintError, ScadaAnalyzer
 from .encoder import ModelEncoder
 from .incremental import IncrementalAnalyzer
 from .problem import ObservabilityProblem, group_rows_by_component
@@ -15,6 +15,7 @@ from .results import Status, ThreatVector, VerificationResult
 from .specs import FailureBudget, Property, ResiliencySpec
 
 __all__ = [
+    "ConfigurationLintError",
     "FailureBudget",
     "IncrementalAnalyzer",
     "ModelEncoder",

@@ -27,7 +27,28 @@ from .reference import ReferenceEvaluator
 from .results import Status, ThreatVector, VerificationResult
 from .specs import Property, ResiliencySpec
 
-__all__ = ["ScadaAnalyzer"]
+__all__ = ["ConfigurationLintError", "ScadaAnalyzer"]
+
+
+class ConfigurationLintError(ValueError):
+    """The configuration has error-level lint diagnostics.
+
+    Verdicts over such a configuration would be meaningless (dangling
+    references) or foregone (statically unobservable states), so the
+    analyzer refuses to certify it.  The offending
+    :class:`~repro.lint.diagnostics.LintReport` is on :attr:`report`.
+    """
+
+    def __init__(self, report) -> None:
+        errors = report.errors
+        summary = "; ".join(f"{d.code}: {d.message}" for d in errors[:3])
+        if len(errors) > 3:
+            summary += f"; and {len(errors) - 3} more"
+        super().__init__(
+            f"configuration {report.subject!r} fails lint with "
+            f"{len(errors)} error(s): {summary} "
+            f"(pass lint=False to analyze anyway)")
+        self.report = report
 
 
 class ScadaAnalyzer:
@@ -35,10 +56,21 @@ class ScadaAnalyzer:
 
     def __init__(self, network: ScadaNetwork,
                  problem: ObservabilityProblem,
-                 card_encoding: str = "totalizer") -> None:
+                 card_encoding: str = "totalizer",
+                 lint: bool = True,
+                 preprocess: bool = False) -> None:
         self.network = network
         self.problem = problem
         self.card_encoding = card_encoding
+        self.preprocess = preprocess
+        if lint:
+            # Imported lazily: repro.lint imports core modules at module
+            # level, so a top-level import here would be circular.
+            from ..lint import lint_case
+
+            report = lint_case(network, problem)
+            if report.has_errors:
+                raise ConfigurationLintError(report)
         self.reference = ReferenceEvaluator(network, problem)
 
     # ------------------------------------------------------------------
@@ -54,12 +86,15 @@ class ScadaAnalyzer:
         return encoder.not_bad_data_detectability(spec.r)
 
     def _build(self, spec: ResiliencySpec,
-               produce_proof: bool = False) -> tuple:
+               produce_proof: bool = False,
+               preprocess: Optional[bool] = None) -> tuple:
         """Encode the threat-verification model into a fresh solver."""
         encoder = ModelEncoder(self.network, self.problem,
                                model_links=spec.link_k is not None)
         solver = Solver(card_encoding=self.card_encoding,
-                        produce_proof=produce_proof)
+                        produce_proof=produce_proof,
+                        preprocess=(self.preprocess if preprocess is None
+                                    else preprocess))
         started = time.perf_counter()
         solver.add(*encoder.availability_axioms())
         solver.add(*encoder.delivery_definitions(secured=False))
@@ -210,6 +245,17 @@ class ScadaAnalyzer:
         """Encoded model size (vars/clauses) without solving."""
         solver, _, _ = self._build(spec)
         return {"vars": solver.num_vars, "clauses": solver.num_clauses}
+
+    def export_cnf(self, spec: ResiliencySpec) -> tuple:
+        """The Tseitin-emitted CNF of the threat model, plus its frozen
+        variables (the named model variables an analysis must keep).
+
+        Used by ``repro lint --encoding`` and the preprocessing
+        benchmarks; solving is untouched.
+        """
+        solver, _, _ = self._build(spec, preprocess=True)
+        assert solver.cnf is not None
+        return solver.cnf, set(solver.named_variables().values())
 
     def export_smtlib(self, spec: ResiliencySpec) -> str:
         """The full threat-verification model as an SMT-LIB 2 script.

@@ -152,7 +152,10 @@ def harden(network: ScadaNetwork, problem: ObservabilityProblem,
         if calls > max_verify_calls:
             raise RuntimeError(
                 f"hardening exceeded {max_verify_calls} verification calls")
-        result = ScadaAnalyzer(candidate, problem).verify(
+        # Candidate networks are lint-checked by the caller's analyzer;
+        # re-linting every repair candidate here would be wasted work
+        # (and a weakened candidate may legitimately trip delivery rules).
+        result = ScadaAnalyzer(candidate, problem, lint=False).verify(
             spec, minimize=False)
         return result.status is Status.RESILIENT
 

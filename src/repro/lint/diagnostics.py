@@ -1,0 +1,184 @@
+"""The structured-diagnostic core shared by both lint layers.
+
+A :class:`Diagnostic` is one finding: a stable rule code (``SCADA001``,
+``CNF003``, ...), a severity, a human location string, a message, and an
+optional fix hint.  :class:`LintReport` aggregates findings and renders
+them as text or JSON with deterministic ordering and the CLI exit-code
+convention (errors ⇒ non-zero).
+
+Rule codes are registered in :data:`RULES`; ``docs/FORMAL_MODEL.md``
+lists the formal justification of each (which paper constraint the rule
+pre-checks).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["Severity", "Diagnostic", "LintReport", "RULES"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings invalidate verification verdicts (the analyzer
+    refuses to certify such a configuration); ``WARNING`` findings are
+    likely misconfigurations that keep the model well defined; ``INFO``
+    findings are observations (dead encoding variables, simplification
+    opportunities).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+#: rule code → one-line title.  The single registry both layers draw
+#: from; docs/FORMAL_MODEL.md carries the formal justification.
+RULES: Dict[str, str] = {
+    # Layer 1 — configuration rules.
+    "SCADA001": "measurement mapped to an unknown device",
+    "SCADA002": "measurements carried by a non-IED device",
+    "SCADA003": "measurement assigned to multiple IEDs",
+    "SCADA004": "duplicate (shadowed) device definition",
+    "SCADA005": "no MTU in the device inventory",
+    "SCADA006": "security profile references an unknown device",
+    "SCADA007": "field device unreachable from the MTU",
+    "SCADA008": "IED has no assured delivery path",
+    "SCADA009": "IED has no secured delivery path",
+    "SCADA010": "state with zero measurement coverage",
+    "SCADA011": "mapped measurement unknown to the observability problem",
+    "SCADA012": "observability-problem measurement not mapped to any IED",
+    "SCADA013": "delivery redundancy below the failure budget",
+    "SCADA014": "state coverage below the bad-data budget r",
+    "SCADA015": "broken cryptographic algorithm in a security profile",
+    "SCADA016": "fewer unique measurement groups than states",
+    "SCADA017": "link references an unknown device",
+    "SCADA018": "parallel or duplicate link definition",
+    # Layer 2 — CNF encoding rules.
+    "CNF001": "unconstrained variable (appears in no clause)",
+    "CNF002": "tautological clause dropped at construction",
+    "CNF003": "duplicate clause",
+    "CNF004": "pure literal",
+    # Input handling.
+    "CONFIG001": "configuration file cannot be parsed",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: str = ""
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in RULES:
+            raise ValueError(f"unregistered rule code {self.code!r}")
+
+    @property
+    def title(self) -> str:
+        return RULES[self.code]
+
+    def format(self) -> str:
+        where = f" at {self.location}" if self.location else ""
+        text = f"{self.severity.value}[{self.code}]{where}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def as_dict(self) -> Dict[str, str]:
+        out = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.location:
+            out["location"] = self.location
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+
+@dataclass
+class LintReport:
+    """An ordered collection of diagnostics plus rendering helpers."""
+
+    subject: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def append(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.sorted())
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def sorted(self) -> List[Diagnostic]:
+        """Deterministic order: severity, then code, then location."""
+        return sorted(self.diagnostics,
+                      key=lambda d: (d.severity.rank, d.code, d.location))
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.sorted() if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def exit_code(self) -> int:
+        """CLI convention: 0 clean (warnings allowed), 1 with errors."""
+        return 1 if self.has_errors else 0
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        counts = {s: len(self.by_severity(s)) for s in Severity}
+        parts = [f"{counts[s]} {s.value}{'s' if counts[s] != 1 else ''}"
+                 for s in Severity if counts[s]]
+        verdict = ", ".join(parts) if parts else "clean"
+        subject = f"{self.subject}: " if self.subject else ""
+        return f"{subject}{verdict}"
+
+    def to_text(self, min_severity: Optional[Severity] = None) -> str:
+        threshold = (min_severity or Severity.INFO).rank
+        lines = [d.format() for d in self.sorted()
+                 if d.severity.rank <= threshold]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self, min_severity: Optional[Severity] = None) -> str:
+        threshold = (min_severity or Severity.INFO).rank
+        payload = {
+            "subject": self.subject,
+            "diagnostics": [d.as_dict() for d in self.sorted()
+                            if d.severity.rank <= threshold],
+            "counts": {s.value: len(self.by_severity(s)) for s in Severity},
+            "exit_code": self.exit_code(),
+        }
+        return json.dumps(payload, indent=2)

@@ -1,0 +1,352 @@
+"""Layer 2b — a correctness-preserving CNF simplifier.
+
+Classic SAT preprocessing (Eén & Biere's SatELite recipe): unit
+propagation, pure-literal elimination, backward subsumption,
+self-subsuming resolution, and bounded variable elimination — with one
+twist required by this codebase's incremental solving: a *frozen* set
+of variables (named model variables, scope selectors, assumption
+candidates) that the simplifier must keep intact.
+
+Soundness contract:
+
+* variable numbering is unchanged (no renaming), so callers keep using
+  their literals;
+* frozen variables are never eliminated (no pure-literal or BVE on
+  them), and a frozen unit derived by propagation stays in the database
+  as an explicit unit clause so later assumptions of the opposite
+  polarity still conflict and produce cores;
+* every *added* clause (strengthened clause, resolvent, derived unit)
+  is RUP with respect to the original formula plus earlier additions,
+  recorded on :attr:`PreprocessResult.proof_additions` so an unsat run
+  of the simplified formula can be certified end-to-end by
+  :func:`repro.sat.proof.check_unsat_proof` — the checker ignores
+  deletions, and RUP is monotone, so clauses the sub-solver learns from
+  the simplified database check out against the original one;
+* :meth:`PreprocessResult.extend_model` replays a MiniSat-style
+  reconstruction stack to turn any model of the simplified formula into
+  a model of the original formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..sat.cnf import CNF
+
+__all__ = ["PreprocessResult", "preprocess_cnf"]
+
+#: Skip BVE on variables with more occurrences than this per polarity
+#: (the SatELite heuristic: elimination cost explodes past small counts).
+_BVE_OCC_LIMIT = 10
+
+
+@dataclass
+class PreprocessResult:
+    """The outcome of :func:`preprocess_cnf`."""
+
+    #: The simplified formula (same variable numbering as the input).
+    cnf: CNF
+    #: True when preprocessing alone refuted the formula.
+    unsat: bool
+    #: Clauses added during simplification, each RUP w.r.t. the original
+    #: formula plus the additions before it (ends with ``[]`` if
+    #: preprocessing refuted the formula).
+    proof_additions: List[List[int]]
+    #: Variables the simplifier was told to keep intact.
+    frozen: Set[int]
+    #: Counters: units, pures, subsumed, strengthened, bve_eliminated,
+    #: rounds, plus original/simplified clause and variable totals.
+    stats: Dict[str, int]
+    #: MiniSat-style reconstruction entries, in application order.
+    _stack: List[Tuple[str, int, Optional[List[List[int]]]]] = \
+        field(default_factory=list)
+
+    def extend_model(self, model: Sequence[Optional[bool]]
+                     ) -> List[Optional[bool]]:
+        """Extend a model of the simplified formula to the original one.
+
+        *model* is indexed by variable (entry 0 unused); missing tail
+        entries are padded.  Returns a new list.
+        """
+        out: List[Optional[bool]] = list(model)
+        while len(out) <= self.cnf.num_vars:
+            out.append(False)
+        for kind, var, saved in reversed(self._stack):
+            if kind in ("unit", "pure"):
+                # ``var`` is really the literal here.
+                out[abs(var)] = var > 0
+                continue
+            assert saved is not None
+            for clause in saved:
+                if any(lit != var and lit != -var
+                       and out[abs(lit)] == (lit > 0) for lit in clause):
+                    continue
+                polarity = next(lit > 0 for lit in clause
+                                if abs(lit) == var)
+                out[var] = polarity
+                break
+        return out
+
+
+class _Database:
+    """Clause database with occurrence lists; indices never move."""
+
+    def __init__(self, cnf: CNF, frozen: Set[int]) -> None:
+        self.clauses: List[Optional[List[int]]] = []
+        self.occur: Dict[int, Set[int]] = {}
+        self.frozen = frozen
+        self.assigned: Dict[int, bool] = {}
+        self.unit_queue: List[int] = []
+        self.conflict = False
+        self.additions: List[List[int]] = []
+        self.stack: List[Tuple[str, int, Optional[List[List[int]]]]] = []
+        self.stats = {"units": 0, "pures": 0, "subsumed": 0,
+                      "strengthened": 0, "bve_eliminated": 0, "rounds": 0}
+        for clause in cnf.clauses:
+            self.add(list(clause))
+
+    # -- primitive operations -------------------------------------------
+
+    def add(self, clause: List[int]) -> int:
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        for lit in clause:
+            self.occur.setdefault(lit, set()).add(index)
+        if len(clause) == 1:
+            self.unit_queue.append(clause[0])
+        elif not clause:
+            self.conflict = True
+        return index
+
+    def remove(self, index: int) -> None:
+        clause = self.clauses[index]
+        if clause is None:
+            return
+        for lit in clause:
+            self.occur[lit].discard(index)
+        self.clauses[index] = None
+
+    def strengthen(self, index: int, lit: int) -> None:
+        """Remove *lit* from clause *index*, logging the RUP addition."""
+        clause = self.clauses[index]
+        assert clause is not None and lit in clause
+        clause.remove(lit)
+        self.occur[lit].discard(index)
+        self.additions.append(list(clause))
+        self.stats["strengthened"] += 1
+        if len(clause) == 1:
+            self.unit_queue.append(clause[0])
+        elif not clause:
+            self.conflict = True
+
+    def live(self) -> List[int]:
+        return [i for i, c in enumerate(self.clauses) if c is not None]
+
+    # -- unit propagation -----------------------------------------------
+
+    def propagate(self) -> bool:
+        changed = False
+        while self.unit_queue and not self.conflict:
+            lit = self.unit_queue.pop()
+            var = abs(lit)
+            if var in self.assigned:
+                if self.assigned[var] != (lit > 0):
+                    self.conflict = True
+                continue
+            self.assigned[var] = lit > 0
+            changed = True
+            self.stats["units"] += 1
+            for index in list(self.occur.get(lit, ())):
+                self.remove(index)
+            for index in list(self.occur.get(-lit, ())):
+                self.strengthen(index, -lit)
+            if var in self.frozen:
+                # Keep the fact in the database so a later assumption of
+                # the opposite polarity still conflicts (and shows up in
+                # cores).  The derived unit is itself a RUP addition.
+                self.add([lit])
+                self.additions.append([lit])
+            else:
+                self.stack.append(("unit", lit, None))
+        return changed
+
+    # -- pure literals ---------------------------------------------------
+
+    def eliminate_pures(self) -> bool:
+        changed = False
+        again = True
+        while again and not self.conflict:
+            again = False
+            candidates = {abs(lit) for lit, occ in self.occur.items()
+                          if occ}
+            for var in sorted(candidates):
+                if var in self.frozen or var in self.assigned:
+                    continue
+                pos = self.occur.get(var, set())
+                neg = self.occur.get(-var, set())
+                if pos and not neg:
+                    lit = var
+                elif neg and not pos:
+                    lit = -var
+                else:
+                    continue
+                for index in list(self.occur.get(lit, ())):
+                    self.remove(index)
+                self.stack.append(("pure", lit, None))
+                self.stats["pures"] += 1
+                changed = again = True
+        return changed
+
+    # -- subsumption and self-subsuming resolution -----------------------
+
+    def subsume(self) -> bool:
+        changed = False
+        for index in self.live():
+            clause = self.clauses[index]
+            if clause is None or not clause:
+                continue
+            lits = set(clause)
+            # Backward subsumption: scan the shortest occurrence list.
+            anchor = min(clause, key=lambda l: len(self.occur.get(l, ())))
+            for other in list(self.occur.get(anchor, ())):
+                if other == index:
+                    continue
+                target = self.clauses[other]
+                if target is None or len(target) < len(clause):
+                    continue
+                if lits.issubset(target):
+                    self.remove(other)
+                    self.stats["subsumed"] += 1
+                    changed = True
+            # Self-subsuming resolution: C = lits, D ∋ -l with
+            # C \ {l} ⊆ D  ⇒  D may drop -l.
+            for lit in clause:
+                rest = lits - {lit}
+                for other in list(self.occur.get(-lit, ())):
+                    target = self.clauses[other]
+                    if target is None or len(target) < len(clause):
+                        continue
+                    if rest.issubset(target):
+                        self.strengthen(other, -lit)
+                        changed = True
+                if self.conflict:
+                    return changed
+        return changed
+
+    # -- bounded variable elimination ------------------------------------
+
+    def eliminate_variables(self) -> bool:
+        changed = False
+        candidates = sorted({abs(lit) for lit, occ in self.occur.items()
+                             if occ})
+        for var in candidates:
+            if self.conflict:
+                break
+            if var in self.frozen or var in self.assigned:
+                continue
+            pos = [i for i in self.occur.get(var, ()) if
+                   self.clauses[i] is not None]
+            neg = [i for i in self.occur.get(-var, ()) if
+                   self.clauses[i] is not None]
+            if not pos or not neg:
+                continue  # the pure pass handles one-sided variables
+            if len(pos) > _BVE_OCC_LIMIT or len(neg) > _BVE_OCC_LIMIT:
+                continue
+            resolvents: List[List[int]] = []
+            seen: Set[Tuple[int, ...]] = set()
+            feasible = True
+            for pi in pos:
+                for ni in neg:
+                    resolvent = self._resolve(self.clauses[pi],
+                                              self.clauses[ni], var)
+                    if resolvent is None:
+                        continue
+                    key = tuple(resolvent)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    resolvents.append(resolvent)
+                    if len(resolvents) > len(pos) + len(neg):
+                        feasible = False
+                        break
+                if not feasible:
+                    break
+            if not feasible:
+                continue
+            saved = [list(self.clauses[i])  # type: ignore[arg-type]
+                     for i in pos + neg]
+            for resolvent in resolvents:
+                self.additions.append(list(resolvent))
+            for index in pos + neg:
+                self.remove(index)
+            for resolvent in resolvents:
+                self.add(resolvent)
+            self.stack.append(("bve", var, saved))
+            self.stats["bve_eliminated"] += 1
+            changed = True
+        return changed
+
+    @staticmethod
+    def _resolve(left: Optional[List[int]], right: Optional[List[int]],
+                 var: int) -> Optional[List[int]]:
+        assert left is not None and right is not None
+        merged = {lit for lit in left if lit != var}
+        for lit in right:
+            if lit == -var:
+                continue
+            if -lit in merged:
+                return None  # tautological resolvent
+            merged.add(lit)
+        return sorted(merged, key=abs)
+
+
+def preprocess_cnf(cnf: CNF, frozen: Iterable[int] = (),
+                   rounds: int = 5) -> PreprocessResult:
+    """Simplify *cnf*, never touching *frozen* variables.
+
+    Returns a :class:`PreprocessResult` whose ``cnf`` is a new formula
+    with the same variable numbering.  The input is not modified.
+    """
+    frozen_set = {abs(v) for v in frozen}
+    db = _Database(cnf, frozen_set)
+
+    db.propagate()
+    while db.stats["rounds"] < rounds and not db.conflict:
+        db.stats["rounds"] += 1
+        changed = db.eliminate_pures()
+        changed |= db.subsume()
+        changed |= db.propagate()
+        changed |= db.eliminate_variables()
+        changed |= db.propagate()
+        if not changed:
+            break
+
+    additions = db.additions
+    simplified = CNF(num_vars=cnf.num_vars)
+    if db.conflict:
+        additions = additions + [[]]
+        # A refuted formula needs no clauses; keep the conflict visible.
+        simplified.clauses = []
+    else:
+        for index in db.live():
+            clause = db.clauses[index]
+            assert clause is not None
+            simplified.clauses.append(sorted(clause, key=abs))
+
+    stats = dict(db.stats)
+    stats.update(
+        original_vars=cnf.num_vars,
+        original_clauses=len(cnf.clauses),
+        simplified_clauses=len(simplified.clauses),
+        eliminated_vars=(stats["bve_eliminated"] + stats["pures"]
+                         + stats["units"]),
+    )
+    return PreprocessResult(
+        cnf=simplified,
+        unsat=db.conflict,
+        proof_additions=additions,
+        frozen=frozen_set,
+        stats=stats,
+        _stack=db.stack,
+    )

@@ -23,6 +23,9 @@ class CNF:
             raise ValueError("num_vars must be non-negative")
         self.num_vars = num_vars
         self.clauses: List[List[int]] = []
+        #: Tautological clauses silently dropped by :meth:`add_clause`;
+        #: the encoding linter reports this count (rule CNF002).
+        self.tautologies_dropped = 0
         if clauses is not None:
             for clause in clauses:
                 self.add_clause(clause)
@@ -48,6 +51,7 @@ class CNF:
         try:
             clause = normalize_clause(lits)
         except TautologyError:
+            self.tautologies_dropped += 1
             return
         for lit in clause:
             v = lit if lit > 0 else -lit
@@ -73,6 +77,7 @@ class CNF:
         """Return an independent copy of this formula."""
         dup = CNF(self.num_vars)
         dup.clauses = [list(c) for c in self.clauses]
+        dup.tautologies_dropped = self.tautologies_dropped
         return dup
 
     def evaluate(self, assignment: Sequence[bool]) -> bool:

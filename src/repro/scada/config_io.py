@@ -86,8 +86,15 @@ def _parse_id_list(text: str) -> List[int]:
     return out
 
 
-def parse_config(source: Union[str, TextIO]) -> CaseConfig:
-    """Parse a configuration from a string or file object."""
+def parse_config(source: Union[str, TextIO],
+                 strict: bool = True) -> CaseConfig:
+    """Parse a configuration from a string or file object.
+
+    With ``strict=False`` the network is built leniently: structural
+    defects (duplicate devices, dangling references, missing MTU) are
+    recorded on the network instead of raising, so the configuration
+    linter can report all of them at once.
+    """
     if isinstance(source, str):
         source = io.StringIO(source)
 
@@ -178,6 +185,7 @@ def parse_config(source: Union[str, TextIO]) -> CaseConfig:
         links=links,
         measurement_map=measurement_map,
         pair_security=pair_security,
+        strict=strict,
     )
 
     # [requirements] ----------------------------------------------------------
@@ -214,10 +222,10 @@ def _parse_requirements(lines) -> Optional[ResiliencySpec]:
     return ResiliencySpec.bad_data_detectability(r=r, **budget)
 
 
-def load_config(path: str) -> CaseConfig:
+def load_config(path: str, strict: bool = True) -> CaseConfig:
     """Load a configuration file from *path*."""
     with open(path, "r", encoding="utf-8") as handle:
-        return parse_config(handle)
+        return parse_config(handle, strict=strict)
 
 
 def dump_config(config: CaseConfig, rows: List[Dict[int, float]] = None,

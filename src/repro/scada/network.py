@@ -16,7 +16,7 @@ constraints.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .crypto import DEFAULT_POLICY, CryptoPolicy
 from .devices import CryptoProfile, Device
@@ -44,6 +44,7 @@ class ScadaNetwork:
         max_paths: int = 1000,
         max_path_length: Optional[int] = None,
         main_mtu: Optional[int] = None,
+        strict: bool = True,
     ) -> None:
         self.name = name
         self.policy = policy
@@ -51,24 +52,34 @@ class ScadaNetwork:
         self.max_path_length = max_path_length
         self._main_mtu = main_mtu
         self.devices: Dict[int, Device] = {}
+        #: Devices shadowed by an earlier definition of the same id
+        #: (populated only with ``strict=False``; strict mode raises).
+        self.duplicate_devices: List[Device] = []
         for device in devices:
             if device.device_id in self.devices:
-                raise ValueError(f"duplicate device id {device.device_id}")
+                if strict:
+                    raise ValueError(
+                        f"duplicate device id {device.device_id}")
+                self.duplicate_devices.append(device)
+                continue
             self.devices[device.device_id] = device
-        self.topology = Topology(self.devices.keys(), links)
+        self.topology = Topology(self.devices.keys(), links, strict=strict)
         self.measurement_map: Dict[int, List[int]] = {
             ied: list(msrs) for ied, msrs in measurement_map.items()}
-        self.pair_security: Dict[Tuple[int, int], Tuple[CryptoProfile, ...]] = {}
+        self.pair_security: Dict[Tuple[int, int],
+                                 Tuple[CryptoProfile, ...]] = {}
         for pair, profiles in (pair_security or {}).items():
             self.pair_security[_pair_key(*pair)] = tuple(profiles)
-        self._validate()
+        self._validate(strict)
         self._path_cache: Dict[int, List[List[int]]] = {}
 
-    def _validate(self) -> None:
+    def _validate(self, strict: bool) -> None:
         mtus = [d for d in self.devices.values() if d.is_mtu]
         if not mtus:
-            raise ValueError("at least one MTU is required")
-        if self._main_mtu is None:
+            if strict:
+                raise ValueError("at least one MTU is required")
+            self._main_mtu = None
+        elif self._main_mtu is None:
             if len(mtus) == 1:
                 self._main_mtu = mtus[0].device_id
             else:
@@ -77,35 +88,50 @@ class ScadaNetwork:
                 self._main_mtu = min(d.device_id for d in mtus)
         elif not self.devices.get(self._main_mtu, None) or \
                 not self.devices[self._main_mtu].is_mtu:
-            raise ValueError(f"main_mtu={self._main_mtu} is not an MTU")
+            if strict:
+                raise ValueError(f"main_mtu={self._main_mtu} is not an MTU")
+            self._main_mtu = min(d.device_id for d in mtus)
         seen_msrs: Set[int] = set()
         for ied_id, msrs in self.measurement_map.items():
             device = self.devices.get(ied_id)
             if device is None:
-                raise ValueError(f"measurement map references unknown "
-                                 f"device {ied_id}")
+                if strict:
+                    raise ValueError(f"measurement map references unknown "
+                                     f"device {ied_id}")
+                continue
             if not device.is_ied:
-                raise ValueError(f"device {ied_id} carries measurements "
-                                 "but is not an IED")
+                if strict:
+                    raise ValueError(f"device {ied_id} carries measurements "
+                                     "but is not an IED")
+                continue
             for z in msrs:
                 if z in seen_msrs:
-                    raise ValueError(f"measurement {z} assigned to "
-                                     "multiple IEDs")
+                    if strict:
+                        raise ValueError(f"measurement {z} assigned to "
+                                         "multiple IEDs")
+                    continue
                 seen_msrs.add(z)
-        for pair in self.pair_security:
-            for end in pair:
-                if end not in self.devices:
-                    raise ValueError(f"security profile references unknown "
-                                     f"device {end}")
+        if strict:
+            for pair in self.pair_security:
+                for end in pair:
+                    if end not in self.devices:
+                        raise ValueError(f"security profile references "
+                                         f"unknown device {end}")
 
     # ------------------------------------------------------------------
     # Device views
     # ------------------------------------------------------------------
 
     @property
+    def has_mtu(self) -> bool:
+        """Whether any MTU exists (can be False only with strict=False)."""
+        return self._main_mtu is not None
+
+    @property
     def mtu_id(self) -> int:
         """The main MTU — the destination of all measurement paths."""
-        assert self._main_mtu is not None
+        if self._main_mtu is None:
+            raise ValueError(f"network {self.name!r} has no MTU")
         return self._main_mtu
 
     @property

@@ -42,33 +42,59 @@ class Link:
 
 
 class Topology:
-    """The link graph over device ids."""
+    """The link graph over device ids.
+
+    With ``strict=True`` (the default) structural defects raise
+    ``ValueError``.  With ``strict=False`` — the mode the configuration
+    linter uses to inspect malformed inputs — defective links are
+    recorded on :attr:`dangling_links`, :attr:`parallel_links`, and
+    :attr:`duplicate_link_indices` instead, and excluded from the
+    adjacency so path enumeration stays well defined.
+    """
 
     def __init__(self, device_ids: Iterable[int],
-                 links: Sequence[Link]) -> None:
+                 links: Sequence[Link],
+                 strict: bool = True) -> None:
         self.device_ids: Set[int] = set(device_ids)
         self.links: List[Link] = list(links)
-        self._validate()
+        self.dangling_links: List[Link] = []
+        self.parallel_links: List[Link] = []
+        self.duplicate_link_indices: List[Link] = []
+        self._validate(strict)
+        bad = {id(link) for link in
+               self.dangling_links + self.parallel_links
+               + self.duplicate_link_indices}
         self._adjacency: Dict[int, List[Link]] = {
             d: [] for d in self.device_ids}
         for link in self.links:
+            if id(link) in bad:
+                continue
             self._adjacency[link.a].append(link)
             self._adjacency[link.b].append(link)
 
-    def _validate(self) -> None:
+    def _validate(self, strict: bool) -> None:
         seen_indices: Set[int] = set()
         seen_pairs: Set[Tuple[int, int]] = set()
         for link in self.links:
             if link.index in seen_indices:
-                raise ValueError(f"duplicate link index {link.index}")
+                if strict:
+                    raise ValueError(f"duplicate link index {link.index}")
+                self.duplicate_link_indices.append(link)
             seen_indices.add(link.index)
-            for end in (link.a, link.b):
-                if end not in self.device_ids:
+            dangling = [end for end in (link.a, link.b)
+                        if end not in self.device_ids]
+            if dangling:
+                if strict:
                     raise ValueError(
-                        f"link {link.index} references unknown device {end}")
+                        f"link {link.index} references unknown device "
+                        f"{dangling[0]}")
+                self.dangling_links.append(link)
+                continue
             if link.node_pair in seen_pairs:
-                raise ValueError(
-                    f"parallel link between {link.node_pair}")
+                if strict:
+                    raise ValueError(
+                        f"parallel link between {link.node_pair}")
+                self.parallel_links.append(link)
             seen_pairs.add(link.node_pair)
 
     # ------------------------------------------------------------------

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import enum
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
+from ..sat.cnf import CNF
 from ..sat.solver import SatSolver
 from .terms import BoolVar, Term
 from .tseitin import Encoder
@@ -68,6 +69,10 @@ class SolverStatistics:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        # Populated only when the facade runs with preprocess=True.
+        self.simplified_vars = 0
+        self.simplified_clauses = 0
+        self.preprocess_time = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return dict(self.__dict__)
@@ -87,15 +92,29 @@ class Solver:
     """
 
     def __init__(self, card_encoding: str = "totalizer",
-                 produce_proof: bool = False) -> None:
-        self._sat = SatSolver()
-        if produce_proof:
-            self._sat.enable_proof()
-        self._encoder = Encoder(self._sat, card_encoding=card_encoding)
+                 produce_proof: bool = False,
+                 preprocess: bool = False) -> None:
+        self._produce_proof = produce_proof
+        self._preprocess = preprocess
+        self._cnf: Optional[CNF] = None
+        self._sat: Optional[SatSolver] = None
+        if preprocess:
+            # Buffer the encoding in a CNF so each check can run the
+            # simplifier over the full current formula first.
+            self._cnf = CNF()
+            sink = self._cnf
+        else:
+            self._sat = SatSolver()
+            if produce_proof:
+                self._sat.enable_proof()
+            sink = self._sat
+        self._sink = sink
+        self._encoder = Encoder(sink, card_encoding=card_encoding)
         self._selectors: List[int] = []
         self._assertions: List[List[Term]] = [[]]
         self._model: Optional[Model] = None
         self._core_terms: List[Term] = []
+        self._last_unsat_proof: Optional[tuple] = None
         self.statistics = SolverStatistics()
 
     # ------------------------------------------------------------------
@@ -108,13 +127,13 @@ class Solver:
             self._assertions[-1].append(term)
             if self._selectors:
                 lit = self._encoder.literal(term)
-                self._sat.add_clause([-self._selectors[-1], lit])
+                self._sink.add_clause([-self._selectors[-1], lit])
             else:
                 self._encoder.assert_term(term)
 
     def push(self) -> None:
         """Open a new assertion scope."""
-        self._selectors.append(self._sat.new_var())
+        self._selectors.append(self._sink.new_var())
         self._assertions.append([])
 
     def pop(self) -> None:
@@ -124,7 +143,7 @@ class Solver:
         selector = self._selectors.pop()
         self._assertions.pop()
         # Permanently disable the scope's clauses.
-        self._sat.add_clause([-selector])
+        self._sink.add_clause([-selector])
 
     def assertions(self) -> List[Term]:
         """All currently live assertions, outermost first."""
@@ -144,6 +163,11 @@ class Solver:
             assumption_lits.append(lit)
             lit_to_term[lit] = term
 
+        if self._preprocess:
+            return self._check_preprocessed(assumption_lits, lit_to_term,
+                                            max_conflicts)
+
+        assert self._sat is not None
         started = time.perf_counter()
         before = self._sat.stats.as_dict()
         outcome = self._sat.solve(assumptions=assumption_lits,
@@ -166,6 +190,75 @@ class Solver:
         ]
         return Result.UNSAT
 
+    def _check_preprocessed(self, assumption_lits: List[int],
+                            lit_to_term: Dict[int, Term],
+                            max_conflicts: Optional[int]) -> Result:
+        """Simplify the buffered formula, then solve it fresh.
+
+        Frozen variables — every named model variable, scope selector,
+        assumption variable, and the constant-true literal — survive
+        simplification with their numbering intact, so models, cores,
+        and incremental blocking clauses keep working.
+        """
+        from ..lint.preprocess import preprocess_cnf
+
+        assert self._cnf is not None
+        self._last_unsat_proof = None
+        frozen: Set[int] = set(self._encoder.var_names.values())
+        frozen.update(abs(lit) for lit in assumption_lits)
+        true_lit = getattr(self._encoder, "_true_lit", None)
+        if true_lit is not None:
+            frozen.add(abs(true_lit))
+
+        started = time.perf_counter()
+        result = preprocess_cnf(self._cnf, frozen=frozen)
+        self.statistics.preprocess_time += time.perf_counter() - started
+        self.statistics.num_vars = self._cnf.num_vars
+        self.statistics.num_clauses = len(self._cnf.clauses)
+        self.statistics.simplified_vars = (
+            self._cnf.num_vars - result.stats["eliminated_vars"])
+        self.statistics.simplified_clauses = len(result.cnf.clauses)
+
+        if result.unsat:
+            self.statistics.checks += 1
+            self._last_unsat_proof = (list(self._cnf.clauses),
+                                      list(result.proof_additions),
+                                      self._cnf.num_vars)
+            return Result.UNSAT
+
+        sub = SatSolver()
+        if self._produce_proof:
+            sub.enable_proof()
+        for clause in result.cnf.clauses:
+            if not sub.add_clause(clause):
+                break  # level-0 conflict; solve() will report unsat
+
+        started = time.perf_counter()
+        outcome = sub.solve(assumptions=assumption_lits,
+                            max_conflicts=max_conflicts)
+        after = sub.stats.as_dict()
+        self.statistics.check_time += time.perf_counter() - started
+        self.statistics.checks += 1
+        for field in ("conflicts", "decisions", "propagations"):
+            self.statistics.__dict__[field] += after[field]
+
+        if outcome is None:
+            return Result.UNKNOWN
+        if outcome:
+            extended = result.extend_model(list(sub.model))
+            self._model = Model(self._encoder, extended)
+            return Result.SAT
+        self._core_terms = [
+            lit_to_term[lit] for lit in sub.core() if lit in lit_to_term
+        ]
+        if self._produce_proof and sub.proof is not None:
+            _, learned = sub.proof
+            self._last_unsat_proof = (
+                list(self._cnf.clauses),
+                list(result.proof_additions) + [list(c) for c in learned],
+                self._cnf.num_vars)
+        return Result.UNSAT
+
     def model(self) -> Model:
         """The model from the last sat check."""
         if self._model is None:
@@ -183,27 +276,56 @@ class Solver:
         return BoolVar(name)
 
     @property
+    def cnf(self) -> Optional[CNF]:
+        """The buffered encoding (present only with ``preprocess=True``)."""
+        return self._cnf
+
+    def named_variables(self) -> Dict[str, int]:
+        """Variable name → CNF variable for every declared Boolean."""
+        return dict(self._encoder.var_names)
+
+    @property
     def num_vars(self) -> int:
-        return self._sat.num_vars
+        return self._sink.num_vars
 
     @property
     def num_clauses(self) -> int:
         """Encoded clause count (before level-0 simplification)."""
+        if self._cnf is not None:
+            return len(self._cnf.clauses)
+        assert self._sat is not None
         return self._sat.num_clauses_added
 
     def validate_unsat_proof(self) -> bool:
         """Re-check the last unsat answer with the independent RUP
         checker.  Only valid after an assumption-free UNSAT from a
-        solver constructed with ``produce_proof=True``."""
+        solver constructed with ``produce_proof=True``.
+
+        With ``preprocess=True`` the proof covers the whole pipeline:
+        the simplifier's additions (each RUP against the original
+        encoding) followed by the sub-solver's learned clauses (RUP by
+        monotonicity, since the simplified database is contained in the
+        original clauses plus the additions).
+        """
         from ..sat.proof import check_unsat_proof
 
+        if self._selectors:
+            raise RuntimeError("proof validation is not supported with "
+                               "open push/pop scopes")
+        if self._preprocess:
+            if not self._produce_proof:
+                raise RuntimeError("solver was not constructed with "
+                                   "produce_proof=True")
+            if self._last_unsat_proof is None:
+                raise RuntimeError("no unsat answer to validate")
+            originals, additions, num_vars = self._last_unsat_proof
+            return check_unsat_proof(originals, additions,
+                                     num_vars=num_vars)
+        assert self._sat is not None
         proof = self._sat.proof
         if proof is None:
             raise RuntimeError("solver was not constructed with "
                                "produce_proof=True")
-        if self._selectors:
-            raise RuntimeError("proof validation is not supported with "
-                               "open push/pop scopes")
         originals, learned = proof
         return check_unsat_proof(originals, learned,
                                  num_vars=self._sat.num_vars)

@@ -95,7 +95,8 @@ def test_no_attack_possible():
                            measurement_map={1: [1]})
     problem = ObservabilityProblem(num_states=2, state_sets={1: [1]},
                                    unique_groups=[[1]])
-    analyzer = ScadaAnalyzer(network, problem)
+    # lint=False: the zero-coverage state is the point of the test.
+    analyzer = ScadaAnalyzer(network, problem, lint=False)
     result = cheapest_threat(analyzer)
     assert result.attack_exists
     assert result.cost == 0  # state 2 is uncovered with no failures

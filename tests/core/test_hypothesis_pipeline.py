@@ -98,7 +98,9 @@ def small_scada(draw):
 @settings(max_examples=60, deadline=None)
 def test_verdicts_match_brute_force(system, k, secured):
     network, problem = system
-    analyzer = ScadaAnalyzer(network, problem)
+    # lint=False: hypothesis freely generates degenerate configs
+    # (zero-coverage states, no assured paths) on purpose.
+    analyzer = ScadaAnalyzer(network, problem, lint=False)
     if secured:
         spec = ResiliencySpec.secured_observability(k=k)
     else:
@@ -117,7 +119,9 @@ def test_verdicts_match_brute_force(system, k, secured):
 @settings(max_examples=30, deadline=None)
 def test_minimal_enumeration_matches_brute_force(system, k):
     network, problem = system
-    analyzer = ScadaAnalyzer(network, problem)
+    # lint=False: hypothesis freely generates degenerate configs
+    # (zero-coverage states, no assured paths) on purpose.
+    analyzer = ScadaAnalyzer(network, problem, lint=False)
     spec = ResiliencySpec.observability(k=k)
     enumerated = {tuple(sorted(t.failed_devices))
                   for t in analyzer.enumerate_threat_vectors(spec)}
@@ -131,7 +135,9 @@ def test_minimal_enumeration_matches_brute_force(system, k):
 @settings(max_examples=30, deadline=None)
 def test_bad_data_matches_brute_force(system, k, r):
     network, problem = system
-    analyzer = ScadaAnalyzer(network, problem)
+    # lint=False: hypothesis freely generates degenerate configs
+    # (zero-coverage states, no assured paths) on purpose.
+    analyzer = ScadaAnalyzer(network, problem, lint=False)
     spec = ResiliencySpec.bad_data_detectability(r=r, k=k)
     result = analyzer.verify(spec)
     brute = analyzer.reference.brute_force_threats(spec,
@@ -144,7 +150,9 @@ def test_bad_data_matches_brute_force(system, k, r):
 @settings(max_examples=30, deadline=None)
 def test_certified_unsat_proofs_always_check(system):
     network, problem = system
-    analyzer = ScadaAnalyzer(network, problem)
+    # lint=False: hypothesis freely generates degenerate configs
+    # (zero-coverage states, no assured paths) on purpose.
+    analyzer = ScadaAnalyzer(network, problem, lint=False)
     spec = ResiliencySpec.observability(k=0)
     result = analyzer.verify(spec, certify=True)
     if result.is_resilient:
@@ -156,7 +164,9 @@ def test_certified_unsat_proofs_always_check(system):
 def test_monotonicity_in_k(system, k):
     """A threat within budget k is a threat within k+1."""
     network, problem = system
-    analyzer = ScadaAnalyzer(network, problem)
+    # lint=False: hypothesis freely generates degenerate configs
+    # (zero-coverage states, no assured paths) on purpose.
+    analyzer = ScadaAnalyzer(network, problem, lint=False)
     small = analyzer.verify(ResiliencySpec.observability(k=k),
                             minimize=False)
     big = analyzer.verify(ResiliencySpec.observability(k=k + 1),

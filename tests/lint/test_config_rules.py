@@ -1,0 +1,209 @@
+"""Layer-1 configuration rules: each SCADA code on a crafted defect."""
+
+import pytest
+
+from repro.cases import case_problem, fig3_network, fig4_network
+from repro.core import ObservabilityProblem, ResiliencySpec
+from repro.lint import Severity, lint_case
+from repro.scada import CryptoProfile, Device, DeviceType, Link, ScadaNetwork
+
+
+def _net(devices, links, mmap, **kwargs):
+    kwargs.setdefault("strict", False)
+    return ScadaNetwork(devices=devices, links=links,
+                        measurement_map=mmap, **kwargs)
+
+
+def _chain():
+    """IED 1 — RTU 2 — MTU 3."""
+    return ([Device(1, DeviceType.IED), Device(2, DeviceType.RTU),
+             Device(3, DeviceType.MTU)],
+            [Link(1, 1, 2), Link(2, 2, 3)])
+
+
+def _problem(num_states=1, state_sets=None):
+    return ObservabilityProblem(
+        num_states=num_states,
+        state_sets=state_sets if state_sets is not None else {1: [1]},
+        unique_groups=[])
+
+
+def _codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+def test_scada001_dangling_measurement_map():
+    devices, links = _chain()
+    report = lint_case(_net(devices, links, {1: [1], 99: [2]}))
+    assert "SCADA001" in _codes(report)
+    assert report.has_errors
+    [diag] = [d for d in report.diagnostics if d.code == "SCADA001"]
+    assert diag.location == "device 99"
+
+
+def test_scada002_measurement_on_non_ied():
+    devices, links = _chain()
+    report = lint_case(_net(devices, links, {2: [1]}))
+    assert "SCADA002" in _codes(report)
+
+
+def test_scada003_measurement_on_two_ieds():
+    devices, links = _chain()
+    devices.insert(1, Device(4, DeviceType.IED))
+    links.append(Link(3, 4, 2))
+    report = lint_case(_net(devices, links, {1: [1], 4: [1]}))
+    assert "SCADA003" in _codes(report)
+
+
+def test_scada004_duplicate_device_definition():
+    devices, links = _chain()
+    devices.append(Device(1, DeviceType.RTU))
+    report = lint_case(_net(devices, links, {1: [1]}))
+    assert "SCADA004" in _codes(report)
+
+
+def test_scada005_no_mtu():
+    report = lint_case(_net(
+        [Device(1, DeviceType.IED), Device(2, DeviceType.RTU)],
+        [Link(1, 1, 2)], {1: [1]}))
+    assert "SCADA005" in _codes(report)
+
+
+def test_scada006_security_pair_unknown_device():
+    devices, links = _chain()
+    report = lint_case(_net(
+        devices, links, {1: [1]},
+        pair_security={(1, 99): CryptoProfile.parse_many("hmac 256")}))
+    assert "SCADA006" in _codes(report)
+
+
+def test_scada007_unreachable_field_device():
+    devices, links = _chain()
+    devices.append(Device(4, DeviceType.IED))  # no link anywhere
+    report = lint_case(_net(devices, links, {1: [1]}))
+    assert "SCADA007" in _codes(report)
+
+
+def test_scada008_no_assured_path():
+    devices, links = _chain()
+    devices[0] = Device(1, DeviceType.IED,
+                        protocols=frozenset({"modbus"}))  # RTU talks dnp3
+    report = lint_case(_net(devices, links, {1: [1]}))
+    assert "SCADA008" in _codes(report)
+
+
+def test_scada009_no_secured_path_is_warning_without_spec():
+    # fig3's IEDs 1 and 4 only pair "hmac 128" with their RTU:
+    # authenticated but not integrity protected (§III-D).
+    report = lint_case(fig3_network(), case_problem())
+    hits = [d for d in report.diagnostics if d.code == "SCADA009"]
+    assert {d.location for d in hits} == {"device 1", "device 4"}
+    assert all(d.severity is Severity.WARNING for d in hits)
+    assert not report.has_errors
+
+
+def test_scada009_upgraded_to_error_for_secured_spec():
+    spec = ResiliencySpec.secured_observability(k=1)
+    report = lint_case(fig3_network(), case_problem(), spec)
+    hits = [d for d in report.diagnostics if d.code == "SCADA009"]
+    assert hits and all(d.severity is Severity.ERROR for d in hits)
+
+
+def test_scada010_uncovered_state():
+    devices, links = _chain()
+    report = lint_case(_net(devices, links, {1: [1]}),
+                       _problem(num_states=2, state_sets={1: [1]}))
+    assert "SCADA010" in _codes(report)
+
+
+def test_scada010_counts_only_existing_ieds():
+    # The only measurement covering the state is mapped to a missing
+    # device, so the state is statically unobservable too.
+    devices, links = _chain()
+    report = lint_case(_net(devices, links, {99: [1]}), _problem())
+    codes = _codes(report)
+    assert "SCADA001" in codes and "SCADA010" in codes
+
+
+def test_scada011_mapped_measurement_unknown_to_problem():
+    devices, links = _chain()
+    report = lint_case(_net(devices, links, {1: [1, 7]}), _problem())
+    assert "SCADA011" in _codes(report)
+
+
+def test_scada012_problem_measurement_unmapped():
+    devices, links = _chain()
+    report = lint_case(
+        _net(devices, links, {1: [1]}),
+        _problem(state_sets={1: [1], 2: [1]}))
+    assert "SCADA012" in _codes(report)
+
+
+def test_scada013_redundancy_below_budget():
+    devices, links = _chain()
+    spec = ResiliencySpec.observability(k=1)
+    report = lint_case(_net(devices, links, {1: [1]}), _problem(), spec)
+    hits = [d for d in report.diagnostics if d.code == "SCADA013"]
+    assert hits and hits[0].severity is Severity.ERROR
+    # The single chain is cut by one device failure.
+    assert "1 device-disjoint" in hits[0].message
+
+
+def test_scada013_silent_when_redundancy_sufficient():
+    spec = ResiliencySpec.observability(k=1)
+    report = lint_case(fig3_network(), case_problem(), spec)
+    assert "SCADA013" not in _codes(report)
+
+
+def test_scada014_coverage_below_bad_data_budget():
+    devices, links = _chain()
+    spec = ResiliencySpec.bad_data_detectability(k=1, r=1)
+    report = lint_case(_net(devices, links, {1: [1]}), _problem(), spec)
+    assert "SCADA014" in _codes(report)
+
+
+def test_scada015_broken_algorithm():
+    devices, links = _chain()
+    report = lint_case(_net(
+        devices, links, {1: [1]},
+        pair_security={(1, 2): CryptoProfile.parse_many("des 56")}))
+    hits = [d for d in report.diagnostics if d.code == "SCADA015"]
+    assert hits and "des" in hits[0].message
+
+
+def test_scada016_too_few_unique_groups():
+    devices, links = _chain()
+    problem = ObservabilityProblem(
+        num_states=2, state_sets={1: [1, 2], 2: [1, 2]},
+        unique_groups=[[1, 2]])
+    report = lint_case(_net(devices, links, {1: [1, 2]}), problem)
+    assert "SCADA016" in _codes(report)
+
+
+def test_scada017_link_to_unknown_device():
+    devices, links = _chain()
+    links.append(Link(3, 2, 42))
+    report = lint_case(_net(devices, links, {1: [1]}))
+    assert "SCADA017" in _codes(report)
+
+
+def test_scada018_parallel_link():
+    devices, links = _chain()
+    links.append(Link(3, 2, 1))
+    report = lint_case(_net(devices, links, {1: [1]}))
+    hits = [d for d in report.diagnostics if d.code == "SCADA018"]
+    assert hits and all(d.severity is Severity.WARNING for d in hits)
+
+
+def test_case_study_networks_pass_lint():
+    """The paper's §IV configurations carry no error-level findings."""
+    problem = case_problem()
+    for network in (fig3_network(), fig4_network()):
+        report = lint_case(network, problem)
+        assert not report.has_errors, report.to_text()
+
+
+def test_report_subject_is_network_name():
+    devices, links = _chain()
+    net = _net(devices, links, {1: [1]}, name="unit-net")
+    assert lint_case(net).subject == "unit-net"

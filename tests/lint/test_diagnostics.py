@@ -1,0 +1,89 @@
+"""The structured-diagnostic core shared by both lint layers."""
+
+import json
+
+import pytest
+
+from repro.lint import RULES, Diagnostic, LintReport, Severity
+
+
+def test_severity_ranks_order():
+    assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+
+def test_unregistered_code_rejected():
+    with pytest.raises(ValueError):
+        Diagnostic("SCADA999", Severity.ERROR, "nope")
+
+
+def test_every_rule_code_has_a_title():
+    for code, title in RULES.items():
+        assert title
+        diag = Diagnostic(code, Severity.INFO, "x")
+        assert diag.title == title
+
+
+def test_format_includes_code_location_and_hint():
+    diag = Diagnostic("SCADA001", Severity.ERROR, "dangling map",
+                      location="device 99", hint="declare the IED")
+    text = diag.format()
+    assert "error[SCADA001]" in text
+    assert "at device 99" in text
+    assert "hint: declare the IED" in text
+
+
+def test_format_without_location_or_hint():
+    text = Diagnostic("SCADA005", Severity.ERROR, "no MTU").format()
+    assert text == "error[SCADA005]: no MTU"
+
+
+def test_report_sorted_by_severity_then_code():
+    report = LintReport(subject="t")
+    report.append(Diagnostic("CNF004", Severity.INFO, "i"))
+    report.append(Diagnostic("SCADA012", Severity.WARNING, "w"))
+    report.append(Diagnostic("SCADA010", Severity.ERROR, "e2"))
+    report.append(Diagnostic("SCADA001", Severity.ERROR, "e1"))
+    codes = [d.code for d in report.sorted()]
+    assert codes == ["SCADA001", "SCADA010", "SCADA012", "CNF004"]
+
+
+def test_exit_code_and_has_errors():
+    report = LintReport()
+    assert report.exit_code() == 0 and not report.has_errors
+    report.append(Diagnostic("SCADA011", Severity.WARNING, "w"))
+    assert report.exit_code() == 0
+    report.append(Diagnostic("SCADA001", Severity.ERROR, "e"))
+    assert report.exit_code() == 1 and report.has_errors
+    assert len(report.errors) == 1 and len(report.warnings) == 1
+
+
+def test_summary_counts():
+    report = LintReport(subject="net")
+    assert report.summary() == "net: clean"
+    report.append(Diagnostic("SCADA001", Severity.ERROR, "e"))
+    report.append(Diagnostic("SCADA011", Severity.WARNING, "w"))
+    report.append(Diagnostic("SCADA012", Severity.WARNING, "w"))
+    assert report.summary() == "net: 1 error, 2 warnings"
+
+
+def test_to_text_min_severity_filters():
+    report = LintReport()
+    report.append(Diagnostic("SCADA001", Severity.ERROR, "e"))
+    report.append(Diagnostic("CNF001", Severity.INFO, "i"))
+    text = report.to_text(min_severity=Severity.ERROR)
+    assert "SCADA001" in text and "CNF001" not in text
+    assert "CNF001" in report.to_text()
+
+
+def test_to_json_payload():
+    report = LintReport(subject="net")
+    report.append(Diagnostic("SCADA001", Severity.ERROR, "dangling",
+                             location="device 99"))
+    payload = json.loads(report.to_json())
+    assert payload["subject"] == "net"
+    assert payload["exit_code"] == 1
+    assert payload["counts"]["error"] == 1
+    [diag] = payload["diagnostics"]
+    assert diag["code"] == "SCADA001"
+    assert diag["severity"] == "error"
+    assert diag["location"] == "device 99"

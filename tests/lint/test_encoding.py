@@ -1,0 +1,66 @@
+"""Layer-2a encoding analysis (CNF001-004)."""
+
+from repro.lint import analyze_cnf
+from repro.sat import CNF
+
+
+def _codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+def test_clean_two_sided_cnf_is_clean():
+    cnf = CNF(clauses=[[1, 2], [-1, -2], [1, -2], [-1, 2]])
+    report = analyze_cnf(cnf, frozen=())
+    assert report.diagnostics == []
+
+
+def test_cnf001_unconstrained_variables():
+    cnf = CNF(num_vars=5)
+    cnf.add_clause([1, -2])
+    cnf.add_clause([2, -1])
+    report = analyze_cnf(cnf)
+    hits = [d for d in report.diagnostics if d.code == "CNF001"]
+    assert hits and "3 of 5" in hits[0].message
+
+
+def test_cnf002_dropped_tautologies_reported():
+    cnf = CNF()
+    cnf.add_clause([1, -1])
+    cnf.add_clause([1, 2])
+    assert cnf.tautologies_dropped == 1
+    assert "CNF002" in _codes(analyze_cnf(cnf))
+
+
+def test_cnf003_duplicate_clauses():
+    cnf = CNF(clauses=[[1, 2], [1, 2], [-1, -2], [-2, -1]])
+    # normalize_clause sorts, so [-1,-2] and [-2,-1] are duplicates too
+    hits = [d for d in analyze_cnf(cnf).diagnostics if d.code == "CNF003"]
+    assert hits and "2 clauses" in hits[0].message
+
+
+def test_cnf004_pure_literals_respect_frozen():
+    cnf = CNF(clauses=[[1, 2], [1, -2], [3, 2], [3, -2]])
+    # vars 1 and 3 are pure; 2 is two-sided
+    report = analyze_cnf(cnf)
+    [hit] = [d for d in report.diagnostics if d.code == "CNF004"]
+    assert "2 non-frozen" in hit.message
+    report = analyze_cnf(cnf, frozen=[1, 3])
+    assert "CNF004" not in _codes(report)
+
+
+def test_empty_cnf_reports_nothing():
+    assert analyze_cnf(CNF()).diagnostics == []
+
+
+def test_subject_is_propagated():
+    assert analyze_cnf(CNF(), subject="enc").subject == "enc"
+
+
+def test_analyzer_export_has_no_error_findings(tiny_network, tiny_problem):
+    """The Tseitin encoding of a real model analyzes without errors."""
+    from repro.core import ResiliencySpec, ScadaAnalyzer
+
+    analyzer = ScadaAnalyzer(tiny_network, tiny_problem, lint=False)
+    cnf, frozen = analyzer.export_cnf(ResiliencySpec.observability(k=1))
+    report = analyze_cnf(cnf, frozen=frozen)
+    assert not report.has_errors

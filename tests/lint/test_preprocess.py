@@ -1,0 +1,144 @@
+"""Layer-2b simplifier: correctness-preservation and proof plumbing."""
+
+import random
+
+from repro.lint import preprocess_cnf
+from repro.sat import CNF, SatSolver
+from repro.sat.proof import check_unsat_proof
+from tests.conftest import brute_force_sat, random_cnf
+
+
+def _solve(cnf, assumptions=()):
+    solver = SatSolver()
+    while solver.num_vars < cnf.num_vars:
+        solver.new_var()
+    ok = all(solver.add_clause(list(c)) for c in cnf.clauses)
+    if not ok:
+        return False, None
+    result = solver.solve(assumptions=list(assumptions))
+    return result, (list(solver.model) if result else None)
+
+
+def test_randomized_solution_preservation():
+    """Acceptance criterion: over >= 200 random instances the simplified
+    formula has the same verdict, and extended models satisfy the
+    original formula; preprocessing-refuted instances carry a checkable
+    RUP proof."""
+    rng = random.Random(2016)
+    for trial in range(250):
+        n, clauses = random_cnf(rng)
+        cnf = CNF(num_vars=n, clauses=clauses)
+        before = [list(c) for c in cnf.clauses]
+        result = preprocess_cnf(cnf)
+        assert cnf.clauses == before, "input must not be modified"
+
+        expected = brute_force_sat(n, clauses)
+        if result.unsat:
+            assert not expected, f"trial {trial}: wrong unsat"
+            assert result.proof_additions[-1] == []
+            assert check_unsat_proof(cnf.clauses, result.proof_additions,
+                                     num_vars=n)
+            continue
+        verdict, model = _solve(result.cnf)
+        assert verdict == expected, f"trial {trial}: verdict changed"
+        if verdict:
+            extended = result.extend_model(model)
+            assert cnf.evaluate(extended), \
+                f"trial {trial}: extended model violates the original"
+
+
+def test_randomized_equivalence_under_assumptions():
+    """Frozen (assumption) variables survive: solving the simplified
+    formula under random assumptions matches the original formula."""
+    rng = random.Random(77)
+    for trial in range(200):
+        n, clauses = random_cnf(rng)
+        cnf = CNF(num_vars=n, clauses=clauses)
+        frozen = rng.sample(range(1, n + 1), rng.randint(1, n))
+        assumptions = [v if rng.random() < 0.5 else -v
+                       for v in rng.sample(frozen, rng.randint(1, len(frozen)))]
+        result = preprocess_cnf(cnf, frozen=frozen)
+
+        ref_verdict, _ = _solve(cnf, assumptions)
+        if result.unsat:
+            assert not brute_force_sat(n, clauses)
+            continue
+        verdict, model = _solve(result.cnf, assumptions)
+        assert verdict == ref_verdict, f"trial {trial}"
+        if verdict:
+            extended = result.extend_model(model)
+            assert cnf.evaluate(extended), f"trial {trial}"
+            for lit in assumptions:
+                assert extended[abs(lit)] == (lit > 0), \
+                    f"trial {trial}: assumption {lit} not honored"
+
+
+def test_frozen_variables_never_eliminated():
+    """Regression: the simplifier must not eliminate assumption
+    variables used by incremental solving."""
+    rng = random.Random(5)
+    for _ in range(50):
+        n, clauses = random_cnf(rng)
+        cnf = CNF(num_vars=n, clauses=clauses)
+        frozen = set(rng.sample(range(1, n + 1), rng.randint(1, n)))
+        result = preprocess_cnf(cnf, frozen=frozen)
+        touched = {abs(var) for kind, var, _ in result._stack}
+        assert not touched & frozen, (touched, frozen)
+
+
+def test_frozen_derived_unit_stays_as_clause():
+    """A frozen unit learned by propagation is re-added as an explicit
+    unit clause, so an opposite-polarity assumption still conflicts."""
+    cnf = CNF(clauses=[[1], [-1, 2]])
+    result = preprocess_cnf(cnf, frozen=[1, 2])
+    assert not result.unsat
+    assert [1] in result.cnf.clauses
+    assert [2] in result.cnf.clauses
+    verdict, _ = _solve(result.cnf, assumptions=[-2])
+    assert verdict is False
+
+
+def test_pure_literal_elimination_and_reconstruction():
+    cnf = CNF(clauses=[[1, 2], [1, 3], [-2, 3]])
+    result = preprocess_cnf(cnf)
+    assert not result.unsat
+    model = result.extend_model([None] * (cnf.num_vars + 1))
+    assert cnf.evaluate(model)
+
+
+def test_subsumption_removes_superset_clause():
+    cnf = CNF(clauses=[[1, 2], [1, 2, 3], [-1, -2], [-2, -3, 4]])
+    result = preprocess_cnf(cnf, frozen=[1, 2, 3, 4])
+    assert result.stats["subsumed"] >= 1
+    assert [1, 2, 3] not in result.cnf.clauses
+
+
+def test_conflict_detected_at_preprocessing_time():
+    cnf = CNF(clauses=[[1], [-1]])
+    result = preprocess_cnf(cnf)
+    assert result.unsat
+    assert result.proof_additions[-1] == []
+    assert check_unsat_proof(cnf.clauses, result.proof_additions,
+                             num_vars=cnf.num_vars)
+
+
+def test_bve_eliminates_and_reconstructs():
+    # x (var 2) is a plain connective: (1 v 2) & (-2 v 3)  ⇒  (1 v 3)
+    cnf = CNF(clauses=[[1, 2], [-2, 3]])
+    result = preprocess_cnf(cnf, frozen=[1, 3])
+    assert result.stats["bve_eliminated"] + result.stats["pures"] >= 1
+    verdict, model = _solve(result.cnf)
+    assert verdict
+    extended = result.extend_model(model)
+    assert cnf.evaluate(extended)
+
+
+def test_stats_shape():
+    cnf = CNF(clauses=[[1, 2], [-1, 2], [2, 3]])
+    stats = preprocess_cnf(cnf).stats
+    for key in ("units", "pures", "subsumed", "strengthened",
+                "bve_eliminated", "rounds", "original_vars",
+                "original_clauses", "simplified_clauses",
+                "eliminated_vars"):
+        assert key in stats
+    assert stats["original_clauses"] == 3

@@ -85,3 +85,50 @@ def test_roundtrip_fuzz():
             return solver.solve() if ok else False
 
         assert solve(cnf) == solve(back)
+
+
+def test_comment_only_file_is_empty_cnf():
+    cnf = loads("c nothing here\nc still nothing\n\nc done\n")
+    assert cnf.num_vars == 0
+    assert cnf.clauses == []
+
+
+def test_empty_string_is_empty_cnf():
+    cnf = loads("")
+    assert cnf.num_vars == 0 and len(cnf) == 0
+
+
+def test_missing_header_still_parses():
+    cnf = loads("1 -2 0\n2 3 0\n")
+    assert cnf.num_vars == 3
+    assert cnf.clauses == [[1, -2], [2, 3]]
+
+
+def test_literals_beyond_declared_count_grow_num_vars():
+    cnf = loads("p cnf 2 1\n1 7 0\n")
+    assert cnf.num_vars == 7
+    assert cnf.clauses == [[1, 7]]
+
+
+def test_header_after_clauses_tolerated():
+    # Some generators emit the header late; the parser is line-oriented.
+    cnf = loads("1 2 0\np cnf 5 1\n")
+    assert cnf.num_vars == 5
+    assert len(cnf) == 1
+
+
+def test_zero_only_line_is_empty_clause():
+    cnf = loads("p cnf 1 2\n1 0\n0\n")
+    assert [] in cnf.clauses
+
+
+def test_crlf_and_whitespace_tolerated():
+    cnf = loads("p cnf 2 1\r\n  1   -2  0\r\n")
+    assert cnf.clauses == [[1, -2]]
+
+
+def test_declared_clause_count_not_enforced_when_fewer():
+    # Fewer clauses than declared is tolerated (trailing clauses may be
+    # stripped by external tools); only *more* clauses is an error.
+    cnf = loads("p cnf 3 5\n1 2 0\n")
+    assert len(cnf) == 1
