@@ -1,19 +1,34 @@
-"""Ablation — fresh re-encoding vs incremental (push/pop) verification.
+"""Ablation — verification backends × sweep parallelism.
 
-Maximal-resiliency search issues a sequence of budget-only-different
-queries; the incremental analyzer encodes the delivery layer once and
-scopes budgets with activation literals, reusing learned clauses.
+Two workloads exercise the engine's ablation axes:
+
+* **backend axis** (Fig. 7(a)-style): maximal-resiliency search issues a
+  sequence of budget-only-different queries.  The ``incremental``
+  backend encodes the delivery layer once, scopes budgets with
+  activation literals, and reuses learned clauses; ``fresh`` re-encodes
+  per query; ``preprocessed`` additionally simplifies each CNF.
+* **jobs axis** (Fig. 5(a)-style): a bus-size sweep fanned over a
+  process pool must keep per-point outputs identical while reducing
+  wall-clock on multicore hosts.
+
+Besides pytest-benchmark timings, the final test writes the full
+ablation matrix to ``benchmarks/results/ablation_backend_jobs.json``.
 """
+
+import json
+import time
 
 import pytest
 
-from repro.analysis import max_total_resiliency
-from repro.core import ObservabilityProblem, ScadaAnalyzer
-from repro.core.incremental import IncrementalAnalyzer
+from repro.analysis import sweep_bus_sizes
+from repro.core import ObservabilityProblem
+from repro.engine import BACKEND_NAMES, VerificationEngine
 from repro.grid import case57
 from repro.scada import GeneratorConfig, generate_scada
 
-_results = {}
+_results = {"backends": {}, "sweep_jobs": {}}
+
+SWEEP_JOBS = (1, 2)
 
 
 @pytest.fixture(scope="module")
@@ -26,37 +41,69 @@ def system():
     return synthetic.network, problem
 
 
-def test_fresh_max_resiliency(benchmark, system):
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_backend_max_resiliency(benchmark, system, backend):
     network, problem = system
 
     def run():
-        return max_total_resiliency(ScadaAnalyzer(network, problem))
+        engine = VerificationEngine(network, problem, backend=backend,
+                                    lint=False)
+        return engine.max_total_resiliency()
 
-    _results["fresh"] = benchmark.pedantic(run, rounds=3, iterations=1)
+    started = time.perf_counter()
+    k_star = benchmark.pedantic(run, rounds=3, iterations=1)
+    _results["backends"][backend] = {
+        "k_star": k_star,
+        "mean_time": (time.perf_counter() - started) / 3,
+    }
 
 
-def test_incremental_max_resiliency(benchmark, system):
-    network, problem = system
-
+@pytest.mark.parametrize("jobs", SWEEP_JOBS)
+def test_sweep_jobs(benchmark, jobs):
     def run():
-        return IncrementalAnalyzer(network,
-                                   problem).max_total_resiliency()
+        return sweep_bus_sizes([14, 30], seeds=(0, 1), runs=1, jobs=jobs)
 
-    _results["incremental"] = benchmark.pedantic(run, rounds=3,
-                                                 iterations=1)
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results["sweep_jobs"][jobs] = {
+        "points": [
+            {
+                "bus_size": p.bus_size,
+                "seed": p.seed,
+                "max_k": p.max_k,
+                "sat_vars": p.sat_num_vars,
+                "unsat_vars": p.unsat_num_vars,
+            }
+            for p in sweep.points
+        ],
+    }
 
 
-def test_report_incremental(benchmark, report):
+def test_report_ablation(benchmark, results_dir, report):
     def make():
-        fresh = _results.get("fresh")
-        incremental = _results.get("incremental")
-        lines = [
-            f"max-resiliency (fresh encoding)      : k* = {fresh}",
-            f"max-resiliency (incremental push/pop): k* = {incremental}",
-        ]
-        if fresh is not None and incremental is not None:
-            assert fresh == incremental
-            lines.append("verdict parity: True")
+        backends = _results["backends"]
+        lines = []
+        for name, row in backends.items():
+            lines.append(f"max-resiliency [{name:>12}]: "
+                         f"k* = {row['k_star']}, "
+                         f"mean {row['mean_time']:.3f}s")
+        k_values = {row["k_star"] for row in backends.values()}
+        if len(backends) == len(BACKEND_NAMES):
+            assert len(k_values) == 1, "backends disagree on k*"
+            lines.append("verdict parity across backends: True")
+            fresh = backends["fresh"]["mean_time"]
+            incremental = backends["incremental"]["mean_time"]
+            lines.append(f"incremental speedup over fresh: "
+                         f"{fresh / max(incremental, 1e-9):.2f}x")
+        sweeps = _results["sweep_jobs"]
+        if len(sweeps) == len(SWEEP_JOBS):
+            parity = all(sweeps[j]["points"] == sweeps[1]["points"]
+                         for j in SWEEP_JOBS)
+            assert parity, "parallel sweep diverged from serial"
+            lines.append("sweep determinism across jobs: True")
         report("ablation_incremental", "\n".join(lines))
+        payload = json.dumps(_results, indent=2, sort_keys=True,
+                             default=str)
+        (results_dir / "ablation_backend_jobs.json").write_text(
+            payload + "\n")
 
     benchmark.pedantic(make, rounds=1, iterations=1)

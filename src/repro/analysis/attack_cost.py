@@ -16,16 +16,19 @@ MaxSAT-style linear-search specialization that fits the substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Union
 
 from ..core.analyzer import ScadaAnalyzer
 from ..core.encoder import ModelEncoder
 from ..core.results import ThreatVector
 from ..core.specs import Property, ResiliencySpec
+from ..engine import VerificationEngine
 from ..smt.solver import Result, Solver
 from ..smt.terms import AtMost, Not
 
 __all__ = ["AttackCostResult", "cheapest_threat", "uniform_costs"]
+
+Verifier = Union[ScadaAnalyzer, VerificationEngine]
 
 
 @dataclass
@@ -51,7 +54,7 @@ class AttackCostResult:
                 f"— [{self.threat.describe()}]")
 
 
-def uniform_costs(analyzer: ScadaAnalyzer, ied_cost: int = 1,
+def uniform_costs(analyzer: Verifier, ied_cost: int = 1,
                   rtu_cost: int = 3) -> Dict[int, int]:
     """A cost map with distinct IED and RTU prices."""
     costs = {ied: ied_cost for ied in analyzer.network.ied_ids}
@@ -63,7 +66,7 @@ def _vector_cost(threat: ThreatVector, costs: Mapping[int, int]) -> int:
     return sum(costs[d] for d in threat.failed_devices)
 
 
-def cheapest_threat(analyzer: ScadaAnalyzer,
+def cheapest_threat(analyzer: Verifier,
                     prop: Property = Property.OBSERVABILITY,
                     costs: Optional[Mapping[int, int]] = None,
                     r: int = 1,
@@ -73,8 +76,11 @@ def cheapest_threat(analyzer: ScadaAnalyzer,
 
     ``costs`` maps every field device to a positive integer; omitted
     devices default to cost 1.  Raises on non-positive costs.
+    Accepts a :class:`ScadaAnalyzer` or a :class:`VerificationEngine`
+    (whose shared reference evaluator validates the optimum).
     """
-    network = analyzer.network
+    engine = VerificationEngine.wrap(analyzer)
+    network = engine.network
     cost_map = {device: 1 for device in network.field_device_ids}
     if costs:
         cost_map.update(costs)
@@ -84,20 +90,13 @@ def cheapest_threat(analyzer: ScadaAnalyzer,
         if device not in network.devices:
             raise ValueError(f"unknown device {device} in cost map")
 
-    encoder = ModelEncoder(network, analyzer.problem)
-    solver = Solver(card_encoding=analyzer.card_encoding)
+    encoder = ModelEncoder(network, engine.problem)
+    solver = Solver(card_encoding=engine.card_encoding)
     solver.add(*encoder.availability_axioms())
     solver.add(*encoder.delivery_definitions(secured=False))
     if prop.uses_security:
         solver.add(*encoder.delivery_definitions(secured=True))
-    if prop is Property.OBSERVABILITY:
-        solver.add(encoder.not_observability(secured=False))
-    elif prop is Property.SECURED_OBSERVABILITY:
-        solver.add(encoder.not_observability(secured=True))
-    elif prop is Property.COMMAND_DELIVERABILITY:
-        solver.add(encoder.not_command_deliverability())
-    else:
-        solver.add(encoder.not_bad_data_detectability(r))
+    solver.add(encoder.property_negation(prop, r))
 
     weighted = []
     for device, cost in sorted(cost_map.items()):
@@ -109,10 +108,9 @@ def cheapest_threat(analyzer: ScadaAnalyzer,
     def threat_within(budget: int) -> Optional[set]:
         nonlocal calls
         calls += 1
-        solver.push()
-        solver.add(AtMost(weighted, budget))
-        outcome = solver.check(max_conflicts=max_conflicts)
-        try:
+        with solver.scope():
+            solver.add(AtMost(weighted, budget))
+            outcome = solver.check(max_conflicts=max_conflicts)
             if outcome is Result.UNKNOWN:
                 raise RuntimeError("conflict budget exhausted in "
                                    "cheapest-threat search")
@@ -124,8 +122,6 @@ def cheapest_threat(analyzer: ScadaAnalyzer,
                 for device, var in encoder.field_node_vars().items()
                 if not model.value(var)
             }
-        finally:
-            solver.pop()
 
     # Is there any threat at all?
     best = threat_within(total)
@@ -133,7 +129,7 @@ def cheapest_threat(analyzer: ScadaAnalyzer,
         return AttackCostResult(prop=prop, cost=None, threat=None,
                                 costs=cost_map, solver_calls=calls)
 
-    spec = _spec_for(prop, total, r)
+    spec = ResiliencySpec.for_property(prop, r=r, k=total)
     lo, hi = 0, sum(cost_map[d] for d in best)
     while lo < hi:
         mid = (lo + hi) // 2
@@ -144,7 +140,7 @@ def cheapest_threat(analyzer: ScadaAnalyzer,
             hi = min(mid, sum(cost_map[d] for d in found))
             best = found
 
-    minimal = analyzer.reference.minimize_threat(spec, best)
+    minimal = engine.reference.minimize_threat(spec, best)
     threat = ThreatVector(
         failed_ieds=frozenset(minimal & set(network.ied_ids)),
         failed_rtus=frozenset(minimal & set(network.rtu_ids)),
@@ -153,13 +149,3 @@ def cheapest_threat(analyzer: ScadaAnalyzer,
     final_cost = sum(cost_map[d] for d in minimal)
     return AttackCostResult(prop=prop, cost=final_cost, threat=threat,
                             costs=cost_map, solver_calls=calls)
-
-
-def _spec_for(prop: Property, k: int, r: int) -> ResiliencySpec:
-    if prop is Property.OBSERVABILITY:
-        return ResiliencySpec.observability(k=k)
-    if prop is Property.SECURED_OBSERVABILITY:
-        return ResiliencySpec.secured_observability(k=k)
-    if prop is Property.COMMAND_DELIVERABILITY:
-        return ResiliencySpec.command_deliverability(k=k)
-    return ResiliencySpec.bad_data_detectability(r=r, k=k)

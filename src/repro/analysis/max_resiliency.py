@@ -3,111 +3,53 @@
 The paper reports the *maximum possible resiliency* of a SCADA system:
 the largest failure budget under which the property still holds.
 Resiliency is monotone — enlarging the budget can only admit more
-threat vectors — so binary search over the budget is sound.
+threat vectors — so galloping + binary search over the budget is sound
+(the shared :func:`~repro.core.search.galloping_max`).
+
+These functions accept either a
+:class:`~repro.core.analyzer.ScadaAnalyzer` (the historical API) or a
+:class:`~repro.engine.VerificationEngine`; either way every query runs
+through the engine, so ``backend="incremental"`` reuses one encoding
+across the whole search.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from ..core.analyzer import ScadaAnalyzer
-from ..core.results import Status
-from ..core.specs import Property, ResiliencySpec
+from ..core.specs import Property
+from ..engine import VerificationEngine
 
 __all__ = [
     "max_total_resiliency", "max_ied_resiliency", "max_rtu_resiliency",
 ]
 
-
-def _holds(analyzer: ScadaAnalyzer, spec: ResiliencySpec,
-           max_conflicts: Optional[int]) -> bool:
-    result = analyzer.verify(spec, minimize=False,
-                             max_conflicts=max_conflicts)
-    if result.status is Status.UNKNOWN:
-        raise RuntimeError("solver budget exhausted during "
-                           "max-resiliency search")
-    return result.is_resilient
+Verifier = Union[ScadaAnalyzer, VerificationEngine]
 
 
-def _make_spec(prop: Property, r: int, **budget) -> ResiliencySpec:
-    if prop is Property.OBSERVABILITY:
-        return ResiliencySpec.observability(**budget)
-    if prop is Property.SECURED_OBSERVABILITY:
-        return ResiliencySpec.secured_observability(**budget)
-    if prop is Property.COMMAND_DELIVERABILITY:
-        return ResiliencySpec.command_deliverability(**budget)
-    return ResiliencySpec.bad_data_detectability(r=r, **budget)
-
-
-def _binary_search_max(check, upper: int) -> int:
-    """Largest k in [-1, upper] with check(k) true; check is monotone.
-
-    Uses galloping (1, 2, 4, ...) to find a violated budget first —
-    real maximal resiliencies are small, and checks get much more
-    expensive as the cardinality bound grows — then binary search
-    inside the bracket.  Returns -1 when even k = 0 fails.
-    """
-    if not check(0):
-        return -1
-    lo = 0
-    step = 1
-    hi = None
-    while hi is None:
-        probe = lo + step
-        if probe >= upper:
-            probe = upper
-        if check(probe):
-            lo = probe
-            if probe == upper:
-                return upper
-            step *= 2
-        else:
-            hi = probe - 1
-    while lo < hi:
-        mid = (lo + hi + 1) // 2
-        if check(mid):
-            lo = mid
-        else:
-            hi = mid - 1
-    return lo
-
-
-def max_total_resiliency(analyzer: ScadaAnalyzer,
+def max_total_resiliency(analyzer: Verifier,
                          prop: Property = Property.OBSERVABILITY,
                          r: int = 1,
                          max_conflicts: Optional[int] = None) -> int:
     """Largest total k such that the k-resilient property holds."""
-    upper = len(analyzer.network.field_device_ids)
-
-    def check(k: int) -> bool:
-        return _holds(analyzer, _make_spec(prop, r, k=k), max_conflicts)
-
-    return _binary_search_max(check, upper)
+    return VerificationEngine.wrap(analyzer).max_total_resiliency(
+        prop=prop, r=r, max_conflicts=max_conflicts)
 
 
-def max_ied_resiliency(analyzer: ScadaAnalyzer,
+def max_ied_resiliency(analyzer: Verifier,
                        prop: Property = Property.OBSERVABILITY,
                        k2: int = 0, r: int = 1,
                        max_conflicts: Optional[int] = None) -> int:
     """Largest k1 with the (k1, k2)-resilient property holding."""
-    upper = len(analyzer.network.ied_ids)
-
-    def check(k1: int) -> bool:
-        return _holds(analyzer, _make_spec(prop, r, k1=k1, k2=k2),
-                      max_conflicts)
-
-    return _binary_search_max(check, upper)
+    return VerificationEngine.wrap(analyzer).max_ied_resiliency(
+        prop=prop, k2=k2, r=r, max_conflicts=max_conflicts)
 
 
-def max_rtu_resiliency(analyzer: ScadaAnalyzer,
+def max_rtu_resiliency(analyzer: Verifier,
                        prop: Property = Property.OBSERVABILITY,
                        k1: int = 0, r: int = 1,
                        max_conflicts: Optional[int] = None) -> int:
     """Largest k2 with the (k1, k2)-resilient property holding."""
-    upper = len(analyzer.network.rtu_ids)
-
-    def check(k2: int) -> bool:
-        return _holds(analyzer, _make_spec(prop, r, k1=k1, k2=k2),
-                      max_conflicts)
-
-    return _binary_search_max(check, upper)
+    return VerificationEngine.wrap(analyzer).max_rtu_resiliency(
+        prop=prop, k1=k1, r=r, max_conflicts=max_conflicts)

@@ -19,12 +19,15 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Union
 
 from ..core.analyzer import ScadaAnalyzer
 from ..core.specs import Property
+from ..engine import VerificationEngine
 
 __all__ = ["AvailabilityEstimate", "estimate_availability"]
+
+Verifier = Union[ScadaAnalyzer, VerificationEngine]
 
 
 @dataclass
@@ -56,7 +59,7 @@ class AvailabilityEstimate:
 
 
 def estimate_availability(
-    analyzer: ScadaAnalyzer,
+    analyzer: Verifier,
     failure_probability: float = 0.02,
     per_device: Optional[Mapping[int, float]] = None,
     prop: Property = Property.OBSERVABILITY,
@@ -70,7 +73,9 @@ def estimate_availability(
     specific devices.  ``certificate`` is a *verified* maximal
     resiliency ``k*`` for this property: scenarios with ≤ k* failures
     are counted safe without evaluation, and a violating one raises
-    (the certificate or the evaluator would be wrong).
+    (the certificate or the evaluator would be wrong).  Accepts a
+    :class:`ScadaAnalyzer` or a :class:`VerificationEngine` — only the
+    network and the shared reference evaluator are used.
     """
     if not 0 <= failure_probability <= 1:
         raise ValueError("failure_probability must be in [0, 1]")

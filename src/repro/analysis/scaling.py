@@ -6,22 +6,26 @@ and hierarchy level, separating ``sat`` (threat found) from ``unsat``
 system is maximally resilient yields the slowest *unsat*, and ``k*+1``
 yields a *sat* — timing both reproduces the paper's two curves on
 principled points rather than arbitrary budgets.
+
+Every instance is measured through the
+:class:`~repro.engine.VerificationEngine` (pass ``backend=`` to compare
+fresh / incremental / preprocessed), and whole sweeps fan out across a
+process pool via :class:`~repro.engine.SweepExecutor` (``jobs=``) with
+deterministic, submission-ordered results.
 """
 
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..core.analyzer import ScadaAnalyzer
 from ..core.problem import ObservabilityProblem
 from ..core.results import Status
 from ..core.specs import Property, ResiliencySpec
+from ..engine import SweepExecutor, VerificationEngine
 from ..grid.ieee_cases import case_by_buses
 from ..scada.generator import GeneratorConfig, generate_scada
-from .max_resiliency import max_total_resiliency
 
 __all__ = ["ScalingPoint", "ScalingSweep", "measure_instance",
            "sweep_bus_sizes", "sweep_hierarchy"]
@@ -29,17 +33,29 @@ __all__ = ["ScalingPoint", "ScalingSweep", "measure_instance",
 
 @dataclass
 class ScalingPoint:
-    """Timing of one synthetic instance."""
+    """Timing of one synthetic instance.
+
+    Encoding sizes are recorded separately for the sat (``k*+1``) and
+    unsat (``k*``) runs — the two encodings differ by one cardinality
+    bound, and conflating them made scaling tables misleading.
+    ``sat_stats``/``unsat_stats`` carry the last run's per-query solver
+    statistics (conflicts, decisions, propagations, restarts).
+    """
 
     bus_size: int
     hierarchy: int
     seed: int
     num_devices: int
     max_k: int
+    backend: str = "fresh"
     sat_times: List[float] = field(default_factory=list)
     unsat_times: List[float] = field(default_factory=list)
-    num_vars: int = 0
-    num_clauses: int = 0
+    sat_num_vars: int = 0
+    sat_num_clauses: int = 0
+    unsat_num_vars: int = 0
+    unsat_num_clauses: int = 0
+    sat_stats: Dict[str, float] = field(default_factory=dict)
+    unsat_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def sat_time(self) -> float:
@@ -48,6 +64,16 @@ class ScalingPoint:
     @property
     def unsat_time(self) -> float:
         return statistics.mean(self.unsat_times) if self.unsat_times else 0.0
+
+    @property
+    def num_vars(self) -> int:
+        """Encoding size of the sat run (historical accessor)."""
+        return self.sat_num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Encoding size of the sat run (historical accessor)."""
+        return self.sat_num_clauses
 
 
 @dataclass
@@ -68,8 +94,12 @@ class ScalingSweep:
                 "sat_time": statistics.mean(p.sat_time for p in pts),
                 "unsat_time": statistics.mean(p.unsat_time for p in pts),
                 "devices": statistics.mean(p.num_devices for p in pts),
-                "vars": statistics.mean(p.num_vars for p in pts),
-                "clauses": statistics.mean(p.num_clauses for p in pts),
+                "vars": statistics.mean(p.sat_num_vars for p in pts),
+                "clauses": statistics.mean(p.sat_num_clauses for p in pts),
+                "unsat_vars": statistics.mean(
+                    p.unsat_num_vars for p in pts),
+                "unsat_clauses": statistics.mean(
+                    p.unsat_num_clauses for p in pts),
             }
         return out
 
@@ -83,22 +113,13 @@ class ScalingSweep:
         return "\n".join(rows)
 
 
-def _spec_for(prop: Property, k: int) -> ResiliencySpec:
-    if prop is Property.OBSERVABILITY:
-        return ResiliencySpec.observability(k=k)
-    if prop is Property.SECURED_OBSERVABILITY:
-        return ResiliencySpec.secured_observability(k=k)
-    if prop is Property.COMMAND_DELIVERABILITY:
-        return ResiliencySpec.command_deliverability(k=k)
-    return ResiliencySpec.bad_data_detectability(r=1, k=k)
-
-
 def measure_instance(bus_size: int, hierarchy: int, seed: int,
                      prop: Property = Property.OBSERVABILITY,
                      runs: int = 3,
                      measurement_fraction: float = 0.7,
                      secure_fraction: float = 0.8,
-                     max_conflicts: Optional[int] = None) -> ScalingPoint:
+                     max_conflicts: Optional[int] = None,
+                     backend: str = "fresh") -> ScalingPoint:
     """Generate one synthetic SCADA instance and time sat/unsat checks.
 
     For secured-observability sweeps pass ``secure_fraction=1.0`` so the
@@ -114,30 +135,53 @@ def measure_instance(bus_size: int, hierarchy: int, seed: int,
     )
     synthetic = generate_scada(case_by_buses(bus_size, seed=seed), config)
     problem = ObservabilityProblem.from_table(synthetic.table)
-    analyzer = ScadaAnalyzer(synthetic.network, problem)
+    engine = VerificationEngine(synthetic.network, problem,
+                                backend=backend)
 
-    max_k = max_total_resiliency(analyzer, prop,
-                                 max_conflicts=max_conflicts)
+    max_k = engine.max_total_resiliency(prop, max_conflicts=max_conflicts)
     point = ScalingPoint(
         bus_size=bus_size, hierarchy=hierarchy, seed=seed,
-        num_devices=synthetic.num_devices, max_k=max_k,
+        num_devices=synthetic.num_devices, max_k=max_k, backend=backend,
     )
-    unsat_k = max(max_k, 0)
-    sat_k = max_k + 1
+    unsat_spec = ResiliencySpec.for_property(prop, k=max(max_k, 0))
+    sat_spec = ResiliencySpec.for_property(prop, k=max_k + 1)
     for _ in range(runs):
-        unsat_result = analyzer.verify(_spec_for(prop, unsat_k),
-                                       minimize=False,
-                                       max_conflicts=max_conflicts)
-        sat_result = analyzer.verify(_spec_for(prop, sat_k),
-                                     minimize=False,
+        unsat_result = engine.verify(unsat_spec, minimize=False,
                                      max_conflicts=max_conflicts)
+        sat_result = engine.verify(sat_spec, minimize=False,
+                                   max_conflicts=max_conflicts)
         if max_k >= 0 and unsat_result.status is Status.RESILIENT:
             point.unsat_times.append(unsat_result.total_time)
+            point.unsat_num_vars = unsat_result.num_vars
+            point.unsat_num_clauses = unsat_result.num_clauses
+            point.unsat_stats = dict(unsat_result.stats)
         if sat_result.status is Status.THREAT_FOUND:
             point.sat_times.append(sat_result.total_time)
-        point.num_vars = sat_result.num_vars
-        point.num_clauses = sat_result.num_clauses
+        point.sat_num_vars = sat_result.num_vars
+        point.sat_num_clauses = sat_result.num_clauses
+        point.sat_stats = dict(sat_result.stats)
     return point
+
+
+@dataclass(frozen=True)
+class _MeasureTask:
+    """Picklable description of one sweep instance."""
+
+    bus_size: int
+    hierarchy: int
+    seed: int
+    prop: Property
+    runs: int
+    secure_fraction: float
+    max_conflicts: Optional[int]
+    backend: str
+
+
+def _measure_task(task: _MeasureTask) -> ScalingPoint:
+    return measure_instance(
+        task.bus_size, task.hierarchy, task.seed, prop=task.prop,
+        runs=task.runs, secure_fraction=task.secure_fraction,
+        max_conflicts=task.max_conflicts, backend=task.backend)
 
 
 def sweep_bus_sizes(bus_sizes: Sequence[int],
@@ -146,16 +190,18 @@ def sweep_bus_sizes(bus_sizes: Sequence[int],
                     hierarchy: int = 1,
                     runs: int = 3,
                     secure_fraction: float = 0.8,
-                    max_conflicts: Optional[int] = None) -> ScalingSweep:
+                    max_conflicts: Optional[int] = None,
+                    backend: str = "fresh",
+                    jobs: int = 1) -> ScalingSweep:
     """Fig. 5: verification time vs problem size."""
-    sweep = ScalingSweep(prop=prop)
-    for bus_size in bus_sizes:
-        for seed in seeds:
-            sweep.points.append(measure_instance(
-                bus_size, hierarchy, seed, prop=prop, runs=runs,
-                secure_fraction=secure_fraction,
-                max_conflicts=max_conflicts))
-    return sweep
+    tasks = [
+        _MeasureTask(bus_size, hierarchy, seed, prop, runs,
+                     secure_fraction, max_conflicts, backend)
+        for bus_size in bus_sizes
+        for seed in seeds
+    ]
+    points = SweepExecutor(jobs).map(_measure_task, tasks)
+    return ScalingSweep(prop=prop, points=list(points))
 
 
 def sweep_hierarchy(bus_size: int,
@@ -164,13 +210,15 @@ def sweep_hierarchy(bus_size: int,
                     seeds: Sequence[int] = (0, 1, 2),
                     runs: int = 3,
                     secure_fraction: float = 0.8,
-                    max_conflicts: Optional[int] = None) -> ScalingSweep:
+                    max_conflicts: Optional[int] = None,
+                    backend: str = "fresh",
+                    jobs: int = 1) -> ScalingSweep:
     """Fig. 6: verification time vs hierarchy level."""
-    sweep = ScalingSweep(prop=prop)
-    for level in hierarchy_levels:
-        for seed in seeds:
-            sweep.points.append(measure_instance(
-                bus_size, level, seed, prop=prop, runs=runs,
-                secure_fraction=secure_fraction,
-                max_conflicts=max_conflicts))
-    return sweep
+    tasks = [
+        _MeasureTask(bus_size, level, seed, prop, runs,
+                     secure_fraction, max_conflicts, backend)
+        for level in hierarchy_levels
+        for seed in seeds
+    ]
+    points = SweepExecutor(jobs).map(_measure_task, tasks)
+    return ScalingSweep(prop=prop, points=list(points))

@@ -9,11 +9,12 @@ vectors via blocking-clause enumeration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from ..core.analyzer import ScadaAnalyzer
 from ..core.results import ThreatVector
 from ..core.specs import ResiliencySpec
+from ..engine import VerificationEngine
 
 __all__ = ["ThreatSpace", "threat_space"]
 
@@ -43,11 +44,19 @@ class ThreatSpace:
                 f"{self.size}{marker} vectors)")
 
 
-def threat_space(analyzer: ScadaAnalyzer, spec: ResiliencySpec,
+def threat_space(analyzer: Union[ScadaAnalyzer, VerificationEngine],
+                 spec: ResiliencySpec,
                  limit: Optional[int] = None,
                  minimal: bool = True) -> ThreatSpace:
-    """Enumerate the (minimal) threat space of *spec*."""
-    vectors = analyzer.enumerate_threat_vectors(
+    """Enumerate the (minimal) threat space of *spec*.
+
+    Accepts a :class:`ScadaAnalyzer` or a :class:`VerificationEngine`;
+    with an engine, enumeration uses the active backend (the
+    incremental one blocks vectors inside a push/pop scope on the
+    cached encoding).
+    """
+    engine = VerificationEngine.wrap(analyzer)
+    vectors = engine.enumerate_threat_vectors(
         spec, limit=limit, minimal=minimal)
     truncated = limit is not None and len(vectors) >= limit
     return ThreatSpace(spec=spec, vectors=vectors, truncated=truncated)

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .analysis import threat_space
 from .core import (
@@ -43,6 +43,7 @@ from .core import (
     Status,
 )
 from .core.hardening import harden
+from .engine import BACKEND_NAMES, SweepExecutor, VerificationEngine
 from .grid.ieee_cases import case_by_buses
 from .scada import (
     CaseConfig,
@@ -77,6 +78,19 @@ def _spec_from_args(args, fallback: Optional[ResiliencySpec]
     return ResiliencySpec.bad_data_detectability(r=args.r, **budget)
 
 
+def _add_engine_args(parser: argparse.ArgumentParser,
+                     jobs: bool = True) -> None:
+    parser.add_argument("--backend", default="fresh",
+                        choices=BACKEND_NAMES,
+                        help="verification backend (fresh solver per "
+                             "query, incremental push/pop, or "
+                             "preprocessed CNF)")
+    if jobs:
+        parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for independent "
+                                 "searches (0 = all cores)")
+
+
 def _add_spec_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--property", default="observability",
                         choices=[p.value for p in Property],
@@ -98,10 +112,11 @@ def _cmd_verify(args) -> int:
     # reports all of them at once instead of dying on the first.
     config = load_config(args.config, strict=False)
     spec = _spec_from_args(args, config.spec)
+    backend = "preprocessed" if args.preprocess else args.backend
     try:
-        analyzer = ScadaAnalyzer(config.network, config.problem,
-                                 lint=not args.no_lint,
-                                 preprocess=args.preprocess)
+        engine = VerificationEngine(config.network, config.problem,
+                                    backend=backend,
+                                    lint=not args.no_lint)
     except ConfigurationLintError as exc:
         print(exc.report.to_text(), file=sys.stderr)
         print("verification refused: the configuration fails lint "
@@ -109,9 +124,9 @@ def _cmd_verify(args) -> int:
         return 2
     if args.dump_smt2:
         with open(args.dump_smt2, "w", encoding="utf-8") as handle:
-            handle.write(analyzer.export_smtlib(spec))
+            handle.write(engine.export_smtlib(spec))
         print(f"wrote SMT-LIB model to {args.dump_smt2}")
-    result = analyzer.verify(spec, certify=args.certify)
+    result = engine.verify(spec, certify=args.certify)
     if args.certify and result.is_resilient:
         checked = result.details.get("proof_checked")
         print(f"  unsat proof independently checked: {checked}")
@@ -125,7 +140,8 @@ def _cmd_verify(args) -> int:
         if threat.uncovered_states:
             states = sorted(threat.uncovered_states)
             print("  uncovered states :", " ".join(map(str, states)))
-    print(f"  model: {result.num_vars} vars, {result.num_clauses} clauses")
+    print(f"  model: {result.num_vars} vars, {result.num_clauses} clauses "
+          f"({result.backend} backend)")
     return 0 if result.is_resilient else 1
 
 
@@ -188,8 +204,9 @@ def _cmd_lint(args) -> int:
 def _cmd_enumerate(args) -> int:
     config = load_config(args.config)
     spec = _spec_from_args(args, config.spec)
-    analyzer = ScadaAnalyzer(config.network, config.problem)
-    space = threat_space(analyzer, spec, limit=args.limit)
+    engine = VerificationEngine(config.network, config.problem,
+                                backend=args.backend)
+    space = threat_space(engine, spec, limit=args.limit)
     print(f"{spec.describe()}: {space.size} minimal threat vector(s)")
     for vector in space.vectors:
         print("  -", vector.describe(config.network.label))
@@ -237,20 +254,39 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _cmd_max_resiliency(args) -> int:
-    from .analysis import (
-        max_ied_resiliency,
-        max_rtu_resiliency,
-        max_total_resiliency,
-    )
+def _max_search_task(task: Tuple[str, str, str, str]) -> int:
+    """Worker: one maximal-resiliency search on a config loaded by path."""
+    config_path, prop_value, kind, backend = task
+    config = load_config(config_path)
+    # The parent process already linted the configuration.
+    engine = VerificationEngine(config.network, config.problem,
+                                backend=backend, lint=False)
+    prop = Property(prop_value)
+    if kind == "total":
+        return engine.max_total_resiliency(prop)
+    if kind == "ied":
+        return engine.max_ied_resiliency(prop)
+    return engine.max_rtu_resiliency(prop)
 
+
+def _cmd_max_resiliency(args) -> int:
     config = load_config(args.config)
-    analyzer = ScadaAnalyzer(config.network, config.problem)
     prop = Property(args.property)
+    if args.jobs not in (None, 1):
+        tasks = [(args.config, prop.value, kind, args.backend)
+                 for kind in ("total", "ied", "rtu")]
+        total, ied, rtu = SweepExecutor(args.jobs).map(
+            _max_search_task, tasks)
+    else:
+        engine = VerificationEngine(config.network, config.problem,
+                                    backend=args.backend)
+        total = engine.max_total_resiliency(prop)
+        ied = engine.max_ied_resiliency(prop)
+        rtu = engine.max_rtu_resiliency(prop)
     print(f"maximal resiliency ({prop.value}):")
-    print(f"  any field devices: {max_total_resiliency(analyzer, prop)}")
-    print(f"  IEDs only        : {max_ied_resiliency(analyzer, prop)}")
-    print(f"  RTUs only        : {max_rtu_resiliency(analyzer, prop)}")
+    print(f"  any field devices: {total}")
+    print(f"  IEDs only        : {ied}")
+    print(f"  RTUs only        : {rtu}")
     return 0
 
 
@@ -260,7 +296,9 @@ def _cmd_report(args) -> int:
     config = load_config(args.config)
     text = audit_report(config.network, config.problem,
                         threat_limit=args.limit,
-                        include_hardening=not args.no_hardening)
+                        include_hardening=not args.no_hardening,
+                        backend=args.backend,
+                        jobs=args.jobs)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -296,7 +334,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the configuration linter and verify "
                                "even with error-level diagnostics")
     p_verify.add_argument("--preprocess", action="store_true",
-                          help="simplify the CNF encoding before solving")
+                          help="simplify the CNF encoding before solving "
+                               "(alias for --backend preprocessed)")
+    _add_engine_args(p_verify, jobs=False)
     _add_spec_args(p_verify)
     p_verify.set_defaults(func=_cmd_verify)
 
@@ -318,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="enumerate minimal threat vectors")
     p_enum.add_argument("config")
     p_enum.add_argument("--limit", type=int, default=None)
+    _add_engine_args(p_enum, jobs=False)
     _add_spec_args(p_enum)
     p_enum.set_defaults(func=_cmd_enumerate)
 
@@ -340,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_max.add_argument("config")
     p_max.add_argument("--property", default="observability",
                        choices=[p.value for p in Property])
+    _add_engine_args(p_max)
     p_max.set_defaults(func=_cmd_max_resiliency)
 
     p_report = sub.add_parser("report",
@@ -348,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--out", default=None)
     p_report.add_argument("--limit", type=int, default=100)
     p_report.add_argument("--no-hardening", action="store_true")
+    _add_engine_args(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_harden = sub.add_parser("harden",

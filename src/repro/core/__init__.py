@@ -8,16 +8,18 @@ instances.
 
 from .analyzer import ConfigurationLintError, ScadaAnalyzer
 from .encoder import ModelEncoder
-from .incremental import IncrementalAnalyzer
+from .incremental import IncrementalAnalyzer, IncrementalContext
 from .problem import ObservabilityProblem, group_rows_by_component
 from .reference import ReferenceEvaluator
 from .results import Status, ThreatVector, VerificationResult
+from .search import galloping_max
 from .specs import FailureBudget, Property, ResiliencySpec
 
 __all__ = [
     "ConfigurationLintError",
     "FailureBudget",
     "IncrementalAnalyzer",
+    "IncrementalContext",
     "ModelEncoder",
     "ObservabilityProblem",
     "Property",
@@ -27,5 +29,6 @@ __all__ = [
     "Status",
     "ThreatVector",
     "VerificationResult",
+    "galloping_max",
     "group_rows_by_component",
 ]

@@ -16,16 +16,17 @@ top of ``verify`` (see :mod:`repro.analysis`).
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from ..scada.network import ScadaNetwork
 from ..smt.solver import Result, Solver
 from ..smt.terms import Not, Or
 from .encoder import ModelEncoder
+from .extraction import extract_threat
 from .problem import ObservabilityProblem
 from .reference import ReferenceEvaluator
 from .results import Status, ThreatVector, VerificationResult
-from .specs import Property, ResiliencySpec
+from .specs import ResiliencySpec
 
 __all__ = ["ConfigurationLintError", "ScadaAnalyzer"]
 
@@ -58,7 +59,8 @@ class ScadaAnalyzer:
                  problem: ObservabilityProblem,
                  card_encoding: str = "totalizer",
                  lint: bool = True,
-                 preprocess: bool = False) -> None:
+                 preprocess: bool = False,
+                 reference: Optional[ReferenceEvaluator] = None) -> None:
         self.network = network
         self.problem = problem
         self.card_encoding = card_encoding
@@ -71,19 +73,15 @@ class ScadaAnalyzer:
             report = lint_case(network, problem)
             if report.has_errors:
                 raise ConfigurationLintError(report)
-        self.reference = ReferenceEvaluator(network, problem)
+        # The engine layer shares one reference evaluator across all of
+        # its backends; standalone use builds a private one.
+        self.reference = reference or ReferenceEvaluator(network, problem)
 
     # ------------------------------------------------------------------
 
-    def _property_negation(self, encoder: ModelEncoder,
-                           spec: ResiliencySpec):
-        if spec.property is Property.OBSERVABILITY:
-            return encoder.not_observability(secured=False)
-        if spec.property is Property.SECURED_OBSERVABILITY:
-            return encoder.not_observability(secured=True)
-        if spec.property is Property.COMMAND_DELIVERABILITY:
-            return encoder.not_command_deliverability()
-        return encoder.not_bad_data_detectability(spec.r)
+    @property
+    def backend_name(self) -> str:
+        return "preprocessed" if self.preprocess else "fresh"
 
     def _build(self, spec: ResiliencySpec,
                produce_proof: bool = False,
@@ -103,49 +101,15 @@ class ScadaAnalyzer:
         solver.add(encoder.budget_constraint(spec.budget))
         if spec.link_k is not None:
             solver.add(encoder.link_budget_constraint(spec.link_k))
-        solver.add(self._property_negation(encoder, spec))
+        solver.add(encoder.property_negation(spec.property, spec.r))
         encode_time = time.perf_counter() - started
         return solver, encoder, encode_time
 
     def _extract_threat(self, solver: Solver, encoder: ModelEncoder,
                         spec: ResiliencySpec,
                         minimize: bool) -> ThreatVector:
-        model = solver.model()
-        failed: Set[int] = {
-            device for device, var in encoder.field_node_vars().items()
-            if not model.value(var)
-        }
-        failed_links: Set[tuple] = set()
-        if spec.link_k is not None:
-            failed_links = {pair for pair, var in encoder.link_vars().items()
-                            if not model.value(var)}
-        if not self.reference.is_threat(spec, failed, failed_links):
-            raise AssertionError(
-                f"solver produced an invalid threat vector {sorted(failed)} "
-                f"/ links {sorted(failed_links)} for {spec.describe()}; "
-                f"encoder and reference disagree")
-        minimal = False
-        if minimize:
-            devices, links = self.reference.minimize_threat_with_links(
-                spec, failed, failed_links)
-            failed, failed_links = set(devices), set(links)
-            minimal = True
-        secured = spec.property.uses_security
-        delivered = self.reference.delivered_measurements(
-            failed, secured=secured, failed_links=failed_links)
-        undelivered = set(self.problem.state_sets) - delivered
-        covered: Set[int] = set()
-        for z in delivered:
-            covered.update(self.problem.state_sets[z])
-        uncovered = set(self.problem.states()) - covered
-        return ThreatVector(
-            failed_ieds=frozenset(failed & set(self.network.ied_ids)),
-            failed_rtus=frozenset(failed & set(self.network.rtu_ids)),
-            failed_links=frozenset(failed_links),
-            undelivered_measurements=frozenset(undelivered),
-            uncovered_states=frozenset(uncovered),
-            minimal=minimal,
-        )
+        return extract_threat(solver.model(), encoder, self.reference,
+                              self.network, self.problem, spec, minimize)
 
     # ------------------------------------------------------------------
 
@@ -170,6 +134,8 @@ class ScadaAnalyzer:
             solve_time=solver.statistics.check_time,
             num_vars=solver.num_vars,
             num_clauses=solver.num_clauses,
+            backend=self.backend_name,
+            stats=dict(solver.last_check_stats),
         )
         if outcome is Result.UNKNOWN:
             return result

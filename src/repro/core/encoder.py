@@ -32,7 +32,7 @@ from ..smt.terms import (
     Term,
 )
 from .problem import ObservabilityProblem
-from .specs import FailureBudget
+from .specs import FailureBudget, Property
 
 __all__ = ["ModelEncoder"]
 
@@ -181,6 +181,21 @@ class ModelEncoder:
             conditions.append(
                 AtMost([self.secured(z) for z in covering], r))
         return Or(*conditions)
+
+    def property_negation(self, prop: Property, r: int = 1) -> Term:
+        """The threat condition ``¬property`` for any supported property.
+
+        The single dispatch point used by every verification backend
+        (fresh, incremental, preprocessed) and the attack-cost search;
+        ``r`` only matters for bad-data detectability.
+        """
+        if prop is Property.OBSERVABILITY:
+            return self.not_observability(secured=False)
+        if prop is Property.SECURED_OBSERVABILITY:
+            return self.not_observability(secured=True)
+        if prop is Property.COMMAND_DELIVERABILITY:
+            return self.not_command_deliverability()
+        return self.not_bad_data_detectability(r)
 
     # ------------------------------------------------------------------
     # Failure budget

@@ -13,7 +13,8 @@ supported:
 
 The search iterates over repair subsets in increasing size (so the
 first success is minimum-cardinality) and verifies each candidate
-configuration with a fresh :class:`ScadaAnalyzer`.  A verification-call
+configuration through a :class:`~repro.engine.VerificationEngine`
+(``backend=`` selects the solving strategy).  A verification-call
 budget keeps the combinatorial search bounded; exceeding it raises.
 """
 
@@ -26,7 +27,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..scada.devices import CryptoProfile
 from ..scada.network import ScadaNetwork
 from ..scada.topology import Link
-from .analyzer import ScadaAnalyzer
 from .problem import ObservabilityProblem
 from .results import Status
 from .specs import ResiliencySpec
@@ -138,12 +138,16 @@ def harden(network: ScadaNetwork, problem: ObservabilityProblem,
            allow_upgrades: bool = True,
            allow_links: bool = True,
            max_repairs: int = 2,
-           max_verify_calls: int = 500) -> HardeningResult:
+           max_verify_calls: int = 500,
+           backend: str = "fresh") -> HardeningResult:
     """Find a minimum-cardinality repair set restoring *spec*.
 
     Returns a result whose ``network`` is the repaired configuration, or
     ``None`` when no subset of at most *max_repairs* repairs works.
+    ``backend`` selects the engine backend used to verify candidates.
     """
+    from ..engine import VerificationEngine
+
     calls = 0
 
     def verify(candidate: ScadaNetwork) -> bool:
@@ -155,8 +159,9 @@ def harden(network: ScadaNetwork, problem: ObservabilityProblem,
         # Candidate networks are lint-checked by the caller's analyzer;
         # re-linting every repair candidate here would be wasted work
         # (and a weakened candidate may legitimately trip delivery rules).
-        result = ScadaAnalyzer(candidate, problem, lint=False).verify(
-            spec, minimize=False)
+        engine = VerificationEngine(candidate, problem, backend=backend,
+                                    lint=False)
+        result = engine.verify(spec, minimize=False)
         return result.status is Status.RESILIENT
 
     if verify(network):

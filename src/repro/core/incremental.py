@@ -3,50 +3,63 @@
 Maximal-resiliency search (Fig. 7(a)) and threat-space sweeps ask many
 queries that differ *only* in the failure budget.  The plain
 :class:`~repro.core.analyzer.ScadaAnalyzer` re-encodes the whole model
-per query; this analyzer encodes the budget-independent part — delivery
-definitions, availability axioms, and the property negation — once, and
-scopes each budget with the solver's push/pop (activation literals
-underneath), reusing learned clauses across queries.
+per query; an :class:`IncrementalContext` encodes the budget-independent
+part — delivery definitions, availability axioms, and the property
+negation — once, and scopes each budget with the solver's push/pop
+(activation literals underneath), reusing learned clauses across
+queries.
 
 The verdicts are identical by construction; the ablation benchmark
-``bench_ablation_incremental`` quantifies the speedup.
+``bench_ablation_incremental`` quantifies the speedup.  The
+:class:`~repro.engine.VerificationEngine`'s ``incremental`` backend
+keeps one context per (property, r, link-modeling) key in its encoding
+cache; :class:`IncrementalAnalyzer` remains as the original
+budget-parameterized facade over a single context.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional, Set
+from typing import List, Optional
 
 from ..scada.network import ScadaNetwork
 from ..smt.solver import Result, Solver
+from ..smt.terms import Not, Or
 from .encoder import ModelEncoder
+from .extraction import extract_threat
 from .problem import ObservabilityProblem
 from .reference import ReferenceEvaluator
 from .results import Status, ThreatVector, VerificationResult
+from .search import galloping_max
 from .specs import FailureBudget, Property, ResiliencySpec
 
-__all__ = ["IncrementalAnalyzer"]
+__all__ = ["IncrementalContext", "IncrementalAnalyzer"]
 
 
-class IncrementalAnalyzer:
-    """Budget-parameterized verification over a fixed property.
+class IncrementalContext:
+    """A cached base encoding for one (property, r, link-modeling) key.
 
-    The property (and ``r``, for bad-data detectability) is fixed at
-    construction; :meth:`verify_budget` then answers any
-    :class:`FailureBudget` against the shared encoding.
+    All budget-parameterized queries against that key — single verdicts,
+    galloping max-resiliency probes, threat enumeration — run inside
+    push/pop scopes on the shared solver, so learned clauses carry over
+    and only the cardinality constraint is re-encoded per query.
     """
 
     def __init__(self, network: ScadaNetwork,
                  problem: ObservabilityProblem,
                  prop: Property = Property.OBSERVABILITY,
                  r: int = 1,
-                 card_encoding: str = "totalizer") -> None:
+                 model_links: bool = False,
+                 card_encoding: str = "totalizer",
+                 reference: Optional[ReferenceEvaluator] = None) -> None:
         self.network = network
         self.problem = problem
         self.prop = prop
         self.r = r
-        self.reference = ReferenceEvaluator(network, problem)
-        self._encoder = ModelEncoder(network, problem)
+        self.model_links = model_links
+        self.reference = reference or ReferenceEvaluator(network, problem)
+        self._encoder = ModelEncoder(network, problem,
+                                     model_links=model_links)
         self._solver = Solver(card_encoding=card_encoding)
         started = time.perf_counter()
         self._solver.add(*self._encoder.availability_axioms())
@@ -54,78 +67,132 @@ class IncrementalAnalyzer:
         if prop.uses_security:
             self._solver.add(
                 *self._encoder.delivery_definitions(secured=True))
-        self._solver.add(self._negation())
+        self._solver.add(self._encoder.property_negation(prop, r))
+        if model_links:
+            # Allocate every topology link's variable up front so
+            # per-query link budgets never grow the base numbering.
+            self._encoder.link_vars()
         self.base_encode_time = time.perf_counter() - started
-
-    def _negation(self):
-        if self.prop is Property.OBSERVABILITY:
-            return self._encoder.not_observability(secured=False)
-        if self.prop is Property.SECURED_OBSERVABILITY:
-            return self._encoder.not_observability(secured=True)
-        if self.prop is Property.COMMAND_DELIVERABILITY:
-            return self._encoder.not_command_deliverability()
-        return self._encoder.not_bad_data_detectability(self.r)
-
-    def _spec(self, budget: FailureBudget) -> ResiliencySpec:
-        return ResiliencySpec(self.prop, budget, r=self.r)
-
+        self._base_vars = self._solver.num_vars
+        self._base_clauses = self._solver.num_clauses
 
     # ------------------------------------------------------------------
 
-    def verify_budget(self, budget: FailureBudget,
-                      minimize: bool = True,
-                      max_conflicts: Optional[int] = None
-                      ) -> VerificationResult:
-        """Verify the fixed property under one failure budget."""
-        spec = self._spec(budget)
+    def _check_spec(self, spec: ResiliencySpec) -> None:
+        if spec.property is not self.prop:
+            raise ValueError(
+                f"context encodes {self.prop.value}, got a "
+                f"{spec.property.value} spec")
+        if (spec.property is Property.BAD_DATA_DETECTABILITY
+                and spec.r != self.r):
+            raise ValueError(
+                f"context encodes r={self.r}, got a spec with r={spec.r}")
+        if (spec.link_k is not None) != self.model_links:
+            raise ValueError(
+                "context link modeling does not match the spec: "
+                f"model_links={self.model_links}, link_k={spec.link_k}")
+
+    def _add_budgets(self, spec: ResiliencySpec) -> None:
+        self._solver.add(self._encoder.budget_constraint(spec.budget))
+        if spec.link_k is not None:
+            self._solver.add(
+                self._encoder.link_budget_constraint(spec.link_k))
+
+    def verify(self, spec: ResiliencySpec, minimize: bool = True,
+               max_conflicts: Optional[int] = None) -> VerificationResult:
+        """Verify the context's property under one spec's budgets."""
+        self._check_spec(spec)
         solver = self._solver
-        started = time.perf_counter()
-        solver.push()
-        solver.add(self._encoder.budget_constraint(budget))
-        encode_time = time.perf_counter() - started
-        solve_before = solver.statistics.check_time
-        outcome = solver.check(max_conflicts=max_conflicts)
-        result = VerificationResult(
-            spec=spec,
-            status=Status.UNKNOWN,
-            encode_time=encode_time,
-            solve_time=solver.statistics.check_time - solve_before,
-            num_vars=solver.num_vars,
-            num_clauses=solver.num_clauses,
-        )
-        try:
+        with solver.scope():
+            started = time.perf_counter()
+            pre_vars, pre_clauses = solver.num_vars, solver.num_clauses
+            self._add_budgets(spec)
+            encode_time = time.perf_counter() - started
+            outcome = solver.check(max_conflicts=max_conflicts)
+            # Report the encoding size *this query* would have cost on
+            # its own: the shared base plus the query's budget delta.
+            # The shared solver's raw totals accumulate every previous
+            # query's (disabled) budget clauses and would inflate
+            # scaling tables relative to the fresh backend.
+            result = VerificationResult(
+                spec=spec,
+                status=Status.UNKNOWN,
+                encode_time=encode_time,
+                solve_time=solver.last_check_stats.get("check_time", 0.0),
+                num_vars=self._base_vars + (solver.num_vars - pre_vars),
+                num_clauses=(self._base_clauses
+                             + (solver.num_clauses - pre_clauses)),
+                backend="incremental",
+                stats=dict(solver.last_check_stats),
+            )
             if outcome is Result.UNKNOWN:
                 return result
             if outcome is Result.UNSAT:
                 result.status = Status.RESILIENT
                 return result
             result.status = Status.THREAT_FOUND
-            result.threat = self._extract(spec, minimize)
+            result.threat = extract_threat(
+                solver.model(), self._encoder, self.reference,
+                self.network, self.problem, spec, minimize,
+                origin="incremental solver")
             return result
-        finally:
-            solver.pop()
 
-    def _extract(self, spec: ResiliencySpec,
-                 minimize: bool) -> ThreatVector:
-        model = self._solver.model()
-        failed: Set[int] = {
-            device
-            for device, var in self._encoder.field_node_vars().items()
-            if not model.value(var)
-        }
-        if not self.reference.is_threat(spec, failed):
-            raise AssertionError(
-                f"incremental solver produced an invalid threat vector "
-                f"{sorted(failed)} for {spec.describe()}")
-        minimal = False
-        if minimize:
-            failed = set(self.reference.minimize_threat(spec, failed))
-            minimal = True
-        return ThreatVector(
-            failed_ieds=frozenset(failed & set(self.network.ied_ids)),
-            failed_rtus=frozenset(failed & set(self.network.rtu_ids)),
-            minimal=minimal,
-        )
+    # ------------------------------------------------------------------
+
+    def enumerate(self, spec: ResiliencySpec,
+                  limit: Optional[int] = None,
+                  minimal: bool = True,
+                  max_conflicts: Optional[int] = None) -> List[ThreatVector]:
+        """All (minimal) threat vectors within the spec's budgets.
+
+        Blocking clauses are asserted inside the query scope, so the
+        cached base encoding is untouched once the scope pops and later
+        queries see no leftover blocks.
+        """
+        self._check_spec(spec)
+        solver = self._solver
+        node_vars = self._encoder.field_node_vars()
+        threats: List[ThreatVector] = []
+        with solver.scope():
+            self._add_budgets(spec)
+            while limit is None or len(threats) < limit:
+                outcome = solver.check(max_conflicts=max_conflicts)
+                if outcome is Result.UNKNOWN:
+                    raise RuntimeError("conflict budget exhausted during "
+                                       "threat enumeration")
+                if outcome is Result.UNSAT:
+                    break
+                threat = extract_threat(
+                    solver.model(), self._encoder, self.reference,
+                    self.network, self.problem, spec, minimize=minimal,
+                    origin="incremental solver")
+                threats.append(threat)
+                failed = threat.failed_devices
+                failed_links = threat.failed_links
+                if minimal:
+                    # Forbid this failure set and every superset.
+                    revive = [node_vars[i] for i in failed]
+                    revive += [self._encoder.link_up(a, b)
+                               for a, b in failed_links]
+                    solver.add(Or(*revive))
+                else:
+                    # Forbid only this exact assignment of the node vars.
+                    flip = [
+                        Not(var) if i not in failed else var
+                        for i, var in node_vars.items()
+                    ]
+                    if spec.link_k is not None:
+                        flip += [
+                            Not(var) if pair not in failed_links else var
+                            for pair, var
+                            in self._encoder.link_vars().items()
+                        ]
+                    solver.add(Or(*flip))
+                if not failed and not failed_links:
+                    # The empty vector violates the property; nothing
+                    # else can be more minimal.
+                    break
+        return threats
 
     # ------------------------------------------------------------------
 
@@ -135,30 +202,71 @@ class IncrementalAnalyzer:
         upper = len(self.network.field_device_ids)
 
         def holds(k: int) -> bool:
-            outcome = self.verify_budget(FailureBudget.total(k),
-                                         minimize=False,
-                                         max_conflicts=max_conflicts)
+            outcome = self.verify(
+                ResiliencySpec.for_property(self.prop, r=self.r, k=k),
+                minimize=False, max_conflicts=max_conflicts)
             if outcome.status is Status.UNKNOWN:
                 raise RuntimeError("budget exhausted in incremental "
                                    "max-resiliency search")
             return outcome.is_resilient
 
-        if not holds(0):
-            return -1
-        lo, step, hi = 0, 1, None
-        while hi is None:
-            probe = min(lo + step, upper)
-            if holds(probe):
-                lo = probe
-                if probe == upper:
-                    return upper
-                step *= 2
-            else:
-                hi = probe - 1
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if holds(mid):
-                lo = mid
-            else:
-                hi = mid - 1
-        return lo
+        return galloping_max(holds, upper)
+
+
+class IncrementalAnalyzer:
+    """Budget-parameterized verification over a fixed property.
+
+    The property (and ``r``, for bad-data detectability) is fixed at
+    construction; :meth:`verify_budget` then answers any
+    :class:`FailureBudget` against the shared encoding.  This is the
+    original facade kept for API compatibility; new code should go
+    through :class:`~repro.engine.VerificationEngine` with
+    ``backend="incremental"``, which additionally caches contexts
+    across properties.
+    """
+
+    def __init__(self, network: ScadaNetwork,
+                 problem: ObservabilityProblem,
+                 prop: Property = Property.OBSERVABILITY,
+                 r: int = 1,
+                 card_encoding: str = "totalizer") -> None:
+        self._ctx = IncrementalContext(network, problem, prop=prop, r=r,
+                                       card_encoding=card_encoding)
+
+    @property
+    def network(self) -> ScadaNetwork:
+        return self._ctx.network
+
+    @property
+    def problem(self) -> ObservabilityProblem:
+        return self._ctx.problem
+
+    @property
+    def prop(self) -> Property:
+        return self._ctx.prop
+
+    @property
+    def r(self) -> int:
+        return self._ctx.r
+
+    @property
+    def reference(self) -> ReferenceEvaluator:
+        return self._ctx.reference
+
+    @property
+    def base_encode_time(self) -> float:
+        return self._ctx.base_encode_time
+
+    def verify_budget(self, budget: FailureBudget,
+                      minimize: bool = True,
+                      max_conflicts: Optional[int] = None
+                      ) -> VerificationResult:
+        """Verify the fixed property under one failure budget."""
+        spec = ResiliencySpec(self.prop, budget, r=self.r)
+        return self._ctx.verify(spec, minimize=minimize,
+                                max_conflicts=max_conflicts)
+
+    def max_total_resiliency(self,
+                             max_conflicts: Optional[int] = None) -> int:
+        """Largest k with the property k-resilient (galloping search)."""
+        return self._ctx.max_total_resiliency(max_conflicts=max_conflicts)

@@ -17,6 +17,7 @@ or exact negations of each other (§III-C).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 from ..grid.jacobian import JacobianTable
@@ -147,6 +148,22 @@ class ObservabilityProblem:
 
     def states(self) -> range:
         return range(1, self.num_states + 1)
+
+    def fingerprint(self) -> str:
+        """A stable digest of the observability data the encoder reads.
+
+        Combined with :meth:`ScadaNetwork.fingerprint
+        <repro.scada.network.ScadaNetwork.fingerprint>` it keys the
+        engine's encoding cache.
+        """
+        parts = [f"n={self.num_states}"]
+        for z in sorted(self.state_sets):
+            states = ",".join(map(str, sorted(self.state_sets[z])))
+            parts.append(f"z{z}:{states}")
+        for group in sorted(self.unique_groups):
+            parts.append("u" + ",".join(map(str, group)))
+        digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+        return digest.hexdigest()[:16]
 
     def __repr__(self) -> str:
         return (f"ObservabilityProblem(n={self.num_states}, "

@@ -76,6 +76,13 @@ class VerificationResult:
     num_vars: int = 0
     num_clauses: int = 0
     details: Dict[str, object] = field(default_factory=dict)
+    #: Which verification backend produced this result
+    #: ("fresh", "incremental", "preprocessed").
+    backend: str = "fresh"
+    #: Per-query solver search statistics (conflicts, decisions,
+    #: propagations, restarts, check_time) — deltas attributable to this
+    #: query even on a shared incremental solver.
+    stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def is_resilient(self) -> bool:

@@ -1,0 +1,48 @@
+"""Monotone budget search shared by every max-resiliency consumer.
+
+Resiliency is monotone in the failure budget — enlarging the budget can
+only admit more threat vectors — so the largest holding budget can be
+found with a galloping upper-bound probe followed by binary search.
+This helper is the single implementation behind
+:mod:`repro.analysis.max_resiliency`, the incremental analyzer, and the
+:class:`~repro.engine.VerificationEngine` search methods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["galloping_max"]
+
+
+def galloping_max(check: Callable[[int], bool], upper: int) -> int:
+    """Largest k in [-1, upper] with ``check(k)`` true; check is monotone.
+
+    Uses galloping (1, 2, 4, ...) to find a violated budget first —
+    real maximal resiliencies are small, and checks get much more
+    expensive as the cardinality bound grows — then binary search
+    inside the bracket.  Returns -1 when even k = 0 fails.
+    """
+    if not check(0):
+        return -1
+    lo = 0
+    step = 1
+    hi = None
+    while hi is None:
+        probe = lo + step
+        if probe >= upper:
+            probe = upper
+        if check(probe):
+            lo = probe
+            if probe == upper:
+                return upper
+            step *= 2
+        else:
+            hi = probe - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if check(mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

@@ -145,6 +145,22 @@ class ResiliencySpec:
                    link_k=link_k)
 
     @classmethod
+    def for_property(cls, prop: Property, r: int = 1,
+                     k: Optional[int] = None,
+                     k1: Optional[int] = None,
+                     k2: Optional[int] = None,
+                     link_k: Optional[int] = None) -> "ResiliencySpec":
+        """Build a spec for any property from keyword budgets.
+
+        The single dispatch point replacing the per-module ``_spec_for``
+        / ``_make_spec`` copies the sweep drivers used to carry.  ``r``
+        is ignored by every property except bad-data detectability.
+        """
+        if prop is Property.BAD_DATA_DETECTABILITY:
+            return cls(prop, _budget(k, k1, k2), r=r, link_k=link_k)
+        return cls(prop, _budget(k, k1, k2), link_k=link_k)
+
+    @classmethod
     def bad_data_detectability(cls, r: int, k: Optional[int] = None,
                                k1: Optional[int] = None,
                                k2: Optional[int] = None,

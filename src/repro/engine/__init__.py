@@ -1,0 +1,34 @@
+"""Unified verification engine: pluggable backends, encoding cache,
+parallel sweeps.
+
+Public entry point: :class:`VerificationEngine` — the facade every
+consumer (CLI, sweep drivers, audit report, hardening) verifies
+through — plus :class:`SweepExecutor` for fanning independent instances
+across a process pool.  See ``docs/ENGINE.md`` for the architecture.
+"""
+
+from .backends import (
+    BACKEND_NAMES,
+    FreshBackend,
+    IncrementalBackend,
+    PreprocessedBackend,
+    VerificationBackend,
+    make_backend,
+)
+from .cache import EncodingCache, EncodingKey
+from .engine import VerificationEngine
+from .sweep import SweepExecutor, resolve_jobs
+
+__all__ = [
+    "BACKEND_NAMES",
+    "EncodingCache",
+    "EncodingKey",
+    "FreshBackend",
+    "IncrementalBackend",
+    "PreprocessedBackend",
+    "SweepExecutor",
+    "VerificationBackend",
+    "VerificationEngine",
+    "make_backend",
+    "resolve_jobs",
+]

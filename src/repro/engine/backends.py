@@ -1,0 +1,194 @@
+"""Pluggable verification backends.
+
+Every backend answers the same two questions — "does a threat vector
+exist within this spec's budgets?" and "enumerate them" — but trades
+encoding work differently:
+
+* ``fresh`` — re-encode the whole model into a new solver per query
+  (the original :class:`~repro.core.analyzer.ScadaAnalyzer` path);
+* ``incremental`` — encode the budget-independent part once per
+  (property, r, link-modeling) key, scope budgets with push/pop, and
+  reuse learned clauses across queries (backed by the engine's
+  encoding cache);
+* ``preprocessed`` — buffer the encoding as CNF and run the lint
+  subsystem's SatELite-style simplifier before each solve.
+
+All three return :class:`~repro.core.results.VerificationResult`
+objects carrying per-query solver statistics and are verdict-equivalent
+by construction (property-tested in ``tests/engine``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+from ..core.analyzer import ScadaAnalyzer
+from ..core.incremental import IncrementalContext
+from ..core.problem import ObservabilityProblem
+from ..core.reference import ReferenceEvaluator
+from ..core.results import ThreatVector, VerificationResult
+from ..core.specs import ResiliencySpec
+from ..scada.network import ScadaNetwork
+from .cache import EncodingCache, EncodingKey
+
+__all__ = [
+    "BACKEND_NAMES",
+    "FreshBackend",
+    "IncrementalBackend",
+    "PreprocessedBackend",
+    "VerificationBackend",
+    "make_backend",
+]
+
+
+class VerificationBackend(Protocol):
+    """What the engine requires of a backend."""
+
+    name: str
+
+    def verify(self, spec: ResiliencySpec, minimize: bool = True,
+               max_conflicts: Optional[int] = None,
+               certify: bool = False) -> VerificationResult:
+        """Verify one spec; the result carries backend name + stats."""
+        ...
+
+    def enumerate(self, spec: ResiliencySpec,
+                  limit: Optional[int] = None,
+                  minimal: bool = True,
+                  max_conflicts: Optional[int] = None
+                  ) -> List[ThreatVector]:
+        """All (minimal) threat vectors within the spec's budgets."""
+        ...
+
+
+class FreshBackend:
+    """One fresh solver and full re-encode per query."""
+
+    name = "fresh"
+    _preprocess = False
+
+    def __init__(self, network: ScadaNetwork,
+                 problem: ObservabilityProblem,
+                 card_encoding: str = "totalizer",
+                 reference: Optional[ReferenceEvaluator] = None) -> None:
+        # Lint runs once in the engine; backends never re-lint.
+        self.analyzer = ScadaAnalyzer(
+            network, problem, card_encoding=card_encoding, lint=False,
+            preprocess=self._preprocess, reference=reference)
+
+    def verify(self, spec: ResiliencySpec, minimize: bool = True,
+               max_conflicts: Optional[int] = None,
+               certify: bool = False) -> VerificationResult:
+        return self.analyzer.verify(spec, minimize=minimize,
+                                    max_conflicts=max_conflicts,
+                                    certify=certify)
+
+    def enumerate(self, spec: ResiliencySpec,
+                  limit: Optional[int] = None,
+                  minimal: bool = True,
+                  max_conflicts: Optional[int] = None
+                  ) -> List[ThreatVector]:
+        return self.analyzer.enumerate_threat_vectors(
+            spec, limit=limit, minimal=minimal,
+            max_conflicts=max_conflicts)
+
+
+class PreprocessedBackend(FreshBackend):
+    """Fresh encoding, simplified by the CNF preprocessor before solving."""
+
+    name = "preprocessed"
+    _preprocess = True
+
+
+class IncrementalBackend:
+    """Cached base encodings with per-query push/pop budget scopes."""
+
+    name = "incremental"
+
+    def __init__(self, network: ScadaNetwork,
+                 problem: ObservabilityProblem,
+                 card_encoding: str = "totalizer",
+                 reference: Optional[ReferenceEvaluator] = None,
+                 cache: Optional[EncodingCache] = None) -> None:
+        self.network = network
+        self.problem = problem
+        self.card_encoding = card_encoding
+        self.reference = reference or ReferenceEvaluator(network, problem)
+        self.cache = cache if cache is not None else EncodingCache()
+        self._network_fp = network.fingerprint()
+        self._problem_fp = problem.fingerprint()
+        self._certify_fallback: Optional[FreshBackend] = None
+
+    def _context(self, spec: ResiliencySpec) -> IncrementalContext:
+        key = EncodingKey(
+            network_fingerprint=self._network_fp,
+            problem_fingerprint=self._problem_fp,
+            prop=spec.property,
+            r=spec.r,
+            model_links=spec.link_k is not None,
+            card_encoding=self.card_encoding,
+        )
+        return self.cache.get_or_create(key, lambda: IncrementalContext(
+            self.network, self.problem, prop=spec.property, r=spec.r,
+            model_links=spec.link_k is not None,
+            card_encoding=self.card_encoding,
+            reference=self.reference))
+
+    def verify(self, spec: ResiliencySpec, minimize: bool = True,
+               max_conflicts: Optional[int] = None,
+               certify: bool = False) -> VerificationResult:
+        if certify:
+            # RUP proof logging needs an assumption-free solver; run
+            # certified queries through a fresh analyzer instead.
+            if self._certify_fallback is None:
+                self._certify_fallback = FreshBackend(
+                    self.network, self.problem,
+                    card_encoding=self.card_encoding,
+                    reference=self.reference)
+            result = self._certify_fallback.verify(
+                spec, minimize=minimize, max_conflicts=max_conflicts,
+                certify=True)
+            result.details["certify_fallback"] = "fresh"
+            return result
+        return self._context(spec).verify(spec, minimize=minimize,
+                                          max_conflicts=max_conflicts)
+
+    def enumerate(self, spec: ResiliencySpec,
+                  limit: Optional[int] = None,
+                  minimal: bool = True,
+                  max_conflicts: Optional[int] = None
+                  ) -> List[ThreatVector]:
+        return self._context(spec).enumerate(
+            spec, limit=limit, minimal=minimal,
+            max_conflicts=max_conflicts)
+
+
+BACKEND_NAMES = ("fresh", "incremental", "preprocessed")
+
+_CLASSES = {
+    "fresh": FreshBackend,
+    "incremental": IncrementalBackend,
+    "preprocessed": PreprocessedBackend,
+}
+
+
+def make_backend(name: str, network: ScadaNetwork,
+                 problem: ObservabilityProblem,
+                 card_encoding: str = "totalizer",
+                 reference: Optional[ReferenceEvaluator] = None,
+                 cache: Optional[EncodingCache] = None
+                 ) -> VerificationBackend:
+    """Instantiate a backend by name (``fresh`` | ``incremental`` |
+    ``preprocessed``)."""
+    try:
+        cls = _CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of "
+            f"{', '.join(BACKEND_NAMES)}") from None
+    if cls is IncrementalBackend:
+        return IncrementalBackend(network, problem,
+                                  card_encoding=card_encoding,
+                                  reference=reference, cache=cache)
+    return cls(network, problem, card_encoding=card_encoding,
+               reference=reference)

@@ -1,0 +1,80 @@
+"""The engine's encoding cache.
+
+Budget sweeps ask many queries whose encodings differ only in the
+cardinality constraint.  The cache maps an :class:`EncodingKey` —
+(network fingerprint, problem fingerprint, property, r, link modeling,
+cardinality encoding) — to a live
+:class:`~repro.core.incremental.IncrementalContext` holding the
+budget-independent encoding, so budget-only queries never re-encode the
+delivery model.  Entries own a full solver each, so the cache is a small
+LRU rather than unbounded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, NamedTuple, Optional
+
+from ..core.incremental import IncrementalContext
+from ..core.specs import Property
+
+__all__ = ["EncodingKey", "EncodingCache"]
+
+
+class EncodingKey(NamedTuple):
+    """What uniquely determines a budget-independent base encoding."""
+
+    network_fingerprint: str
+    problem_fingerprint: str
+    prop: Property
+    r: int
+    model_links: bool
+    card_encoding: str
+
+
+class EncodingCache:
+    """LRU cache of :class:`IncrementalContext` base encodings."""
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[EncodingKey, IncrementalContext]" = \
+            OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: EncodingKey) -> Optional[IncrementalContext]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def put(self, key: EncodingKey, entry: IncrementalContext) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def get_or_create(
+        self, key: EncodingKey,
+        factory: Callable[[], IncrementalContext],
+    ) -> IncrementalContext:
+        entry = self.get(key)
+        if entry is None:
+            entry = factory()
+            self.put(key, entry)
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (f"EncodingCache(entries={len(self)}, hits={self.hits}, "
+                f"misses={self.misses})")

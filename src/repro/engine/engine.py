@@ -1,0 +1,198 @@
+"""The verification engine facade.
+
+:class:`VerificationEngine` is the single entry point every consumer —
+the CLI, the sweep drivers, max-resiliency search, threat-space
+enumeration, hardening, the audit report — programs against.  It owns
+
+* the lint gate (run once per configuration, not per query),
+* a shared :class:`~repro.core.reference.ReferenceEvaluator`,
+* a pluggable backend (``fresh`` | ``incremental`` | ``preprocessed``),
+* the encoding cache feeding the incremental backend, and
+* the default parallelism for sweep executors spawned on its behalf.
+
+Future scaling work (batching, sharding, portfolio solving) plugs in
+here as new backends without touching any consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.analyzer import ConfigurationLintError, ScadaAnalyzer
+from ..core.problem import ObservabilityProblem
+from ..core.reference import ReferenceEvaluator
+from ..core.results import Status, ThreatVector, VerificationResult
+from ..core.search import galloping_max
+from ..core.specs import Property, ResiliencySpec
+from ..scada.network import ScadaNetwork
+from .backends import VerificationBackend, make_backend
+from .cache import EncodingCache
+
+__all__ = ["VerificationEngine"]
+
+
+class VerificationEngine:
+    """Unified, backend-pluggable resiliency verification."""
+
+    def __init__(self, network: ScadaNetwork,
+                 problem: ObservabilityProblem,
+                 backend: str = "fresh",
+                 card_encoding: str = "totalizer",
+                 lint: bool = True,
+                 jobs: int = 1,
+                 cache: Optional[EncodingCache] = None,
+                 reference: Optional[ReferenceEvaluator] = None) -> None:
+        self.network = network
+        self.problem = problem
+        self.card_encoding = card_encoding
+        self.jobs = jobs
+        if lint:
+            # Imported lazily: repro.lint imports core modules at module
+            # level, so a top-level import here would be circular.
+            from ..lint import lint_case
+
+            report = lint_case(network, problem)
+            if report.has_errors:
+                raise ConfigurationLintError(report)
+        self.reference = reference or ReferenceEvaluator(network, problem)
+        self.cache = cache if cache is not None else EncodingCache()
+        self._backend: VerificationBackend = make_backend(
+            backend, network, problem, card_encoding=card_encoding,
+            reference=self.reference, cache=self.cache)
+        self._export_analyzer: Optional[ScadaAnalyzer] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    @property
+    def backend(self) -> VerificationBackend:
+        return self._backend
+
+    @classmethod
+    def wrap(cls, subject: Union["VerificationEngine", ScadaAnalyzer]
+             ) -> "VerificationEngine":
+        """Adapt an existing analyzer (or pass an engine through).
+
+        Lets the :mod:`repro.analysis` drivers accept either object
+        while every verification still funnels through one engine.  The
+        analyzer's reference evaluator (and its lint decision) is
+        reused, so wrapping is cheap.
+        """
+        if isinstance(subject, cls):
+            return subject
+        backend = "preprocessed" if subject.preprocess else "fresh"
+        return cls(subject.network, subject.problem, backend=backend,
+                   card_encoding=subject.card_encoding, lint=False,
+                   reference=subject.reference)
+
+    # ------------------------------------------------------------------
+
+    def verify(self, spec: ResiliencySpec, minimize: bool = True,
+               max_conflicts: Optional[int] = None,
+               certify: bool = False) -> VerificationResult:
+        """Verify one resiliency specification via the active backend.
+
+        Semantics match :meth:`ScadaAnalyzer.verify
+        <repro.core.analyzer.ScadaAnalyzer.verify>`; the result
+        additionally records the producing backend and per-query solver
+        statistics.  ``certify=True`` on the incremental backend falls
+        back to a fresh solve (push/pop proofs are unsupported) and
+        notes that in ``details["certify_fallback"]``.
+        """
+        return self._backend.verify(spec, minimize=minimize,
+                                    max_conflicts=max_conflicts,
+                                    certify=certify)
+
+    def enumerate_threat_vectors(
+        self,
+        spec: ResiliencySpec,
+        limit: Optional[int] = None,
+        minimal: bool = True,
+        max_conflicts: Optional[int] = None,
+    ) -> List[ThreatVector]:
+        """All (minimal) threat vectors within the budget."""
+        return self._backend.enumerate(spec, limit=limit, minimal=minimal,
+                                       max_conflicts=max_conflicts)
+
+    # ------------------------------------------------------------------
+    # Maximal-resiliency searches (galloping + binary, shared helper)
+    # ------------------------------------------------------------------
+
+    def _holds(self, spec: ResiliencySpec,
+               max_conflicts: Optional[int]) -> bool:
+        result = self.verify(spec, minimize=False,
+                             max_conflicts=max_conflicts)
+        if result.status is Status.UNKNOWN:
+            raise RuntimeError("solver budget exhausted during "
+                               "max-resiliency search")
+        return result.is_resilient
+
+    def max_total_resiliency(self,
+                             prop: Property = Property.OBSERVABILITY,
+                             r: int = 1,
+                             max_conflicts: Optional[int] = None) -> int:
+        """Largest total k such that the k-resilient property holds."""
+        upper = len(self.network.field_device_ids)
+        return galloping_max(
+            lambda k: self._holds(
+                ResiliencySpec.for_property(prop, r=r, k=k),
+                max_conflicts),
+            upper)
+
+    def max_ied_resiliency(self,
+                           prop: Property = Property.OBSERVABILITY,
+                           k2: int = 0, r: int = 1,
+                           max_conflicts: Optional[int] = None) -> int:
+        """Largest k1 with the (k1, k2)-resilient property holding."""
+        upper = len(self.network.ied_ids)
+        return galloping_max(
+            lambda k1: self._holds(
+                ResiliencySpec.for_property(prop, r=r, k1=k1, k2=k2),
+                max_conflicts),
+            upper)
+
+    def max_rtu_resiliency(self,
+                           prop: Property = Property.OBSERVABILITY,
+                           k1: int = 0, r: int = 1,
+                           max_conflicts: Optional[int] = None) -> int:
+        """Largest k2 with the (k1, k2)-resilient property holding."""
+        upper = len(self.network.rtu_ids)
+        return galloping_max(
+            lambda k2: self._holds(
+                ResiliencySpec.for_property(prop, r=r, k1=k1, k2=k2),
+                max_conflicts),
+            upper)
+
+    # ------------------------------------------------------------------
+    # Model export (always through a fresh encoding)
+    # ------------------------------------------------------------------
+
+    def _exporter(self) -> ScadaAnalyzer:
+        analyzer = getattr(self._backend, "analyzer", None)
+        if isinstance(analyzer, ScadaAnalyzer):
+            return analyzer
+        if self._export_analyzer is None:
+            self._export_analyzer = ScadaAnalyzer(
+                self.network, self.problem,
+                card_encoding=self.card_encoding, lint=False,
+                reference=self.reference)
+        return self._export_analyzer
+
+    def model_size(self, spec: ResiliencySpec) -> Dict[str, int]:
+        """Encoded model size (vars/clauses) without solving."""
+        return self._exporter().model_size(spec)
+
+    def export_cnf(self, spec: ResiliencySpec) -> Tuple[object, set]:
+        """The Tseitin CNF of the threat model plus frozen variables."""
+        return self._exporter().export_cnf(spec)
+
+    def export_smtlib(self, spec: ResiliencySpec) -> str:
+        """The threat-verification model as an SMT-LIB 2 script."""
+        return self._exporter().export_smtlib(spec)
+
+    def __repr__(self) -> str:
+        return (f"VerificationEngine({self.network.name!r}, "
+                f"backend={self.backend_name!r}, jobs={self.jobs})")

@@ -5,13 +5,18 @@ verdicts across a specification ladder, maximal resiliency, the threat
 space one step past the certificate, breach-point ranking, cheapest
 attack, and hardening suggestions — into a single Markdown document.
 Exposed on the CLI as ``python -m repro report <config>``.
+
+All verification runs through one :class:`~repro.engine.VerificationEngine`
+(``backend=`` selects the strategy); with ``jobs > 1`` the per-property
+maximal-resiliency searches fan out across a process pool.
 """
 
 from __future__ import annotations
 
 import io
 from collections import Counter
-
+from dataclasses import dataclass
+from typing import Tuple
 
 from .analysis import (
     cheapest_threat,
@@ -25,20 +30,41 @@ from .core import (
     ObservabilityProblem,
     Property,
     ResiliencySpec,
-    ScadaAnalyzer,
 )
 from .core.hardening import harden
+from .engine import SweepExecutor, VerificationEngine
 from .scada.network import ScadaNetwork
 
 __all__ = ["audit_report"]
 
 
+@dataclass(frozen=True)
+class _MaximaTask:
+    """Picklable maximal-resiliency workload for one property."""
+
+    network: ScadaNetwork
+    problem: ObservabilityProblem
+    prop: Property
+    backend: str
+
+
+def _maxima_task(task: _MaximaTask) -> Tuple[int, int, int]:
+    # Workers skip linting: the parent engine already linted the config.
+    engine = VerificationEngine(task.network, task.problem,
+                                backend=task.backend, lint=False)
+    return (engine.max_total_resiliency(task.prop),
+            engine.max_ied_resiliency(task.prop),
+            engine.max_rtu_resiliency(task.prop))
+
+
 def audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
                  threat_limit: int = 100,
                  include_hardening: bool = True,
-                 include_attack_cost: bool = True) -> str:
+                 include_attack_cost: bool = True,
+                 backend: str = "fresh",
+                 jobs: int = 1) -> str:
     """Produce a Markdown resiliency-audit report for one configuration."""
-    analyzer = ScadaAnalyzer(network, problem)
+    engine = VerificationEngine(network, problem, backend=backend, jobs=jobs)
     out = io.StringIO()
 
     out.write(f"# SCADA resiliency audit — {network.name}\n\n")
@@ -61,12 +87,19 @@ def audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
     out.write("## Maximal resiliency\n\n")
     out.write("| property | any devices | IEDs only | RTUs only |\n")
     out.write("|---|---|---|---|\n")
+    props = (Property.OBSERVABILITY, Property.SECURED_OBSERVABILITY,
+             Property.COMMAND_DELIVERABILITY)
     maxima = {}
-    for prop in (Property.OBSERVABILITY, Property.SECURED_OBSERVABILITY,
-                 Property.COMMAND_DELIVERABILITY):
-        total = max_total_resiliency(analyzer, prop)
-        ied = max_ied_resiliency(analyzer, prop)
-        rtu = max_rtu_resiliency(analyzer, prop)
+    if jobs > 1:
+        tasks = [_MaximaTask(network, problem, prop, backend)
+                 for prop in props]
+        triples = SweepExecutor(jobs).map(_maxima_task, tasks)
+    else:
+        triples = [(max_total_resiliency(engine, prop),
+                    max_ied_resiliency(engine, prop),
+                    max_rtu_resiliency(engine, prop))
+                   for prop in props]
+    for prop, (total, ied, rtu) in zip(props, triples):
         maxima[prop] = total
         out.write(f"| {prop.value} | {_fmt_k(total)} | {_fmt_k(ied)} | "
                   f"{_fmt_k(rtu)} |\n")
@@ -76,7 +109,7 @@ def audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
     for prop in (Property.OBSERVABILITY, Property.SECURED_OBSERVABILITY):
         k_star = maxima[prop]
         spec = _spec(prop, max(k_star, -1) + 1)
-        space = threat_space(analyzer, spec, limit=threat_limit)
+        space = threat_space(engine, spec, limit=threat_limit)
         suffix = "+" if space.truncated else ""
         out.write(f"### {spec.describe()}\n\n")
         out.write(f"{space.size}{suffix} minimal threat vector(s)")
@@ -101,11 +134,11 @@ def audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
 
     if include_attack_cost:
         out.write("## Cheapest attack\n\n")
-        costs = uniform_costs(analyzer, ied_cost=1, rtu_cost=3)
+        costs = uniform_costs(engine, ied_cost=1, rtu_cost=3)
         out.write("Costs: IED = 1, RTU = 3.\n\n")
         for prop in (Property.OBSERVABILITY,
                      Property.SECURED_OBSERVABILITY):
-            result = cheapest_threat(analyzer, prop, costs)
+            result = cheapest_threat(engine, prop, costs)
             out.write(f"- {result.summary()}\n")
         out.write("\n")
 
@@ -118,7 +151,8 @@ def audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
             target = _spec(prop, max(k_star, -1) + 1)
             try:
                 repair = harden(network, problem, target,
-                                max_repairs=2, max_verify_calls=400)
+                                max_repairs=2, max_verify_calls=400,
+                                backend=backend)
             except RuntimeError:
                 out.write(f"- {target.describe()}: repair search budget "
                           f"exhausted\n")

@@ -73,6 +73,20 @@ class SolverStats:
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
 
+    def delta(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Counter increments since a previous :meth:`as_dict` snapshot.
+
+        Monotone counters are differenced; ``max_decision_level`` (a
+        high-water mark, not a counter) is reported as its current
+        value.  Incremental facades use this to attribute search effort
+        to individual queries on a long-lived solver.
+        """
+        current = self.as_dict()
+        out = {name: current[name] - before.get(name, 0)
+               for name in self.__slots__}
+        out["max_decision_level"] = current["max_decision_level"]
+        return out
+
     def __repr__(self) -> str:
         fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
         return f"SolverStats({fields})"

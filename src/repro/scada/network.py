@@ -16,6 +16,7 @@ constraints.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .crypto import DEFAULT_POLICY, CryptoPolicy
@@ -269,6 +270,40 @@ class ScadaNetwork:
             if all(self.hop_secured(a, b)
                    for a, b in logical_hops(path, routers))
         ]
+
+    def fingerprint(self) -> str:
+        """A stable digest of everything the encoder reads.
+
+        Two networks with equal fingerprints produce identical threat
+        encodings for any spec, so the engine's encoding cache keys on
+        this digest (plus property, ``r``, and cardinality encoding).
+        Labels and IP addresses are excluded — they never reach the
+        solver.
+        """
+        policy = self.policy
+        parts: List[str] = [
+            f"paths={self.max_paths}/{self.max_path_length}",
+            f"policy=auth:{sorted(policy.authentication_rules.items())}"
+            f"/integ:{sorted(policy.integrity_rules.items())}"
+            f"/broken:{sorted(policy.broken)}",
+        ]
+        for device_id in sorted(self.devices):
+            device = self.devices[device_id]
+            protos = ",".join(sorted(device.protocols))
+            crypto = ";".join(str(p) for p in device.crypto)
+            parts.append(
+                f"d{device_id}:{device.dtype.name}:{protos}:{crypto}")
+        for link in sorted(self.topology.links,
+                           key=lambda ln: (ln.a, ln.b, ln.index)):
+            parts.append(f"l{link.a}-{link.b}")
+        for ied_id in sorted(self.measurement_map):
+            msrs = ",".join(map(str, self.measurement_map[ied_id]))
+            parts.append(f"m{ied_id}:{msrs}")
+        for pair in sorted(self.pair_security):
+            profiles = ";".join(str(p) for p in self.pair_security[pair])
+            parts.append(f"s{pair[0]}-{pair[1]}:{profiles}")
+        digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+        return digest.hexdigest()[:16]
 
     def __repr__(self) -> str:
         return (f"ScadaNetwork({self.name!r}, ieds={len(self.ied_ids)}, "

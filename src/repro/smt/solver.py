@@ -8,9 +8,10 @@ small slice of the z3py API the paper's implementation would have used:
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import time
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from ..sat.cnf import CNF
 from ..sat.solver import SatSolver
@@ -18,6 +19,9 @@ from .terms import BoolVar, Term
 from .tseitin import Encoder
 
 __all__ = ["Result", "Model", "Solver", "SolverStatistics"]
+
+#: Per-check search-effort counters mirrored from the SAT substrate.
+_SEARCH_FIELDS = ("conflicts", "decisions", "propagations", "restarts")
 
 
 class Result(enum.Enum):
@@ -69,6 +73,7 @@ class SolverStatistics:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
         # Populated only when the facade runs with preprocess=True.
         self.simplified_vars = 0
         self.simplified_clauses = 0
@@ -116,6 +121,11 @@ class Solver:
         self._core_terms: List[Term] = []
         self._last_unsat_proof: Optional[tuple] = None
         self.statistics = SolverStatistics()
+        #: Search-effort deltas of the most recent :meth:`check` call —
+        #: conflicts, decisions, propagations, restarts, and time — so
+        #: callers can report per-query statistics even on a shared
+        #: incremental solver.
+        self.last_check_stats: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
 
@@ -145,6 +155,34 @@ class Solver:
         # Permanently disable the scope's clauses.
         self._sink.add_clause([-selector])
 
+    @property
+    def scope_depth(self) -> int:
+        """Number of currently open push/pop scopes."""
+        return len(self._selectors)
+
+    def pop_all(self, base_depth: int = 0) -> None:
+        """Pop every scope above *base_depth*.
+
+        The cache-safe reset: a shared (cached) incremental solver must
+        return to its base encoding even when a query aborts mid-scope
+        (extraction error, conflict-budget exhaustion), otherwise the
+        next query would inherit stale budget constraints.
+        """
+        if base_depth < 0:
+            raise ValueError("base_depth must be non-negative")
+        while len(self._selectors) > base_depth:
+            self.pop()
+
+    @contextlib.contextmanager
+    def scope(self) -> Iterator["Solver"]:
+        """``with solver.scope():`` — push now, always pop on exit."""
+        depth = self.scope_depth
+        self.push()
+        try:
+            yield self
+        finally:
+            self.pop_all(depth)
+
     def assertions(self) -> List[Term]:
         """All currently live assertions, outermost first."""
         return [t for level in self._assertions for t in level]
@@ -172,13 +210,16 @@ class Solver:
         before = self._sat.stats.as_dict()
         outcome = self._sat.solve(assumptions=assumption_lits,
                                   max_conflicts=max_conflicts)
-        after = self._sat.stats.as_dict()
-        self.statistics.check_time += time.perf_counter() - started
+        delta = self._sat.stats.delta(before)
+        elapsed = time.perf_counter() - started
+        self.statistics.check_time += elapsed
         self.statistics.checks += 1
         self.statistics.num_vars = self._sat.num_vars
         self.statistics.num_clauses = self._sat.num_clauses_added
-        for field in ("conflicts", "decisions", "propagations"):
-            self.statistics.__dict__[field] += after[field] - before[field]
+        for field in _SEARCH_FIELDS:
+            self.statistics.__dict__[field] += delta[field]
+        self.last_check_stats = {f: float(delta[f]) for f in _SEARCH_FIELDS}
+        self.last_check_stats["check_time"] = elapsed
 
         if outcome is None:
             return Result.UNKNOWN
@@ -221,6 +262,8 @@ class Solver:
 
         if result.unsat:
             self.statistics.checks += 1
+            self.last_check_stats = {f: 0.0 for f in _SEARCH_FIELDS}
+            self.last_check_stats["check_time"] = 0.0
             self._last_unsat_proof = (list(self._cnf.clauses),
                                       list(result.proof_additions),
                                       self._cnf.num_vars)
@@ -237,10 +280,13 @@ class Solver:
         outcome = sub.solve(assumptions=assumption_lits,
                             max_conflicts=max_conflicts)
         after = sub.stats.as_dict()
-        self.statistics.check_time += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.statistics.check_time += elapsed
         self.statistics.checks += 1
-        for field in ("conflicts", "decisions", "propagations"):
+        for field in _SEARCH_FIELDS:
             self.statistics.__dict__[field] += after[field]
+        self.last_check_stats = {f: float(after[f]) for f in _SEARCH_FIELDS}
+        self.last_check_stats["check_time"] = elapsed
 
         if outcome is None:
             return Result.UNKNOWN

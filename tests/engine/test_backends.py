@@ -1,0 +1,119 @@
+"""Backend equivalence: fresh, incremental, and preprocessed must agree.
+
+The property test generates randomized SCADA instances (the §V-A
+generator over IEEE cases) and random specifications, then checks that
+every backend returns the same verdict and that any threat vector is
+confirmed by the reference evaluator — the strongest cross-check the
+substrate offers.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ObservabilityProblem,
+    Property,
+    ResiliencySpec,
+    Status,
+)
+from repro.engine import BACKEND_NAMES, VerificationEngine
+from repro.grid.ieee_cases import case_by_buses
+from repro.scada import GeneratorConfig, generate_scada
+
+
+def _instance(seed: int, secure_fraction: float):
+    config = GeneratorConfig(measurement_fraction=0.7,
+                             hierarchy_level=1,
+                             secure_fraction=secure_fraction,
+                             seed=seed)
+    synthetic = generate_scada(case_by_buses(14, seed=seed), config)
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    return synthetic.network, problem
+
+
+def _engines(network, problem):
+    return {name: VerificationEngine(network, problem, backend=name,
+                                     lint=False)
+            for name in BACKEND_NAMES}
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=40),
+    secure=st.sampled_from([0.6, 0.8, 1.0]),
+    k=st.integers(min_value=0, max_value=4),
+    prop=st.sampled_from([Property.OBSERVABILITY,
+                          Property.SECURED_OBSERVABILITY,
+                          Property.COMMAND_DELIVERABILITY]),
+)
+def test_backends_verdict_equivalent(seed, secure, k, prop):
+    network, problem = _instance(seed, secure)
+    spec = ResiliencySpec.for_property(prop, k=k)
+    results = {name: engine.verify(spec)
+               for name, engine in _engines(network, problem).items()}
+
+    statuses = {name: result.status for name, result in results.items()}
+    assert len(set(statuses.values())) == 1, statuses
+
+    reference = VerificationEngine(network, problem, lint=False).reference
+    for name, result in results.items():
+        assert result.backend == name
+        if result.status is Status.THREAT_FOUND:
+            assert result.threat is not None
+            failed = set(result.threat.failed_devices)
+            assert reference.is_threat(spec, failed), (name, failed)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=20),
+       k=st.integers(min_value=1, max_value=3))
+def test_backends_enumerate_same_threat_space(seed, k):
+    network, problem = _instance(seed, 0.8)
+    spec = ResiliencySpec.observability(k=k)
+    spaces = {
+        name: engine.enumerate_threat_vectors(spec, limit=60)
+        for name, engine in _engines(network, problem).items()
+    }
+    canonical = {
+        name: {frozenset(v.failed_devices) for v in vectors}
+        for name, vectors in spaces.items()
+    }
+    assert canonical["fresh"] == canonical["incremental"]
+    assert canonical["fresh"] == canonical["preprocessed"]
+
+
+def test_max_resiliency_equivalent_across_backends(fig3_case):
+    network, problem = fig3_case
+    maxima = {
+        name: VerificationEngine(network, problem, backend=name,
+                                 lint=False).max_total_resiliency(
+                                     Property.OBSERVABILITY)
+        for name in BACKEND_NAMES
+    }
+    assert len(set(maxima.values())) == 1, maxima
+
+
+def test_incremental_certify_falls_back_to_fresh(fig3_case):
+    network, problem = fig3_case
+    engine = VerificationEngine(network, problem, backend="incremental",
+                                lint=False)
+    spec = ResiliencySpec.observability(k=0)
+    result = engine.verify(spec, certify=True)
+    assert result.is_resilient
+    assert result.details.get("certify_fallback") == "fresh"
+    assert result.details.get("proof_checked") is True
+
+
+def test_unknown_backend_rejected(fig3_case):
+    network, problem = fig3_case
+    with pytest.raises(ValueError, match="unknown backend"):
+        VerificationEngine(network, problem, backend="portfolio",
+                           lint=False)
+
+
+@pytest.fixture
+def fig3_case():
+    from repro.cases import case_problem, fig3_network
+
+    return fig3_network(), case_problem()

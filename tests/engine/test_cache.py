@@ -1,0 +1,76 @@
+"""Encoding cache: keying, LRU eviction, hit accounting."""
+
+import pytest
+
+from repro.core import ObservabilityProblem, Property
+from repro.engine import EncodingCache, EncodingKey
+from repro.grid.ieee_cases import case_by_buses
+from repro.scada import GeneratorConfig, generate_scada
+
+
+def _key(prop=Property.OBSERVABILITY, r=1, network_fp="n", problem_fp="p",
+         model_links=False, card="totalizer"):
+    return EncodingKey(network_fingerprint=network_fp,
+                       problem_fingerprint=problem_fp,
+                       prop=prop, r=r, model_links=model_links,
+                       card_encoding=card)
+
+
+def test_get_or_create_caches_and_counts():
+    cache = EncodingCache()
+    built = []
+
+    def factory():
+        built.append(1)
+        return object()
+
+    key = _key()
+    first = cache.get_or_create(key, factory)
+    second = cache.get_or_create(key, factory)
+    assert first is second
+    assert len(built) == 1
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_distinct_keys_distinct_entries():
+    cache = EncodingCache()
+    a = cache.get_or_create(_key(prop=Property.OBSERVABILITY), object)
+    b = cache.get_or_create(_key(prop=Property.SECURED_OBSERVABILITY),
+                            object)
+    c = cache.get_or_create(_key(r=2), object)
+    assert len({id(a), id(b), id(c)}) == 3
+    assert len(cache) == 3
+
+
+def test_lru_eviction_drops_oldest():
+    cache = EncodingCache(maxsize=2)
+    key_a, key_b, key_c = _key(r=1), _key(r=2), _key(r=3)
+    a = cache.get_or_create(key_a, object)
+    cache.get_or_create(key_b, object)
+    # Touch A so B becomes the least recently used entry.
+    assert cache.get(key_a) is a
+    cache.get_or_create(key_c, object)
+    assert len(cache) == 2
+    assert cache.get(key_b) is None
+    assert cache.get(key_a) is a
+
+
+def test_zero_size_cache_rejected():
+    with pytest.raises(ValueError):
+        EncodingCache(maxsize=0)
+
+
+def test_network_fingerprint_tracks_configuration():
+    synthetic = generate_scada(case_by_buses(14, seed=0),
+                               GeneratorConfig(seed=0))
+    same = generate_scada(case_by_buses(14, seed=0),
+                          GeneratorConfig(seed=0))
+    other = generate_scada(case_by_buses(14, seed=1),
+                           GeneratorConfig(seed=1))
+    assert synthetic.network.fingerprint() == same.network.fingerprint()
+    assert synthetic.network.fingerprint() != other.network.fingerprint()
+
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    again = ObservabilityProblem.from_table(same.table)
+    assert problem.fingerprint() == again.fingerprint()

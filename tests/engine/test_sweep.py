@@ -1,0 +1,60 @@
+"""SweepExecutor: ordering, determinism, and jobs resolution."""
+
+import pytest
+
+from repro.analysis import sweep_bus_sizes
+from repro.engine import SweepExecutor, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _add(a, b):
+    return a + b
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)
+
+
+def test_inline_map_preserves_order():
+    executor = SweepExecutor(jobs=1)
+    assert executor.map(_square, [3, 1, 2]) == [9, 1, 4]
+    assert executor.last_wall_time >= 0.0
+
+
+def test_pool_map_matches_inline():
+    tasks = list(range(12))
+    inline = SweepExecutor(jobs=1).map(_square, tasks)
+    pooled = SweepExecutor(jobs=4).map(_square, tasks)
+    assert pooled == inline
+
+
+def test_starmap_inline_and_pooled():
+    tasks = [(1, 2), (3, 4), (10, -1)]
+    assert SweepExecutor(jobs=1).starmap(_add, tasks) == [3, 7, 9]
+    assert SweepExecutor(jobs=3).starmap(_add, tasks) == [3, 7, 9]
+
+
+def _point_key(point):
+    """Everything deterministic about a ScalingPoint (times are not)."""
+    return (point.bus_size, point.hierarchy, point.seed, point.backend,
+            point.num_devices, point.max_k,
+            point.sat_num_vars, point.sat_num_clauses,
+            point.unsat_num_vars, point.unsat_num_clauses,
+            len(point.sat_times), len(point.unsat_times))
+
+
+@pytest.mark.parametrize("backend", ["fresh", "incremental"])
+def test_sweep_deterministic_across_jobs(backend):
+    kwargs = dict(seeds=(0, 1), runs=1, backend=backend)
+    serial = sweep_bus_sizes([14], jobs=1, **kwargs)
+    parallel = sweep_bus_sizes([14], jobs=4, **kwargs)
+    assert [_point_key(p) for p in serial.points] == \
+        [_point_key(p) for p in parallel.points]
