@@ -1,38 +1,63 @@
 """Ablation — verification backends × sweep parallelism.
 
-Two workloads exercise the engine's ablation axes:
+Three workloads exercise the engine's ablation axes:
 
 * **backend axis** (Fig. 7(a)-style): maximal-resiliency search issues a
-  sequence of budget-only-different queries.  The ``incremental``
-  backend encodes the delivery layer once, scopes budgets with
-  activation literals, and reuses learned clauses; ``fresh`` re-encodes
-  per query; ``preprocessed`` additionally simplifies each CNF.
+  sequence of budget-only-different queries.  ``fresh`` re-encodes per
+  query; ``incremental`` encodes the delivery layer once and scopes
+  budgets with push/pop activation literals; ``assumption`` selects
+  budgets with assumption literals over persistent extendable counters;
+  ``preprocessed`` additionally simplifies each CNF.
+* **budget-sweep axis** (the three-way ablation): a >= 20-query sweep
+  over failure budgets run on ``fresh`` vs ``incremental`` vs
+  ``assumption``, recording per-budget search effort and learned-clause
+  retention — push/pop loses every learned clause touching a scope's
+  activation literal when the scope pops, while assumption selection
+  keeps all of them.
 * **jobs axis** (Fig. 5(a)-style): a bus-size sweep fanned over a
   process pool must keep per-point outputs identical while reducing
   wall-clock on multicore hosts.
 
 Besides pytest-benchmark timings, the final test writes the full
-ablation matrix to ``benchmarks/results/ablation_backend_jobs.json``.
+ablation matrix to ``benchmarks/results/ablation_backend_jobs.json``
+and the per-budget retention series to
+``benchmarks/results/ablation_budget_sweep.json``.
+
+Setting ``BENCH_SMOKE=1`` switches to the paper's 5-bus case with a
+tiny budget range — the CI smoke configuration, small enough to finish
+in seconds while still crossing every backend.
 """
 
 import json
+import os
 import time
 
 import pytest
 
 from repro.analysis import sweep_bus_sizes
-from repro.core import ObservabilityProblem
+from repro.core import ObservabilityProblem, ResiliencySpec
 from repro.engine import BACKEND_NAMES, VerificationEngine
 from repro.grid import case57
 from repro.scada import GeneratorConfig, generate_scada
 
-_results = {"backends": {}, "sweep_jobs": {}}
+_results = {"backends": {}, "budget_sweep": {}, "sweep_jobs": {}}
 
-SWEEP_JOBS = (1, 2)
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+SWEEP_JOBS = (1,) if SMOKE else (1, 2)
+#: The three-way ablation: one budget sweep per clause-reuse strategy.
+SWEEP_BACKENDS = ("fresh", "incremental", "assumption")
+#: Budgets visited per pass and number of passes; the non-smoke
+#: configuration issues 2 x 10 = 20 queries per backend.
+SWEEP_KS = tuple(range(4)) if SMOKE else tuple(range(10))
+SWEEP_PASSES = 2
 
 
 @pytest.fixture(scope="module")
 def system():
+    if SMOKE:
+        from repro.cases import case_problem, fig3_network
+
+        return fig3_network(), case_problem()
     synthetic = generate_scada(
         case57(),
         GeneratorConfig(measurement_fraction=0.8, dual_home_fraction=0.3,
@@ -50,12 +75,66 @@ def test_backend_max_resiliency(benchmark, system, backend):
                                     lint=False)
         return engine.max_total_resiliency()
 
+    rounds = 1 if SMOKE else 3
     started = time.perf_counter()
-    k_star = benchmark.pedantic(run, rounds=3, iterations=1)
+    k_star = benchmark.pedantic(run, rounds=rounds, iterations=1)
     _results["backends"][backend] = {
         "k_star": k_star,
-        "mean_time": (time.perf_counter() - started) / 3,
+        "mean_time": (time.perf_counter() - started) / rounds,
     }
+
+
+def _run_budget_sweep(network, problem, backend):
+    """One >= 20-query budget sweep; per-query effort + retention."""
+    engine = VerificationEngine(network, problem, backend=backend,
+                                lint=False)
+    shared_solver = backend in ("incremental", "assumption")
+    queries = []
+    retained = 0
+    for sweep_pass in range(SWEEP_PASSES):
+        for k in SWEEP_KS:
+            result = engine.verify(ResiliencySpec.observability(k=k),
+                                   minimize=False)
+            stats = result.stats
+            learned = int(stats.get("learned_clauses", 0))
+            deleted = int(stats.get("deleted_clauses", 0))
+            if shared_solver:
+                retained += learned - deleted
+            else:
+                retained = learned - deleted
+            queries.append({
+                "pass": sweep_pass,
+                "k": k,
+                "status": result.status.value,
+                "conflicts": int(stats.get("conflicts", 0)),
+                "decisions": int(stats.get("decisions", 0)),
+                "propagations": int(stats.get("propagations", 0)),
+                "learned_clauses": learned,
+                "deleted_clauses": deleted,
+                "retained_clauses": retained,
+                "encode_vars": result.num_vars,
+                "encode_clauses": result.num_clauses,
+                "check_time": stats.get("check_time", 0.0),
+            })
+    return {
+        "queries": queries,
+        "totals": {
+            "num_queries": len(queries),
+            "conflicts": sum(q["conflicts"] for q in queries),
+            "decisions": sum(q["decisions"] for q in queries),
+            "learned_clauses": sum(q["learned_clauses"] for q in queries),
+            "final_retained_clauses": retained,
+        },
+    }
+
+
+@pytest.mark.parametrize("backend", SWEEP_BACKENDS)
+def test_budget_sweep_three_way(benchmark, system, backend):
+    network, problem = system
+    row = benchmark.pedantic(
+        lambda: _run_budget_sweep(network, problem, backend),
+        rounds=1, iterations=1)
+    _results["budget_sweep"][backend] = row
 
 
 @pytest.mark.parametrize("jobs", SWEEP_JOBS)
@@ -94,9 +173,46 @@ def test_report_ablation(benchmark, results_dir, report):
             incremental = backends["incremental"]["mean_time"]
             lines.append(f"incremental speedup over fresh: "
                          f"{fresh / max(incremental, 1e-9):.2f}x")
-        sweeps = _results["sweep_jobs"]
-        if len(sweeps) == len(SWEEP_JOBS):
-            parity = all(sweeps[j]["points"] == sweeps[1]["points"]
+
+        sweeps = _results["budget_sweep"]
+        if len(sweeps) == len(SWEEP_BACKENDS):
+            # Verdict parity query by query across the three-way sweep.
+            verdicts = {
+                name: [q["status"] for q in row["queries"]]
+                for name, row in sweeps.items()
+            }
+            assert (verdicts["fresh"] == verdicts["incremental"]
+                    == verdicts["assumption"]), \
+                "budget-sweep verdicts diverged"
+            lines.append(f"budget sweep: "
+                         f"{sweeps['fresh']['totals']['num_queries']} "
+                         f"queries per backend, verdict parity: True")
+            for name in SWEEP_BACKENDS:
+                totals = sweeps[name]["totals"]
+                lines.append(
+                    f"budget sweep [{name:>12}]: "
+                    f"conflicts {totals['conflicts']}, "
+                    f"learned {totals['learned_clauses']}, "
+                    f"retained {totals['final_retained_clauses']}")
+            # The tentpole claim: with every learned clause usable
+            # across budgets (push/pop permanently disables clauses
+            # that mention a popped scope's activation literal, even
+            # though they stay in the database and count as retained),
+            # the assumption backend re-derives less and conflicts
+            # less over the sweep.  Skipped in smoke mode: the 5-bus
+            # sweep is too small for stable search-effort comparisons.
+            if not SMOKE:
+                assert (sweeps["assumption"]["totals"]["conflicts"] <=
+                        sweeps["incremental"]["totals"]["conflicts"]), \
+                    "assumption backend needed more conflicts than push/pop"
+            payload = json.dumps(sweeps, indent=2, sort_keys=True,
+                                 default=str)
+            (results_dir / "ablation_budget_sweep.json").write_text(
+                payload + "\n")
+
+        jobs_rows = _results["sweep_jobs"]
+        if len(jobs_rows) == len(SWEEP_JOBS):
+            parity = all(jobs_rows[j]["points"] == jobs_rows[1]["points"]
                          for j in SWEEP_JOBS)
             assert parity, "parallel sweep diverged from serial"
             lines.append("sweep determinism across jobs: True")

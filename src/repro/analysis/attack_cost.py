@@ -11,12 +11,18 @@ over a multiset in which each device's down-literal appears ``cost_i``
 times; binary search over ``C`` (with the property negation fixed)
 yields the optimum with O(log ΣC) solver calls — a small-weights
 MaxSAT-style linear-search specialization that fits the substrate.
+
+The weighted budget rides on a :class:`~repro.smt.BudgetHandle`: one
+persistent counter over the multiset whose per-``C`` selector literals
+are passed to ``check`` as assumptions, so the whole binary search
+shares a single solver and every learned clause — no push/pop, no
+re-encoding per probe.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 from ..core.analyzer import ScadaAnalyzer
 from ..core.encoder import ModelEncoder
@@ -24,7 +30,7 @@ from ..core.results import ThreatVector
 from ..core.specs import Property, ResiliencySpec
 from ..engine import VerificationEngine
 from ..smt.solver import Result, Solver
-from ..smt.terms import AtMost, Not
+from ..smt.terms import BoolVal, Not, Term
 
 __all__ = ["AttackCostResult", "cheapest_threat", "uniform_costs"]
 
@@ -98,30 +104,34 @@ def cheapest_threat(analyzer: Verifier,
         solver.add(*encoder.delivery_definitions(secured=True))
     solver.add(encoder.property_negation(prop, r))
 
-    weighted = []
+    weighted: List[Term] = []
     for device, cost in sorted(cost_map.items()):
         weighted.extend([Not(encoder.node(device))] * cost)
     total = len(weighted)
+    # One extendable counter over the cost multiset serves every probe;
+    # each budget C is just its selector literal assumed for one check.
+    handle = solver.budget_handle(weighted, "attack-cost")
 
     calls = 0
 
     def threat_within(budget: int) -> Optional[set]:
         nonlocal calls
         calls += 1
-        with solver.scope():
-            solver.add(AtMost(weighted, budget))
-            outcome = solver.check(max_conflicts=max_conflicts)
-            if outcome is Result.UNKNOWN:
-                raise RuntimeError("conflict budget exhausted in "
-                                   "cheapest-threat search")
-            if outcome is Result.UNSAT:
-                return None
-            model = solver.model()
-            return {
-                device
-                for device, var in encoder.field_node_vars().items()
-                if not model.value(var)
-            }
+        selector = handle.at_most(budget)
+        assumptions: List[Term] = [] if (isinstance(selector, BoolVal)
+                                         and selector.value) else [selector]
+        outcome = solver.check(*assumptions, max_conflicts=max_conflicts)
+        if outcome is Result.UNKNOWN:
+            raise RuntimeError("conflict budget exhausted in "
+                               "cheapest-threat search")
+        if outcome is Result.UNSAT:
+            return None
+        model = solver.model()
+        return {
+            device
+            for device, var in encoder.field_node_vars().items()
+            if not model.value(var)
+        }
 
     # Is there any threat at all?
     best = threat_within(total)

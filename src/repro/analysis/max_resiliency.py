@@ -9,8 +9,11 @@ threat vectors — so galloping + binary search over the budget is sound
 These functions accept either a
 :class:`~repro.core.analyzer.ScadaAnalyzer` (the historical API) or a
 :class:`~repro.engine.VerificationEngine`; either way every query runs
-through the engine, so ``backend="incremental"`` reuses one encoding
-across the whole search.
+through the engine.  A search is exactly the workload the
+``assumption`` backend is built for — dozens of queries differing only
+in the budget bound, answered by one solver whose learned clauses
+persist — so ``backend="assumption"`` is the default here; pass
+``backend=None`` to keep the caller's active backend.
 """
 
 from __future__ import annotations
@@ -28,28 +31,38 @@ __all__ = [
 Verifier = Union[ScadaAnalyzer, VerificationEngine]
 
 
+def _engine(analyzer: Verifier, backend: Optional[str]) -> VerificationEngine:
+    engine = VerificationEngine.wrap(analyzer)
+    if backend is not None:
+        engine = engine.with_backend(backend)
+    return engine
+
+
 def max_total_resiliency(analyzer: Verifier,
                          prop: Property = Property.OBSERVABILITY,
                          r: int = 1,
-                         max_conflicts: Optional[int] = None) -> int:
+                         max_conflicts: Optional[int] = None,
+                         backend: Optional[str] = "assumption") -> int:
     """Largest total k such that the k-resilient property holds."""
-    return VerificationEngine.wrap(analyzer).max_total_resiliency(
+    return _engine(analyzer, backend).max_total_resiliency(
         prop=prop, r=r, max_conflicts=max_conflicts)
 
 
 def max_ied_resiliency(analyzer: Verifier,
                        prop: Property = Property.OBSERVABILITY,
                        k2: int = 0, r: int = 1,
-                       max_conflicts: Optional[int] = None) -> int:
+                       max_conflicts: Optional[int] = None,
+                       backend: Optional[str] = "assumption") -> int:
     """Largest k1 with the (k1, k2)-resilient property holding."""
-    return VerificationEngine.wrap(analyzer).max_ied_resiliency(
+    return _engine(analyzer, backend).max_ied_resiliency(
         prop=prop, k2=k2, r=r, max_conflicts=max_conflicts)
 
 
 def max_rtu_resiliency(analyzer: Verifier,
                        prop: Property = Property.OBSERVABILITY,
                        k1: int = 0, r: int = 1,
-                       max_conflicts: Optional[int] = None) -> int:
+                       max_conflicts: Optional[int] = None,
+                       backend: Optional[str] = "assumption") -> int:
     """Largest k2 with the (k1, k2)-resilient property holding."""
-    return VerificationEngine.wrap(analyzer).max_rtu_resiliency(
+    return _engine(analyzer, backend).max_rtu_resiliency(
         prop=prop, k1=k1, r=r, max_conflicts=max_conflicts)

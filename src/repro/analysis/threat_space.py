@@ -47,15 +47,19 @@ class ThreatSpace:
 def threat_space(analyzer: Union[ScadaAnalyzer, VerificationEngine],
                  spec: ResiliencySpec,
                  limit: Optional[int] = None,
-                 minimal: bool = True) -> ThreatSpace:
+                 minimal: bool = True,
+                 backend: Optional[str] = None) -> ThreatSpace:
     """Enumerate the (minimal) threat space of *spec*.
 
     Accepts a :class:`ScadaAnalyzer` or a :class:`VerificationEngine`;
-    with an engine, enumeration uses the active backend (the
-    incremental one blocks vectors inside a push/pop scope on the
-    cached encoding).
+    with an engine, enumeration uses the active backend unless
+    *backend* overrides it (e.g. ``"assumption"`` to sweep many specs
+    against one solver: budgets ride on assumption selectors and only
+    the blocking clauses live in a per-spec scope).
     """
     engine = VerificationEngine.wrap(analyzer)
+    if backend is not None:
+        engine = engine.with_backend(backend)
     vectors = engine.enumerate_threat_vectors(
         spec, limit=limit, minimal=minimal)
     truncated = limit is not None and len(vectors) >= limit

@@ -83,8 +83,9 @@ def _add_engine_args(parser: argparse.ArgumentParser,
     parser.add_argument("--backend", default="fresh",
                         choices=BACKEND_NAMES,
                         help="verification backend (fresh solver per "
-                             "query, incremental push/pop, or "
-                             "preprocessed CNF)")
+                             "query, incremental push/pop, "
+                             "assumption-selected budgets on one "
+                             "persistent solver, or preprocessed CNF)")
     if jobs:
         parser.add_argument("--jobs", type=int, default=1,
                             help="worker processes for independent "

@@ -5,26 +5,37 @@ queries that differ *only* in the failure budget.  The plain
 :class:`~repro.core.analyzer.ScadaAnalyzer` re-encodes the whole model
 per query; an :class:`IncrementalContext` encodes the budget-independent
 part — delivery definitions, availability axioms, and the property
-negation — once, and scopes each budget with the solver's push/pop
-(activation literals underneath), reusing learned clauses across
-queries.
+negation — once, and answers each budget against the shared solver.
+
+Two budget-selection modes are supported:
+
+* ``"scopes"`` (the original): each query opens a push/pop scope and
+  re-encodes its cardinality constraint inside it.  Learned clauses
+  touching the budget die with the scope's activation literal.
+* ``"assumptions"``: every budget bound is a selector literal over a
+  persistent, extendable totalizer (:class:`~repro.smt.BudgetHandle`),
+  passed to ``check`` as an assumption.  Nothing is re-encoded per
+  query — a new budget only *grows* the counter the first time it is
+  seen — and **all** learned clauses survive across budgets.  For
+  bad-data detectability the redundancy parameter ``r`` is gated the
+  same way, so one context serves every ``(k, r)`` combination.
 
 The verdicts are identical by construction; the ablation benchmark
-``bench_ablation_incremental`` quantifies the speedup.  The
-:class:`~repro.engine.VerificationEngine`'s ``incremental`` backend
-keeps one context per (property, r, link-modeling) key in its encoding
-cache; :class:`IncrementalAnalyzer` remains as the original
+``bench_ablation_incremental`` quantifies the difference.  The
+:class:`~repro.engine.VerificationEngine`'s ``incremental`` and
+``assumption`` backends keep contexts in its encoding cache;
+:class:`IncrementalAnalyzer` remains as the original
 budget-parameterized facade over a single context.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..scada.network import ScadaNetwork
-from ..smt.solver import Result, Solver
-from ..smt.terms import Not, Or
+from ..smt.solver import BudgetHandle, Result, Solver
+from ..smt.terms import Bool, BoolVal, Implies, Not, Or, Term
 from .encoder import ModelEncoder
 from .extraction import extract_threat
 from .problem import ObservabilityProblem
@@ -33,16 +44,23 @@ from .results import Status, ThreatVector, VerificationResult
 from .search import galloping_max
 from .specs import FailureBudget, Property, ResiliencySpec
 
-__all__ = ["IncrementalContext", "IncrementalAnalyzer"]
+__all__ = ["BUDGET_MODES", "IncrementalContext", "IncrementalAnalyzer"]
+
+#: How a context binds each query's budget to the shared solver.
+BUDGET_MODES = ("scopes", "assumptions")
 
 
 class IncrementalContext:
     """A cached base encoding for one (property, r, link-modeling) key.
 
     All budget-parameterized queries against that key — single verdicts,
-    galloping max-resiliency probes, threat enumeration — run inside
-    push/pop scopes on the shared solver, so learned clauses carry over
-    and only the cardinality constraint is re-encoded per query.
+    galloping max-resiliency probes, threat enumeration — run against
+    the shared solver, so learned clauses carry over.  With
+    ``budget_mode="scopes"`` each query re-encodes its cardinality
+    constraint in a push/pop scope; with ``budget_mode="assumptions"``
+    budgets are chosen by assumption literals over persistent extendable
+    counters and nothing is re-encoded (in that mode the context also
+    serves *every* ``r`` for bad-data detectability).
     """
 
     def __init__(self, network: ScadaNetwork,
@@ -51,23 +69,37 @@ class IncrementalContext:
                  r: int = 1,
                  model_links: bool = False,
                  card_encoding: str = "totalizer",
-                 reference: Optional[ReferenceEvaluator] = None) -> None:
+                 reference: Optional[ReferenceEvaluator] = None,
+                 budget_mode: str = "scopes") -> None:
+        if budget_mode not in BUDGET_MODES:
+            raise ValueError(f"unknown budget mode {budget_mode!r}; "
+                             f"expected one of {', '.join(BUDGET_MODES)}")
         self.network = network
         self.problem = problem
         self.prop = prop
         self.r = r
         self.model_links = model_links
+        self.budget_mode = budget_mode
+        self.backend_name = ("assumption" if budget_mode == "assumptions"
+                             else "incremental")
         self.reference = reference or ReferenceEvaluator(network, problem)
         self._encoder = ModelEncoder(network, problem,
                                      model_links=model_links)
         self._solver = Solver(card_encoding=card_encoding)
+        # With assumption-selected budgets, the bad-data redundancy
+        # parameter r is gated per query exactly like k, so the base
+        # encoding is r-independent.
+        self._gate_r = (budget_mode == "assumptions"
+                        and prop is Property.BAD_DATA_DETECTABILITY)
+        self._negation_selectors: Dict[int, Term] = {}
         started = time.perf_counter()
         self._solver.add(*self._encoder.availability_axioms())
         self._solver.add(*self._encoder.delivery_definitions(secured=False))
         if prop.uses_security:
             self._solver.add(
                 *self._encoder.delivery_definitions(secured=True))
-        self._solver.add(self._encoder.property_negation(prop, r))
+        if not self._gate_r:
+            self._solver.add(self._encoder.property_negation(prop, r))
         if model_links:
             # Allocate every topology link's variable up front so
             # per-query link budgets never grow the base numbering.
@@ -84,7 +116,7 @@ class IncrementalContext:
                 f"context encodes {self.prop.value}, got a "
                 f"{spec.property.value} spec")
         if (spec.property is Property.BAD_DATA_DETECTABILITY
-                and spec.r != self.r):
+                and not self._gate_r and spec.r != self.r):
             raise ValueError(
                 f"context encodes r={self.r}, got a spec with r={spec.r}")
         if (spec.link_k is not None) != self.model_links:
@@ -93,49 +125,119 @@ class IncrementalContext:
                 f"model_links={self.model_links}, link_k={spec.link_k}")
 
     def _add_budgets(self, spec: ResiliencySpec) -> None:
+        """Scope mode: assert this query's budgets (inside a scope)."""
         self._solver.add(self._encoder.budget_constraint(spec.budget))
         if spec.link_k is not None:
             self._solver.add(
                 self._encoder.link_budget_constraint(spec.link_k))
+
+    # -- assumption mode ------------------------------------------------
+
+    def _device_handle(self, kind: str) -> BudgetHandle:
+        enc = self._encoder
+        ids = {
+            "nodes": self.network.field_device_ids,
+            "ieds": self.network.ied_ids,
+            "rtus": self.network.rtu_ids,
+        }[kind]
+        return self._solver.budget_handle(
+            [Not(enc.node(i)) for i in ids], f"{kind}-down")
+
+    def _negation_selector(self, r: int) -> Term:
+        """Selector assuming which activates ``¬property`` at this r.
+
+        The implication is asserted permanently; distinct r values share
+        the underlying per-state counters (the encoder keys them on the
+        literal set and raises their bound in place), so sweeping r is
+        as cheap as sweeping k.
+        """
+        sel = self._negation_selectors.get(r)
+        if sel is None:
+            sel = Bool(f"__negation[r={r}]")
+            self._solver.add(Implies(
+                sel, self._encoder.property_negation(self.prop, r)))
+            self._negation_selectors[r] = sel
+        return sel
+
+    def _budget_assumptions(self, spec: ResiliencySpec) -> List[Term]:
+        """Selector terms activating this spec's budgets (and r)."""
+        budget = spec.budget
+        assumptions: List[Term] = []
+        if budget.is_split:
+            assert budget.k1 is not None and budget.k2 is not None
+            assumptions.append(self._device_handle("ieds").at_most(budget.k1))
+            assumptions.append(self._device_handle("rtus").at_most(budget.k2))
+        else:
+            assert budget.k is not None
+            assumptions.append(self._device_handle("nodes").at_most(budget.k))
+        if spec.link_k is not None:
+            links = self._solver.budget_handle(
+                [Not(var) for var in self._encoder.link_vars().values()],
+                "links-down")
+            assumptions.append(links.at_most(spec.link_k))
+        if self._gate_r:
+            assumptions.append(self._negation_selector(spec.r))
+        # A trivially-true bound (k >= n) needs no assumption at all.
+        return [a for a in assumptions
+                if not (isinstance(a, BoolVal) and a.value)]
+
+    # ------------------------------------------------------------------
 
     def verify(self, spec: ResiliencySpec, minimize: bool = True,
                max_conflicts: Optional[int] = None) -> VerificationResult:
         """Verify the context's property under one spec's budgets."""
         self._check_spec(spec)
         solver = self._solver
+        if self.budget_mode == "assumptions":
+            started = time.perf_counter()
+            pre_vars, pre_clauses = solver.num_vars, solver.num_clauses
+            assumptions = self._budget_assumptions(spec)
+            encode_time = time.perf_counter() - started
+            outcome = solver.check(*assumptions,
+                                   max_conflicts=max_conflicts)
+            return self._result(spec, outcome, encode_time,
+                                pre_vars, pre_clauses, minimize)
         with solver.scope():
             started = time.perf_counter()
             pre_vars, pre_clauses = solver.num_vars, solver.num_clauses
             self._add_budgets(spec)
             encode_time = time.perf_counter() - started
             outcome = solver.check(max_conflicts=max_conflicts)
-            # Report the encoding size *this query* would have cost on
-            # its own: the shared base plus the query's budget delta.
-            # The shared solver's raw totals accumulate every previous
-            # query's (disabled) budget clauses and would inflate
-            # scaling tables relative to the fresh backend.
-            result = VerificationResult(
-                spec=spec,
-                status=Status.UNKNOWN,
-                encode_time=encode_time,
-                solve_time=solver.last_check_stats.get("check_time", 0.0),
-                num_vars=self._base_vars + (solver.num_vars - pre_vars),
-                num_clauses=(self._base_clauses
-                             + (solver.num_clauses - pre_clauses)),
-                backend="incremental",
-                stats=dict(solver.last_check_stats),
-            )
-            if outcome is Result.UNKNOWN:
-                return result
-            if outcome is Result.UNSAT:
-                result.status = Status.RESILIENT
-                return result
-            result.status = Status.THREAT_FOUND
-            result.threat = extract_threat(
-                solver.model(), self._encoder, self.reference,
-                self.network, self.problem, spec, minimize,
-                origin="incremental solver")
+            return self._result(spec, outcome, encode_time,
+                                pre_vars, pre_clauses, minimize)
+
+    def _result(self, spec: ResiliencySpec, outcome: Result,
+                encode_time: float, pre_vars: int, pre_clauses: int,
+                minimize: bool) -> VerificationResult:
+        solver = self._solver
+        # Report the encoding size *this query* would have cost on its
+        # own: the shared base plus the query's budget delta.  The
+        # shared solver's raw totals accumulate every previous query's
+        # budget encoding and would inflate scaling tables relative to
+        # the fresh backend.  (In assumption mode a repeated budget's
+        # delta is zero: its counter already exists.)
+        result = VerificationResult(
+            spec=spec,
+            status=Status.UNKNOWN,
+            encode_time=encode_time,
+            solve_time=solver.last_check_stats.get("check_time", 0.0),
+            num_vars=self._base_vars + (solver.num_vars - pre_vars),
+            num_clauses=(self._base_clauses
+                         + (solver.num_clauses - pre_clauses)),
+            backend=self.backend_name,
+            stats=dict(solver.last_check_stats),
+        )
+        if outcome is Result.UNKNOWN:
             return result
+        if outcome is Result.UNSAT:
+            result.status = Status.RESILIENT
+            return result
+        result.status = Status.THREAT_FOUND
+        result.threat = extract_threat(
+            solver.model(), self._encoder, self.reference,
+            self.network, self.problem, spec, minimize,
+            origin=f"{self.backend_name} solver")
+        return result
 
     # ------------------------------------------------------------------
 
@@ -145,18 +247,26 @@ class IncrementalContext:
                   max_conflicts: Optional[int] = None) -> List[ThreatVector]:
         """All (minimal) threat vectors within the spec's budgets.
 
-        Blocking clauses are asserted inside the query scope, so the
+        Blocking clauses are asserted inside a query scope, so the
         cached base encoding is untouched once the scope pops and later
-        queries see no leftover blocks.
+        queries see no leftover blocks.  In assumption mode the budget
+        itself still rides on assumption selectors (created *before*
+        the scope opens, so their definitions are permanent); only the
+        blocking clauses are scoped.
         """
         self._check_spec(spec)
         solver = self._solver
         node_vars = self._encoder.field_node_vars()
+        assumptions: List[Term] = []
+        if self.budget_mode == "assumptions":
+            assumptions = self._budget_assumptions(spec)
         threats: List[ThreatVector] = []
         with solver.scope():
-            self._add_budgets(spec)
+            if self.budget_mode != "assumptions":
+                self._add_budgets(spec)
             while limit is None or len(threats) < limit:
-                outcome = solver.check(max_conflicts=max_conflicts)
+                outcome = solver.check(*assumptions,
+                                       max_conflicts=max_conflicts)
                 if outcome is Result.UNKNOWN:
                     raise RuntimeError("conflict budget exhausted during "
                                        "threat enumeration")
@@ -165,7 +275,7 @@ class IncrementalContext:
                 threat = extract_threat(
                     solver.model(), self._encoder, self.reference,
                     self.network, self.problem, spec, minimize=minimal,
-                    origin="incremental solver")
+                    origin=f"{self.backend_name} solver")
                 threats.append(threat)
                 failed = threat.failed_devices
                 failed_links = threat.failed_links
@@ -221,17 +331,19 @@ class IncrementalAnalyzer:
     :class:`FailureBudget` against the shared encoding.  This is the
     original facade kept for API compatibility; new code should go
     through :class:`~repro.engine.VerificationEngine` with
-    ``backend="incremental"``, which additionally caches contexts
-    across properties.
+    ``backend="incremental"`` (or ``"assumption"``), which additionally
+    caches contexts across properties.
     """
 
     def __init__(self, network: ScadaNetwork,
                  problem: ObservabilityProblem,
                  prop: Property = Property.OBSERVABILITY,
                  r: int = 1,
-                 card_encoding: str = "totalizer") -> None:
+                 card_encoding: str = "totalizer",
+                 budget_mode: str = "scopes") -> None:
         self._ctx = IncrementalContext(network, problem, prop=prop, r=r,
-                                       card_encoding=card_encoding)
+                                       card_encoding=card_encoding,
+                                       budget_mode=budget_mode)
 
     @property
     def network(self) -> ScadaNetwork:

@@ -9,6 +9,7 @@ across a process pool.  See ``docs/ENGINE.md`` for the architecture.
 
 from .backends import (
     BACKEND_NAMES,
+    AssumptionBackend,
     FreshBackend,
     IncrementalBackend,
     PreprocessedBackend,
@@ -21,6 +22,7 @@ from .sweep import SweepExecutor, resolve_jobs
 
 __all__ = [
     "BACKEND_NAMES",
+    "AssumptionBackend",
     "EncodingCache",
     "EncodingKey",
     "FreshBackend",

@@ -10,10 +10,14 @@ encoding work differently:
   (property, r, link-modeling) key, scope budgets with push/pop, and
   reuse learned clauses across queries (backed by the engine's
   encoding cache);
+* ``assumption`` — like ``incremental``, but budgets (and the bad-data
+  ``r``) are selected by assumption literals over persistent extendable
+  counters instead of push/pop scopes, so *all* learned clauses survive
+  across budgets and one cached context serves every ``(k, r)``;
 * ``preprocessed`` — buffer the encoding as CNF and run the lint
   subsystem's SatELite-style simplifier before each solve.
 
-All three return :class:`~repro.core.results.VerificationResult`
+All backends return :class:`~repro.core.results.VerificationResult`
 objects carrying per-query solver statistics and are verdict-equivalent
 by construction (property-tested in ``tests/engine``).
 """
@@ -33,6 +37,7 @@ from .cache import EncodingCache, EncodingKey
 
 __all__ = [
     "BACKEND_NAMES",
+    "AssumptionBackend",
     "FreshBackend",
     "IncrementalBackend",
     "PreprocessedBackend",
@@ -104,6 +109,8 @@ class IncrementalBackend:
     """Cached base encodings with per-query push/pop budget scopes."""
 
     name = "incremental"
+    #: How cached contexts bind per-query budgets; the subclass flips it.
+    _budget_mode = "scopes"
 
     def __init__(self, network: ScadaNetwork,
                  problem: ObservabilityProblem,
@@ -120,11 +127,13 @@ class IncrementalBackend:
         self._certify_fallback: Optional[FreshBackend] = None
 
     def _context(self, spec: ResiliencySpec) -> IncrementalContext:
+        # In assumption mode r is query-selected, so every r shares one
+        # context; the key uses a -1 sentinel in its place.
         key = EncodingKey(
             network_fingerprint=self._network_fp,
             problem_fingerprint=self._problem_fp,
             prop=spec.property,
-            r=spec.r,
+            r=spec.r if self._budget_mode == "scopes" else -1,
             model_links=spec.link_k is not None,
             card_encoding=self.card_encoding,
         )
@@ -132,7 +141,8 @@ class IncrementalBackend:
             self.network, self.problem, prop=spec.property, r=spec.r,
             model_links=spec.link_k is not None,
             card_encoding=self.card_encoding,
-            reference=self.reference))
+            reference=self.reference,
+            budget_mode=self._budget_mode))
 
     def verify(self, spec: ResiliencySpec, minimize: bool = True,
                max_conflicts: Optional[int] = None,
@@ -163,11 +173,27 @@ class IncrementalBackend:
             max_conflicts=max_conflicts)
 
 
-BACKEND_NAMES = ("fresh", "incremental", "preprocessed")
+class AssumptionBackend(IncrementalBackend):
+    """Cached base encodings with assumption-selected budgets.
+
+    Same caching structure as :class:`IncrementalBackend`, but each
+    query's budgets are activated by assumption literals over
+    persistent, extendable cardinality counters
+    (:class:`~repro.smt.BudgetHandle`) instead of re-encoded inside a
+    push/pop scope.  Learned clauses are never discarded between
+    budgets, and bad-data contexts serve every ``r``.
+    """
+
+    name = "assumption"
+    _budget_mode = "assumptions"
+
+
+BACKEND_NAMES = ("fresh", "incremental", "assumption", "preprocessed")
 
 _CLASSES = {
     "fresh": FreshBackend,
     "incremental": IncrementalBackend,
+    "assumption": AssumptionBackend,
     "preprocessed": PreprocessedBackend,
 }
 
@@ -179,16 +205,15 @@ def make_backend(name: str, network: ScadaNetwork,
                  cache: Optional[EncodingCache] = None
                  ) -> VerificationBackend:
     """Instantiate a backend by name (``fresh`` | ``incremental`` |
-    ``preprocessed``)."""
+    ``assumption`` | ``preprocessed``)."""
     try:
         cls = _CLASSES[name]
     except KeyError:
         raise ValueError(
             f"unknown backend {name!r}; expected one of "
             f"{', '.join(BACKEND_NAMES)}") from None
-    if cls is IncrementalBackend:
-        return IncrementalBackend(network, problem,
-                                  card_encoding=card_encoding,
-                                  reference=reference, cache=cache)
+    if issubclass(cls, IncrementalBackend):
+        return cls(network, problem, card_encoding=card_encoding,
+                   reference=reference, cache=cache)
     return cls(network, problem, card_encoding=card_encoding,
                reference=reference)

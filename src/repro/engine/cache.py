@@ -22,7 +22,13 @@ __all__ = ["EncodingKey", "EncodingCache"]
 
 
 class EncodingKey(NamedTuple):
-    """What uniquely determines a budget-independent base encoding."""
+    """What uniquely determines a budget-independent base encoding.
+
+    The assumption backend stores ``-1`` in the ``r`` slot: its
+    contexts gate the bad-data redundancy parameter per query with an
+    assumption literal, so one encoding serves every ``r`` and the key
+    must not split on it.
+    """
 
     network_fingerprint: str
     problem_fingerprint: str

@@ -6,7 +6,8 @@ enumeration, hardening, the audit report — programs against.  It owns
 
 * the lint gate (run once per configuration, not per query),
 * a shared :class:`~repro.core.reference.ReferenceEvaluator`,
-* a pluggable backend (``fresh`` | ``incremental`` | ``preprocessed``),
+* a pluggable backend (``fresh`` | ``incremental`` | ``assumption`` |
+  ``preprocessed``),
 * the encoding cache feeding the incremental backend, and
 * the default parallelism for sweep executors spawned on its behalf.
 
@@ -70,6 +71,21 @@ class VerificationEngine:
     @property
     def backend(self) -> VerificationBackend:
         return self._backend
+
+    def with_backend(self, backend: str) -> "VerificationEngine":
+        """This engine, or a sibling running the named backend.
+
+        The sibling shares the reference evaluator and encoding cache
+        and skips the lint gate (this engine already ran it), so
+        switching backends mid-analysis is cheap.  Returns ``self``
+        when the backend already matches.
+        """
+        if backend == self.backend_name:
+            return self
+        return VerificationEngine(
+            self.network, self.problem, backend=backend,
+            card_encoding=self.card_encoding, lint=False,
+            jobs=self.jobs, cache=self.cache, reference=self.reference)
 
     @classmethod
     def wrap(cls, subject: Union["VerificationEngine", ScadaAnalyzer]

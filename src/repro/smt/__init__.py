@@ -6,12 +6,15 @@ counting sums over Booleans) maps onto terms here one-to-one.
 """
 
 from .cardinality import (
+    CardinalityCounter,
+    ClauseSink,
+    SequentialCounter,
     Totalizer,
     encode_at_least_sequential,
     encode_at_most_sequential,
 )
 from .smtlib import term_to_sexpr, to_smtlib
-from .solver import Model, Result, Solver, SolverStatistics
+from .solver import BudgetHandle, Model, Result, Solver, SolverStatistics
 from .terms import (
     FALSE,
     TRUE,
@@ -37,8 +40,10 @@ from .tseitin import Encoder
 
 __all__ = [
     "And", "AtLeast", "AtMost", "Bool", "Bools", "BoolVal", "BoolVar",
-    "CardTerm", "Encoder", "Exactly", "FALSE", "Iff", "Implies", "Ite",
-    "Model", "Not", "Or", "Result", "Solver", "SolverStatistics", "TRUE",
+    "BudgetHandle", "CardTerm", "CardinalityCounter", "ClauseSink",
+    "Encoder", "Exactly", "FALSE", "Iff", "Implies", "Ite",
+    "Model", "Not", "Or", "Result", "SequentialCounter", "Solver",
+    "SolverStatistics", "TRUE",
     "Term", "Totalizer", "Xor", "encode_at_least_sequential", "term_to_sexpr", "to_smtlib",
     "encode_at_most_sequential", "evaluate",
 ]

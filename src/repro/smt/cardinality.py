@@ -12,62 +12,161 @@ Two encodings are provided:
   *bidirectional*: output ``o_j`` is true **iff** at least ``j`` inputs
   are true (with ``o_bound`` meaning "at least bound").  Bidirectionality
   lets cardinality atoms appear under any polarity in a formula.
-* :func:`encode_at_most_sequential` — Sinz's sequential counter, which
-  directly asserts an at-most-k constraint.  Kept as the ablation
-  baseline for the encoding-choice benchmark.
+* :class:`SequentialCounter` — Sinz's sequential counter built to the
+  same bidirectional contract, kept as the ablation baseline for the
+  encoding-choice benchmark.  (:func:`encode_at_most_sequential` /
+  :func:`encode_at_least_sequential` are the assert-only variants.)
+
+Both counters are **extendable**: :meth:`CardinalityCounter.raise_bound`
+grows the output chain *in place*, reusing every existing merge node
+and register cell, so a budget sweep (or a galloping search that
+overshoots) never rebuilds the tree.  The clauses added while the bound
+was lower stay in the formula — they are sound (a count that saturated
+at the old top output still implies that output) and merely redundant
+next to the sharper clauses added for the new outputs.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Protocol, Sequence
 
-from ..sat.cnf import CNF
-
-__all__ = ["Totalizer", "SequentialCounter", "encode_at_most_sequential",
+__all__ = ["ClauseSink", "CardinalityCounter", "Totalizer",
+           "SequentialCounter", "encode_at_most_sequential",
            "encode_at_least_sequential"]
 
 
-class Totalizer:
-    """A truncated, bidirectional unary counter over input literals.
+class ClauseSink(Protocol):
+    """What the encoders need from a clause receiver.
 
-    ``outputs[j-1]`` (1-based count *j*) is a variable that is true iff
-    at least ``j`` of the inputs are true, for ``j < bound``; the last
-    output (count ``bound``) is true iff at least ``bound`` inputs are
-    true.  ``bound`` of ``min(len(lits), requested)`` outputs are built.
+    Both :class:`repro.sat.CNF` and :class:`repro.sat.SatSolver`
+    satisfy this protocol, so counters can write into a formula
+    container or feed a solver incrementally.
     """
 
-    def __init__(self, cnf: CNF, lits: Sequence[int], bound: int) -> None:
+    def new_var(self) -> int:
+        ...
+
+    def add_clause(self, lits: Sequence[int]) -> object:
+        ...
+
+
+class CardinalityCounter:
+    """Common contract of the unary counters.
+
+    ``outputs[j-1]`` (1-based count *j*) is a literal that is true iff
+    at least ``j`` of the inputs are true, for every ``j`` up to
+    ``bound``; ``bound`` saturates at ``len(lits)``.  Subclasses
+    implement :meth:`_build` (initial construction) and :meth:`_grow`
+    (in-place extension to a larger bound).
+    """
+
+    def __init__(self, cnf: ClauseSink, lits: Sequence[int],
+                 bound: int) -> None:
         if bound < 1:
             raise ValueError("bound must be at least 1")
         self.cnf = cnf
         self.lits = list(lits)
         self.bound = min(bound, len(self.lits))
-        if not self.lits:
-            self.outputs: List[int] = []
-        else:
-            self.outputs = self._build(self.lits)
+        self.outputs: List[int] = []
+        if self.lits:
+            self._build()
 
-    def _build(self, lits: Sequence[int]) -> List[int]:
+    def _build(self) -> None:
+        raise NotImplementedError
+
+    def _grow(self, new_bound: int) -> None:
+        raise NotImplementedError
+
+    def raise_bound(self, new_bound: int) -> None:
+        """Grow the output chain in place to ``min(new_bound, n)``.
+
+        Existing merge nodes (register cells) and output literals are
+        reused untouched — ``outputs[:old_bound]`` is unchanged — and
+        only the defining clauses of the *new* outputs are added.
+        Lowering the bound is a no-op: the counter already answers every
+        query below its bound.
+        """
+        target = min(new_bound, len(self.lits))
+        if target <= self.bound or not self.lits:
+            return
+        self._grow(target)
+        self.bound = target
+
+
+class _TotNode:
+    """One merge node of the totalizer tree.
+
+    Leaves carry a single input literal; internal nodes merge their
+    children's unary counts.  ``width`` is the number of input literals
+    below the node; ``outputs`` holds ``min(width, bound)`` literals.
+    """
+
+    __slots__ = ("left", "right", "width", "outputs")
+
+    def __init__(self, left: Optional["_TotNode"],
+                 right: Optional["_TotNode"],
+                 width: int, outputs: List[int]) -> None:
+        self.left = left
+        self.right = right
+        self.width = width
+        self.outputs = outputs
+
+
+class Totalizer(CardinalityCounter):
+    """A truncated, bidirectional, extendable unary merge tree.
+
+    The balanced tree built at construction is retained, so
+    :meth:`raise_bound` extends each node's output chain in place:
+    new output variables are allocated per node, forward/backward
+    defining clauses are added only for count totals above the old
+    bound, and every previously allocated variable keeps its meaning.
+    """
+
+    def _build(self) -> None:
+        self._root = self._build_tree(self.lits)
+        self._extend_node(self._root, self.bound)
+        self.outputs = self._root.outputs
+
+    def _grow(self, new_bound: int) -> None:
+        self._extend_node(self._root, new_bound)
+        self.outputs = self._root.outputs
+
+    def _build_tree(self, lits: Sequence[int]) -> _TotNode:
         if len(lits) == 1:
-            return [lits[0]]
+            return _TotNode(None, None, 1, [lits[0]])
         mid = len(lits) // 2
-        left = self._build(lits[:mid])
-        right = self._build(lits[mid:])
-        return self._merge(left, right)
+        left = self._build_tree(lits[:mid])
+        right = self._build_tree(lits[mid:])
+        return _TotNode(left, right, left.width + right.width, [])
 
-    def _merge(self, left: List[int], right: List[int]) -> List[int]:
+    def _extend_node(self, node: _TotNode, bound: int) -> None:
+        """Bring *node* (and its subtree) up to ``min(width, bound)``
+        outputs, adding only the clauses the new outputs need."""
+        if node.left is None or node.right is None:
+            return  # leaf: its output *is* the input literal
+        target = min(node.width, bound)
+        old = len(node.outputs)
+        if old >= target:
+            return
+        self._extend_node(node.left, bound)
+        self._extend_node(node.right, bound)
         cnf = self.cnf
-        size = min(len(left) + len(right), self.bound)
-        out = [cnf.new_var() for _ in range(size)]
+        left = node.left.outputs
+        right = node.right.outputs
+        node.outputs.extend(cnf.new_var() for _ in range(target - old))
+        out = node.outputs
 
         # Forward: ≥i on the left and ≥j on the right imply
-        # ≥min(i+j, size) overall.  (i = 0 / j = 0 impose no premise.)
+        # ≥min(i+j, target) overall.  (i = 0 / j = 0 impose no premise.)
+        # Totals at or below the old size already have their exact
+        # clause; totals above it previously saturated into the old top
+        # output (still sound) and now get their sharper clause.
         for i in range(len(left) + 1):
             for j in range(len(right) + 1):
                 total = i + j
-                if total == 0:
+                if total <= old:
                     continue
-                clause = [out[min(total, size) - 1]]
+                clause = [out[min(total, target) - 1]]
                 if i > 0:
                     clause.append(-left[i - 1])
                 if j > 0:
@@ -78,19 +177,19 @@ class Totalizer:
         # ≥i+1 on the left or ≥j+1 on the right.  A positive literal is
         # omitted when its count is unreachable on that side (then the
         # other side alone must account for the total).
-        for t in range(1, size + 1):
+        for t in range(old + 1, target + 1):
             for i in range(t):
                 j = t - 1 - i
                 clause = [-out[t - 1]]
-                if i + 1 <= len(left):
+                if i < len(left):
                     clause.append(left[i])
-                if j + 1 <= len(right):
+                if j < len(right):
                     clause.append(right[j])
                 cnf.add_clause(clause)
-        return out
 
 
-def encode_at_most_sequential(cnf: CNF, lits: Sequence[int], k: int) -> None:
+def encode_at_most_sequential(cnf: ClauseSink, lits: Sequence[int],
+                              k: int) -> None:
     """Assert ``sum(lits) <= k`` with Sinz's sequential counter.
 
     This *asserts* the constraint (adds clauses that are falsified by any
@@ -121,7 +220,8 @@ def encode_at_most_sequential(cnf: CNF, lits: Sequence[int], k: int) -> None:
         cnf.add_clause([-lits[i], -s[i - 1][k - 1]])
 
 
-def encode_at_least_sequential(cnf: CNF, lits: Sequence[int], k: int) -> None:
+def encode_at_least_sequential(cnf: ClauseSink, lits: Sequence[int],
+                               k: int) -> None:
     """Assert ``sum(lits) >= k`` via the dual at-most on negations."""
     n = len(lits)
     if k <= 0:
@@ -132,58 +232,62 @@ def encode_at_least_sequential(cnf: CNF, lits: Sequence[int], k: int) -> None:
     encode_at_most_sequential(cnf, [-lit for lit in lits], n - k)
 
 
-class SequentialCounter:
-    """A truncated, bidirectional sequential (Sinz-style) counter.
+class SequentialCounter(CardinalityCounter):
+    """A truncated, bidirectional, extendable sequential counter.
 
     Same contract as :class:`Totalizer` — ``outputs[j-1]`` is true iff
-    at least ``j`` inputs are true (saturating at ``bound``) — but built
-    as a linear register chain instead of a balanced merge tree.  Kept
-    as the alternative encoding for the cardinality-ablation benchmark.
+    at least ``j`` inputs are true — but built as a Sinz-style register
+    grid instead of a balanced merge tree.  ``_rows[i][j-1]`` holds the
+    literal for "at least *j* of the first *i+1* inputs"; unreachable
+    counts (``j > i+1``) are simply absent from the row, and reads past
+    a row's end come back as ``None`` (count impossible, treated as
+    false).  The full grid is retained so :meth:`raise_bound` appends
+    the missing high-count cells row by row without rebuilding.
     """
 
-    def __init__(self, cnf: CNF, lits: Sequence[int], bound: int) -> None:
-        if bound < 1:
-            raise ValueError("bound must be at least 1")
-        self.cnf = cnf
-        self.lits = list(lits)
-        self.bound = min(bound, len(self.lits))
-        if not self.lits:
-            self.outputs: List[int] = []
-            return
-        k = self.bound
-        # register[j-1] after input i: at least j of the first i inputs.
-        register: List[int] = [self.lits[0]]
-        for j in range(2, k + 1):
-            register.append(None)  # unreachable counts start absent
-        for i in range(1, len(self.lits)):
-            x = self.lits[i]
-            fresh: List[int] = []
-            top = min(i + 1, k)
-            for j in range(1, top + 1):
-                s = cnf.new_var()
-                prev_same = register[j - 1] if j - 1 < len(register) else None
-                prev_less = register[j - 2] if j >= 2 else True
-                # s ↔ prev_same ∨ (x ∧ prev_less)
-                if prev_less is True:
-                    # s ↔ prev_same ∨ x
-                    if prev_same is None:
-                        cnf.add_clause([-s, x])
-                        cnf.add_clause([s, -x])
-                    else:
-                        cnf.add_clause([-s, prev_same, x])
-                        cnf.add_clause([s, -prev_same])
-                        cnf.add_clause([s, -x])
-                elif prev_same is None:
-                    # s ↔ x ∧ prev_less
-                    cnf.add_clause([-s, x])
-                    cnf.add_clause([-s, prev_less])
-                    cnf.add_clause([s, -x, -prev_less])
-                else:
-                    # s ↔ prev_same ∨ (x ∧ prev_less)
-                    cnf.add_clause([-s, prev_same, x])
-                    cnf.add_clause([-s, prev_same, prev_less])
-                    cnf.add_clause([s, -prev_same])
-                    cnf.add_clause([s, -x, -prev_less])
-                fresh.append(s)
-            register = fresh
-        self.outputs = list(register)
+    def _build(self) -> None:
+        self._rows: List[List[int]] = [[] for _ in self.lits]
+        self._fill(self.bound)
+
+    def _grow(self, new_bound: int) -> None:
+        self._fill(new_bound)
+
+    def _fill(self, bound: int) -> None:
+        """Extend every row to ``min(i+1, bound)`` cells."""
+        for i, row in enumerate(self._rows):
+            top = min(i + 1, bound)
+            for j in range(len(row) + 1, top + 1):
+                row.append(self._define_cell(i, j))
+        self.outputs = list(self._rows[-1])
+
+    def _define_cell(self, i: int, j: int) -> int:
+        """A literal for "at least *j* of the first *i+1* inputs"."""
+        x = self.lits[i]
+        if i == 0:
+            return x  # j == 1: "at least one of the first one"
+        cnf = self.cnf
+        prev = self._rows[i - 1]
+        # "at least j of the first i" — absent (False) when j > i.
+        prev_same: Optional[int] = prev[j - 1] if j - 1 < len(prev) else None
+        s = cnf.new_var()
+        if j == 1:
+            # "at least j-1 of the first i" is trivially true:
+            # s ↔ prev_same ∨ x.
+            assert prev_same is not None
+            cnf.add_clause([-s, prev_same, x])
+            cnf.add_clause([s, -prev_same])
+            cnf.add_clause([s, -x])
+            return s
+        prev_less: int = prev[j - 2]  # reachable: j - 1 <= i
+        if prev_same is None:
+            # s ↔ x ∧ prev_less
+            cnf.add_clause([-s, x])
+            cnf.add_clause([-s, prev_less])
+            cnf.add_clause([s, -x, -prev_less])
+        else:
+            # s ↔ prev_same ∨ (x ∧ prev_less)
+            cnf.add_clause([-s, prev_same, x])
+            cnf.add_clause([-s, prev_same, prev_less])
+            cnf.add_clause([s, -prev_same])
+            cnf.add_clause([s, -x, -prev_less])
+        return s

@@ -11,17 +11,21 @@ from __future__ import annotations
 import contextlib
 import enum
 import time
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from ..sat.cnf import CNF
 from ..sat.solver import SatSolver
-from .terms import BoolVar, Term
+from .terms import FALSE, TRUE, BoolVar, Term
 from .tseitin import Encoder
 
-__all__ = ["Result", "Model", "Solver", "SolverStatistics"]
+__all__ = ["Result", "Model", "Solver", "SolverStatistics",
+           "BudgetHandle"]
 
 #: Per-check search-effort counters mirrored from the SAT substrate.
-_SEARCH_FIELDS = ("conflicts", "decisions", "propagations", "restarts")
+#: ``learned_clauses``/``deleted_clauses`` let incremental callers
+#: report how much of the clause database each query retained.
+_SEARCH_FIELDS = ("conflicts", "decisions", "propagations", "restarts",
+                  "learned_clauses", "deleted_clauses")
 
 
 class Result(enum.Enum):
@@ -74,6 +78,8 @@ class SolverStatistics:
         self.decisions = 0
         self.propagations = 0
         self.restarts = 0
+        self.learned_clauses = 0
+        self.deleted_clauses = 0
         # Populated only when the facade runs with preprocess=True.
         self.simplified_vars = 0
         self.simplified_clauses = 0
@@ -88,12 +94,93 @@ class SolverStatistics:
                 f"time={self.check_time:.3f}s)")
 
 
+class BudgetHandle:
+    """Assumption selectors over one persistent, extendable counter.
+
+    A handle reifies the family of cardinality bounds over a fixed
+    multiset of terms: :meth:`at_most` (and :meth:`at_least`) return a
+    named selector *term* equivalent to the bound, meant to be passed as
+    an assumption to :meth:`Solver.check`.  All bounds share one
+    extendable unary counter, grown in place as larger bounds are
+    requested, so a budget sweep re-encodes nothing — and because the
+    bound is selected by an assumption rather than a scoped assertion,
+    every learned clause survives from one budget to the next.
+
+    Selector definitions are permanent (a selector is *defined* as
+    equivalent to its bound, which constrains nothing until assumed),
+    so handles may be created at any scope depth without being lost to
+    a later ``pop``.  Handles are obtained from
+    :meth:`Solver.budget_handle` and cached there by name.
+    """
+
+    def __init__(self, solver: "Solver", name: str,
+                 terms: Sequence[Term]) -> None:
+        self._solver = solver
+        self.name = name
+        self.terms = tuple(terms)
+        self._lits = [solver._encoder.literal(t) for t in self.terms]
+        self._at_most: Dict[int, Term] = {}
+        self._at_least: Dict[int, Term] = {}
+
+    @property
+    def size(self) -> int:
+        """Number of counted terms (with multiplicity)."""
+        return len(self._lits)
+
+    def at_most(self, k: int) -> Term:
+        """A selector term: assuming it enforces ``count <= k``."""
+        if k < 0:
+            return FALSE
+        if k >= len(self._lits):
+            return TRUE
+        sel = self._at_most.get(k)
+        if sel is None:
+            sel = self._define(k, at_most=True)
+            self._at_most[k] = sel
+        return sel
+
+    def at_least(self, k: int) -> Term:
+        """A selector term: assuming it enforces ``count >= k``."""
+        if k <= 0:
+            return TRUE
+        if k > len(self._lits):
+            return FALSE
+        sel = self._at_least.get(k)
+        if sel is None:
+            sel = self._define(k, at_most=False)
+            self._at_least[k] = sel
+        return sel
+
+    def _define(self, k: int, at_most: bool) -> Term:
+        """Define (once) the selector variable for one bound.
+
+        The counter's bidirectional output ``o_j`` is true iff at least
+        ``j`` counted terms are true, so ``count <= k`` is exactly
+        ``-o_{k+1}`` and ``count >= k`` is ``o_k``; the selector is a
+        named variable defined equivalent to that output literal.
+        """
+        encoder = self._solver._encoder
+        outputs = encoder.card_outputs(self._lits, k + 1 if at_most else k)
+        gate = -outputs[k] if at_most else outputs[k - 1]
+        op = "le" if at_most else "ge"
+        var = BoolVar(f"__budget[{self.name}]::{op}{k}")
+        sel = encoder.literal(var)
+        self._solver._sink.add_clause([-sel, gate])
+        self._solver._sink.add_clause([sel, -gate])
+        return var
+
+
 class Solver:
     """SMT-style solver for Boolean + cardinality terms.
 
     ``push``/``pop`` are implemented with activation literals: each level
     owns a selector variable, clauses added at that level are guarded by
     it, and ``check`` passes the live selectors as solver assumptions.
+
+    For query sequences that differ only in a cardinality bound,
+    :meth:`budget_handle` offers a cheaper alternative to push/pop:
+    budget selection by assumption literal over a persistent counter,
+    with no per-query encoding and full learned-clause reuse.
     """
 
     def __init__(self, card_encoding: str = "totalizer",
@@ -116,6 +203,7 @@ class Solver:
         self._sink = sink
         self._encoder = Encoder(sink, card_encoding=card_encoding)
         self._selectors: List[int] = []
+        self._budget_handles: Dict[str, BudgetHandle] = {}
         self._assertions: List[List[Term]] = [[]]
         self._model: Optional[Model] = None
         self._core_terms: List[Term] = []
@@ -172,6 +260,27 @@ class Solver:
             raise ValueError("base_depth must be non-negative")
         while len(self._selectors) > base_depth:
             self.pop()
+
+    def budget_handle(self, terms: Sequence[Term],
+                      name: str) -> BudgetHandle:
+        """A named :class:`BudgetHandle` over *terms*.
+
+        The handle is created on first use and cached by *name*;
+        requesting an existing name with a different term multiset is an
+        error.  Duplicated terms are counted with multiplicity, which is
+        how weighted budgets (``Σ cost_i · x_i <= C``) are expressed.
+        """
+        existing = self._budget_handles.get(name)
+        if existing is not None:
+            if tuple(t.key() for t in terms) != tuple(
+                    t.key() for t in existing.terms):
+                raise ValueError(
+                    f"budget handle {name!r} already exists over a "
+                    f"different term multiset")
+            return existing
+        handle = BudgetHandle(self, name, terms)
+        self._budget_handles[name] = handle
+        return handle
 
     @contextlib.contextmanager
     def scope(self) -> Iterator["Solver"]:

@@ -13,7 +13,7 @@ Terms are immutable.  ``&``, ``|``, ``~``, ``>>`` (implies) and ``^``
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Type, Union
 
 __all__ = [
     "Term", "BoolVal", "BoolVar", "NotTerm", "AndTerm", "OrTerm",
@@ -213,12 +213,13 @@ def Not(term: Term) -> Term:
     return NotTerm(term)
 
 
-def _flatten(cls, args: Iterable[Term]) -> Tuple[Term, ...]:
-    out = []
+def _flatten(cls: Union[Type[AndTerm], Type[OrTerm]],
+             args: Iterable[Term]) -> Tuple[Term, ...]:
+    out: List[Term] = []
     for arg in args:
         if not isinstance(arg, Term):
             raise TypeError(f"expected Term, got {type(arg).__name__}")
-        if isinstance(arg, cls):
+        if isinstance(arg, (AndTerm, OrTerm)) and isinstance(arg, cls):
             out.extend(arg.args)
         else:
             out.append(arg)
@@ -227,7 +228,7 @@ def _flatten(cls, args: Iterable[Term]) -> Tuple[Term, ...]:
 
 def And(*args: Term) -> Term:
     flat = _flatten(AndTerm, args)
-    kept = []
+    kept: List[Term] = []
     for arg in flat:
         if isinstance(arg, BoolVal):
             if not arg.value:
@@ -243,7 +244,7 @@ def And(*args: Term) -> Term:
 
 def Or(*args: Term) -> Term:
     flat = _flatten(OrTerm, args)
-    kept = []
+    kept: List[Term] = []
     for arg in flat:
         if isinstance(arg, BoolVal):
             if arg.value:
@@ -289,7 +290,7 @@ def _card_args(args: Sequence[Term]) -> Tuple[Tuple[Term, ...], int]:
     Returns the non-constant arguments and the number of constant-true
     arguments (which shift the threshold).
     """
-    kept = []
+    kept: List[Term] = []
     true_count = 0
     for arg in args:
         if not isinstance(arg, Term):

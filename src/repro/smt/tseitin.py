@@ -14,9 +14,11 @@ solver incrementally.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from .cardinality import SequentialCounter, Totalizer
+from .cardinality import (
+    CardinalityCounter, ClauseSink, SequentialCounter, Totalizer,
+)
 from .terms import (
     AndTerm, BoolVal, BoolVar, CardTerm, IteTerm, NotTerm, OrTerm, Term,
     XorTerm,
@@ -35,7 +37,8 @@ class Encoder:
 
     CARD_ENCODINGS = ("totalizer", "sequential")
 
-    def __init__(self, sink, card_encoding: str = "totalizer") -> None:
+    def __init__(self, sink: ClauseSink,
+                 card_encoding: str = "totalizer") -> None:
         if card_encoding not in self.CARD_ENCODINGS:
             raise ValueError(f"unknown cardinality encoding "
                              f"{card_encoding!r}")
@@ -43,7 +46,10 @@ class Encoder:
         self.card_encoding = card_encoding
         self._cache: Dict[Tuple, int] = {}
         self._var_names: Dict[str, int] = {}
-        self._totalizers: Dict[Tuple, Totalizer] = {}
+        # Keyed on the *sorted* literal tuple: counting is
+        # order-independent, so AtMost/AtLeast atoms over the same set
+        # in different literal orders share one counter.
+        self._totalizers: Dict[Tuple[int, ...], CardinalityCounter] = {}
         self._true_lit = 0
 
     # ------------------------------------------------------------------
@@ -166,26 +172,35 @@ class Encoder:
             if term.k > n:
                 return -self.true_literal()
             bound = term.k
-        outputs = self._totalizer_outputs(lits, bound)
+        outputs = self.card_outputs(lits, bound)
         if term.at_most:
             return -outputs[term.k]
         return outputs[term.k - 1]
 
-    def _totalizer_outputs(self, lits: List[int], bound: int) -> List[int]:
-        """Build (or reuse) a totalizer over *lits* with ≥ *bound* outputs."""
-        key_lits = tuple(lits)
-        existing = self._totalizers.get(key_lits)
-        if existing is not None and existing.bound >= min(bound, len(lits)):
+    def card_outputs(self, lits: Sequence[int], bound: int) -> List[int]:
+        """Unary-counter outputs over *lits* with ≥ *bound* of them.
+
+        One extendable counter is kept per literal *multiset* (the cache
+        key is the sorted literal tuple, so atoms over the same set in a
+        different order share it); when a larger bound is requested
+        later, the counter's output chain is grown in place via
+        :meth:`~repro.smt.cardinality.CardinalityCounter.raise_bound`
+        instead of rebuilding the tree.
+        """
+        key = tuple(sorted(lits))
+        existing = self._totalizers.get(key)
+        if existing is not None:
+            existing.raise_bound(bound)
             return existing.outputs
         counter_cls = (Totalizer if self.card_encoding == "totalizer"
                        else SequentialCounter)
-        counter = counter_cls(self.sink, lits, bound)
-        self._totalizers[key_lits] = counter
+        counter = counter_cls(self.sink, list(lits), bound)
+        self._totalizers[key] = counter
         return counter.outputs
 
     # ------------------------------------------------------------------
 
-    def decode(self, term: Term, model) -> bool:
+    def decode(self, term: Term, model: Sequence[bool]) -> bool:
         """Evaluate *term* under a solver model (list indexed by var).
 
         Terms already encoded use their cached literal; unencoded terms
