@@ -7,6 +7,7 @@ from .max_resiliency import (
     max_ied_resiliency,
     max_rtu_resiliency,
     max_total_resiliency,
+    max_total_resiliency_bounds,
 )
 from .scaling import (
     ScalingPoint,
@@ -28,6 +29,7 @@ __all__ = [
     "max_ied_resiliency",
     "max_rtu_resiliency",
     "max_total_resiliency",
+    "max_total_resiliency_bounds",
     "measure_instance",
     "sweep_bus_sizes",
     "sweep_hierarchy",

@@ -29,6 +29,7 @@ from ..core.encoder import ModelEncoder
 from ..core.results import ThreatVector
 from ..core.specs import Property, ResiliencySpec
 from ..engine import VerificationEngine
+from ..sat.limits import Limits, ResourceLimitReached
 from ..smt.solver import Result, Solver
 from ..smt.terms import BoolVal, Not, Term
 
@@ -76,7 +77,8 @@ def cheapest_threat(analyzer: Verifier,
                     prop: Property = Property.OBSERVABILITY,
                     costs: Optional[Mapping[int, int]] = None,
                     r: int = 1,
-                    max_conflicts: Optional[int] = None
+                    max_conflicts: Optional[int] = None,
+                    limits: Optional[Limits] = None
                     ) -> AttackCostResult:
     """Find the minimum-cost failure set violating *prop*.
 
@@ -84,6 +86,10 @@ def cheapest_threat(analyzer: Verifier,
     devices default to cost 1.  Raises on non-positive costs.
     Accepts a :class:`ScadaAnalyzer` or a :class:`VerificationEngine`
     (whose shared reference evaluator validates the optimum).
+
+    *limits* bounds every probe; an expired budget raises
+    :exc:`~repro.sat.ResourceLimitReached` (the optimum cannot be
+    soundly reported from a half-finished binary search).
     """
     engine = VerificationEngine.wrap(analyzer)
     network = engine.network
@@ -120,10 +126,13 @@ def cheapest_threat(analyzer: Verifier,
         selector = handle.at_most(budget)
         assumptions: List[Term] = [] if (isinstance(selector, BoolVal)
                                          and selector.value) else [selector]
-        outcome = solver.check(*assumptions, max_conflicts=max_conflicts)
+        outcome = solver.check(*assumptions, max_conflicts=max_conflicts,
+                               limits=limits)
         if outcome is Result.UNKNOWN:
-            raise RuntimeError("conflict budget exhausted in "
-                               "cheapest-threat search")
+            raise ResourceLimitReached(
+                f"solver budget exhausted in cheapest-threat search "
+                f"(after {calls} probe(s))",
+                reason=solver.last_limit_reason)
         if outcome is Result.UNSAT:
             return None
         model = solver.model()

@@ -21,11 +21,14 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from ..core.analyzer import ScadaAnalyzer
+from ..core.search import SearchBounds
 from ..core.specs import Property
 from ..engine import VerificationEngine
+from ..sat.limits import Limits
 
 __all__ = [
     "max_total_resiliency", "max_ied_resiliency", "max_rtu_resiliency",
+    "max_total_resiliency_bounds",
 ]
 
 Verifier = Union[ScadaAnalyzer, VerificationEngine]
@@ -42,27 +45,48 @@ def max_total_resiliency(analyzer: Verifier,
                          prop: Property = Property.OBSERVABILITY,
                          r: int = 1,
                          max_conflicts: Optional[int] = None,
-                         backend: Optional[str] = "assumption") -> int:
-    """Largest total k such that the k-resilient property holds."""
+                         backend: Optional[str] = "assumption",
+                         limits: Optional[Limits] = None) -> int:
+    """Largest total k such that the k-resilient property holds.
+
+    With *limits*, an UNKNOWN probe is neither bound: the search raises
+    :exc:`~repro.sat.ResourceLimitReached` carrying the sound bracket
+    (use :func:`max_total_resiliency_bounds` to get the bracket without
+    the exception).
+    """
     return _engine(analyzer, backend).max_total_resiliency(
-        prop=prop, r=r, max_conflicts=max_conflicts)
+        prop=prop, r=r, max_conflicts=max_conflicts, limits=limits)
+
+
+def max_total_resiliency_bounds(
+        analyzer: Verifier,
+        prop: Property = Property.OBSERVABILITY,
+        r: int = 1,
+        max_conflicts: Optional[int] = None,
+        backend: Optional[str] = "assumption",
+        limits: Optional[Limits] = None) -> SearchBounds:
+    """Sound ``[lower, upper]`` bracket on the maximal total budget."""
+    return _engine(analyzer, backend).max_total_resiliency_bounds(
+        prop=prop, r=r, max_conflicts=max_conflicts, limits=limits)
 
 
 def max_ied_resiliency(analyzer: Verifier,
                        prop: Property = Property.OBSERVABILITY,
                        k2: int = 0, r: int = 1,
                        max_conflicts: Optional[int] = None,
-                       backend: Optional[str] = "assumption") -> int:
+                       backend: Optional[str] = "assumption",
+                       limits: Optional[Limits] = None) -> int:
     """Largest k1 with the (k1, k2)-resilient property holding."""
     return _engine(analyzer, backend).max_ied_resiliency(
-        prop=prop, k2=k2, r=r, max_conflicts=max_conflicts)
+        prop=prop, k2=k2, r=r, max_conflicts=max_conflicts, limits=limits)
 
 
 def max_rtu_resiliency(analyzer: Verifier,
                        prop: Property = Property.OBSERVABILITY,
                        k1: int = 0, r: int = 1,
                        max_conflicts: Optional[int] = None,
-                       backend: Optional[str] = "assumption") -> int:
+                       backend: Optional[str] = "assumption",
+                       limits: Optional[Limits] = None) -> int:
     """Largest k2 with the (k1, k2)-resilient property holding."""
     return _engine(analyzer, backend).max_rtu_resiliency(
-        prop=prop, k1=k1, r=r, max_conflicts=max_conflicts)
+        prop=prop, k1=k1, r=r, max_conflicts=max_conflicts, limits=limits)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Union
 
@@ -32,30 +33,45 @@ Verifier = Union[ScadaAnalyzer, VerificationEngine]
 
 @dataclass
 class AvailabilityEstimate:
-    """Result of a Monte-Carlo availability run."""
+    """Result of a Monte-Carlo availability run.
+
+    ``samples`` is the number of scenarios actually evaluated, which is
+    fewer than requested when the run's ``max_time`` expired
+    (``time_limited`` records that).  The estimate stays valid — each
+    sample is independent — just wider.
+    """
 
     prop: Property
     samples: int
     violations: int
     skipped_by_certificate: int
     certificate_k: Optional[int]
+    requested_samples: int = 0
+    time_limited: bool = False
 
     @property
     def availability(self) -> float:
         """Estimated P(property holds)."""
+        if self.samples == 0:
+            return float("nan")
         return 1.0 - self.violations / self.samples
 
     @property
     def confidence_95(self) -> float:
         """±half-width of the 95% normal-approximation interval."""
+        if self.samples == 0:
+            return float("nan")
         p = self.violations / self.samples
         return 1.96 * math.sqrt(max(p * (1 - p), 1e-12) / self.samples)
 
     def summary(self) -> str:
+        cut = (f", stopped at the wall-clock limit "
+               f"({self.samples}/{self.requested_samples} sampled)"
+               if self.time_limited else "")
         return (f"{self.prop.value}: availability "
                 f"{self.availability:.4f} ± {self.confidence_95:.4f} "
                 f"({self.violations}/{self.samples} violating scenarios, "
-                f"{self.skipped_by_certificate} certified-safe skips)")
+                f"{self.skipped_by_certificate} certified-safe skips{cut})")
 
 
 def estimate_availability(
@@ -66,6 +82,7 @@ def estimate_availability(
     samples: int = 2000,
     seed: int = 0,
     certificate: Optional[int] = None,
+    max_time: Optional[float] = None,
 ) -> AvailabilityEstimate:
     """Estimate P(property holds) under independent device failures.
 
@@ -76,7 +93,14 @@ def estimate_availability(
     (the certificate or the evaluator would be wrong).  Accepts a
     :class:`ScadaAnalyzer` or a :class:`VerificationEngine` — only the
     network and the shared reference evaluator are used.
+
+    ``max_time`` bounds the run's wall-clock seconds: sampling stops at
+    the deadline and the estimate reports how many scenarios it
+    actually drew (the result is unbiased at any sample count, so
+    stopping early widens the interval but never skews it).
     """
+    if max_time is not None and max_time <= 0:
+        raise ValueError("max_time must be positive")
     if not 0 <= failure_probability <= 1:
         raise ValueError("failure_probability must be in [0, 1]")
     probabilities: Dict[int, float] = {
@@ -96,9 +120,15 @@ def estimate_availability(
         raise ValueError("use observability properties for availability")
 
     rng = random.Random(seed)
+    deadline = (time.monotonic() + max_time
+                if max_time is not None else None)
     violations = 0
     skipped = 0
+    drawn = 0
     for _ in range(samples):
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        drawn += 1
         failed = {device for device, p in probabilities.items()
                   if rng.random() < p}
         if certificate is not None and len(failed) <= certificate:
@@ -112,8 +142,10 @@ def estimate_availability(
             violations += 1
     return AvailabilityEstimate(
         prop=prop,
-        samples=samples,
+        samples=drawn,
         violations=violations,
         skipped_by_certificate=skipped,
         certificate_k=certificate,
+        requested_samples=samples,
+        time_limited=drawn < samples,
     )

@@ -23,8 +23,9 @@ from typing import Dict, List, Optional, Sequence
 from ..core.problem import ObservabilityProblem
 from ..core.results import Status
 from ..core.specs import Property, ResiliencySpec
-from ..engine import SweepExecutor, VerificationEngine
+from ..engine import SweepExecutor, SweepTaskError, VerificationEngine
 from ..grid.ieee_cases import case_by_buses
+from ..sat.limits import Limits, ResourceLimitReached
 from ..scada.generator import GeneratorConfig, generate_scada
 
 __all__ = ["ScalingPoint", "ScalingSweep", "measure_instance",
@@ -56,6 +57,12 @@ class ScalingPoint:
     unsat_num_clauses: int = 0
     sat_stats: Dict[str, float] = field(default_factory=dict)
     unsat_stats: Dict[str, float] = field(default_factory=dict)
+    #: Timed runs whose solver budget expired (UNKNOWN verdicts); such
+    #: runs contribute to neither time series.
+    unknown_runs: int = 0
+    #: False when the max-resiliency search itself hit a budget and
+    #: ``max_k`` is only the proven lower bound of the bracket.
+    max_k_exact: bool = True
 
     @property
     def sat_time(self) -> float:
@@ -82,6 +89,9 @@ class ScalingSweep:
 
     prop: Property
     points: List[ScalingPoint] = field(default_factory=list)
+    #: Tasks lost to crashes/hangs/exhausted retries; the sweep's other
+    #: points are still valid (see ``SweepExecutor.map(on_error=...)``).
+    failures: List[SweepTaskError] = field(default_factory=list)
 
     def aggregate(self, key: str) -> Dict[int, Dict[str, float]]:
         """Mean sat/unsat time grouped by ``bus_size`` or ``hierarchy``."""
@@ -119,13 +129,20 @@ def measure_instance(bus_size: int, hierarchy: int, seed: int,
                      measurement_fraction: float = 0.7,
                      secure_fraction: float = 0.8,
                      max_conflicts: Optional[int] = None,
-                     backend: str = "fresh") -> ScalingPoint:
+                     backend: str = "fresh",
+                     limits: Optional[Limits] = None) -> ScalingPoint:
     """Generate one synthetic SCADA instance and time sat/unsat checks.
 
     For secured-observability sweeps pass ``secure_fraction=1.0`` so the
     maximal resiliency is non-degenerate (a system with insecure links
     fails secured observability with zero failures, which collapses the
     unsat series).
+
+    ``limits`` bounds every individual solve.  If the max-resiliency
+    search cannot be pinned down exactly within the budget, the point
+    is measured at the search's proven lower bound and flagged with
+    ``max_k_exact=False``; timed runs whose budget expires count in
+    ``unknown_runs`` instead of a time series.
     """
     config = GeneratorConfig(
         measurement_fraction=measurement_fraction,
@@ -138,18 +155,32 @@ def measure_instance(bus_size: int, hierarchy: int, seed: int,
     engine = VerificationEngine(synthetic.network, problem,
                                 backend=backend)
 
-    max_k = engine.max_total_resiliency(prop, max_conflicts=max_conflicts)
+    max_k_exact = True
+    try:
+        max_k = engine.max_total_resiliency(
+            prop, max_conflicts=max_conflicts, limits=limits)
+    except ResourceLimitReached as exc:
+        if exc.bounds is None:
+            raise
+        max_k = exc.bounds.lower
+        max_k_exact = False
     point = ScalingPoint(
         bus_size=bus_size, hierarchy=hierarchy, seed=seed,
         num_devices=synthetic.num_devices, max_k=max_k, backend=backend,
+        max_k_exact=max_k_exact,
     )
     unsat_spec = ResiliencySpec.for_property(prop, k=max(max_k, 0))
     sat_spec = ResiliencySpec.for_property(prop, k=max_k + 1)
     for _ in range(runs):
         unsat_result = engine.verify(unsat_spec, minimize=False,
-                                     max_conflicts=max_conflicts)
+                                     max_conflicts=max_conflicts,
+                                     limits=limits)
         sat_result = engine.verify(sat_spec, minimize=False,
-                                   max_conflicts=max_conflicts)
+                                   max_conflicts=max_conflicts,
+                                   limits=limits)
+        if unsat_result.is_unknown or sat_result.is_unknown:
+            point.unknown_runs += (int(unsat_result.is_unknown)
+                                   + int(sat_result.is_unknown))
         if max_k >= 0 and unsat_result.status is Status.RESILIENT:
             point.unsat_times.append(unsat_result.total_time)
             point.unsat_num_vars = unsat_result.num_vars
@@ -175,13 +206,27 @@ class _MeasureTask:
     secure_fraction: float
     max_conflicts: Optional[int]
     backend: str
+    limits: Optional[Limits] = None
 
 
 def _measure_task(task: _MeasureTask) -> ScalingPoint:
     return measure_instance(
         task.bus_size, task.hierarchy, task.seed, prop=task.prop,
         runs=task.runs, secure_fraction=task.secure_fraction,
-        max_conflicts=task.max_conflicts, backend=task.backend)
+        max_conflicts=task.max_conflicts, backend=task.backend,
+        limits=task.limits)
+
+
+def _run_sweep(tasks: List[_MeasureTask], prop: Property, jobs: int,
+               task_timeout: Optional[float],
+               retries: int) -> ScalingSweep:
+    """Fan out measurement tasks, keeping survivors of any failures."""
+    executor = SweepExecutor(jobs)
+    outcomes = executor.map(_measure_task, tasks, timeout=task_timeout,
+                            retries=retries, on_error="return")
+    points = [p for p in outcomes if isinstance(p, ScalingPoint)]
+    return ScalingSweep(prop=prop, points=points,
+                        failures=list(executor.last_failures))
 
 
 def sweep_bus_sizes(bus_sizes: Sequence[int],
@@ -192,16 +237,25 @@ def sweep_bus_sizes(bus_sizes: Sequence[int],
                     secure_fraction: float = 0.8,
                     max_conflicts: Optional[int] = None,
                     backend: str = "fresh",
-                    jobs: int = 1) -> ScalingSweep:
-    """Fig. 5: verification time vs problem size."""
+                    jobs: int = 1,
+                    limits: Optional[Limits] = None,
+                    task_timeout: Optional[float] = None,
+                    retries: int = 0) -> ScalingSweep:
+    """Fig. 5: verification time vs problem size.
+
+    ``limits`` bounds each solve inside an instance; ``task_timeout``
+    bounds each whole instance's wall clock (pooled runs) and
+    ``retries`` re-runs a crashed/hung instance in a fresh worker.  A
+    lost instance lands in the sweep's ``failures`` instead of taking
+    the other points with it.
+    """
     tasks = [
         _MeasureTask(bus_size, hierarchy, seed, prop, runs,
-                     secure_fraction, max_conflicts, backend)
+                     secure_fraction, max_conflicts, backend, limits)
         for bus_size in bus_sizes
         for seed in seeds
     ]
-    points = SweepExecutor(jobs).map(_measure_task, tasks)
-    return ScalingSweep(prop=prop, points=list(points))
+    return _run_sweep(tasks, prop, jobs, task_timeout, retries)
 
 
 def sweep_hierarchy(bus_size: int,
@@ -212,13 +266,18 @@ def sweep_hierarchy(bus_size: int,
                     secure_fraction: float = 0.8,
                     max_conflicts: Optional[int] = None,
                     backend: str = "fresh",
-                    jobs: int = 1) -> ScalingSweep:
-    """Fig. 6: verification time vs hierarchy level."""
+                    jobs: int = 1,
+                    limits: Optional[Limits] = None,
+                    task_timeout: Optional[float] = None,
+                    retries: int = 0) -> ScalingSweep:
+    """Fig. 6: verification time vs hierarchy level.
+
+    Fault-tolerance parameters as in :func:`sweep_bus_sizes`.
+    """
     tasks = [
         _MeasureTask(bus_size, level, seed, prop, runs,
-                     secure_fraction, max_conflicts, backend)
+                     secure_fraction, max_conflicts, backend, limits)
         for level in hierarchy_levels
         for seed in seeds
     ]
-    points = SweepExecutor(jobs).map(_measure_task, tasks)
-    return ScalingSweep(prop=prop, points=list(points))
+    return _run_sweep(tasks, prop, jobs, task_timeout, retries)

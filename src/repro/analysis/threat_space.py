@@ -15,21 +15,36 @@ from ..core.analyzer import ScadaAnalyzer
 from ..core.results import ThreatVector
 from ..core.specs import ResiliencySpec
 from ..engine import VerificationEngine
+from ..sat.limits import Limits, ResourceLimitReached
 
 __all__ = ["ThreatSpace", "threat_space"]
 
 
 @dataclass
 class ThreatSpace:
-    """The enumerated threat space of one specification."""
+    """The enumerated threat space of one specification.
+
+    ``truncated`` means the caller's ``limit`` cut the enumeration
+    short; ``incomplete`` means a solver resource budget expired
+    mid-enumeration (``limit_reason`` names which one) and ``vectors``
+    holds only what was found before it.  Either way ``size`` is a
+    lower bound on the true threat-space size, never an overcount.
+    """
 
     spec: ResiliencySpec
     vectors: List[ThreatVector]
     truncated: bool = False
+    incomplete: bool = False
+    limit_reason: Optional[str] = None
 
     @property
     def size(self) -> int:
         return len(self.vectors)
+
+    @property
+    def exact(self) -> bool:
+        """True when every minimal vector was enumerated."""
+        return not (self.truncated or self.incomplete)
 
     def by_size(self) -> dict:
         """Histogram: number of failed devices → vector count."""
@@ -39,7 +54,7 @@ class ThreatSpace:
         return dict(sorted(histogram.items()))
 
     def __repr__(self) -> str:
-        marker = "+" if self.truncated else ""
+        marker = "+" if not self.exact else ""
         return (f"ThreatSpace({self.spec.describe()}: "
                 f"{self.size}{marker} vectors)")
 
@@ -48,7 +63,8 @@ def threat_space(analyzer: Union[ScadaAnalyzer, VerificationEngine],
                  spec: ResiliencySpec,
                  limit: Optional[int] = None,
                  minimal: bool = True,
-                 backend: Optional[str] = None) -> ThreatSpace:
+                 backend: Optional[str] = None,
+                 limits: Optional[Limits] = None) -> ThreatSpace:
     """Enumerate the (minimal) threat space of *spec*.
 
     Accepts a :class:`ScadaAnalyzer` or a :class:`VerificationEngine`;
@@ -56,11 +72,22 @@ def threat_space(analyzer: Union[ScadaAnalyzer, VerificationEngine],
     *backend* overrides it (e.g. ``"assumption"`` to sweep many specs
     against one solver: budgets ride on assumption selectors and only
     the blocking clauses live in a per-spec scope).
+
+    *limits* bounds every individual solve.  An expired budget does not
+    discard the work done: the vectors found so far come back in a
+    :class:`ThreatSpace` flagged ``incomplete``.
     """
     engine = VerificationEngine.wrap(analyzer)
     if backend is not None:
         engine = engine.with_backend(backend)
-    vectors = engine.enumerate_threat_vectors(
-        spec, limit=limit, minimal=minimal)
+    try:
+        vectors = engine.enumerate_threat_vectors(
+            spec, limit=limit, minimal=minimal, limits=limits)
+    except ResourceLimitReached as exc:
+        partial = [v for v in (exc.partial or [])
+                   if isinstance(v, ThreatVector)]
+        return ThreatSpace(
+            spec=spec, vectors=partial, incomplete=True,
+            limit_reason=exc.reason.value if exc.reason else None)
     truncated = limit is not None and len(vectors) >= limit
     return ThreatSpace(spec=spec, vectors=vectors, truncated=truncated)

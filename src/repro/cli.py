@@ -25,6 +25,17 @@ Commands
 ``harden <config>``
     Search for a minimal configuration repair restoring a failed
     specification.
+
+Exit codes
+----------
+
+Solver-backed commands follow one convention: **0** — the requirement
+holds (or the search/report completed); **1** — a threat vector exists
+(or no repair was found); **2** — the input fails lint or cannot be
+parsed; **3** — a resource budget (``--timeout`` / ``--max-conflicts``)
+expired before a verdict: the answer is UNKNOWN, which certifies
+nothing, and is deliberately distinct from both 0 and 1 so scripts
+cannot mistake a timeout for a verdict.
 """
 
 from __future__ import annotations
@@ -45,6 +56,7 @@ from .core import (
 from .core.hardening import harden
 from .engine import BACKEND_NAMES, SweepExecutor, VerificationEngine
 from .grid.ieee_cases import case_by_buses
+from .sat.limits import Limits, ResourceLimitReached
 from .scada import (
     CaseConfig,
     GeneratorConfig,
@@ -54,6 +66,10 @@ from .scada import (
 )
 
 __all__ = ["main"]
+
+#: Exit code for UNKNOWN verdicts (resource budget expired) — distinct
+#: from 0 (holds), 1 (threat found), and 2 (lint/parse failure).
+EXIT_UNKNOWN = 3
 
 
 def _spec_from_args(args, fallback: Optional[ResiliencySpec]
@@ -78,6 +94,27 @@ def _spec_from_args(args, fallback: Optional[ResiliencySpec]
     return ResiliencySpec.bad_data_detectability(r=args.r, **budget)
 
 
+def _add_limit_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per solver call; an "
+                             "expired budget yields UNKNOWN (exit "
+                             f"{EXIT_UNKNOWN}), never a spurious verdict")
+    parser.add_argument("--max-conflicts", type=int, default=None,
+                        dest="max_conflicts", metavar="N",
+                        help="conflict budget per solver call (a "
+                             "deterministic alternative to --timeout)")
+
+
+def _limits_from_args(args) -> Optional[Limits]:
+    """The ``Limits`` requested on the command line, or ``None``."""
+    timeout = getattr(args, "timeout", None)
+    max_conflicts = getattr(args, "max_conflicts", None)
+    if timeout is None and max_conflicts is None:
+        return None
+    return Limits(max_time=timeout, max_conflicts=max_conflicts)
+
+
 def _add_engine_args(parser: argparse.ArgumentParser,
                      jobs: bool = True) -> None:
     parser.add_argument("--backend", default="fresh",
@@ -86,6 +123,7 @@ def _add_engine_args(parser: argparse.ArgumentParser,
                              "query, incremental push/pop, "
                              "assumption-selected budgets on one "
                              "persistent solver, or preprocessed CNF)")
+    _add_limit_args(parser)
     if jobs:
         parser.add_argument("--jobs", type=int, default=1,
                             help="worker processes for independent "
@@ -127,7 +165,8 @@ def _cmd_verify(args) -> int:
         with open(args.dump_smt2, "w", encoding="utf-8") as handle:
             handle.write(engine.export_smtlib(spec))
         print(f"wrote SMT-LIB model to {args.dump_smt2}")
-    result = engine.verify(spec, certify=args.certify)
+    result = engine.verify(spec, certify=args.certify,
+                           limits=_limits_from_args(args))
     if args.certify and result.is_resilient:
         checked = result.details.get("proof_checked")
         print(f"  unsat proof independently checked: {checked}")
@@ -143,6 +182,8 @@ def _cmd_verify(args) -> int:
             print("  uncovered states :", " ".join(map(str, states)))
     print(f"  model: {result.num_vars} vars, {result.num_clauses} clauses "
           f"({result.backend} backend)")
+    if result.is_unknown:
+        return EXIT_UNKNOWN
     return 0 if result.is_resilient else 1
 
 
@@ -207,10 +248,18 @@ def _cmd_enumerate(args) -> int:
     spec = _spec_from_args(args, config.spec)
     engine = VerificationEngine(config.network, config.problem,
                                 backend=args.backend)
-    space = threat_space(engine, spec, limit=args.limit)
-    print(f"{spec.describe()}: {space.size} minimal threat vector(s)")
+    space = threat_space(engine, spec, limit=args.limit,
+                         limits=_limits_from_args(args))
+    marker = "+" if space.incomplete else ""
+    print(f"{spec.describe()}: {space.size}{marker} minimal threat "
+          f"vector(s)")
     for vector in space.vectors:
         print("  -", vector.describe(config.network.label))
+    if space.incomplete:
+        reason = space.limit_reason or "resource"
+        print(f"  (incomplete: the {reason} budget expired "
+              f"mid-enumeration)")
+        return EXIT_UNKNOWN
     return 0 if space.size == 0 else 1
 
 
@@ -255,39 +304,46 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _max_search_task(task: Tuple[str, str, str, str]) -> int:
+def _max_search_task(
+    task: Tuple[str, str, str, str, Optional[Limits]],
+):
     """Worker: one maximal-resiliency search on a config loaded by path."""
-    config_path, prop_value, kind, backend = task
+    config_path, prop_value, kind, backend, limits = task
     config = load_config(config_path)
     # The parent process already linted the configuration.
     engine = VerificationEngine(config.network, config.problem,
                                 backend=backend, lint=False)
     prop = Property(prop_value)
     if kind == "total":
-        return engine.max_total_resiliency(prop)
+        return engine.max_total_resiliency_bounds(prop, limits=limits)
     if kind == "ied":
-        return engine.max_ied_resiliency(prop)
-    return engine.max_rtu_resiliency(prop)
+        return engine.max_ied_resiliency_bounds(prop, limits=limits)
+    return engine.max_rtu_resiliency_bounds(prop, limits=limits)
 
 
 def _cmd_max_resiliency(args) -> int:
     config = load_config(args.config)
     prop = Property(args.property)
+    limits = _limits_from_args(args)
     if args.jobs not in (None, 1):
-        tasks = [(args.config, prop.value, kind, args.backend)
+        tasks = [(args.config, prop.value, kind, args.backend, limits)
                  for kind in ("total", "ied", "rtu")]
         total, ied, rtu = SweepExecutor(args.jobs).map(
             _max_search_task, tasks)
     else:
         engine = VerificationEngine(config.network, config.problem,
                                     backend=args.backend)
-        total = engine.max_total_resiliency(prop)
-        ied = engine.max_ied_resiliency(prop)
-        rtu = engine.max_rtu_resiliency(prop)
+        total = engine.max_total_resiliency_bounds(prop, limits=limits)
+        ied = engine.max_ied_resiliency_bounds(prop, limits=limits)
+        rtu = engine.max_rtu_resiliency_bounds(prop, limits=limits)
     print(f"maximal resiliency ({prop.value}):")
-    print(f"  any field devices: {total}")
-    print(f"  IEDs only        : {ied}")
-    print(f"  RTUs only        : {rtu}")
+    print(f"  any field devices: {total.describe()}")
+    print(f"  IEDs only        : {ied.describe()}")
+    print(f"  RTUs only        : {rtu.describe()}")
+    if not (total.exact and ied.exact and rtu.exact):
+        print("  (a solver budget expired before the searches finished; "
+              "brackets are sound, not exact)")
+        return EXIT_UNKNOWN
     return 0
 
 
@@ -299,7 +355,8 @@ def _cmd_report(args) -> int:
                         threat_limit=args.limit,
                         include_hardening=not args.no_hardening,
                         backend=args.backend,
-                        jobs=args.jobs)
+                        jobs=args.jobs,
+                        limits=_limits_from_args(args))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -313,7 +370,8 @@ def _cmd_harden(args) -> int:
     config = load_config(args.config)
     spec = _spec_from_args(args, config.spec)
     result = harden(config.network, config.problem, spec,
-                    max_repairs=args.max_repairs)
+                    max_repairs=args.max_repairs,
+                    limits=_limits_from_args(args))
     print(result.summary())
     return 0 if result.succeeded else 1
 
@@ -398,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="search for configuration repairs")
     p_harden.add_argument("config")
     p_harden.add_argument("--max-repairs", type=int, default=2)
+    _add_limit_args(p_harden)
     _add_spec_args(p_harden)
     p_harden.set_defaults(func=_cmd_harden)
     return parser
@@ -407,6 +466,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except ResourceLimitReached as exc:
+        # A budgeted search that cannot report a sound partial result
+        # surfaces here; UNKNOWN gets its own exit code so scripts never
+        # mistake an expired budget for a verdict.
+        print(f"UNKNOWN: {exc}", file=sys.stderr)
+        return EXIT_UNKNOWN
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; the usual
         # CLI convention is to exit quietly.

@@ -12,7 +12,7 @@ from .incremental import IncrementalAnalyzer, IncrementalContext
 from .problem import ObservabilityProblem, group_rows_by_component
 from .reference import ReferenceEvaluator
 from .results import Status, ThreatVector, VerificationResult
-from .search import galloping_max
+from .search import SearchBounds, galloping_max, galloping_max_bounded
 from .specs import FailureBudget, Property, ResiliencySpec
 
 __all__ = [
@@ -26,9 +26,11 @@ __all__ = [
     "ReferenceEvaluator",
     "ResiliencySpec",
     "ScadaAnalyzer",
+    "SearchBounds",
     "Status",
     "ThreatVector",
     "VerificationResult",
     "galloping_max",
+    "galloping_max_bounded",
     "group_rows_by_component",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
+from ..sat.limits import Limits, ResourceLimitReached
 from ..scada.network import ScadaNetwork
 from ..smt.solver import Result, Solver
 from ..smt.terms import Not, Or
@@ -115,18 +116,22 @@ class ScadaAnalyzer:
 
     def verify(self, spec: ResiliencySpec, minimize: bool = True,
                max_conflicts: Optional[int] = None,
-               certify: bool = False) -> VerificationResult:
+               certify: bool = False,
+               limits: Optional[Limits] = None) -> VerificationResult:
         """Verify one resiliency specification.
 
         ``minimize=True`` shrinks a found threat vector to an
         inclusion-minimal failure set before reporting it.
         ``certify=True`` re-validates an unsat (resilient) answer with
         the independent RUP proof checker; the result's
-        ``details["proof_checked"]`` records the outcome.
+        ``details["proof_checked"]`` records the outcome.  ``limits``
+        bounds the solve (see :class:`repro.sat.Limits`); an expired
+        budget yields an UNKNOWN result naming the reason, never a
+        spurious verdict.
         """
         solver, encoder, encode_time = self._build(
             spec, produce_proof=certify)
-        outcome = solver.check(max_conflicts=max_conflicts)
+        outcome = solver.check(max_conflicts=max_conflicts, limits=limits)
         result = VerificationResult(
             spec=spec,
             status=Status.UNKNOWN,
@@ -138,6 +143,8 @@ class ScadaAnalyzer:
             stats=dict(solver.last_check_stats),
         )
         if outcome is Result.UNKNOWN:
+            if solver.last_limit_reason is not None:
+                result.limit_reason = solver.last_limit_reason.value
             return result
         if outcome is Result.UNSAT:
             result.status = Status.RESILIENT
@@ -157,6 +164,7 @@ class ScadaAnalyzer:
         limit: Optional[int] = None,
         minimal: bool = True,
         max_conflicts: Optional[int] = None,
+        limits: Optional[Limits] = None,
     ) -> List[ThreatVector]:
         """All (minimal) threat vectors within the budget.
 
@@ -166,15 +174,24 @@ class ScadaAnalyzer:
         the loop thus enumerates exactly the minimal threat vectors.
         With ``minimal=False`` every distinct failure *assignment* is
         counted (blocking only the exact assignment).
+
+        Every individual solve is bounded by *limits*; if one expires
+        the enumeration is incomplete and
+        :exc:`~repro.sat.ResourceLimitReached` is raised with the
+        vectors found so far on its ``partial`` attribute.
         """
         solver, encoder, _ = self._build(spec)
         node_vars = encoder.field_node_vars()
         threats: List[ThreatVector] = []
         while limit is None or len(threats) < limit:
-            outcome = solver.check(max_conflicts=max_conflicts)
+            outcome = solver.check(max_conflicts=max_conflicts,
+                                   limits=limits)
             if outcome is Result.UNKNOWN:
-                raise RuntimeError("conflict budget exhausted during "
-                                   "threat enumeration")
+                raise ResourceLimitReached(
+                    f"solver budget exhausted during threat enumeration "
+                    f"({len(threats)} vector(s) found before the limit)",
+                    reason=solver.last_limit_reason,
+                    partial=list(threats))
             if outcome is Result.UNSAT:
                 break
             threat = self._extract_threat(solver, encoder, spec,

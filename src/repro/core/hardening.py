@@ -24,6 +24,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..sat.limits import Limits
 from ..scada.devices import CryptoProfile
 from ..scada.network import ScadaNetwork
 from ..scada.topology import Link
@@ -139,12 +140,16 @@ def harden(network: ScadaNetwork, problem: ObservabilityProblem,
            allow_links: bool = True,
            max_repairs: int = 2,
            max_verify_calls: int = 500,
-           backend: str = "fresh") -> HardeningResult:
+           backend: str = "fresh",
+           limits: Optional[Limits] = None) -> HardeningResult:
     """Find a minimum-cardinality repair set restoring *spec*.
 
     Returns a result whose ``network`` is the repaired configuration, or
     ``None`` when no subset of at most *max_repairs* repairs works.
-    ``backend`` selects the engine backend used to verify candidates.
+    ``backend`` selects the engine backend used to verify candidates;
+    ``limits`` bounds each candidate's solve — an UNKNOWN verdict is
+    *not* RESILIENT, so a budgeted search never certifies a repair it
+    could not prove (it may merely miss one it lacked time for).
     """
     from ..engine import VerificationEngine
 
@@ -161,7 +166,7 @@ def harden(network: ScadaNetwork, problem: ObservabilityProblem,
         # (and a weakened candidate may legitimately trip delivery rules).
         engine = VerificationEngine(candidate, problem, backend=backend,
                                     lint=False)
-        result = engine.verify(spec, minimize=False)
+        result = engine.verify(spec, minimize=False, limits=limits)
         return result.status is Status.RESILIENT
 
     if verify(network):

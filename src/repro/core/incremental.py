@@ -33,6 +33,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
+from ..sat.limits import Limits, ResourceLimitReached
 from ..scada.network import ScadaNetwork
 from ..smt.solver import BudgetHandle, Result, Solver
 from ..smt.terms import Bool, BoolVal, Implies, Not, Or, Term
@@ -41,7 +42,7 @@ from .extraction import extract_threat
 from .problem import ObservabilityProblem
 from .reference import ReferenceEvaluator
 from .results import Status, ThreatVector, VerificationResult
-from .search import galloping_max
+from .search import galloping_max_bounded
 from .specs import FailureBudget, Property, ResiliencySpec
 
 __all__ = ["BUDGET_MODES", "IncrementalContext", "IncrementalAnalyzer"]
@@ -184,8 +185,14 @@ class IncrementalContext:
     # ------------------------------------------------------------------
 
     def verify(self, spec: ResiliencySpec, minimize: bool = True,
-               max_conflicts: Optional[int] = None) -> VerificationResult:
-        """Verify the context's property under one spec's budgets."""
+               max_conflicts: Optional[int] = None,
+               limits: Optional[Limits] = None) -> VerificationResult:
+        """Verify the context's property under one spec's budgets.
+
+        *limits* bounds the solve (per query, not cumulatively — the
+        shared solver grants every query the full budget); an expired
+        budget yields an UNKNOWN result naming the reason.
+        """
         self._check_spec(spec)
         solver = self._solver
         if self.budget_mode == "assumptions":
@@ -194,7 +201,8 @@ class IncrementalContext:
             assumptions = self._budget_assumptions(spec)
             encode_time = time.perf_counter() - started
             outcome = solver.check(*assumptions,
-                                   max_conflicts=max_conflicts)
+                                   max_conflicts=max_conflicts,
+                                   limits=limits)
             return self._result(spec, outcome, encode_time,
                                 pre_vars, pre_clauses, minimize)
         with solver.scope():
@@ -202,7 +210,8 @@ class IncrementalContext:
             pre_vars, pre_clauses = solver.num_vars, solver.num_clauses
             self._add_budgets(spec)
             encode_time = time.perf_counter() - started
-            outcome = solver.check(max_conflicts=max_conflicts)
+            outcome = solver.check(max_conflicts=max_conflicts,
+                                   limits=limits)
             return self._result(spec, outcome, encode_time,
                                 pre_vars, pre_clauses, minimize)
 
@@ -228,6 +237,8 @@ class IncrementalContext:
             stats=dict(solver.last_check_stats),
         )
         if outcome is Result.UNKNOWN:
+            if solver.last_limit_reason is not None:
+                result.limit_reason = solver.last_limit_reason.value
             return result
         if outcome is Result.UNSAT:
             result.status = Status.RESILIENT
@@ -244,7 +255,8 @@ class IncrementalContext:
     def enumerate(self, spec: ResiliencySpec,
                   limit: Optional[int] = None,
                   minimal: bool = True,
-                  max_conflicts: Optional[int] = None) -> List[ThreatVector]:
+                  max_conflicts: Optional[int] = None,
+                  limits: Optional[Limits] = None) -> List[ThreatVector]:
         """All (minimal) threat vectors within the spec's budgets.
 
         Blocking clauses are asserted inside a query scope, so the
@@ -266,10 +278,18 @@ class IncrementalContext:
                 self._add_budgets(spec)
             while limit is None or len(threats) < limit:
                 outcome = solver.check(*assumptions,
-                                       max_conflicts=max_conflicts)
+                                       max_conflicts=max_conflicts,
+                                       limits=limits)
                 if outcome is Result.UNKNOWN:
-                    raise RuntimeError("conflict budget exhausted during "
-                                       "threat enumeration")
+                    # The scope's context manager pops the blocking
+                    # clauses on the way out, so the cached base
+                    # encoding stays clean for the next query.
+                    raise ResourceLimitReached(
+                        f"solver budget exhausted during threat "
+                        f"enumeration ({len(threats)} vector(s) found "
+                        f"before the limit)",
+                        reason=solver.last_limit_reason,
+                        partial=list(threats))
                 if outcome is Result.UNSAT:
                     break
                 threat = extract_threat(
@@ -307,20 +327,31 @@ class IncrementalContext:
     # ------------------------------------------------------------------
 
     def max_total_resiliency(self,
-                             max_conflicts: Optional[int] = None) -> int:
-        """Largest k with the property k-resilient (galloping search)."""
-        upper = len(self.network.field_device_ids)
+                             max_conflicts: Optional[int] = None,
+                             limits: Optional[Limits] = None) -> int:
+        """Largest k with the property k-resilient (galloping search).
 
-        def holds(k: int) -> bool:
+        An UNKNOWN probe is neither bound: the search stops refining
+        and raises :exc:`~repro.sat.ResourceLimitReached` carrying the
+        sound :class:`~repro.core.search.SearchBounds` bracket.
+        """
+        def probe(k: int) -> Optional[bool]:
             outcome = self.verify(
                 ResiliencySpec.for_property(self.prop, r=self.r, k=k),
-                minimize=False, max_conflicts=max_conflicts)
+                minimize=False, max_conflicts=max_conflicts,
+                limits=limits)
             if outcome.status is Status.UNKNOWN:
-                raise RuntimeError("budget exhausted in incremental "
-                                   "max-resiliency search")
+                return None
             return outcome.is_resilient
 
-        return galloping_max(holds, upper)
+        bounds = galloping_max_bounded(
+            probe, len(self.network.field_device_ids))
+        if not bounds.exact:
+            raise ResourceLimitReached(
+                f"budget exhausted in incremental max-resiliency "
+                f"search; maximum {bounds.describe()}",
+                bounds=bounds)
+        return bounds.lower
 
 
 class IncrementalAnalyzer:
@@ -371,14 +402,18 @@ class IncrementalAnalyzer:
 
     def verify_budget(self, budget: FailureBudget,
                       minimize: bool = True,
-                      max_conflicts: Optional[int] = None
+                      max_conflicts: Optional[int] = None,
+                      limits: Optional[Limits] = None
                       ) -> VerificationResult:
         """Verify the fixed property under one failure budget."""
         spec = ResiliencySpec(self.prop, budget, r=self.r)
         return self._ctx.verify(spec, minimize=minimize,
-                                max_conflicts=max_conflicts)
+                                max_conflicts=max_conflicts,
+                                limits=limits)
 
     def max_total_resiliency(self,
-                             max_conflicts: Optional[int] = None) -> int:
+                             max_conflicts: Optional[int] = None,
+                             limits: Optional[Limits] = None) -> int:
         """Largest k with the property k-resilient (galloping search)."""
-        return self._ctx.max_total_resiliency(max_conflicts=max_conflicts)
+        return self._ctx.max_total_resiliency(max_conflicts=max_conflicts,
+                                              limits=limits)

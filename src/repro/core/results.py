@@ -19,13 +19,20 @@ __all__ = ["Status", "ThreatVector", "VerificationResult"]
 
 
 class Status(enum.Enum):
-    """Verdict of a resiliency verification."""
+    """Verdict of a resiliency verification.
+
+    ``UNKNOWN`` is a first-class outcome, not an error: a resource
+    budget (wall-clock, conflicts, propagations, memory, or a
+    cooperative interrupt — see :class:`repro.sat.Limits`) expired
+    before the solver decided.  It certifies *nothing*: an UNKNOWN is
+    never resilient and never a threat.
+    """
 
     #: unsat — no failure set within budget violates the property.
     RESILIENT = "resilient"
     #: sat — a threat vector exists.
     THREAT_FOUND = "threat-found"
-    #: the solver's conflict budget expired.
+    #: a solver resource budget expired before a verdict.
     UNKNOWN = "unknown"
 
 
@@ -83,10 +90,18 @@ class VerificationResult:
     #: propagations, restarts, check_time) — deltas attributable to this
     #: query even on a shared incremental solver.
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Which resource budget expired, when ``status`` is UNKNOWN
+    #: (the :class:`repro.sat.LimitReason` value, e.g. ``"time"``).
+    limit_reason: Optional[str] = None
 
     @property
     def is_resilient(self) -> bool:
+        """True only for a decided RESILIENT verdict — never UNKNOWN."""
         return self.status is Status.RESILIENT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status is Status.UNKNOWN
 
     @property
     def total_time(self) -> float:
@@ -101,7 +116,10 @@ class VerificationResult:
             return (f"{self.spec.describe()}: VIOLATED by "
                     f"[{self.threat.describe()}] "
                     f"({self.total_time:.3f}s)")
-        return f"{self.spec.describe()}: UNKNOWN (budget exhausted)"
+        reason = (f"{self.limit_reason} limit" if self.limit_reason
+                  else "budget exhausted")
+        return (f"{self.spec.describe()}: UNKNOWN "
+                f"({reason}, {self.total_time:.3f}s)")
 
     def __repr__(self) -> str:
         return f"VerificationResult({self.summary()})"

@@ -6,43 +6,97 @@ found with a galloping upper-bound probe followed by binary search.
 This helper is the single implementation behind
 :mod:`repro.analysis.max_resiliency`, the incremental analyzer, and the
 :class:`~repro.engine.VerificationEngine` search methods.
+
+With resource-bounded solving the oracle is *three-valued*: a probe may
+come back UNKNOWN when its budget expires.  UNKNOWN is **neither
+bound** — it neither proves the budget holds nor that it fails — so
+:func:`galloping_max_bounded` stops refining at the first UNKNOWN probe
+and reports the sound bracket established so far as a
+:class:`SearchBounds` instead of silently mis-bracketing.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
 
-__all__ = ["galloping_max"]
+__all__ = ["SearchBounds", "galloping_max", "galloping_max_bounded"]
+
+
+@dataclass(frozen=True)
+class SearchBounds:
+    """The sound bracket a (possibly budget-limited) search produced.
+
+    ``lower`` is the largest budget *proven* to hold (-1 when not even
+    k = 0 was proven); every budget above ``upper`` is *proven* to
+    fail.  When ``lower == upper`` with no unknown probes the search is
+    exact and the maximum is ``lower``; otherwise the true maximum lies
+    somewhere in ``[lower, upper]`` and ``unknown_budgets`` lists the
+    probes whose solves expired.
+    """
+
+    lower: int
+    upper: int
+    unknown_budgets: Tuple[int, ...] = ()
+
+    @property
+    def exact(self) -> bool:
+        return self.lower == self.upper and not self.unknown_budgets
+
+    def describe(self) -> str:
+        if self.exact:
+            return str(self.lower)
+        return (f"in [{self.lower}, {self.upper}] "
+                f"(UNKNOWN at k={list(self.unknown_budgets)})")
+
+
+def galloping_max_bounded(check: Callable[[int], Optional[bool]],
+                          upper: int) -> SearchBounds:
+    """Bracket the largest k in [-1, upper] with ``check(k)`` true.
+
+    *check* is a monotone three-valued oracle: ``True`` (holds),
+    ``False`` (fails), or ``None`` (UNKNOWN — the probe's resource
+    budget expired).  Gallops (1, 2, 4, ...) to find a violated budget
+    first — real maximal resiliencies are small, and checks get much
+    more expensive as the cardinality bound grows — then binary-searches
+    the bracket.  An UNKNOWN probe is treated as *neither* bound:
+    refinement stops and the bracket proven so far is returned.
+    """
+    first = check(0)
+    if first is None:
+        return SearchBounds(-1, upper, (0,))
+    if not first:
+        return SearchBounds(-1, -1)
+    lo = 0          # largest budget proven to hold
+    hi = upper      # largest budget not yet proven to fail
+    step = 1
+    while lo < hi:  # gallop for a failing budget
+        probe = min(lo + step, hi)
+        verdict = check(probe)
+        if verdict is None:
+            return SearchBounds(lo, hi, (probe,))
+        if verdict:
+            lo = probe
+            step *= 2
+        else:
+            hi = probe - 1
+            break
+    while lo < hi:  # binary search inside the bracket
+        mid = (lo + hi + 1) // 2
+        verdict = check(mid)
+        if verdict is None:
+            return SearchBounds(lo, hi, (mid,))
+        if verdict:
+            lo = mid
+        else:
+            hi = mid - 1
+    return SearchBounds(lo, lo)
 
 
 def galloping_max(check: Callable[[int], bool], upper: int) -> int:
     """Largest k in [-1, upper] with ``check(k)`` true; check is monotone.
 
-    Uses galloping (1, 2, 4, ...) to find a violated budget first —
-    real maximal resiliencies are small, and checks get much more
-    expensive as the cardinality bound grows — then binary search
-    inside the bracket.  Returns -1 when even k = 0 fails.
+    The two-valued facade over :func:`galloping_max_bounded` for
+    oracles that always decide.  Returns -1 when even k = 0 fails.
     """
-    if not check(0):
-        return -1
-    lo = 0
-    step = 1
-    hi = None
-    while hi is None:
-        probe = lo + step
-        if probe >= upper:
-            probe = upper
-        if check(probe):
-            lo = probe
-            if probe == upper:
-                return upper
-            step *= 2
-        else:
-            hi = probe - 1
-    while lo < hi:
-        mid = (lo + hi + 1) // 2
-        if check(mid):
-            lo = mid
-        else:
-            hi = mid - 1
-    return lo
+    return galloping_max_bounded(check, upper).lower

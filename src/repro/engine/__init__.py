@@ -18,7 +18,7 @@ from .backends import (
 )
 from .cache import EncodingCache, EncodingKey
 from .engine import VerificationEngine
-from .sweep import SweepExecutor, resolve_jobs
+from .sweep import SweepExecutor, SweepTaskError, resolve_jobs
 
 __all__ = [
     "BACKEND_NAMES",
@@ -29,6 +29,7 @@ __all__ = [
     "IncrementalBackend",
     "PreprocessedBackend",
     "SweepExecutor",
+    "SweepTaskError",
     "VerificationBackend",
     "VerificationEngine",
     "make_backend",

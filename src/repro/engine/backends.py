@@ -32,6 +32,7 @@ from ..core.problem import ObservabilityProblem
 from ..core.reference import ReferenceEvaluator
 from ..core.results import ThreatVector, VerificationResult
 from ..core.specs import ResiliencySpec
+from ..sat.limits import Limits, ResourceLimitReached
 from ..scada.network import ScadaNetwork
 from .cache import EncodingCache, EncodingKey
 
@@ -53,14 +54,16 @@ class VerificationBackend(Protocol):
 
     def verify(self, spec: ResiliencySpec, minimize: bool = True,
                max_conflicts: Optional[int] = None,
-               certify: bool = False) -> VerificationResult:
+               certify: bool = False,
+               limits: Optional[Limits] = None) -> VerificationResult:
         """Verify one spec; the result carries backend name + stats."""
         ...
 
     def enumerate(self, spec: ResiliencySpec,
                   limit: Optional[int] = None,
                   minimal: bool = True,
-                  max_conflicts: Optional[int] = None
+                  max_conflicts: Optional[int] = None,
+                  limits: Optional[Limits] = None
                   ) -> List[ThreatVector]:
         """All (minimal) threat vectors within the spec's budgets."""
         ...
@@ -83,19 +86,21 @@ class FreshBackend:
 
     def verify(self, spec: ResiliencySpec, minimize: bool = True,
                max_conflicts: Optional[int] = None,
-               certify: bool = False) -> VerificationResult:
+               certify: bool = False,
+               limits: Optional[Limits] = None) -> VerificationResult:
         return self.analyzer.verify(spec, minimize=minimize,
                                     max_conflicts=max_conflicts,
-                                    certify=certify)
+                                    certify=certify, limits=limits)
 
     def enumerate(self, spec: ResiliencySpec,
                   limit: Optional[int] = None,
                   minimal: bool = True,
-                  max_conflicts: Optional[int] = None
+                  max_conflicts: Optional[int] = None,
+                  limits: Optional[Limits] = None
                   ) -> List[ThreatVector]:
         return self.analyzer.enumerate_threat_vectors(
             spec, limit=limit, minimal=minimal,
-            max_conflicts=max_conflicts)
+            max_conflicts=max_conflicts, limits=limits)
 
 
 class PreprocessedBackend(FreshBackend):
@@ -126,7 +131,9 @@ class IncrementalBackend:
         self._problem_fp = problem.fingerprint()
         self._certify_fallback: Optional[FreshBackend] = None
 
-    def _context(self, spec: ResiliencySpec) -> IncrementalContext:
+    def _context(
+        self, spec: ResiliencySpec,
+    ) -> "tuple[EncodingKey, IncrementalContext]":
         # In assumption mode r is query-selected, so every r shares one
         # context; the key uses a -1 sentinel in its place.
         key = EncodingKey(
@@ -137,16 +144,18 @@ class IncrementalBackend:
             model_links=spec.link_k is not None,
             card_encoding=self.card_encoding,
         )
-        return self.cache.get_or_create(key, lambda: IncrementalContext(
+        ctx = self.cache.get_or_create(key, lambda: IncrementalContext(
             self.network, self.problem, prop=spec.property, r=spec.r,
             model_links=spec.link_k is not None,
             card_encoding=self.card_encoding,
             reference=self.reference,
             budget_mode=self._budget_mode))
+        return key, ctx
 
     def verify(self, spec: ResiliencySpec, minimize: bool = True,
                max_conflicts: Optional[int] = None,
-               certify: bool = False) -> VerificationResult:
+               certify: bool = False,
+               limits: Optional[Limits] = None) -> VerificationResult:
         if certify:
             # RUP proof logging needs an assumption-free solver; run
             # certified queries through a fresh analyzer instead.
@@ -157,20 +166,41 @@ class IncrementalBackend:
                     reference=self.reference)
             result = self._certify_fallback.verify(
                 spec, minimize=minimize, max_conflicts=max_conflicts,
-                certify=True)
+                certify=True, limits=limits)
             result.details["certify_fallback"] = "fresh"
             return result
-        return self._context(spec).verify(spec, minimize=minimize,
-                                          max_conflicts=max_conflicts)
+        key, ctx = self._context(spec)
+        try:
+            return ctx.verify(spec, minimize=minimize,
+                              max_conflicts=max_conflicts, limits=limits)
+        except ResourceLimitReached:
+            # A clean limit outcome unwinds the query scope; the cached
+            # base encoding is still consistent and worth keeping.
+            raise
+        except Exception:
+            # Anything else may have left the shared solver mid-scope
+            # with partially-asserted budgets: evict the poisoned
+            # context so the next query re-encodes from scratch instead
+            # of inheriting corrupt state.
+            self.cache.invalidate(key)
+            raise
 
     def enumerate(self, spec: ResiliencySpec,
                   limit: Optional[int] = None,
                   minimal: bool = True,
-                  max_conflicts: Optional[int] = None
+                  max_conflicts: Optional[int] = None,
+                  limits: Optional[Limits] = None
                   ) -> List[ThreatVector]:
-        return self._context(spec).enumerate(
-            spec, limit=limit, minimal=minimal,
-            max_conflicts=max_conflicts)
+        key, ctx = self._context(spec)
+        try:
+            return ctx.enumerate(
+                spec, limit=limit, minimal=minimal,
+                max_conflicts=max_conflicts, limits=limits)
+        except ResourceLimitReached:
+            raise
+        except Exception:
+            self.cache.invalidate(key)
+            raise
 
 
 class AssumptionBackend(IncrementalBackend):

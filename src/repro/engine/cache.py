@@ -78,6 +78,19 @@ class EncodingCache:
             self.put(key, entry)
         return entry
 
+    def invalidate(self, key: EncodingKey) -> bool:
+        """Drop one entry (if present); True when something was removed.
+
+        Callers use this to evict a *poisoned* context — one whose
+        shared solver may hold partially-asserted state after a backend
+        exception escaped mid-query.  A clean resource-limit outcome
+        (UNKNOWN verdict, :exc:`~repro.sat.ResourceLimitReached`) does
+        not poison a context and must not evict it: the solver unwinds
+        its scopes on the way out and the cached base encoding — often
+        seconds of encoding work — stays reusable.
+        """
+        return self._entries.pop(key, None) is not None
+
     def clear(self) -> None:
         self._entries.clear()
 

@@ -23,8 +23,9 @@ from ..core.analyzer import ConfigurationLintError, ScadaAnalyzer
 from ..core.problem import ObservabilityProblem
 from ..core.reference import ReferenceEvaluator
 from ..core.results import Status, ThreatVector, VerificationResult
-from ..core.search import galloping_max
+from ..core.search import SearchBounds, galloping_max_bounded
 from ..core.specs import Property, ResiliencySpec
+from ..sat.limits import Limits, ResourceLimitReached
 from ..scada.network import ScadaNetwork
 from .backends import VerificationBackend, make_backend
 from .cache import EncodingCache
@@ -108,7 +109,8 @@ class VerificationEngine:
 
     def verify(self, spec: ResiliencySpec, minimize: bool = True,
                max_conflicts: Optional[int] = None,
-               certify: bool = False) -> VerificationResult:
+               certify: bool = False,
+               limits: Optional[Limits] = None) -> VerificationResult:
         """Verify one resiliency specification via the active backend.
 
         Semantics match :meth:`ScadaAnalyzer.verify
@@ -116,11 +118,13 @@ class VerificationEngine:
         additionally records the producing backend and per-query solver
         statistics.  ``certify=True`` on the incremental backend falls
         back to a fresh solve (push/pop proofs are unsupported) and
-        notes that in ``details["certify_fallback"]``.
+        notes that in ``details["certify_fallback"]``.  ``limits``
+        bounds the solve; an expired budget yields an UNKNOWN result,
+        never a spurious verdict.
         """
         return self._backend.verify(spec, minimize=minimize,
                                     max_conflicts=max_conflicts,
-                                    certify=certify)
+                                    certify=certify, limits=limits)
 
     def enumerate_threat_vectors(
         self,
@@ -128,59 +132,125 @@ class VerificationEngine:
         limit: Optional[int] = None,
         minimal: bool = True,
         max_conflicts: Optional[int] = None,
+        limits: Optional[Limits] = None,
     ) -> List[ThreatVector]:
-        """All (minimal) threat vectors within the budget."""
+        """All (minimal) threat vectors within the budget.
+
+        Each individual solve is bounded by *limits*; when one expires,
+        :exc:`~repro.sat.ResourceLimitReached` is raised with the
+        vectors found so far on its ``partial`` attribute.
+        """
         return self._backend.enumerate(spec, limit=limit, minimal=minimal,
-                                       max_conflicts=max_conflicts)
+                                       max_conflicts=max_conflicts,
+                                       limits=limits)
 
     # ------------------------------------------------------------------
     # Maximal-resiliency searches (galloping + binary, shared helper)
     # ------------------------------------------------------------------
 
-    def _holds(self, spec: ResiliencySpec,
-               max_conflicts: Optional[int]) -> bool:
+    def _probe(self, spec: ResiliencySpec,
+               max_conflicts: Optional[int],
+               limits: Optional[Limits]) -> Optional[bool]:
+        """Three-valued monotone oracle: None when the budget expired."""
         result = self.verify(spec, minimize=False,
-                             max_conflicts=max_conflicts)
+                             max_conflicts=max_conflicts, limits=limits)
         if result.status is Status.UNKNOWN:
-            raise RuntimeError("solver budget exhausted during "
-                               "max-resiliency search")
+            return None
         return result.is_resilient
+
+    @staticmethod
+    def _exact_max(bounds: SearchBounds, what: str) -> int:
+        if not bounds.exact:
+            raise ResourceLimitReached(
+                f"solver budget exhausted during {what} search; "
+                f"maximum {bounds.describe()}",
+                bounds=bounds)
+        return bounds.lower
+
+    def max_total_resiliency_bounds(
+            self,
+            prop: Property = Property.OBSERVABILITY,
+            r: int = 1,
+            max_conflicts: Optional[int] = None,
+            limits: Optional[Limits] = None) -> SearchBounds:
+        """Sound bracket on the largest k-resilient total budget.
+
+        With no limits the bracket is exact (``lower == upper``); an
+        UNKNOWN probe stops refinement and the true maximum lies in
+        ``[lower, upper]``.
+        """
+        return galloping_max_bounded(
+            lambda k: self._probe(
+                ResiliencySpec.for_property(prop, r=r, k=k),
+                max_conflicts, limits),
+            len(self.network.field_device_ids))
 
     def max_total_resiliency(self,
                              prop: Property = Property.OBSERVABILITY,
                              r: int = 1,
-                             max_conflicts: Optional[int] = None) -> int:
-        """Largest total k such that the k-resilient property holds."""
-        upper = len(self.network.field_device_ids)
-        return galloping_max(
-            lambda k: self._holds(
-                ResiliencySpec.for_property(prop, r=r, k=k),
-                max_conflicts),
-            upper)
+                             max_conflicts: Optional[int] = None,
+                             limits: Optional[Limits] = None) -> int:
+        """Largest total k such that the k-resilient property holds.
+
+        Raises :exc:`~repro.sat.ResourceLimitReached` (carrying the
+        sound ``bounds`` bracket) if a probe's budget expires before
+        the maximum is pinned down exactly.
+        """
+        return self._exact_max(
+            self.max_total_resiliency_bounds(
+                prop=prop, r=r, max_conflicts=max_conflicts,
+                limits=limits),
+            "max-total-resiliency")
+
+    def max_ied_resiliency_bounds(
+            self,
+            prop: Property = Property.OBSERVABILITY,
+            k2: int = 0, r: int = 1,
+            max_conflicts: Optional[int] = None,
+            limits: Optional[Limits] = None) -> SearchBounds:
+        """Sound bracket on the largest (k1, k2)-resilient IED budget."""
+        return galloping_max_bounded(
+            lambda k1: self._probe(
+                ResiliencySpec.for_property(prop, r=r, k1=k1, k2=k2),
+                max_conflicts, limits),
+            len(self.network.ied_ids))
 
     def max_ied_resiliency(self,
                            prop: Property = Property.OBSERVABILITY,
                            k2: int = 0, r: int = 1,
-                           max_conflicts: Optional[int] = None) -> int:
+                           max_conflicts: Optional[int] = None,
+                           limits: Optional[Limits] = None) -> int:
         """Largest k1 with the (k1, k2)-resilient property holding."""
-        upper = len(self.network.ied_ids)
-        return galloping_max(
-            lambda k1: self._holds(
+        return self._exact_max(
+            self.max_ied_resiliency_bounds(
+                prop=prop, k2=k2, r=r, max_conflicts=max_conflicts,
+                limits=limits),
+            "max-IED-resiliency")
+
+    def max_rtu_resiliency_bounds(
+            self,
+            prop: Property = Property.OBSERVABILITY,
+            k1: int = 0, r: int = 1,
+            max_conflicts: Optional[int] = None,
+            limits: Optional[Limits] = None) -> SearchBounds:
+        """Sound bracket on the largest (k1, k2)-resilient RTU budget."""
+        return galloping_max_bounded(
+            lambda k2: self._probe(
                 ResiliencySpec.for_property(prop, r=r, k1=k1, k2=k2),
-                max_conflicts),
-            upper)
+                max_conflicts, limits),
+            len(self.network.rtu_ids))
 
     def max_rtu_resiliency(self,
                            prop: Property = Property.OBSERVABILITY,
                            k1: int = 0, r: int = 1,
-                           max_conflicts: Optional[int] = None) -> int:
+                           max_conflicts: Optional[int] = None,
+                           limits: Optional[Limits] = None) -> int:
         """Largest k2 with the (k1, k2)-resilient property holding."""
-        upper = len(self.network.rtu_ids)
-        return galloping_max(
-            lambda k2: self._holds(
-                ResiliencySpec.for_property(prop, r=r, k1=k1, k2=k2),
-                max_conflicts),
-            upper)
+        return self._exact_max(
+            self.max_rtu_resiliency_bounds(
+                prop=prop, k1=k1, r=r, max_conflicts=max_conflicts,
+                limits=limits),
+            "max-RTU-resiliency")
 
     # ------------------------------------------------------------------
     # Model export (always through a fresh encoding)

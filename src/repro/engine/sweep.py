@@ -1,4 +1,4 @@
-"""Parallel sweep execution.
+"""Parallel sweep execution with fault tolerance.
 
 Sweep workloads — Fig. 5/6 bus-size and hierarchy scans, per-property
 audit maxima — are embarrassingly parallel across *instances* (distinct
@@ -7,6 +7,26 @@ state, so processes share nothing.  :class:`SweepExecutor` fans such
 tasks over a process pool while keeping the results in task-submission
 order, so ``jobs=1`` and ``jobs=N`` produce byte-identical sweep
 outputs (property-tested in ``tests/engine``).
+
+A long sweep must survive one bad instance.  Three failure classes are
+handled distinctly:
+
+* **Ordinary exceptions** raised by the task function are caught *inside
+  the worker* and shipped back as values, so they carry exact task
+  attribution and never take the pool down.
+* **Worker crashes** (segfault, OOM-kill, ``os._exit``) surface as
+  ``BrokenProcessPool``; the pool is unusable afterwards, so it is
+  killed and every task without a result is re-run *alone* in a fresh
+  single-worker pool — innocent tasks recover on their first solo
+  attempt, and the culprit is isolated exactly.
+* **Hangs** are cut off by the per-task ``timeout``; the pool's worker
+  processes are killed (a hung worker ignores cooperative shutdown) and
+  the same solo-recovery phase runs.
+
+A task that still fails after its attempt budget becomes a
+:class:`SweepTaskError` naming the task index and arguments; with
+``on_error="return"`` the error object takes the failed task's slot in
+the result list and every other task's result survives.
 
 Tasks must be module-level callables with picklable arguments (the
 standard :mod:`multiprocessing` contract).  Solver *state* never
@@ -17,26 +37,110 @@ from __future__ import annotations
 
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
 
-__all__ = ["SweepExecutor", "resolve_jobs"]
+__all__ = ["SweepExecutor", "SweepTaskError", "resolve_jobs"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+#: Error-handling policies for :meth:`SweepExecutor.map`.
+_ON_ERROR = ("raise", "return")
+
 
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``--jobs`` value: ``None``/``0`` → cpu count."""
+    """Normalize a ``--jobs`` value: ``None``/``0`` → usable cpu count.
+
+    Prefers the scheduling affinity mask over the raw CPU count: in a
+    cgroup-pinned container (CI runners, batch schedulers) the machine
+    may report 64 CPUs while the process is allowed 2, and sizing the
+    pool to 64 just thrashes the two it actually has.
+    """
     if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except (AttributeError, OSError):
+            # Not POSIX (or the mask is unreadable): raw count fallback.
+            return os.cpu_count() or 1
     if jobs < 0:
         raise ValueError("jobs must be positive (or 0/None for auto)")
     return jobs
 
 
+class SweepTaskError(RuntimeError):
+    """One sweep task failed after exhausting its attempt budget.
+
+    Carries the submission ``index`` and original ``task`` arguments so
+    a partial sweep can report — and a caller re-drive — exactly the
+    work that was lost.  ``cause_type``/``cause_message`` describe the
+    final failure; ``worker_traceback`` holds the in-worker traceback
+    when the failure was an ordinary exception (empty for crashes and
+    timeouts, where no Python frame survives).
+    """
+
+    def __init__(self, index: int, task: Any, attempts: int,
+                 cause_type: str, cause_message: str,
+                 worker_traceback: str = "") -> None:
+        super().__init__(
+            f"sweep task #{index} ({task!r}) failed after "
+            f"{attempts} attempt(s): {cause_type}: {cause_message}")
+        self.index = index
+        self.task = task
+        self.attempts = attempts
+        self.cause_type = cause_type
+        self.cause_message = cause_message
+        self.worker_traceback = worker_traceback
+
+
+@dataclass
+class _WorkerFailure:
+    """Picklable record of a failure observed for one attempt."""
+
+    exc_type: str
+    message: str
+    traceback: str = ""
+
+
+class _FaultBoundary:
+    """Picklable wrapper returning failures as values, not raises.
+
+    An exception that escapes a pool worker is re-raised in the parent
+    with no record of *which* task raised it; catching at the boundary
+    keeps the pool alive and the attribution exact.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, task: Any) -> Any:
+        try:
+            return self.fn(task)
+        except BaseException as exc:  # noqa: BLE001 — shipped, not hidden
+            return _WorkerFailure(type(exc).__name__, str(exc),
+                                  traceback.format_exc())
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly tear down a pool whose workers may be hung or dead.
+
+    A cooperative ``shutdown(wait=True)`` would block forever behind a
+    hung worker, so the processes are killed first.
+    """
+    for proc in getattr(pool, "_processes", {}).values():
+        try:
+            proc.kill()
+        except Exception:  # pragma: no cover — racing process exit
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 class SweepExecutor:
-    """Deterministically-ordered fan-out over a process pool.
+    """Deterministically-ordered, fault-tolerant process-pool fan-out.
 
     ``jobs=1`` runs inline in the calling process (no pool, no pickle
     round-trip) — the reference execution the parallel path must match.
@@ -46,29 +150,179 @@ class SweepExecutor:
         self.jobs = resolve_jobs(jobs)
         #: Wall-clock duration of the last :meth:`map` call.
         self.last_wall_time = 0.0
+        #: :class:`SweepTaskError` per task lost in the last :meth:`map`
+        #: call (empty when everything succeeded).
+        self.last_failures: List[SweepTaskError] = []
 
-    def map(self, fn: Callable[[_T], _R],
-            tasks: Sequence[_T]) -> List[_R]:
+    def map(self, fn: Callable[[_T], _R], tasks: Sequence[_T], *,
+            timeout: Optional[float] = None,
+            retries: int = 0,
+            on_error: str = "raise") -> List[Any]:
         """Apply *fn* to every task; results follow task order.
 
-        With ``jobs > 1`` tasks run in a process pool;
-        ``ProcessPoolExecutor.map`` already yields results in submission
-        order, which is what makes parallel sweeps reproducible.
+        ``timeout`` bounds each task's wall-clock seconds (pooled runs
+        only — the inline ``jobs=1`` path cannot preempt a call and
+        documents hangs as the caller's to bound via solver
+        :class:`~repro.sat.Limits`).  ``retries`` grants each *failed*
+        task that many additional attempts, each in a fresh
+        single-worker pool.  ``on_error="raise"`` (default) raises the
+        first :class:`SweepTaskError`; ``"return"`` puts the error
+        object in the failed task's result slot so the rest of the
+        sweep survives — check ``last_failures`` afterwards.
         """
+        if on_error not in _ON_ERROR:
+            raise ValueError(f"on_error must be one of {_ON_ERROR}, "
+                             f"got {on_error!r}")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        task_list = list(tasks)
+        self.last_failures = []
         started = time.perf_counter()
         try:
-            if self.jobs == 1 or len(tasks) <= 1:
-                return [fn(task) for task in tasks]
-            workers = min(self.jobs, len(tasks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(fn, tasks))
+            if self.jobs == 1 or len(task_list) <= 1:
+                return self._map_inline(fn, task_list, retries, on_error)
+            return self._map_pool(fn, task_list, timeout, retries,
+                                  on_error)
         finally:
             self.last_wall_time = time.perf_counter() - started
 
     def starmap(self, fn: Callable[..., _R],
-                tasks: Sequence[Sequence[Any]]) -> List[_R]:
+                tasks: Sequence[Sequence[Any]], *,
+                timeout: Optional[float] = None,
+                retries: int = 0,
+                on_error: str = "raise") -> List[Any]:
         """Like :meth:`map` for argument tuples."""
-        return self.map(_Star(fn), list(tasks))
+        return self.map(_Star(fn), list(tasks), timeout=timeout,
+                        retries=retries, on_error=on_error)
+
+    # ------------------------------------------------------------------
+
+    def _fail(self, err: SweepTaskError, on_error: str,
+              results: List[Any], index: int) -> None:
+        """Record a task's final failure per the *on_error* policy."""
+        self.last_failures.append(err)
+        if on_error == "raise":
+            raise err
+        results[index] = err
+
+    def _map_inline(self, fn: Callable[[_T], _R], tasks: List[_T],
+                    retries: int, on_error: str) -> List[Any]:
+        results: List[Any] = [None] * len(tasks)
+        for idx, task in enumerate(tasks):
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    results[idx] = fn(task)
+                    break
+                except Exception as exc:
+                    if attempt <= retries:
+                        continue
+                    err = SweepTaskError(idx, task, attempt,
+                                         type(exc).__name__, str(exc),
+                                         traceback.format_exc())
+                    err.__cause__ = exc
+                    self._fail(err, on_error, results, idx)
+                    break
+        return results
+
+    def _map_pool(self, fn: Callable[[_T], _R], tasks: List[_T],
+                  timeout: Optional[float], retries: int,
+                  on_error: str) -> List[Any]:
+        boundary = _FaultBoundary(fn)
+        n = len(tasks)
+        results: List[Any] = [None] * n
+        resolved = [False] * n
+        attempts = [0] * n
+        failures: Dict[int, _WorkerFailure] = {}
+
+        # Phase 1: one shared pool, results drained in submission order.
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, n))
+        pool_dead = False
+        try:
+            futures = [pool.submit(boundary, task) for task in tasks]
+            for idx, fut in enumerate(futures):
+                if pool_dead:
+                    # The pool died while waiting on an earlier task;
+                    # salvage whatever already finished before the kill.
+                    if fut.done() and not fut.cancelled():
+                        try:
+                            results[idx] = fut.result(timeout=0)
+                            resolved[idx] = True
+                            attempts[idx] = 1
+                        except Exception:
+                            pass
+                    continue
+                try:
+                    results[idx] = fut.result(timeout=timeout)
+                    resolved[idx] = True
+                    attempts[idx] = 1
+                except (_FuturesTimeout, BrokenProcessPool):
+                    # A hang or crash poisons the shared pool either
+                    # way; kill it and fall through to solo recovery.
+                    pool_dead = True
+                    _kill_pool(pool)
+        finally:
+            if not pool_dead:
+                pool.shutdown(wait=True)
+
+        for idx in range(n):
+            if resolved[idx] and isinstance(results[idx], _WorkerFailure):
+                failures[idx] = results[idx]
+
+        # Phase 2: solo recovery.  Each task without a clean result
+        # re-runs alone in a fresh single-worker pool, so one culprit
+        # cannot take neighbours down with it again.  Tasks that never
+        # got an attempt (cancelled when the pool died, or starved
+        # behind a hang) get a full budget; tasks whose attempt
+        # genuinely failed have already spent one.
+        for idx in range(n):
+            clean = resolved[idx] and idx not in failures
+            if clean:
+                continue
+            failure = failures.get(idx)
+            while attempts[idx] < retries + 1:
+                attempts[idx] += 1
+                value = self._solo_attempt(boundary, tasks[idx], timeout)
+                if isinstance(value, _WorkerFailure):
+                    failure = value
+                    continue
+                results[idx] = value
+                resolved[idx] = True
+                failures.pop(idx, None)
+                failure = None
+                break
+            if failure is not None:
+                err = SweepTaskError(idx, tasks[idx], attempts[idx],
+                                     failure.exc_type, failure.message,
+                                     failure.traceback)
+                self._fail(err, on_error, results, idx)
+        return results
+
+    @staticmethod
+    def _solo_attempt(boundary: "_FaultBoundary", task: Any,
+                      timeout: Optional[float]) -> Any:
+        """One isolated attempt; failures come back as values."""
+        pool = ProcessPoolExecutor(max_workers=1)
+        try:
+            fut = pool.submit(boundary, task)
+            try:
+                value = fut.result(timeout=timeout)
+            except _FuturesTimeout:
+                _kill_pool(pool)
+                return _WorkerFailure(
+                    "Timeout",
+                    f"task exceeded its {timeout:g}s wall-clock budget")
+            except BrokenProcessPool as exc:
+                _kill_pool(pool)
+                return _WorkerFailure(
+                    "WorkerCrash",
+                    str(exc) or "worker process died abnormally")
+            pool.shutdown(wait=True)
+            return value
+        except BaseException:
+            _kill_pool(pool)
+            raise
 
 
 class _Star:

@@ -16,13 +16,10 @@ from __future__ import annotations
 import io
 from collections import Counter
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from .analysis import (
     cheapest_threat,
-    max_ied_resiliency,
-    max_rtu_resiliency,
-    max_total_resiliency,
     threat_space,
     uniform_costs,
 )
@@ -30,9 +27,11 @@ from .core import (
     ObservabilityProblem,
     Property,
     ResiliencySpec,
+    SearchBounds,
 )
 from .core.hardening import harden
 from .engine import SweepExecutor, VerificationEngine
+from .sat.limits import Limits, ResourceLimitReached
 from .scada.network import ScadaNetwork
 
 __all__ = ["audit_report"]
@@ -46,15 +45,21 @@ class _MaximaTask:
     problem: ObservabilityProblem
     prop: Property
     backend: str
+    limits: Optional[Limits] = None
 
 
-def _maxima_task(task: _MaximaTask) -> Tuple[int, int, int]:
+def _maxima_task(
+    task: _MaximaTask,
+) -> Tuple[SearchBounds, SearchBounds, SearchBounds]:
     # Workers skip linting: the parent engine already linted the config.
     engine = VerificationEngine(task.network, task.problem,
                                 backend=task.backend, lint=False)
-    return (engine.max_total_resiliency(task.prop),
-            engine.max_ied_resiliency(task.prop),
-            engine.max_rtu_resiliency(task.prop))
+    return (engine.max_total_resiliency_bounds(task.prop,
+                                               limits=task.limits),
+            engine.max_ied_resiliency_bounds(task.prop,
+                                             limits=task.limits),
+            engine.max_rtu_resiliency_bounds(task.prop,
+                                             limits=task.limits))
 
 
 def audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
@@ -62,8 +67,16 @@ def audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
                  include_hardening: bool = True,
                  include_attack_cost: bool = True,
                  backend: str = "fresh",
-                 jobs: int = 1) -> str:
-    """Produce a Markdown resiliency-audit report for one configuration."""
+                 jobs: int = 1,
+                 limits: Optional[Limits] = None) -> str:
+    """Produce a Markdown resiliency-audit report for one configuration.
+
+    *limits* bounds every individual solve.  Sections degrade honestly
+    when a budget expires: maxima are reported as ``≥ lower`` brackets,
+    threat spaces as partial counts, and the cheapest-attack line notes
+    the exhausted budget — the report never upgrades an UNKNOWN to a
+    verdict.
+    """
     engine = VerificationEngine(network, problem, backend=backend, jobs=jobs)
     out = io.StringIO()
 
@@ -90,28 +103,43 @@ def audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
     props = (Property.OBSERVABILITY, Property.SECURED_OBSERVABILITY,
              Property.COMMAND_DELIVERABILITY)
     maxima = {}
+    inexact_maxima = False
     if jobs > 1:
-        tasks = [_MaximaTask(network, problem, prop, backend)
+        tasks = [_MaximaTask(network, problem, prop, backend, limits)
                  for prop in props]
         triples = SweepExecutor(jobs).map(_maxima_task, tasks)
     else:
-        triples = [(max_total_resiliency(engine, prop),
-                    max_ied_resiliency(engine, prop),
-                    max_rtu_resiliency(engine, prop))
+        triples = [(engine.max_total_resiliency_bounds(prop,
+                                                       limits=limits),
+                    engine.max_ied_resiliency_bounds(prop, limits=limits),
+                    engine.max_rtu_resiliency_bounds(prop, limits=limits))
                    for prop in props]
     for prop, (total, ied, rtu) in zip(props, triples):
         maxima[prop] = total
+        inexact_maxima |= not (total.exact and ied.exact and rtu.exact)
         out.write(f"| {prop.value} | {_fmt_k(total)} | {_fmt_k(ied)} | "
                   f"{_fmt_k(rtu)} |\n")
-    out.write("\n(−: the property fails even with zero failures)\n\n")
+    out.write("\n(−: the property fails even with zero failures)\n")
+    if inexact_maxima:
+        out.write("(≥ / ?: the solver budget expired before the search "
+                  "finished; only the proven lower bound is shown)\n")
+    out.write("\n")
 
     out.write("## Threat space beyond the certificate\n\n")
     for prop in (Property.OBSERVABILITY, Property.SECURED_OBSERVABILITY):
-        k_star = maxima[prop]
+        # Past an inexact certificate the step-beyond budget is itself
+        # only a lower bound; the enumeration stays sound (every vector
+        # reported is real), it just may not be the tightest frontier.
+        k_star = maxima[prop].lower
         spec = _spec(prop, max(k_star, -1) + 1)
-        space = threat_space(engine, spec, limit=threat_limit)
-        suffix = "+" if space.truncated else ""
+        space = threat_space(engine, spec, limit=threat_limit,
+                             limits=limits)
+        suffix = "+" if not space.exact else ""
         out.write(f"### {spec.describe()}\n\n")
+        if space.incomplete:
+            reason = space.limit_reason or "resource"
+            out.write(f"(enumeration stopped early: {reason} budget "
+                      f"expired)\n\n")
         out.write(f"{space.size}{suffix} minimal threat vector(s)")
         if space.vectors:
             out.write(f"; sizes {space.by_size()}\n\n")
@@ -138,7 +166,14 @@ def audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
         out.write("Costs: IED = 1, RTU = 3.\n\n")
         for prop in (Property.OBSERVABILITY,
                      Property.SECURED_OBSERVABILITY):
-            result = cheapest_threat(engine, prop, costs)
+            try:
+                result = cheapest_threat(engine, prop, costs,
+                                         limits=limits)
+            except ResourceLimitReached as exc:
+                reason = exc.reason.value if exc.reason else "resource"
+                out.write(f"- {prop.value}: undetermined — {reason} "
+                          f"budget expired mid-search\n")
+                continue
             out.write(f"- {result.summary()}\n")
         out.write("\n")
 
@@ -147,12 +182,12 @@ def audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
         suggestions = 0
         for prop in (Property.OBSERVABILITY,
                      Property.SECURED_OBSERVABILITY):
-            k_star = maxima[prop]
+            k_star = maxima[prop].lower
             target = _spec(prop, max(k_star, -1) + 1)
             try:
                 repair = harden(network, problem, target,
                                 max_repairs=2, max_verify_calls=400,
-                                backend=backend)
+                                backend=backend, limits=limits)
             except RuntimeError:
                 out.write(f"- {target.describe()}: repair search budget "
                           f"exhausted\n")
@@ -171,8 +206,11 @@ def audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
     return out.getvalue()
 
 
-def _fmt_k(k: int) -> str:
-    return "−" if k < 0 else str(k)
+def _fmt_k(bounds: SearchBounds) -> str:
+    if bounds.exact:
+        return "−" if bounds.lower < 0 else str(bounds.lower)
+    # The search hit a budget: only the proven lower bound is sound.
+    return "?" if bounds.lower < 0 else f"≥{bounds.lower}"
 
 
 def _spec(prop: Property, k: int) -> ResiliencySpec:

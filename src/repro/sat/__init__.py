@@ -8,12 +8,16 @@ translated to cardinality encodings (see :mod:`repro.smt`).
 from .cnf import CNF
 from .dimacs import dumps, loads, parse_dimacs, write_dimacs
 from .enumeration import count_models, enumerate_models
+from .limits import LimitReason, Limits, ResourceLimitReached
 from .solver import Clause, SatSolver, SolverStats
 from .types import TautologyError, neg, normalize_clause, var_of
 
 __all__ = [
     "CNF",
     "Clause",
+    "LimitReason",
+    "Limits",
+    "ResourceLimitReached",
     "SatSolver",
     "SolverStats",
     "TautologyError",

@@ -20,13 +20,22 @@ indexed by literal.
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from time import monotonic
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .limits import LimitReason, Limits
 from .types import from_internal, to_internal
 
 __all__ = ["SatSolver", "SolverStats", "Clause"]
 
 _UNDEF = -1
+
+#: Outer-loop iterations between wall-clock / memory polls.  Conflict,
+#: propagation, and interrupt checks are plain integer/attribute reads
+#: and run every iteration; ``monotonic()`` and the clause-database
+#: size estimate are only sampled at this cadence so an unbounded solve
+#: pays (almost) nothing for the limit machinery.
+_LIMIT_POLL_INTERVAL = 128
 
 
 class Clause:
@@ -136,6 +145,10 @@ class SatSolver:
         self._order_heap: List[tuple] = []
 
         self._ok = True
+        self._interrupted = False
+        #: Why the last :meth:`solve` returned ``None`` (UNKNOWN);
+        #: ``None`` after a decided (sat/unsat) answer.
+        self.limit_reason: Optional[LimitReason] = None
         self._clauses_added = 0
         self._proof_originals: Optional[List[List[int]]] = None
         self._proof_learned: Optional[List[List[int]]] = None
@@ -528,21 +541,46 @@ class SatSolver:
     # ------------------------------------------------------------------
 
     def solve(self, assumptions: Sequence[int] = (),
-              max_conflicts: Optional[int] = None) -> Optional[bool]:
+              max_conflicts: Optional[int] = None,
+              limits: Optional[Limits] = None) -> Optional[bool]:
         """Solve under *assumptions* (DIMACS literals).
 
         Returns ``True`` (sat: :attr:`model` is valid), ``False``
         (unsat: :meth:`core` holds a subset of the assumptions that is
-        jointly unsatisfiable with the clauses), or ``None`` when
-        *max_conflicts* was exhausted.
+        jointly unsatisfiable with the clauses), or ``None`` when a
+        resource budget expired — *limits* (wall-clock, conflicts,
+        propagations, estimated memory), the legacy *max_conflicts*
+        shorthand, or a cooperative :meth:`interrupt`.  After a
+        ``None`` answer :attr:`limit_reason` names the expired budget;
+        a ``None`` answer is never a spurious verdict — the search was
+        simply abandoned.
+
+        Budgets are per-call deltas, so each query against a shared
+        incremental solver gets the full budget.  Conflict and
+        propagation counters are checked every loop iteration; the
+        clock and the memory estimate are polled every
+        ``_LIMIT_POLL_INTERVAL`` iterations to keep the hot loop cheap.
         """
         self._model = []
         self._core = []
+        self.limit_reason = None
         if not self._ok:
             return False
         self._ensure_vars(assumptions)
         assumption_ilits = [to_internal(lit) for lit in assumptions]
         self._assumption_set = set(assumption_ilits)
+
+        effective = limits if limits is not None else Limits()
+        if max_conflicts is not None:
+            effective = effective.merged(Limits(max_conflicts=max_conflicts))
+        deadline = (monotonic() + effective.max_time
+                    if effective.max_time is not None else None)
+        conflict_budget = effective.max_conflicts
+        propagation_ceiling = (
+            self.stats.propagations + effective.max_propagations
+            if effective.max_propagations is not None else None)
+        memory_budget = effective.max_memory_mb
+        poll_countdown = _LIMIT_POLL_INTERVAL
 
         conflict = self._propagate()
         if conflict is not None:
@@ -556,14 +594,26 @@ class SatSolver:
 
         budget = _luby(restart_idx) * restart_base
         while True:
+            if self._interrupted:
+                return self._abandon(LimitReason.INTERRUPT)
+            if (propagation_ceiling is not None
+                    and self.stats.propagations > propagation_ceiling):
+                return self._abandon(LimitReason.PROPAGATIONS)
+            poll_countdown -= 1
+            if poll_countdown <= 0:
+                poll_countdown = _LIMIT_POLL_INTERVAL
+                if deadline is not None and monotonic() >= deadline:
+                    return self._abandon(LimitReason.TIME)
+                if (memory_budget is not None
+                        and self._estimate_memory_mb() > memory_budget):
+                    return self._abandon(LimitReason.MEMORY)
             conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_this_solve += 1
-                if max_conflicts is not None and \
-                        conflicts_this_solve > max_conflicts:
-                    self._cancel_until(0)
-                    return None
+                if conflict_budget is not None and \
+                        conflicts_this_solve > conflict_budget:
+                    return self._abandon(LimitReason.CONFLICTS)
                 if not self._trail_lim:
                     self._ok = False
                     return False
@@ -613,6 +663,58 @@ class SatSolver:
             else:
                 self._new_decision_level()
                 self._enqueue(next_lit, None)
+
+    # ------------------------------------------------------------------
+    # Resource control
+    # ------------------------------------------------------------------
+
+    def interrupt(self) -> None:
+        """Cooperatively abort the current (or next) :meth:`solve`.
+
+        Safe to call from another thread: the solver checks the flag at
+        every outer-loop iteration and returns ``None`` with
+        :attr:`limit_reason` ``INTERRUPT``.  The flag is sticky — a
+        solve started after the call aborts immediately — until
+        :meth:`clear_interrupt`.
+        """
+        self._interrupted = True
+
+    def clear_interrupt(self) -> None:
+        """Re-arm the solver after an :meth:`interrupt`."""
+        self._interrupted = False
+
+    @property
+    def interrupted(self) -> bool:
+        return self._interrupted
+
+    def _abandon(self, reason: LimitReason) -> Optional[bool]:
+        """Give up the current search: backtrack fully, record *reason*.
+
+        The clause database (including everything learned so far) is
+        kept — a later solve call resumes with all that work — but no
+        verdict is reported for this call.  Always returns ``None``,
+        the UNKNOWN outcome of :meth:`solve`.
+        """
+        self._cancel_until(0)
+        self.limit_reason = reason
+        return None
+
+    def _estimate_memory_mb(self) -> float:
+        """A cheap estimate of the clause-database footprint in MB.
+
+        Python offers no portable live-RSS probe without third-party
+        dependencies, so the memory limit bounds an *estimate*: per
+        clause-object overhead plus per-literal list slots plus the
+        per-variable bookkeeping arrays.  The constants approximate
+        CPython's actual object sizes; the point is catching runaway
+        clause learning, not accounting precision.
+        """
+        total_lits = sum(len(c.lits) for c in self._clauses)
+        total_lits += sum(len(c.lits) for c in self._learned)
+        num_clauses = len(self._clauses) + len(self._learned)
+        approx_bytes = (96 * num_clauses + 12 * total_lits
+                        + 60 * self.num_vars)
+        return approx_bytes / 1e6
 
     def _new_decision_level(self) -> None:
         self._trail_lim.append(len(self._trail))

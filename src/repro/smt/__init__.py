@@ -5,6 +5,7 @@ paper's toolchain: the paper's constraint language (Boolean logic plus
 counting sums over Booleans) maps onto terms here one-to-one.
 """
 
+from ..sat.limits import LimitReason, Limits, ResourceLimitReached
 from .cardinality import (
     CardinalityCounter,
     ClauseSink,
@@ -42,7 +43,8 @@ __all__ = [
     "And", "AtLeast", "AtMost", "Bool", "Bools", "BoolVal", "BoolVar",
     "BudgetHandle", "CardTerm", "CardinalityCounter", "ClauseSink",
     "Encoder", "Exactly", "FALSE", "Iff", "Implies", "Ite",
-    "Model", "Not", "Or", "Result", "SequentialCounter", "Solver",
+    "LimitReason", "Limits", "Model", "Not", "Or", "ResourceLimitReached",
+    "Result", "SequentialCounter", "Solver",
     "SolverStatistics", "TRUE",
     "Term", "Totalizer", "Xor", "encode_at_least_sequential", "term_to_sexpr", "to_smtlib",
     "encode_at_most_sequential", "evaluate",

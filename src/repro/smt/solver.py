@@ -14,6 +14,7 @@ import time
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from ..sat.cnf import CNF
+from ..sat.limits import LimitReason, Limits
 from ..sat.solver import SatSolver
 from .terms import FALSE, TRUE, BoolVar, Term
 from .tseitin import Encoder
@@ -208,6 +209,15 @@ class Solver:
         self._model: Optional[Model] = None
         self._core_terms: List[Term] = []
         self._last_unsat_proof: Optional[tuple] = None
+        #: With ``preprocess=True`` the solving :class:`SatSolver` is a
+        #: per-check throwaway; a reference is kept here so a
+        #: cooperative :meth:`interrupt` from another thread reaches
+        #: the search actually running.
+        self._active_sat: Optional[SatSolver] = None
+        self._interrupt_requested = False
+        #: Why the last :meth:`check` answered UNKNOWN (``None`` after
+        #: a decided answer).
+        self.last_limit_reason: Optional[LimitReason] = None
         self.statistics = SolverStatistics()
         #: Search-effort deltas of the most recent :meth:`check` call —
         #: conflicts, decisions, propagations, restarts, and time — so
@@ -298,11 +308,43 @@ class Solver:
 
     # ------------------------------------------------------------------
 
+    def interrupt(self) -> None:
+        """Cooperatively abort the running (or next) :meth:`check`.
+
+        Thread-safe in the cooperative sense: the underlying CDCL loop
+        polls the flag and answers :data:`Result.UNKNOWN` with
+        :attr:`last_limit_reason` ``INTERRUPT``.  Sticky until
+        :meth:`clear_interrupt`.
+        """
+        self._interrupt_requested = True
+        if self._sat is not None:
+            self._sat.interrupt()
+        elif self._active_sat is not None:
+            self._active_sat.interrupt()
+
+    def clear_interrupt(self) -> None:
+        """Re-arm the solver after an :meth:`interrupt`."""
+        self._interrupt_requested = False
+        if self._sat is not None:
+            self._sat.clear_interrupt()
+        if self._active_sat is not None:
+            self._active_sat.clear_interrupt()
+
     def check(self, *assumptions: Term,
-              max_conflicts: Optional[int] = None) -> Result:
-        """Solve the current assertions under optional assumption terms."""
+              max_conflicts: Optional[int] = None,
+              limits: Optional[Limits] = None) -> Result:
+        """Solve the current assertions under optional assumption terms.
+
+        *limits* (and/or the legacy *max_conflicts* shorthand) bound
+        the solve; an expired budget yields :data:`Result.UNKNOWN` with
+        :attr:`last_limit_reason` set — never a spurious sat/unsat.
+        """
         self._model = None
         self._core_terms = []
+        self.last_limit_reason = None
+        effective = limits if limits is not None else Limits()
+        if max_conflicts is not None:
+            effective = effective.merged(Limits(max_conflicts=max_conflicts))
         assumption_lits: List[int] = list(self._selectors)
         lit_to_term: Dict[int, Term] = {}
         for term in assumptions:
@@ -312,13 +354,13 @@ class Solver:
 
         if self._preprocess:
             return self._check_preprocessed(assumption_lits, lit_to_term,
-                                            max_conflicts)
+                                            effective)
 
         assert self._sat is not None
         started = time.perf_counter()
         before = self._sat.stats.as_dict()
         outcome = self._sat.solve(assumptions=assumption_lits,
-                                  max_conflicts=max_conflicts)
+                                  limits=effective)
         delta = self._sat.stats.delta(before)
         elapsed = time.perf_counter() - started
         self.statistics.check_time += elapsed
@@ -331,6 +373,7 @@ class Solver:
         self.last_check_stats["check_time"] = elapsed
 
         if outcome is None:
+            self.last_limit_reason = self._sat.limit_reason
             return Result.UNKNOWN
         if outcome:
             self._model = Model(self._encoder, list(self._sat.model))
@@ -342,13 +385,15 @@ class Solver:
 
     def _check_preprocessed(self, assumption_lits: List[int],
                             lit_to_term: Dict[int, Term],
-                            max_conflicts: Optional[int]) -> Result:
+                            limits: Limits) -> Result:
         """Simplify the buffered formula, then solve it fresh.
 
         Frozen variables — every named model variable, scope selector,
         assumption variable, and the constant-true literal — survive
         simplification with their numbering intact, so models, cores,
-        and incremental blocking clauses keep working.
+        and incremental blocking clauses keep working.  The wall-clock
+        budget covers the *whole* check: simplification time is
+        deducted from what the sub-solve may spend.
         """
         from ..lint.preprocess import preprocess_cnf
 
@@ -362,7 +407,17 @@ class Solver:
 
         started = time.perf_counter()
         result = preprocess_cnf(self._cnf, frozen=frozen)
-        self.statistics.preprocess_time += time.perf_counter() - started
+        preprocess_elapsed = time.perf_counter() - started
+        self.statistics.preprocess_time += preprocess_elapsed
+        if limits.max_time is not None:
+            remaining = limits.max_time - preprocess_elapsed
+            if remaining <= 0:
+                self.statistics.checks += 1
+                self.last_check_stats = {f: 0.0 for f in _SEARCH_FIELDS}
+                self.last_check_stats["check_time"] = 0.0
+                self.last_limit_reason = LimitReason.TIME
+                return Result.UNKNOWN
+            limits = limits.with_time(remaining)
         self.statistics.num_vars = self._cnf.num_vars
         self.statistics.num_clauses = len(self._cnf.clauses)
         self.statistics.simplified_vars = (
@@ -385,9 +440,11 @@ class Solver:
             if not sub.add_clause(clause):
                 break  # level-0 conflict; solve() will report unsat
 
+        self._active_sat = sub
+        if self._interrupt_requested:
+            sub.interrupt()
         started = time.perf_counter()
-        outcome = sub.solve(assumptions=assumption_lits,
-                            max_conflicts=max_conflicts)
+        outcome = sub.solve(assumptions=assumption_lits, limits=limits)
         after = sub.stats.as_dict()
         elapsed = time.perf_counter() - started
         self.statistics.check_time += elapsed
@@ -398,6 +455,7 @@ class Solver:
         self.last_check_stats["check_time"] = elapsed
 
         if outcome is None:
+            self.last_limit_reason = sub.limit_reason
             return Result.UNKNOWN
         if outcome:
             extended = result.extend_model(list(sub.model))

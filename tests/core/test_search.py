@@ -1,0 +1,67 @@
+"""Three-valued galloping search: UNKNOWN is neither bound."""
+
+from repro.core import SearchBounds, galloping_max_bounded
+from repro.core.search import galloping_max
+
+
+def _oracle(true_max, unknown_at=()):
+    calls = []
+
+    def check(k):
+        calls.append(k)
+        if k in unknown_at:
+            return None
+        return k <= true_max
+
+    return check, calls
+
+
+def test_exact_search_finds_maximum():
+    check, calls = _oracle(true_max=5)
+    bounds = galloping_max_bounded(check, 20)
+    assert bounds == SearchBounds(lower=5, upper=5, unknown_budgets=())
+    assert bounds.exact
+    assert bounds.describe() == "5"
+    # Galloping probes far fewer points than a linear scan would.
+    assert len(calls) < 20
+
+
+def test_never_holds_gives_negative_lower():
+    check, _ = _oracle(true_max=-1)
+    bounds = galloping_max_bounded(check, 10)
+    assert bounds.exact and bounds.lower == -1
+
+
+def test_unknown_probe_widens_the_bracket():
+    # The oracle cannot decide k=3; the true max is 4.  The search must
+    # report a bracket containing the truth, never a point verdict.
+    check, _ = _oracle(true_max=4, unknown_at={3})
+    bounds = galloping_max_bounded(check, 10)
+    assert not bounds.exact
+    assert bounds.lower <= 4 <= bounds.upper
+    assert 3 in bounds.unknown_budgets
+    assert "UNKNOWN" in bounds.describe()
+
+
+def test_all_unknown_keeps_full_range():
+    bounds = galloping_max_bounded(lambda k: None, 6)
+    assert not bounds.exact
+    assert bounds.lower == -1 and bounds.upper == 6
+
+
+def test_facade_returns_lower_bound():
+    check, _ = _oracle(true_max=2)
+    assert galloping_max(check, 10) == 2
+
+
+def test_unknown_at_zero_proves_nothing():
+    bounds = galloping_max_bounded(lambda k: None if k == 0 else True, 8)
+    assert bounds == SearchBounds(lower=-1, upper=8, unknown_budgets=(0,))
+
+
+def test_monotone_exhaustive_against_linear_scan():
+    for true_max in range(-1, 9):
+        check, _ = _oracle(true_max=true_max)
+        bounds = galloping_max_bounded(check, 8)
+        expected = min(true_max, 8)
+        assert bounds.exact and bounds.lower == expected, true_max

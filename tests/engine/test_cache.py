@@ -1,10 +1,12 @@
-"""Encoding cache: keying, LRU eviction, hit accounting."""
+"""Encoding cache: keying, LRU eviction, hit accounting, poisoning."""
 
 import pytest
 
-from repro.core import ObservabilityProblem, Property
+from repro.core import ObservabilityProblem, Property, ResiliencySpec
 from repro.engine import EncodingCache, EncodingKey
+from repro.engine.backends import IncrementalBackend
 from repro.grid.ieee_cases import case_by_buses
+from repro.sat import Limits, ResourceLimitReached
 from repro.scada import GeneratorConfig, generate_scada
 
 
@@ -59,6 +61,61 @@ def test_lru_eviction_drops_oldest():
 def test_zero_size_cache_rejected():
     with pytest.raises(ValueError):
         EncodingCache(maxsize=0)
+
+
+def test_invalidate_drops_single_entry():
+    cache = EncodingCache()
+    key_a, key_b = _key(r=1), _key(r=2)
+    cache.get_or_create(key_a, object)
+    b = cache.get_or_create(key_b, object)
+    assert cache.invalidate(key_a) is True
+    assert cache.invalidate(key_a) is False  # already gone
+    assert cache.get(key_a) is None
+    assert cache.get(key_b) is b
+
+
+def _fig3_backend():
+    from repro.cases import case_problem, fig3_network
+
+    return IncrementalBackend(fig3_network(), case_problem())
+
+
+def test_backend_evicts_poisoned_context():
+    backend = _fig3_backend()
+    spec = ResiliencySpec.observability(k=0)
+    backend.verify(spec, minimize=False)
+    key, ctx = backend._context(spec)
+    assert backend.cache.get(key) is ctx
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("solver wedged mid-scope")
+
+    ctx.verify = explode  # type: ignore[method-assign]
+    with pytest.raises(RuntimeError, match="wedged"):
+        backend.verify(spec, minimize=False)
+    # The poisoned context is gone; the next query rebuilds cleanly.
+    assert backend.cache.get(key) is None
+    result = backend.verify(spec, minimize=False)
+    assert result.status is not None
+
+
+def test_backend_keeps_context_on_clean_limit():
+    backend = _fig3_backend()
+    spec = ResiliencySpec.observability(k=0)
+    backend.verify(spec, minimize=False)
+    key, ctx = backend._context(spec)
+
+    def out_of_budget(*args, **kwargs):
+        raise ResourceLimitReached("time limit", reason=None)
+
+    original = ctx.verify
+    ctx.verify = out_of_budget  # type: ignore[method-assign]
+    with pytest.raises(ResourceLimitReached):
+        backend.verify(spec, minimize=False,
+                       limits=Limits(max_time=0.001))
+    # A clean UNKNOWN does not poison the encoding: still cached.
+    assert backend.cache.get(key) is ctx
+    ctx.verify = original  # type: ignore[method-assign]
 
 
 def test_network_fingerprint_tracks_configuration():

@@ -115,3 +115,39 @@ def test_verify_certify_flag(tmp_path, capsys):
     out = capsys.readouterr().out
     if code == 0:
         assert "independently checked: True" in out
+
+
+def test_verify_conflict_budget_returns_unknown(tmp_path, capsys):
+    from repro.cli import EXIT_UNKNOWN
+
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "30", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["verify", path, "--k", "3", "--max-conflicts", "1"])
+    out = capsys.readouterr().out
+    assert code == EXIT_UNKNOWN == 3
+    assert "UNKNOWN" in out and "conflicts limit" in out
+
+
+def test_verify_timeout_flag_never_lies(tmp_path, capsys):
+    # A generous timeout must not change the verdict of an easy query.
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["verify", path, "--k", "0", "--timeout", "60"])
+    out = capsys.readouterr().out
+    assert code in (0, 1)
+    assert "UNKNOWN" not in out
+
+
+def test_enumerate_budget_marks_incomplete(tmp_path, capsys):
+    from repro.cli import EXIT_UNKNOWN
+
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "30", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["enumerate", path, "--k", "2", "--limit", "50",
+                 "--max-conflicts", "1"])
+    out = capsys.readouterr().out
+    assert code == EXIT_UNKNOWN
+    assert "incomplete" in out
