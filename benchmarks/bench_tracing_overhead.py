@@ -1,0 +1,78 @@
+"""Tracing-disabled overhead bound for the telemetry layer.
+
+The contract of ``repro.obs`` is that instrumentation is near-free
+when no tracer is installed: the solver hot loop pays one
+``hooks is not None`` attribute check per conflict, and every span
+helper short-circuits to a shared no-op.  This script measures the
+paper's 5-bus case-study verification with tracing *off* and with
+tracing *on* (an in-memory tracer, the more expensive path) and fails
+if the disabled path is more than 5% slower than the enabled one —
+i.e. if disabled-path work ever sneaks into the instrumentation.
+
+Run directly (CI bench-smoke does)::
+
+    python benchmarks/bench_tracing_overhead.py
+
+Exit code 0 when the bound holds, 1 when it is violated.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+
+from repro.cases import case_analyzer
+from repro.core import ResiliencySpec
+from repro.obs.tracer import Tracer, activate
+
+#: Disabled-path wall time may exceed the enabled-path median by at
+#: most this factor (plus a small absolute epsilon for timer noise).
+MARGIN = 1.05
+EPSILON = 1e-3
+REPEATS = 21
+
+
+def _one_verify(traced: bool) -> float:
+    # A fresh analyzer per run so encoding is part of the measured
+    # work, exactly as a CLI `verify` pays it.
+    analyzer = case_analyzer("fig3")
+    spec = ResiliencySpec.observability(k1=1, k2=1)
+    started = time.perf_counter()
+    if traced:
+        with activate(Tracer()):
+            analyzer.verify(spec)
+    else:
+        analyzer.verify(spec)
+    return time.perf_counter() - started
+
+
+def main() -> int:
+    # Warm both paths (imports, allocator, branch caches) ...
+    _one_verify(False)
+    _one_verify(True)
+    # ... then interleave the measured runs so clock drift and CPU
+    # frequency changes hit both series equally.
+    off_times = []
+    on_times = []
+    for _ in range(REPEATS):
+        off_times.append(_one_verify(False))
+        on_times.append(_one_verify(True))
+    off = statistics.median(off_times)
+    on = statistics.median(on_times)
+    ratio = off / on if on > 0 else float("inf")
+    print(f"tracing off: {off * 1e3:.3f} ms median over {REPEATS} runs")
+    print(f"tracing on : {on * 1e3:.3f} ms median over {REPEATS} runs")
+    print(f"off/on ratio: {ratio:.3f} (bound {MARGIN:.2f})")
+    if off > on * MARGIN + EPSILON:
+        print("FAIL: the tracing-disabled path is more than "
+              f"{(MARGIN - 1) * 100:.0f}% slower than the traced path; "
+              "disabled-path instrumentation overhead has regressed",
+              file=sys.stderr)
+        return 1
+    print("OK: disabled-path overhead within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

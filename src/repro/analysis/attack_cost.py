@@ -29,6 +29,8 @@ from ..core.encoder import ModelEncoder
 from ..core.results import ThreatVector
 from ..core.specs import Property, ResiliencySpec
 from ..engine import VerificationEngine
+from ..obs.tracer import current_tracer, probe_for
+from ..obs.tracer import span as obs_span
 from ..sat.limits import Limits, ResourceLimitReached
 from ..smt.solver import Result, Solver
 from ..smt.terms import BoolVal, Not, Term
@@ -104,6 +106,7 @@ def cheapest_threat(analyzer: Verifier,
 
     encoder = ModelEncoder(network, engine.problem)
     solver = Solver(card_encoding=engine.card_encoding)
+    solver.set_hooks(probe_for(current_tracer()))
     solver.add(*encoder.availability_axioms())
     solver.add(*encoder.delivery_definitions(secured=False))
     if prop.uses_security:
@@ -142,29 +145,33 @@ def cheapest_threat(analyzer: Verifier,
             if not model.value(var)
         }
 
-    # Is there any threat at all?
-    best = threat_within(total)
-    if best is None:
-        return AttackCostResult(prop=prop, cost=None, threat=None,
+    with obs_span("analysis.attack_cost", prop=prop.value) as sp:
+        # Is there any threat at all?
+        best = threat_within(total)
+        if best is None:
+            sp.attrs["probes"] = calls
+            return AttackCostResult(prop=prop, cost=None, threat=None,
+                                    costs=cost_map, solver_calls=calls)
+
+        spec = ResiliencySpec.for_property(prop, r=r, k=total)
+        lo, hi = 0, sum(cost_map[d] for d in best)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            found = threat_within(mid)
+            if found is None:
+                lo = mid + 1
+            else:
+                hi = min(mid, sum(cost_map[d] for d in found))
+                best = found
+
+        minimal = engine.reference.minimize_threat(spec, best)
+        threat = ThreatVector(
+            failed_ieds=frozenset(minimal & set(network.ied_ids)),
+            failed_rtus=frozenset(minimal & set(network.rtu_ids)),
+            minimal=True,
+        )
+        final_cost = sum(cost_map[d] for d in minimal)
+        sp.attrs["probes"] = calls
+        sp.attrs["cost"] = final_cost
+        return AttackCostResult(prop=prop, cost=final_cost, threat=threat,
                                 costs=cost_map, solver_calls=calls)
-
-    spec = ResiliencySpec.for_property(prop, r=r, k=total)
-    lo, hi = 0, sum(cost_map[d] for d in best)
-    while lo < hi:
-        mid = (lo + hi) // 2
-        found = threat_within(mid)
-        if found is None:
-            lo = mid + 1
-        else:
-            hi = min(mid, sum(cost_map[d] for d in found))
-            best = found
-
-    minimal = engine.reference.minimize_threat(spec, best)
-    threat = ThreatVector(
-        failed_ieds=frozenset(minimal & set(network.ied_ids)),
-        failed_rtus=frozenset(minimal & set(network.rtu_ids)),
-        minimal=True,
-    )
-    final_cost = sum(cost_map[d] for d in minimal)
-    return AttackCostResult(prop=prop, cost=final_cost, threat=threat,
-                            costs=cost_map, solver_calls=calls)

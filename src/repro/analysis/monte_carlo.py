@@ -10,8 +10,10 @@ good without evaluation.
 
 The estimator doubles as a probabilistic cross-check of the analyzer:
 with a valid ``k*`` certificate, no sampled scenario of ≤ ``k*``
-failures may violate the property (asserted when ``certificate`` is
-passed), which the tests exercise on thousands of samples.
+failures may violate the property (asserted when ``cross_check=True``
+is passed alongside the certificate — by default certified scenarios
+are skipped without evaluation, preserving the shortcut's savings),
+which the tests exercise on thousands of samples.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import Dict, Mapping, Optional, Union
 from ..core.analyzer import ScadaAnalyzer
 from ..core.specs import Property
 from ..engine import VerificationEngine
+from ..obs.tracer import span as obs_span
 
 __all__ = ["AvailabilityEstimate", "estimate_availability"]
 
@@ -58,11 +61,23 @@ class AvailabilityEstimate:
 
     @property
     def confidence_95(self) -> float:
-        """±half-width of the 95% normal-approximation interval."""
+        """±half-width of the 95% Wilson score interval.
+
+        Wilson rather than the Wald normal approximation: Wald
+        degenerates to ±0 at ``violations == 0`` (the common case for a
+        resilient network, where it wrongly claims certainty) and
+        overstates confidence badly at small sample counts.  Wilson
+        stays calibrated at the boundaries — at p̂ = 0 the half-width
+        is ``z²/(2(n+z²))``, not zero.
+        """
         if self.samples == 0:
             return float("nan")
-        p = self.violations / self.samples
-        return 1.96 * math.sqrt(max(p * (1 - p), 1e-12) / self.samples)
+        z = 1.96
+        n = self.samples
+        p = self.violations / n
+        denom = 1.0 + z * z / n
+        return (z / denom) * math.sqrt(
+            p * (1.0 - p) / n + z * z / (4.0 * n * n))
 
     def summary(self) -> str:
         cut = (f", stopped at the wall-clock limit "
@@ -83,16 +98,20 @@ def estimate_availability(
     seed: int = 0,
     certificate: Optional[int] = None,
     max_time: Optional[float] = None,
+    cross_check: bool = False,
 ) -> AvailabilityEstimate:
     """Estimate P(property holds) under independent device failures.
 
     ``per_device`` overrides the uniform ``failure_probability`` for
     specific devices.  ``certificate`` is a *verified* maximal
     resiliency ``k*`` for this property: scenarios with ≤ k* failures
-    are counted safe without evaluation, and a violating one raises
-    (the certificate or the evaluator would be wrong).  Accepts a
-    :class:`ScadaAnalyzer` or a :class:`VerificationEngine` — only the
-    network and the shared reference evaluator are used.
+    are counted safe **without evaluation** — that skip is the whole
+    point of the shortcut.  With ``cross_check=True`` each certified
+    scenario is evaluated anyway and a violating one raises (the
+    certificate or the evaluator would be wrong); the tests use this to
+    probabilistically cross-check the analyzer on thousands of samples.
+    Accepts a :class:`ScadaAnalyzer` or a :class:`VerificationEngine` —
+    only the network and the shared reference evaluator are used.
 
     ``max_time`` bounds the run's wall-clock seconds: sampling stops at
     the deadline and the estimate reports how many scenarios it
@@ -125,21 +144,27 @@ def estimate_availability(
     violations = 0
     skipped = 0
     drawn = 0
-    for _ in range(samples):
-        if deadline is not None and time.monotonic() >= deadline:
-            break
-        drawn += 1
-        failed = {device for device, p in probabilities.items()
-                  if rng.random() < p}
-        if certificate is not None and len(failed) <= certificate:
-            skipped += 1
+    with obs_span("analysis.monte_carlo", prop=prop.value,
+                  requested=samples) as sp:
+        for _ in range(samples):
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            drawn += 1
+            failed = {device for device, p in probabilities.items()
+                      if rng.random() < p}
+            if certificate is not None and len(failed) <= certificate:
+                skipped += 1
+                if cross_check and not analyzer.reference.observable(
+                        failed, secured=secured):
+                    raise AssertionError(
+                        f"certificate k*={certificate} contradicted by "
+                        f"failure set {sorted(failed)}")
+                continue
             if not analyzer.reference.observable(failed, secured=secured):
-                raise AssertionError(
-                    f"certificate k*={certificate} contradicted by "
-                    f"failure set {sorted(failed)}")
-            continue
-        if not analyzer.reference.observable(failed, secured=secured):
-            violations += 1
+                violations += 1
+        sp.attrs["samples"] = drawn
+        sp.attrs["violations"] = violations
+        sp.attrs["skipped"] = skipped
     return AvailabilityEstimate(
         prop=prop,
         samples=drawn,

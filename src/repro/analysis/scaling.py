@@ -25,6 +25,7 @@ from ..core.results import Status
 from ..core.specs import Property, ResiliencySpec
 from ..engine import SweepExecutor, SweepTaskError, VerificationEngine
 from ..grid.ieee_cases import case_by_buses
+from ..obs.tracer import span as obs_span
 from ..sat.limits import Limits, ResourceLimitReached
 from ..scada.generator import GeneratorConfig, generate_scada
 
@@ -144,6 +145,18 @@ def measure_instance(bus_size: int, hierarchy: int, seed: int,
     ``max_k_exact=False``; timed runs whose budget expires count in
     ``unknown_runs`` instead of a time series.
     """
+    with obs_span("analysis.instance", bus_size=bus_size,
+                  hierarchy=hierarchy, seed=seed, backend=backend):
+        return _measure_instance(
+            bus_size, hierarchy, seed, prop, runs, measurement_fraction,
+            secure_fraction, max_conflicts, backend, limits)
+
+
+def _measure_instance(bus_size: int, hierarchy: int, seed: int,
+                      prop: Property, runs: int,
+                      measurement_fraction: float, secure_fraction: float,
+                      max_conflicts: Optional[int], backend: str,
+                      limits: Optional[Limits]) -> ScalingPoint:
     config = GeneratorConfig(
         measurement_fraction=measurement_fraction,
         hierarchy_level=hierarchy,

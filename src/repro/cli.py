@@ -26,6 +26,12 @@ Commands
     Search for a minimal configuration repair restoring a failed
     specification.
 
+``stats <trace>...``
+    Aggregate JSONL telemetry traces (written via ``--trace FILE`` on
+    the solver-backed commands) into a text or ``--json`` summary:
+    time per phase, cache hit rates, solver work per query, and sweep
+    worker utilization.
+
 Exit codes
 ----------
 
@@ -41,6 +47,7 @@ cannot mistake a timeout for a verdict.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Tuple
 
@@ -56,6 +63,7 @@ from .core import (
 from .core.hardening import harden
 from .engine import BACKEND_NAMES, SweepExecutor, VerificationEngine
 from .grid.ieee_cases import case_by_buses
+from .obs.tracer import Tracer, set_tracer
 from .sat.limits import Limits, ResourceLimitReached
 from .scada import (
     CaseConfig,
@@ -124,6 +132,10 @@ def _add_engine_args(parser: argparse.ArgumentParser,
                              "assumption-selected budgets on one "
                              "persistent solver, or preprocessed CNF)")
     _add_limit_args(parser)
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a JSONL telemetry trace (spans, "
+                             "solver events, metrics); aggregate with "
+                             "'repro stats FILE'")
     if jobs:
         parser.add_argument("--jobs", type=int, default=1,
                             help="worker processes for independent "
@@ -366,6 +378,23 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from .obs.stats import aggregate
+
+    try:
+        stats = aggregate(args.traces)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(stats.to_json(), indent=2))
+    else:
+        sys.stdout.write(stats.to_text())
+    # Malformed traces still aggregate (the summary lists the schema
+    # problems), but scripts get a distinct exit code to notice them.
+    return 2 if stats.problems else 0
+
+
 def _cmd_harden(args) -> int:
     config = load_config(args.config)
     spec = _spec_from_args(args, config.spec)
@@ -459,11 +488,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_limit_args(p_harden)
     _add_spec_args(p_harden)
     p_harden.set_defaults(func=_cmd_harden)
+
+    p_stats = sub.add_parser("stats",
+                             help="aggregate JSONL telemetry traces")
+    p_stats.add_argument("traces", nargs="+", metavar="TRACE",
+                         help="trace files written via --trace")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the machine-readable summary")
+    p_stats.set_defaults(func=_cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    sink = None
+    tracer = None
+    previous = None
+    if trace_path:
+        sink = open(trace_path, "w", encoding="utf-8")
+        tracer = Tracer(sink, meta={"command": args.command,
+                                    "argv": list(argv or sys.argv[1:])})
+        previous = set_tracer(tracer)
     try:
         return args.func(args)
     except ResourceLimitReached as exc:
@@ -480,6 +526,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
+    finally:
+        if tracer is not None:
+            # Flush the final metrics record even when the command
+            # failed — a partial trace is still analyzable.
+            tracer.close()
+            set_tracer(previous)
+            assert sink is not None
+            sink.close()
 
 
 if __name__ == "__main__":

@@ -18,7 +18,10 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
-from ..sat.limits import Limits, ResourceLimitReached
+from ..obs.tracer import current_tracer, probe_for
+from ..obs.tracer import span as obs_span
+from ..sat.enumeration import drive_enumeration
+from ..sat.limits import Limits
 from ..scada.network import ScadaNetwork
 from ..smt.solver import Result, Solver
 from ..smt.terms import Not, Or
@@ -94,15 +97,17 @@ class ScadaAnalyzer:
                         produce_proof=produce_proof,
                         preprocess=(self.preprocess if preprocess is None
                                     else preprocess))
+        solver.set_hooks(probe_for(current_tracer()))
         started = time.perf_counter()
-        solver.add(*encoder.availability_axioms())
-        solver.add(*encoder.delivery_definitions(secured=False))
-        if spec.property.uses_security:
-            solver.add(*encoder.delivery_definitions(secured=True))
-        solver.add(encoder.budget_constraint(spec.budget))
-        if spec.link_k is not None:
-            solver.add(encoder.link_budget_constraint(spec.link_k))
-        solver.add(encoder.property_negation(spec.property, spec.r))
+        with obs_span("encode", backend=self.backend_name):
+            solver.add(*encoder.availability_axioms())
+            solver.add(*encoder.delivery_definitions(secured=False))
+            if spec.property.uses_security:
+                solver.add(*encoder.delivery_definitions(secured=True))
+            solver.add(encoder.budget_constraint(spec.budget))
+            if spec.link_k is not None:
+                solver.add(encoder.link_budget_constraint(spec.link_k))
+            solver.add(encoder.property_negation(spec.property, spec.r))
         encode_time = time.perf_counter() - started
         return solver, encoder, encode_time
 
@@ -131,7 +136,10 @@ class ScadaAnalyzer:
         """
         solver, encoder, encode_time = self._build(
             spec, produce_proof=certify)
-        outcome = solver.check(max_conflicts=max_conflicts, limits=limits)
+        with obs_span("solve", backend=self.backend_name) as sp:
+            outcome = solver.check(max_conflicts=max_conflicts,
+                                   limits=limits)
+            sp.attrs["result"] = outcome.value
         result = VerificationResult(
             spec=spec,
             status=Status.UNKNOWN,
@@ -153,7 +161,11 @@ class ScadaAnalyzer:
                     solver.validate_unsat_proof()
             return result
         result.status = Status.THREAT_FOUND
-        result.threat = self._extract_threat(solver, encoder, spec, minimize)
+        started = time.perf_counter()
+        with obs_span("extract", backend=self.backend_name):
+            result.threat = self._extract_threat(solver, encoder, spec,
+                                                 minimize)
+        result.extract_time = time.perf_counter() - started
         return result
 
     # ------------------------------------------------------------------
@@ -182,21 +194,19 @@ class ScadaAnalyzer:
         """
         solver, encoder, _ = self._build(spec)
         node_vars = encoder.field_node_vars()
-        threats: List[ThreatVector] = []
-        while limit is None or len(threats) < limit:
+
+        def check() -> Optional[bool]:
             outcome = solver.check(max_conflicts=max_conflicts,
                                    limits=limits)
             if outcome is Result.UNKNOWN:
-                raise ResourceLimitReached(
-                    f"solver budget exhausted during threat enumeration "
-                    f"({len(threats)} vector(s) found before the limit)",
-                    reason=solver.last_limit_reason,
-                    partial=list(threats))
-            if outcome is Result.UNSAT:
-                break
-            threat = self._extract_threat(solver, encoder, spec,
-                                          minimize=minimal)
-            threats.append(threat)
+                return None
+            return outcome is Result.SAT
+
+        def extract() -> ThreatVector:
+            return self._extract_threat(solver, encoder, spec,
+                                        minimize=minimal)
+
+        def block(threat: ThreatVector) -> bool:
             failed = threat.failed_devices
             failed_links = threat.failed_links
             if minimal:
@@ -216,11 +226,13 @@ class ScadaAnalyzer:
                         for pair, var in encoder.link_vars().items()
                     ]
                 solver.add(Or(*flip))
-            if not failed and not failed_links:
-                # The empty vector violates the property; nothing else
-                # can be more minimal.
-                break
-        return threats
+            # The empty vector violates the property; nothing else can
+            # be more minimal, so stop the enumeration here.
+            return bool(failed or failed_links)
+
+        return list(drive_enumeration(
+            check, extract, block, limit=limit, what="threat vector",
+            limit_reason=lambda: solver.last_limit_reason))
 
     # ------------------------------------------------------------------
 

@@ -33,6 +33,9 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
+from ..obs.tracer import current_tracer, probe_for
+from ..obs.tracer import span as obs_span
+from ..sat.enumeration import drive_enumeration
 from ..sat.limits import Limits, ResourceLimitReached
 from ..scada.network import ScadaNetwork
 from ..smt.solver import BudgetHandle, Result, Solver
@@ -195,23 +198,30 @@ class IncrementalContext:
         """
         self._check_spec(spec)
         solver = self._solver
+        solver.set_hooks(probe_for(current_tracer()))
         if self.budget_mode == "assumptions":
             started = time.perf_counter()
-            pre_vars, pre_clauses = solver.num_vars, solver.num_clauses
-            assumptions = self._budget_assumptions(spec)
+            with obs_span("encode", backend=self.backend_name):
+                pre_vars, pre_clauses = solver.num_vars, solver.num_clauses
+                assumptions = self._budget_assumptions(spec)
             encode_time = time.perf_counter() - started
-            outcome = solver.check(*assumptions,
-                                   max_conflicts=max_conflicts,
-                                   limits=limits)
+            with obs_span("solve", backend=self.backend_name) as sp:
+                outcome = solver.check(*assumptions,
+                                       max_conflicts=max_conflicts,
+                                       limits=limits)
+                sp.attrs["result"] = outcome.value
             return self._result(spec, outcome, encode_time,
                                 pre_vars, pre_clauses, minimize)
         with solver.scope():
             started = time.perf_counter()
-            pre_vars, pre_clauses = solver.num_vars, solver.num_clauses
-            self._add_budgets(spec)
+            with obs_span("encode", backend=self.backend_name):
+                pre_vars, pre_clauses = solver.num_vars, solver.num_clauses
+                self._add_budgets(spec)
             encode_time = time.perf_counter() - started
-            outcome = solver.check(max_conflicts=max_conflicts,
-                                   limits=limits)
+            with obs_span("solve", backend=self.backend_name) as sp:
+                outcome = solver.check(max_conflicts=max_conflicts,
+                                       limits=limits)
+                sp.attrs["result"] = outcome.value
             return self._result(spec, outcome, encode_time,
                                 pre_vars, pre_clauses, minimize)
 
@@ -244,10 +254,13 @@ class IncrementalContext:
             result.status = Status.RESILIENT
             return result
         result.status = Status.THREAT_FOUND
-        result.threat = extract_threat(
-            solver.model(), self._encoder, self.reference,
-            self.network, self.problem, spec, minimize,
-            origin=f"{self.backend_name} solver")
+        started = time.perf_counter()
+        with obs_span("extract", backend=self.backend_name):
+            result.threat = extract_threat(
+                solver.model(), self._encoder, self.reference,
+                self.network, self.problem, spec, minimize,
+                origin=f"{self.backend_name} solver")
+        result.extract_time = time.perf_counter() - started
         return result
 
     # ------------------------------------------------------------------
@@ -268,61 +281,63 @@ class IncrementalContext:
         """
         self._check_spec(spec)
         solver = self._solver
+        solver.set_hooks(probe_for(current_tracer()))
         node_vars = self._encoder.field_node_vars()
         assumptions: List[Term] = []
         if self.budget_mode == "assumptions":
             assumptions = self._budget_assumptions(spec)
-        threats: List[ThreatVector] = []
+
+        def check() -> Optional[bool]:
+            outcome = solver.check(*assumptions,
+                                   max_conflicts=max_conflicts,
+                                   limits=limits)
+            if outcome is Result.UNKNOWN:
+                return None
+            return outcome is Result.SAT
+
+        def extract() -> ThreatVector:
+            return extract_threat(
+                solver.model(), self._encoder, self.reference,
+                self.network, self.problem, spec, minimize=minimal,
+                origin=f"{self.backend_name} solver")
+
+        def block(threat: ThreatVector) -> bool:
+            failed = threat.failed_devices
+            failed_links = threat.failed_links
+            if minimal:
+                # Forbid this failure set and every superset.
+                revive = [node_vars[i] for i in failed]
+                revive += [self._encoder.link_up(a, b)
+                           for a, b in failed_links]
+                solver.add(Or(*revive))
+            else:
+                # Forbid only this exact assignment of the node vars.
+                flip = [
+                    Not(var) if i not in failed else var
+                    for i, var in node_vars.items()
+                ]
+                if spec.link_k is not None:
+                    flip += [
+                        Not(var) if pair not in failed_links else var
+                        for pair, var
+                        in self._encoder.link_vars().items()
+                    ]
+                solver.add(Or(*flip))
+            # The empty vector violates the property; nothing else can
+            # be more minimal, so stop the enumeration here.
+            return bool(failed or failed_links)
+
         with solver.scope():
             if self.budget_mode != "assumptions":
                 self._add_budgets(spec)
-            while limit is None or len(threats) < limit:
-                outcome = solver.check(*assumptions,
-                                       max_conflicts=max_conflicts,
-                                       limits=limits)
-                if outcome is Result.UNKNOWN:
-                    # The scope's context manager pops the blocking
-                    # clauses on the way out, so the cached base
-                    # encoding stays clean for the next query.
-                    raise ResourceLimitReached(
-                        f"solver budget exhausted during threat "
-                        f"enumeration ({len(threats)} vector(s) found "
-                        f"before the limit)",
-                        reason=solver.last_limit_reason,
-                        partial=list(threats))
-                if outcome is Result.UNSAT:
-                    break
-                threat = extract_threat(
-                    solver.model(), self._encoder, self.reference,
-                    self.network, self.problem, spec, minimize=minimal,
-                    origin=f"{self.backend_name} solver")
-                threats.append(threat)
-                failed = threat.failed_devices
-                failed_links = threat.failed_links
-                if minimal:
-                    # Forbid this failure set and every superset.
-                    revive = [node_vars[i] for i in failed]
-                    revive += [self._encoder.link_up(a, b)
-                               for a, b in failed_links]
-                    solver.add(Or(*revive))
-                else:
-                    # Forbid only this exact assignment of the node vars.
-                    flip = [
-                        Not(var) if i not in failed else var
-                        for i, var in node_vars.items()
-                    ]
-                    if spec.link_k is not None:
-                        flip += [
-                            Not(var) if pair not in failed_links else var
-                            for pair, var
-                            in self._encoder.link_vars().items()
-                        ]
-                    solver.add(Or(*flip))
-                if not failed and not failed_links:
-                    # The empty vector violates the property; nothing
-                    # else can be more minimal.
-                    break
-        return threats
+            # On budget expiry drive_enumeration raises
+            # ResourceLimitReached carrying the vectors found so far;
+            # the scope's context manager pops the blocking clauses on
+            # the way out either way, so the cached base encoding stays
+            # clean for the next query.
+            return list(drive_enumeration(
+                check, extract, block, limit=limit, what="threat vector",
+                limit_reason=lambda: solver.last_limit_reason))
 
     # ------------------------------------------------------------------
 

@@ -80,6 +80,9 @@ class VerificationResult:
     threat: Optional[ThreatVector] = None
     solve_time: float = 0.0
     encode_time: float = 0.0
+    #: Time decoding the solver model into a :class:`ThreatVector`
+    #: (including minimization); 0.0 for resilient/unknown verdicts.
+    extract_time: float = 0.0
     num_vars: int = 0
     num_clauses: int = 0
     details: Dict[str, object] = field(default_factory=dict)
@@ -105,7 +108,13 @@ class VerificationResult:
 
     @property
     def total_time(self) -> float:
-        return self.solve_time + self.encode_time
+        return self.solve_time + self.encode_time + self.extract_time
+
+    @property
+    def phase_times(self) -> Dict[str, float]:
+        """The encode/solve/extract split of :attr:`total_time`."""
+        return {"encode": self.encode_time, "solve": self.solve_time,
+                "extract": self.extract_time}
 
     def summary(self) -> str:
         if self.status is Status.RESILIENT:

@@ -32,6 +32,7 @@ from ..core.problem import ObservabilityProblem
 from ..core.reference import ReferenceEvaluator
 from ..core.results import ThreatVector, VerificationResult
 from ..core.specs import ResiliencySpec
+from ..obs.tracer import event as obs_event
 from ..sat.limits import Limits, ResourceLimitReached
 from ..scada.network import ScadaNetwork
 from .cache import EncodingCache, EncodingKey
@@ -144,13 +145,19 @@ class IncrementalBackend:
             model_links=spec.link_k is not None,
             card_encoding=self.card_encoding,
         )
-        ctx = self.cache.get_or_create(key, lambda: IncrementalContext(
-            self.network, self.problem, prop=spec.property, r=spec.r,
-            model_links=spec.link_k is not None,
-            card_encoding=self.card_encoding,
-            reference=self.reference,
-            budget_mode=self._budget_mode))
-        return key, ctx
+        def build() -> IncrementalContext:
+            ctx = IncrementalContext(
+                self.network, self.problem, prop=spec.property, r=spec.r,
+                model_links=spec.link_k is not None,
+                card_encoding=self.card_encoding,
+                reference=self.reference,
+                budget_mode=self._budget_mode)
+            obs_event("backend.context_created", backend=self.name,
+                      prop=spec.property.value,
+                      base_encode_time=ctx.base_encode_time)
+            return ctx
+
+        return key, self.cache.get_or_create(key, build)
 
     def verify(self, spec: ResiliencySpec, minimize: bool = True,
                max_conflicts: Optional[int] = None,
@@ -164,6 +171,7 @@ class IncrementalBackend:
                     self.network, self.problem,
                     card_encoding=self.card_encoding,
                     reference=self.reference)
+            obs_event("backend.certify_fallback", backend=self.name)
             result = self._certify_fallback.verify(
                 spec, minimize=minimize, max_conflicts=max_conflicts,
                 certify=True, limits=limits)

@@ -17,6 +17,7 @@ from typing import Callable, NamedTuple, Optional
 
 from ..core.incremental import IncrementalContext
 from ..core.specs import Property
+from ..obs.tracer import count as obs_count
 
 __all__ = ["EncodingKey", "EncodingCache"]
 
@@ -58,8 +59,10 @@ class EncodingCache:
         if entry is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            obs_count("cache.hits")
         else:
             self.misses += 1
+            obs_count("cache.misses")
         return entry
 
     def put(self, key: EncodingKey, entry: IncrementalContext) -> None:

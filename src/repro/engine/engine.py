@@ -25,6 +25,7 @@ from ..core.reference import ReferenceEvaluator
 from ..core.results import Status, ThreatVector, VerificationResult
 from ..core.search import SearchBounds, galloping_max_bounded
 from ..core.specs import Property, ResiliencySpec
+from ..obs.tracer import span as obs_span
 from ..sat.limits import Limits, ResourceLimitReached
 from ..scada.network import ScadaNetwork
 from .backends import VerificationBackend, make_backend
@@ -122,9 +123,18 @@ class VerificationEngine:
         bounds the solve; an expired budget yields an UNKNOWN result,
         never a spurious verdict.
         """
-        return self._backend.verify(spec, minimize=minimize,
-                                    max_conflicts=max_conflicts,
-                                    certify=certify, limits=limits)
+        with obs_span("query", spec=spec.describe(),
+                      backend=self.backend_name) as sp:
+            result = self._backend.verify(spec, minimize=minimize,
+                                          max_conflicts=max_conflicts,
+                                          certify=certify, limits=limits)
+            sp.attrs["status"] = result.status.value
+            sp.attrs["conflicts"] = int(result.stats.get("conflicts", 0))
+            sp.attrs["restarts"] = int(result.stats.get("restarts", 0))
+            sp.attrs["decisions"] = int(result.stats.get("decisions", 0))
+            sp.attrs["propagations"] = int(
+                result.stats.get("propagations", 0))
+        return result
 
     def enumerate_threat_vectors(
         self,

@@ -41,8 +41,11 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+
+from ..obs.tracer import Tracer, activate, current_tracer
+from ..obs.tracer import span as obs_span
 
 __all__ = ["SweepExecutor", "SweepTaskError", "resolve_jobs"]
 
@@ -106,6 +109,42 @@ class _WorkerFailure:
     traceback: str = ""
 
 
+@dataclass
+class _TaskOutcome:
+    """A task's result plus its worker-side telemetry, shipped back
+    across the pool.  ``export`` is the worker tracer's
+    :meth:`~repro.obs.tracer.Tracer.export` — plain dicts, picklable."""
+
+    value: Any
+    worker: int
+    duration: float
+    export: Dict[str, Any] = field(default_factory=dict)
+
+
+class _TelemetryBoundary:
+    """Picklable wrapper tracing one task inside a pool worker.
+
+    The parent's tracer does not exist in the worker process, so the
+    worker traces into a fresh in-memory :class:`~repro.obs.Tracer`
+    (activated for the duration of the task, which is what the solver
+    probes and spans inside *fn* see) and ships its export home inside
+    a :class:`_TaskOutcome` for the parent to absorb with per-worker
+    attribution.  Only used when the parent has an active tracer.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, task: Any) -> "_TaskOutcome":
+        tracer = Tracer()
+        started = time.perf_counter()
+        with activate(tracer):
+            value = self.fn(task)
+        return _TaskOutcome(value, os.getpid(),
+                            time.perf_counter() - started,
+                            tracer.export())
+
+
 class _FaultBoundary:
     """Picklable wrapper returning failures as values, not raises.
 
@@ -153,6 +192,10 @@ class SweepExecutor:
         #: :class:`SweepTaskError` per task lost in the last :meth:`map`
         #: call (empty when everything succeeded).
         self.last_failures: List[SweepTaskError] = []
+        #: Per-task attribution of the last :meth:`map` call when a
+        #: tracer was active — dicts of ``index``, ``worker`` (pid),
+        #: ``dur`` (seconds), ``ok``.  Empty with tracing off.
+        self.last_telemetry: List[Dict[str, Any]] = []
 
     def map(self, fn: Callable[[_T], _R], tasks: Sequence[_T], *,
             timeout: Optional[float] = None,
@@ -177,14 +220,19 @@ class SweepExecutor:
             raise ValueError("retries must be non-negative")
         task_list = list(tasks)
         self.last_failures = []
+        self.last_telemetry = []
         started = time.perf_counter()
-        try:
-            if self.jobs == 1 or len(task_list) <= 1:
-                return self._map_inline(fn, task_list, retries, on_error)
-            return self._map_pool(fn, task_list, timeout, retries,
-                                  on_error)
-        finally:
-            self.last_wall_time = time.perf_counter() - started
+        with obs_span("sweep", jobs=self.jobs,
+                      tasks=len(task_list)) as sp:
+            try:
+                if self.jobs == 1 or len(task_list) <= 1:
+                    return self._map_inline(fn, task_list, retries,
+                                            on_error)
+                return self._map_pool(fn, task_list, timeout, retries,
+                                      on_error)
+            finally:
+                self.last_wall_time = time.perf_counter() - started
+                sp.attrs["failures"] = len(self.last_failures)
 
     def starmap(self, fn: Callable[..., _R],
                 tasks: Sequence[Sequence[Any]], *,
@@ -201,19 +249,45 @@ class SweepExecutor:
               results: List[Any], index: int) -> None:
         """Record a task's final failure per the *on_error* policy."""
         self.last_failures.append(err)
+        tracer = current_tracer()
+        if tracer is not None:
+            entry: Dict[str, Any] = {"index": index, "ok": False,
+                                     "error": err.cause_type}
+            self.last_telemetry.append(entry)
+            tracer.event("sweep.task", **entry)
         if on_error == "raise":
             raise err
         results[index] = err
 
+    def _settle(self, value: Any, index: int) -> Any:
+        """Unwrap a :class:`_TaskOutcome` from a traced pool worker:
+        absorb its telemetry into the live tracer with per-worker (pid)
+        attribution, record the task event, return the task's value.
+        Non-outcome values (tracing off, or a failure) pass through."""
+        if not isinstance(value, _TaskOutcome):
+            return value
+        entry: Dict[str, Any] = {"index": index, "worker": value.worker,
+                                 "dur": value.duration, "ok": True}
+        self.last_telemetry.append(entry)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.absorb(value.export, worker=value.worker)
+            tracer.event("sweep.task", **entry)
+        return value.value
+
     def _map_inline(self, fn: Callable[[_T], _R], tasks: List[_T],
                     retries: int, on_error: str) -> List[Any]:
+        tracer = current_tracer()
         results: List[Any] = [None] * len(tasks)
         for idx, task in enumerate(tasks):
             attempt = 0
+            task_started = time.perf_counter()
+            ok = False
             while True:
                 attempt += 1
                 try:
                     results[idx] = fn(task)
+                    ok = True
                     break
                 except Exception as exc:
                     if attempt <= retries:
@@ -224,12 +298,28 @@ class SweepExecutor:
                     err.__cause__ = exc
                     self._fail(err, on_error, results, idx)
                     break
+            if ok and tracer is not None:
+                # Inline tasks trace straight into the live tracer; only
+                # the per-task attribution event needs emitting here.
+                entry: Dict[str, Any] = {
+                    "index": idx, "worker": os.getpid(),
+                    "dur": time.perf_counter() - task_started, "ok": True,
+                }
+                self.last_telemetry.append(entry)
+                tracer.event("sweep.task", **entry)
         return results
 
     def _map_pool(self, fn: Callable[[_T], _R], tasks: List[_T],
                   timeout: Optional[float], retries: int,
                   on_error: str) -> List[Any]:
-        boundary = _FaultBoundary(fn)
+        # With a tracer active, each worker runs its task under a fresh
+        # in-memory tracer whose export rides home in a _TaskOutcome;
+        # _settle absorbs it.  The telemetry boundary sits *inside* the
+        # fault boundary so a task exception still becomes a
+        # _WorkerFailure value, exactly as with tracing off.
+        traced_fn: Callable[[Any], Any] = (
+            _TelemetryBoundary(fn) if current_tracer() is not None else fn)
+        boundary = _FaultBoundary(traced_fn)
         n = len(tasks)
         results: List[Any] = [None] * n
         resolved = [False] * n
@@ -247,14 +337,16 @@ class SweepExecutor:
                     # salvage whatever already finished before the kill.
                     if fut.done() and not fut.cancelled():
                         try:
-                            results[idx] = fut.result(timeout=0)
+                            results[idx] = self._settle(
+                                fut.result(timeout=0), idx)
                             resolved[idx] = True
                             attempts[idx] = 1
                         except Exception:
                             pass
                     continue
                 try:
-                    results[idx] = fut.result(timeout=timeout)
+                    results[idx] = self._settle(
+                        fut.result(timeout=timeout), idx)
                     resolved[idx] = True
                     attempts[idx] = 1
                 except (_FuturesTimeout, BrokenProcessPool):
@@ -287,7 +379,7 @@ class SweepExecutor:
                 if isinstance(value, _WorkerFailure):
                     failure = value
                     continue
-                results[idx] = value
+                results[idx] = self._settle(value, idx)
                 resolved[idx] = True
                 failures.pop(idx, None)
                 failure = None

@@ -1,0 +1,61 @@
+"""Telemetry: solver hooks, spans, metrics, JSONL traces, aggregation.
+
+The subsystem behind ``--trace`` and ``repro stats``.  Design rules:
+
+- **Off by default, near-zero when off.**  No tracer installed means
+  every instrumentation point is one ``None`` check (module helpers
+  here and in :mod:`.tracer`) or one attribute check (solver hooks).
+- **Observers depend on the code they observe, never the reverse.**
+  The hook protocol lives in :mod:`repro.sat.hooks`; ``repro.sat``
+  does not import ``repro.obs``.
+- **Pickle-safe across process pools.**  Sweep workers trace into
+  in-memory tracers whose exports ship back with task results and are
+  absorbed into the parent trace with per-worker attribution.
+"""
+
+from .metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from .schema import (
+    TRACE_VERSION,
+    load_trace,
+    validate_record,
+    validate_trace,
+)
+from .stats import TraceStats, aggregate
+from .tracer import (
+    SolverProbe,
+    Span,
+    Tracer,
+    activate,
+    count,
+    current_tracer,
+    event,
+    gauge,
+    observe,
+    probe_for,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "SolverProbe",
+    "Span",
+    "TRACE_VERSION",
+    "TraceStats",
+    "Tracer",
+    "activate",
+    "aggregate",
+    "count",
+    "current_tracer",
+    "event",
+    "gauge",
+    "load_trace",
+    "observe",
+    "probe_for",
+    "set_tracer",
+    "span",
+    "validate_record",
+    "validate_trace",
+]

@@ -1,0 +1,182 @@
+"""Metrics primitives: counters, gauges, and fixed-bucket histograms.
+
+The registry is the in-memory half of the telemetry layer: solver hooks
+and spans feed it during a run, and its :meth:`MetricsRegistry.snapshot`
+is written as the final record of a JSONL trace (see
+:mod:`repro.obs.schema`).  Snapshots are plain JSON-able dictionaries,
+so they pickle across :class:`~repro.engine.SweepExecutor` process
+pools and :meth:`MetricsRegistry.merge` can fold a worker's metrics
+into the parent's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["DEFAULT_BUCKETS", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds — tuned for small-integer
+#: solver distributions (learned-clause LBD, conflict decision depth):
+#: fine-grained at the glue end, geometric above, overflow bucket last.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 256, 512,
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram over non-negative observations.
+
+    ``bounds`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything above the last bound.  The running ``sum``,
+    ``min``, and ``max`` make mean/extremes recoverable from a snapshot
+    without raw samples.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "low", "high")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be non-empty and sorted")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.low: Optional[float] = None
+        self.high: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.total += value
+        if self.low is None or value < self.low:
+            self.low = value
+        if self.high is None or value > self.high:
+            self.high = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the covering bucket.
+
+        Overflow observations report the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index < len(self.bounds):
+                    return float(self.bounds[index])
+                return float(self.high if self.high is not None else 0.0)
+        return float(self.high if self.high is not None else 0.0)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.low,
+            "max": self.high,
+        }
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another histogram's snapshot (same bounds) into this."""
+        bounds = snapshot.get("bounds")
+        if tuple(bounds or ()) != self.bounds:  # type: ignore[arg-type]
+            raise ValueError("histogram bucket bounds differ; cannot merge")
+        counts = snapshot.get("counts")
+        assert isinstance(counts, list)
+        for index, value in enumerate(counts):
+            self.counts[index] += int(value)
+        self.count += int(snapshot.get("count", 0))  # type: ignore[arg-type]
+        self.total += float(snapshot.get("sum", 0.0))  # type: ignore[arg-type]
+        for key, pick in (("min", min), ("max", max)):
+            other = snapshot.get(key)
+            if other is None:
+                continue
+            mine = self.low if key == "min" else self.high
+            merged = (float(other) if mine is None  # type: ignore[arg-type]
+                      else pick(mine, float(other)))  # type: ignore[arg-type]
+            if key == "min":
+                self.low = merged
+            else:
+                self.high = merged
+
+    def __repr__(self) -> str:
+        return (f"Histogram(n={self.count}, mean={self.mean:.2f}, "
+                f"max={self.high})")
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one trace session."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float,
+                bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram(bounds)
+            self.histograms[name] = hist
+        hist.observe(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-able (and picklable) copy of every metric."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: hist.snapshot()
+                           for name, hist in self.histograms.items()},
+        }
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold a snapshot (e.g. from a sweep worker) into this registry.
+
+        Counters and histograms add; gauges keep the merged-in value
+        (last writer wins, matching their point-in-time semantics).
+        """
+        counters = snapshot.get("counters") or {}
+        assert isinstance(counters, Mapping)
+        for name, value in counters.items():
+            self.count(name, int(value))
+        gauges = snapshot.get("gauges") or {}
+        assert isinstance(gauges, Mapping)
+        for name, value in gauges.items():
+            self.gauge(name, float(value))
+        histograms = snapshot.get("histograms") or {}
+        assert isinstance(histograms, Mapping)
+        for name, hist_snapshot in histograms.items():
+            assert isinstance(hist_snapshot, Mapping)
+            hist = self.histograms.get(name)
+            if hist is None:
+                bounds = hist_snapshot.get("bounds") or DEFAULT_BUCKETS
+                assert isinstance(bounds, Sequence)
+                hist = Histogram(tuple(float(b) for b in bounds))
+                self.histograms[name] = hist
+            hist.merge(hist_snapshot)
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry(counters={len(self.counters)}, "
+                f"gauges={len(self.gauges)}, "
+                f"histograms={len(self.histograms)})")

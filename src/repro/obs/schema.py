@@ -1,0 +1,140 @@
+"""The JSONL trace schema, and a dependency-free validator.
+
+A trace file is one JSON object per line.  Four record types:
+
+``meta``
+    Exactly one, first line.  ``{"type": "meta", "version": 1,
+    "pid": <int>, "attrs": {...}}`` — ``attrs`` carries the command
+    line, config path, backend, and anything else the producer knows.
+
+``span``
+    A named timed region.  ``{"type": "span", "name": <str>,
+    "t": <float>, "dur": <float>, "attrs": {...}}`` — ``t`` is the
+    start offset in seconds from the tracer's start, ``dur`` the
+    duration.  Phase spans are named ``encode`` / ``solve`` /
+    ``extract``; a whole verification is a ``query`` span; a parallel
+    fan-out is a ``sweep`` span.
+
+``event``
+    A point observation.  ``{"type": "event", "name": <str>,
+    "t": <float>, "attrs": {...}}`` — e.g. ``solver.restart``,
+    ``sweep.task``.
+
+``metrics``
+    Exactly one, last line: the final
+    :class:`~repro.obs.metrics.MetricsRegistry` snapshot —
+    ``{"type": "metrics", "counters": {...}, "gauges": {...},
+    "histograms": {...}}``.
+
+Records replayed from sweep workers additionally carry a ``worker``
+field (the worker pid).  Validation is structural, not exhaustive:
+:func:`validate_record` checks the fields above and their types, and
+:func:`validate_trace` additionally checks the meta-first /
+metrics-last framing.  Both return human-readable problem strings
+(empty list = valid) so the CI smoke job and ``repro stats`` can report
+malformed traces without raising.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping
+
+__all__ = [
+    "TRACE_VERSION",
+    "RECORD_TYPES",
+    "validate_record",
+    "validate_trace",
+    "load_trace",
+]
+
+TRACE_VERSION = 1
+
+RECORD_TYPES = ("meta", "span", "event", "metrics")
+
+#: Required fields (beyond ``type``) per record type, with the Python
+#: type (or tuple of types, as ``isinstance`` accepts) each uses.
+_NUMBER = (int, float)
+_REQUIRED: Dict[str, Dict[str, Any]] = {
+    "meta": {"version": int, "pid": int, "attrs": dict},
+    "span": {"name": str, "t": _NUMBER, "dur": _NUMBER, "attrs": dict},
+    "event": {"name": str, "t": _NUMBER, "attrs": dict},
+    "metrics": {"counters": dict, "gauges": dict, "histograms": dict},
+}
+
+
+def validate_record(record: object, index: int = 0) -> List[str]:
+    """Structural problems with one parsed record (empty = valid)."""
+    where = f"record {index}"
+    if not isinstance(record, Mapping):
+        return [f"{where}: not a JSON object"]
+    kind = record.get("type")
+    if kind not in RECORD_TYPES:
+        return [f"{where}: unknown type {kind!r}"]
+    problems: List[str] = []
+    for field, expected in _REQUIRED[kind].items():
+        if field not in record:
+            problems.append(f"{where} ({kind}): missing field {field!r}")
+        elif not isinstance(record[field], expected):
+            problems.append(
+                f"{where} ({kind}): field {field!r} has type "
+                f"{type(record[field]).__name__}")
+    if kind == "meta":
+        version = record.get("version")
+        if isinstance(version, int) and version > TRACE_VERSION:
+            problems.append(
+                f"{where} (meta): trace version {version} is newer than "
+                f"supported version {TRACE_VERSION}")
+    worker = record.get("worker")
+    if worker is not None and not isinstance(worker, int):
+        problems.append(f"{where} ({kind}): field 'worker' has type "
+                        f"{type(worker).__name__}")
+    return problems
+
+
+def validate_trace(records: Iterable[object]) -> List[str]:
+    """Problems with a whole record stream: per-record plus framing."""
+    problems: List[str] = []
+    kinds: List[str] = []
+    for index, record in enumerate(records):
+        problems.extend(validate_record(record, index))
+        if isinstance(record, Mapping):
+            kind = record.get("type")
+            if isinstance(kind, str):
+                kinds.append(kind)
+    if not kinds:
+        return problems + ["trace is empty"]
+    if kinds[0] != "meta":
+        problems.append("first record is not 'meta'")
+    if kinds.count("meta") > 1:
+        problems.append("multiple 'meta' records")
+    if kinds[-1] != "metrics":
+        problems.append("last record is not 'metrics' "
+                        "(trace truncated or tracer not closed?)")
+    if kinds.count("metrics") > 1:
+        problems.append("multiple 'metrics' records")
+    return problems
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file into records.
+
+    Raises ``ValueError`` naming the offending line on malformed JSON;
+    use :func:`validate_trace` afterwards for schema-level checks.
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed JSON ({exc.msg})"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{lineno}: not a JSON object")
+            records.append(record)
+    return records

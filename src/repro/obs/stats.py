@@ -1,0 +1,245 @@
+"""Trace aggregation behind ``repro stats``.
+
+:func:`aggregate` folds one or more JSONL trace files into a
+:class:`TraceStats` summary: wall time per phase (encode / solve /
+extract), per-query solver work (conflicts, restarts, decisions),
+encoding-cache hit rate, sweep worker utilization, and the solver
+distribution histograms (LBD, conflict depth) from the final metrics
+record.  :meth:`TraceStats.to_text` renders the human summary printed
+by default; :meth:`TraceStats.to_json` the machine form behind
+``--json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .schema import load_trace, validate_trace
+
+__all__ = ["PhaseStat", "TraceStats", "aggregate"]
+
+#: Span names treated as verification phases, in display order.
+PHASES = ("encode", "solve", "extract")
+
+
+class PhaseStat:
+    """Total wall time and invocation count for one phase."""
+
+    __slots__ = ("count", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class TraceStats:
+    """The aggregate of one or more trace files."""
+
+    def __init__(self) -> None:
+        self.traces = 0
+        self.problems: List[str] = []
+        self.phases: Dict[str, PhaseStat] = {p: PhaseStat() for p in PHASES}
+        self.queries = 0
+        self.query_time = 0.0
+        self.conflicts = 0
+        self.restarts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.sweeps = 0
+        self.sweep_time = 0.0
+        self.sweep_tasks = 0
+        self.sweep_failures = 0
+        #: worker pid -> summed task wall time
+        self.worker_busy: Dict[int, float] = {}
+        self.metrics = MetricsRegistry()
+        self.events: Dict[str, int] = {}
+
+    # -- folding --------------------------------------------------------
+
+    def add_trace(self, records: Sequence[Mapping[str, Any]],
+                  source: str = "<trace>") -> None:
+        self.traces += 1
+        self.problems.extend(f"{source}: {p}"
+                             for p in validate_trace(records))
+        for record in records:
+            kind = record.get("type")
+            if kind == "span":
+                self._add_span(record)
+            elif kind == "event":
+                self._add_event(record)
+            elif kind == "metrics":
+                self.metrics.merge(record)
+
+    def _add_span(self, record: Mapping[str, Any]) -> None:
+        name = record.get("name")
+        duration = float(record.get("dur") or 0.0)
+        attrs = record.get("attrs") or {}
+        if not isinstance(attrs, Mapping):
+            attrs = {}
+        if name in self.phases:
+            self.phases[str(name)].add(duration)
+        elif name == "query":
+            self.queries += 1
+            self.query_time += duration
+            self.conflicts += int(attrs.get("conflicts") or 0)
+            self.restarts += int(attrs.get("restarts") or 0)
+            self.decisions += int(attrs.get("decisions") or 0)
+            self.propagations += int(attrs.get("propagations") or 0)
+        elif name == "sweep":
+            self.sweeps += 1
+            self.sweep_time += duration
+
+    def _add_event(self, record: Mapping[str, Any]) -> None:
+        name = str(record.get("name"))
+        self.events[name] = self.events.get(name, 0) + 1
+        if name != "sweep.task":
+            return
+        attrs = record.get("attrs") or {}
+        if not isinstance(attrs, Mapping):
+            return
+        self.sweep_tasks += 1
+        if attrs.get("ok") is False:
+            self.sweep_failures += 1
+        worker = attrs.get("worker", record.get("worker"))
+        duration = float(attrs.get("dur") or 0.0)
+        if isinstance(worker, int):
+            self.worker_busy[worker] = (
+                self.worker_busy.get(worker, 0.0) + duration)
+
+    # -- derived --------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        hits = self.metrics.counters.get("cache.hits", 0)
+        misses = self.metrics.counters.get("cache.misses", 0)
+        lookups = hits + misses
+        return hits / lookups if lookups else None
+
+    @property
+    def worker_utilization(self) -> Optional[float]:
+        """Mean fraction of sweep wall time each worker spent busy."""
+        if not self.worker_busy or self.sweep_time <= 0.0:
+            return None
+        per_worker = self.sweep_time * len(self.worker_busy)
+        return min(1.0, sum(self.worker_busy.values()) / per_worker)
+
+    def _per_query(self, total: int) -> str:
+        if not self.queries:
+            return str(total)
+        return f"{total} ({total / self.queries:.1f}/query)"
+
+    # -- rendering ------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        histograms = {
+            name: {"count": hist.count, "mean": hist.mean,
+                   "p50": hist.quantile(0.5), "p90": hist.quantile(0.9),
+                   "max": hist.high}
+            for name, hist in sorted(self.metrics.histograms.items())
+        }
+        return {
+            "traces": self.traces,
+            "problems": list(self.problems),
+            "phases": {
+                name: {"count": stat.count, "total": stat.total,
+                       "mean": stat.mean}
+                for name, stat in self.phases.items()
+            },
+            "queries": {
+                "count": self.queries,
+                "total_time": self.query_time,
+                "conflicts": self.conflicts,
+                "restarts": self.restarts,
+                "decisions": self.decisions,
+                "propagations": self.propagations,
+            },
+            "cache": {
+                "hits": self.metrics.counters.get("cache.hits", 0),
+                "misses": self.metrics.counters.get("cache.misses", 0),
+                "hit_rate": self.cache_hit_rate,
+            },
+            "sweep": {
+                "sweeps": self.sweeps,
+                "tasks": self.sweep_tasks,
+                "failures": self.sweep_failures,
+                "wall_time": self.sweep_time,
+                "workers": len(self.worker_busy),
+                "utilization": self.worker_utilization,
+            },
+            "counters": dict(sorted(self.metrics.counters.items())),
+            "histograms": histograms,
+            "events": dict(sorted(self.events.items())),
+        }
+
+    def to_text(self) -> str:
+        lines: List[str] = []
+        lines.append(f"traces aggregated: {self.traces}")
+        if self.problems:
+            lines.append(f"schema problems: {len(self.problems)}")
+            lines.extend(f"  ! {p}" for p in self.problems[:10])
+            if len(self.problems) > 10:
+                lines.append(f"  … and {len(self.problems) - 10} more")
+        lines.append("")
+        lines.append("phase timings:")
+        phase_total = sum(s.total for s in self.phases.values())
+        for name in PHASES:
+            stat = self.phases[name]
+            share = (100.0 * stat.total / phase_total
+                     if phase_total > 0 else 0.0)
+            lines.append(f"  {name:<8} {stat.total:9.3f}s  "
+                         f"x{stat.count:<5d} mean {stat.mean * 1e3:8.2f}ms"
+                         f"  {share:5.1f}%")
+        lines.append("")
+        lines.append(f"queries: {self.queries} "
+                     f"({self.query_time:.3f}s total)")
+        if self.queries:
+            lines.append(f"  conflicts    {self._per_query(self.conflicts)}")
+            lines.append(f"  restarts     {self._per_query(self.restarts)}")
+            lines.append(f"  decisions    {self._per_query(self.decisions)}")
+            lines.append("  propagations "
+                         f"{self._per_query(self.propagations)}")
+        rate = self.cache_hit_rate
+        if rate is not None:
+            hits = self.metrics.counters.get("cache.hits", 0)
+            misses = self.metrics.counters.get("cache.misses", 0)
+            lines.append(f"encoding cache: {hits} hit(s), {misses} "
+                         f"miss(es) ({100.0 * rate:.1f}% hit rate)")
+        if self.sweep_tasks:
+            lines.append(f"sweeps: {self.sweeps} "
+                         f"({self.sweep_time:.3f}s wall), "
+                         f"{self.sweep_tasks} task(s), "
+                         f"{self.sweep_failures} failure(s), "
+                         f"{len(self.worker_busy)} worker(s)")
+            util = self.worker_utilization
+            if util is not None:
+                lines.append(f"  worker utilization: {100.0 * util:.1f}%")
+            for pid, busy in sorted(self.worker_busy.items()):
+                lines.append(f"  worker {pid}: {busy:.3f}s busy")
+        if self.metrics.histograms:
+            lines.append("")
+            lines.append("solver distributions:")
+            for name, hist in sorted(self.metrics.histograms.items()):
+                lines.append(
+                    f"  {name:<22} n={hist.count:<7d} "
+                    f"mean={hist.mean:6.2f} p50={hist.quantile(0.5):g} "
+                    f"p90={hist.quantile(0.9):g} max={hist.high:g}"
+                    if hist.high is not None else
+                    f"  {name:<22} n=0")
+        return "\n".join(lines) + "\n"
+
+
+def aggregate(paths: Sequence[str]) -> TraceStats:
+    """Fold the trace files at *paths* into one :class:`TraceStats`."""
+    stats = TraceStats()
+    for path in paths:
+        stats.add_trace(load_trace(path), source=path)
+    return stats

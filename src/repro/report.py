@@ -31,6 +31,7 @@ from .core import (
 )
 from .core.hardening import harden
 from .engine import SweepExecutor, VerificationEngine
+from .obs.tracer import span as obs_span
 from .sat.limits import Limits, ResourceLimitReached
 from .scada.network import ScadaNetwork
 
@@ -77,6 +78,16 @@ def audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
     the exhausted budget — the report never upgrades an UNKNOWN to a
     verdict.
     """
+    with obs_span("report", backend=backend, jobs=jobs):
+        return _audit_report(network, problem, threat_limit,
+                             include_hardening, include_attack_cost,
+                             backend, jobs, limits)
+
+
+def _audit_report(network: ScadaNetwork, problem: ObservabilityProblem,
+                  threat_limit: int, include_hardening: bool,
+                  include_attack_cost: bool, backend: str, jobs: int,
+                  limits: Optional[Limits]) -> str:
     engine = VerificationEngine(network, problem, backend=backend, jobs=jobs)
     out = io.StringIO()
 

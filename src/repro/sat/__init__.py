@@ -7,7 +7,8 @@ translated to cardinality encodings (see :mod:`repro.smt`).
 
 from .cnf import CNF
 from .dimacs import dumps, loads, parse_dimacs, write_dimacs
-from .enumeration import count_models, enumerate_models
+from .enumeration import count_models, drive_enumeration, enumerate_models
+from .hooks import SolverHooks
 from .limits import LimitReason, Limits, ResourceLimitReached
 from .solver import Clause, SatSolver, SolverStats
 from .types import TautologyError, neg, normalize_clause, var_of
@@ -19,9 +20,11 @@ __all__ = [
     "Limits",
     "ResourceLimitReached",
     "SatSolver",
+    "SolverHooks",
     "SolverStats",
     "TautologyError",
     "count_models",
+    "drive_enumeration",
     "dumps",
     "enumerate_models",
     "loads",

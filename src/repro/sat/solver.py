@@ -23,6 +23,7 @@ from heapq import heappop, heappush
 from time import monotonic
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .hooks import SolverHooks
 from .limits import LimitReason, Limits
 from .types import from_internal, to_internal
 
@@ -156,6 +157,9 @@ class SatSolver:
         self._core: List[int] = []
         self._assumption_set: set = set()
         self.stats = SolverStats()
+        #: Optional event observer (see :mod:`repro.sat.hooks`).  With
+        #: the default ``None`` every call site is one attribute check.
+        self.hooks: Optional[SolverHooks] = None
 
     # ------------------------------------------------------------------
     # Variable and clause management
@@ -370,6 +374,8 @@ class SatSolver:
             if self._value[var << 1] == _UNDEF
         ]
         self._order_heap.sort()
+        if self.hooks is not None:
+            self.hooks.on_rescale()
 
     def _cancel_until(self, level: int) -> None:
         if len(self._trail_lim) <= level:
@@ -393,7 +399,7 @@ class SatSolver:
     # ------------------------------------------------------------------
 
     def _analyze(self, conflict: Clause) -> tuple:
-        """First-UIP analysis; returns (learned internal lits, backjump level)."""
+        """First-UIP analysis → (learned internal lits, backjump level)."""
         learned: List[int] = [0]  # placeholder for the asserting literal
         seen = self._seen
         level = self._level
@@ -534,7 +540,11 @@ class SatSolver:
         if removed:
             for watchlist in self._watches:
                 watchlist[:] = [c for c in watchlist if id(c) not in removed]
+        before = len(learned)
         self._learned = kept
+        if self.hooks is not None:
+            self.hooks.on_reduce_db(before, len(kept),
+                                    self.stats.conflicts)
 
     # ------------------------------------------------------------------
     # Top-level search
@@ -621,18 +631,24 @@ class SatSolver:
                 if self._proof_learned is not None:
                     self._proof_learned.append(
                         [from_internal(lit) for lit in learned])
+                hooks = self.hooks
+                # Decision level at the conflict, read before backjumping.
+                conflict_level = len(self._trail_lim)
                 self._cancel_until(back_level)
                 if len(learned) == 1:
                     if not self._enqueue(learned[0], None):
                         self._ok = False
                         return False
+                    lbd = 1
                 else:
                     clause = Clause(learned, learned=True)
-                    clause.lbd = self._compute_lbd(learned)
+                    clause.lbd = lbd = self._compute_lbd(learned)
                     self._learned.append(clause)
                     self.stats.learned_clauses += 1
                     self._attach(clause)
                     self._enqueue(learned[0], clause)
+                if hooks is not None:
+                    hooks.on_learned(lbd, len(learned), conflict_level)
                 self._var_inc *= self._var_decay
                 self._cla_inc *= self._cla_decay
                 budget -= 1
@@ -640,6 +656,9 @@ class SatSolver:
                     restart_idx += 1
                     budget = _luby(restart_idx) * restart_base
                     self.stats.restarts += 1
+                    if hooks is not None:
+                        hooks.on_restart(self.stats.restarts,
+                                         self.stats.conflicts)
                     self._cancel_until(0)
                 if len(self._learned) > max_learnts:
                     self._reduce_db()

@@ -14,6 +14,7 @@ import time
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from ..sat.cnf import CNF
+from ..sat.hooks import SolverHooks
 from ..sat.limits import LimitReason, Limits
 from ..sat.solver import SatSolver
 from .terms import FALSE, TRUE, BoolVar, Term
@@ -215,6 +216,9 @@ class Solver:
         #: the search actually running.
         self._active_sat: Optional[SatSolver] = None
         self._interrupt_requested = False
+        #: Event observer forwarded to the underlying CDCL search (and
+        #: to each per-check throwaway solver when preprocessing).
+        self._hooks: Optional[SolverHooks] = None
         #: Why the last :meth:`check` answered UNKNOWN (``None`` after
         #: a decided answer).
         self.last_limit_reason: Optional[LimitReason] = None
@@ -330,6 +334,18 @@ class Solver:
         if self._active_sat is not None:
             self._active_sat.clear_interrupt()
 
+    def set_hooks(self, hooks: Optional[SolverHooks]) -> None:
+        """Install (or clear, with ``None``) a solver event observer.
+
+        Forwarded to the persistent CDCL engine immediately and to
+        every per-check throwaway solver in preprocessing mode.  The
+        disabled state costs the search one attribute check (see
+        :mod:`repro.sat.hooks`).
+        """
+        self._hooks = hooks
+        if self._sat is not None:
+            self._sat.hooks = hooks
+
     def check(self, *assumptions: Term,
               max_conflicts: Optional[int] = None,
               limits: Optional[Limits] = None) -> Result:
@@ -434,6 +450,7 @@ class Solver:
             return Result.UNSAT
 
         sub = SatSolver()
+        sub.hooks = self._hooks
         if self._produce_proof:
             sub.enable_proof()
         for clause in result.cnf.clauses:

@@ -1,0 +1,100 @@
+"""Per-task telemetry threading through SweepExecutor's process pool."""
+
+from repro.engine import SweepExecutor
+from repro.obs.tracer import Tracer, activate
+from repro.obs.tracer import span as obs_span
+
+
+def _traced_square(x):
+    # Worker-side instrumentation: the telemetry boundary activates a
+    # fresh tracer in the worker, so this span must come home.
+    with obs_span("solve", task=x):
+        return x * x
+
+
+def _raise_on_two(x):
+    if x == 2:
+        raise ValueError(f"bad task {x}")
+    return x * x
+
+
+def _events(tracer, name):
+    return [r for r in tracer.records
+            if r["type"] == "event" and r["name"] == name]
+
+
+def test_inline_map_emits_task_events():
+    executor = SweepExecutor(jobs=1)
+    tracer = Tracer()
+    with activate(tracer):
+        results = executor.map(_traced_square, [1, 2, 3])
+    assert results == [1, 4, 9]
+    events = _events(tracer, "sweep.task")
+    assert [e["attrs"]["index"] for e in events] == [0, 1, 2]
+    assert all(e["attrs"]["ok"] for e in events)
+    assert len(executor.last_telemetry) == 3
+    # The sweep span wraps the whole map call.
+    sweeps = [r for r in tracer.records
+              if r["type"] == "span" and r["name"] == "sweep"]
+    assert len(sweeps) == 1
+    assert sweeps[0]["attrs"]["tasks"] == 3
+    assert sweeps[0]["attrs"]["failures"] == 0
+    # Inline worker spans recorded directly (no worker replay needed).
+    solves = [r for r in tracer.records
+              if r["type"] == "span" and r["name"] == "solve"]
+    assert len(solves) == 3
+
+
+def test_pool_map_attributes_workers_and_absorbs_spans():
+    executor = SweepExecutor(jobs=2)
+    tracer = Tracer()
+    with activate(tracer):
+        results = executor.map(_traced_square, [1, 2, 3, 4])
+    assert results == [1, 4, 9, 16]
+    events = _events(tracer, "sweep.task")
+    assert sorted(e["attrs"]["index"] for e in events) == [0, 1, 2, 3]
+    workers = {e["attrs"]["worker"] for e in events}
+    assert workers and all(isinstance(w, int) for w in workers)
+    assert all(e["attrs"]["dur"] >= 0.0 for e in events)
+    # The in-worker spans were replayed into the parent trace, each
+    # tagged with the pid of the worker that produced it.
+    solves = [r for r in tracer.records
+              if r["type"] == "span" and r["name"] == "solve"]
+    assert len(solves) == 4
+    assert {s["worker"] for s in solves} <= workers
+    assert {s["attrs"]["task"] for s in solves} == {1, 2, 3, 4}
+    assert len(executor.last_telemetry) == 4
+
+
+def test_pool_map_without_tracer_ships_plain_values():
+    executor = SweepExecutor(jobs=2)
+    assert executor.map(_traced_square, [1, 2, 3]) == [1, 4, 9]
+    assert executor.last_telemetry == []
+
+
+def test_failed_tasks_are_marked_in_telemetry():
+    executor = SweepExecutor(jobs=2)
+    tracer = Tracer()
+    with activate(tracer):
+        results = executor.map(_raise_on_two, [1, 2, 3],
+                               on_error="return")
+    assert results[0] == 1 and results[2] == 9
+    events = _events(tracer, "sweep.task")
+    failed = [e for e in events if not e["attrs"]["ok"]]
+    assert len(failed) == 1
+    assert failed[0]["attrs"]["index"] == 1
+    assert failed[0]["attrs"]["error"] == "ValueError"
+    sweeps = [r for r in tracer.records
+              if r["type"] == "span" and r["name"] == "sweep"]
+    assert sweeps[0]["attrs"]["failures"] == 1
+
+
+def test_merged_trace_still_validates(tmp_path):
+    from repro.obs.schema import validate_trace
+
+    executor = SweepExecutor(jobs=2)
+    tracer = Tracer()
+    with activate(tracer):
+        executor.map(_traced_square, [1, 2, 3, 4])
+    tracer.close()
+    assert validate_trace(tracer.records) == []

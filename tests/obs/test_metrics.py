@@ -1,0 +1,100 @@
+"""Counters, gauges, and fixed-bucket histograms."""
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+def test_histogram_mean_and_extremes():
+    hist = Histogram()
+    for value in (1, 2, 3, 10):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.mean == pytest.approx(4.0)
+    assert hist.low == 1
+    assert hist.high == 10
+
+
+def test_histogram_buckets_are_inclusive_upper_bounds():
+    hist = Histogram(bounds=(1, 2, 4))
+    for value in (1, 2, 2, 3, 4, 100):
+        hist.observe(value)
+    # counts: <=1, <=2, <=4, overflow
+    assert hist.counts == [1, 2, 2, 1]
+
+
+def test_histogram_quantile_reports_bucket_bound():
+    hist = Histogram(bounds=(1, 2, 4))
+    for value in (1, 1, 1, 4):
+        hist.observe(value)
+    assert hist.quantile(0.5) == 1.0
+    assert hist.quantile(1.0) == 4.0
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_histogram_quantile_overflow_reports_max():
+    hist = Histogram(bounds=(1,))
+    hist.observe(50)
+    assert hist.quantile(0.9) == 50.0
+
+
+def test_histogram_merge_adds_counts():
+    a, b = Histogram(), Histogram()
+    for value in (1, 2):
+        a.observe(value)
+    for value in (3, 40):
+        b.observe(value)
+    a.merge(b.snapshot())
+    assert a.count == 4
+    assert a.total == pytest.approx(46.0)
+    assert a.low == 1
+    assert a.high == 40
+
+
+def test_histogram_merge_rejects_different_bounds():
+    a = Histogram(bounds=(1, 2))
+    b = Histogram(bounds=(1, 2, 3))
+    with pytest.raises(ValueError):
+        a.merge(b.snapshot())
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram(bounds=(3, 1))
+
+
+def test_registry_counter_and_gauge():
+    reg = MetricsRegistry()
+    reg.count("queries")
+    reg.count("queries", 2)
+    reg.gauge("depth", 7)
+    snap = reg.snapshot()
+    assert snap["counters"] == {"queries": 3}
+    assert snap["gauges"] == {"depth": 7.0}
+
+
+def test_registry_merge_semantics():
+    parent, worker = MetricsRegistry(), MetricsRegistry()
+    parent.count("queries", 2)
+    parent.gauge("depth", 1.0)
+    parent.observe("lbd", 3)
+    worker.count("queries", 5)
+    worker.gauge("depth", 9.0)
+    worker.observe("lbd", 5)
+    worker.observe("size", 2)
+    parent.merge(worker.snapshot())
+    # Counters add, gauges take the merged-in value, histograms fold.
+    assert parent.counters["queries"] == 7
+    assert parent.gauges["depth"] == 9.0
+    assert parent.histograms["lbd"].count == 2
+    assert parent.histograms["size"].count == 1
+
+
+def test_snapshot_is_json_shaped():
+    import json
+
+    reg = MetricsRegistry()
+    reg.observe("lbd", 3, bounds=DEFAULT_BUCKETS)
+    reg.count("hits")
+    assert json.loads(json.dumps(reg.snapshot()))["counters"] == {"hits": 1}

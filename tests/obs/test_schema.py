@@ -1,0 +1,85 @@
+"""Trace-schema validation and JSONL loading."""
+
+import json
+
+import pytest
+
+from repro.obs.schema import (
+    TRACE_VERSION,
+    load_trace,
+    validate_record,
+    validate_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+def _valid_trace():
+    tracer = Tracer(meta={"command": "verify"})
+    with tracer.span("solve"):
+        pass
+    tracer.event("solver.restart", restarts=1)
+    tracer.close()
+    return tracer.records
+
+
+def test_real_tracer_output_validates_clean():
+    assert validate_trace(_valid_trace()) == []
+
+
+def test_empty_trace_is_a_problem():
+    assert validate_trace([])
+
+
+def test_meta_must_come_first_and_metrics_last():
+    records = _valid_trace()
+    shuffled = records[1:] + records[:1]
+    problems = validate_trace(shuffled)
+    assert any("meta" in p for p in problems)
+    no_metrics = [r for r in records if r["type"] != "metrics"]
+    assert any("metrics" in p for p in validate_trace(no_metrics))
+
+
+def test_unknown_record_type_is_flagged():
+    problems = validate_record({"type": "bogus"}, 3)
+    assert problems
+    assert any("bogus" in p for p in problems)
+
+
+def test_missing_required_fields_are_flagged():
+    problems = validate_record({"type": "span", "name": "solve"}, 0)
+    assert any("t" in p for p in problems)
+    assert any("dur" in p for p in problems)
+
+
+def test_field_type_mismatch_is_flagged():
+    record = {"type": "span", "name": "solve", "t": "soon", "dur": 0.1,
+              "attrs": {}}
+    assert any("t" in p for p in validate_record(record, 0))
+
+
+def test_newer_version_is_flagged():
+    record = {"type": "meta", "version": TRACE_VERSION + 1,
+              "pid": 1, "attrs": {}}
+    assert any("version" in p for p in validate_record(record, 0))
+
+
+def test_worker_field_must_be_int():
+    record = {"type": "event", "name": "x", "t": 0.0, "attrs": {},
+              "worker": "alice"}
+    assert any("worker" in p for p in validate_record(record, 0))
+
+
+def test_load_trace_roundtrip(tmp_path):
+    path = tmp_path / "t.jsonl"
+    records = _valid_trace()
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    loaded = load_trace(str(path))
+    assert loaded == records
+    assert validate_trace(loaded) == []
+
+
+def test_load_trace_names_the_bad_line(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"type": "meta"}\nnot json\n')
+    with pytest.raises(ValueError, match=r":2: malformed JSON"):
+        load_trace(str(path))

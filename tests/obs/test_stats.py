@@ -1,0 +1,99 @@
+"""Aggregating traces into ``repro stats`` summaries."""
+
+import json
+
+import pytest
+
+from repro.obs.stats import TraceStats, aggregate
+from repro.obs.tracer import Tracer
+
+
+def _demo_tracer():
+    tracer = Tracer(meta={"command": "verify"})
+    with tracer.span("query", backend="fresh") as sp:
+        with tracer.span("encode"):
+            pass
+        with tracer.span("solve"):
+            pass
+        sp.attrs["conflicts"] = 10
+        sp.attrs["restarts"] = 2
+        sp.attrs["decisions"] = 30
+        sp.attrs["propagations"] = 400
+    tracer.count("cache.hits", 3)
+    tracer.count("cache.misses", 1)
+    tracer.registry.observe("solver.lbd", 4)
+    return tracer
+
+
+def test_fold_one_trace():
+    tracer = _demo_tracer()
+    tracer.close()
+    stats = TraceStats()
+    stats.add_trace(tracer.records)
+    assert stats.problems == []
+    assert stats.queries == 1
+    assert stats.conflicts == 10
+    assert stats.restarts == 2
+    assert stats.phases["encode"].count == 1
+    assert stats.phases["solve"].count == 1
+    assert stats.phases["extract"].count == 0
+    assert stats.cache_hit_rate == pytest.approx(0.75)
+    assert stats.metrics.histograms["solver.lbd"].count == 1
+
+
+def test_sweep_task_events_attribute_workers():
+    tracer = Tracer()
+    with tracer.span("sweep", jobs=2, tasks=2):
+        tracer.event("sweep.task", index=0, worker=11, dur=0.5, ok=True)
+        tracer.event("sweep.task", index=1, worker=12, dur=0.25, ok=True)
+        tracer.event("sweep.task", index=2, ok=False, error="ValueError")
+    tracer.close()
+    stats = TraceStats()
+    stats.add_trace(tracer.records)
+    assert stats.sweeps == 1
+    assert stats.sweep_tasks == 3
+    assert stats.sweep_failures == 1
+    assert stats.worker_busy == {11: 0.5, 12: 0.25}
+    util = stats.worker_utilization
+    assert util is not None and 0.0 < util <= 1.0
+
+
+def test_schema_problems_are_collected_not_raised():
+    stats = TraceStats()
+    stats.add_trace([{"type": "span", "name": "solve"}], source="bad")
+    assert stats.problems
+    assert all(p.startswith("bad:") for p in stats.problems)
+
+
+def test_aggregate_multiple_files(tmp_path):
+    paths = []
+    for name in ("a.jsonl", "b.jsonl"):
+        tracer = _demo_tracer()
+        tracer.close()
+        path = tmp_path / name
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in tracer.records))
+        paths.append(str(path))
+    stats = aggregate(paths)
+    assert stats.traces == 2
+    assert stats.queries == 2
+    assert stats.conflicts == 20
+    assert stats.metrics.counters["cache.hits"] == 6
+
+
+def test_renderings_cover_every_section():
+    tracer = _demo_tracer()
+    with tracer.span("sweep"):
+        tracer.event("sweep.task", index=0, worker=7, dur=0.1, ok=True)
+    tracer.close()
+    stats = TraceStats()
+    stats.add_trace(tracer.records)
+    text = stats.to_text()
+    assert "phase timings" in text
+    assert "encoding cache" in text
+    assert "worker utilization" in text
+    assert "solver distributions" in text
+    payload = json.loads(json.dumps(stats.to_json()))
+    assert payload["queries"]["count"] == 1
+    assert payload["cache"]["hit_rate"] == pytest.approx(0.75)
+    assert payload["sweep"]["workers"] == 1

@@ -1,0 +1,177 @@
+"""The tracer: spans, events, absorption, and the active-tracer API."""
+
+import io
+import json
+
+from repro.obs.tracer import (
+    SolverProbe,
+    Tracer,
+    activate,
+    count,
+    current_tracer,
+    event,
+    probe_for,
+    set_tracer,
+    span,
+)
+
+
+def _names(tracer, kind):
+    return [r["name"] for r in tracer.records if r["type"] == kind]
+
+
+def test_meta_header_is_first_record():
+    tracer = Tracer(meta={"command": "verify"})
+    assert tracer.records[0]["type"] == "meta"
+    assert tracer.records[0]["attrs"] == {"command": "verify"}
+
+
+def test_span_records_duration_and_attrs():
+    tracer = Tracer()
+    with tracer.span("solve", backend="fresh") as sp:
+        sp.attrs["result"] = "unsat"
+    record = tracer.records[-1]
+    assert record["type"] == "span"
+    assert record["name"] == "solve"
+    assert record["dur"] >= 0.0
+    assert record["attrs"] == {"backend": "fresh", "result": "unsat"}
+
+
+def test_span_notes_escaping_exception():
+    tracer = Tracer()
+    try:
+        with tracer.span("solve"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert tracer.records[-1]["attrs"]["error"] == "ValueError"
+
+
+def test_sink_receives_jsonl_as_records_are_made():
+    sink = io.StringIO()
+    tracer = Tracer(sink)
+    tracer.event("solver.restart", restarts=1)
+    tracer.close()
+    lines = [json.loads(line) for line in
+             sink.getvalue().strip().splitlines()]
+    assert [r["type"] for r in lines] == ["meta", "event", "metrics"]
+
+
+def test_close_is_idempotent_and_stops_recording():
+    tracer = Tracer()
+    tracer.close()
+    tracer.close()
+    tracer.event("late")
+    assert [r["type"] for r in tracer.records] == ["meta", "metrics"]
+
+
+def test_solver_event_cap_counts_overflow():
+    tracer = Tracer()
+    tracer._solver_event_budget = 2
+    for _ in range(5):
+        tracer.event("solver.restart")
+    assert _names(tracer, "event").count("solver.restart") == 2
+    assert tracer.registry.counters["solver.events_dropped"] == 3
+
+
+def test_absorb_tags_worker_and_drops_meta_and_metrics():
+    worker = Tracer()
+    with worker.span("solve"):
+        pass
+    worker.count("cache.hits", 2)
+    worker.close()
+    parent = Tracer()
+    parent.absorb(worker.export(), worker=4242)
+    kinds = [r["type"] for r in parent.records]
+    # Exactly one meta (the parent's), no replayed metrics record.
+    assert kinds.count("meta") == 1
+    assert kinds.count("metrics") == 0
+    replayed = parent.records[-1]
+    assert replayed["name"] == "solve"
+    assert replayed["worker"] == 4242
+    assert parent.registry.counters["cache.hits"] == 2
+
+
+def test_activate_scopes_the_process_tracer():
+    assert current_tracer() is None
+    tracer = Tracer()
+    with activate(tracer):
+        assert current_tracer() is tracer
+        inner = Tracer()
+        with activate(inner):
+            assert current_tracer() is inner
+        assert current_tracer() is tracer
+    assert current_tracer() is None
+
+
+def test_module_helpers_are_noops_when_off():
+    assert current_tracer() is None
+    # None of these may raise or record anywhere.
+    with span("solve") as sp:
+        sp.attrs["result"] = "unsat"
+    event("solver.restart")
+    count("cache.hits")
+
+
+def test_module_helpers_hit_the_active_tracer():
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        with span("encode", backend="fresh"):
+            pass
+        event("sweep.task", index=0)
+        count("cache.misses")
+    finally:
+        set_tracer(previous)
+    assert _names(tracer, "span") == ["encode"]
+    assert _names(tracer, "event") == ["sweep.task"]
+    assert tracer.registry.counters["cache.misses"] == 1
+
+
+def test_probe_for_none_is_none():
+    assert probe_for(None) is None
+    tracer = Tracer()
+    assert isinstance(probe_for(tracer), SolverProbe)
+
+
+def test_solver_probe_feeds_histograms_and_events():
+    tracer = Tracer()
+    probe = SolverProbe(tracer)
+    probe.on_learned(lbd=3, size=5, level=7)
+    probe.on_learned(lbd=2, size=2, level=4)
+    probe.on_restart(restarts=1, conflicts=100)
+    probe.on_reduce_db(before=50, after=25, conflicts=200)
+    probe.on_rescale()
+    assert tracer.registry.histograms["solver.lbd"].count == 2
+    assert tracer.registry.histograms["solver.conflict_depth"].count == 2
+    assert tracer.registry.counters["solver.restarts"] == 1
+    assert tracer.registry.counters["solver.db_reductions"] == 1
+    assert tracer.registry.counters["solver.activity_rescales"] == 1
+    assert _names(tracer, "event") == ["solver.restart", "solver.reduce_db"]
+
+
+def test_hooks_fire_during_a_real_search():
+    from repro.sat import SatSolver
+
+    # Pigeonhole: 5 pigeons, 4 holes — unsat with real conflicts.
+    holes = 4
+    solver = SatSolver()
+    var = {}
+    nxt = 0
+    for p in range(holes + 1):
+        for h in range(holes):
+            nxt += 1
+            var[p, h] = nxt
+    for p in range(holes + 1):
+        solver.add_clause([var[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(holes + 1):
+            for p2 in range(p1 + 1, holes + 1):
+                solver.add_clause([-var[p1, h], -var[p2, h]])
+    tracer = Tracer()
+    solver.hooks = probe_for(tracer)
+    assert solver.solve() is False
+    lbd = tracer.registry.histograms.get("solver.lbd")
+    assert lbd is not None and lbd.count > 0
+    depth = tracer.registry.histograms["solver.conflict_depth"]
+    assert depth.count == lbd.count

@@ -151,3 +151,70 @@ def test_enumerate_budget_marks_incomplete(tmp_path, capsys):
     out = capsys.readouterr().out
     assert code == EXIT_UNKNOWN
     assert "incomplete" in out
+
+
+def test_verify_trace_roundtrip_through_stats(tmp_path, capsys):
+    import json
+
+    from repro.obs.schema import load_trace, validate_trace
+    from repro.obs.tracer import current_tracer
+
+    path = str(tmp_path / "system.scada")
+    trace = str(tmp_path / "t.jsonl")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["verify", path, "--k", "1", "--trace", trace])
+    assert code in (0, 1)
+    # The tracer was uninstalled and the trace validates end to end.
+    assert current_tracer() is None
+    records = load_trace(trace)
+    assert validate_trace(records) == []
+    span_names = {r["name"] for r in records if r["type"] == "span"}
+    assert {"query", "encode", "solve"} <= span_names
+    capsys.readouterr()
+    assert main(["stats", trace]) == 0
+    out = capsys.readouterr().out
+    assert "phase timings" in out and "queries: 1" in out
+    assert main(["stats", trace, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["traces"] == 1
+    assert payload["queries"]["count"] == 1
+    assert payload["problems"] == []
+
+
+def test_max_resiliency_trace_covers_parallel_sweep(tmp_path, capsys):
+    from repro.obs.schema import load_trace, validate_trace
+
+    path = str(tmp_path / "system.scada")
+    trace = str(tmp_path / "sweep.jsonl")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    assert main(["max-resiliency", path, "--jobs", "2",
+                 "--trace", trace]) == 0
+    capsys.readouterr()
+    records = load_trace(trace)
+    assert validate_trace(records) == []
+    tasks = [r for r in records
+             if r["type"] == "event" and r["name"] == "sweep.task"]
+    assert len(tasks) == 3
+    assert all(isinstance(t["attrs"].get("worker"), int) for t in tasks)
+    # Worker-side query spans were replayed with pid attribution.
+    queries = [r for r in records
+               if r["type"] == "span" and r["name"] == "query"]
+    assert queries and all("worker" in q for q in queries)
+
+
+def test_stats_rejects_missing_file(tmp_path, capsys):
+    code = main(["stats", str(tmp_path / "nope.jsonl")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error" in err
+
+
+def test_stats_flags_malformed_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"type": "span", "name": "solve"}\n')
+    code = main(["stats", str(bad)])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "schema problems" in out
