@@ -46,7 +46,8 @@ def max_total_resiliency(analyzer: Verifier,
                          r: int = 1,
                          max_conflicts: Optional[int] = None,
                          backend: Optional[str] = "assumption",
-                         limits: Optional[Limits] = None) -> int:
+                         limits: Optional[Limits] = None,
+                         screen: bool = True) -> int:
     """Largest total k such that the k-resilient property holds.
 
     With *limits*, an UNKNOWN probe is neither bound: the search raises
@@ -55,7 +56,8 @@ def max_total_resiliency(analyzer: Verifier,
     the exception).
     """
     return _engine(analyzer, backend).max_total_resiliency(
-        prop=prop, r=r, max_conflicts=max_conflicts, limits=limits)
+        prop=prop, r=r, max_conflicts=max_conflicts, limits=limits,
+        screen=screen)
 
 
 def max_total_resiliency_bounds(
@@ -64,10 +66,16 @@ def max_total_resiliency_bounds(
         r: int = 1,
         max_conflicts: Optional[int] = None,
         backend: Optional[str] = "assumption",
-        limits: Optional[Limits] = None) -> SearchBounds:
-    """Sound ``[lower, upper]`` bracket on the maximal total budget."""
+        limits: Optional[Limits] = None,
+        screen: bool = True) -> SearchBounds:
+    """Sound ``[lower, upper]`` bracket on the maximal total budget.
+
+    With *screen* (the default) the structural pass seeds the bracket;
+    ``screen=False`` forces a solver-only search.
+    """
     return _engine(analyzer, backend).max_total_resiliency_bounds(
-        prop=prop, r=r, max_conflicts=max_conflicts, limits=limits)
+        prop=prop, r=r, max_conflicts=max_conflicts, limits=limits,
+        screen=screen)
 
 
 def max_ied_resiliency(analyzer: Verifier,
@@ -75,10 +83,12 @@ def max_ied_resiliency(analyzer: Verifier,
                        k2: int = 0, r: int = 1,
                        max_conflicts: Optional[int] = None,
                        backend: Optional[str] = "assumption",
-                       limits: Optional[Limits] = None) -> int:
+                       limits: Optional[Limits] = None,
+                       screen: bool = True) -> int:
     """Largest k1 with the (k1, k2)-resilient property holding."""
     return _engine(analyzer, backend).max_ied_resiliency(
-        prop=prop, k2=k2, r=r, max_conflicts=max_conflicts, limits=limits)
+        prop=prop, k2=k2, r=r, max_conflicts=max_conflicts, limits=limits,
+        screen=screen)
 
 
 def max_rtu_resiliency(analyzer: Verifier,
@@ -86,7 +96,9 @@ def max_rtu_resiliency(analyzer: Verifier,
                        k1: int = 0, r: int = 1,
                        max_conflicts: Optional[int] = None,
                        backend: Optional[str] = "assumption",
-                       limits: Optional[Limits] = None) -> int:
+                       limits: Optional[Limits] = None,
+                       screen: bool = True) -> int:
     """Largest k2 with the (k1, k2)-resilient property holding."""
     return _engine(analyzer, backend).max_rtu_resiliency(
-        prop=prop, k1=k1, r=r, max_conflicts=max_conflicts, limits=limits)
+        prop=prop, k1=k1, r=r, max_conflicts=max_conflicts, limits=limits,
+        screen=screen)

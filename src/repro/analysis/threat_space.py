@@ -15,6 +15,7 @@ from ..core.analyzer import ScadaAnalyzer
 from ..core.results import ThreatVector
 from ..core.specs import ResiliencySpec
 from ..engine import VerificationEngine
+from ..obs.tracer import count as obs_count
 from ..sat.limits import Limits, ResourceLimitReached
 
 __all__ = ["ThreatSpace", "threat_space"]
@@ -29,6 +30,8 @@ class ThreatSpace:
     mid-enumeration (``limit_reason`` names which one) and ``vectors``
     holds only what was found before it.  Either way ``size`` is a
     lower bound on the true threat-space size, never an overcount.
+    ``screened`` means the structural pass proved the space empty and
+    the enumeration never ran; the (empty) result is exact.
     """
 
     spec: ResiliencySpec
@@ -36,6 +39,7 @@ class ThreatSpace:
     truncated: bool = False
     incomplete: bool = False
     limit_reason: Optional[str] = None
+    screened: bool = False
 
     @property
     def size(self) -> int:
@@ -64,7 +68,8 @@ def threat_space(analyzer: Union[ScadaAnalyzer, VerificationEngine],
                  limit: Optional[int] = None,
                  minimal: bool = True,
                  backend: Optional[str] = None,
-                 limits: Optional[Limits] = None) -> ThreatSpace:
+                 limits: Optional[Limits] = None,
+                 screen: bool = True) -> ThreatSpace:
     """Enumerate the (minimal) threat space of *spec*.
 
     Accepts a :class:`ScadaAnalyzer` or a :class:`VerificationEngine`;
@@ -76,10 +81,22 @@ def threat_space(analyzer: Union[ScadaAnalyzer, VerificationEngine],
     *limits* bounds every individual solve.  An expired budget does not
     discard the work done: the vectors found so far come back in a
     :class:`ThreatSpace` flagged ``incomplete``.
+
+    With *screen* (the default), the structural pass first brackets the
+    minimal attack cardinality; when its certified lower bound already
+    exceeds the spec's failure budget the space is provably empty and
+    no solver ever runs (the result is flagged ``screened``).  Link
+    budgets are outside the structural model, so specs with ``link_k``
+    are never screened.
     """
     engine = VerificationEngine.wrap(analyzer)
     if backend is not None:
         engine = engine.with_backend(backend)
+    if screen and spec.link_k is None:
+        bounds = engine.structural().attack_bounds(spec.property, r=spec.r)
+        if bounds.certified and spec.budget.max_failures < bounds.lower:
+            obs_count("graphs.screen.enumerations_pruned")
+            return ThreatSpace(spec=spec, vectors=[], screened=True)
     try:
         vectors = engine.enumerate_threat_vectors(
             spec, limit=limit, minimal=minimal, limits=limits)

@@ -26,6 +26,11 @@ Commands
     Search for a minimal configuration repair restoring a failed
     specification.
 
+``audit <config>``
+    Cross-validate the polynomial-time structural analysis (security
+    indices, min-cut silencing costs) against the SAT engine on the
+    same configuration; exit 0 when the two agree everywhere.
+
 ``stats <trace>...``
     Aggregate JSONL telemetry traces (written via ``--trace FILE`` on
     the solver-backed commands) into a text or ``--json`` summary:
@@ -261,7 +266,13 @@ def _cmd_enumerate(args) -> int:
     engine = VerificationEngine(config.network, config.problem,
                                 backend=args.backend)
     space = threat_space(engine, spec, limit=args.limit,
-                         limits=_limits_from_args(args))
+                         limits=_limits_from_args(args),
+                         screen=not args.no_screen)
+    if space.screened:
+        print(f"{spec.describe()}: 0 minimal threat vector(s) "
+              f"(structurally screened: the certified min-cut lower "
+              f"bound exceeds the failure budget)")
+        return 0
     marker = "+" if space.incomplete else ""
     print(f"{spec.describe()}: {space.size}{marker} minimal threat "
           f"vector(s)")
@@ -317,37 +328,45 @@ def _cmd_generate(args) -> int:
 
 
 def _max_search_task(
-    task: Tuple[str, str, str, str, Optional[Limits]],
+    task: Tuple[str, str, str, str, Optional[Limits], bool],
 ):
     """Worker: one maximal-resiliency search on a config loaded by path."""
-    config_path, prop_value, kind, backend, limits = task
+    config_path, prop_value, kind, backend, limits, screen = task
     config = load_config(config_path)
     # The parent process already linted the configuration.
     engine = VerificationEngine(config.network, config.problem,
                                 backend=backend, lint=False)
     prop = Property(prop_value)
     if kind == "total":
-        return engine.max_total_resiliency_bounds(prop, limits=limits)
+        return engine.max_total_resiliency_bounds(prop, limits=limits,
+                                                  screen=screen)
     if kind == "ied":
-        return engine.max_ied_resiliency_bounds(prop, limits=limits)
-    return engine.max_rtu_resiliency_bounds(prop, limits=limits)
+        return engine.max_ied_resiliency_bounds(prop, limits=limits,
+                                                screen=screen)
+    return engine.max_rtu_resiliency_bounds(prop, limits=limits,
+                                            screen=screen)
 
 
 def _cmd_max_resiliency(args) -> int:
     config = load_config(args.config)
     prop = Property(args.property)
     limits = _limits_from_args(args)
+    screen = not args.no_screen
     if args.jobs not in (None, 1):
-        tasks = [(args.config, prop.value, kind, args.backend, limits)
+        tasks = [(args.config, prop.value, kind, args.backend, limits,
+                  screen)
                  for kind in ("total", "ied", "rtu")]
         total, ied, rtu = SweepExecutor(args.jobs).map(
             _max_search_task, tasks)
     else:
         engine = VerificationEngine(config.network, config.problem,
                                     backend=args.backend)
-        total = engine.max_total_resiliency_bounds(prop, limits=limits)
-        ied = engine.max_ied_resiliency_bounds(prop, limits=limits)
-        rtu = engine.max_rtu_resiliency_bounds(prop, limits=limits)
+        total = engine.max_total_resiliency_bounds(prop, limits=limits,
+                                                   screen=screen)
+        ied = engine.max_ied_resiliency_bounds(prop, limits=limits,
+                                               screen=screen)
+        rtu = engine.max_rtu_resiliency_bounds(prop, limits=limits,
+                                               screen=screen)
     print(f"maximal resiliency ({prop.value}):")
     print(f"  any field devices: {total.describe()}")
     print(f"  IEDs only        : {ied.describe()}")
@@ -405,6 +424,38 @@ def _cmd_harden(args) -> int:
     return 0 if result.succeeded else 1
 
 
+def _cmd_audit(args) -> int:
+    from .graphs import cross_check
+    from .scada.config_io import ConfigError
+
+    builtins = {"fig3", "fig4", "case5bus"}
+    if args.config in builtins:
+        from .cases import case_problem, fig3_network, fig4_network
+
+        network = (fig4_network() if args.config == "fig4"
+                   else fig3_network())
+        problem = case_problem()
+    else:
+        try:
+            config = load_config(args.config, strict=False)
+        except (OSError, ConfigError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        network, problem = config.network, config.problem
+
+    if args.property == "all":
+        properties = None
+    else:
+        properties = [Property(args.property)]
+    report = cross_check(network, problem, properties=properties,
+                         r=args.r, limits=_limits_from_args(args))
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return report.exit_code()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -446,6 +497,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="enumerate minimal threat vectors")
     p_enum.add_argument("config")
     p_enum.add_argument("--limit", type=int, default=None)
+    p_enum.add_argument("--no-screen", action="store_true",
+                        dest="no_screen",
+                        help="skip the polynomial-time structural "
+                             "screen and always run the solver")
     _add_engine_args(p_enum, jobs=False)
     _add_spec_args(p_enum)
     p_enum.set_defaults(func=_cmd_enumerate)
@@ -469,6 +524,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_max.add_argument("config")
     p_max.add_argument("--property", default="observability",
                        choices=[p.value for p in Property])
+    p_max.add_argument("--no-screen", action="store_true",
+                       dest="no_screen",
+                       help="skip the structural screen (no min-cut "
+                            "bracket seeding of the searches)")
     _add_engine_args(p_max)
     p_max.set_defaults(func=_cmd_max_resiliency)
 
@@ -488,6 +547,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_limit_args(p_harden)
     _add_spec_args(p_harden)
     p_harden.set_defaults(func=_cmd_harden)
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="cross-validate the structural analysis against the "
+             "SAT engine")
+    p_audit.add_argument("config",
+                         help="a configuration file or a builtin case "
+                              "(fig3/fig4/case5bus)")
+    p_audit.add_argument("--property", default="all",
+                         choices=["all"] + [p.value for p in Property],
+                         help="restrict the resiliency cross-check to "
+                              "one property")
+    p_audit.add_argument("-r", type=int, default=1,
+                         help="corrupted-measurement budget for the "
+                              "bad-data cross-check")
+    p_audit.add_argument("--format", default="text",
+                         choices=("text", "json"),
+                         help="report output format")
+    _add_limit_args(p_audit)
+    p_audit.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a JSONL telemetry trace")
+    p_audit.set_defaults(func=_cmd_audit)
 
     p_stats = sub.add_parser("stats",
                              help="aggregate JSONL telemetry traces")

@@ -51,8 +51,8 @@ class SearchBounds:
 
 
 def galloping_max_bounded(check: Callable[[int], Optional[bool]],
-                          upper: int) -> SearchBounds:
-    """Bracket the largest k in [-1, upper] with ``check(k)`` true.
+                          upper: int, lower: int = -1) -> SearchBounds:
+    """Bracket the largest k in [*lower*, *upper*] with ``check(k)`` true.
 
     *check* is a monotone three-valued oracle: ``True`` (holds),
     ``False`` (fails), or ``None`` (UNKNOWN — the probe's resource
@@ -61,13 +61,28 @@ def galloping_max_bounded(check: Callable[[int], Optional[bool]],
     more expensive as the cardinality bound grows — then binary-searches
     the bracket.  An UNKNOWN probe is treated as *neither* bound:
     refinement stops and the bracket proven so far is returned.
+
+    A caller with outside knowledge (e.g. the structural screening
+    pass) seeds the bracket: *lower* asserts ``check`` holds up to and
+    including that budget — no probe is ever issued at or below it —
+    and *upper* that everything above fails.  With ``lower == upper``
+    the maximum is already pinned and no probe runs at all.
     """
-    first = check(0)
-    if first is None:
-        return SearchBounds(-1, upper, (0,))
-    if not first:
+    if lower > upper:
+        raise ValueError(
+            f"seeded lower bound {lower} exceeds upper bound {upper}")
+    if upper < 0:
         return SearchBounds(-1, -1)
-    lo = 0          # largest budget proven to hold
+    if lower == upper:
+        return SearchBounds(lower, lower)
+    if lower < 0:
+        first = check(0)
+        if first is None:
+            return SearchBounds(-1, upper, (0,))
+        if not first:
+            return SearchBounds(-1, -1)
+        lower = 0
+    lo = lower      # largest budget proven (or asserted) to hold
     hi = upper      # largest budget not yet proven to fail
     step = 1
     while lo < hi:  # gallop for a failing budget

@@ -17,7 +17,7 @@ here as new backends without touching any consumer.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from ..core.analyzer import ConfigurationLintError, ScadaAnalyzer
 from ..core.problem import ObservabilityProblem
@@ -25,11 +25,16 @@ from ..core.reference import ReferenceEvaluator
 from ..core.results import Status, ThreatVector, VerificationResult
 from ..core.search import SearchBounds, galloping_max_bounded
 from ..core.specs import Property, ResiliencySpec
+from ..obs.tracer import count as obs_count
+from ..obs.tracer import event as obs_event
 from ..obs.tracer import span as obs_span
 from ..sat.limits import Limits, ResourceLimitReached
 from ..scada.network import ScadaNetwork
 from .backends import VerificationBackend, make_backend
 from .cache import EncodingCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..graphs.security_index import StructuralAnalysis
 
 __all__ = ["VerificationEngine"]
 
@@ -63,6 +68,7 @@ class VerificationEngine:
             backend, network, problem, card_encoding=card_encoding,
             reference=self.reference, cache=self.cache)
         self._export_analyzer: Optional[ScadaAnalyzer] = None
+        self._structural: Optional["StructuralAnalysis"] = None
 
     # ------------------------------------------------------------------
 
@@ -158,6 +164,63 @@ class VerificationEngine:
     # Maximal-resiliency searches (galloping + binary, shared helper)
     # ------------------------------------------------------------------
 
+    def structural(self) -> "StructuralAnalysis":
+        """The polynomial structural pass over this configuration.
+
+        Built lazily (see :mod:`repro.graphs`); shared by the screened
+        searches below and available to callers wanting indices or
+        attack brackets without any solving.
+        """
+        if self._structural is None:
+            # Imported lazily: repro.graphs.crosscheck imports this
+            # module, so a top-level import here would be circular.
+            from ..graphs.security_index import StructuralAnalysis
+
+            self._structural = StructuralAnalysis(self.network,
+                                                  self.problem)
+        return self._structural
+
+    def _screen_seeds(self, prop: Property, r: int, fallback: int,
+                      split: Optional[Tuple[str, int]] = None
+                      ) -> Tuple[int, int]:
+        """Bracket seeds for a max-resiliency search from the
+        structural attack-cardinality bounds.
+
+        For the total budget the translation is direct: max resiliency
+        is the minimal attack cardinality minus one, so a witness of
+        size ``u`` caps the search at ``u - 1`` and a certified floor
+        ``l`` starts it at ``l - 1``.  For a split budget *split* names
+        the searched axis (``"ied"`` or ``"rtu"``) and fixes the other
+        axis's allowance: the witness caps the search only when its
+        other-axis share fits that allowance, and the certified floor
+        weakens to ``l - 1 - other`` (the other axis may spend its
+        whole allowance toward the attack).
+        """
+        bounds = self.structural().attack_bounds(prop, r=r)
+        if split is None:
+            upper = bounds.resiliency_upper(fallback)
+            lower = bounds.resiliency_lower() if bounds.certified else -1
+        else:
+            axis, other = split
+            upper = fallback
+            if bounds.upper is not None:
+                witness = set(bounds.witness)
+                ieds = len(witness & set(self.network.ied_ids))
+                rtus = len(witness & set(self.network.rtu_ids))
+                own, rest = ((ieds, rtus) if axis == "ied"
+                             else (rtus, ieds))
+                if rest <= other:
+                    upper = min(fallback, own - 1)
+            lower = (bounds.lower - 1 - other if bounds.certified
+                     else -1)
+        lower = max(-1, min(lower, upper))
+        if lower > -1 or upper < fallback:
+            obs_count("graphs.screen.searches_seeded")
+            obs_event("graphs.screen", property=prop.value,
+                      certified=bounds.certified, lower=lower,
+                      upper=upper, fallback=fallback)
+        return lower, upper
+
     def _probe(self, spec: ResiliencySpec,
                max_conflicts: Optional[int],
                limits: Optional[Limits]) -> Optional[bool]:
@@ -182,24 +245,33 @@ class VerificationEngine:
             prop: Property = Property.OBSERVABILITY,
             r: int = 1,
             max_conflicts: Optional[int] = None,
-            limits: Optional[Limits] = None) -> SearchBounds:
+            limits: Optional[Limits] = None,
+            screen: bool = True) -> SearchBounds:
         """Sound bracket on the largest k-resilient total budget.
 
         With no limits the bracket is exact (``lower == upper``); an
         UNKNOWN probe stops refinement and the true maximum lies in
-        ``[lower, upper]``.
+        ``[lower, upper]``.  With *screen* (the default) the structural
+        pass seeds the search bracket, skipping probes it has already
+        decided; pass ``screen=False`` for a solver-only answer (the
+        cross-check does, to keep the two engines independent).
         """
+        fallback = len(self.network.field_device_ids)
+        lower, upper = (-1, fallback)
+        if screen:
+            lower, upper = self._screen_seeds(prop, r, fallback)
         return galloping_max_bounded(
             lambda k: self._probe(
                 ResiliencySpec.for_property(prop, r=r, k=k),
                 max_conflicts, limits),
-            len(self.network.field_device_ids))
+            upper, lower=lower)
 
     def max_total_resiliency(self,
                              prop: Property = Property.OBSERVABILITY,
                              r: int = 1,
                              max_conflicts: Optional[int] = None,
-                             limits: Optional[Limits] = None) -> int:
+                             limits: Optional[Limits] = None,
+                             screen: bool = True) -> int:
         """Largest total k such that the k-resilient property holds.
 
         Raises :exc:`~repro.sat.ResourceLimitReached` (carrying the
@@ -209,7 +281,7 @@ class VerificationEngine:
         return self._exact_max(
             self.max_total_resiliency_bounds(
                 prop=prop, r=r, max_conflicts=max_conflicts,
-                limits=limits),
+                limits=limits, screen=screen),
             "max-total-resiliency")
 
     def max_ied_resiliency_bounds(
@@ -217,24 +289,31 @@ class VerificationEngine:
             prop: Property = Property.OBSERVABILITY,
             k2: int = 0, r: int = 1,
             max_conflicts: Optional[int] = None,
-            limits: Optional[Limits] = None) -> SearchBounds:
+            limits: Optional[Limits] = None,
+            screen: bool = True) -> SearchBounds:
         """Sound bracket on the largest (k1, k2)-resilient IED budget."""
+        fallback = len(self.network.ied_ids)
+        lower, upper = (-1, fallback)
+        if screen:
+            lower, upper = self._screen_seeds(prop, r, fallback,
+                                              split=("ied", k2))
         return galloping_max_bounded(
             lambda k1: self._probe(
                 ResiliencySpec.for_property(prop, r=r, k1=k1, k2=k2),
                 max_conflicts, limits),
-            len(self.network.ied_ids))
+            upper, lower=lower)
 
     def max_ied_resiliency(self,
                            prop: Property = Property.OBSERVABILITY,
                            k2: int = 0, r: int = 1,
                            max_conflicts: Optional[int] = None,
-                           limits: Optional[Limits] = None) -> int:
+                           limits: Optional[Limits] = None,
+                           screen: bool = True) -> int:
         """Largest k1 with the (k1, k2)-resilient property holding."""
         return self._exact_max(
             self.max_ied_resiliency_bounds(
                 prop=prop, k2=k2, r=r, max_conflicts=max_conflicts,
-                limits=limits),
+                limits=limits, screen=screen),
             "max-IED-resiliency")
 
     def max_rtu_resiliency_bounds(
@@ -242,24 +321,31 @@ class VerificationEngine:
             prop: Property = Property.OBSERVABILITY,
             k1: int = 0, r: int = 1,
             max_conflicts: Optional[int] = None,
-            limits: Optional[Limits] = None) -> SearchBounds:
+            limits: Optional[Limits] = None,
+            screen: bool = True) -> SearchBounds:
         """Sound bracket on the largest (k1, k2)-resilient RTU budget."""
+        fallback = len(self.network.rtu_ids)
+        lower, upper = (-1, fallback)
+        if screen:
+            lower, upper = self._screen_seeds(prop, r, fallback,
+                                              split=("rtu", k1))
         return galloping_max_bounded(
             lambda k2: self._probe(
                 ResiliencySpec.for_property(prop, r=r, k1=k1, k2=k2),
                 max_conflicts, limits),
-            len(self.network.rtu_ids))
+            upper, lower=lower)
 
     def max_rtu_resiliency(self,
                            prop: Property = Property.OBSERVABILITY,
                            k1: int = 0, r: int = 1,
                            max_conflicts: Optional[int] = None,
-                           limits: Optional[Limits] = None) -> int:
+                           limits: Optional[Limits] = None,
+                           screen: bool = True) -> int:
         """Largest k2 with the (k1, k2)-resilient property holding."""
         return self._exact_max(
             self.max_rtu_resiliency_bounds(
                 prop=prop, k1=k1, r=r, max_conflicts=max_conflicts,
-                limits=limits),
+                limits=limits, screen=screen),
             "max-RTU-resiliency")
 
     # ------------------------------------------------------------------

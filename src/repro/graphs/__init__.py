@@ -1,0 +1,42 @@
+"""Graph-theoretic static analysis of SCADA configurations.
+
+A polynomial-time structural pass over the delivery topology and the
+Jacobian sparsity: one shared max-flow/min-cut kernel
+(:mod:`~repro.graphs.flow`), delivery-graph silencing-cost queries
+(:mod:`~repro.graphs.delivery`), per-measurement security indices and
+attack-cardinality brackets (:mod:`~repro.graphs.security_index`), and
+the graph-vs-SAT cross-check behind ``repro audit``
+(:mod:`~repro.graphs.crosscheck`).  Nothing in this package invokes the
+SAT solver except the cross-check, which exists precisely to compare
+the two engines.
+"""
+
+from .delivery import CutResult, DeliveryGraph
+from .flow import (
+    INF,
+    FlowNetwork,
+    MaxFlowResult,
+    VertexCutResult,
+    unit_vertex_cut,
+)
+from .security_index import IndexBounds, StructuralAnalysis
+
+# The cross-check imports the engine (which never imports this package
+# at module level); keep it last so the solver-free modules above are
+# importable even while the engine package is mid-initialization.
+from .crosscheck import CrossCheckReport, Disagreement, cross_check
+
+__all__ = [
+    "INF",
+    "CrossCheckReport",
+    "CutResult",
+    "DeliveryGraph",
+    "Disagreement",
+    "FlowNetwork",
+    "IndexBounds",
+    "MaxFlowResult",
+    "StructuralAnalysis",
+    "VertexCutResult",
+    "cross_check",
+    "unit_vertex_cut",
+]

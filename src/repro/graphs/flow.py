@@ -1,0 +1,260 @@
+"""The shared max-flow / min-cut kernel.
+
+One Edmonds–Karp implementation serves every structural pass in the
+repo: the lint redundancy rule (SCADA013), the security-index analyzer
+(:mod:`repro.graphs.security_index`), and the delivery-graph queries
+behind screening and cross-checking.  Two layers are exposed:
+
+* :class:`FlowNetwork` — a plain integer-capacity digraph with
+  ``max_flow`` (optionally bounded) and min-cut extraction from the
+  residual source side; and
+* :func:`unit_vertex_cut` — the node-split reduction shared by every
+  SCADA delivery question: *how many unit-capacity vertices must be
+  removed to disconnect a set of sources from a sink, given the union
+  of concrete paths between them?*  By Menger's theorem the answer is
+  the max number of vertex-disjoint routes, i.e. max-flow after
+  splitting each vertex ``v`` into ``v_in → v_out``.
+
+Capacities are non-negative integers; :data:`INF` is the effectively
+infinite capacity given to vertices outside the failure model (routers,
+the MTU, explicitly *protected* devices).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "INF",
+    "FlowNetwork",
+    "MaxFlowResult",
+    "VertexCutResult",
+    "unit_vertex_cut",
+]
+
+#: Effectively-infinite arc capacity (device counts are small).
+INF = 1 << 30
+
+
+@dataclass(frozen=True)
+class MaxFlowResult:
+    """Outcome of one :meth:`FlowNetwork.max_flow` computation."""
+
+    #: The flow value reached when the search stopped.
+    flow: int
+    #: True when an early-exit ``bound`` was given and the flow exceeded
+    #: it; the search stopped before reaching the true maximum, so no
+    #: min cut is available.
+    bounded: bool
+    #: Nodes reachable from the source in the final residual graph
+    #: (empty when ``bounded``).  Arcs leaving this set form a min cut.
+    source_side: FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class VertexCutResult:
+    """Outcome of :func:`unit_vertex_cut`."""
+
+    #: Max number of vertex-disjoint source→sink routes (= min cut size
+    #: when every route crosses a unit vertex; may exceed :data:`INF`
+    #: when some route avoids them entirely).
+    flow: int
+    #: Unit vertices forming a minimum vertex cut (empty when the flow
+    #: exceeded the requested bound and the search stopped early).
+    cut_vertices: Tuple[int, ...]
+    #: True when the early-exit bound was hit.
+    bounded: bool
+
+
+class FlowNetwork:
+    """An integer-capacity digraph supporting max-flow / min-cut.
+
+    Parallel arcs merge (capacities add); zero-capacity arcs register
+    their endpoints but carry nothing.  The network itself is immutable
+    under :meth:`max_flow` — each call works on a residual copy, so one
+    network can answer many source/sink queries.
+    """
+
+    def __init__(self) -> None:
+        self._caps: Dict[int, Dict[int, int]] = {}
+
+    def add_node(self, node: int) -> None:
+        self._caps.setdefault(node, {})
+
+    def add_arc(self, u: int, w: int, capacity: int) -> None:
+        """Add a directed arc; parallel arcs merge additively."""
+        if capacity < 0:
+            raise ValueError(f"negative capacity {capacity} on ({u}, {w})")
+        self.add_node(u)
+        self.add_node(w)
+        self._caps[u][w] = self._caps[u].get(w, 0) + capacity
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self._caps)
+
+    def has_node(self, node: int) -> bool:
+        return node in self._caps
+
+    def capacity(self, u: int, w: int) -> int:
+        return self._caps.get(u, {}).get(w, 0)
+
+    # ------------------------------------------------------------------
+
+    def max_flow(self, source: int, sink: int,
+                 bound: Optional[int] = None) -> MaxFlowResult:
+        """Edmonds–Karp max flow from *source* to *sink*.
+
+        With *bound*, augmentation stops as soon as the flow exceeds it
+        (the caller only needs to know which side of the bound the
+        capacity falls on); the result is then flagged ``bounded`` and
+        carries no cut.  A missing source or sink yields zero flow.
+        """
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        if source not in self._caps or sink not in self._caps:
+            return MaxFlowResult(0, False, frozenset(
+                {source} if source in self._caps else set()))
+        residual: Dict[int, Dict[int, int]] = {
+            u: dict(nbrs) for u, nbrs in self._caps.items()}
+        for u, nbrs in self._caps.items():
+            for w in nbrs:
+                residual[w].setdefault(u, 0)
+        flow = 0
+        while bound is None or flow <= bound:
+            parent = _augmenting_path(residual, source, sink)
+            if parent is None:
+                break
+            bottleneck = INF
+            w = sink
+            while w != source:
+                u = parent[w]
+                bottleneck = min(bottleneck, residual[u][w])
+                w = u
+            w = sink
+            while w != source:
+                u = parent[w]
+                residual[u][w] -= bottleneck
+                residual[w][u] += bottleneck
+                w = u
+            flow += bottleneck
+        if bound is not None and flow > bound:
+            return MaxFlowResult(flow, True, frozenset())
+        return MaxFlowResult(
+            flow, False, frozenset(_residual_reachable(residual, source)))
+
+    def min_cut_arcs(self, result: MaxFlowResult) -> List[Tuple[int, int]]:
+        """The saturated arcs crossing the residual source side.
+
+        By max-flow/min-cut these form a minimum cut; their original
+        capacities sum to ``result.flow``.  Empty when the search was
+        ``bounded``.
+        """
+        side = result.source_side
+        return sorted(
+            (u, w)
+            for u in side
+            for w, cap in self._caps.get(u, {}).items()
+            if cap > 0 and w not in side)
+
+
+# ----------------------------------------------------------------------
+# The node-split vertex-cut reduction
+# ----------------------------------------------------------------------
+
+def unit_vertex_cut(sources: Iterable[int],
+                    paths: Iterable[Sequence[int]],
+                    unit_vertices: Set[int],
+                    sink: int,
+                    bound: Optional[int] = None,
+                    protect: Iterable[int] = ()) -> VertexCutResult:
+    """Minimum unit-vertex cut separating *sources* from *sink*.
+
+    The graph is the union of the concrete *paths* (vertex-id sequences
+    ending at the sink).  Every vertex in *unit_vertices* — except those
+    in *protect* — gets a capacity-1 split arc (removing it costs one);
+    all other vertices and all path edges are uncuttable (:data:`INF`).
+    Sources feed through their own split arc, so a source that is itself
+    a unit vertex still counts toward the cut.
+
+    Vertex ids must be non-negative (the node-split encoding maps vertex
+    ``v`` to nodes ``2v``/``2v+1`` and reserves ``-1`` for the
+    super-source).  Sources that appear on no path contribute nothing;
+    with no usable source or an absent sink the result is zero flow and
+    an empty cut (nothing needs cutting).
+    """
+    source_list = sorted(set(sources))
+    path_list = [tuple(p) for p in paths]
+    if not source_list or not path_list:
+        return VertexCutResult(0, (), False)
+    unit = set(unit_vertices) - set(protect)
+
+    def node_in(v: int) -> int:
+        if v < 0:
+            raise ValueError(f"vertex ids must be non-negative, got {v}")
+        return 2 * v
+
+    def node_out(v: int) -> int:
+        return 2 * v + 1
+
+    network = FlowNetwork()
+    split_cap: Dict[int, int] = {}
+    for path in path_list:
+        for vertex in path:
+            if vertex not in split_cap:
+                split_cap[vertex] = 1 if vertex in unit else INF
+                network.add_arc(node_in(vertex), node_out(vertex),
+                                split_cap[vertex])
+        for a, b in zip(path, path[1:]):
+            network.add_arc(node_out(a), node_in(b), INF)
+
+    super_source = -1
+    for vertex in source_list:
+        if vertex in split_cap:
+            network.add_arc(super_source, node_in(vertex), INF)
+    sink_node = node_in(sink)
+    if not network.has_node(sink_node) or not network.has_node(super_source):
+        return VertexCutResult(0, (), False)
+
+    result = network.max_flow(super_source, sink_node, bound=bound)
+    if result.bounded:
+        return VertexCutResult(result.flow, (), True)
+    cut = sorted(
+        vertex for vertex, cap in split_cap.items()
+        if cap == 1
+        and node_in(vertex) in result.source_side
+        and node_out(vertex) not in result.source_side)
+    return VertexCutResult(result.flow, tuple(cut), False)
+
+
+# ----------------------------------------------------------------------
+
+def _augmenting_path(residual: Dict[int, Dict[int, int]], source: int,
+                     sink: int) -> Optional[Dict[int, int]]:
+    """BFS for a shortest augmenting path; parent map or ``None``."""
+    parent: Dict[int, int] = {source: source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for w, capacity in residual[u].items():
+            if capacity > 0 and w not in parent:
+                parent[w] = u
+                if w == sink:
+                    return parent
+                queue.append(w)
+    return None
+
+
+def _residual_reachable(residual: Dict[int, Dict[int, int]],
+                        source: int) -> Set[int]:
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for w, capacity in residual[u].items():
+            if capacity > 0 and w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return seen

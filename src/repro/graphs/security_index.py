@@ -1,0 +1,359 @@
+"""Security indices and attack-cardinality brackets, without the solver.
+
+The companion line of work to the paper computes "how many components
+must an attacker compromise?" structurally: per-measurement security
+indices via min-cut (Hendrickx et al., arXiv:1204.6174; Sou et al.,
+arXiv:1201.5019).  Translated to this repo's availability model, the
+interesting quantities are all multi-source min vertex cuts of the
+delivery graph:
+
+* **security index of a measurement** — the minimum number of field-
+  device failures silencing *every* measurement of its unique group
+  (the paper's ``UMsrSet``: redundant measurements of one electrical
+  component).  A single measurement alone is always silenced by its
+  own IED, so the component-level index is the meaningful hardness
+  measure, exactly as in the security-index literature where redundant
+  meters of a quantity must all be attacked.
+* **state criticality** — the minimum failures leaving a state with no
+  delivered covering measurement.
+* **attack-cardinality brackets** — per resiliency property, a bracket
+  ``[lower, upper]`` on the minimal attack cardinality (the size of the
+  smallest violating failure set), with a concrete witness realizing
+  ``upper``.
+
+Soundness contract (see :mod:`repro.graphs.delivery`): ``upper`` and
+its witness are *always* sound — the witness is a real violating
+failure set by construction.  ``lower`` is sound only when the
+delivery graph's exactness certificate holds (``certified``); callers
+must gate lower-bound pruning on that flag.  ``max resiliency`` is
+``minimal attack cardinality − 1``, so the bracket translates directly
+into search seeds for ``galloping_max_bounded``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.problem import ObservabilityProblem
+from ..core.specs import Property
+from ..scada.network import ScadaNetwork
+from .delivery import CutResult, DeliveryGraph
+from .flow import INF
+
+__all__ = ["IndexBounds", "StructuralAnalysis"]
+
+#: The exact zero bracket: the property is violated with no failures at
+#: all — sound regardless of any certificate.
+_ZERO_WITNESS: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class IndexBounds:
+    """A bracket on the minimal attack cardinality of one property.
+
+    ``lower``: no failure set smaller than this violates the property —
+    sound only when ``certified``.  ``upper``: the size of ``witness``,
+    a concrete violating failure set — always sound; ``None`` when the
+    structural pass found no violating set at all (then ``lower`` is
+    one past the device count: no attack exists, if certified).
+    """
+
+    property: Property
+    lower: int
+    upper: Optional[int]
+    witness: Tuple[int, ...]
+    certified: bool
+
+    @property
+    def exact(self) -> bool:
+        """Whether the bracket pins the cardinality down exactly."""
+        return (self.certified and self.upper is not None
+                and self.lower == self.upper)
+
+    def resiliency_upper(self, fallback: int) -> int:
+        """Sound upper seed for the max-resiliency search (always)."""
+        if self.upper is None:
+            return fallback
+        return min(fallback, self.upper - 1)
+
+    def resiliency_lower(self) -> int:
+        """Lower seed for the search — only sound when ``certified``."""
+        return self.lower - 1
+
+    def describe(self) -> str:
+        upper = "∞" if self.upper is None else str(self.upper)
+        tag = "exact" if self.exact else (
+            "certified" if self.certified else "witness-only")
+        return (f"{self.property.value}: minimal attack cardinality in "
+                f"[{self.lower}, {upper}] ({tag})")
+
+
+class StructuralAnalysis:
+    """The polynomial structural pass over one configuration.
+
+    Wraps one assured and one secured :class:`DeliveryGraph` (built
+    lazily) and caches per-property brackets.  Never touches the SAT
+    solver.
+    """
+
+    def __init__(self, network: ScadaNetwork,
+                 problem: ObservabilityProblem) -> None:
+        self.network = network
+        self.problem = problem
+        self._graphs: Dict[bool, DeliveryGraph] = {}
+        self._bounds: Dict[Tuple[Property, int], IndexBounds] = {}
+        # Measurement → delivering IED, restricted to real IEDs (the
+        # encoder pins everything else undelivered).
+        self._ied_of: Dict[int, int] = {}
+        for ied, msrs in network.measurement_map.items():
+            device = network.devices.get(ied)
+            if device is not None and device.is_ied:
+                for z in msrs:
+                    self._ied_of[z] = ied
+        self._group_of: Dict[int, Tuple[int, ...]] = {}
+        for group in problem.unique_groups:
+            frozen = tuple(group)
+            for z in frozen:
+                self._group_of[z] = frozen
+
+    # ------------------------------------------------------------------
+
+    def graph(self, secured: bool = False) -> DeliveryGraph:
+        existing = self._graphs.get(secured)
+        if existing is None:
+            existing = DeliveryGraph(self.network, secured=secured)
+            self._graphs[secured] = existing
+        return existing
+
+    def certified(self, secured: bool = False) -> bool:
+        return self.graph(secured).certified
+
+    def _sources(self, measurements: Sequence[int],
+                 graph: DeliveryGraph) -> List[int]:
+        """Deliverable source IEDs behind *measurements*."""
+        return sorted({
+            self._ied_of[z] for z in measurements
+            if z in self._ied_of and graph.deliverable(self._ied_of[z])})
+
+    # ------------------------------------------------------------------
+    # Indices
+    # ------------------------------------------------------------------
+
+    def group_cut(self, group: Sequence[int],
+                  secured: bool = False) -> CutResult:
+        """Min failures silencing every measurement of *group*."""
+        graph = self.graph(secured)
+        return graph.cut(self._sources(group, graph))
+
+    def security_index(self, z: int, secured: bool = False) -> int:
+        """The component-level security index of measurement *z*.
+
+        Zero when *z* is unknown to the problem or its whole unique
+        group is undeliverable (the component is unobserved before any
+        failure).
+        """
+        group = self._group_of.get(z)
+        if group is None:
+            return 0
+        return self.group_cut(group, secured=secured).size
+
+    def security_indices(self, secured: bool = False) -> Dict[int, int]:
+        return {z: self.security_index(z, secured=secured)
+                for z in self.problem.measurement_indices}
+
+    def state_cut(self, state: int, secured: bool = False) -> CutResult:
+        """Min failures leaving *state* with no delivered coverage."""
+        graph = self.graph(secured)
+        sources = self._sources(
+            self.problem.measurements_covering(state), graph)
+        if not sources:
+            return CutResult(0, _ZERO_WITNESS, True)
+        return graph.cut(sources)
+
+    def state_criticality(self, state: int, secured: bool = False) -> int:
+        return self.state_cut(state, secured=secured).size
+
+    # ------------------------------------------------------------------
+    # Per-property attack-cardinality brackets
+    # ------------------------------------------------------------------
+
+    def attack_bounds(self, prop: Property, r: int = 1) -> IndexBounds:
+        """The cached ``[lower, upper]`` bracket for one property."""
+        key = (prop, r if prop is Property.BAD_DATA_DETECTABILITY else 0)
+        cached = self._bounds.get(key)
+        if cached is None:
+            if prop is Property.COMMAND_DELIVERABILITY:
+                cached = self._command_bounds()
+            elif prop is Property.BAD_DATA_DETECTABILITY:
+                cached = self._bad_data_bounds(r)
+            else:
+                cached = self._observability_bounds(prop)
+            self._bounds[key] = cached
+        return cached
+
+    def _zero(self, prop: Property) -> IndexBounds:
+        return IndexBounds(prop, 0, 0, _ZERO_WITNESS, True)
+
+    def _observability_bounds(self, prop: Property) -> IndexBounds:
+        """Bracket for (secured) observability.
+
+        The negated property is a disjunction: (A) some state loses all
+        delivered coverage, or (B) fewer than ``n`` unique groups stay
+        delivered.  For (A) the per-state min cut is both a witness and
+        (certified) a tight cost.  For (B), silencing ``need`` of the
+        ``c0`` pre-failure-deliverable groups suffices; any violating
+        set must fully silence at least ``need`` groups, so its size is
+        at least the ``need``-th smallest group cost (certified lower),
+        while the union of the ``need`` cheapest group cuts is a
+        concrete witness (upper).
+        """
+        secured = prop is Property.SECURED_OBSERVABILITY
+        graph = self.graph(secured)
+        certified = graph.certified
+        state_best: Optional[CutResult] = None
+        for state in self.problem.states():
+            result = self.state_cut(state, secured)
+            if result.size == 0:
+                return self._zero(prop)
+            if state_best is None or result.size < state_best.size:
+                state_best = result
+        assert state_best is not None  # num_states >= 1
+        group_cuts: List[CutResult] = []
+        for group in self.problem.unique_groups:
+            result = self.group_cut(group, secured)
+            if result.size == 0:
+                continue  # not deliverable before any failure
+            group_cuts.append(result)
+        n = self.problem.num_states
+        if len(group_cuts) < n:
+            return self._zero(prop)
+        need = len(group_cuts) - n + 1
+        group_cuts.sort(key=lambda c: c.size)
+        cheapest = group_cuts[:need]
+        unique_lower = cheapest[-1].size
+        union: Set[int] = set()
+        for result in cheapest:
+            union.update(result.devices)
+        lower = min(state_best.size, unique_lower)
+        if len(union) < state_best.size:
+            upper, witness = len(union), tuple(sorted(union))
+        else:
+            upper, witness = state_best.size, state_best.devices
+        return IndexBounds(prop, lower, upper, witness, certified)
+
+    #: Max covering IEDs per state for the exact subset enumeration in
+    #: the bad-data bracket (2^10 cut queries worst case, all cached).
+    _BAD_DATA_EXACT_LIMIT = 10
+
+    def _bad_data_bounds(self, r: int) -> IndexBounds:
+        """Bracket for (k, r) bad-data detectability.
+
+        The negation asks for a state with at most ``r`` secured
+        covering measurements.  A violating set silences some set ``S``
+        of covering IEDs whose measurements total at least
+        ``need = m - r``, at cost ``cut(S)``; since ``cut`` is monotone
+        in ``S``, the per-state optimum is the min over *minimal*
+        sufficient ``S`` — enumerated exactly when the state has few
+        covering IEDs, bracketed soundly otherwise.  The property
+        bracket is the min over states.
+        """
+        prop = Property.BAD_DATA_DETECTABILITY
+        graph = self.graph(secured=True)
+        certified = graph.certified
+        best_lower: Optional[int] = None
+        best_upper: Optional[int] = None
+        best_witness: Tuple[int, ...] = _ZERO_WITNESS
+        for state in self.problem.states():
+            coverage: Dict[int, int] = {}
+            for z in self.problem.measurements_covering(state):
+                ied = self._ied_of.get(z)
+                if ied is not None and graph.deliverable(ied):
+                    coverage[ied] = coverage.get(ied, 0) + 1
+            m = sum(coverage.values())
+            if m <= r:
+                return self._zero(prop)
+            need = m - r
+            lower_x, upper_x, witness_x = self._coverage_drop_cost(
+                coverage, need, graph)
+            if best_lower is None or lower_x < best_lower:
+                best_lower = lower_x
+            if best_upper is None or upper_x < best_upper:
+                best_upper, best_witness = upper_x, witness_x
+        assert best_lower is not None and best_upper is not None
+        return IndexBounds(prop, best_lower, best_upper, best_witness,
+                           certified)
+
+    def _coverage_drop_cost(self, coverage: Dict[int, int], need: int,
+                            graph: DeliveryGraph
+                            ) -> Tuple[int, int, Tuple[int, ...]]:
+        """Min failures silencing IEDs worth >= *need* measurements.
+
+        Returns ``(lower, upper, witness)``; lower == upper when the
+        exact subset enumeration ran (few covering IEDs).
+        """
+        ieds = sorted(coverage)
+        if len(ieds) <= self._BAD_DATA_EXACT_LIMIT:
+            best: Optional[CutResult] = None
+            for size in range(1, len(ieds) + 1):
+                for subset in combinations(ieds, size):
+                    total = sum(coverage[i] for i in subset)
+                    if total < need:
+                        continue
+                    if any(total - coverage[i] >= need for i in subset):
+                        continue  # a proper subset already suffices
+                    result = graph.cut(subset)
+                    if best is None or result.size < best.size:
+                        best = result
+                if best is not None and best.size <= 1:
+                    break  # a violating set is non-empty: 1 is optimal
+            assert best is not None  # the full IED set reaches `need`
+            return best.size, best.size, best.devices
+        # Loose but sound: any violating set silences at least one
+        # covering IED (lower); greedily silencing the highest-coverage
+        # IEDs gives a concrete witness (upper).
+        lower = min(graph.cut([ied]).size for ied in ieds)
+        chosen: List[int] = []
+        removed = 0
+        for ied in sorted(ieds, key=lambda i: (-coverage[i], i)):
+            chosen.append(ied)
+            removed += coverage[ied]
+            if removed >= need:
+                break
+        result = graph.cut(chosen)
+        return lower, result.size, result.devices
+
+    def _command_bounds(self) -> IndexBounds:
+        """Bracket for command deliverability.
+
+        The negation asks for an *alive* field device with no alive
+        assured route; the cheapest attack on device ``d`` is the min
+        cut of its path family with ``d`` itself protected.  Devices
+        whose protected cut is infinite cannot be attacked at all; a
+        device with no assured path is violated with zero failures.
+        """
+        prop = Property.COMMAND_DELIVERABILITY
+        graph = self.graph(secured=False)
+        certified = graph.certified
+        best: Optional[CutResult] = None
+        for device in self.network.field_device_ids:
+            if not graph.deliverable(device):
+                return self._zero(prop)
+            result = graph.cut([device], protect=[device])
+            if not result.cuttable:
+                continue
+            if best is None or result.size < best.size:
+                best = result
+        if best is None:
+            # No device can be cut off while alive: no attack exists.
+            total = len(self.network.field_device_ids)
+            return IndexBounds(prop, total + 1, None, _ZERO_WITNESS,
+                               certified)
+        return IndexBounds(prop, best.size, best.size, best.devices,
+                           certified)
+
+    def __repr__(self) -> str:
+        return (f"StructuralAnalysis({self.network.name!r}, "
+                f"n={self.problem.num_states}, "
+                f"m={self.problem.num_measurements})")

@@ -43,6 +43,7 @@ def lint_case(network: ScadaNetwork,
         _check_coverage(network, problem, report)
         if spec is not None:
             _check_redundancy(network, problem, spec, report, delivering)
+            _check_security_indices(network, problem, spec, report)
     return report
 
 
@@ -344,3 +345,52 @@ def _check_redundancy(network: ScadaNetwork,
                 location=f"state {state}",
                 hint="add redundant IEDs, dual-homed links, or RTU "
                      "cross-links"))
+
+
+# ----------------------------------------------------------------------
+# Security-index rules: SCADA019, SCADA020
+# ----------------------------------------------------------------------
+
+def _check_security_indices(network: ScadaNetwork,
+                            problem: ObservabilityProblem,
+                            spec: ResiliencySpec,
+                            report: LintReport) -> None:
+    """Warn on unique measurement groups whose component-level security
+    index (min failures silencing every redundant measurement of the
+    component — see :mod:`repro.graphs.security_index`) is within the
+    spec's failure budget: a budget-compliant attack erases the whole
+    component from the unique-measurement tally."""
+    if not network.has_mtu:
+        return
+    # Imported lazily: repro.graphs pulls in the engine package, which
+    # imports this package's public API during its own lint gate.
+    from ..graphs.security_index import StructuralAnalysis
+
+    budget = spec.budget.max_failures
+    try:
+        analysis = StructuralAnalysis(network, problem)
+        modes = [(False, "SCADA019")]
+        if spec.property.uses_security:
+            modes.append((True, "SCADA020"))
+        for secured, code in modes:
+            for group in problem.unique_groups:
+                result = analysis.group_cut(group, secured=secured)
+                if result.size == 0 or not result.cuttable \
+                        or result.size > budget:
+                    continue
+                members = ",".join(map(str, group))
+                cut_text = ", ".join(network.label(d)
+                                     for d in result.devices)
+                mode = "secured" if secured else "assured"
+                report.append(Diagnostic(
+                    code, Severity.WARNING,
+                    f"unique measurement group {{{members}}} has "
+                    f"{mode} security index {result.size}: failing "
+                    f"{{{cut_text}}} silences every redundant "
+                    f"measurement of the component within the failure "
+                    f"budget ({result.size} <= {budget})",
+                    location=f"group {group[0]}",
+                    hint="add a redundant IED for the component on a "
+                         "device-disjoint route"))
+    except RuntimeError:
+        return  # path enumeration blew the cap; stay silent

@@ -62,6 +62,9 @@ RULES: Dict[str, str] = {
     "SCADA016": "fewer unique measurement groups than states",
     "SCADA017": "link references an unknown device",
     "SCADA018": "parallel or duplicate link definition",
+    "SCADA019": "measurement group silenceable within the failure budget",
+    "SCADA020": ("secured delivery of a measurement group silenceable "
+                 "within the failure budget"),
     # Layer 2 — CNF encoding rules.
     "CNF001": "unconstrained variable (appears in no clause)",
     "CNF002": "tautological clause dropped at construction",

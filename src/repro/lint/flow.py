@@ -3,18 +3,12 @@
 The SCADA013 rule needs, per state, the size of the smallest set of
 field devices whose failure cuts every assured delivery path of every
 IED covering the state.  By Menger's theorem that equals the maximum
-number of *device-disjoint* delivery routes, computed here as max-flow
-on a node-split digraph:
-
-* every field device (IED/RTU) on some assured path becomes ``v_in →
-  v_out`` with capacity 1 (failing the device removes one unit);
-* routers and the MTU are not part of the failure model, so their split
-  arc gets unbounded capacity;
-* a super-source feeds the *out*-side of every IED that covers the
-  state (the IED's own split arc still costs a unit, because an IED
-  failure silences its measurements);
-* path edges (logical hops of assured paths) get unbounded capacity;
-* the sink is the MTU's *in*-node.
+number of *device-disjoint* delivery routes — exactly the node-split
+reduction provided by the shared kernel in :mod:`repro.graphs.flow`
+(:func:`~repro.graphs.flow.unit_vertex_cut`), which this module now
+delegates to.  The historical public API is preserved: the lint rules
+keep calling :func:`disjoint_delivery_flow` and reading
+:class:`DisjointFlowResult`.
 
 Soundness: the graph is the union of real assured paths, so every unit
 of flow is witnessed by actual deliverable routes, and every vertex cut
@@ -24,14 +18,13 @@ of them — no false positives.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, Sequence, Set, Tuple
+
+from ..graphs.flow import INF as _INF
+from ..graphs.flow import unit_vertex_cut
 
 __all__ = ["DisjointFlowResult", "disjoint_delivery_flow"]
-
-#: Effectively-infinite arc capacity (device counts are small).
-_INF = 1 << 30
 
 
 @dataclass(frozen=True)
@@ -63,104 +56,8 @@ def disjoint_delivery_flow(source_ieds: Iterable[int],
     budget), since the rule only needs to know which side of the budget
     the redundancy falls on.
     """
-    sources = sorted(set(source_ieds))
-    path_list = [tuple(p) for p in paths]
-    if not sources or not path_list:
-        return DisjointFlowResult(flow=0, cut_devices=())
-
-    # Node-split encoding: device v → nodes 2v ("in") and 2v+1 ("out").
-    # Node 0 is the super-source; the sink is the MTU's in-node.
-    def node_in(v: int) -> int:
-        return 2 * v
-
-    def node_out(v: int) -> int:
-        return 2 * v + 1
-
-    graph: Dict[int, Dict[int, int]] = {}
-
-    def add_arc(u: int, w: int, capacity: int) -> None:
-        graph.setdefault(u, {})
-        graph.setdefault(w, {})
-        graph[u][w] = graph[u].get(w, 0) + capacity
-        graph[w].setdefault(u, 0)
-
-    split_cap: Dict[int, int] = {}
-    for path in path_list:
-        for device in path:
-            if device not in split_cap:
-                split_cap[device] = 1 if device in field_devices else _INF
-                add_arc(node_in(device), node_out(device),
-                        split_cap[device])
-        for a, b in zip(path, path[1:]):
-            add_arc(node_out(a), node_in(b), _INF)
-
-    super_source = 0
-    for ied in sources:
-        if ied in split_cap:
-            add_arc(super_source, node_in(ied), _INF)
-    sink_node = node_in(sink)
-    if sink_node not in graph or super_source not in graph:
-        return DisjointFlowResult(flow=0, cut_devices=())
-
-    # Edmonds–Karp with early exit once the budget is exceeded.
-    flow = 0
-    while flow <= bound:
-        parent = _augmenting_path(graph, super_source, sink_node)
-        if parent is None:
-            break
-        # Unit bottlenecks dominate (device arcs carry capacity 1), but
-        # compute the true bottleneck for generality.
-        bottleneck = _INF
-        w = sink_node
-        while w != super_source:
-            u = parent[w]
-            bottleneck = min(bottleneck, graph[u][w])
-            w = u
-        w = sink_node
-        while w != super_source:
-            u = parent[w]
-            graph[u][w] -= bottleneck
-            graph[w][u] += bottleneck
-            w = u
-        flow += bottleneck
-
-    if flow > bound:
-        return DisjointFlowResult(flow=flow, cut_devices=())
-
-    # Min cut: devices whose split arc crosses the reachable frontier of
-    # the residual graph.
-    reachable = _residual_reachable(graph, super_source)
-    cut = sorted(device for device, cap in split_cap.items()
-                 if cap == 1
-                 and node_in(device) in reachable
-                 and node_out(device) not in reachable)
-    return DisjointFlowResult(flow=flow, cut_devices=tuple(cut))
-
-
-def _augmenting_path(graph: Dict[int, Dict[int, int]], source: int,
-                     sink: int) -> "Dict[int, int] | None":
-    """BFS for a shortest augmenting path; parent map or None."""
-    parent: Dict[int, int] = {source: source}
-    queue = deque([source])
-    while queue:
-        u = queue.popleft()
-        for w, capacity in graph[u].items():
-            if capacity > 0 and w not in parent:
-                parent[w] = u
-                if w == sink:
-                    return parent
-                queue.append(w)
-    return None
-
-
-def _residual_reachable(graph: Dict[int, Dict[int, int]],
-                        source: int) -> Set[int]:
-    seen = {source}
-    queue = deque([source])
-    while queue:
-        u = queue.popleft()
-        for w, capacity in graph[u].items():
-            if capacity > 0 and w not in seen:
-                seen.add(w)
-                queue.append(w)
-    return seen
+    result = unit_vertex_cut(
+        source_ieds, paths, field_devices, sink,
+        bound=None if bound >= _INF else bound)
+    return DisjointFlowResult(flow=result.flow,
+                              cut_devices=result.cut_vertices)

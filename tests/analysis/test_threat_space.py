@@ -47,3 +47,29 @@ def test_larger_spec_grows_space(fig3):
 def test_repr(fig3):
     space = threat_space(fig3, ResiliencySpec.observability(k1=2, k2=1))
     assert "9" in repr(space)
+
+
+def test_structural_screen_proves_empty_spaces_without_solving(fig3):
+    spec = ResiliencySpec.observability(k1=0, k2=0)
+    screened = threat_space(fig3, spec)
+    assert screened.screened and screened.size == 0 and screened.exact
+    # The solver-backed enumeration agrees with the structural proof.
+    solved = threat_space(fig3, spec, screen=False)
+    assert not solved.screened
+    assert solved.size == 0
+
+
+def test_screen_never_prunes_nonempty_spaces(fig3):
+    for budget in ((1, 1), (2, 1), (2, 2)):
+        spec = ResiliencySpec.observability(k1=budget[0], k2=budget[1])
+        screened = threat_space(fig3, spec)
+        unscreened = threat_space(fig3, spec, screen=False)
+        assert screened.size == unscreened.size
+        if screened.screened:
+            assert unscreened.size == 0
+
+
+def test_link_budget_specs_are_never_screened(fig3):
+    spec = ResiliencySpec.observability(k=0, link_k=1)
+    space = threat_space(fig3, spec)
+    assert not space.screened

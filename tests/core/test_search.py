@@ -1,5 +1,7 @@
 """Three-valued galloping search: UNKNOWN is neither bound."""
 
+import pytest
+
 from repro.core import SearchBounds, galloping_max_bounded
 from repro.core.search import galloping_max
 
@@ -65,3 +67,53 @@ def test_monotone_exhaustive_against_linear_scan():
         bounds = galloping_max_bounded(check, 8)
         expected = min(true_max, 8)
         assert bounds.exact and bounds.lower == expected, true_max
+
+
+# ----------------------------------------------------------------------
+# Bracket seeding (the structural screen feeds known lower bounds)
+# ----------------------------------------------------------------------
+
+def test_seeded_lower_bound_is_never_reprobed():
+    check, calls = _oracle(true_max=7)
+    bounds = galloping_max_bounded(check, 20, lower=4)
+    assert bounds.exact and bounds.lower == 7
+    # The seed is trusted: no probe at or below it.
+    assert all(k > 4 for k in calls)
+
+
+def test_seed_equal_to_upper_needs_zero_probes():
+    check, calls = _oracle(true_max=9)
+    bounds = galloping_max_bounded(check, 5, lower=5)
+    assert bounds == SearchBounds(lower=5, upper=5)
+    assert calls == []
+
+
+def test_seed_above_upper_raises():
+    check, _ = _oracle(true_max=9)
+    with pytest.raises(ValueError):
+        galloping_max_bounded(check, 3, lower=4)
+
+
+def test_negative_upper_probes_nothing():
+    check, calls = _oracle(true_max=9)
+    assert galloping_max_bounded(check, -1) == SearchBounds(-1, -1)
+    assert calls == []
+
+
+def test_seeded_exhaustive_against_linear_scan():
+    for true_max in range(0, 9):
+        for seed in range(0, true_max + 1):
+            check, calls = _oracle(true_max=true_max)
+            bounds = galloping_max_bounded(check, 10, lower=seed)
+            assert bounds.exact and bounds.lower == true_max, (true_max,
+                                                               seed)
+            assert all(k > seed for k in calls)
+
+
+def test_unseeded_call_matches_legacy_behavior():
+    check, calls = _oracle(true_max=3)
+    seeded = galloping_max_bounded(check, 10, lower=-1)
+    check2, _ = _oracle(true_max=3)
+    legacy = galloping_max_bounded(check2, 10)
+    assert seeded == legacy
+    assert 0 in calls  # the unseeded search still starts at zero

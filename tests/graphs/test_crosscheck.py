@@ -1,0 +1,84 @@
+"""Graph-vs-SAT cross-validation: the two engines must agree."""
+
+import itertools
+import json
+import random
+
+import pytest
+
+from repro.cases import case_problem, fig3_network, fig4_network
+from repro.core import ObservabilityProblem, Property
+from repro.graphs import cross_check
+from repro.scada import Device, DeviceType, Link, ScadaNetwork
+
+from .test_security_index import _random_system
+
+
+@pytest.mark.parametrize("topology", ["fig3", "fig4"])
+def test_case_study_agrees(topology):
+    network = fig4_network() if topology == "fig4" else fig3_network()
+    report = cross_check(network, case_problem())
+    assert report.ok
+    assert report.exit_code() == 0
+    assert report.checks > 0
+    assert report.disagreements == []
+
+
+def test_tiny_exhaustive(tiny_network, tiny_problem):
+    report = cross_check(tiny_network, tiny_problem)
+    assert report.ok
+    # Every property's bracket was cross-checked against the solver.
+    assert {entry["property"] for entry in report.resiliency} == {
+        p.value for p in Property}
+    # The published indices match the structural analysis directly.
+    assert report.group_indices["assured"] == {1: 1, 2: 1}
+
+
+def test_report_serialization(tiny_network, tiny_problem):
+    report = cross_check(tiny_network, tiny_problem)
+    payload = json.loads(report.to_json())
+    assert payload["disagreements"] == []
+    assert payload["checks"] == report.checks
+    assert "agreement" in report.summary()
+    assert "agreement" in report.to_text()
+
+
+def test_single_property_restriction(tiny_network, tiny_problem):
+    report = cross_check(tiny_network, tiny_problem,
+                         properties=[Property.OBSERVABILITY])
+    assert report.ok
+    assert [entry["property"] for entry in report.resiliency] == [
+        Property.OBSERVABILITY.value]
+
+
+def test_random_small_systems_agree():
+    # The property-test core of the PR: on exhaustively small random
+    # systems the structural pass and the SAT engine must agree on
+    # every group index, state criticality, and resiliency bracket.
+    rng = random.Random(5)
+    for _ in range(8):
+        network, problem = _random_system(rng)
+        report = cross_check(network, problem)
+        assert report.ok, report.to_text()
+        assert report.unknown == 0
+
+
+def test_ieee14_agrees(ieee14_synthetic):
+    problem = ObservabilityProblem.from_table(ieee14_synthetic.table)
+    report = cross_check(ieee14_synthetic.network, problem)
+    assert report.ok, report.to_text()
+    assert report.checks > 50
+
+
+@pytest.mark.slow
+def test_ieee57_agrees():
+    from repro.grid import case_by_buses
+    from repro.scada import GeneratorConfig, generate_scada
+
+    synthetic = generate_scada(
+        case_by_buses(57),
+        GeneratorConfig(measurement_fraction=0.6, hierarchy_level=1,
+                        seed=3))
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    report = cross_check(synthetic.network, problem)
+    assert report.ok, report.to_text()

@@ -1,0 +1,213 @@
+"""Structural security indices vs handmade values and brute force."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import ObservabilityProblem, Property
+from repro.graphs import DeliveryGraph, StructuralAnalysis
+from repro.scada import Device, DeviceType, Link, ScadaNetwork
+
+
+def _network(devices, links, mmap, **kwargs):
+    kwargs.setdefault("strict", False)
+    return ScadaNetwork(devices=devices, links=links,
+                        measurement_map=mmap, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Handmade values on the tiny fixture
+# ----------------------------------------------------------------------
+
+def test_tiny_assured_indices(tiny_network, tiny_problem):
+    analysis = StructuralAnalysis(tiny_network, tiny_problem)
+    # Each group rides one chain IED → RTU 3 → MTU: one failure silences.
+    assert analysis.security_indices() == {1: 1, 2: 1}
+    assert analysis.state_criticality(1) == 1
+    assert analysis.state_criticality(2) == 1
+    assert analysis.certified()
+
+
+def test_tiny_secured_mode_sees_the_weak_link(tiny_network, tiny_problem):
+    analysis = StructuralAnalysis(tiny_network, tiny_problem)
+    # IED 2's uplink only authenticates: no secured path, so its group
+    # is undeliverable before any failure — index zero by convention.
+    assert analysis.security_index(1, secured=True) == 1
+    assert analysis.security_index(2, secured=True) == 0
+
+
+def test_tiny_observability_bracket_is_exact(tiny_network, tiny_problem):
+    analysis = StructuralAnalysis(tiny_network, tiny_problem)
+    bounds = analysis.attack_bounds(Property.OBSERVABILITY)
+    assert bounds.certified and bounds.exact
+    assert bounds.lower == bounds.upper == 1
+    assert len(bounds.witness) == 1
+    assert bounds.resiliency_upper(fallback=3) == 0
+    assert bounds.resiliency_lower() == 0
+
+
+def test_tiny_secured_observability_is_zero(tiny_network, tiny_problem):
+    analysis = StructuralAnalysis(tiny_network, tiny_problem)
+    bounds = analysis.attack_bounds(Property.SECURED_OBSERVABILITY)
+    # Group 2 is undeliverable in secured mode: violated at zero cost.
+    assert bounds.lower == 0 and bounds.upper == 0
+    assert bounds.exact
+
+
+def test_tiny_command_bracket(tiny_network, tiny_problem):
+    analysis = StructuralAnalysis(tiny_network, tiny_problem)
+    bounds = analysis.attack_bounds(Property.COMMAND_DELIVERABILITY)
+    # Cheapest: fail RTU 3, leaving either IED alive but unreachable.
+    assert bounds.exact and bounds.lower == 1
+    assert bounds.witness == (3,)
+
+
+def test_unknown_measurement_has_zero_index(tiny_network, tiny_problem):
+    analysis = StructuralAnalysis(tiny_network, tiny_problem)
+    assert analysis.security_index(999) == 0
+
+
+def test_attack_bounds_are_cached(tiny_network, tiny_problem):
+    analysis = StructuralAnalysis(tiny_network, tiny_problem)
+    first = analysis.attack_bounds(Property.OBSERVABILITY)
+    assert analysis.attack_bounds(Property.OBSERVABILITY) is first
+
+
+def test_describe_mentions_the_regime(tiny_network, tiny_problem):
+    analysis = StructuralAnalysis(tiny_network, tiny_problem)
+    text = analysis.attack_bounds(Property.OBSERVABILITY).describe()
+    assert "observability" in text and "exact" in text
+
+
+# ----------------------------------------------------------------------
+# The exactness certificate
+# ----------------------------------------------------------------------
+
+def test_hybrid_route_dropped_by_the_cap_voids_the_certificate():
+    # RTU mesh 2–4–3 with two exits: with max_path_length=4 the route
+    # 1–2–4–3–6 exists in the union graph (its edges come from shorter
+    # enumerated paths) but is not itself enumerated, so cut sizes are
+    # witnesses only.
+    devices = [Device(1, DeviceType.IED), Device(5, DeviceType.IED),
+               Device(2, DeviceType.RTU), Device(3, DeviceType.RTU),
+               Device(4, DeviceType.RTU), Device(6, DeviceType.MTU)]
+    links = [Link(1, 1, 2), Link(2, 2, 4), Link(3, 4, 6),
+             Link(4, 5, 4), Link(5, 3, 4), Link(6, 3, 6)]
+    network = _network(devices, links, {1: [1], 5: [2]},
+                       max_path_length=4)
+    graph = DeliveryGraph(network)
+    assert not graph.certified
+    problem = ObservabilityProblem(num_states=2,
+                                   state_sets={1: [1], 2: [2]},
+                                   unique_groups=[[1], [2]])
+    analysis = StructuralAnalysis(network, problem)
+    bounds = analysis.attack_bounds(Property.OBSERVABILITY)
+    assert not bounds.certified
+    assert bounds.upper is not None  # the witness side stays sound
+
+
+def test_uncapped_enumeration_is_certified():
+    devices = [Device(1, DeviceType.IED), Device(5, DeviceType.IED),
+               Device(2, DeviceType.RTU), Device(3, DeviceType.RTU),
+               Device(4, DeviceType.RTU), Device(6, DeviceType.MTU)]
+    links = [Link(1, 1, 2), Link(2, 2, 4), Link(3, 4, 6),
+             Link(4, 5, 4), Link(5, 3, 4), Link(6, 3, 6)]
+    network = _network(devices, links, {1: [1], 5: [2]})
+    assert DeliveryGraph(network).certified
+
+
+def test_capped_but_complete_family_stays_certified():
+    # A cap that drops nothing: every union route is still enumerated.
+    devices = [Device(1, DeviceType.IED), Device(2, DeviceType.RTU),
+               Device(3, DeviceType.MTU)]
+    links = [Link(1, 1, 2), Link(2, 2, 3)]
+    network = _network(devices, links, {1: [1]}, max_path_length=3)
+    assert DeliveryGraph(network).certified
+
+
+# ----------------------------------------------------------------------
+# Brute force on random small systems
+# ----------------------------------------------------------------------
+
+def _random_system(rng):
+    num_ieds = rng.randint(2, 4)
+    num_rtus = rng.randint(1, 3)
+    ieds = list(range(1, num_ieds + 1))
+    rtus = list(range(num_ieds + 1, num_ieds + num_rtus + 1))
+    mtu = num_ieds + num_rtus + 1
+    devices = ([Device(i, DeviceType.IED) for i in ieds]
+               + [Device(r, DeviceType.RTU) for r in rtus]
+               + [Device(mtu, DeviceType.MTU)])
+    links, seen = [], set()
+
+    def link(a, b):
+        if (a, b) not in seen and (b, a) not in seen:
+            seen.add((a, b))
+            links.append(Link(len(links) + 1, a, b))
+
+    for ied in ieds:
+        link(ied, rng.choice(rtus))
+        if rng.random() < 0.5:
+            link(ied, rng.choice(rtus))
+    for a, b in itertools.combinations(rtus, 2):
+        if rng.random() < 0.4:
+            link(a, b)
+    for rtu in rtus:
+        if rng.random() < 0.7 or rtu == rtus[-1]:
+            link(rtu, mtu)
+
+    mmap = {ied: [z] for z, ied in enumerate(ieds, start=1)}
+    groups = [[z] for z in range(1, num_ieds + 1)]
+    if num_ieds >= 2 and rng.random() < 0.6:
+        groups = [[1, 2]] + groups[2:]  # one redundant two-IED group
+    problem = ObservabilityProblem(
+        num_states=len(groups),
+        state_sets={z: [s] for s, group in enumerate(groups, start=1)
+                    for z in group},
+        unique_groups=groups)
+    return _network(devices, links, mmap), problem
+
+
+def _brute_group_cost(network, group, mmap_of):
+    """Min transversal of the group's assured-path family, or None."""
+    paths = []
+    for z in group:
+        paths.extend(tuple(p) for p in network.assured_paths(mmap_of[z]))
+    if not paths:
+        return 0
+    field = sorted(network.field_device_ids)
+    for size in range(len(field) + 1):
+        for failed in itertools.combinations(field, size):
+            if all(set(path) & set(failed) for path in paths):
+                return size
+    return None
+
+
+def test_group_cuts_match_brute_force_transversals():
+    rng = random.Random(11)
+    checked = 0
+    for _ in range(25):
+        network, problem = _random_system(rng)
+        analysis = StructuralAnalysis(network, problem)
+        mmap_of = {z: ied for ied, zs in network.measurement_map.items()
+                   for z in zs}
+        for group in problem.unique_groups:
+            result = analysis.group_cut(group)
+            expected = _brute_group_cost(network, group, mmap_of)
+            if expected is None:
+                assert not result.cuttable
+                continue
+            if result.certified:
+                assert result.size == expected
+                checked += 1
+            else:
+                assert result.size >= expected  # witness side only
+            # The witness really silences the group.
+            if result.cuttable and result.size > 0:
+                assert all(
+                    set(path) & set(result.devices)
+                    for z in group
+                    for path in map(tuple,
+                                    network.assured_paths(mmap_of[z])))
+    assert checked >= 20  # most random systems certify

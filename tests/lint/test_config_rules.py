@@ -207,3 +207,48 @@ def test_report_subject_is_network_name():
     devices, links = _chain()
     net = _net(devices, links, {1: [1]}, name="unit-net")
     assert lint_case(net).subject == "unit-net"
+
+
+def test_scada019_group_silenceable_within_budget():
+    devices, links = _chain()
+    spec = ResiliencySpec.observability(k=1)
+    report = lint_case(_net(devices, links, {1: [1]}), _problem(), spec)
+    hits = [d for d in report.diagnostics if d.code == "SCADA019"]
+    assert hits and hits[0].severity is Severity.WARNING
+    assert "security index 1" in hits[0].message
+
+
+def test_scada019_silent_when_indices_exceed_the_budget():
+    spec = ResiliencySpec.observability(k=0)
+    report = lint_case(fig3_network(), case_problem(), spec)
+    assert "SCADA019" not in _codes(report)
+
+
+def test_scada019_needs_a_spec():
+    devices, links = _chain()
+    report = lint_case(_net(devices, links, {1: [1]}), _problem())
+    assert "SCADA019" not in _codes(report)
+
+
+def test_scada020_secured_index_within_budget():
+    devices, links = _chain()
+    strong = CryptoProfile.parse_many("rsa 2048 aes 256")
+    spec = ResiliencySpec.secured_observability(k=1)
+    report = lint_case(
+        _net(devices, links, {1: [1]},
+             pair_security={(1, 2): strong, (2, 3): strong}),
+        _problem(), spec)
+    codes = _codes(report)
+    assert "SCADA020" in codes
+    assert "SCADA019" in codes  # the assured index is no larger
+
+
+def test_scada020_only_for_security_properties():
+    devices, links = _chain()
+    strong = CryptoProfile.parse_many("rsa 2048 aes 256")
+    spec = ResiliencySpec.observability(k=1)
+    report = lint_case(
+        _net(devices, links, {1: [1]},
+             pair_security={(1, 2): strong, (2, 3): strong}),
+        _problem(), spec)
+    assert "SCADA020" not in _codes(report)

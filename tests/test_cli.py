@@ -218,3 +218,55 @@ def test_stats_flags_malformed_trace(tmp_path, capsys):
     out = capsys.readouterr().out
     assert code == 2
     assert "schema problems" in out
+
+
+def test_audit_builtin_case(capsys):
+    assert main(["audit", "fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "agreement" in out
+    assert "security indices" in out
+
+
+def test_audit_json_format(capsys):
+    import json
+
+    assert main(["audit", "fig4", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["disagreements"] == []
+    assert payload["checks"] > 0
+
+
+def test_audit_generated_config(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    assert main(["audit", path, "--property", "observability"]) == 0
+    assert "agreement" in capsys.readouterr().out
+
+
+def test_audit_unparseable_config(tmp_path, capsys):
+    assert main(["audit", str(tmp_path / "nope.scada")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_max_resiliency_no_screen_agrees(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    assert main(["max-resiliency", path]) == 0
+    screened = capsys.readouterr().out
+    assert main(["max-resiliency", path, "--no-screen"]) == 0
+    unscreened = capsys.readouterr().out
+    assert screened == unscreened
+
+
+def test_enumerate_screened_empty_space(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["enumerate", path, "--k", "0"])
+    out = capsys.readouterr().out
+    if "structurally screened" in out:
+        assert code == 0
+    else:
+        assert code in (0, 1)
