@@ -1,0 +1,279 @@
+"""Service daemon latency — cold vs warm vs coalesced queries.
+
+Measures the verification-as-a-service layer end to end, over real
+sockets against an in-process daemon:
+
+* **cold**: first query against a fresh session (parse + lint + engine
+  construction + encode + solve);
+* **warm**: repeat queries against the pooled session (the assumption
+  backend re-encodes nothing — the solve is all that remains);
+* **coalesced**: N identical concurrent POSTs that share one solve
+  (per-client wall time ≈ the one solve, not N solves);
+* **throughput**: sustained warm queries per second from concurrent
+  clients.
+
+Run directly (``python benchmarks/bench_service_latency.py``) to write
+``BENCH_service.json`` at the repo root; ``BENCH_SMOKE=1`` switches to
+the 14-bus case with fewer repetitions for CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import statistics
+import threading
+import time
+from typing import Any, Callable, Dict, List
+
+from repro.core import ObservabilityProblem
+from repro.grid import case_by_buses
+from repro.scada import GeneratorConfig, generate_scada
+from repro.scada.config_io import CaseConfig, dump_config
+from repro.service import ReproService, ServiceClient
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+BUSES = 14 if SMOKE else 118
+SEED = 7
+K = 1 if SMOKE else 3
+WARM_REPEATS = 5 if SMOKE else 20
+COALESCE_CLIENTS = 4 if SMOKE else 8
+THROUGHPUT_QUERIES = 10 if SMOKE else 40
+OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _config_text() -> str:
+    synthetic = generate_scada(
+        case_by_buses(BUSES, seed=SEED),
+        GeneratorConfig(measurement_fraction=0.7, secure_fraction=1.0,
+                        dual_home_fraction=0.3, hierarchy_level=2,
+                        seed=SEED))
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    return dump_config(CaseConfig(network=synthetic.network,
+                                  problem=problem, spec=None))
+
+
+class _Daemon:
+    """The service on a background thread, as tests run it."""
+
+    def __init__(self, **kwargs: Any) -> None:
+        kwargs.setdefault("port", 0)
+        self.service = ReproService(**kwargs)
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.service.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        if not started.wait(30):
+            raise RuntimeError("service failed to start")
+
+    def client(self) -> ServiceClient:
+        return ServiceClient(port=self.service.port)
+
+    def stop(self) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.shutdown(), self.loop)
+        future.result(timeout=60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+        self.loop.close()
+
+
+def _timed(fn: Callable[[], Any]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    ordered = sorted(samples)
+    return {
+        "n": len(ordered),
+        "p50_ms": round(statistics.median(ordered) * 1000, 2),
+        "p95_ms": round(
+            ordered[min(len(ordered) - 1,
+                        int(0.95 * len(ordered)))] * 1000, 2),
+        "min_ms": round(ordered[0] * 1000, 2),
+        "max_ms": round(ordered[-1] * 1000, 2),
+    }
+
+
+def _bench_cold_and_warm(text: str) -> Dict[str, Any]:
+    # A dedicated daemon so the cold number really is cold.
+    daemon = _Daemon()
+    try:
+        client = daemon.client()
+        spec = {"k": K}
+        cold_s = _timed(
+            lambda: client.verify(config=text, spec=spec, wait=True))
+        warm = [
+            _timed(lambda: client.verify(config=text, spec=spec,
+                                         wait=True))
+            for _ in range(WARM_REPEATS)
+        ]
+        counters = client.metrics()["counters"]
+        return {
+            "cold_ms": round(cold_s * 1000, 2),
+            "warm": _percentiles(warm),
+            "warm_over_cold": round(
+                statistics.median(warm) / cold_s, 4),
+            "cache_hits": counters.get("cache.hits", 0),
+            "cache_misses": counters.get("cache.misses", 0),
+            "solves": counters.get("service.solves", 0),
+        }
+    finally:
+        daemon.stop()
+
+
+def _bench_coalesced(text: str) -> Dict[str, Any]:
+    from repro.service.jobs import JobOutcome
+    from repro.service.protocol import JobKind
+
+    # One worker slot, pinned by a gated no-op job: every client's POST
+    # lands while the identical query is still pending, so coalescing
+    # is deterministic and the clock starts when the gate opens.
+    daemon = _Daemon(jobs=1)
+    try:
+        client = daemon.client()
+        session = client.open_session(text)["session"]
+        spec = {"k": K}
+
+        async def inject() -> "asyncio.Event":
+            gate = asyncio.Event()
+
+            async def runner() -> JobOutcome:
+                await gate.wait()
+                return JobOutcome(payload={"exit_code": 0})
+
+            daemon.service.jobs.submit(JobKind.VERIFY, runner,
+                                       spec_text="bench-blocker")
+            return gate
+
+        gate = asyncio.run_coroutine_threadsafe(
+            inject(), daemon.loop).result(timeout=10)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            blockers = [j for j in client.jobs()["jobs"]
+                        if j["spec"] == "bench-blocker"]
+            if blockers and blockers[0]["state"] == "running":
+                break
+            time.sleep(0.01)
+        before = client.metrics()["counters"]
+        finished: List[float] = []
+        lock = threading.Lock()
+
+        def post() -> None:
+            own = daemon.client()
+            own.verify(session=session, spec=spec, wait=True)
+            with lock:
+                finished.append(time.perf_counter())
+
+        threads = [threading.Thread(target=post)
+                   for _ in range(COALESCE_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            mine = [j for j in client.jobs()["jobs"]
+                    if j["spec"] != "bench-blocker"
+                    and j["state"] in ("queued", "running")]
+            if mine and mine[0]["coalesced"] == COALESCE_CLIENTS - 1:
+                break
+            time.sleep(0.01)
+        released = time.perf_counter()
+        daemon.loop.call_soon_threadsafe(gate.set)
+        for thread in threads:
+            thread.join(timeout=120)
+        after = client.metrics()["counters"]
+        latencies = [t - released for t in finished]
+        return {
+            "clients": COALESCE_CLIENTS,
+            "per_client": _percentiles(latencies),
+            "wall_ms": round((max(finished) - released) * 1000, 2),
+            "solves": (after.get("service.solves", 0)
+                       - before.get("service.solves", 0)),
+            "coalesce_hits": (after.get("service.coalesce.hits", 0)
+                              - before.get("service.coalesce.hits", 0)),
+        }
+    finally:
+        daemon.stop()
+
+
+def _bench_throughput(text: str) -> Dict[str, Any]:
+    daemon = _Daemon()
+    try:
+        client = daemon.client()
+        client.verify(config=text, spec={"k": K}, wait=True)  # warm up
+        # Distinct budgets per query so nothing coalesces: this is a
+        # throughput number, not a dedup number.
+        budgets = [(i % (K + 1), i) for i in range(THROUGHPUT_QUERIES)]
+        done: List[float] = []
+        lock = threading.Lock()
+
+        def worker(chunk: List[Any]) -> None:
+            own = daemon.client()
+            for k, r_seed in chunk:
+                own.verify(config=text,
+                           spec={"k": k, "r": 1 + r_seed % 2},
+                           wait=True)
+                with lock:
+                    done.append(time.perf_counter())
+
+        lanes = 4
+        chunks = [budgets[i::lanes] for i in range(lanes)]
+        start = time.perf_counter()
+        threads = [threading.Thread(target=worker, args=(chunk,))
+                   for chunk in chunks if chunk]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        return {
+            "queries": len(done),
+            "wall_s": round(wall, 3),
+            "queries_per_s": round(len(done) / wall, 2),
+        }
+    finally:
+        daemon.stop()
+
+
+def main() -> None:
+    text = _config_text()
+    print(f"service latency bench: {BUSES}-bus, k={K}"
+          f"{' (smoke)' if SMOKE else ''}")
+    cold_warm = _bench_cold_and_warm(text)
+    print(f"  cold {cold_warm['cold_ms']}ms, "
+          f"warm p50 {cold_warm['warm']['p50_ms']}ms "
+          f"(x{cold_warm['warm_over_cold']} of cold)")
+    coalesced = _bench_coalesced(text)
+    print(f"  coalesced: {coalesced['clients']} clients, "
+          f"{coalesced['solves']} solve(s), "
+          f"p95 {coalesced['per_client']['p95_ms']}ms")
+    throughput = _bench_throughput(text)
+    print(f"  throughput: {throughput['queries_per_s']} warm queries/s")
+    assert coalesced["solves"] == 1, \
+        f"identical concurrent queries ran {coalesced['solves']} solves"
+    assert coalesced["coalesce_hits"] >= COALESCE_CLIENTS - 1
+    payload = {
+        "case": {"buses": BUSES, "seed": SEED, "hierarchy": 2, "k": K,
+                 "smoke": SMOKE},
+        "cold_vs_warm": cold_warm,
+        "coalesced": coalesced,
+        "throughput": throughput,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n",
+                   encoding="utf-8")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -414,6 +414,125 @@ def _cmd_stats(args) -> int:
     return 2 if stats.problems else 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import ReproService
+
+    service = ReproService(
+        host=args.host, port=args.port, jobs=args.jobs,
+        max_sessions=args.sessions, backend=args.backend,
+        queue_limit=args.queue_limit, trace_dir=args.trace_dir)
+
+    async def run() -> None:
+        await service.start()
+        print(f"repro service listening on "
+              f"http://{service.host}:{service.port} "
+              f"({service.bridge.workers} worker(s), up to "
+              f"{args.sessions} warm session(s), "
+              f"{args.backend} backend)")
+        sys.stdout.flush()
+        try:
+            await service.serve_forever()
+        finally:
+            await service.shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("repro service: shut down")
+    return 0
+
+
+def _client_spec(args) -> Optional[dict]:
+    if args.k is None and args.k1 is None and args.k2 is None:
+        return None
+    spec = {"property": args.property, "k": args.k, "k1": args.k1,
+            "k2": args.k2, "r": args.r, "link_k": args.link_k}
+    return {name: value for name, value in spec.items()
+            if value is not None}
+
+
+def _client_limits(args) -> Optional[dict]:
+    limits = {"max_time": args.timeout,
+              "max_conflicts": args.max_conflicts}
+    cleaned = {name: value for name, value in limits.items()
+               if value is not None}
+    return cleaned or None
+
+
+def _cmd_client(args) -> int:
+    from .service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(host=args.host, port=args.port,
+                           tenant=args.tenant)
+
+    def require(value: Optional[str], what: str) -> str:
+        if not value:
+            raise SystemExit(f"action {args.action!r} needs {what}")
+        return value
+
+    config_text: Optional[str] = None
+    if args.config:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            config_text = handle.read()
+    wait = not args.no_wait
+    try:
+        if args.action in ("health", "metrics", "sessions", "jobs"):
+            payload = getattr(client, args.action)()
+        elif args.action == "open":
+            payload = client.open_session(
+                require(config_text, "a config file"),
+                backend=args.backend)
+        elif args.action == "invalidate":
+            payload = client.invalidate(
+                require(args.session, "--session"))
+        elif args.action == "job":
+            payload = client.job(require(args.job, "--job"))
+        elif args.action == "wait":
+            payload = client.wait(require(args.job, "--job"))
+        elif args.action == "cancel":
+            payload = client.cancel(require(args.job, "--job"))
+        elif args.action == "trace":
+            text = client.trace(require(args.job, "--job"))
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                print(f"wrote {args.out}")
+            else:
+                sys.stdout.write(text)
+            return 0
+        elif args.action == "verify":
+            payload = client.verify(
+                config=config_text, session=args.session,
+                spec=_client_spec(args), limits=_client_limits(args),
+                wait=wait, backend=args.backend)
+        elif args.action == "enumerate":
+            payload = client.enumerate_vectors(
+                config=config_text, session=args.session,
+                spec=_client_spec(args), limits=_client_limits(args),
+                limit=args.limit, wait=wait, backend=args.backend)
+        else:  # max-resiliency
+            payload = client.max_resiliency(
+                config=config_text, session=args.session,
+                prop=args.property, limits=_client_limits(args),
+                cold=args.cold, wait=wait, backend=args.backend)
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach the service at "
+              f"{args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(payload, indent=2))
+    # Completed solves surface the shared exit-code convention so a
+    # scripted `repro client verify` behaves like `repro verify`.
+    result = payload.get("result") if isinstance(payload, dict) else None
+    if wait and isinstance(result, dict):
+        return int(result.get("exit_code", 0))
+    return 0
+
+
 def _cmd_harden(args) -> int:
     config = load_config(args.config)
     spec = _spec_from_args(args, config.spec)
@@ -569,6 +688,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--trace", default=None, metavar="FILE",
                          help="write a JSONL telemetry trace")
     p_audit.set_defaults(func=_cmd_audit)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the verification service daemon (HTTP, warm "
+             "sessions, request coalescing)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="listen port (0 = ephemeral, printed at "
+                              "startup)")
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="solver worker threads (default/0 = "
+                              "cores minus one, reserving a core for "
+                              "the event loop)")
+    p_serve.add_argument("--sessions", type=int, default=8,
+                         help="warm sessions kept (LRU-evicted beyond "
+                              "this)")
+    p_serve.add_argument("--backend", default="assumption",
+                         choices=BACKEND_NAMES,
+                         help="engine backend for new sessions")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         dest="queue_limit",
+                         help="pending-job cap across all tenants")
+    p_serve.add_argument("--trace-dir", default=None, dest="trace_dir",
+                         help="also mirror every job's JSONL trace "
+                              "into this directory")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="talk to a running verification service")
+    p_client.add_argument("action",
+                          choices=("health", "metrics", "sessions",
+                                   "jobs", "open", "invalidate",
+                                   "verify", "enumerate",
+                                   "max-resiliency", "job", "wait",
+                                   "cancel", "trace"))
+    p_client.add_argument("config", nargs="?", default=None,
+                          help="configuration file (verify/enumerate/"
+                               "max-resiliency/open)")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=8321)
+    p_client.add_argument("--tenant", default=None,
+                          help="tenant name sent as X-Tenant")
+    p_client.add_argument("--session", default=None,
+                          help="reuse a warm session by id instead of "
+                               "sending config text")
+    p_client.add_argument("--job", default=None,
+                          help="job id (job/wait/cancel/trace)")
+    p_client.add_argument("--limit", type=int, default=None,
+                          help="vector cap for enumerate")
+    p_client.add_argument("--no-wait", action="store_true",
+                          dest="no_wait",
+                          help="submit and return the job id instead "
+                               "of waiting for the verdict")
+    p_client.add_argument("--cold", action="store_true",
+                          help="max-resiliency on the process-pool "
+                               "cold lane (needs config text)")
+    p_client.add_argument("--out", default=None,
+                          help="write the downloaded trace here")
+    p_client.add_argument("--backend", default=None,
+                          choices=BACKEND_NAMES,
+                          help="backend for a newly created session")
+    _add_limit_args(p_client)
+    _add_spec_args(p_client)
+    p_client.set_defaults(func=_cmd_client)
 
     p_stats = sub.add_parser("stats",
                              help="aggregate JSONL telemetry traces")

@@ -80,8 +80,33 @@ class ScadaAnalyzer:
         # The engine layer shares one reference evaluator across all of
         # its backends; standalone use builds a private one.
         self.reference = reference or ReferenceEvaluator(network, problem)
+        # Cooperative-cancel plumbing: each query builds a throwaway
+        # solver, so an interrupt arriving from another thread must (a)
+        # reach the solver currently searching and (b) stay armed for a
+        # query that has not built its solver yet.
+        self._live_solver: Optional[Solver] = None
+        self._interrupt_requested = False
 
     # ------------------------------------------------------------------
+
+    def interrupt(self) -> None:
+        """Cooperatively abort the running (or next) query.
+
+        The currently-solving query answers UNKNOWN with limit reason
+        ``interrupt``; the flag is sticky until :meth:`clear_interrupt`,
+        so a query racing past the solver hand-off is still caught.
+        """
+        self._interrupt_requested = True
+        solver = self._live_solver
+        if solver is not None:
+            solver.interrupt()
+
+    def clear_interrupt(self) -> None:
+        """Re-arm the analyzer after an :meth:`interrupt`."""
+        self._interrupt_requested = False
+        solver = self._live_solver
+        if solver is not None:
+            solver.clear_interrupt()
 
     @property
     def backend_name(self) -> str:
@@ -97,6 +122,9 @@ class ScadaAnalyzer:
                         produce_proof=produce_proof,
                         preprocess=(self.preprocess if preprocess is None
                                     else preprocess))
+        self._live_solver = solver
+        if self._interrupt_requested:
+            solver.interrupt()
         solver.set_hooks(probe_for(current_tracer()))
         started = time.perf_counter()
         with obs_span("encode", backend=self.backend_name):

@@ -114,6 +114,20 @@ class IncrementalContext:
 
     # ------------------------------------------------------------------
 
+    def interrupt(self) -> None:
+        """Cooperatively abort the running (or next) query.
+
+        Thread-safe in the cooperative sense: the shared solver's CDCL
+        loop polls the flag and answers UNKNOWN with limit reason
+        ``interrupt``, unwinding cleanly — the base encoding stays
+        reusable.  Sticky until :meth:`clear_interrupt`.
+        """
+        self._solver.interrupt()
+
+    def clear_interrupt(self) -> None:
+        """Re-arm the context after an :meth:`interrupt`."""
+        self._solver.clear_interrupt()
+
     def _check_spec(self, spec: ResiliencySpec) -> None:
         if spec.property is not self.prop:
             raise ValueError(

@@ -24,6 +24,7 @@ by construction (property-tested in ``tests/engine``).
 
 from __future__ import annotations
 
+import weakref
 from typing import List, Optional, Protocol
 
 from ..core.analyzer import ScadaAnalyzer
@@ -69,6 +70,14 @@ class VerificationBackend(Protocol):
         """All (minimal) threat vectors within the spec's budgets."""
         ...
 
+    def interrupt(self) -> None:
+        """Cooperatively abort the running (or next) query."""
+        ...
+
+    def clear_interrupt(self) -> None:
+        """Re-arm the backend after an :meth:`interrupt`."""
+        ...
+
 
 class FreshBackend:
     """One fresh solver and full re-encode per query."""
@@ -103,6 +112,14 @@ class FreshBackend:
             spec, limit=limit, minimal=minimal,
             max_conflicts=max_conflicts, limits=limits)
 
+    def interrupt(self) -> None:
+        """Cooperatively abort the running (or next) query."""
+        self.analyzer.interrupt()
+
+    def clear_interrupt(self) -> None:
+        """Re-arm the backend after an :meth:`interrupt`."""
+        self.analyzer.clear_interrupt()
+
 
 class PreprocessedBackend(FreshBackend):
     """Fresh encoding, simplified by the CNF preprocessor before solving."""
@@ -131,6 +148,12 @@ class IncrementalBackend:
         self._network_fp = network.fingerprint()
         self._problem_fp = problem.fingerprint()
         self._certify_fallback: Optional[FreshBackend] = None
+        # Every context this backend has handed out, weakly held: an
+        # interrupt must reach whichever context is solving right now
+        # without pinning contexts the cache has already evicted.
+        self._live_contexts: "weakref.WeakSet[IncrementalContext]" = \
+            weakref.WeakSet()
+        self._interrupt_requested = False
 
     def _context(
         self, spec: ResiliencySpec,
@@ -157,7 +180,34 @@ class IncrementalBackend:
                       base_encode_time=ctx.base_encode_time)
             return ctx
 
-        return key, self.cache.get_or_create(key, build)
+        ctx = self.cache.get_or_create(key, build)
+        self._live_contexts.add(ctx)
+        if self._interrupt_requested:
+            ctx.interrupt()
+        return key, ctx
+
+    def interrupt(self) -> None:
+        """Cooperatively abort the running (or next) query.
+
+        Reaches every live context's shared solver (the one actually
+        searching answers UNKNOWN with limit reason ``interrupt`` and
+        unwinds cleanly — cached base encodings stay warm) and stays
+        armed for contexts built after the call.  Sticky until
+        :meth:`clear_interrupt`.
+        """
+        self._interrupt_requested = True
+        for ctx in list(self._live_contexts):
+            ctx.interrupt()
+        if self._certify_fallback is not None:
+            self._certify_fallback.interrupt()
+
+    def clear_interrupt(self) -> None:
+        """Re-arm the backend after an :meth:`interrupt`."""
+        self._interrupt_requested = False
+        for ctx in list(self._live_contexts):
+            ctx.clear_interrupt()
+        if self._certify_fallback is not None:
+            self._certify_fallback.clear_interrupt()
 
     def verify(self, spec: ResiliencySpec, minimize: bool = True,
                max_conflicts: Optional[int] = None,

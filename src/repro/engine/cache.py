@@ -48,11 +48,16 @@ class EncodingCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: "OrderedDict[EncodingKey, IncrementalContext]" = \
             OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def keys(self) -> "list[EncodingKey]":
+        """The cached keys, least-recently-used first."""
+        return list(self._entries)
 
     def get(self, key: EncodingKey) -> Optional[IncrementalContext]:
         entry = self._entries.get(key)
@@ -70,6 +75,8 @@ class EncodingCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            obs_count("cache.evictions")
 
     def get_or_create(
         self, key: EncodingKey,
@@ -93,6 +100,24 @@ class EncodingCache:
         seconds of encoding work — stays reusable.
         """
         return self._entries.pop(key, None) is not None
+
+    def invalidate_config(self, network_fingerprint: str,
+                          problem_fingerprint: str) -> int:
+        """Drop every entry encoding one configuration.
+
+        The service's session layer calls this when a session is
+        explicitly invalidated (the operator knows the underlying grid
+        changed): all warm contexts keyed on the configuration's
+        fingerprints are released at once, whatever their property,
+        ``r``, or cardinality encoding.  Returns the number of entries
+        dropped.
+        """
+        doomed = [key for key in self._entries
+                  if key.network_fingerprint == network_fingerprint
+                  and key.problem_fingerprint == problem_fingerprint]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
 
     def clear(self) -> None:
         self._entries.clear()

@@ -80,6 +80,23 @@ class VerificationEngine:
     def backend(self) -> VerificationBackend:
         return self._backend
 
+    def interrupt(self) -> None:
+        """Cooperatively abort the running (or next) query.
+
+        Forwarded to the active backend; the query in flight answers
+        UNKNOWN with limit reason ``interrupt`` (never a spurious
+        verdict) and warm incremental/assumption contexts survive to
+        serve the next query.  Sticky until :meth:`clear_interrupt` —
+        the service's job layer arms it when a client cancels or
+        disconnects, and re-arms the engine once the cancelled job has
+        fully unwound.
+        """
+        self._backend.interrupt()
+
+    def clear_interrupt(self) -> None:
+        """Re-arm the engine after an :meth:`interrupt`."""
+        self._backend.clear_interrupt()
+
     def with_backend(self, backend: str) -> "VerificationEngine":
         """This engine, or a sibling running the named backend.
 

@@ -56,20 +56,30 @@ _R = TypeVar("_R")
 _ON_ERROR = ("raise", "return")
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
+def resolve_jobs(jobs: Optional[int], reserve: int = 0) -> int:
     """Normalize a ``--jobs`` value: ``None``/``0`` → usable cpu count.
 
     Prefers the scheduling affinity mask over the raw CPU count: in a
     cgroup-pinned container (CI runners, batch schedulers) the machine
     may report 64 CPUs while the process is allowed 2, and sizing the
     pool to 64 just thrashes the two it actually has.
+
+    ``reserve`` holds back that many cores from the *auto* sizing (the
+    result never drops below 1).  The service daemon reserves one core
+    for its event loop: a pool sized to every core would starve the
+    accept/dispatch loop exactly when the workers are busiest.  An
+    explicit ``jobs`` value is always honored as given — the operator
+    asked for that many.
     """
+    if reserve < 0:
+        raise ValueError("reserve must be non-negative")
     if jobs is None or jobs == 0:
         try:
-            return len(os.sched_getaffinity(0)) or 1
+            usable = len(os.sched_getaffinity(0)) or 1
         except (AttributeError, OSError):
             # Not POSIX (or the mask is unreadable): raw count fallback.
-            return os.cpu_count() or 1
+            usable = os.cpu_count() or 1
+        return max(1, usable - reserve)
     if jobs < 0:
         raise ValueError("jobs must be positive (or 0/None for auto)")
     return jobs

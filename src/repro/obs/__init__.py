@@ -34,6 +34,7 @@ from .tracer import (
     probe_for,
     set_tracer,
     span,
+    thread_activate,
 )
 
 __all__ = [
@@ -56,6 +57,7 @@ __all__ = [
     "probe_for",
     "set_tracer",
     "span",
+    "thread_activate",
     "validate_record",
     "validate_trace",
 ]

@@ -21,6 +21,14 @@ not exist.  They build an in-memory ``Tracer()`` (no sink), and its
 snapshot — is pickled back with the task result; the parent's
 :meth:`Tracer.absorb` replays those records tagged with the worker's
 pid, giving per-worker attribution in a single merged trace.
+
+The verification service runs many jobs concurrently on *threads* of
+one process, where a single process-wide tracer would interleave
+unrelated requests.  :func:`thread_activate` installs a per-thread
+override: :func:`current_tracer` consults the calling thread's override
+first and falls back to the process-wide tracer, so single-threaded
+consumers (the CLI, sweep workers) keep the exact old semantics while
+each service worker thread traces its own job in isolation.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import threading
 import time
 from types import TracebackType
 from typing import (
@@ -58,10 +67,20 @@ __all__ = [
     "probe_for",
     "set_tracer",
     "span",
+    "thread_activate",
 ]
 
 #: Per-process active tracer; ``None`` means telemetry is off.
 _ACTIVE: Optional["Tracer"] = None
+
+#: Per-thread tracer override (see :func:`thread_activate`).  The
+#: attribute is *absent* (not ``None``) when a thread has no override,
+#: so a thread can explicitly override to ``None`` — isolating itself
+#: from a process-wide tracer — and that is distinguishable from "no
+#: override installed".
+_THREAD = threading.local()
+
+_NO_OVERRIDE = object()
 
 #: Solver events (restarts, clause-DB reductions) recorded per trace
 #: before further ones are only counted — a hard search can restart
@@ -70,7 +89,15 @@ _SOLVER_EVENT_CAP = 10_000
 
 
 def current_tracer() -> Optional["Tracer"]:
-    """The active tracer of this process, or ``None`` (telemetry off)."""
+    """The active tracer of this thread, or ``None`` (telemetry off).
+
+    A per-thread override installed with :func:`thread_activate` wins;
+    otherwise the process-wide tracer set with :func:`set_tracer` /
+    :func:`activate` applies.
+    """
+    override = getattr(_THREAD, "tracer", _NO_OVERRIDE)
+    if override is not _NO_OVERRIDE:
+        return override  # type: ignore[return-value]
     return _ACTIVE
 
 
@@ -93,6 +120,29 @@ def activate(tracer: Optional["Tracer"]) -> Iterator[Optional["Tracer"]]:
         yield tracer
     finally:
         set_tracer(previous)
+
+
+@contextlib.contextmanager
+def thread_activate(
+        tracer: Optional["Tracer"]) -> Iterator[Optional["Tracer"]]:
+    """``with thread_activate(tracer):`` — scoped per-thread override.
+
+    Only the calling thread sees *tracer*; every other thread keeps its
+    own override or the process-wide tracer.  Passing ``None``
+    explicitly *isolates* the thread from a process-wide tracer — the
+    service's scheduler uses that to keep job telemetry out of an
+    operator's CLI trace.  Nests correctly with itself and with
+    :func:`activate`.
+    """
+    previous = getattr(_THREAD, "tracer", _NO_OVERRIDE)
+    _THREAD.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        if previous is _NO_OVERRIDE:
+            del _THREAD.tracer
+        else:
+            _THREAD.tracer = previous
 
 
 class Span:
@@ -333,31 +383,31 @@ def probe_for(tracer: Optional[Tracer]) -> Optional[SolverHooks]:
 
 def span(name: str, **attrs: Any) -> Any:
     """A span on the active tracer, or the shared no-op span."""
-    tracer = _ACTIVE
+    tracer = current_tracer()
     if tracer is None:
         return _NULL_SPAN
     return tracer.span(name, **attrs)
 
 
 def event(name: str, **attrs: Any) -> None:
-    tracer = _ACTIVE
+    tracer = current_tracer()
     if tracer is not None:
         tracer.event(name, **attrs)
 
 
 def count(name: str, n: int = 1) -> None:
-    tracer = _ACTIVE
+    tracer = current_tracer()
     if tracer is not None:
         tracer.count(name, n)
 
 
 def gauge(name: str, value: float) -> None:
-    tracer = _ACTIVE
+    tracer = current_tracer()
     if tracer is not None:
         tracer.gauge(name, value)
 
 
 def observe(name: str, value: float) -> None:
-    tracer = _ACTIVE
+    tracer = current_tracer()
     if tracer is not None:
         tracer.observe(name, value)

@@ -131,3 +131,25 @@ def test_network_fingerprint_tracks_configuration():
     problem = ObservabilityProblem.from_table(synthetic.table)
     again = ObservabilityProblem.from_table(same.table)
     assert problem.fingerprint() == again.fingerprint()
+
+
+def test_eviction_counter_tracks_lru_overflow():
+    cache = EncodingCache(maxsize=2)
+    for name in ("a", "b", "c"):
+        cache.get_or_create(_key(network_fp=name), object)
+    assert len(cache) == 2
+    assert cache.evictions == 1
+
+
+def test_invalidate_config_drops_only_that_configuration():
+    cache = EncodingCache()
+    cache.get_or_create(_key(network_fp="n1", problem_fp="p1"), object)
+    cache.get_or_create(_key(network_fp="n1", problem_fp="p1",
+                             prop=Property.SECURED_OBSERVABILITY),
+                        object)
+    cache.get_or_create(_key(network_fp="n2", problem_fp="p2"), object)
+    assert cache.invalidate_config("n1", "p1") == 2
+    assert len(cache) == 1
+    assert cache.invalidate_config("n1", "p1") == 0
+    remaining = list(cache.keys())
+    assert remaining[0].network_fingerprint == "n2"

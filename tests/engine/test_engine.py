@@ -96,3 +96,20 @@ def test_max_searches_on_engine(fig3_engine):
     assert total >= 0
     assert ied >= total
     assert rtu >= 0
+
+
+@pytest.mark.parametrize("backend", ["fresh", "assumption"])
+def test_interrupt_round_trip_keeps_engine_usable(backend):
+    from repro.core.results import Status
+
+    engine = VerificationEngine(fig3_network(), case_problem(),
+                                backend=backend)
+    spec = ResiliencySpec.observability(k=1)
+    engine.interrupt()
+    stopped = engine.verify(spec, minimize=False)
+    assert stopped.status is Status.UNKNOWN
+    assert stopped.limit_reason == "interrupt"
+    engine.clear_interrupt()
+    # The same engine (and any warm context) answers normally again.
+    verdict = engine.verify(spec, minimize=False)
+    assert verdict.status in (Status.RESILIENT, Status.THREAT_FOUND)

@@ -179,3 +179,17 @@ def test_sweep_deterministic_across_jobs(backend):
     parallel = sweep_bus_sizes([14], jobs=4, **kwargs)
     assert [_point_key(p) for p in serial.points] == \
         [_point_key(p) for p in parallel.points]
+
+
+def test_resolve_jobs_reserve_only_shapes_auto_sizing():
+    # Auto sizing holds back `reserve` cores (the service daemon keeps
+    # one for its event loop) but never drops below one worker.
+    auto = resolve_jobs(None)
+    assert resolve_jobs(None, reserve=1) == max(1, auto - 1)
+    assert resolve_jobs(0, reserve=1) == max(1, auto - 1)
+    assert resolve_jobs(None, reserve=10_000) == 1
+    # An explicit request is the operator's call — reserve is ignored.
+    assert resolve_jobs(4, reserve=1) == 4
+    assert resolve_jobs(1, reserve=3) == 1
+    with pytest.raises(ValueError):
+        resolve_jobs(None, reserve=-1)

@@ -13,6 +13,7 @@ from repro.obs.tracer import (
     probe_for,
     set_tracer,
     span,
+    thread_activate,
 )
 
 
@@ -175,3 +176,59 @@ def test_hooks_fire_during_a_real_search():
     assert lbd is not None and lbd.count > 0
     depth = tracer.registry.histograms["solver.conflict_depth"]
     assert depth.count == lbd.count
+
+
+def test_thread_activate_overrides_process_tracer():
+    shared = Tracer()
+    mine = Tracer()
+    set_tracer(shared)
+    try:
+        assert current_tracer() is shared
+        with thread_activate(mine):
+            assert current_tracer() is mine
+            count("local.events")
+        assert current_tracer() is shared
+        assert mine.registry.counters["local.events"] == 1
+        assert "local.events" not in shared.registry.counters
+    finally:
+        set_tracer(None)
+
+
+def test_thread_activate_none_silences_a_thread():
+    shared = Tracer()
+    set_tracer(shared)
+    try:
+        with thread_activate(None):
+            assert current_tracer() is None
+            count("dropped")  # no tracer: must be a no-op, not a crash
+        assert "dropped" not in shared.registry.counters
+    finally:
+        set_tracer(None)
+
+
+def test_thread_activate_isolates_concurrent_threads():
+    import threading
+
+    shared = Tracer()
+    set_tracer(shared)
+    tracers = [Tracer() for _ in range(3)]
+    ready = threading.Barrier(3)
+
+    def work(idx):
+        with thread_activate(tracers[idx]):
+            ready.wait(timeout=5)
+            for _ in range(idx + 1):
+                count("per.thread")
+
+    try:
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        for idx, tracer in enumerate(tracers):
+            assert tracer.registry.counters["per.thread"] == idx + 1
+        assert "per.thread" not in shared.registry.counters
+    finally:
+        set_tracer(None)

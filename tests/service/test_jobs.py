@@ -1,0 +1,234 @@
+"""Job layer: coalescing, bounded admission, cancellation, tenants.
+
+These tests drive :class:`JobManager` directly on a local event loop
+with stub runners — no HTTP, no real solver — so each policy is
+exercised in isolation.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sat.limits import Limits
+from repro.service.executor import ExecutorBridge
+from repro.service.jobs import JobManager, JobOutcome, TenantPolicy
+from repro.service.protocol import JobKind, JobState, ServiceError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_manager(**kwargs):
+    bridge = ExecutorBridge(jobs=2)
+    registry = MetricsRegistry()
+    return JobManager(bridge, registry, **kwargs), registry, bridge
+
+
+def instant(payload=None):
+    async def runner():
+        return JobOutcome(payload=dict(payload or {"exit_code": 0}))
+    return runner
+
+
+def gated(gate: "asyncio.Event", payload=None):
+    async def runner():
+        await gate.wait()
+        return JobOutcome(payload=dict(payload or {"exit_code": 0}))
+    return runner
+
+
+def test_identical_keys_coalesce_to_one_job():
+    async def scenario():
+        manager, registry, bridge = make_manager()
+        gate = asyncio.Event()
+        first, coalesced_a = manager.submit(
+            JobKind.VERIFY, gated(gate), key=("s", "k1"))
+        twin, coalesced_b = manager.submit(
+            JobKind.VERIFY, instant(), key=("s", "k1"))
+        other, coalesced_c = manager.submit(
+            JobKind.VERIFY, gated(gate), key=("s", "k2"))
+        assert twin is first
+        assert other is not first
+        assert (coalesced_a, coalesced_b, coalesced_c) == (
+            False, True, False)
+        assert first.coalesced == 1
+        assert registry.counters["service.coalesce.hits"] == 1
+        assert registry.counters["service.jobs.submitted"] == 2
+        gate.set()
+        await asyncio.wait_for(first.done.wait(), 5)
+        await asyncio.wait_for(other.done.wait(), 5)
+        # A finished key no longer coalesces: same request solves anew.
+        fresh, coalesced_d = manager.submit(
+            JobKind.VERIFY, instant(), key=("s", "k1"))
+        assert fresh is not first and not coalesced_d
+        await asyncio.wait_for(fresh.done.wait(), 5)
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_queue_limit_rejects_with_429():
+    async def scenario():
+        manager, registry, bridge = make_manager(queue_limit=2)
+        gate = asyncio.Event()
+        manager.submit(JobKind.VERIFY, gated(gate))
+        manager.submit(JobKind.VERIFY, gated(gate))
+        with pytest.raises(ServiceError) as err:
+            manager.submit(JobKind.VERIFY, instant())
+        assert err.value.status == 429
+        assert err.value.code == "queue-full"
+        assert registry.counters["service.jobs.rejected"] == 1
+        gate.set()
+        await manager.drain()
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_tenant_quota_is_per_tenant():
+    async def scenario():
+        manager, _registry, bridge = make_manager(
+            default_policy=TenantPolicy(max_pending=1))
+        gate = asyncio.Event()
+        manager.submit(JobKind.VERIFY, gated(gate), tenant="alice")
+        with pytest.raises(ServiceError) as err:
+            manager.submit(JobKind.VERIFY, gated(gate), tenant="alice")
+        assert err.value.code == "tenant-queue-full"
+        # A different tenant is unaffected by alice's backlog.
+        manager.submit(JobKind.VERIFY, gated(gate), tenant="bob")
+        gate.set()
+        await manager.drain()
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_tenant_policy_merges_budgets():
+    policy = TenantPolicy(limits=Limits(max_time=2.0))
+    assert policy.effective_limits(None) == Limits(max_time=2.0)
+    merged = policy.effective_limits(
+        Limits(max_time=5.0, max_conflicts=10))
+    assert merged == Limits(max_time=2.0, max_conflicts=10)
+    assert TenantPolicy().effective_limits(None) is None
+
+
+def test_cancel_queued_job_never_runs():
+    async def scenario():
+        # One worker slot, held by a gated job: the second job queues.
+        bridge = ExecutorBridge(jobs=1)
+        manager = JobManager(bridge, MetricsRegistry())
+        manager._slots = asyncio.Semaphore(1)
+        gate = asyncio.Event()
+        ran = []
+
+        async def tracked():
+            ran.append(True)
+            return JobOutcome(payload={"exit_code": 0})
+
+        blocker, _ = manager.submit(JobKind.VERIFY, gated(gate),
+                                    spec_text="blocker")
+        queued, _ = manager.submit(JobKind.VERIFY, tracked,
+                                   spec_text="queued spec")
+        await asyncio.sleep(0)
+        manager.cancel(queued.job_id, reason="changed my mind")
+        gate.set()
+        await asyncio.wait_for(queued.done.wait(), 5)
+        assert queued.state is JobState.CANCELLED
+        assert not ran
+        assert queued.result["exit_code"] == 3
+        assert queued.result["limit_reason"] == "interrupt"
+        assert queued.result["cancel_reason"] == "changed my mind"
+        await asyncio.wait_for(blocker.done.wait(), 5)
+        assert blocker.state is JobState.DONE
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_cancel_running_job_fires_interrupt_hook():
+    async def scenario():
+        manager, _registry, bridge = make_manager()
+        gate = asyncio.Event()
+        calls = []
+
+        async def runner():
+            await gate.wait()
+            # Simulates the engine returning UNKNOWN after interrupt.
+            return JobOutcome(payload={"exit_code": 3,
+                                       "limit_reason": "interrupt"})
+
+        def interrupt():
+            calls.append("interrupt")
+            gate.set()
+
+        job, _ = manager.submit(JobKind.VERIFY, runner,
+                                interrupt=interrupt,
+                                clear_interrupt=lambda:
+                                calls.append("clear"))
+        await asyncio.sleep(0.05)
+        assert job.state is JobState.RUNNING
+        manager.cancel(job.job_id, reason="test")
+        await asyncio.wait_for(job.done.wait(), 5)
+        assert calls == ["interrupt", "clear"]
+        assert job.state is JobState.CANCELLED
+        assert job.result["cancelled"] is True
+        assert job.result["exit_code"] == 3
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_failed_runner_marks_job_failed():
+    async def scenario():
+        manager, registry, bridge = make_manager()
+
+        async def boom():
+            raise RuntimeError("solver exploded")
+
+        job, _ = manager.submit(JobKind.VERIFY, boom)
+        await asyncio.wait_for(job.done.wait(), 5)
+        assert job.state is JobState.FAILED
+        assert "solver exploded" in (job.error or "")
+        assert registry.counters["service.jobs.failed"] == 1
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_history_trim_keeps_unfinished_jobs():
+    async def scenario():
+        manager, _registry, bridge = make_manager(history=3)
+        jobs = []
+        for _ in range(6):
+            job, _ = manager.submit(JobKind.VERIFY, instant())
+            jobs.append(job)
+            await asyncio.wait_for(job.done.wait(), 5)
+        assert len(manager.jobs()) <= 3
+        # The most recent job is always still addressable.
+        assert manager.get(jobs[-1].job_id) is jobs[-1]
+        with pytest.raises(ServiceError):
+            manager.get(jobs[0].job_id)
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_watcher_gone_only_cancels_opted_in_jobs():
+    async def scenario():
+        manager, _registry, bridge = make_manager()
+        gate = asyncio.Event()
+        poll, _ = manager.submit(JobKind.VERIFY, gated(gate),
+                                 cancel_on_disconnect=False)
+        manager.watcher_gone(poll)
+        assert not poll.cancel_requested
+        waiting, _ = manager.submit(JobKind.VERIFY, gated(gate),
+                                    cancel_on_disconnect=True)
+        manager.watcher_gone(waiting)
+        assert waiting.cancel_requested
+        gate.set()
+        await manager.drain()
+        bridge.shutdown(wait=False)
+
+    run(scenario())
