@@ -1,0 +1,251 @@
+"""Solver hot-path benchmark — arena/inprocessing/portfolio on 118-bus.
+
+Measures what the clause-arena solver rewrite buys the verification
+stack on the largest evaluation case, across the full configuration
+matrix {fresh, assumption, portfolio} x {inprocess on, off}:
+
+* **max-resiliency axis**: the total-budget observability search per
+  hierarchy level — wall time, inprocessing counters (clauses
+  subsumed / strengthened / vivified, arena compactions), and the
+  returned bounds, which must be identical across all six
+  configurations (the overhaul is an optimization, never an answer
+  change).
+* **trajectory axis** (Fig. 5/6 shape): per-budget verify wall times
+  along the k ladder up to three steps past the certificate.  The
+  rungs past ``k*`` are the *hard* queries; the ``k*+1`` rung on the
+  deepest (uncertified) hierarchy is where the probe's propagation cap
+  trips and the diversified pool takes over.  Two win notions are
+  reported: ``portfolio_hard_wins`` (a portfolio config was outright
+  wall-fastest on a hard rung) and ``portfolio_fan_out_wins`` (a
+  pooled worker/cube decided a hard rung — the race the portfolio is
+  built around; on single-core hosts the pool is time-shared, so this
+  is the honest signal there while wall wins need real parallelism).
+
+Run directly (``python benchmarks/bench_solver_hotpath.py``) to write
+``BENCH_solver.json`` at the repo root; ``BENCH_SMOKE=1`` switches to
+the 14-bus case for CI's perf-smoke job.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, List, Tuple
+
+from repro.core import ObservabilityProblem, Property, ResiliencySpec
+from repro.engine import VerificationEngine
+from repro.engine.sweep import resolve_jobs
+from repro.grid import case_by_buses
+from repro.obs.tracer import Tracer, set_tracer
+from repro.scada import GeneratorConfig, generate_scada
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+BUSES = 14 if SMOKE else 118
+HIERARCHIES = (1, 2)
+SEED = 7
+OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_solver.json"
+
+#: Portfolio pool width.  Auto-sizing would collapse to inline mode on
+#: single-core runners, hiding the race entirely, so the floor keeps a
+#: real fan-out (time-shared if need be) on every machine.
+PORTFOLIO_JOBS = int(os.environ.get("BENCH_PORTFOLIO_JOBS", "0")) \
+    or max(4, resolve_jobs(None))
+
+#: The benchmark matrix: every backend crossed with inprocessing on/off.
+BACKENDS = ("fresh", "assumption", "portfolio")
+CONFIGS: Tuple[Tuple[str, bool], ...] = tuple(
+    (backend, inprocess)
+    for backend in BACKENDS
+    for inprocess in (True, False))
+
+#: Counter prefixes harvested from the tracer per measurement.
+_PREFIXES = ("solver.inprocess.", "solver.arena.", "portfolio.")
+
+
+def _config_key(backend: str, inprocess: bool) -> str:
+    return f"{backend}+{'inprocess' if inprocess else 'no-inprocess'}"
+
+
+def _build(hierarchy: int):
+    synthetic = generate_scada(
+        case_by_buses(BUSES, seed=SEED),
+        GeneratorConfig(measurement_fraction=0.7, secure_fraction=1.0,
+                        dual_home_fraction=0.3, hierarchy_level=hierarchy,
+                        seed=SEED))
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    return synthetic.network, problem
+
+
+def _engine(network, problem, backend: str,
+            inprocess: bool) -> VerificationEngine:
+    opts: Dict[str, object] = {} if inprocess else {"inprocess": False}
+    jobs = PORTFOLIO_JOBS if backend == "portfolio" else 1
+    return VerificationEngine(network, problem, backend=backend,
+                              lint=False, jobs=jobs, solver_opts=opts)
+
+
+def _traced(fn):
+    """Run *fn* under a fresh tracer; return (result, wall_s, counters)."""
+    sink = io.StringIO()
+    tracer = Tracer(sink)
+    previous = set_tracer(tracer)
+    start = time.perf_counter()
+    try:
+        result = fn()
+    finally:
+        wall = time.perf_counter() - start
+        tracer.close()
+        set_tracer(previous)
+    counters: Dict[str, float] = {}
+    for line in sink.getvalue().splitlines():
+        record = json.loads(line)
+        if record.get("type") != "metrics":
+            continue
+        for key, value in record.get("counters", {}).items():
+            if key.startswith(_PREFIXES):
+                counters[key] = counters.get(key, 0.0) + value
+    return result, wall, counters
+
+
+def _bench_max_resiliency(network, problem) -> Dict[str, Any]:
+    """Total-budget observability search across the full matrix."""
+    out: Dict[str, Any] = {}
+    bounds_seen = []
+    for backend, inprocess in CONFIGS:
+        engine = _engine(network, problem, backend, inprocess)
+        bounds, wall, counters = _traced(
+            lambda e=engine: e.max_total_resiliency_bounds(
+                Property.OBSERVABILITY))
+        bounds_seen.append((bounds.lower, bounds.upper))
+        out[_config_key(backend, inprocess)] = {
+            "wall_s": round(wall, 3),
+            "bounds": [bounds.lower, bounds.upper],
+            "counters": {k: int(v) for k, v in sorted(counters.items())},
+        }
+    out["agree"] = len(set(bounds_seen)) == 1
+    if not out["agree"]:
+        raise SystemExit(f"max-resiliency bounds diverge: {bounds_seen}")
+    out["k_star"] = bounds_seen[0][0]
+    return out
+
+
+def _bench_trajectory(network, problem, k_star: int) -> Dict[str, Any]:
+    """Per-budget verify wall times along the k ladder (Fig. 5/6 shape).
+
+    The ladder runs from 0 to three steps past the certificate: the
+    rungs beyond k* are the *hard* queries — past the certified
+    maximum the minimal-witness search (and, deeper still, the
+    minimization of large threat vectors) dominates, which is where
+    the portfolio's probe budget runs out and the pool takes over.
+    """
+    depth = 1 if SMOKE else 3
+    ks = sorted({0, max(0, k_star)}
+                | {k_star + i for i in range(1, depth + 1)})
+    rows: List[Dict[str, Any]] = []
+    for k in ks:
+        spec = ResiliencySpec.observability(k=k)
+        row: Dict[str, Any] = {"k": k, "hard": k > k_star}
+        verdicts = set()
+        best = None
+        for backend, inprocess in CONFIGS:
+            engine = _engine(network, problem, backend, inprocess)
+            result, wall, _ = _traced(lambda e=engine: e.verify(spec))
+            key = _config_key(backend, inprocess)
+            row[key] = {"wall_s": round(wall, 3),
+                        "status": result.status.value}
+            if backend == "portfolio":
+                pf = result.details.get("portfolio", {})
+                row[key]["mode"] = pf.get("mode", "fan-out")
+                if "winner" in pf:
+                    row[key]["winner"] = pf["winner"]
+                    row[key]["win_kind"] = pf.get("win_kind")
+            verdicts.add(result.status.value)
+            if best is None or wall < best[1]:
+                best = (key, wall)
+        if len(verdicts) != 1:
+            raise SystemExit(
+                f"verdicts diverge at k={k}: "
+                f"{ {c: row[c]['status'] for c in row if '+' in c} }")
+        row["status"] = verdicts.pop()
+        row["fastest"] = best[0]
+        rows.append(row)
+    return {"ladder": rows}
+
+
+def _bench_hierarchy(hierarchy: int) -> Dict[str, Any]:
+    network, problem = _build(hierarchy)
+    maxima = _bench_max_resiliency(network, problem)
+    trajectory = _bench_trajectory(network, problem, maxima["k_star"])
+    return {
+        "case": {
+            "buses": BUSES,
+            "hierarchy": hierarchy,
+            "seed": SEED,
+            "devices": len(network.devices),
+            "measurements": problem.num_measurements,
+            "states": problem.num_states,
+        },
+        "max_resiliency": maxima,
+        "trajectory": trajectory,
+    }
+
+
+def _portfolio_hard_wins(payload: Dict[str, Any]) -> List[str]:
+    """Hard-ladder rungs where a portfolio config was outright fastest."""
+    wins = []
+    for key, entry in payload.items():
+        if not key.startswith("hierarchy_"):
+            continue
+        for row in entry["trajectory"]["ladder"]:
+            if row["hard"] and row["fastest"].startswith("portfolio"):
+                wins.append(f"{key}:k={row['k']}")
+    return wins
+
+
+def _portfolio_fan_out_wins(payload: Dict[str, Any]) -> List[str]:
+    """Hard rungs the portfolio decided through a pooled worker/cube
+    (as opposed to the probe or inline fallback)."""
+    wins = []
+    for key, entry in payload.items():
+        if not key.startswith("hierarchy_"):
+            continue
+        for row in entry["trajectory"]["ladder"]:
+            if not row["hard"]:
+                continue
+            for config, cell in row.items():
+                if (isinstance(cell, dict)
+                        and str(config).startswith("portfolio")
+                        and cell.get("winner")):
+                    wins.append(f"{key}:k={row['k']}:{config}"
+                                f"->{cell['winner']}")
+    return wins
+
+
+def main() -> None:
+    payload: Dict[str, Any] = {
+        f"hierarchy_{h}": _bench_hierarchy(h) for h in HIERARCHIES}
+    payload["config_matrix"] = [_config_key(b, i) for b, i in CONFIGS]
+    payload["portfolio_jobs"] = PORTFOLIO_JOBS
+    payload["portfolio_hard_wins"] = _portfolio_hard_wins(payload)
+    payload["portfolio_fan_out_wins"] = _portfolio_fan_out_wins(payload)
+    payload["smoke"] = SMOKE
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT}")
+    for h in HIERARCHIES:
+        entry = payload[f"hierarchy_{h}"]
+        maxima = entry["max_resiliency"]
+        walls = {c: maxima[c]["wall_s"]
+                 for c in payload["config_matrix"]}
+        print(f"hierarchy_{h}: k*={maxima['k_star']} "
+              f"max-resiliency walls {walls}")
+    print(f"portfolio hard-query wins: "
+          f"{payload['portfolio_hard_wins'] or 'none'}")
+    print(f"portfolio fan-out wins: "
+          f"{payload['portfolio_fan_out_wins'] or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -54,7 +54,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .analysis import threat_space
 from .core import (
@@ -77,6 +77,7 @@ from .scada import (
     generate_scada,
     load_config,
 )
+from .scada.config_io import ConfigError
 
 __all__ = ["main"]
 
@@ -135,7 +136,15 @@ def _add_engine_args(parser: argparse.ArgumentParser,
                         help="verification backend (fresh solver per "
                              "query, incremental push/pop, "
                              "assumption-selected budgets on one "
-                             "persistent solver, or preprocessed CNF)")
+                             "persistent solver, preprocessed CNF, or "
+                             "a parallel portfolio racing diversified "
+                             "solvers and cube splits per hard query)")
+    parser.add_argument("--inprocess", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="inter-restart learned-clause inprocessing "
+                             "(subsumption, self-subsuming resolution, "
+                             "bounded vivification); --no-inprocess "
+                             "disables it for A/B timing")
     _add_limit_args(parser)
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="write a JSONL telemetry trace (spans, "
@@ -144,7 +153,25 @@ def _add_engine_args(parser: argparse.ArgumentParser,
     if jobs:
         parser.add_argument("--jobs", type=int, default=1,
                             help="worker processes for independent "
-                                 "searches (0 = all cores)")
+                                 "searches, or the portfolio backend's "
+                                 "pool width (0 = all cores)")
+
+
+def _solver_opts_from_args(args) -> Dict[str, object]:
+    """Solver options requested on the command line."""
+    opts: Dict[str, object] = {}
+    if not getattr(args, "inprocess", True):
+        opts["inprocess"] = False
+    return opts
+
+
+def _engine_jobs(args) -> int:
+    """The engine's pool width: ``--jobs`` when given, else auto-size
+    the portfolio (its pool is useless at the default width of 1)."""
+    jobs = getattr(args, "jobs", None)
+    if jobs in (None, 1) and getattr(args, "backend", "") == "portfolio":
+        return 0
+    return jobs if jobs is not None else 1
 
 
 def _add_spec_args(parser: argparse.ArgumentParser) -> None:
@@ -172,7 +199,9 @@ def _cmd_verify(args) -> int:
     try:
         engine = VerificationEngine(config.network, config.problem,
                                     backend=backend,
-                                    lint=not args.no_lint)
+                                    lint=not args.no_lint,
+                                    jobs=_engine_jobs(args),
+                                    solver_opts=_solver_opts_from_args(args))
     except ConfigurationLintError as exc:
         print(exc.report.to_text(), file=sys.stderr)
         print("verification refused: the configuration fails lint "
@@ -264,7 +293,9 @@ def _cmd_enumerate(args) -> int:
     config = load_config(args.config)
     spec = _spec_from_args(args, config.spec)
     engine = VerificationEngine(config.network, config.problem,
-                                backend=args.backend)
+                                backend=args.backend,
+                                jobs=_engine_jobs(args),
+                                solver_opts=_solver_opts_from_args(args))
     space = threat_space(engine, spec, limit=args.limit,
                          limits=_limits_from_args(args),
                          screen=not args.no_screen)
@@ -328,14 +359,15 @@ def _cmd_generate(args) -> int:
 
 
 def _max_search_task(
-    task: Tuple[str, str, str, str, Optional[Limits], bool],
+    task: Tuple[str, str, str, str, Optional[Limits], bool, Dict],
 ):
     """Worker: one maximal-resiliency search on a config loaded by path."""
-    config_path, prop_value, kind, backend, limits, screen = task
+    config_path, prop_value, kind, backend, limits, screen, opts = task
     config = load_config(config_path)
     # The parent process already linted the configuration.
     engine = VerificationEngine(config.network, config.problem,
-                                backend=backend, lint=False)
+                                backend=backend, lint=False,
+                                solver_opts=opts)
     prop = Property(prop_value)
     if kind == "total":
         return engine.max_total_resiliency_bounds(prop, limits=limits,
@@ -352,15 +384,20 @@ def _cmd_max_resiliency(args) -> int:
     prop = Property(args.property)
     limits = _limits_from_args(args)
     screen = not args.no_screen
-    if args.jobs not in (None, 1):
+    if args.jobs not in (None, 1) and args.backend != "portfolio":
         tasks = [(args.config, prop.value, kind, args.backend, limits,
-                  screen)
+                  screen, _solver_opts_from_args(args))
                  for kind in ("total", "ied", "rtu")]
         total, ied, rtu = SweepExecutor(args.jobs).map(
             _max_search_task, tasks)
     else:
+        # The portfolio backend fans out per query itself, so the
+        # three searches run sequentially against one engine and
+        # --jobs sizes the portfolio pool instead of a CLI sweep.
         engine = VerificationEngine(config.network, config.problem,
-                                    backend=args.backend)
+                                    backend=args.backend,
+                                    jobs=_engine_jobs(args),
+                                    solver_opts=_solver_opts_from_args(args))
         total = engine.max_total_resiliency_bounds(prop, limits=limits,
                                                    screen=screen)
         ied = engine.max_ied_resiliency_bounds(prop, limits=limits,
@@ -386,8 +423,9 @@ def _cmd_report(args) -> int:
                         threat_limit=args.limit,
                         include_hardening=not args.no_hardening,
                         backend=args.backend,
-                        jobs=args.jobs,
-                        limits=_limits_from_args(args))
+                        jobs=_engine_jobs(args),
+                        limits=_limits_from_args(args),
+                        solver_opts=_solver_opts_from_args(args))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -594,7 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--preprocess", action="store_true",
                           help="simplify the CNF encoding before solving "
                                "(alias for --backend preprocessed)")
-    _add_engine_args(p_verify, jobs=False)
+    _add_engine_args(p_verify)
     _add_spec_args(p_verify)
     p_verify.set_defaults(func=_cmd_verify)
 
@@ -784,12 +822,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_UNKNOWN
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; the usual
-        # CLI convention is to exit quietly.
+        # CLI convention is to exit quietly.  Must precede the OSError
+        # clause below — BrokenPipeError is a subclass of it.
         try:
             sys.stdout.close()
         except OSError:
             pass
         return 0
+    except (OSError, ConfigError) as exc:
+        # Missing or unparseable input: the same exit code the lint
+        # command uses, and a one-line message instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         if tracer is not None:
             # Flush the final metrics record even when the command

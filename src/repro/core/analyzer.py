@@ -64,11 +64,17 @@ class ScadaAnalyzer:
                  card_encoding: str = "totalizer",
                  lint: bool = True,
                  preprocess: bool = False,
-                 reference: Optional[ReferenceEvaluator] = None) -> None:
+                 reference: Optional[ReferenceEvaluator] = None,
+                 solver_opts: Optional[Dict[str, object]] = None) -> None:
         self.network = network
         self.problem = problem
         self.card_encoding = card_encoding
         self.preprocess = preprocess
+        #: Forwarded to every SAT substrate this analyzer builds:
+        #: ``inprocess`` (the ``--no-inprocess`` switch), portfolio
+        #: worker diversification (``seed``/``phase_init``/
+        #: ``restart_base``), ``cube`` assumptions, ``interrupt_check``.
+        self.solver_opts = dict(solver_opts or {})
         if lint:
             # Imported lazily: repro.lint imports core modules at module
             # level, so a top-level import here would be circular.
@@ -121,7 +127,8 @@ class ScadaAnalyzer:
         solver = Solver(card_encoding=self.card_encoding,
                         produce_proof=produce_proof,
                         preprocess=(self.preprocess if preprocess is None
-                                    else preprocess))
+                                    else preprocess),
+                        solver_opts=self.solver_opts)
         self._live_solver = solver
         if self._interrupt_requested:
             solver.interrupt()

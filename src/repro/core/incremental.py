@@ -74,7 +74,8 @@ class IncrementalContext:
                  model_links: bool = False,
                  card_encoding: str = "totalizer",
                  reference: Optional[ReferenceEvaluator] = None,
-                 budget_mode: str = "scopes") -> None:
+                 budget_mode: str = "scopes",
+                 solver_opts: Optional[Dict[str, object]] = None) -> None:
         if budget_mode not in BUDGET_MODES:
             raise ValueError(f"unknown budget mode {budget_mode!r}; "
                              f"expected one of {', '.join(BUDGET_MODES)}")
@@ -89,7 +90,8 @@ class IncrementalContext:
         self.reference = reference or ReferenceEvaluator(network, problem)
         self._encoder = ModelEncoder(network, problem,
                                      model_links=model_links)
-        self._solver = Solver(card_encoding=card_encoding)
+        self._solver = Solver(card_encoding=card_encoding,
+                              solver_opts=solver_opts)
         # With assumption-selected budgets, the bad-data redundancy
         # parameter r is gated per query exactly like k, so the base
         # encoding is r-independent.

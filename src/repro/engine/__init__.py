@@ -12,6 +12,7 @@ from .backends import (
     AssumptionBackend,
     FreshBackend,
     IncrementalBackend,
+    PortfolioBackend,
     PreprocessedBackend,
     VerificationBackend,
     make_backend,
@@ -27,6 +28,7 @@ __all__ = [
     "EncodingKey",
     "FreshBackend",
     "IncrementalBackend",
+    "PortfolioBackend",
     "PreprocessedBackend",
     "SweepExecutor",
     "SweepTaskError",

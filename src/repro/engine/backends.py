@@ -15,7 +15,10 @@ encoding work differently:
   counters instead of push/pop scopes, so *all* learned clauses survive
   across budgets and one cached context serves every ``(k, r)``;
 * ``preprocessed`` — buffer the encoding as CNF and run the lint
-  subsystem's SatELite-style simplifier before each solve.
+  subsystem's SatELite-style simplifier before each solve;
+* ``portfolio`` — probe in-process, then race one hard query across a
+  process pool of diversified solvers and cube-and-conquer splits,
+  first decisive finisher wins (see :mod:`repro.engine.portfolio`).
 
 All backends return :class:`~repro.core.results.VerificationResult`
 objects carrying per-query solver statistics and are verdict-equivalent
@@ -25,7 +28,7 @@ by construction (property-tested in ``tests/engine``).
 from __future__ import annotations
 
 import weakref
-from typing import List, Optional, Protocol
+from typing import Dict, List, Optional, Protocol
 
 from ..core.analyzer import ScadaAnalyzer
 from ..core.incremental import IncrementalContext
@@ -43,6 +46,7 @@ __all__ = [
     "AssumptionBackend",
     "FreshBackend",
     "IncrementalBackend",
+    "PortfolioBackend",
     "PreprocessedBackend",
     "VerificationBackend",
     "make_backend",
@@ -88,11 +92,13 @@ class FreshBackend:
     def __init__(self, network: ScadaNetwork,
                  problem: ObservabilityProblem,
                  card_encoding: str = "totalizer",
-                 reference: Optional[ReferenceEvaluator] = None) -> None:
+                 reference: Optional[ReferenceEvaluator] = None,
+                 solver_opts: Optional[Dict[str, object]] = None) -> None:
         # Lint runs once in the engine; backends never re-lint.
         self.analyzer = ScadaAnalyzer(
             network, problem, card_encoding=card_encoding, lint=False,
-            preprocess=self._preprocess, reference=reference)
+            preprocess=self._preprocess, reference=reference,
+            solver_opts=solver_opts)
 
     def verify(self, spec: ResiliencySpec, minimize: bool = True,
                max_conflicts: Optional[int] = None,
@@ -139,12 +145,18 @@ class IncrementalBackend:
                  problem: ObservabilityProblem,
                  card_encoding: str = "totalizer",
                  reference: Optional[ReferenceEvaluator] = None,
-                 cache: Optional[EncodingCache] = None) -> None:
+                 cache: Optional[EncodingCache] = None,
+                 solver_opts: Optional[Dict[str, object]] = None) -> None:
         self.network = network
         self.problem = problem
         self.card_encoding = card_encoding
         self.reference = reference or ReferenceEvaluator(network, problem)
         self.cache = cache if cache is not None else EncodingCache()
+        # Cached contexts are keyed by encoding shape, not solver
+        # options; an engine carries one solver_opts value for life (and
+        # shares it across with_backend siblings), so contexts built
+        # under one opts value are never mixed with another's.
+        self.solver_opts = dict(solver_opts or {})
         self._network_fp = network.fingerprint()
         self._problem_fp = problem.fingerprint()
         self._certify_fallback: Optional[FreshBackend] = None
@@ -174,7 +186,8 @@ class IncrementalBackend:
                 model_links=spec.link_k is not None,
                 card_encoding=self.card_encoding,
                 reference=self.reference,
-                budget_mode=self._budget_mode)
+                budget_mode=self._budget_mode,
+                solver_opts=self.solver_opts)
             obs_event("backend.context_created", backend=self.name,
                       prop=spec.property.value,
                       base_encode_time=ctx.base_encode_time)
@@ -220,7 +233,8 @@ class IncrementalBackend:
                 self._certify_fallback = FreshBackend(
                     self.network, self.problem,
                     card_encoding=self.card_encoding,
-                    reference=self.reference)
+                    reference=self.reference,
+                    solver_opts=self.solver_opts)
             obs_event("backend.certify_fallback", backend=self.name)
             result = self._certify_fallback.verify(
                 spec, minimize=minimize, max_conflicts=max_conflicts,
@@ -276,13 +290,18 @@ class AssumptionBackend(IncrementalBackend):
     _budget_mode = "assumptions"
 
 
-BACKEND_NAMES = ("fresh", "incremental", "assumption", "preprocessed")
+# Imported late: repro.engine.portfolio imports this module's siblings.
+from .portfolio import PortfolioBackend  # noqa: E402
+
+BACKEND_NAMES = ("fresh", "incremental", "assumption", "preprocessed",
+                 "portfolio")
 
 _CLASSES = {
     "fresh": FreshBackend,
     "incremental": IncrementalBackend,
     "assumption": AssumptionBackend,
     "preprocessed": PreprocessedBackend,
+    "portfolio": PortfolioBackend,
 }
 
 
@@ -290,18 +309,31 @@ def make_backend(name: str, network: ScadaNetwork,
                  problem: ObservabilityProblem,
                  card_encoding: str = "totalizer",
                  reference: Optional[ReferenceEvaluator] = None,
-                 cache: Optional[EncodingCache] = None
+                 cache: Optional[EncodingCache] = None,
+                 jobs: int = 0,
+                 solver_opts: Optional[Dict[str, object]] = None
                  ) -> VerificationBackend:
     """Instantiate a backend by name (``fresh`` | ``incremental`` |
-    ``assumption`` | ``preprocessed``)."""
+    ``assumption`` | ``preprocessed`` | ``portfolio``).
+
+    *jobs* sizes the portfolio's process pool (``0`` → usable CPU
+    count; other backends ignore it).  *solver_opts* is forwarded to
+    every SAT substrate the backend builds — e.g. ``{"inprocess":
+    False}`` to disable inter-restart clause-database inprocessing.
+    """
     try:
         cls = _CLASSES[name]
     except KeyError:
         raise ValueError(
             f"unknown backend {name!r}; expected one of "
             f"{', '.join(BACKEND_NAMES)}") from None
+    if cls is PortfolioBackend:
+        return cls(network, problem, card_encoding=card_encoding,
+                   reference=reference, jobs=jobs,
+                   solver_opts=solver_opts)
     if issubclass(cls, IncrementalBackend):
         return cls(network, problem, card_encoding=card_encoding,
-                   reference=reference, cache=cache)
+                   reference=reference, cache=cache,
+                   solver_opts=solver_opts)
     return cls(network, problem, card_encoding=card_encoding,
-               reference=reference)
+               reference=reference, solver_opts=solver_opts)

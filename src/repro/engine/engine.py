@@ -49,11 +49,16 @@ class VerificationEngine:
                  lint: bool = True,
                  jobs: int = 1,
                  cache: Optional[EncodingCache] = None,
-                 reference: Optional[ReferenceEvaluator] = None) -> None:
+                 reference: Optional[ReferenceEvaluator] = None,
+                 solver_opts: Optional[Dict[str, object]] = None) -> None:
         self.network = network
         self.problem = problem
         self.card_encoding = card_encoding
         self.jobs = jobs
+        #: Forwarded to every SAT substrate any backend builds — e.g.
+        #: ``{"inprocess": False}`` for ``--no-inprocess``.  Fixed for
+        #: the engine's life and shared by with_backend siblings.
+        self.solver_opts = dict(solver_opts or {})
         if lint:
             # Imported lazily: repro.lint imports core modules at module
             # level, so a top-level import here would be circular.
@@ -66,9 +71,14 @@ class VerificationEngine:
         self.cache = cache if cache is not None else EncodingCache()
         self._backend: VerificationBackend = make_backend(
             backend, network, problem, card_encoding=card_encoding,
-            reference=self.reference, cache=self.cache)
+            reference=self.reference, cache=self.cache, jobs=jobs,
+            solver_opts=self.solver_opts)
         self._export_analyzer: Optional[ScadaAnalyzer] = None
         self._structural: Optional["StructuralAnalysis"] = None
+        #: Lifetime solver-effort totals across every query this engine
+        #: has answered (the service's per-session ``GET /sessions``
+        #: accounting); tier keys are last-seen gauges, not sums.
+        self.cumulative_stats: Dict[str, float] = {"queries": 0.0}
 
     # ------------------------------------------------------------------
 
@@ -110,7 +120,8 @@ class VerificationEngine:
         return VerificationEngine(
             self.network, self.problem, backend=backend,
             card_encoding=self.card_encoding, lint=False,
-            jobs=self.jobs, cache=self.cache, reference=self.reference)
+            jobs=self.jobs, cache=self.cache, reference=self.reference,
+            solver_opts=self.solver_opts)
 
     @classmethod
     def wrap(cls, subject: Union["VerificationEngine", ScadaAnalyzer]
@@ -157,7 +168,23 @@ class VerificationEngine:
             sp.attrs["decisions"] = int(result.stats.get("decisions", 0))
             sp.attrs["propagations"] = int(
                 result.stats.get("propagations", 0))
+        self._accumulate(result.stats)
         return result
+
+    def _accumulate(self, stats: Dict[str, float]) -> None:
+        """Fold one query's solver stats into the lifetime totals.
+
+        Tier sizes are instantaneous snapshots, so they overwrite;
+        everything else (conflicts, propagations, inprocessing work,
+        check time) is a per-query delta and sums.
+        """
+        totals = self.cumulative_stats
+        totals["queries"] = totals.get("queries", 0.0) + 1.0
+        for key, value in stats.items():
+            if key.startswith("tier_"):
+                totals[key] = float(value)
+            else:
+                totals[key] = totals.get(key, 0.0) + float(value)
 
     def enumerate_threat_vectors(
         self,

@@ -371,6 +371,31 @@ class SolverProbe:
     def on_rescale(self) -> None:
         self._tracer.count("solver.activity_rescales")
 
+    def on_inprocess(self, subsumed: int, strengthened: int,
+                     vivified: int, conflicts: int) -> None:
+        tracer = self._tracer
+        tracer.count("solver.inprocess.rounds")
+        tracer.count("solver.inprocess.subsumed", subsumed)
+        tracer.count("solver.inprocess.strengthened", strengthened)
+        tracer.count("solver.inprocess.vivified", vivified)
+        tracer.event("solver.inprocess", subsumed=subsumed,
+                     strengthened=strengthened, vivified=vivified,
+                     conflicts=conflicts)
+
+    def on_arena_compact(self, live: int, reclaimed: int) -> None:
+        tracer = self._tracer
+        tracer.count("solver.arena.compactions")
+        tracer.count("solver.arena.reclaimed_slots", reclaimed)
+        tracer.event("solver.arena.compact", live=live,
+                     reclaimed=reclaimed)
+
+    def on_tiers(self, core: int, mid: int, local: int) -> None:
+        # Gauges: retention per tier is a level, not a rate.
+        registry = self._tracer.registry
+        registry.gauge("solver.tier.core", core)
+        registry.gauge("solver.tier.mid", mid)
+        registry.gauge("solver.tier.local", local)
+
 
 def probe_for(tracer: Optional[Tracer]) -> Optional[SolverHooks]:
     """A :class:`SolverProbe` for *tracer*, or ``None`` when off."""

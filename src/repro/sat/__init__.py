@@ -10,12 +10,12 @@ from .dimacs import dumps, loads, parse_dimacs, write_dimacs
 from .enumeration import count_models, drive_enumeration, enumerate_models
 from .hooks import SolverHooks
 from .limits import LimitReason, Limits, ResourceLimitReached
-from .solver import Clause, SatSolver, SolverStats
+from .solver import ClauseArena, SatSolver, SolverStats
 from .types import TautologyError, neg, normalize_clause, var_of
 
 __all__ = [
     "CNF",
-    "Clause",
+    "ClauseArena",
     "LimitReason",
     "Limits",
     "ResourceLimitReached",

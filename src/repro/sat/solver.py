@@ -1,4 +1,4 @@
-"""A CDCL SAT solver.
+"""A CDCL SAT solver over a flat clause arena.
 
 This is the solving engine that replaces Z3 for the paper's model (which
 is purely Boolean once cardinality sums are encoded).  It implements the
@@ -8,59 +8,167 @@ standard conflict-driven clause-learning architecture:
 * first-UIP conflict analysis with clause minimization,
 * VSIDS-style variable activities with phase saving,
 * Luby-sequence restarts,
-* learned-clause database reduction keyed on LBD ("glue"),
+* LBD-tiered learned-clause retention (core / mid / local) with
+  per-tier database-reduction policies,
+* inter-restart inprocessing: learned-clause subsumption,
+  self-subsuming resolution, and bounded vivification,
 * solving under assumptions, with extraction of an unsatisfiable core
   over the assumption set (the ``analyzeFinal`` mechanism).
 
 The public literal convention is DIMACS (signed integers); internally a
 literal ``v``/``-v`` is encoded as ``2v``/``2v+1`` so flat lists can be
 indexed by literal.
+
+Clause storage
+--------------
+Clauses live in a :class:`ClauseArena`: one contiguous literal buffer
+plus offset / length / LBD / activity side arrays, all indexed by an
+integer *clause reference*.  Watch lists and implication reasons hold
+references, never objects, so the hot propagation loop runs on flat
+``list`` indexing with no attribute lookups, and the memory estimate
+used by :class:`~repro.sat.limits.Limits` is O(1) (buffer lengths)
+instead of a full database walk.  Deletion marks a reference dead and
+counts the wasted buffer slots; when waste crosses a threshold the
+arena is compacted in place.  References are *stable across
+compaction* (only offsets move), so watch lists, reasons, and tier
+lists never need remapping.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from random import Random
 from time import monotonic
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from .hooks import SolverHooks
 from .limits import LimitReason, Limits
 from .types import from_internal, to_internal
 
-__all__ = ["SatSolver", "SolverStats", "Clause"]
+__all__ = ["SatSolver", "SolverStats", "ClauseArena"]
 
 _UNDEF = -1
 
+#: Sentinel clause reference meaning "no reason" (decision / assumption).
+_NO_REASON = -1
+
 #: Outer-loop iterations between wall-clock / memory polls.  Conflict,
 #: propagation, and interrupt checks are plain integer/attribute reads
-#: and run every iteration; ``monotonic()`` and the clause-database
-#: size estimate are only sampled at this cadence so an unbounded solve
+#: and run every iteration; ``monotonic()`` and the (O(1)) memory
+#: estimate are only sampled at this cadence so an unbounded solve
 #: pays (almost) nothing for the limit machinery.
 _LIMIT_POLL_INTERVAL = 128
 
+#: Learned clauses with LBD at or below this are *core*: kept forever.
+_CORE_LBD = 2
+#: ... at or below this are *mid*: reduced gently; the rest are *local*.
+_MID_LBD = 6
 
-class Clause:
-    """A clause in the solver's database.
 
-    ``lits`` holds internal literal indices.  The first two positions are
-    the watched literals.
+class ClauseArena:
+    """Flat int-array clause storage.
+
+    A clause is addressed by an integer reference ``ref`` indexing the
+    side arrays; its literals occupy ``lits[off[ref] : off[ref] +
+    length[ref]]``.  The first two slots of every live clause are its
+    watched literals.  ``flags`` packs the learned bit
+    (:data:`LEARNED`) and the dead bit (:data:`DEAD`); ``lbd`` and
+    ``act`` carry the learned-clause glue and VSIDS-style activity.
+
+    Dead clauses leave their literal slots behind as waste (tracked in
+    :attr:`wasted`, together with slots stranded by in-place
+    strengthening); :meth:`compact` rewrites the buffer keeping
+    references stable, and dead references are recycled through a free
+    list so the side arrays stay bounded too.
     """
 
-    __slots__ = ("lits", "learned", "activity", "lbd")
+    LEARNED = 1
+    DEAD = 2
 
-    def __init__(self, lits: List[int], learned: bool = False) -> None:
-        self.lits = lits
-        self.learned = learned
-        self.activity = 0.0
-        self.lbd = 0
+    __slots__ = ("lits", "off", "length", "lbd", "act", "flags",
+                 "free", "wasted", "compactions")
 
-    def __len__(self) -> int:
-        return len(self.lits)
+    def __init__(self) -> None:
+        self.lits: List[int] = []
+        self.off: List[int] = []
+        self.length: List[int] = []
+        self.lbd: List[int] = []
+        self.act: List[float] = []
+        self.flags: List[int] = []
+        self.free: List[int] = []
+        self.wasted = 0
+        self.compactions = 0
 
-    def __repr__(self) -> str:
-        body = " ".join(str(from_internal(lit)) for lit in self.lits)
-        kind = "L" if self.learned else "O"
-        return f"Clause[{kind}]({body})"
+    def alloc(self, lits: Sequence[int], learned: bool) -> int:
+        """Store a clause; returns its reference."""
+        flags = self.LEARNED if learned else 0
+        if self.free:
+            ref = self.free.pop()
+            self.off[ref] = len(self.lits)
+            self.length[ref] = len(lits)
+            self.lbd[ref] = 0
+            self.act[ref] = 0.0
+            self.flags[ref] = flags
+        else:
+            ref = len(self.off)
+            self.off.append(len(self.lits))
+            self.length.append(len(lits))
+            self.lbd.append(0)
+            self.act.append(0.0)
+            self.flags.append(flags)
+        self.lits.extend(lits)
+        return ref
+
+    def free_clause(self, ref: int) -> None:
+        """Mark *ref* dead and recycle it; its slots become waste."""
+        self.wasted += self.length[ref]
+        self.flags[ref] |= self.DEAD
+        self.free.append(ref)
+
+    def shrink(self, ref: int, new_lits: Sequence[int]) -> None:
+        """Replace *ref*'s literals in place with a shorter list."""
+        o = self.off[ref]
+        n = len(new_lits)
+        self.wasted += self.length[ref] - n
+        self.lits[o:o + n] = new_lits
+        self.length[ref] = n
+
+    def clause_lits(self, ref: int) -> List[int]:
+        """A copy of *ref*'s literals (cold paths only)."""
+        o = self.off[ref]
+        return self.lits[o:o + self.length[ref]]
+
+    def is_dead(self, ref: int) -> bool:
+        return bool(self.flags[ref] & self.DEAD)
+
+    @property
+    def live_clauses(self) -> int:
+        return len(self.off) - len(self.free)
+
+    def compact(self) -> int:
+        """Rewrite the literal buffer without the dead/stranded slots.
+
+        References are stable — only offsets change — so no watch list,
+        reason, or tier list needs updating.  Returns the number of
+        reclaimed slots.
+        """
+        old = self.lits
+        off = self.off
+        length = self.length
+        flags = self.flags
+        dead = self.DEAD
+        new_lits: List[int] = []
+        for ref in range(len(off)):
+            if flags[ref] & dead:
+                continue
+            o = off[ref]
+            off[ref] = len(new_lits)
+            new_lits.extend(old[o:o + length[ref]])
+        reclaimed = len(old) - len(new_lits)
+        self.lits = new_lits
+        self.wasted = 0
+        self.compactions += 1
+        return reclaimed
 
 
 class SolverStats:
@@ -69,6 +177,8 @@ class SolverStats:
     __slots__ = (
         "conflicts", "decisions", "propagations", "restarts",
         "learned_clauses", "deleted_clauses", "max_decision_level",
+        "subsumed_clauses", "strengthened_clauses", "vivified_clauses",
+        "arena_compactions",
     )
 
     def __init__(self) -> None:
@@ -79,6 +189,10 @@ class SolverStats:
         self.learned_clauses = 0
         self.deleted_clauses = 0
         self.max_decision_level = 0
+        self.subsumed_clauses = 0
+        self.strengthened_clauses = 0
+        self.vivified_clauses = 0
+        self.arena_compactions = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -118,41 +232,100 @@ def _luby(i: int) -> int:
 
 
 class SatSolver:
-    """An incremental CDCL solver over DIMACS-style literals."""
+    """An incremental CDCL solver over DIMACS-style literals.
 
-    def __init__(self) -> None:
+    The keyword arguments exist for the portfolio engine's worker
+    diversification and the ``--no-inprocess`` CLI switch; the defaults
+    reproduce the canonical configuration exactly.
+
+    :param inprocess: run inter-restart inprocessing (subsumption,
+        self-subsuming resolution, bounded vivification).
+    :param seed: when set, perturbs initial variable activities with
+        tiny pseudo-random epsilons so tie-breaks (and hence search
+        trajectories) differ between portfolio workers.
+    :param phase_init: initial saved phase for fresh variables —
+        ``None`` (default: negative first, the historical behaviour),
+        ``True``/``False``, or ``"random"`` (requires *seed* for
+        reproducibility).
+    :param restart_base: Luby restart unit in conflicts.
+    :param var_decay: VSIDS decay factor (activities are bumped by a
+        geometrically growing increment ``1/var_decay`` per conflict).
+    :param interrupt_check: optional zero-argument callable polled at
+        the wall-clock cadence; returning ``True`` abandons the solve
+        with :data:`~repro.sat.limits.LimitReason.INTERRUPT`.  This is
+        how portfolio workers observe the cross-process cancel event.
+    """
+
+    def __init__(self, inprocess: bool = True,
+                 seed: Optional[int] = None,
+                 phase_init: object = None,
+                 restart_base: int = 100,
+                 var_decay: float = 0.95,
+                 interrupt_check: Optional[Callable[[], bool]] = None,
+                 ) -> None:
         self.num_vars = 0
         # Indexed by internal literal: 1 true, 0 false, -1 unassigned.
         self._value: List[int] = [_UNDEF, _UNDEF]
         # Indexed by variable.
         self._level: List[int] = [0]
-        self._reason: List[Optional[Clause]] = [None]
+        self._reason: List[int] = [_NO_REASON]
         self._activity: List[float] = [0.0]
         self._phase: List[bool] = [True]
         self._seen: List[int] = [0]
-        # Indexed by internal literal: clauses watching that literal.
-        self._watches: List[List[Clause]] = [[], []]
+        # Indexed by internal literal: refs of clauses watching it.
+        self._watches: List[List[int]] = [[], []]
 
-        self._clauses: List[Clause] = []
-        self._learned: List[Clause] = []
+        self._arena = ClauseArena()
+        #: Original (problem) clause refs.
+        self._clauses: List[int] = []
+        #: Learned clause refs, tiered by LBD at learn time.
+        self._tier_core: List[int] = []
+        self._tier_mid: List[int] = []
+        self._tier_local: List[int] = []
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._qhead = 0
 
         self._var_inc = 1.0
-        self._var_decay = 1.0 / 0.95
+        self._var_decay = 1.0 / var_decay
         self._cla_inc = 1.0
         self._cla_decay = 1.0 / 0.999
         self._order_heap: List[tuple] = []
+        #: Activity value at each variable's freshest heap entry;
+        #: ``-1.0`` means "no fresh entry in the heap".  Lets
+        #: :meth:`_cancel_until` skip redundant pushes (the historical
+        #: version re-pushed the whole trail on every backtrack, so
+        #: duplicate entries accumulated without bound).
+        self._heap_act: List[float] = [-1.0]
+
+        self._restart_base = restart_base
+        self._inprocess_enabled = inprocess
+        #: Cumulative-conflict threshold for the next inprocessing
+        #: round, and the (growing) gap between rounds.
+        self._inprocess_next = 2000
+        self._inprocess_interval = 2000
+        #: Per-round vivification bounds: candidate clauses / extra
+        #: propagations spent probing them.
+        self._vivify_cap = 64
+        self._vivify_prop_budget = 20_000
+        self._reduce_calls = 0
+
+        self._seed = seed
+        self._rng = Random(seed if seed is not None else 0)
+        self._phase_init = phase_init
 
         self._ok = True
         self._interrupted = False
+        self.interrupt_check = interrupt_check
         #: Why the last :meth:`solve` returned ``None`` (UNKNOWN);
         #: ``None`` after a decided (sat/unsat) answer.
         self.limit_reason: Optional[LimitReason] = None
         self._clauses_added = 0
         self._proof_originals: Optional[List[List[int]]] = None
         self._proof_learned: Optional[List[List[int]]] = None
+        #: DRUP-style deletion records (observability only: the RUP
+        #: checker is monotone, so deletions never affect validity).
+        self._proof_deleted: Optional[List[List[int]]] = None
         self._model: List[bool] = []
         self._core: List[int] = []
         self._assumption_set: set = set()
@@ -170,13 +343,24 @@ class SatSolver:
         self.num_vars += 1
         self._value.extend((_UNDEF, _UNDEF))
         self._level.append(0)
-        self._reason.append(None)
-        self._activity.append(0.0)
-        self._phase.append(False)
+        self._reason.append(_NO_REASON)
+        if self._seed is not None:
+            activity = self._rng.random() * 1e-6
+        else:
+            activity = 0.0
+        self._activity.append(activity)
+        if self._phase_init == "random":
+            phase = self._rng.random() < 0.5
+        elif self._phase_init is None:
+            phase = False
+        else:
+            phase = bool(self._phase_init)
+        self._phase.append(phase)
         self._seen.append(0)
         self._watches.append([])
         self._watches.append([])
-        heappush(self._order_heap, (0.0, self.num_vars))
+        heappush(self._order_heap, (-activity, self.num_vars))
+        self._heap_act.append(activity)
         return self.num_vars
 
     def _ensure_vars(self, lits: Iterable[int]) -> None:
@@ -225,7 +409,7 @@ class SatSolver:
             self._ok = False
             return False
         if len(simplified) == 1:
-            if not self._enqueue(simplified[0], None):
+            if not self._enqueue(simplified[0], _NO_REASON):
                 self._ok = False
                 return False
             conflict = self._propagate()
@@ -234,9 +418,9 @@ class SatSolver:
                 return False
             return True
 
-        clause = Clause(simplified, learned=False)
-        self._clauses.append(clause)
-        self._attach(clause)
+        ref = self._arena.alloc(simplified, learned=False)
+        self._clauses.append(ref)
+        self._attach(ref)
         return True
 
     def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
@@ -248,18 +432,26 @@ class SatSolver:
                 break
         return ok
 
-    def _attach(self, clause: Clause) -> None:
+    def _attach(self, ref: int) -> None:
         # Convention: _watches[lit] holds the clauses in which `lit` is
         # one of the two watched literals; the list is visited when `lit`
         # becomes false.
-        self._watches[clause.lits[0]].append(clause)
-        self._watches[clause.lits[1]].append(clause)
+        arena = self._arena
+        o = arena.off[ref]
+        self._watches[arena.lits[o]].append(ref)
+        self._watches[arena.lits[o + 1]].append(ref)
+
+    def _detach(self, ref: int) -> None:
+        arena = self._arena
+        o = arena.off[ref]
+        self._watches[arena.lits[o]].remove(ref)
+        self._watches[arena.lits[o + 1]].remove(ref)
 
     # ------------------------------------------------------------------
     # Assignment and propagation
     # ------------------------------------------------------------------
 
-    def _enqueue(self, ilit: int, reason: Optional[Clause]) -> bool:
+    def _enqueue(self, ilit: int, reason: int) -> bool:
         val = self._value[ilit]
         if val != _UNDEF:
             return val == 1
@@ -272,11 +464,15 @@ class SatSolver:
         self._trail.append(ilit)
         return True
 
-    def _propagate(self) -> Optional[Clause]:
-        """Unit propagation; returns the conflicting clause, if any."""
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns the conflicting clause ref, if any."""
         value = self._value
         watches = self._watches
         trail = self._trail
+        arena = self._arena
+        buf = arena.lits
+        offs = arena.off
+        lens = arena.length
         while self._qhead < len(trail):
             ilit = trail[self._qhead]
             self._qhead += 1
@@ -287,31 +483,31 @@ class SatSolver:
             j = 0
             n = len(watchers)
             while i < n:
-                clause = watchers[i]
+                ref = watchers[i]
                 i += 1
-                lits = clause.lits
+                o = offs[ref]
                 # Put the false literal in position 1.
-                if lits[0] == false_lit:
-                    lits[0] = lits[1]
-                    lits[1] = false_lit
-                first = lits[0]
+                if buf[o] == false_lit:
+                    buf[o] = buf[o + 1]
+                    buf[o + 1] = false_lit
+                first = buf[o]
                 if value[first] == 1:
-                    watchers[j] = clause
+                    watchers[j] = ref
                     j += 1
                     continue
                 # Look for a replacement watch.
                 found = False
-                for k in range(2, len(lits)):
-                    cand = lits[k]
+                for k in range(o + 2, o + lens[ref]):
+                    cand = buf[k]
                     if value[cand] != 0:
-                        lits[1] = cand
-                        lits[k] = false_lit
-                        watches[cand].append(clause)
+                        buf[o + 1] = cand
+                        buf[k] = false_lit
+                        watches[cand].append(ref)
                         found = True
                         break
                 if found:
                     continue
-                watchers[j] = clause
+                watchers[j] = ref
                 j += 1
                 if value[first] == 0:
                     # Conflict: restore remaining watchers and bail out.
@@ -321,13 +517,13 @@ class SatSolver:
                         i += 1
                     del watchers[j:]
                     self._qhead = len(trail)
-                    return clause
+                    return ref
                 # Unit.
                 var = first >> 1
                 value[first] = 1
                 value[first ^ 1] = 0
                 self._level[var] = len(self._trail_lim)
-                self._reason[var] = clause
+                self._reason[var] = ref
                 self._phase[var] = not (first & 1)
                 trail.append(first)
             del watchers[j:]
@@ -340,18 +536,23 @@ class SatSolver:
     def _decide(self) -> Optional[int]:
         heap = self._order_heap
         value = self._value
+        activity = self._activity
+        heap_act = self._heap_act
         while heap:
             act, var = heappop(heap)
-            if value[var << 1] == _UNDEF and -act == self._activity[var]:
+            if value[var << 1] == _UNDEF and -act == activity[var]:
+                heap_act[var] = -1.0
                 return var
-            if value[var << 1] == _UNDEF and -act != self._activity[var]:
-                # Stale entry; the fresh one is elsewhere in the heap.
-                continue
-        # Heap exhausted: fall back to a scan (rare; keeps correctness if
-        # stale entries were all consumed).
-        for var in range(1, self.num_vars + 1):
-            if value[var << 1] == _UNDEF:
-                return var
+            # Otherwise stale: the variable is assigned, or a fresher
+            # entry (with its current activity) sits elsewhere.
+        # Every fresh entry was consumed: rebuild from the unassigned
+        # variables once, instead of the historical per-call O(n) scan.
+        self._rebuild_heap()
+        heap = self._order_heap
+        if heap:
+            act, var = heappop(heap)
+            self._heap_act[var] = -1.0
+            return var
         return None
 
     def _bump_var(self, var: int) -> None:
@@ -359,21 +560,33 @@ class SatSolver:
         self._activity[var] = act
         if act > 1e100:
             self._rescale_activities()
-            act = self._activity[var]
+            return  # the rescale rebuilt the heap with fresh entries
         if self._value[var << 1] == _UNDEF:
             heappush(self._order_heap, (-act, var))
+            self._heap_act[var] = act
+
+    def _rebuild_heap(self) -> None:
+        """Rebuild the order heap with exactly one entry per unassigned
+        variable (at its current activity)."""
+        activity = self._activity
+        value = self._value
+        heap_act = self._heap_act
+        heap = []
+        for var in range(1, self.num_vars + 1):
+            if value[var << 1] == _UNDEF:
+                heap.append((-activity[var], var))
+                heap_act[var] = activity[var]
+            else:
+                heap_act[var] = -1.0
+        heap.sort()  # a sorted list satisfies the heap invariant
+        self._order_heap = heap
 
     def _rescale_activities(self) -> None:
         activity = self._activity
         for var in range(1, self.num_vars + 1):
             activity[var] *= 1e-100
         self._var_inc *= 1e-100
-        self._order_heap = [
-            (-activity[var], var)
-            for var in range(1, self.num_vars + 1)
-            if self._value[var << 1] == _UNDEF
-        ]
-        self._order_heap.sort()
+        self._rebuild_heap()
         if self.hooks is not None:
             self.hooks.on_rescale()
 
@@ -383,44 +596,59 @@ class SatSolver:
         bound = self._trail_lim[level]
         value = self._value
         trail = self._trail
+        activity = self._activity
+        heap_act = self._heap_act
+        heap = self._order_heap
         for idx in range(len(trail) - 1, bound - 1, -1):
             ilit = trail[idx]
             var = ilit >> 1
             value[ilit] = _UNDEF
             value[ilit ^ 1] = _UNDEF
-            self._reason[var] = None
-            heappush(self._order_heap, (-self._activity[var], var))
+            self._reason[var] = _NO_REASON
+            act = activity[var]
+            if heap_act[var] != act:
+                heappush(heap, (-act, var))
+                heap_act[var] = act
         del trail[bound:]
         del self._trail_lim[level:]
         self._qhead = bound
+        # Lazy deletion still leaves stale entries behind; a rebuild
+        # threshold keeps the heap linear in the variable count.
+        if len(heap) > 2 * self.num_vars + 64:
+            self._rebuild_heap()
 
     # ------------------------------------------------------------------
     # Conflict analysis
     # ------------------------------------------------------------------
 
-    def _analyze(self, conflict: Clause) -> tuple:
+    def _analyze(self, conflict: int) -> tuple:
         """First-UIP analysis → (learned internal lits, backjump level)."""
         learned: List[int] = [0]  # placeholder for the asserting literal
         seen = self._seen
         level = self._level
         reason = self._reason
         trail = self._trail
+        arena = self._arena
+        buf = arena.lits
+        offs = arena.off
+        lens = arena.length
+        flags = arena.flags
         current_level = len(self._trail_lim)
 
         counter = 0
         p = -1
         idx = len(trail) - 1
-        clause: Optional[Clause] = conflict
+        ref = conflict
 
         to_clear: List[int] = []
         while True:
-            assert clause is not None
-            if clause.learned:
-                self._bump_clause(clause)
-            start = 0 if p == -1 else 1
-            lits = clause.lits
-            for k in range(start, len(lits)):
-                q = lits[k]
+            assert ref != _NO_REASON
+            if flags[ref] & ClauseArena.LEARNED:
+                self._bump_clause(ref)
+            o = offs[ref]
+            start = o if p == -1 else o + 1
+            for k in range(start, o + lens[ref]):
+                q = buf[k]
                 var = q >> 1
                 if seen[var] or level[var] == 0:
                     continue
@@ -437,7 +665,7 @@ class SatSolver:
             p = trail[idx]
             idx -= 1
             var = p >> 1
-            clause = reason[var]
+            ref = reason[var]
             seen[var] = 0
             counter -= 1
             if counter == 0:
@@ -450,7 +678,7 @@ class SatSolver:
             abstract_levels |= 1 << (level[lit >> 1] & 31)
         kept = [learned[0]]
         for lit in learned[1:]:
-            if reason[lit >> 1] is None or not self._redundant(
+            if reason[lit >> 1] == _NO_REASON or not self._redundant(
                     lit, abstract_levels, to_clear):
                 kept.append(lit)
         learned = kept
@@ -477,22 +705,28 @@ class SatSolver:
         seen = self._seen
         level = self._level
         reason = self._reason
+        arena = self._arena
+        buf = arena.lits
+        offs = arena.off
+        lens = arena.length
         stack = [lit]
         top = len(to_clear)
         while stack:
             current = stack.pop()
-            clause = reason[current >> 1]
-            if clause is None:
+            ref = reason[current >> 1]
+            if ref == _NO_REASON:
                 # Shouldn't happen for stacked literals, but be safe.
                 for var in to_clear[top:]:
                     seen[var] = 0
                 del to_clear[top:]
                 return False
-            for q in clause.lits[1:]:
+            o = offs[ref]
+            for k in range(o + 1, o + lens[ref]):
+                q = buf[k]
                 var = q >> 1
                 if seen[var] or level[var] == 0:
                     continue
-                if reason[var] is not None and (
+                if reason[var] != _NO_REASON and (
                         (1 << (level[var] & 31)) & abstract_levels):
                     seen[var] = 1
                     to_clear.append(var)
@@ -509,42 +743,346 @@ class SatSolver:
         levels.discard(0)
         return len(levels)
 
-    def _bump_clause(self, clause: Clause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > 1e20:
-            for learned in self._learned:
-                learned.activity *= 1e-20
+    def _bump_clause(self, ref: int) -> None:
+        arena = self._arena
+        arena.act[ref] += self._cla_inc
+        if arena.act[ref] > 1e20:
+            act = arena.act
+            for tier in (self._tier_core, self._tier_mid, self._tier_local):
+                for learned_ref in tier:
+                    act[learned_ref] *= 1e-20
             self._cla_inc *= 1e-20
 
     # ------------------------------------------------------------------
-    # Learned clause DB reduction
+    # Learned clause DB reduction (per-tier policies)
     # ------------------------------------------------------------------
 
+    def _learned_tier(self, lbd: int) -> List[int]:
+        if lbd <= _CORE_LBD:
+            return self._tier_core
+        if lbd <= _MID_LBD:
+            return self._tier_mid
+        return self._tier_local
+
+    @property
+    def tier_sizes(self) -> tuple:
+        """Current (core, mid, local) learned-clause tier sizes."""
+        return (len(self._tier_core), len(self._tier_mid),
+                len(self._tier_local))
+
+    def top_active_vars(self, n: int) -> List[int]:
+        """The *n* root-unassigned variables of highest VSIDS activity.
+
+        Used by the portfolio backend to pick cube-and-conquer split
+        variables after a conflict-limited probe: the hottest variables
+        are where the search is actually fighting, so branching the
+        cube on them partitions the hard part of the space.
+        """
+        value = self._value
+        ranked = sorted(
+            (v for v in range(1, self.num_vars + 1)
+             if value[v << 1] == _UNDEF),
+            key=lambda v: -self._activity[v])
+        return ranked[:n]
+
     def _reduce_db(self) -> None:
-        learned = self._learned
+        """Per-tier retention: *core* (LBD ≤ 2) is never deleted;
+        *local* halves by (LBD, activity) every call; *mid* sheds its
+        least active quarter every other call."""
+        arena = self._arena
+        reason = self._reason
         locked = set()
         for var in range(1, self.num_vars + 1):
-            clause = self._reason[var]
-            if clause is not None:
-                locked.add(id(clause))
-        learned.sort(key=lambda c: (c.lbd, -c.activity))
-        keep_count = len(learned) // 2
-        kept: List[Clause] = []
-        removed = set()
-        for index, clause in enumerate(learned):
-            if index < keep_count or clause.lbd <= 2 or id(clause) in locked:
-                kept.append(clause)
+            ref = reason[var]
+            if ref != _NO_REASON:
+                locked.add(ref)
+        act = arena.act
+        lbd = arena.lbd
+        before = (len(self._tier_core) + len(self._tier_mid)
+                  + len(self._tier_local))
+        removed: set = set()
+
+        local = self._tier_local
+        local.sort(key=lambda r: (lbd[r], -act[r]))
+        keep_count = len(local) // 2
+        kept: List[int] = []
+        for index, ref in enumerate(local):
+            if index < keep_count or ref in locked:
+                kept.append(ref)
             else:
-                removed.add(id(clause))
-                self.stats.deleted_clauses += 1
+                removed.add(ref)
+        self._tier_local = kept
+
+        self._reduce_calls += 1
+        if self._reduce_calls % 2 == 0:
+            mid = self._tier_mid
+            mid.sort(key=lambda r: -act[r])
+            keep_count = (3 * len(mid)) // 4
+            kept = []
+            for index, ref in enumerate(mid):
+                if index < keep_count or ref in locked:
+                    kept.append(ref)
+                else:
+                    removed.add(ref)
+            self._tier_mid = kept
+
         if removed:
+            self.stats.deleted_clauses += len(removed)
             for watchlist in self._watches:
-                watchlist[:] = [c for c in watchlist if id(c) not in removed]
-        before = len(learned)
-        self._learned = kept
-        if self.hooks is not None:
-            self.hooks.on_reduce_db(before, len(kept),
-                                    self.stats.conflicts)
+                watchlist[:] = [r for r in watchlist if r not in removed]
+            if self._proof_deleted is not None:
+                for ref in removed:
+                    self._proof_deleted.append(
+                        [from_internal(lit)
+                         for lit in arena.clause_lits(ref)])
+            for ref in removed:
+                arena.free_clause(ref)
+            self._maybe_compact()
+        after = (len(self._tier_core) + len(self._tier_mid)
+                 + len(self._tier_local))
+        hooks = self.hooks
+        if hooks is not None:
+            hooks.on_reduce_db(before, after, self.stats.conflicts)
+            on_tiers = getattr(hooks, "on_tiers", None)
+            if on_tiers is not None:
+                on_tiers(*self.tier_sizes)
+
+    def _maybe_compact(self) -> None:
+        arena = self._arena
+        if arena.wasted > 2048 and arena.wasted * 2 > len(arena.lits):
+            live = len(arena.lits) - arena.wasted
+            reclaimed = arena.compact()
+            self.stats.arena_compactions += 1
+            hooks = self.hooks
+            if hooks is not None:
+                on_compact = getattr(hooks, "on_arena_compact", None)
+                if on_compact is not None:
+                    on_compact(live, reclaimed)
+
+    # ------------------------------------------------------------------
+    # Inter-restart inprocessing
+    # ------------------------------------------------------------------
+
+    def _clear_root_reasons(self) -> None:
+        """Drop reason refs of root-level assignments.
+
+        Safe because conflict analysis, minimization, and final-core
+        extraction all skip level-0 variables before dereferencing
+        their reasons; afterwards no learned clause is locked, so the
+        whole learned database is fair game for inprocessing.
+        """
+        reason = self._reason
+        for ilit in self._trail:
+            reason[ilit >> 1] = _NO_REASON
+
+    def _inprocess_round(self) -> None:
+        """Subsumption / self-subsuming resolution, then bounded
+        vivification, over the learned database.  Runs at decision
+        level 0 between restarts; every strengthened clause is RUP
+        against the database at that moment and is appended to the
+        proof log, so RUP replay stays valid.  May set ``_ok`` False
+        (inprocessing derived the empty clause)."""
+        before = self.stats.as_dict()
+        self._clear_root_reasons()
+        self._subsume_learned()
+        if self._ok:
+            self._vivify_learned()
+        arena = self._arena
+        dead = ClauseArena.DEAD
+        flags = arena.flags
+        self._tier_core = [r for r in self._tier_core
+                           if not flags[r] & dead]
+        self._tier_mid = [r for r in self._tier_mid
+                          if not flags[r] & dead]
+        self._tier_local = [r for r in self._tier_local
+                            if not flags[r] & dead]
+        self._maybe_compact()
+        hooks = self.hooks
+        if hooks is not None:
+            on_inprocess = getattr(hooks, "on_inprocess", None)
+            if on_inprocess is not None:
+                delta = self.stats.delta(before)
+                on_inprocess(delta["subsumed_clauses"],
+                             delta["strengthened_clauses"],
+                             delta["vivified_clauses"],
+                             self.stats.conflicts)
+            on_tiers = getattr(hooks, "on_tiers", None)
+            if on_tiers is not None:
+                on_tiers(*self.tier_sizes)
+
+    def _subsume_learned(self) -> None:
+        """Forward subsumption and self-subsuming resolution over the
+        learned tiers, via occurrence lists and variable signatures."""
+        arena = self._arena
+        flags = arena.flags
+        dead = ClauseArena.DEAD
+        refs = [r for tier in (self._tier_core, self._tier_mid,
+                               self._tier_local) for r in tier
+                if not flags[r] & dead]
+        if len(refs) < 2:
+            return
+        refs.sort(key=lambda r: arena.length[r])
+        lit_sets: Dict[int, set] = {}
+        sigs: Dict[int, int] = {}
+        occ: Dict[int, List[int]] = {}
+        for ref in refs:
+            lits = arena.clause_lits(ref)
+            lit_sets[ref] = set(lits)
+            sig = 0
+            for lit in lits:
+                sig |= 1 << ((lit >> 1) & 63)
+                occ.setdefault(lit, []).append(ref)
+            sigs[ref] = sig
+
+        for ref in refs:
+            if flags[ref] & dead:
+                continue
+            mine = lit_sets[ref]
+            sig = sigs[ref]
+            size = len(mine)
+            # Scan the occurrence list of the rarest literal.
+            best_lit = min(mine, key=lambda lit: len(occ.get(lit, ())))
+            for other in occ.get(best_lit, ()):
+                if other == ref or flags[other] & dead:
+                    continue
+                theirs = lit_sets[other]
+                if (len(theirs) < size or sig & ~sigs[other]
+                        or not mine <= theirs):
+                    continue
+                # `other` is subsumed: delete it (no proof entry
+                # needed; the RUP checker is monotone).
+                self._delete_learned(other)
+                self.stats.subsumed_clauses += 1
+            # Self-subsuming resolution: if this clause with one
+            # literal flipped is contained in another clause, that
+            # literal's negation can be removed from the other clause.
+            for lit in tuple(mine):
+                neg = lit ^ 1
+                rest = mine - {lit}
+                for other in occ.get(neg, ()):
+                    if other == ref or flags[other] & dead:
+                        continue
+                    theirs = lit_sets[other]
+                    if (neg not in theirs or len(theirs) < size
+                            or not rest <= theirs):
+                        continue
+                    new_lits = [q for q in arena.clause_lits(other)
+                                if q != neg]
+                    self.stats.strengthened_clauses += 1
+                    self._replace_clause(other, new_lits)
+                    if not self._ok:
+                        return
+                    if not flags[other] & dead:
+                        lit_sets[other] = set(new_lits)
+                        new_sig = 0
+                        for q in new_lits:
+                            new_sig |= 1 << ((q >> 1) & 63)
+                        sigs[other] = new_sig
+
+    def _vivify_learned(self) -> None:
+        """Bounded vivification: assert the negation of a clause's
+        literals one at a time; a conflict (or an implied literal)
+        proves a strictly shorter clause, which replaces it."""
+        arena = self._arena
+        flags = arena.flags
+        dead = ClauseArena.DEAD
+        value = self._value
+        candidates = [r for tier in (self._tier_mid, self._tier_local)
+                      for r in tier
+                      if not flags[r] & dead and arena.length[r] >= 3]
+        candidates.sort(key=lambda r: (arena.lbd[r], -arena.act[r]))
+        start_props = self.stats.propagations
+        for ref in candidates[:self._vivify_cap]:
+            if (self.stats.propagations - start_props
+                    > self._vivify_prop_budget):
+                break
+            if flags[ref] & dead:
+                continue
+            lits = arena.clause_lits(ref)
+            self._detach(ref)
+            new_lits: List[int] = []
+            for lit in lits:
+                val = value[lit]
+                if val == 1:
+                    # Implied true by the asserted prefix: the prefix
+                    # plus this literal subsumes the clause.
+                    new_lits.append(lit)
+                    break
+                if val == 0:
+                    # Implied false: the literal is redundant.
+                    continue
+                new_lits.append(lit)
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit ^ 1, _NO_REASON)
+                if self._propagate() is not None:
+                    break
+            self._cancel_until(0)
+            if len(new_lits) < len(lits):
+                self.stats.vivified_clauses += 1
+                self._replace_clause(ref, new_lits)
+                if not self._ok:
+                    return
+            else:
+                self._attach(ref)
+
+    def _delete_learned(self, ref: int) -> None:
+        """Detach and free one learned clause (tier lists are filtered
+        at the end of the inprocessing round)."""
+        arena = self._arena
+        if self._proof_deleted is not None:
+            self._proof_deleted.append(
+                [from_internal(lit) for lit in arena.clause_lits(ref)])
+        self._detach(ref)
+        arena.free_clause(ref)
+        self.stats.deleted_clauses += 1
+
+    def _replace_clause(self, ref: int, new_lits: List[int]) -> None:
+        """Install a strengthened version of a *detached-or-about-to-be*
+        clause: drop root-falsified literals, log the result to the
+        proof, and re-attach / enqueue / conclude unsat as its new
+        length dictates.  Callers pass ``ref`` detached except when the
+        clause still sits in the watch lists (subsumption path), which
+        is detected via membership of its current watches."""
+        arena = self._arena
+        value = self._value
+        level = self._level
+        # The subsumption path calls with the clause still attached.
+        o = arena.off[ref]
+        if ref in self._watches[arena.lits[o]]:
+            self._detach(ref)
+        kept: List[int] = []
+        for lit in new_lits:
+            val = value[lit]
+            if val == 1 and level[lit >> 1] == 0:
+                # Satisfied at the root: the clause is redundant.
+                if self._proof_deleted is not None:
+                    self._proof_deleted.append(
+                        [from_internal(q)
+                         for q in arena.clause_lits(ref)])
+                arena.free_clause(ref)
+                self.stats.deleted_clauses += 1
+                return
+            if val == 0 and level[lit >> 1] == 0:
+                continue  # falsified at the root: drop
+            kept.append(lit)
+        if self._proof_learned is not None:
+            self._proof_learned.append(
+                [from_internal(lit) for lit in kept])
+        if not kept:
+            self._ok = False
+            arena.free_clause(ref)
+            return
+        if len(kept) == 1:
+            arena.free_clause(ref)
+            if not self._enqueue(kept[0], _NO_REASON):
+                self._ok = False
+                return
+            if self._propagate() is not None:
+                self._ok = False
+            return
+        arena.shrink(ref, kept)
+        arena.lbd[ref] = min(arena.lbd[ref], len(kept) - 1)
+        self._attach(ref)
 
     # ------------------------------------------------------------------
     # Top-level search
@@ -597,7 +1135,7 @@ class SatSolver:
             self._ok = False
             return False
 
-        restart_base = 100
+        restart_base = self._restart_base
         restart_idx = 0
         conflicts_this_solve = 0
         max_learnts = max(1000, len(self._clauses) // 3)
@@ -617,6 +1155,9 @@ class SatSolver:
                 if (memory_budget is not None
                         and self._estimate_memory_mb() > memory_budget):
                     return self._abandon(LimitReason.MEMORY)
+                if (self.interrupt_check is not None
+                        and self.interrupt_check()):
+                    return self._abandon(LimitReason.INTERRUPT)
             conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1
@@ -636,17 +1177,18 @@ class SatSolver:
                 conflict_level = len(self._trail_lim)
                 self._cancel_until(back_level)
                 if len(learned) == 1:
-                    if not self._enqueue(learned[0], None):
+                    if not self._enqueue(learned[0], _NO_REASON):
                         self._ok = False
                         return False
                     lbd = 1
                 else:
-                    clause = Clause(learned, learned=True)
-                    clause.lbd = lbd = self._compute_lbd(learned)
-                    self._learned.append(clause)
+                    lbd = self._compute_lbd(learned)
+                    ref = self._arena.alloc(learned, learned=True)
+                    self._arena.lbd[ref] = lbd
+                    self._learned_tier(lbd).append(ref)
                     self.stats.learned_clauses += 1
-                    self._attach(clause)
-                    self._enqueue(learned[0], clause)
+                    self._attach(ref)
+                    self._enqueue(learned[0], ref)
                 if hooks is not None:
                     hooks.on_learned(lbd, len(learned), conflict_level)
                 self._var_inc *= self._var_decay
@@ -660,7 +1202,16 @@ class SatSolver:
                         hooks.on_restart(self.stats.restarts,
                                          self.stats.conflicts)
                     self._cancel_until(0)
-                if len(self._learned) > max_learnts:
+                    if (self._inprocess_enabled
+                            and self.stats.conflicts >= self._inprocess_next):
+                        self._inprocess_round()
+                        self._inprocess_next = (self.stats.conflicts
+                                                + self._inprocess_interval)
+                        self._inprocess_interval += 2000
+                        if not self._ok:
+                            return False
+                if (len(self._tier_mid) + len(self._tier_local)
+                        > max_learnts):
                     self._reduce_db()
                     max_learnts = int(max_learnts * 1.3)
                 continue
@@ -678,10 +1229,10 @@ class SatSolver:
                 self.stats.decisions += 1
                 ilit = (var << 1) | (0 if self._phase[var] else 1)
                 self._new_decision_level()
-                self._enqueue(ilit, None)
+                self._enqueue(ilit, _NO_REASON)
             else:
                 self._new_decision_level()
-                self._enqueue(next_lit, None)
+                self._enqueue(next_lit, _NO_REASON)
 
     # ------------------------------------------------------------------
     # Resource control
@@ -719,19 +1270,18 @@ class SatSolver:
         return None
 
     def _estimate_memory_mb(self) -> float:
-        """A cheap estimate of the clause-database footprint in MB.
+        """An O(1) estimate of the clause-database footprint in MB.
 
         Python offers no portable live-RSS probe without third-party
-        dependencies, so the memory limit bounds an *estimate*: per
-        clause-object overhead plus per-literal list slots plus the
-        per-variable bookkeeping arrays.  The constants approximate
-        CPython's actual object sizes; the point is catching runaway
-        clause learning, not accounting precision.
+        dependencies, so the memory limit bounds an *estimate* derived
+        from the arena buffer length (including not-yet-compacted
+        waste, which is real memory), the per-clause side-array slots,
+        and the per-variable bookkeeping arrays.  Historically this
+        walked every clause on each 128-conflict poll; the arena keeps
+        the totals as plain list lengths, so the poll is constant-time.
         """
-        total_lits = sum(len(c.lits) for c in self._clauses)
-        total_lits += sum(len(c.lits) for c in self._learned)
-        num_clauses = len(self._clauses) + len(self._learned)
-        approx_bytes = (96 * num_clauses + 12 * total_lits
+        arena = self._arena
+        approx_bytes = (96 * arena.live_clauses + 12 * len(arena.lits)
                         + 60 * self.num_vars)
         return approx_bytes / 1e6
 
@@ -766,17 +1316,23 @@ class SatSolver:
         seen = [0] * (self.num_vars + 1)
         queue = [failed_ilit ^ 1]
         seen[failed_ilit >> 1] = 1
+        arena = self._arena
+        buf = arena.lits
+        offs = arena.off
+        lens = arena.length
         while queue:
             lit = queue.pop()
             var = lit >> 1
             if self._level[var] == 0:
                 continue
-            reason = self._reason[var]
-            if reason is None:
+            ref = self._reason[var]
+            if ref == _NO_REASON:
                 if lit in self._assumption_set:
                     core.add(from_internal(lit))
                 continue
-            for q in reason.lits[1:]:
+            o = offs[ref]
+            for k in range(o + 1, o + lens[ref]):
+                q = buf[k]
                 if not seen[q >> 1]:
                     seen[q >> 1] = 1
                     queue.append(q ^ 1)
@@ -815,12 +1371,18 @@ class SatSolver:
 
         Must be called before any clause is added; the log can be
         validated with :func:`repro.sat.proof.check_unsat_proof` after an
-        assumption-free unsat answer.
+        assumption-free unsat answer.  Inprocessing stays proof-valid:
+        every strengthened (self-subsumed or vivified) clause is RUP
+        against the database at derivation time and is appended to the
+        learned stream; deletions are recorded separately (DRUP-style)
+        in :attr:`proof_deletions` but do not participate in checking,
+        because the additions-only checker is monotone.
         """
         if self._clauses_added:
             raise RuntimeError("enable_proof() before adding clauses")
         self._proof_originals = []
         self._proof_learned = []
+        self._proof_deleted = []
 
     @property
     def proof(self) -> Optional[tuple]:
@@ -828,6 +1390,11 @@ class SatSolver:
         if self._proof_originals is None:
             return None
         return (self._proof_originals, self._proof_learned)
+
+    @property
+    def proof_deletions(self) -> Optional[List[List[int]]]:
+        """DRUP-style deletion records (observability; not checked)."""
+        return self._proof_deleted
 
     def core(self) -> List[int]:
         """Assumption literals forming an unsat core of the last solve."""
@@ -847,4 +1414,5 @@ class SatSolver:
 
     @property
     def num_learned(self) -> int:
-        return len(self._learned)
+        return (len(self._tier_core) + len(self._tier_mid)
+                + len(self._tier_local))

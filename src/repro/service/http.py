@@ -54,6 +54,7 @@ from typing import (
 )
 
 from ..core.specs import Property
+from ..engine.backends import BACKEND_NAMES
 from ..obs.metrics import MetricsRegistry
 from .executor import ExecutorBridge
 from .jobs import (
@@ -441,8 +442,23 @@ class ReproService:
                     f"unknown property {prop_value!r}") from None
             screen = bool(payload.get("screen", True))
             cold = bool(payload.get("cold", False))
+            # The cold lane rebuilds engines in worker processes, so a
+            # job may request a different backend than the session's —
+            # e.g. "portfolio" to race each search probe across a pool.
+            job_backend = payload.get("backend") or session.backend
+            if job_backend not in BACKEND_NAMES:
+                raise ServiceError(
+                    400, "bad-request",
+                    f"unknown backend {job_backend!r}; expected one of "
+                    f"{', '.join(BACKEND_NAMES)}")
+            if not cold and job_backend != session.backend:
+                raise ServiceError(
+                    400, "bad-request",
+                    "a per-job 'backend' override needs \"cold\": true "
+                    "— warm jobs run on the session's engine "
+                    f"({session.backend!r})")
             key = (session.session_id, "max", prop, limits_key(limits),
-                   screen, cold)
+                   screen, cold, job_backend)
             spec_text = f"max-resiliency {prop.value}"
             if cold:
                 config_text = payload.get("config")
@@ -452,7 +468,7 @@ class ReproService:
                         "cold max-resiliency needs inline 'config' "
                         "text (worker processes rebuild the engine)")
                 fn = max_resiliency_sweep_fn(
-                    config_text, prop, session.backend, limits, screen,
+                    config_text, prop, job_backend, limits, screen,
                     self.bridge.workers)
                 # Process-pool workers are beyond cooperative
                 # interrupt; cancellation only skips queued jobs.

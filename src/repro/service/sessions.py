@@ -60,6 +60,15 @@ class Session:
         self.queries += 1
 
     def describe(self) -> Dict[str, Any]:
+        # Lifetime solver-effort totals for this session's engine —
+        # how the warm state earned its keep.  Tier keys are last-seen
+        # gauges; inprocessing counters show DB maintenance work.
+        solver = {
+            key: (round(value, 4) if key == "check_time"
+                  else int(value))
+            for key, value in sorted(
+                self.engine.cumulative_stats.items())
+        }
         return {
             "session": self.session_id,
             "backend": self.backend,
@@ -72,6 +81,7 @@ class Session:
                 "misses": self.engine.cache.misses,
                 "evictions": self.engine.cache.evictions,
             },
+            "solver": solver,
             "age_s": round(time.monotonic() - self.created, 3),
             "idle_s": round(time.monotonic() - self.last_used, 3),
         }

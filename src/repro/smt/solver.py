@@ -25,9 +25,13 @@ __all__ = ["Result", "Model", "Solver", "SolverStatistics",
 
 #: Per-check search-effort counters mirrored from the SAT substrate.
 #: ``learned_clauses``/``deleted_clauses`` let incremental callers
-#: report how much of the clause database each query retained.
+#: report how much of the clause database each query retained; the
+#: inprocessing counters attribute subsumption / self-subsuming
+#: resolution / vivification work to individual queries.
 _SEARCH_FIELDS = ("conflicts", "decisions", "propagations", "restarts",
-                  "learned_clauses", "deleted_clauses")
+                  "learned_clauses", "deleted_clauses",
+                  "subsumed_clauses", "strengthened_clauses",
+                  "vivified_clauses")
 
 
 class Result(enum.Enum):
@@ -82,6 +86,9 @@ class SolverStatistics:
         self.restarts = 0
         self.learned_clauses = 0
         self.deleted_clauses = 0
+        self.subsumed_clauses = 0
+        self.strengthened_clauses = 0
+        self.vivified_clauses = 0
         # Populated only when the facade runs with preprocess=True.
         self.simplified_vars = 0
         self.simplified_clauses = 0
@@ -187,18 +194,28 @@ class Solver:
 
     def __init__(self, card_encoding: str = "totalizer",
                  produce_proof: bool = False,
-                 preprocess: bool = False) -> None:
+                 preprocess: bool = False,
+                 solver_opts: Optional[Dict[str, object]] = None) -> None:
         self._produce_proof = produce_proof
         self._preprocess = preprocess
         self._cnf: Optional[CNF] = None
         self._sat: Optional[SatSolver] = None
+        #: Keyword arguments forwarded to every :class:`SatSolver` this
+        #: facade constructs (``inprocess``, diversification ``seed`` /
+        #: ``phase_init`` / ``restart_base``, ``interrupt_check``).
+        #: The ``cube`` key is peeled off here: a list of DIMACS
+        #: literals appended to every check's assumptions, which is how
+        #: portfolio cube-and-conquer workers restrict their subspace.
+        opts = dict(solver_opts or {})
+        self._cube_lits: List[int] = [int(l) for l in opts.pop("cube", [])]
+        self._solver_opts = opts
         if preprocess:
             # Buffer the encoding in a CNF so each check can run the
             # simplifier over the full current formula first.
             self._cnf = CNF()
             sink = self._cnf
         else:
-            self._sat = SatSolver()
+            self._sat = SatSolver(**self._solver_opts)
             if produce_proof:
                 self._sat.enable_proof()
             sink = self._sat
@@ -346,6 +363,20 @@ class Solver:
         if self._sat is not None:
             self._sat.hooks = hooks
 
+    def top_activity_vars(self, n: int) -> List[int]:
+        """The hottest *n* internal SAT variables by VSIDS activity.
+
+        Harvested by the portfolio backend after a conflict-limited
+        probe solve to choose cube-and-conquer split variables.  The
+        Tseitin emission is deterministic for a fixed encoder
+        configuration, so these variable indices are meaningful in any
+        sibling solver built from the same assertions.  Empty in
+        preprocessing mode (the per-check solver is already gone).
+        """
+        if self._sat is None:
+            return []
+        return self._sat.top_active_vars(n)
+
     def check(self, *assumptions: Term,
               max_conflicts: Optional[int] = None,
               limits: Optional[Limits] = None) -> Result:
@@ -362,6 +393,10 @@ class Solver:
         if max_conflicts is not None:
             effective = effective.merged(Limits(max_conflicts=max_conflicts))
         assumption_lits: List[int] = list(self._selectors)
+        # Cube literals are solver-level assumptions with no term
+        # mapping: they restrict the search subspace but never appear
+        # in reported cores (the portfolio layer owns their semantics).
+        assumption_lits.extend(self._cube_lits)
         lit_to_term: Dict[int, Term] = {}
         for term in assumptions:
             lit = self._encoder.literal(term)
@@ -387,6 +422,12 @@ class Solver:
             self.statistics.__dict__[field] += delta[field]
         self.last_check_stats = {f: float(delta[f]) for f in _SEARCH_FIELDS}
         self.last_check_stats["check_time"] = elapsed
+        # Instantaneous tier snapshot (gauges, not deltas): lets the
+        # session layer show where a warm solver's learned clauses sit.
+        core, mid, local = self._sat.tier_sizes
+        self.last_check_stats["tier_core"] = float(core)
+        self.last_check_stats["tier_mid"] = float(mid)
+        self.last_check_stats["tier_local"] = float(local)
 
         if outcome is None:
             self.last_limit_reason = self._sat.limit_reason
@@ -449,7 +490,7 @@ class Solver:
                                       self._cnf.num_vars)
             return Result.UNSAT
 
-        sub = SatSolver()
+        sub = SatSolver(**self._solver_opts)
         sub.hooks = self._hooks
         if self._produce_proof:
             sub.enable_proof()

@@ -108,7 +108,7 @@ def test_incremental_certify_falls_back_to_fresh(fig3_case):
 def test_unknown_backend_rejected(fig3_case):
     network, problem = fig3_case
     with pytest.raises(ValueError, match="unknown backend"):
-        VerificationEngine(network, problem, backend="portfolio",
+        VerificationEngine(network, problem, backend="quantum",
                            lint=False)
 
 

@@ -1,0 +1,285 @@
+"""The in-query parallel portfolio backend.
+
+Unit tests cover the pure pieces (worker split, budget apportionment,
+race aggregation — including the cube-family soundness rule that UNSAT
+is only promoted when *every* cube refuted); integration tests race the
+real process pool against the fresh backend and check interrupt and
+budget plumbing end to end.
+"""
+
+import pytest
+
+from repro.cases import case_problem, fig3_network
+from repro.core import Property, ResiliencySpec, Status
+from repro.engine import PortfolioBackend, VerificationEngine
+from repro.engine import portfolio as pf
+from repro.engine.portfolio import (
+    _WorkerReport,
+    _WorkerSpec,
+    _apportion,
+    _split_workers,
+)
+from repro.core.results import VerificationResult
+from repro.sat.limits import Limits
+
+
+@pytest.fixture
+def fig3_case():
+    return fig3_network(), case_problem()
+
+
+# -- pure pieces -------------------------------------------------------
+
+
+def test_split_workers_table():
+    assert _split_workers(1) == (1, 0)
+    assert _split_workers(2) == (2, 0)
+    assert _split_workers(3) == (3, 0)
+    assert _split_workers(4) == (2, 1)
+    assert _split_workers(6) == (4, 1)
+    assert _split_workers(8) == (4, 2)
+    assert _split_workers(12) == (8, 2)
+
+
+def test_apportion_passthrough_and_division():
+    assert _apportion(None, 4, 0.1) is None
+    unbounded = Limits()
+    assert _apportion(unbounded, 4, 0.1) is unbounded
+
+    limits = Limits(max_time=10.0, max_conflicts=1000,
+                    max_propagations=999, max_memory_mb=256.0)
+    share = _apportion(limits, 4, 2.0)
+    assert share.max_time == pytest.approx(8.0)   # probe time deducted
+    assert share.max_conflicts == 250             # divided across workers
+    assert share.max_propagations == 250          # ceil(999 / 4)
+    assert share.max_memory_mb == 256.0           # concurrent: passthrough
+
+    # The wall clock never apportions below the 50ms floor.
+    tight = _apportion(Limits(max_time=1.0), 2, 5.0)
+    assert tight.max_time == pytest.approx(0.05)
+
+
+def test_worker_specs_cover_cube_space(fig3_case):
+    network, problem = fig3_case
+    backend = PortfolioBackend(network, problem, jobs=8)
+    specs = backend._worker_specs(cube_vars=[5, 9])
+    full = [w for w in specs if w.kind == "full"]
+    cubes = [w for w in specs if w.kind == "cube"]
+    assert len(full) == 4 and len(cubes) == 4
+    # Diversified seeds: every worker explores a different order.
+    assert len({w.solver_opts["seed"] for w in specs}) == len(specs)
+    # The four cubes are exactly the sign combinations of vars 5 and 9
+    # in internal encoding (2v = positive, 2v+1 = negative).
+    assert {w.cube for w in cubes} == {
+        (10, 18), (11, 18), (10, 19), (11, 19)}
+
+
+def _report(index, kind, status, elapsed, limit_reason=None):
+    spec = ResiliencySpec.observability(k=1)
+    result = VerificationResult(spec=spec, status=status,
+                                limit_reason=limit_reason)
+    label = f"{kind}-{index}"
+    return _WorkerReport(index=index, kind=kind, label=label,
+                         result=result, elapsed=elapsed, pid=0)
+
+
+def _specs(full, cube_bits):
+    specs = [_WorkerSpec(index=i, kind="full") for i in range(full)]
+    for b in range(1 << cube_bits):
+        specs.append(_WorkerSpec(index=full + b, kind="cube",
+                                 cube=(10 + b,)))
+    return specs
+
+
+def test_aggregate_cube_family_win(fig3_case):
+    """All cubes UNSAT == a real refutation; slowest cube closes it."""
+    network, problem = fig3_case
+    backend = PortfolioBackend(network, problem, jobs=8)
+    spec = ResiliencySpec.observability(k=1)
+    specs = _specs(full=2, cube_bits=1)
+    reports = [
+        _report(0, "full", Status.UNKNOWN, 0.5, "interrupt"),
+        _report(2, "cube", Status.RESILIENT, 0.1),
+        _report(3, "cube", Status.RESILIENT, 0.3),
+    ]
+    result = backend._aggregate(spec, specs, reports)
+    assert result.status is Status.RESILIENT
+    assert result.details["portfolio"]["win_kind"] == "cube-family"
+    assert result.details["portfolio"]["winner"] == "cube-3"  # slowest
+
+
+def test_aggregate_partial_cube_unsat_is_not_a_verdict(fig3_case):
+    """One cube refuting its half-space proves nothing globally."""
+    network, problem = fig3_case
+    backend = PortfolioBackend(network, problem, jobs=8)
+    spec = ResiliencySpec.observability(k=1)
+    specs = _specs(full=2, cube_bits=1)
+    reports = [
+        _report(0, "full", Status.UNKNOWN, 0.5, "conflicts"),
+        _report(1, "full", Status.UNKNOWN, 0.6, "interrupt"),
+        _report(2, "cube", Status.RESILIENT, 0.1),
+        # cube-3 never reported (cancelled / crashed)
+    ]
+    result = backend._aggregate(spec, specs, reports)
+    assert result.status is Status.UNKNOWN
+    # The most informative budget: a real resource, not the cancel.
+    assert result.limit_reason == "conflicts"
+
+
+def test_aggregate_sat_wins_over_everything(fig3_case):
+    network, problem = fig3_case
+    backend = PortfolioBackend(network, problem, jobs=8)
+    spec = ResiliencySpec.observability(k=1)
+    specs = _specs(full=2, cube_bits=0)
+    reports = [
+        _report(0, "full", Status.UNKNOWN, 0.1, "conflicts"),
+        _report(1, "full", Status.THREAT_FOUND, 0.2),
+    ]
+    result = backend._aggregate(spec, specs, reports)
+    assert result.status is Status.THREAT_FOUND
+    assert result.details["portfolio"]["winner"] == "full-1"
+    assert result.details["portfolio"]["win_kind"] == "full"
+
+
+def test_aggregate_interrupt_reason_when_requested(fig3_case):
+    network, problem = fig3_case
+    backend = PortfolioBackend(network, problem, jobs=8)
+    backend._interrupt_requested = True
+    spec = ResiliencySpec.observability(k=1)
+    specs = _specs(full=1, cube_bits=0)
+    reports = [_report(0, "full", Status.UNKNOWN, 0.1, "conflicts")]
+    result = backend._aggregate(spec, specs, reports)
+    assert result.status is Status.UNKNOWN
+    assert result.limit_reason == "interrupt"
+
+
+# -- end to end --------------------------------------------------------
+
+
+def test_portfolio_matches_fresh_verdicts_with_forced_fan_out(
+        fig3_case, monkeypatch):
+    """Satellite: fan-out answers == fresh answers along the k ladder.
+
+    Shrinking the probe budget to one conflict forces the process pool
+    on every non-trivial query, exercising the real race (the default
+    probe would decide fig-3-sized queries by itself).
+    """
+    monkeypatch.setattr(pf, "PROBE_CONFLICTS", 1)
+    network, problem = fig3_case
+    fresh = VerificationEngine(network, problem, lint=False)
+    port = VerificationEngine(network, problem, backend="portfolio",
+                              jobs=4, lint=False)
+    reference = fresh.reference
+    for k in range(0, 4):
+        spec = ResiliencySpec.observability(k=k)
+        expected = fresh.verify(spec)
+        got = port.verify(spec)
+        assert got.status is expected.status, k
+        assert got.backend == "portfolio"
+        if got.status is Status.THREAT_FOUND:
+            assert reference.is_threat(
+                spec, set(got.threat.failed_devices))
+
+
+def test_portfolio_jobs_one_runs_inline(fig3_case):
+    network, problem = fig3_case
+    engine = VerificationEngine(network, problem, backend="portfolio",
+                                jobs=1, lint=False)
+    result = engine.verify(ResiliencySpec.observability(k=0))
+    assert result.details["portfolio"] == {"mode": "inline", "workers": 0}
+    assert result.backend == "portfolio"
+
+
+def test_portfolio_probe_decides_easy_queries(fig3_case):
+    network, problem = fig3_case
+    engine = VerificationEngine(network, problem, backend="portfolio",
+                                jobs=4, lint=False)
+    result = engine.verify(ResiliencySpec.observability(k=0))
+    assert result.details["portfolio"]["mode"] == "probe"
+    assert result.status is Status.RESILIENT
+
+
+def test_portfolio_certify_falls_back_to_fresh(fig3_case):
+    network, problem = fig3_case
+    engine = VerificationEngine(network, problem, backend="portfolio",
+                                jobs=4, lint=False)
+    result = engine.verify(ResiliencySpec.observability(k=0),
+                           certify=True)
+    assert result.is_resilient
+    assert result.details.get("certify_fallback") == "fresh"
+    assert result.details.get("proof_checked") is True
+
+
+def test_portfolio_caller_conflict_budget_is_respected(fig3_case):
+    """A caller cap below the probe's own budget must not fan out."""
+    network, problem = fig3_case
+    engine = VerificationEngine(network, problem, backend="portfolio",
+                                jobs=4, lint=False)
+    result = engine.verify(ResiliencySpec.observability(k=2),
+                           limits=Limits(max_conflicts=1))
+    assert result.status is Status.UNKNOWN
+    assert result.limit_reason == "conflicts"
+    assert "portfolio" not in result.details or \
+        result.details["portfolio"].get("workers", 0) == 0
+
+
+def test_portfolio_caller_propagation_budget_is_respected(fig3_case):
+    """Same for propagations: a caller cap at/below the probe's own
+    propagation budget expires the query instead of fanning out."""
+    network, problem = fig3_case
+    engine = VerificationEngine(network, problem, backend="portfolio",
+                                jobs=4, lint=False)
+    result = engine.verify(ResiliencySpec.observability(k=2),
+                           limits=Limits(max_propagations=1))
+    assert result.status is Status.UNKNOWN
+    assert result.limit_reason == "propagations"
+    assert "portfolio" not in result.details or \
+        result.details["portfolio"].get("workers", 0) == 0
+
+
+def test_probe_propagation_cap_triggers_fan_out(fig3_case, monkeypatch):
+    """Propagation-bound queries (tiny conflict counts, huge unit
+    propagation) must escape the probe: with the propagation cap forced
+    to 1 the probe cannot decide, so the pool answers — and the verdict
+    still matches the fresh backend."""
+    network, problem = fig3_case
+    monkeypatch.setattr(pf, "PROBE_PROPAGATIONS", 1)
+    engine = VerificationEngine(network, problem, backend="portfolio",
+                                jobs=4, lint=False)
+    reference = VerificationEngine(network, problem, backend="fresh",
+                                   lint=False)
+    spec = ResiliencySpec.observability(k=1)
+    result = engine.verify(spec)
+    expected = reference.verify(spec)
+    assert result.status is expected.status
+    details = result.details["portfolio"]
+    assert details.get("mode") != "probe"
+    assert details["workers"] > 0
+
+
+def test_portfolio_interrupt_and_clear(fig3_case):
+    network, problem = fig3_case
+    engine = VerificationEngine(network, problem, backend="portfolio",
+                                jobs=4, lint=False)
+    spec = ResiliencySpec.observability(k=1)
+    engine.interrupt()
+    result = engine.verify(spec)
+    assert result.status is Status.UNKNOWN
+    assert result.limit_reason == "interrupt"
+    engine.clear_interrupt()
+    again = engine.verify(spec)
+    assert again.status is not Status.UNKNOWN
+
+
+def test_engine_accumulates_solver_stats(fig3_case):
+    network, problem = fig3_case
+    engine = VerificationEngine(network, problem, backend="assumption",
+                                lint=False)
+    engine.verify(ResiliencySpec.observability(k=1))
+    engine.verify(ResiliencySpec.observability(k=2))
+    totals = engine.cumulative_stats
+    assert totals["queries"] == 2.0
+    assert totals.get("conflicts", 0.0) >= 0.0
+    assert "check_time" in totals
+    # Tier keys are last-seen gauges, present after any check.
+    assert "tier_core" in totals

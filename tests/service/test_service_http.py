@@ -265,3 +265,41 @@ def test_lru_session_eviction_over_http(running, fig3_text):
     outcome = client.verify(config=fig3_text, spec={"k": 1}, wait=True)
     assert outcome["result"]["exit_code"] == 0
     assert client.sessions()["stats"]["created"] == 3
+
+
+def test_sessions_listing_includes_solver_totals(service, fig3_text):
+    client = service.client
+    client.verify(config=fig3_text, spec={"k": 1}, wait=True)
+    client.verify(config=fig3_text, spec={"k": 2}, wait=True)
+    listing = client.sessions()["sessions"]
+    assert len(listing) == 1
+    solver = listing[0]["solver"]
+    assert solver["queries"] == 2
+    assert solver["propagations"] > 0
+    assert {"tier_core", "tier_mid", "tier_local"} <= set(solver)
+
+
+def test_warm_job_rejects_backend_override(service, fig3_text):
+    """A mismatched per-job backend needs the cold lane, explicitly."""
+    client = service.client
+    session_id = client.open_session(fig3_text)["session"]
+    with pytest.raises(ServiceClientError) as err:
+        client.max_resiliency(session=session_id, backend="portfolio",
+                              wait=True)
+    assert err.value.status == 400 and err.value.code == "bad-request"
+    with pytest.raises(ServiceClientError) as err:
+        client.max_resiliency(config=fig3_text, backend="quantum",
+                              wait=True)
+    assert err.value.status == 400
+
+
+def test_cold_max_resiliency_accepts_portfolio_backend(service,
+                                                       fig3_text):
+    client = service.client
+    bounds = client.max_resiliency(config=fig3_text, backend="portfolio",
+                                   cold=True, wait=True)
+    assert bounds["result"]["exit_code"] == 0
+    assert bounds["result"]["total"]["exact"] is True
+    reference = client.max_resiliency(config=fig3_text, wait=True)
+    assert (bounds["result"]["total"]["lower"]
+            == reference["result"]["total"]["lower"])

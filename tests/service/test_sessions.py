@@ -86,3 +86,19 @@ def test_lint_failure_is_422(manager):
 def test_maxsize_must_be_positive():
     with pytest.raises(ValueError):
         SessionManager(maxsize=0)
+
+
+def test_describe_reports_cumulative_solver_stats(manager):
+    """GET /sessions accounting: lifetime solver effort per session."""
+    session, _ = manager.open(manager.parse(fig3_config_text()))
+    session.engine.verify(ResiliencySpec.observability(k=1),
+                          minimize=False)
+    session.engine.verify(ResiliencySpec.observability(k=2),
+                          minimize=False)
+    solver = session.describe()["solver"]
+    assert solver["queries"] == 2
+    assert isinstance(solver["queries"], int)
+    assert solver["check_time"] >= 0.0
+    assert solver["propagations"] > 0
+    # Tier keys are last-seen gauges from the most recent check.
+    assert {"tier_core", "tier_mid", "tier_local"} <= set(solver)
