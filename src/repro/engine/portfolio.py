@@ -22,8 +22,9 @@ solver's cooperative ``interrupt_check`` polling a shared
 ``interrupt()``), and the observed cancel latency is exported as a
 metric.  Caller :class:`~repro.sat.Limits` budgets are apportioned:
 wall-clock and memory pass through (workers run concurrently), while
-conflict and propagation budgets are divided across workers so the
-portfolio never spends more total search than the caller allowed.
+conflict and propagation budgets — minus what the probe already spent
+— are divided across workers so the portfolio never spends more total
+search than the caller allowed.
 
 Verdict soundness: a worker solving under cube assumptions reports
 "resilient" *for its cube only*; the aggregation here promotes that to
@@ -45,6 +46,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -112,7 +114,7 @@ class _WorkerSpec:
     index: int
     kind: str                    # "full" | "cube"
     solver_opts: Dict[str, object] = field(default_factory=dict)
-    cube: Tuple[int, ...] = ()   # internal SAT literals, cube workers
+    cube: Tuple[int, ...] = ()   # DIMACS literals, cube workers
 
     @property
     def label(self) -> str:
@@ -197,14 +199,16 @@ def _split_workers(jobs: int) -> Tuple[int, int]:
     return jobs, 0
 
 
-def _apportion(limits: Optional[Limits], workers: int,
-               elapsed: float) -> Optional[Limits]:
-    """Per-worker share of the caller's budget.
+def _apportion(limits: Optional[Limits], workers: int, elapsed: float,
+               spent_conflicts: int = 0,
+               spent_propagations: int = 0) -> Optional[Limits]:
+    """Per-worker share of the caller's *remaining* budget.
 
     Wall-clock (minus what the probe already spent) and memory pass
     through — workers run concurrently, each under the full clock.
-    Conflict and propagation budgets divide across workers so the
-    portfolio's *total* search effort stays within the caller's grant.
+    Conflict and propagation budgets first deduct the search the probe
+    already consumed, then divide across workers, so the portfolio's
+    *total* search effort stays within the caller's grant.
     """
     if limits is None or limits.unbounded:
         return limits
@@ -214,13 +218,41 @@ def _apportion(limits: Optional[Limits], workers: int,
     div = max(1, workers)
     conflicts = limits.max_conflicts
     if conflicts is not None:
-        conflicts = max(1, math.ceil(conflicts / div))
+        remaining = max(1, conflicts - max(0, spent_conflicts))
+        conflicts = max(1, math.ceil(remaining / div))
     props = limits.max_propagations
     if props is not None:
-        props = max(1, math.ceil(props / div))
+        remaining = max(1, props - max(0, spent_propagations))
+        props = max(1, math.ceil(remaining / div))
     return Limits(max_time=max_time, max_conflicts=conflicts,
                   max_propagations=props,
                   max_memory_mb=limits.max_memory_mb)
+
+
+def _pool_context() -> Optional[multiprocessing.context.BaseContext]:
+    """Pick a start method for the worker pool, or ``None`` for none.
+
+    ``fork`` is the cheap default: workers inherit the loaded modules
+    and start solving immediately.  Forking a *multi-threaded* parent
+    is hazardous, though — the service solves jobs on HTTP worker
+    threads, and a child forked while another thread holds a lock
+    inherits that lock forever-held — so threaded parents prefer start
+    methods that boot workers from a clean interpreter (``forkserver``
+    exec's its server before any pool exists; ``spawn`` exec's every
+    worker).  Workers are module-level functions and every payload
+    already travels by pickle, so all start methods are equivalent up
+    to startup cost.  Returns ``None`` when the platform supports no
+    candidate, and the caller degrades to an inline solve.
+    """
+    methods = ("fork", "spawn")
+    if threading.active_count() > 1:
+        methods = ("forkserver", "spawn", "fork")
+    for method in methods:
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:  # pragma: no cover — platform-dependent
+            continue
+    return None  # pragma: no cover — no usable start method
 
 
 class PortfolioBackend:
@@ -284,10 +316,13 @@ class PortfolioBackend:
                                      solver_opts=opts))
         # One cube worker per sign combination of the split variables:
         # combination ``bits`` asserts variable j positively when bit j
-        # is clear (internal literal 2v) and negatively when set (2v+1).
+        # is clear and negatively when set.  The literals are DIMACS
+        # (signed variable indices) — that is what the smt facade's
+        # ``cube`` option appends to the solve's assumptions — so the
+        # 2^cube_bits cubes form a covering family of the search space.
         for bits in range(1 << cube_bits):
             cube = tuple(
-                (cube_vars[j] << 1) | ((bits >> j) & 1)
+                -cube_vars[j] if (bits >> j) & 1 else cube_vars[j]
                 for j in range(cube_bits))
             opts = dict(self.solver_opts)
             opts["seed"] = len(specs) + 1
@@ -297,13 +332,16 @@ class PortfolioBackend:
 
     def _probe(self, spec: ResiliencySpec, minimize: bool,
                limits: Optional[Limits]
-               ) -> Tuple[Optional[VerificationResult], List[int], float]:
+               ) -> Tuple[Optional[VerificationResult], List[int], float,
+                          Dict[str, float]]:
         """Conflict-limited in-process attempt; decides easy queries.
 
-        Returns ``(result, cube_vars, encode_time)`` — *result* is the
-        final answer when the probe decided (or the global budget
-        already expired), else ``None`` with the harvested top-activity
-        split variables.
+        Returns ``(result, cube_vars, encode_time, probe_stats)`` —
+        *result* is the final answer when the probe decided (or the
+        global budget already expired), else ``None`` with the
+        harvested top-activity split variables.  *probe_stats* is the
+        probe's own search-counter deltas, deducted from the caller's
+        budget before the fan-out apportions it.
         """
         probe_limits = (limits or Limits()).merged(
             Limits(max_conflicts=PROBE_CONFLICTS,
@@ -312,29 +350,30 @@ class PortfolioBackend:
         with obs_span("portfolio.probe", spec=spec.describe()) as sp:
             outcome = solver.check(limits=probe_limits)
             sp.attrs["result"] = outcome.value
+        probe_stats = dict(solver.last_check_stats)
         result = VerificationResult(
             spec=spec, status=Status.UNKNOWN, encode_time=encode_time,
             solve_time=solver.statistics.check_time,
             num_vars=solver.num_vars, num_clauses=solver.num_clauses,
-            backend=self.name, stats=dict(solver.last_check_stats))
+            backend=self.name, stats=dict(probe_stats))
         if outcome is Result.UNSAT:
             result.status = Status.RESILIENT
-            return result, [], encode_time
+            return result, [], encode_time, probe_stats
         if outcome is Result.SAT:
             result.status = Status.THREAT_FOUND
             started = time.perf_counter()
             result.threat = self.analyzer._extract_threat(
                 solver, encoder, spec, minimize)
             result.extract_time = time.perf_counter() - started
-            return result, [], encode_time
+            return result, [], encode_time, probe_stats
         reason = solver.last_limit_reason
         if reason is not None and not _probe_budget_hit(reason, limits):
             # Not our probe cap: the caller's own budget (time, memory,
             # conflicts, propagations, an interrupt) expired, so
             # fanning out would only overspend it.
             result.limit_reason = reason.value
-            return result, [], encode_time
-        return None, solver.top_activity_vars(8), encode_time
+            return result, [], encode_time, probe_stats
+        return None, solver.top_activity_vars(8), encode_time, probe_stats
 
     def verify(self, spec: ResiliencySpec, minimize: bool = True,
                max_conflicts: Optional[int] = None,
@@ -356,13 +395,9 @@ class PortfolioBackend:
                 Limits(max_conflicts=max_conflicts))
         if self.jobs <= 1:
             # No pool to fan out to: solve inline on the analyzer.
-            result = self.analyzer.verify(
-                spec, minimize=minimize, limits=effective)
-            result.backend = self.name
-            result.details["portfolio"] = {"mode": "inline", "workers": 0}
-            return result
+            return self._solve_inline(spec, minimize, effective)
         started = time.perf_counter()
-        probe_result, cube_vars, encode_time = self._probe(
+        probe_result, cube_vars, encode_time, probe_stats = self._probe(
             spec, minimize, effective)
         if probe_result is not None:
             obs_count("portfolio.probe_wins")
@@ -370,19 +405,37 @@ class PortfolioBackend:
                                                  "workers": 0}
             return probe_result
         result = self._fan_out(spec, minimize, effective, cube_vars,
-                               time.perf_counter() - started)
+                               time.perf_counter() - started, probe_stats)
         result.encode_time = encode_time
+        return result
+
+    def _solve_inline(self, spec: ResiliencySpec, minimize: bool,
+                      limits: Optional[Limits]) -> VerificationResult:
+        """Single-process fallback: no pool width, no usable start
+        method, or the pool failed to come up."""
+        result = self.analyzer.verify(spec, minimize=minimize,
+                                      limits=limits)
+        result.backend = self.name
+        result.details["portfolio"] = {"mode": "inline", "workers": 0}
         return result
 
     def _fan_out(self, spec: ResiliencySpec, minimize: bool,
                  limits: Limits, cube_vars: List[int],
-                 probe_elapsed: float) -> VerificationResult:
+                 probe_elapsed: float,
+                 probe_stats: Dict[str, float]) -> VerificationResult:
         specs = self._worker_specs(cube_vars)
         worker_limits = _apportion(
             limits if not limits.unbounded else None,
-            len(specs), probe_elapsed)
-        ctx = multiprocessing.get_context("fork")
-        event = ctx.Event()
+            len(specs), probe_elapsed,
+            spent_conflicts=int(probe_stats.get("conflicts", 0)),
+            spent_propagations=int(probe_stats.get("propagations", 0)))
+        try:
+            ctx = _pool_context()
+            event = ctx.Event() if ctx is not None else None
+        except OSError:  # pragma: no cover — no semaphore support
+            event = None
+        if event is None:  # pragma: no cover — no multiprocessing here
+            return self._solve_inline(spec, minimize, limits or None)
         self._live_event = event
         if self._interrupt_requested:
             event.set()
@@ -401,12 +454,8 @@ class PortfolioBackend:
                     max_workers=len(specs), mp_context=ctx,
                     initializer=_init_worker, initargs=(event,))
             except (OSError, ValueError):  # pragma: no cover — no procs
-                result = self.analyzer.verify(spec, minimize=minimize,
-                                              limits=limits or None)
-                result.backend = self.name
-                result.details["portfolio"] = {"mode": "inline",
-                                               "workers": 0}
-                return result
+                self._live_event = None
+                return self._solve_inline(spec, minimize, limits or None)
             try:
                 reports = self._drain(pool, payloads, specs, sp)
             finally:
@@ -545,7 +594,18 @@ class PortfolioBackend:
             limit_reason=reason)
         result.details["portfolio"] = detail
         if reports:
-            result.stats = dict(reports[0].result.stats)
+            # Charge the query with the pool's *total* search effort:
+            # counters sum across workers; tier sizes are per-database
+            # gauges that don't add, so keep the largest snapshot.
+            totals: Dict[str, float] = {}
+            for report in reports:
+                for key, value in report.result.stats.items():
+                    if key.startswith("tier_"):
+                        totals[key] = max(totals.get(key, 0.0),
+                                          float(value))
+                    else:
+                        totals[key] = totals.get(key, 0.0) + float(value)
+            result.stats = totals
         return result
 
     # ------------------------------------------------------------------

@@ -59,6 +59,23 @@ def test_apportion_passthrough_and_division():
     assert tight.max_time == pytest.approx(0.05)
 
 
+def test_apportion_deducts_probe_search():
+    """The probe's consumed conflicts/propagations come off the grant
+    before division, so pool total + probe stays within the caller's
+    budget (mirroring the max_time - elapsed handling)."""
+    limits = Limits(max_conflicts=1000, max_propagations=10_000)
+    share = _apportion(limits, 4, 0.0,
+                       spent_conflicts=600, spent_propagations=8_000)
+    assert share.max_conflicts == 100             # ceil((1000-600) / 4)
+    assert share.max_propagations == 500          # ceil((10000-8000)/4)
+
+    # An overspent probe still grants each worker the 1-unit floor.
+    floor = _apportion(limits, 4, 0.0,
+                       spent_conflicts=5000, spent_propagations=50_000)
+    assert floor.max_conflicts == 1
+    assert floor.max_propagations == 1
+
+
 def test_worker_specs_cover_cube_space(fig3_case):
     network, problem = fig3_case
     backend = PortfolioBackend(network, problem, jobs=8)
@@ -69,9 +86,10 @@ def test_worker_specs_cover_cube_space(fig3_case):
     # Diversified seeds: every worker explores a different order.
     assert len({w.solver_opts["seed"] for w in specs}) == len(specs)
     # The four cubes are exactly the sign combinations of vars 5 and 9
-    # in internal encoding (2v = positive, 2v+1 = negative).
+    # as DIMACS literals — the encoding the smt facade's ``cube``
+    # option consumes — forming a covering family of the space.
     assert {w.cube for w in cubes} == {
-        (10, 18), (11, 18), (10, 19), (11, 19)}
+        (5, 9), (-5, 9), (5, -9), (-5, -9)}
 
 
 def _report(index, kind, status, elapsed, limit_reason=None):
@@ -179,6 +197,33 @@ def test_portfolio_matches_fresh_verdicts_with_forced_fan_out(
         if got.status is Status.THREAT_FOUND:
             assert reference.is_threat(
                 spec, set(got.threat.failed_devices))
+
+
+def test_cube_only_fan_out_matches_fresh_verdicts(fig3_case, monkeypatch):
+    """The cube family alone decides correctly on both verdict sides.
+
+    Full workers usually win the race, which would mask a mis-encoded
+    (non-covering) cube family — the regression here: cubes emitted as
+    internal ``(v<<1)|sign`` literals read as DIMACS assert unrelated
+    variables, so every cube can go UNSAT on a satisfiable instance and
+    the aggregation would promote a bogus RESILIENT.  An all-cube pool
+    makes the covering property itself carry the verdict.
+    """
+    monkeypatch.setattr(pf, "PROBE_CONFLICTS", 1)
+    monkeypatch.setattr(pf, "_split_workers", lambda jobs: (0, 2))
+    network, problem = fig3_case
+    fresh = VerificationEngine(network, problem, lint=False)
+    port = VerificationEngine(network, problem, backend="portfolio",
+                              jobs=4, lint=False)
+    decided_by_pool = False
+    for k in range(1, 4):
+        spec = ResiliencySpec.observability(k=k)
+        expected = fresh.verify(spec)
+        got = port.verify(spec)
+        assert got.status is expected.status, k
+        if "winner" in got.details["portfolio"]:
+            decided_by_pool = True
+    assert decided_by_pool
 
 
 def test_portfolio_jobs_one_runs_inline(fig3_case):
