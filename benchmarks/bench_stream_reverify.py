@@ -1,0 +1,203 @@
+"""Streaming re-verification — warm watcher vs cold full recompute.
+
+The watcher's claim is that absorbing a live event is much cheaper
+than re-running the batch pipeline from scratch.  Three mechanisms
+carry it, and this bench isolates each:
+
+* **engine LRU revisits** — a recovery that returns the network to a
+  recently-seen shape lands on that shape's warm assumption-backend
+  engine: no re-encode, just incremental solves (``warm_hit_event``);
+* **affected-property pruning** — a crypto downgrade cannot change
+  plain observability, so that floor cell is skipped outright;
+* **shared contexts** — within one shape, every floor cell rides the
+  same warm engine instead of a fresh solver per property.
+
+Two seeded feeds run over the same floors.  The *mixed* feed is the
+emulator's default scenario blend (outages dominate — most events
+make a brand-new shape, the worst case for warmth).  The *security*
+feed is crypto downgrades and IED compromises only — the paper's
+attack scenarios, which revisit shapes often and prune hard.  For
+every event both lanes run: the watcher (``warm``) and a from-scratch
+engine over the fully materialized config verifying the entire floor
+(``cold``), and the two verdict streams are asserted identical, so
+every speedup is for the same answers.
+
+Run directly (``python benchmarks/bench_stream_reverify.py``) to write
+``BENCH_stream.json`` at the repo root; ``BENCH_SMOKE=1`` switches to
+the 14-bus case with fewer events for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core import ObservabilityProblem, ResiliencySpec
+from repro.engine.engine import VerificationEngine
+from repro.grid import case_by_buses
+from repro.obs import Tracer, activate
+from repro.scada import GeneratorConfig, generate_scada
+from repro.scada.config_io import CaseConfig
+from repro.stream import DeltaCompiler, ScenarioEmulator, Watcher
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+BUSES = 14 if SMOKE else 118
+SEED = 7
+EVENTS = 8 if SMOKE else 20
+#: Live feeds hover around a steady disturbance level — recoveries
+#: return the system to recently-seen shapes, which is exactly what
+#: the watcher's fingerprint-keyed engine LRU exploits.
+RECOVERY_BIAS = 0.6
+ENGINE_CACHE = 8
+OUT = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_stream.json"
+
+
+def _config() -> CaseConfig:
+    synthetic = generate_scada(
+        case_by_buses(BUSES, seed=SEED),
+        GeneratorConfig(measurement_fraction=0.7, secure_fraction=1.0,
+                        dual_home_fraction=0.3, hierarchy_level=2,
+                        seed=SEED))
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    return CaseConfig(network=synthetic.network, problem=problem,
+                      spec=None)
+
+
+def _floors() -> List[ResiliencySpec]:
+    return [
+        ResiliencySpec.observability(k=1),
+        ResiliencySpec.secured_observability(k=1),
+        ResiliencySpec.bad_data_detectability(r=1, k=1),
+    ]
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    if not samples:
+        return {"n": 0}
+    ordered = sorted(samples)
+    return {
+        "n": len(ordered),
+        "p50_ms": round(statistics.median(ordered) * 1000, 2),
+        "p95_ms": round(
+            ordered[min(len(ordered) - 1,
+                        int(0.95 * len(ordered)))] * 1000, 2),
+        "min_ms": round(ordered[0] * 1000, 2),
+        "max_ms": round(ordered[-1] * 1000, 2),
+        "total_s": round(sum(ordered), 3),
+    }
+
+
+def _run_feed(config: CaseConfig, floors: List[ResiliencySpec],
+              scenarios: Optional[Sequence[str]]) -> Dict[str, Any]:
+    events = ScenarioEmulator(
+        config.network, seed=SEED, scenarios=scenarios,
+        recovery_bias=RECOVERY_BIAS).events(EVENTS)
+    tracer = Tracer(meta={"bench": "stream_reverify", "buses": BUSES})
+    with activate(tracer):
+        attach_start = time.perf_counter()
+        watcher = Watcher(config, floors, engine_cache=ENGINE_CACHE)
+        attach_s = time.perf_counter() - attach_start
+
+        compiler = DeltaCompiler(config)
+        warm_all: List[float] = []
+        warm_hit: List[float] = []
+        warm_miss: List[float] = []
+        cold: List[float] = []
+        reverified = 0
+        skipped = 0
+        mismatches: List[str] = []
+        for event in events:
+            misses_before = tracer.registry.counters.get(
+                "stream.engine.misses", 0)
+            update = watcher.apply(event)
+            misses_after = tracer.registry.counters.get(
+                "stream.engine.misses", 0)
+            warm_all.append(update.latency_s)
+            if misses_after == misses_before:
+                warm_hit.append(update.latency_s)
+            else:
+                warm_miss.append(update.latency_s)
+            reverified += len(update.reverified)
+            skipped += len(update.skipped)
+            # Cold lane: full floor, fresh engine, same mutated state.
+            cold_start = time.perf_counter()
+            mutated = compiler.materialize(watcher.state)
+            engine = VerificationEngine(mutated.network,
+                                        mutated.problem,
+                                        backend="fresh", lint=False)
+            statuses = {spec: engine.verify(spec).status
+                        for spec in floors}
+            cold.append(time.perf_counter() - cold_start)
+            for spec in floors:
+                if watcher.verdicts[spec].status is not statuses[spec]:
+                    mismatches.append(
+                        f"event {event.seq} {spec.describe()}: "
+                        f"warm={watcher.verdicts[spec].status.value} "
+                        f"cold={statuses[spec].value}")
+    counters = tracer.registry.counters
+    cells = reverified + skipped
+    return {
+        "scenarios": list(scenarios) if scenarios else "all",
+        "events": EVENTS,
+        "event_mix": {
+            kind: sum(1 for e in events if e.kind.value == kind)
+            for kind in sorted({e.kind.value for e in events})
+        },
+        "attach_ms": round(attach_s * 1000, 2),
+        "warm_event": _percentiles(warm_all),
+        "warm_hit_event": _percentiles(warm_hit),
+        "warm_miss_event": _percentiles(warm_miss),
+        "cold_full_solve": _percentiles(cold),
+        "speedup_p50": round(statistics.median(cold)
+                             / statistics.median(warm_all), 2),
+        "speedup_total": round(sum(cold) / sum(warm_all), 2),
+        "events_per_sec_sustained": round(EVENTS / sum(warm_all), 2),
+        "cells_reverified": reverified,
+        "cells_skipped": skipped,
+        "pruned_fraction": round(skipped / cells, 4) if cells else 0.0,
+        "engine_cache": {
+            "hits": counters.get("stream.engine.hits", 0),
+            "misses": counters.get("stream.engine.misses", 0),
+            "evictions": counters.get("stream.engine.evictions", 0),
+        },
+        "alarms": {
+            kind: counters.get(f"stream.alarms.{kind}", 0)
+            for kind in ("raised", "cleared", "unknown")
+        },
+        "verdicts_match": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+def main() -> Dict[str, Any]:
+    config = _config()
+    floors = _floors()
+    mixed = _run_feed(config, floors, scenarios=None)
+    security = _run_feed(config, floors,
+                         scenarios=("crypto-downgrade",
+                                    "ied-compromise"))
+    return {
+        "bench": "stream_reverify",
+        "smoke": SMOKE,
+        "case": {"buses": BUSES, "seed": SEED,
+                 "devices": len(config.network.devices)},
+        "floors": [spec.describe() for spec in floors],
+        "mixed_feed": mixed,
+        "security_feed": security,
+        "verdicts_match": (mixed["verdicts_match"]
+                           and security["verdicts_match"]),
+    }
+
+
+if __name__ == "__main__":
+    payload = main()
+    OUT.write_text(json.dumps(payload, indent=2) + "\n",
+                   encoding="utf-8")
+    print(json.dumps(payload, indent=2))
+    if not payload["verdicts_match"]:
+        raise SystemExit("warm/cold verdict mismatch")

@@ -571,6 +571,117 @@ def _cmd_client(args) -> int:
     return 0
 
 
+def _cmd_emulate(args) -> int:
+    from .stream import ScenarioEmulator, StreamError, write_events
+
+    config = load_config(args.config, strict=False)
+    scenarios = (args.scenarios.split(",") if args.scenarios else None)
+    try:
+        emulator = ScenarioEmulator(
+            config.network, seed=args.seed, scenarios=scenarios,
+            mean_interval=args.mean_interval)
+        events = emulator.events(args.events)
+    except StreamError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            write_events(events, handle)
+        print(f"wrote {args.out}: {len(events)} event(s) over "
+              f"{events[-1].time:.1f}s simulated" if events
+              else f"wrote {args.out}: 0 events")
+    else:
+        write_events(events, sys.stdout)
+    return 0
+
+
+def _watch_floors(args, config) -> List[ResiliencySpec]:
+    if args.all_properties:
+        k = args.k if args.k is not None else 1
+        return [
+            ResiliencySpec.observability(k=k),
+            ResiliencySpec.secured_observability(k=k),
+            ResiliencySpec.bad_data_detectability(r=args.r, k=k),
+            ResiliencySpec.command_deliverability(k=k),
+        ]
+    return [_spec_from_args(args, config.spec)]
+
+
+def _cmd_watch(args) -> int:
+    from .stream import (
+        ScenarioEmulator,
+        StreamError,
+        Watcher,
+        batch_verdicts,
+        read_events,
+    )
+
+    config = load_config(args.config, strict=False)
+    floors = _watch_floors(args, config)
+    try:
+        if args.events_file:
+            with open(args.events_file, "r", encoding="utf-8") as handle:
+                events = read_events(handle)
+        else:
+            emulator = ScenarioEmulator(config.network, seed=args.seed)
+            events = emulator.events(args.emulate)
+        watcher = Watcher(config, floors, backend=args.backend,
+                          limits=_limits_from_args(args),
+                          engine_cache=args.engine_cache)
+    except StreamError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.json:
+        for spec in floors:
+            status = watcher.verdicts[spec].status.value
+            print(f"baseline {spec.describe()}: {status}")
+    mismatches = 0
+    for event in events:
+        try:
+            update = watcher.apply(event)
+        except StreamError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(update.to_json()))
+        else:
+            print(update.delta.describe() if not update.delta.changed
+                  else update.event.describe())
+            for spec, result in update.reverified:
+                print(f"  {spec.describe()}: {result.status.value} "
+                      f"({result.total_time * 1000.0:.1f} ms)")
+            for alarm in update.alarms:
+                print(f"  {alarm.describe()}")
+        if args.selfcheck:
+            truth = batch_verdicts(config, watcher.state, floors,
+                                   limits=_limits_from_args(args))
+            for spec in floors:
+                live = watcher.verdicts[spec].status
+                if live is not truth[spec]:
+                    mismatches += 1
+                    print(f"SELFCHECK MISMATCH after event "
+                          f"#{event.seq}: {spec.describe()} watcher="
+                          f"{live.value} batch={truth[spec].value}",
+                          file=sys.stderr)
+    snapshot = watcher.snapshot()
+    if args.json:
+        print(json.dumps({"final": snapshot}))
+    else:
+        print(f"watched {snapshot['events']} event(s): "
+              f"{len(watcher.alarms)} alarm record(s), "
+              f"{len(snapshot['below_floor'])} floor cell(s) violated")
+        for spec in snapshot["below_floor"]:
+            print(f"  below floor: {spec}")
+    if args.selfcheck and mismatches:
+        print(f"error: {mismatches} selfcheck mismatch(es) — the "
+              f"affected-property pruning is unsound for this stream",
+              file=sys.stderr)
+        return 2
+    if any(result.is_unknown for result in watcher.verdicts.values()):
+        return EXIT_UNKNOWN
+    return 1 if snapshot["below_floor"] else 0
+
+
 def _cmd_harden(args) -> int:
     config = load_config(args.config)
     spec = _spec_from_args(args, config.spec)
@@ -696,6 +807,64 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--no-hardening", action="store_true")
     _add_engine_args(p_report)
     p_report.set_defaults(func=_cmd_report)
+
+    p_emulate = sub.add_parser(
+        "emulate",
+        help="emit a seeded stream of live attack/failure events")
+    p_emulate.add_argument("config")
+    p_emulate.add_argument("--events", type=int, default=20,
+                           help="number of events to emit")
+    p_emulate.add_argument("--seed", type=int, default=0)
+    p_emulate.add_argument("--scenarios", default=None,
+                           help="comma-separated scenario families "
+                                "(default: all five)")
+    p_emulate.add_argument("--mean-interval", type=float, default=1.0,
+                           dest="mean_interval",
+                           help="mean seconds between events "
+                                "(exponential inter-arrival)")
+    p_emulate.add_argument("--out", default=None,
+                           help="write the JSONL event stream here "
+                                "(default: stdout)")
+    p_emulate.set_defaults(func=_cmd_emulate)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="stream events through a live watcher and alarm on "
+             "floor violations")
+    p_watch.add_argument("config")
+    p_watch.add_argument("--events-file", default=None,
+                         dest="events_file", metavar="FILE",
+                         help="replay a JSONL event stream (from "
+                              "'repro emulate' or an external feed)")
+    p_watch.add_argument("--emulate", type=int, default=20, metavar="N",
+                         help="without --events-file: emulate N events "
+                              "in-process")
+    p_watch.add_argument("--seed", type=int, default=0,
+                         help="emulator seed (with --emulate)")
+    p_watch.add_argument("--all-properties", action="store_true",
+                         dest="all_properties",
+                         help="monitor all four properties at the "
+                              "given budget instead of one spec")
+    p_watch.add_argument("--backend", default="assumption",
+                         choices=BACKEND_NAMES,
+                         help="backend for the warm watcher engines")
+    p_watch.add_argument("--engine-cache", type=int, default=4,
+                         dest="engine_cache",
+                         help="warm engines kept across network "
+                              "shapes (LRU)")
+    p_watch.add_argument("--selfcheck", action="store_true",
+                         help="after every event, recompute all floor "
+                              "cells from scratch and fail (exit 2) on "
+                              "any divergence from the watcher")
+    p_watch.add_argument("--json", action="store_true",
+                         help="one JSON object per event instead of "
+                              "text")
+    p_watch.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a JSONL telemetry trace (stream.* "
+                              "counters, re-verify spans)")
+    _add_limit_args(p_watch)
+    _add_spec_args(p_watch)
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_harden = sub.add_parser("harden",
                               help="search for configuration repairs")

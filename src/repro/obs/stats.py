@@ -125,6 +125,13 @@ class TraceStats:
         return hits / lookups if lookups else None
 
     @property
+    def stream_counters(self) -> Dict[str, int]:
+        """The ``stream.*`` counters (empty when no watcher ran)."""
+        return {name: value
+                for name, value in sorted(self.metrics.counters.items())
+                if name.startswith("stream.")}
+
+    @property
     def worker_utilization(self) -> Optional[float]:
         """Mean fraction of sweep wall time each worker spent busy."""
         if not self.worker_busy or self.sweep_time <= 0.0:
@@ -175,6 +182,7 @@ class TraceStats:
                 "workers": len(self.worker_busy),
                 "utilization": self.worker_utilization,
             },
+            "stream": self.stream_counters,
             "counters": dict(sorted(self.metrics.counters.items())),
             "histograms": histograms,
             "events": dict(sorted(self.events.items())),
@@ -224,6 +232,30 @@ class TraceStats:
                 lines.append(f"  worker utilization: {100.0 * util:.1f}%")
             for pid, busy in sorted(self.worker_busy.items()):
                 lines.append(f"  worker {pid}: {busy:.3f}s busy")
+        stream = self.stream_counters
+        if stream:
+            events = stream.get("stream.events", 0)
+            reverified = stream.get("stream.reverify", 0)
+            skipped = stream.get("stream.reverify.skipped", 0)
+            cells = reverified + skipped
+            lines.append(f"stream: {events} event(s), {reverified} "
+                         f"cell(s) re-verified, {skipped} skipped"
+                         + (f" ({100.0 * skipped / cells:.1f}% pruned)"
+                            if cells else ""))
+            alarms = {kind: stream.get(f"stream.alarms.{kind}", 0)
+                      for kind in ("raised", "cleared", "unknown")}
+            if any(alarms.values()):
+                lines.append("  alarms: "
+                             + ", ".join(f"{n} {kind}"
+                                         for kind, n in alarms.items()
+                                         if n))
+            hits = stream.get("stream.engine.hits", 0)
+            misses = stream.get("stream.engine.misses", 0)
+            if hits + misses:
+                lines.append(f"  warm engines: {hits} hit(s), "
+                             f"{misses} miss(es), "
+                             f"{stream.get('stream.engine.evictions', 0)}"
+                             f" eviction(s)")
         if self.metrics.histograms:
             lines.append("")
             lines.append("solver distributions:")

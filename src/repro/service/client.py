@@ -150,6 +150,52 @@ class ServiceClient:
             "wait": wait, "backend": backend,
         })
 
+    # -- watches --------------------------------------------------------
+
+    def watchers(self) -> Dict[str, Any]:
+        return self.request("GET", "/watch")
+
+    def open_watch(self, *, config: Optional[str] = None,
+                   session: Optional[str] = None,
+                   floors: Optional[list] = None,
+                   backend: Optional[str] = None,
+                   limits: Optional[Dict[str, Any]] = None,
+                   engine_cache: Optional[int] = None) -> Dict[str, Any]:
+        payload = {name: value for name, value in {
+            "config": config, "session": session, "floors": floors,
+            "backend": backend, "limits": limits,
+            "engine_cache": engine_cache,
+        }.items() if value is not None}
+        return self.request("POST", "/watch", payload)
+
+    def watch_status(self, watch_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/watch/{watch_id}")
+
+    def send_events(self, watch_id: str,
+                    events: list) -> Dict[str, Any]:
+        """Apply a batch of event records (``StreamEvent.to_json``)."""
+        return self.request("POST", f"/watch/{watch_id}/events",
+                            {"events": events})
+
+    def alarms(self, watch_id: str, since: int = 0,
+               wait: bool = False,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"since": since, "wait": wait}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request("GET", f"/watch/{watch_id}/alarms",
+                            payload)
+
+    def watch_trace(self, watch_id: str) -> str:
+        """The watch's JSONL trace so far (one record per line)."""
+        text = self.request("GET", f"/watch/{watch_id}/trace",
+                            raw=True)
+        assert isinstance(text, str)
+        return text
+
+    def close_watch(self, watch_id: str) -> Dict[str, Any]:
+        return self.request("DELETE", f"/watch/{watch_id}")
+
     # -- jobs -----------------------------------------------------------
 
     def job(self, job_id: str) -> Dict[str, Any]:

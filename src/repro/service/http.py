@@ -25,6 +25,16 @@ Endpoints::
     GET    /jobs/{id}/wait       block until the job finishes
     POST   /jobs/{id}/cancel     cooperative cancel  {reason?}
     GET    /jobs/{id}/trace      the job's JSONL trace
+    GET    /watch                live watches + pool counters
+    POST   /watch                attach a watcher  {config|session,
+                                 floors?, backend?, limits?}
+    GET    /watch/{id}           one watch (verdicts, state, alarms)
+    POST   /watch/{id}/events    apply a batch of stream events
+    POST   /events               the same, with {"watch": id} inline
+    GET    /watch/{id}/alarms    alarms after ?since= (long-poll with
+                                 ?wait=true&timeout=s)
+    GET    /watch/{id}/trace     the watch's JSONL trace so far
+    DELETE /watch/{id}           detach (drops its warm engines)
 
 Solve submissions take ``{"config": text}`` or ``{"session": id}``,
 plus ``spec``/``limits`` objects (see :mod:`.protocol`), ``tenant``
@@ -43,19 +53,22 @@ from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import dataclass
+import urllib.parse
+from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
     Dict,
+    List,
     Mapping,
     Optional,
     Tuple,
 )
 
-from ..core.specs import Property
+from ..core.specs import Property, ResiliencySpec
 from ..engine.backends import BACKEND_NAMES
 from ..obs.metrics import MetricsRegistry
+from ..stream import StreamError, StreamEvent
 from .executor import ExecutorBridge
 from .jobs import (
     Job,
@@ -75,6 +88,7 @@ from .protocol import (
     spec_from_payload,
 )
 from .sessions import Session, SessionManager
+from .watchers import LiveWatch, WatcherManager
 
 __all__ = ["ReproService"]
 
@@ -92,6 +106,7 @@ class _Request:
     path: str
     headers: Dict[str, str]
     payload: Dict[str, Any]
+    query: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -125,7 +140,8 @@ class ReproService:
                  queue_limit: int = 64,
                  default_policy: Optional[TenantPolicy] = None,
                  tenants: Optional[Mapping[str, TenantPolicy]] = None,
-                 trace_dir: Optional[str] = None) -> None:
+                 trace_dir: Optional[str] = None,
+                 max_watchers: int = 8) -> None:
         self.host = host
         self.port = port
         self.registry = MetricsRegistry()
@@ -137,6 +153,8 @@ class ReproService:
         self.jobs = JobManager(
             self.bridge, self.registry, queue_limit=queue_limit,
             default_policy=default_policy, tenants=tenants)
+        self.watchers = WatcherManager(self.bridge, self.registry,
+                                       maxsize=max_watchers)
         self.trace_dir = trace_dir
         if trace_dir is not None:
             self.jobs.on_finish = self._write_trace
@@ -164,6 +182,7 @@ class ReproService:
             self._server.close()
             await self._server.wait_closed()
         await self.jobs.drain()
+        self.watchers.clear()
         self.sessions.clear()
         self.bridge.shutdown(wait=False)
 
@@ -245,15 +264,16 @@ class ReproService:
                 raise ServiceError(400, "bad-json",
                                    "body must be a JSON object")
             payload = decoded
-        path = target.split("?", 1)[0]
-        return _Request(method.upper(), path, headers, payload)
+        path, _, raw_query = target.partition("?")
+        query = {name: value for name, value
+                 in urllib.parse.parse_qsl(raw_query)}
+        return _Request(method.upper(), path, headers, payload, query)
 
     @staticmethod
     def _route_label(path: str) -> str:
         parts = [p for p in path.split("/") if p]
-        if parts and parts[0] == "jobs" and len(parts) > 1:
-            parts[1] = "{id}"
-        if parts and parts[0] == "sessions" and len(parts) > 1:
+        if parts and parts[0] in ("jobs", "sessions", "watch") \
+                and len(parts) > 1:
             parts[1] = "{id}"
         return "/" + "/".join(parts)
 
@@ -300,6 +320,19 @@ class ReproService:
             return await self._submit(head, payload, tenant, reader)
         if head == "jobs":
             return await self._jobs_route(method, parts, payload, reader)
+        if head == "watch":
+            return await self._watch_route(method, parts, request,
+                                           reader, tenant)
+        if head == "events":
+            if method != "POST":
+                raise ServiceError(405, "method-not-allowed",
+                                   "/events requires POST")
+            watch_id = payload.get("watch")
+            if not isinstance(watch_id, str):
+                raise ServiceError(400, "bad-request",
+                                   "provide 'watch' (the watch id)")
+            return await self._ingest_events(
+                self.watchers.get(watch_id), payload)
         raise ServiceError(404, "no-such-endpoint",
                            f"unknown path {path!r} (see GET /)")
 
@@ -316,7 +349,10 @@ class ReproService:
                 "POST /verify", "POST /enumerate",
                 "POST /max-resiliency", "GET /jobs", "GET /jobs/{id}",
                 "GET /jobs/{id}/wait", "POST /jobs/{id}/cancel",
-                "GET /jobs/{id}/trace",
+                "GET /jobs/{id}/trace", "GET /watch", "POST /watch",
+                "GET /watch/{id}", "POST /watch/{id}/events",
+                "POST /events", "GET /watch/{id}/alarms",
+                "GET /watch/{id}/trace", "DELETE /watch/{id}",
             ],
         })
 
@@ -329,6 +365,8 @@ class ReproService:
             self.registry.gauge(f"service.sessions.{name}", value)
         for name, value in self.jobs.stats().items():
             self.registry.gauge(f"service.jobs.{name}", value)
+        for name, value in self.watchers.stats().items():
+            self.registry.gauge(f"service.watchers.{name}", value)
         self.registry.gauge("service.workers", self.bridge.workers)
         return _Response.json(200, {"type": "metrics",
                                     **self.registry.snapshot()})
@@ -532,6 +570,195 @@ class ReproService:
                            "jobs supports GET /jobs, GET /jobs/{id}, "
                            "GET /jobs/{id}/wait, POST /jobs/{id}/cancel"
                            ", GET /jobs/{id}/trace")
+
+    # -- watches: attach / ingest / alarms ------------------------------
+
+    async def _watch_route(self, method: str, parts: list,
+                           request: _Request,
+                           reader: asyncio.StreamReader,
+                           tenant: str) -> Optional[_Response]:
+        payload = request.payload
+        if len(parts) == 1:
+            if method == "GET":
+                return _Response.json(200, {
+                    "watchers": self.watchers.describe(),
+                    "stats": self.watchers.stats(),
+                })
+            if method == "POST":
+                return await self._open_watch(payload, tenant)
+            raise ServiceError(405, "method-not-allowed",
+                               "/watch supports GET and POST")
+        watch = self.watchers.get(parts[1])
+        action = parts[2] if len(parts) > 2 else None
+        if action is None:
+            if method == "GET":
+                return _Response.json(200, watch.describe())
+            if method == "DELETE":
+                closed = self.watchers.close(watch.watch_id)
+                self.registry.count("service.watchers.detached")
+                return _Response.json(200, {
+                    "closed": closed.watch_id,
+                    "info": closed.describe(),
+                })
+            raise ServiceError(405, "method-not-allowed",
+                               "/watch/{id} supports GET and DELETE")
+        if action == "events" and method == "POST":
+            return await self._ingest_events(watch, payload)
+        if action == "alarms" and method == "GET":
+            return await self._alarms_response(watch, request, reader)
+        if action == "trace" and method == "GET":
+            lines = "".join(json.dumps(record, default=str) + "\n"
+                            for record in watch.trace_records())
+            return _Response(200, lines.encode("utf-8"),
+                             content_type=_NDJSON)
+        raise ServiceError(404, "no-such-endpoint",
+                           "watch supports GET/POST /watch, "
+                           "GET/DELETE /watch/{id}, "
+                           "POST /watch/{id}/events, "
+                           "GET /watch/{id}/alarms, "
+                           "GET /watch/{id}/trace")
+
+    async def _open_watch(self, payload: Dict[str, Any],
+                          tenant: str) -> _Response:
+        session_id = payload.get("session")
+        if session_id is not None:
+            if not isinstance(session_id, str):
+                raise ServiceError(400, "bad-request",
+                                   "'session' must be a string id")
+            session = self.sessions.get(session_id)
+            config = session.config
+            backend = payload.get("backend") or session.backend
+            attached = session.session_id
+        else:
+            config_text = payload.get("config")
+            if not isinstance(config_text, str) \
+                    or not config_text.strip():
+                raise ServiceError(
+                    400, "bad-request",
+                    "provide 'config' (configuration text) or "
+                    "'session' (a warm session id)")
+            config = await self.bridge.run(self.sessions.parse,
+                                           config_text)
+            backend = payload.get("backend") or self.sessions.backend
+            attached = None
+        if backend not in BACKEND_NAMES:
+            raise ServiceError(
+                400, "bad-request",
+                f"unknown backend {backend!r}; expected one of "
+                f"{', '.join(BACKEND_NAMES)}")
+        floors = self._watch_floors(payload, config.spec)
+        policy = self.jobs.policy_for(tenant)
+        limits = policy.effective_limits(
+            limits_from_payload(payload.get("limits")))
+        engine_cache = payload.get("engine_cache", 4)
+        if not isinstance(engine_cache, int) \
+                or isinstance(engine_cache, bool) or engine_cache < 1:
+            raise ServiceError(400, "bad-request",
+                               "'engine_cache' must be a positive "
+                               "integer")
+        watch = await self.watchers.create(
+            config, floors, backend=backend,
+            card_encoding=self.sessions.card_encoding,
+            limits=limits, engine_cache=engine_cache,
+            tenant=tenant, session_id=attached)
+        self.registry.count("service.watchers.attached")
+        return _Response.json(200, {
+            "watch": watch.watch_id,
+            "info": watch.describe(),
+            "alarms": [alarm.to_json()
+                       for alarm in watch.watcher.alarms],
+        })
+
+    @staticmethod
+    def _watch_floors(payload: Dict[str, Any],
+                      default: Optional[ResiliencySpec]
+                      ) -> List[ResiliencySpec]:
+        floors_payload = payload.get("floors")
+        if floors_payload is None:
+            if default is not None:
+                return [default]
+            return [spec_from_payload({})]
+        if not isinstance(floors_payload, list) or not floors_payload:
+            raise ServiceError(400, "bad-watch",
+                               "'floors' must be a non-empty list of "
+                               "spec objects")
+        return [spec_from_payload(floor) for floor in floors_payload]
+
+    async def _ingest_events(self, watch: LiveWatch,
+                             payload: Dict[str, Any]) -> _Response:
+        raw = payload.get("events")
+        if not isinstance(raw, list) or not raw:
+            raise ServiceError(400, "bad-events",
+                               "'events' must be a non-empty list of "
+                               "event objects")
+        try:
+            events = [StreamEvent.from_json(record) for record in raw]
+        except (StreamError, ValueError, KeyError, TypeError,
+                AttributeError) as exc:
+            raise ServiceError(400, "bad-events",
+                               f"unparseable event: {exc}") from None
+        updates = await self.watchers.ingest(watch, events)
+        alarms = [alarm for update in updates
+                  for alarm in update.alarms]
+        return _Response.json(200, {
+            "watch": watch.watch_id,
+            "applied": len(updates),
+            "updates": [update.to_json() for update in updates],
+            "alarms": [alarm.to_json() for alarm in alarms],
+            "below_floor": [spec.describe()
+                            for spec in watch.watcher.below_floor],
+        })
+
+    async def _alarms_response(self, watch: LiveWatch,
+                               request: _Request,
+                               reader: asyncio.StreamReader
+                               ) -> Optional[_Response]:
+        """Alarms after ``since``; optionally long-poll for the next.
+
+        Parameters ride the query string (``?since=3&wait=true``) or
+        the JSON body — the body wins on conflicts.  A waiting client
+        that disconnects is detected on the read side, exactly like a
+        wait-mode job submission.
+        """
+        params: Dict[str, Any] = dict(request.query)
+        params.update(request.payload)
+        try:
+            since = int(params.get("since", 0))
+            timeout = float(params.get("timeout", 30.0))
+        except (TypeError, ValueError):
+            raise ServiceError(400, "bad-request",
+                               "'since' must be an integer and "
+                               "'timeout' a number") from None
+        wait = str(params.get("wait", "")).lower() \
+            in ("1", "true", "yes")
+        timeout = min(max(timeout, 0.0), 600.0)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        alarms = watch.alarms_since(since)
+        while wait and not alarms and not watch.closed:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            changed = asyncio.ensure_future(watch.changed.wait())
+            eof = asyncio.ensure_future(reader.read(1))
+            try:
+                await asyncio.wait({changed, eof}, timeout=remaining,
+                                   return_when=asyncio.FIRST_COMPLETED)
+                if eof.done() and not eof.result():
+                    return None  # client hung up; nothing to write
+            finally:
+                changed.cancel()
+                eof.cancel()
+            alarms = watch.alarms_since(since)
+        return _Response.json(200, {
+            "watch": watch.watch_id,
+            "since": since,
+            "alarms": [alarm.to_json() for alarm in alarms],
+            "total": len(watch.watcher.alarms),
+            "closed": watch.closed,
+            "below_floor": [spec.describe()
+                            for spec in watch.watcher.below_floor],
+        })
 
     async def _wait_response(self, job: Job,
                              reader: asyncio.StreamReader

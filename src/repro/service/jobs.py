@@ -41,6 +41,7 @@ registry that ``/metrics`` exports.
 from __future__ import annotations
 
 import asyncio
+import sys
 import time
 import traceback
 from collections import OrderedDict
@@ -100,11 +101,20 @@ class TenantPolicy:
 
 @dataclass
 class JobOutcome:
-    """What a job's worker-thread body hands back to the scheduler."""
+    """What a job's worker-thread body hands back to the scheduler.
+
+    A body that crashed still produces an outcome: ``error`` carries the
+    one-line description, ``error_tb`` the full traceback (operator
+    log only), and ``trace_records`` / ``metrics`` whatever telemetry
+    accumulated before the failure — a failed job's trace is evidence,
+    not garbage.
+    """
 
     payload: Dict[str, Any]
     trace_records: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    error_tb: Optional[str] = None
 
 
 @dataclass
@@ -137,6 +147,9 @@ class Job:
 
     def describe(self) -> Dict[str, Any]:
         now = time.monotonic()
+        # A finished job's age stops at the finish stamp — it should
+        # not keep growing while the record sits in history.
+        end = self.finished if self.finished is not None else now
         info: Dict[str, Any] = {
             "job": self.job_id,
             "kind": self.kind.value,
@@ -145,11 +158,12 @@ class Job:
             "tenant": self.tenant,
             "spec": self.spec_text,
             "coalesced": self.coalesced,
-            "age_s": round(now - self.submitted, 3),
+            "age_s": round(end - self.submitted, 3),
         }
         if self.started is not None:
-            end = self.finished if self.finished is not None else now
-            info["run_s"] = round(end - self.started, 3)
+            info["queued_s"] = round(self.started - self.submitted, 3)
+            run_end = self.finished if self.finished is not None else now
+            info["run_s"] = round(run_end - self.started, 3)
         if self.result is not None:
             info["result"] = self.result
         if self.error is not None:
@@ -172,16 +186,28 @@ def run_traced(meta: Mapping[str, Any],
     process-wide CLI tracer (if any) never sees job internals.  The
     returned records are a complete, schema-valid trace (meta first,
     metrics last) ready to serialize as JSONL.
+
+    A crash inside *fn* does not forfeit the telemetry: the tracer is
+    closed normally and the partial trace plus metrics ride back on an
+    outcome with ``error`` set, so the scheduler can mark the job
+    FAILED while keeping the evidence downloadable.
     """
     tracer = Tracer(meta=dict(meta))
+    error: Optional[str] = None
+    error_tb: Optional[str] = None
+    payload: Dict[str, Any] = {}
     try:
         with thread_activate(tracer):
             payload = fn()
+    except Exception as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        error_tb = traceback.format_exc()
     finally:
         tracer.close()
     return JobOutcome(payload=payload,
                       trace_records=list(tracer.records),
-                      metrics=tracer.registry.snapshot())
+                      metrics=tracer.registry.snapshot(),
+                      error=error, error_tb=error_tb)
 
 
 def verify_fn(session: Session, spec: Any, limits: Optional[Limits],
@@ -329,15 +355,22 @@ class JobManager:
 
         With a *key*, an unfinished job under the same key absorbs this
         submission — the caller gets the existing job and no new work
-        enters the system.  Otherwise admission checks the global and
-        per-tenant pending caps (429 on breach) and schedules the job.
+        enters the system.  A twin that is already doomed
+        (``cancel_requested``) never absorbs: the newcomer must not
+        inherit a cancelled verdict it never asked for.  Otherwise
+        admission checks the global and per-tenant pending caps (429 on
+        breach) and schedules the job.
         """
         if key is not None:
             twin = self._inflight.get(key)
-            if twin is not None and not twin.state.finished:
+            if (twin is not None and not twin.state.finished
+                    and not twin.cancel_requested):
                 twin.coalesced += 1
-                if cancel_on_disconnect:
-                    twin.cancel_on_disconnect = True
+                # Any poll-mode interest pins the job: a later waiter's
+                # disconnect must not cancel a solve whose result a
+                # poll-mode submitter still plans to fetch.
+                if not cancel_on_disconnect:
+                    twin.cancel_on_disconnect = False
                 self.registry.count("service.coalesce.hits")
                 return twin, True
         if self._pending() >= self.queue_limit:
@@ -398,17 +431,20 @@ class JobManager:
                     job.state = JobState.RUNNING
                     job.started = time.monotonic()
                     self.registry.count("service.solves")
+                    self.registry.observe(
+                        "service.queue_wait_ms",
+                        (job.started - job.submitted) * 1000.0)
                     try:
                         outcome = await job.runner()
                     except Exception as exc:
-                        job.error = (f"{type(exc).__name__}: {exc}")
-                        self.registry.count("service.jobs.failed")
-                        self._finish(job, JobState.FAILED)
-                        job.trace_records = []
-                        # Keep the traceback out of client payloads but
-                        # visible to the operator.
-                        traceback.print_exc()
-                        return
+                        # A runner that escapes run_traced's capture
+                        # (e.g. a stub in tests, or a bridge failure)
+                        # still yields an outcome so the FAILED path
+                        # below is the only FAILED path.
+                        outcome = JobOutcome(
+                            payload={},
+                            error=f"{type(exc).__name__}: {exc}",
+                            error_tb=traceback.format_exc())
                     finally:
                         # Re-arm the engine only after the solve has
                         # fully unwound; the session lock is still held,
@@ -417,7 +453,19 @@ class JobManager:
                         if job.interrupt_armed \
                                 and job.clear_interrupt is not None:
                             job.clear_interrupt()
+            # Telemetry is absorbed for every terminal state — a failed
+            # job keeps its (partial) trace and folds its metrics into
+            # the service registry just like a successful one.
             self._absorb(job, outcome)
+            if outcome.error is not None:
+                job.error = outcome.error
+                self.registry.count("service.jobs.failed")
+                self._finish(job, JobState.FAILED)
+                # Keep the traceback out of client payloads but
+                # visible to the operator.
+                if outcome.error_tb:
+                    print(outcome.error_tb, file=sys.stderr)
+                return
             if job.cancel_requested \
                     and outcome.payload.get("exit_code") == 3:
                 job.result = dict(outcome.payload)
@@ -456,6 +504,15 @@ class JobManager:
         if job.key is not None and self._inflight.get(job.key) is job:
             del self._inflight[job.key]
         self._tasks.pop(job.job_id, None)
+        # Drop the session's serialization lock once no unfinished job
+        # references it (an unfinished job is either holding it or
+        # queued to acquire it) — otherwise the dict grows one entry
+        # per session ever seen.
+        if job.session_id is not None and not any(
+                other.session_id == job.session_id
+                and not other.state.finished
+                for other in self._jobs.values()):
+            self._session_locks.pop(job.session_id, None)
         job.done.set()
         if self.on_finish is not None:
             try:

@@ -1,0 +1,281 @@
+"""Config deltas: what one event changes, and which properties care.
+
+The compiler is the semantic core of the streaming layer.  It keeps
+the *base* configuration immutable and represents the live system as a
+:class:`LiveState` overlay — which devices are down, which links are
+cut, which pairs run downgraded crypto, which IEDs are compromised.
+Each incoming event folds into the overlay (:meth:`DeltaCompiler.apply`)
+and yields a :class:`ConfigDelta` that records, besides the new state,
+the **affected-property set**: the only resiliency properties whose
+verdict the event can possibly change.  The watcher re-verifies exactly
+those cells and carries the rest forward — that soundness claim is
+what the replay-equivalence test checks.
+
+The rules, derived from what the encoder actually reads:
+
+- **Device failure / recovery** (including cascading outages) changes
+  the device set, the topology, and the measurement map — every
+  property is affected.
+- **Link cut / restore** changes the topology — every property is
+  affected.
+- **Crypto downgrade / restore** forces a pair's security profiles to
+  a broken-but-shared algorithm: the handshake still succeeds, so
+  *delivery* (assured paths) is untouched and only the secured
+  properties — secured observability and bad-data detectability — are
+  affected.  This mirrors a real downgrade attack: traffic flows, the
+  protections are gone.
+- **IED compromise / restore** drops the device's measurements from
+  the trusted measurement map (its data can no longer support state
+  estimation) while the device itself stays alive and reachable —
+  observability-family properties are affected, command deliverability
+  is not.
+
+:meth:`DeltaCompiler.materialize` turns an overlay into a full
+:class:`~repro.scada.config_io.CaseConfig` whose network is rebuilt
+from surviving parts.  Because
+:meth:`~repro.scada.network.ScadaNetwork.fingerprint` ignores names,
+a state the stream has visited before (e.g. after a recovery) hashes
+identically, and the watcher's warm engine for it is reused as-is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..core.specs import Property
+from ..scada.config_io import CaseConfig
+from ..scada.devices import CryptoProfile
+from ..scada.network import ScadaNetwork
+from ..scada.topology import Link
+from .events import EventKind, StreamError, StreamEvent
+
+__all__ = ["ConfigDelta", "DOWNGRADE_PROFILE", "DeltaCompiler",
+           "LiveState"]
+
+#: The profile a downgrade attack forces on a pair: DES is on the
+#: policy's broken list, so the pair still *pairs* (delivery works)
+#: but authentication and integrity protection are both void.
+DOWNGRADE_PROFILE = CryptoProfile("des", 56)
+
+_ALL_PROPERTIES: FrozenSet[Property] = frozenset(Property)
+_SECURITY_PROPERTIES: FrozenSet[Property] = frozenset(
+    p for p in Property if p.uses_security)
+_MEASUREMENT_PROPERTIES: FrozenSet[Property] = frozenset(
+    p for p in Property if p is not Property.COMMAND_DELIVERABILITY)
+
+
+@dataclass(frozen=True)
+class LiveState:
+    """The overlay of everything currently wrong with the system."""
+
+    failed: FrozenSet[int] = frozenset()
+    cut: FrozenSet[Tuple[int, int]] = frozenset()
+    downgraded: FrozenSet[Tuple[int, int]] = frozenset()
+    compromised: FrozenSet[int] = frozenset()
+
+    @property
+    def pristine(self) -> bool:
+        return not (self.failed or self.cut or self.downgraded
+                    or self.compromised)
+
+    def describe(self) -> str:
+        parts: List[str] = []
+        if self.failed:
+            parts.append("failed=" + ",".join(
+                str(d) for d in sorted(self.failed)))
+        if self.cut:
+            parts.append("cut=" + ",".join(
+                f"{a}-{b}" for a, b in sorted(self.cut)))
+        if self.downgraded:
+            parts.append("downgraded=" + ",".join(
+                f"{a}-{b}" for a, b in sorted(self.downgraded)))
+        if self.compromised:
+            parts.append("compromised=" + ",".join(
+                str(d) for d in sorted(self.compromised)))
+        return "; ".join(parts) if parts else "pristine"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "failed": sorted(self.failed),
+            "cut": [list(pair) for pair in sorted(self.cut)],
+            "downgraded": [list(pair) for pair in sorted(self.downgraded)],
+            "compromised": sorted(self.compromised),
+        }
+
+
+@dataclass(frozen=True)
+class ConfigDelta:
+    """One event's effect: the state transition and its blast radius.
+
+    ``changed`` is False for no-op events (failing an already-failed
+    device, restoring an uncut link); the watcher then re-verifies
+    nothing.  ``affected`` is empty exactly when ``changed`` is False.
+    """
+
+    event: StreamEvent
+    before: LiveState
+    after: LiveState
+    affected: FrozenSet[Property]
+    note: str = ""
+
+    @property
+    def changed(self) -> bool:
+        return self.before != self.after
+
+    def describe(self) -> str:
+        if not self.changed:
+            return f"{self.event.describe()} → no-op ({self.note})"
+        names = ", ".join(sorted(p.value for p in self.affected))
+        return f"{self.event.describe()} → affects {names}"
+
+
+class DeltaCompiler:
+    """Folds events into :class:`LiveState` and materializes configs."""
+
+    def __init__(self, base: CaseConfig) -> None:
+        self.base = base
+        network = base.network
+        self._device_ids = frozenset(network.devices)
+        self._field_ids = frozenset(network.field_device_ids)
+        self._ied_ids = frozenset(network.ied_ids)
+        self._link_pairs = frozenset(
+            link.node_pair for link in network.topology.links)
+
+    # -- event folding --------------------------------------------------
+
+    def apply(self, state: LiveState, event: StreamEvent) -> ConfigDelta:
+        """Validate *event* against the base network and fold it in."""
+        kind = event.kind
+        if kind in (EventKind.DEVICE_FAILURE, EventKind.DEVICE_RECOVERY):
+            return self._apply_device(state, event)
+        if kind in (EventKind.LINK_CUT, EventKind.LINK_RESTORE):
+            return self._apply_link(state, event)
+        if kind in (EventKind.CRYPTO_DOWNGRADE, EventKind.CRYPTO_RESTORE):
+            return self._apply_crypto(state, event)
+        return self._apply_compromise(state, event)
+
+    def _apply_device(self, state: LiveState,
+                      event: StreamEvent) -> ConfigDelta:
+        unknown = [d for d in event.devices if d not in self._field_ids]
+        if unknown:
+            raise StreamError(
+                f"event #{event.seq}: not a field device: {unknown} "
+                f"(only IEDs and RTUs fail; MTUs and routers are the "
+                f"control-center side)")
+        if event.kind is EventKind.DEVICE_FAILURE:
+            fresh = frozenset(event.devices) - state.failed
+            after = replace(state, failed=state.failed | fresh)
+            note = "" if fresh else "already failed"
+        else:
+            hit = frozenset(event.devices) & state.failed
+            after = replace(state, failed=state.failed - hit)
+            note = "" if hit else "not failed"
+        affected = _ALL_PROPERTIES if after != state else frozenset()
+        return ConfigDelta(event, state, after, affected, note)
+
+    def _apply_link(self, state: LiveState,
+                    event: StreamEvent) -> ConfigDelta:
+        pair = event.link
+        assert pair is not None
+        if pair not in self._link_pairs:
+            raise StreamError(f"event #{event.seq}: no link "
+                              f"{pair[0]}-{pair[1]} in the base network")
+        if event.kind is EventKind.LINK_CUT:
+            after = replace(state, cut=state.cut | {pair})
+            note = "" if pair not in state.cut else "already cut"
+        else:
+            after = replace(state, cut=state.cut - {pair})
+            note = "" if pair in state.cut else "not cut"
+        affected = _ALL_PROPERTIES if after != state else frozenset()
+        return ConfigDelta(event, state, after, affected, note)
+
+    def _apply_crypto(self, state: LiveState,
+                      event: StreamEvent) -> ConfigDelta:
+        pair = event.pair
+        assert pair is not None
+        for end in pair:
+            if end not in self._device_ids:
+                raise StreamError(f"event #{event.seq}: unknown device "
+                                  f"{end} in pair")
+        if event.kind is EventKind.CRYPTO_DOWNGRADE:
+            after = replace(state, downgraded=state.downgraded | {pair})
+            note = "" if pair not in state.downgraded \
+                else "already downgraded"
+        else:
+            after = replace(state, downgraded=state.downgraded - {pair})
+            note = "" if pair in state.downgraded else "not downgraded"
+        affected = _SECURITY_PROPERTIES if after != state else frozenset()
+        return ConfigDelta(event, state, after, affected, note)
+
+    def _apply_compromise(self, state: LiveState,
+                          event: StreamEvent) -> ConfigDelta:
+        unknown = [d for d in event.devices if d not in self._ied_ids]
+        if unknown:
+            raise StreamError(f"event #{event.seq}: not an IED: "
+                              f"{unknown} (only IEDs produce "
+                              f"measurements to compromise)")
+        if event.kind is EventKind.IED_COMPROMISE:
+            fresh = frozenset(event.devices) - state.compromised
+            after = replace(state, compromised=state.compromised | fresh)
+            note = "" if fresh else "already compromised"
+        else:
+            hit = frozenset(event.devices) & state.compromised
+            after = replace(state, compromised=state.compromised - hit)
+            note = "" if hit else "not compromised"
+        affected = _MEASUREMENT_PROPERTIES if after != state \
+            else frozenset()
+        return ConfigDelta(event, state, after, affected, note)
+
+    # -- materialization ------------------------------------------------
+
+    def materialize(self, state: LiveState) -> CaseConfig:
+        """The full configuration the overlay describes.
+
+        The base config is returned untouched for the pristine state;
+        otherwise the network is rebuilt from the surviving devices,
+        links, measurements, and security pairs.  The problem (the
+        Jacobian) is shared — events never change the grid itself.
+        """
+        if state.pristine:
+            return self.base
+        base_net = self.base.network
+        devices = [d for d in base_net.devices.values()
+                   if d.device_id not in state.failed]
+        links = [
+            Link(link.index, link.a, link.b, up=link.up,
+                 medium=link.medium)
+            for link in base_net.topology.links
+            if link.node_pair not in state.cut
+            and link.a not in state.failed
+            and link.b not in state.failed
+        ]
+        dark = state.failed | state.compromised
+        measurement_map = {
+            ied: list(msrs)
+            for ied, msrs in base_net.measurement_map.items()
+            if ied not in dark
+        }
+        pair_security: Dict[Tuple[int, int], Sequence[CryptoProfile]] = {
+            pair: profiles
+            for pair, profiles in base_net.pair_security.items()
+            if pair[0] not in state.failed
+            and pair[1] not in state.failed
+        }
+        for pair in state.downgraded:
+            if pair[0] in state.failed or pair[1] in state.failed:
+                continue
+            pair_security[pair] = (DOWNGRADE_PROFILE,)
+        network = ScadaNetwork(
+            devices=devices,
+            links=links,
+            measurement_map=measurement_map,
+            pair_security=pair_security,
+            policy=base_net.policy,
+            name=f"{base_net.name}@{state.describe()}",
+            max_paths=base_net.max_paths,
+            max_path_length=base_net.max_path_length,
+            main_mtu=base_net.mtu_id,
+        )
+        return CaseConfig(network=network, problem=self.base.problem,
+                          spec=self.base.spec)

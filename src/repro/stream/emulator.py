@@ -1,0 +1,228 @@
+"""A seeded emulator producing plausible live-event sequences.
+
+The emulator mirrors the :class:`~repro.stream.delta.LiveState` it has
+caused so far, so every emitted event is *valid* (it never fails an
+already-failed device or restores an uncut link) and every sequence it
+produces replays cleanly through a watcher.  Inter-arrival times are
+exponential around ``mean_interval``; with pending disturbances a
+``recovery_bias`` coin flips toward emitting the matching recovery
+event, so long runs hover around a steady disturbance level instead of
+monotonically tearing the network down.
+
+Scenario families (see :data:`~repro.stream.events.SCENARIOS`):
+
+``device-outage``
+    One field device (IED or RTU) fails; recovers later.
+``link-cut``
+    One communication link is cut (endpoints must be alive).
+``crypto-downgrade``
+    One currently-secured pair is forced onto broken crypto.
+``ied-compromise``
+    One IED's measurements become untrusted.
+``cascading-outage``
+    An RTU fails together with every IED hanging off it — the
+    multi-device failure event the paper's hierarchy makes dangerous.
+
+Determinism: two emulators built with the same network, seed, and
+knobs emit identical sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..scada.network import ScadaNetwork
+from .events import SCENARIOS, EventKind, StreamError, StreamEvent
+
+__all__ = ["ScenarioEmulator"]
+
+#: Recovery kind for each disturbance category.
+_RECOVERY: Dict[str, EventKind] = {
+    "failed": EventKind.DEVICE_RECOVERY,
+    "cut": EventKind.LINK_RESTORE,
+    "downgraded": EventKind.CRYPTO_RESTORE,
+    "compromised": EventKind.IED_RESTORE,
+}
+
+
+class ScenarioEmulator:
+    """Emit timestamped attack/failure events against one network."""
+
+    def __init__(self, network: ScadaNetwork, seed: int = 0,
+                 scenarios: Optional[Sequence[str]] = None,
+                 mean_interval: float = 1.0,
+                 recovery_bias: float = 0.4,
+                 max_failed_fraction: float = 0.4) -> None:
+        chosen = tuple(scenarios) if scenarios else SCENARIOS
+        unknown = [s for s in chosen if s not in SCENARIOS]
+        if unknown:
+            raise StreamError(f"unknown scenario(s) {unknown}; "
+                              f"choose from {list(SCENARIOS)}")
+        if mean_interval <= 0:
+            raise StreamError("mean_interval must be positive")
+        if not 0.0 <= recovery_bias < 1.0:
+            raise StreamError("recovery_bias must be in [0, 1)")
+        self.network = network
+        self.scenarios = chosen
+        self.mean_interval = mean_interval
+        self.recovery_bias = recovery_bias
+        self._rng = random.Random(seed)
+        self._field = sorted(network.field_device_ids)
+        self._ieds = set(network.ied_ids)
+        self._rtus = sorted(network.rtu_ids)
+        self._links = sorted({link.node_pair
+                              for link in network.topology.links})
+        self._adjacent_ieds: Dict[int, List[int]] = {
+            rtu: [] for rtu in self._rtus}
+        for a, b in self._links:
+            if a in self._adjacent_ieds and b in self._ieds:
+                self._adjacent_ieds[a].append(b)
+            if b in self._adjacent_ieds and a in self._ieds:
+                self._adjacent_ieds[b].append(a)
+        #: Pairs worth downgrading: linked pairs (router-free) that are
+        #: currently secured, plus any explicit security-table pairs.
+        secured = [
+            pair for pair in self._links
+            if not network.devices[pair[0]].is_router
+            and not network.devices[pair[1]].is_router
+            and network.hop_secured(*pair)
+        ]
+        seen = set(secured)
+        for pair in sorted(network.pair_security):
+            if (pair not in seen and pair[0] in network.devices
+                    and pair[1] in network.devices
+                    and network.hop_secured(*pair)):
+                secured.append(pair)
+                seen.add(pair)
+        self._pairs = secured
+        #: Cap on concurrently failed devices, so long runs never
+        #: grind the whole plant down to nothing.
+        self._max_failed = max(1, int(len(self._field)
+                                      * max_failed_fraction))
+        # The mirror of the LiveState this emulator has caused.
+        self._failed: Set[int] = set()
+        self._cut: Set[Tuple[int, int]] = set()
+        self._downgraded: Set[Tuple[int, int]] = set()
+        self._compromised: Set[int] = set()
+        self._clock = 0.0
+        self._seq = 0
+
+    # -- generation -----------------------------------------------------
+
+    def events(self, count: int) -> List[StreamEvent]:
+        """The next *count* events (advances the emulator)."""
+        return [self.next_event() for _ in range(count)]
+
+    def next_event(self) -> StreamEvent:
+        self._clock += self._rng.expovariate(1.0 / self.mean_interval)
+        self._seq += 1
+        pending = [name for name, pool in self._pending().items() if pool]
+        if pending and self._rng.random() < self.recovery_bias:
+            return self._recover(self._rng.choice(pending))
+        # Try scenarios in a seeded random order; fall back to a
+        # recovery when nothing new is possible (everything already
+        # failed/cut/downgraded/compromised).
+        order = list(self.scenarios)
+        self._rng.shuffle(order)
+        for scenario in order:
+            event = self._attempt(scenario)
+            if event is not None:
+                return event
+        if pending:
+            return self._recover(self._rng.choice(pending))
+        raise StreamError("emulator is stuck: no scenario applies and "
+                          "nothing is pending recovery")
+
+    # -- internals ------------------------------------------------------
+
+    def _pending(self) -> Dict[str, List[object]]:
+        return {
+            "failed": sorted(self._failed),
+            "cut": sorted(self._cut),
+            "downgraded": sorted(self._downgraded),
+            "compromised": sorted(self._compromised),
+        }
+
+    def _event(self, kind: EventKind, scenario: str,
+               devices: Tuple[int, ...] = (),
+               link: Optional[Tuple[int, int]] = None,
+               pair: Optional[Tuple[int, int]] = None) -> StreamEvent:
+        return StreamEvent(seq=self._seq, time=self._clock, kind=kind,
+                           devices=devices, link=link, pair=pair,
+                           scenario=scenario)
+
+    def _recover(self, category: str) -> StreamEvent:
+        kind = _RECOVERY[category]
+        if category == "failed":
+            device = self._rng.choice(sorted(self._failed))
+            self._failed.discard(device)
+            return self._event(kind, "recovery", devices=(device,))
+        if category == "cut":
+            pair = self._rng.choice(sorted(self._cut))
+            self._cut.discard(pair)
+            return self._event(kind, "recovery", link=pair)
+        if category == "downgraded":
+            pair = self._rng.choice(sorted(self._downgraded))
+            self._downgraded.discard(pair)
+            return self._event(kind, "recovery", pair=pair)
+        device = self._rng.choice(sorted(self._compromised))
+        self._compromised.discard(device)
+        return self._event(kind, "recovery", devices=(device,))
+
+    def _attempt(self, scenario: str) -> Optional[StreamEvent]:
+        if scenario == "device-outage":
+            room = self._max_failed - len(self._failed)
+            pool = [d for d in self._field if d not in self._failed]
+            if room < 1 or not pool:
+                return None
+            device = self._rng.choice(pool)
+            self._failed.add(device)
+            return self._event(EventKind.DEVICE_FAILURE, scenario,
+                               devices=(device,))
+        if scenario == "link-cut":
+            pool = [pair for pair in self._links
+                    if pair not in self._cut
+                    and pair[0] not in self._failed
+                    and pair[1] not in self._failed]
+            if not pool or len(self._cut) >= max(1, len(self._links) // 2):
+                return None
+            pair = self._rng.choice(pool)
+            self._cut.add(pair)
+            return self._event(EventKind.LINK_CUT, scenario, link=pair)
+        if scenario == "crypto-downgrade":
+            pool = [pair for pair in self._pairs
+                    if pair not in self._downgraded
+                    and pair[0] not in self._failed
+                    and pair[1] not in self._failed]
+            if not pool:
+                return None
+            pair = self._rng.choice(pool)
+            self._downgraded.add(pair)
+            return self._event(EventKind.CRYPTO_DOWNGRADE, scenario,
+                               pair=pair)
+        if scenario == "ied-compromise":
+            pool = [d for d in sorted(self._ieds)
+                    if d not in self._compromised
+                    and d not in self._failed]
+            if not pool:
+                return None
+            device = self._rng.choice(pool)
+            self._compromised.add(device)
+            return self._event(EventKind.IED_COMPROMISE, scenario,
+                               devices=(device,))
+        # cascading-outage: an RTU takes its attached IEDs down with it.
+        pool = [rtu for rtu in self._rtus if rtu not in self._failed]
+        if not pool:
+            return None
+        room = self._max_failed - len(self._failed)
+        if room < 2:
+            return None
+        rtu = self._rng.choice(pool)
+        cascade = [rtu] + [
+            ied for ied in self._adjacent_ieds.get(rtu, ())
+            if ied not in self._failed
+        ][:max(0, room - 1)]
+        self._failed.update(cascade)
+        return self._event(EventKind.DEVICE_FAILURE, scenario,
+                           devices=tuple(cascade))

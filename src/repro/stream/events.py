@@ -1,0 +1,193 @@
+"""The streaming event model: what can happen to a live SCADA system.
+
+A :class:`StreamEvent` is one timestamped occurrence drawn from the
+paper's attack/failure scenarios — device failure and recovery, link
+cuts, crypto downgrades, IED compromise, and cascading outages (a
+multi-device :data:`EventKind.DEVICE_FAILURE`).  Events are plain
+data: the :mod:`~repro.stream.delta` layer decides what each one means
+for the network under verification, and the
+:mod:`~repro.stream.emulator` generates plausible sequences of them.
+
+Serialization is one JSON object per line (JSONL), schema
+``stream/1``::
+
+    {"v": 1, "seq": 3, "t": 2.84, "kind": "device-failure",
+     "devices": [17], "scenario": "device-outage"}
+
+``link`` and ``pair`` are two-element arrays when present.  Unknown
+fields are ignored on read, so the format can grow.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EventKind",
+    "SCENARIOS",
+    "StreamError",
+    "StreamEvent",
+    "read_events",
+    "write_events",
+]
+
+EVENT_SCHEMA_VERSION = 1
+
+#: The five scenario families the emulator draws from.
+SCENARIOS: Tuple[str, ...] = (
+    "device-outage",
+    "link-cut",
+    "crypto-downgrade",
+    "ied-compromise",
+    "cascading-outage",
+)
+
+
+class StreamError(ValueError):
+    """Raised on malformed events or events that do not fit the network."""
+
+
+class EventKind(enum.Enum):
+    """What happened.  Every kind has a recovery counterpart."""
+
+    DEVICE_FAILURE = "device-failure"
+    DEVICE_RECOVERY = "device-recovery"
+    LINK_CUT = "link-cut"
+    LINK_RESTORE = "link-restore"
+    CRYPTO_DOWNGRADE = "crypto-downgrade"
+    CRYPTO_RESTORE = "crypto-restore"
+    IED_COMPROMISE = "ied-compromise"
+    IED_RESTORE = "ied-restore"
+
+
+#: Which payload field each kind requires.
+_DEVICE_KINDS = (EventKind.DEVICE_FAILURE, EventKind.DEVICE_RECOVERY,
+                 EventKind.IED_COMPROMISE, EventKind.IED_RESTORE)
+_LINK_KINDS = (EventKind.LINK_CUT, EventKind.LINK_RESTORE)
+_PAIR_KINDS = (EventKind.CRYPTO_DOWNGRADE, EventKind.CRYPTO_RESTORE)
+
+
+def _sorted_pair(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One timestamped occurrence on the live system.
+
+    ``devices`` carries the affected device ids for device-flavoured
+    kinds (a cascading outage is a multi-device failure); ``link`` and
+    ``pair`` are sorted ``(a, b)`` node pairs for link and crypto
+    kinds.  ``scenario`` names the generating scenario family (one of
+    :data:`SCENARIOS`) for reporting; the semantics come entirely from
+    ``kind`` and the payload.
+    """
+
+    seq: int
+    time: float
+    kind: EventKind
+    devices: Tuple[int, ...] = ()
+    link: Optional[Tuple[int, int]] = None
+    pair: Optional[Tuple[int, int]] = None
+    scenario: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind in _DEVICE_KINDS and not self.devices:
+            raise StreamError(
+                f"{self.kind.value} event needs at least one device")
+        if self.kind in _LINK_KINDS and self.link is None:
+            raise StreamError(f"{self.kind.value} event needs a link")
+        if self.kind in _PAIR_KINDS and self.pair is None:
+            raise StreamError(f"{self.kind.value} event needs a pair")
+        if self.link is not None:
+            object.__setattr__(self, "link", _sorted_pair(*self.link))
+        if self.pair is not None:
+            object.__setattr__(self, "pair", _sorted_pair(*self.pair))
+        object.__setattr__(self, "devices", tuple(self.devices))
+
+    def describe(self) -> str:
+        subject = ""
+        if self.devices:
+            subject = "device " + ", ".join(str(d) for d in self.devices)
+        elif self.link is not None:
+            subject = f"link {self.link[0]}-{self.link[1]}"
+        elif self.pair is not None:
+            subject = f"pair {self.pair[0]}-{self.pair[1]}"
+        tail = f" [{self.scenario}]" if self.scenario else ""
+        return (f"#{self.seq} t={self.time:.2f}s "
+                f"{self.kind.value} {subject}{tail}")
+
+    def to_json(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "v": EVENT_SCHEMA_VERSION,
+            "seq": self.seq,
+            "t": round(self.time, 6),
+            "kind": self.kind.value,
+        }
+        if self.devices:
+            record["devices"] = list(self.devices)
+        if self.link is not None:
+            record["link"] = list(self.link)
+        if self.pair is not None:
+            record["pair"] = list(self.pair)
+        if self.scenario:
+            record["scenario"] = self.scenario
+        return record
+
+    @classmethod
+    def from_json(cls, record: Dict[str, Any]) -> "StreamEvent":
+        version = record.get("v", EVENT_SCHEMA_VERSION)
+        if not isinstance(version, int) or version > EVENT_SCHEMA_VERSION:
+            raise StreamError(f"unsupported event schema version "
+                              f"{version!r} (supported: "
+                              f"{EVENT_SCHEMA_VERSION})")
+        try:
+            kind = EventKind(str(record["kind"]))
+        except (KeyError, ValueError) as exc:
+            raise StreamError(
+                f"bad event kind in {record!r}") from exc
+        try:
+            link = record.get("link")
+            pair = record.get("pair")
+            return cls(
+                seq=int(record.get("seq", 0)),
+                time=float(record.get("t", 0.0)),
+                kind=kind,
+                devices=tuple(int(d) for d in record.get("devices", ())),
+                link=(int(link[0]), int(link[1])) if link else None,
+                pair=(int(pair[0]), int(pair[1])) if pair else None,
+                scenario=str(record.get("scenario", "")),
+            )
+        except (TypeError, ValueError, IndexError) as exc:
+            raise StreamError(f"malformed event {record!r}: {exc}") from exc
+
+
+def write_events(events: Iterable[StreamEvent], handle: IO[str]) -> int:
+    """Serialize *events* as JSONL; returns the number written."""
+    written = 0
+    for ev in events:
+        handle.write(json.dumps(ev.to_json(), sort_keys=True) + "\n")
+        written += 1
+    return written
+
+
+def read_events(handle: IO[str]) -> List[StreamEvent]:
+    """Parse a JSONL event stream (blank lines ignored)."""
+    events: List[StreamEvent] = []
+    for lineno, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise StreamError(f"line {lineno}: malformed JSON "
+                              f"({exc.msg})") from exc
+        if not isinstance(record, dict):
+            raise StreamError(f"line {lineno}: not a JSON object")
+        events.append(StreamEvent.from_json(record))
+    return events

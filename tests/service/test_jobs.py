@@ -192,6 +192,173 @@ def test_failed_runner_marks_job_failed():
         assert job.state is JobState.FAILED
         assert "solver exploded" in (job.error or "")
         assert registry.counters["service.jobs.failed"] == 1
+        # Even a crash before any telemetry still lands a solve-time
+        # observation (the failed attempt occupied the pool).
+        assert registry.histograms["service.solve_ms"].count == 1
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_failed_job_keeps_trace_and_metrics():
+    """Regression: the FAILED path used to zero ``trace_records`` and
+    skip ``_absorb``, losing the partial trace and solver metrics."""
+    from repro.obs import count, event
+    from repro.obs.schema import validate_trace
+    from repro.service.jobs import run_traced
+
+    async def scenario():
+        manager, registry, bridge = make_manager()
+        mirrored = []
+        manager.on_finish = lambda job: mirrored.append(
+            (job.job_id, list(job.trace_records)))
+
+        def body():
+            event("encode.start", phase="test")
+            count("stub.work", 3)
+            raise RuntimeError("mid-solve crash")
+
+        job, _ = manager.submit(
+            JobKind.VERIFY,
+            lambda: bridge.run(run_traced, {"kind": "verify"}, body))
+        await asyncio.wait_for(job.done.wait(), 5)
+        assert job.state is JobState.FAILED
+        assert "mid-solve crash" in (job.error or "")
+        # The partial trace survives, is schema-valid (meta first,
+        # metrics last), and is what the trace endpoint would serve.
+        assert job.trace_records
+        assert validate_trace(job.trace_records) == []
+        names = [r.get("name") for r in job.trace_records
+                 if r.get("type") == "event"]
+        assert "encode.start" in names
+        # The body's metrics folded into the service registry.
+        assert registry.counters.get("stub.work") == 3
+        assert registry.histograms["service.solve_ms"].count == 1
+        # The on_finish mirror saw the populated trace, not [].
+        assert mirrored and mirrored[0][1] == job.trace_records
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_fresh_submission_never_coalesces_onto_doomed_leader():
+    """Regression: a twin with ``cancel_requested`` used to absorb new
+    submissions, handing them a cancelled verdict they never asked
+    for."""
+    async def scenario():
+        manager, _registry, bridge = make_manager()
+        gate = asyncio.Event()
+        leader, _ = manager.submit(JobKind.VERIFY, gated(gate),
+                                   key=("s", "k"))
+        await asyncio.sleep(0.05)
+        manager.cancel(leader.job_id, reason="test")
+        fresh, coalesced = manager.submit(
+            JobKind.VERIFY, gated(gate), key=("s", "k"))
+        assert fresh is not leader and not coalesced
+        gate.set()
+        await asyncio.wait_for(fresh.done.wait(), 5)
+        assert fresh.state is JobState.DONE
+        await manager.drain()
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_poll_follower_pins_wait_mode_leader():
+    """Regression: coalescing used to only ever *set*
+    ``cancel_on_disconnect``; a poll-mode follower now pins the job so
+    the wait-mode leader's disconnect cannot cancel a solve whose
+    result the follower still plans to fetch."""
+    async def scenario():
+        manager, _registry, bridge = make_manager()
+        gate = asyncio.Event()
+        leader, _ = manager.submit(JobKind.VERIFY, gated(gate),
+                                   key=("s", "k"),
+                                   cancel_on_disconnect=True)
+        follower, coalesced = manager.submit(
+            JobKind.VERIFY, gated(gate), key=("s", "k"),
+            cancel_on_disconnect=False)
+        assert coalesced and follower is leader
+        assert not leader.cancel_on_disconnect
+        manager.watcher_gone(leader)
+        assert not leader.cancel_requested
+        # And the converse: a wait-mode follower must not make a
+        # poll-mode leader disconnect-cancellable.
+        poll, _ = manager.submit(JobKind.VERIFY, gated(gate),
+                                 key=("s", "k2"),
+                                 cancel_on_disconnect=False)
+        manager.submit(JobKind.VERIFY, gated(gate), key=("s", "k2"),
+                       cancel_on_disconnect=True)
+        assert not poll.cancel_on_disconnect
+        manager.watcher_gone(poll)
+        assert not poll.cancel_requested
+        gate.set()
+        await manager.drain()
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_cancel_and_watcher_gone_after_finish_are_noops():
+    async def scenario():
+        manager, registry, bridge = make_manager()
+        job, _ = manager.submit(JobKind.VERIFY, instant(),
+                                cancel_on_disconnect=True)
+        await asyncio.wait_for(job.done.wait(), 5)
+        assert job.state is JobState.DONE
+        same = manager.cancel(job.job_id, reason="too late")
+        assert same.state is JobState.DONE
+        assert not job.cancel_requested
+        manager.watcher_gone(job)
+        assert not job.cancel_requested
+        assert "service.jobs.cancel_requests" not in registry.counters
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_queue_wait_accounting():
+    async def scenario():
+        # One slot: the second job measurably queues behind the first.
+        bridge = ExecutorBridge(jobs=1)
+        manager = JobManager(bridge, MetricsRegistry())
+        manager._slots = asyncio.Semaphore(1)
+        registry = manager.registry
+        gate = asyncio.Event()
+        blocker, _ = manager.submit(JobKind.VERIFY, gated(gate))
+        queued, _ = manager.submit(JobKind.VERIFY, instant())
+        await asyncio.sleep(0.05)
+        gate.set()
+        await asyncio.wait_for(queued.done.wait(), 5)
+        hist = registry.histograms["service.queue_wait_ms"]
+        assert hist.count == 2
+        # The queued job waited at least as long as the sleep above.
+        assert hist.high is not None and hist.high >= 40.0
+        info = queued.describe()
+        assert info["queued_s"] >= 0.04
+        # age_s of a finished job is frozen at the finish stamp.
+        await asyncio.sleep(0.05)
+        assert queued.describe()["age_s"] == info["age_s"]
+        await asyncio.wait_for(blocker.done.wait(), 5)
+        bridge.shutdown(wait=False)
+
+    run(scenario())
+
+
+def test_session_locks_are_released_after_last_job():
+    async def scenario():
+        manager, _registry, bridge = make_manager()
+        gate = asyncio.Event()
+        first, _ = manager.submit(JobKind.VERIFY, gated(gate),
+                                  session_id="sess-a")
+        second, _ = manager.submit(JobKind.VERIFY, gated(gate),
+                                   session_id="sess-a")
+        await asyncio.sleep(0.05)
+        assert "sess-a" in manager._session_locks
+        gate.set()
+        await asyncio.wait_for(first.done.wait(), 5)
+        await asyncio.wait_for(second.done.wait(), 5)
+        assert "sess-a" not in manager._session_locks
         bridge.shutdown(wait=False)
 
     run(scenario())

@@ -1,0 +1,167 @@
+"""End-to-end tests for the service's live-watch endpoints."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cases import fig3_network
+from repro.obs.schema import validate_trace
+from repro.service import ServiceClientError
+from repro.stream import ScenarioEmulator
+
+FLOORS = [
+    {"property": "observability", "k": 1},
+    {"property": "secured-observability", "k": 1},
+    {"property": "bad-data-detectability", "r": 1, "k": 1},
+]
+
+
+def _events(count, seed=3, start_seq=1):
+    emulator = ScenarioEmulator(fig3_network(), seed=seed)
+    records = [event.to_json() for event in emulator.events(count)]
+    for offset, record in enumerate(records):
+        record["seq"] = start_seq + offset
+    return records
+
+
+def test_watch_lifecycle(service, fig3_text):
+    client = service.client
+    opened = client.open_watch(config=fig3_text, floors=FLOORS)
+    watch_id = opened["watch"]
+    assert opened["info"]["floors"]
+    assert opened["info"]["verdicts"]
+
+    listed = client.watchers()
+    assert any(w["watch"] == watch_id for w in listed["watchers"])
+
+    result = client.send_events(watch_id, _events(6))
+    assert result["applied"] == 6
+    assert len(result["updates"]) == 6
+    for update in result["updates"]:
+        assert "latency_ms" in update
+
+    status = client.watch_status(watch_id)
+    assert status["ingests"] == 1
+    assert status["events"] == 6
+
+    alarms = client.alarms(watch_id)
+    assert alarms["since"] == 0
+    assert alarms["total"] == len(alarms["alarms"])
+
+    closed = client.close_watch(watch_id)
+    assert closed["closed"]
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.watch_status(watch_id)
+    assert excinfo.value.code == "no-such-watch"
+
+
+def test_watch_trace_is_schema_valid(service, fig3_text):
+    client = service.client
+    watch_id = client.open_watch(
+        config=fig3_text, floors=FLOORS)["watch"]
+    client.send_events(watch_id, _events(4))
+    records = [json.loads(line) for line in
+               client.watch_trace(watch_id).splitlines() if line]
+    assert records, "trace is empty"
+    assert validate_trace(records) == []
+    assert records[0]["type"] == "meta"
+    assert records[-1]["type"] == "metrics"
+
+
+def test_watch_over_session(service, fig3_text):
+    client = service.client
+    session_id = client.open_session(fig3_text)["session"]
+    watch_id = client.open_watch(
+        session=session_id, floors=FLOORS)["watch"]
+    assert client.watch_status(watch_id)["session"] == session_id
+    client.send_events(watch_id, _events(2))
+
+
+def test_watch_error_paths(service, fig3_text):
+    client = service.client
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.open_watch(config="not a config", floors=FLOORS)
+    assert excinfo.value.status == 400
+
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.open_watch(config=fig3_text,
+                          floors=[{"property": "haunted"}])
+    assert excinfo.value.code == "bad-spec"
+
+    watch_id = client.open_watch(
+        config=fig3_text, floors=FLOORS)["watch"]
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.send_events(watch_id, [{"kind": "meteor-strike"}])
+    assert excinfo.value.code == "bad-events"
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.send_events(watch_id, [])
+    assert excinfo.value.status == 400
+    # A semantically-invalid event (unknown device) is a 422.
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.send_events(watch_id, [
+            {"seq": 1, "time": 0.0, "kind": "device-failure",
+             "devices": [424242]}])
+    assert excinfo.value.status == 422
+
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.send_events("w999999", _events(1))
+    assert excinfo.value.code == "no-such-watch"
+
+
+def test_watch_pool_is_bounded(running, fig3_text):
+    box = running(max_watchers=1)
+    client = box.client
+    client.open_watch(config=fig3_text, floors=FLOORS)
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.open_watch(config=fig3_text, floors=FLOORS)
+    assert excinfo.value.status == 429
+    assert excinfo.value.code == "too-many-watchers"
+
+
+def test_closed_watch_rejects_events(service, fig3_text):
+    client = service.client
+    watch_id = client.open_watch(
+        config=fig3_text, floors=FLOORS)["watch"]
+    client.close_watch(watch_id)
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.send_events(watch_id, _events(1))
+    assert excinfo.value.code == "no-such-watch"
+
+
+def test_long_poll_wakes_on_new_alarms(service, fig3_text):
+    client = service.client
+    opened = client.open_watch(config=fig3_text,
+                               floors=[{"property": "observability",
+                                        "k": 0}])
+    watch_id = opened["watch"]
+    floor = len(opened["alarms"])
+    results = {}
+
+    def poll():
+        results["alarms"] = client.alarms(
+            watch_id, since=floor, wait=True, timeout=30)
+
+    waiter = threading.Thread(target=poll, daemon=True)
+    waiter.start()
+    time.sleep(0.2)
+    assert waiter.is_alive(), "poll returned before any event arrived"
+    # Failing every IED removes all measurements, which certainly
+    # breaks 0-resilient observability and raises an alarm.
+    ieds = sorted(fig3_network().ied_ids)
+    client.send_events(watch_id, [
+        {"seq": 1, "time": 0.0, "kind": "device-failure",
+         "devices": ieds}])
+    waiter.join(timeout=30)
+    assert not waiter.is_alive(), "long poll never woke"
+    assert results["alarms"]["alarms"], "woke without new alarms"
+
+
+def test_metrics_expose_watcher_gauges(service, fig3_text):
+    client = service.client
+    client.open_watch(config=fig3_text, floors=FLOORS)
+    gauges = client.metrics()["gauges"]
+    assert gauges.get("service.watchers.open") == 1

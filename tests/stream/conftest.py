@@ -1,0 +1,23 @@
+"""Shared fixtures for the streaming layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ObservabilityProblem
+from repro.grid import case_by_buses
+from repro.scada import GeneratorConfig, generate_scada
+from repro.scada.config_io import CaseConfig
+
+
+@pytest.fixture(scope="session")
+def ieee14() -> CaseConfig:
+    """The IEEE 14-bus synthetic system the stream tests share."""
+    synthetic = generate_scada(
+        case_by_buses(14),
+        GeneratorConfig(measurement_fraction=0.7, secure_fraction=1.0,
+                        dual_home_fraction=0.3, hierarchy_level=1,
+                        seed=5))
+    problem = ObservabilityProblem.from_table(synthetic.table)
+    return CaseConfig(network=synthetic.network, problem=problem,
+                      spec=None)

@@ -1,0 +1,135 @@
+"""Delta compiler: overlay folding, affected sets, materialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.specs import Property
+from repro.stream import (
+    DOWNGRADE_PROFILE,
+    DeltaCompiler,
+    EventKind,
+    LiveState,
+    StreamError,
+    StreamEvent,
+)
+
+
+def _event(kind, seq=1, **payload):
+    return StreamEvent(seq=seq, time=float(seq), kind=kind, **payload)
+
+
+def test_device_failure_affects_everything(ieee14):
+    compiler = DeltaCompiler(ieee14)
+    ied = sorted(ieee14.network.ied_ids)[0]
+    delta = compiler.apply(LiveState(), _event(
+        EventKind.DEVICE_FAILURE, devices=(ied,)))
+    assert delta.changed
+    assert delta.affected == frozenset(Property)
+    assert delta.after.failed == {ied}
+
+
+def test_crypto_downgrade_affects_only_security_properties(ieee14):
+    compiler = DeltaCompiler(ieee14)
+    link = sorted(link.node_pair
+                  for link in ieee14.network.topology.links)[0]
+    delta = compiler.apply(LiveState(), _event(
+        EventKind.CRYPTO_DOWNGRADE, pair=link))
+    assert delta.affected == frozenset(
+        p for p in Property if p.uses_security)
+    assert Property.OBSERVABILITY not in delta.affected
+
+
+def test_compromise_spares_command_deliverability(ieee14):
+    compiler = DeltaCompiler(ieee14)
+    ied = sorted(ieee14.network.ied_ids)[0]
+    delta = compiler.apply(LiveState(), _event(
+        EventKind.IED_COMPROMISE, devices=(ied,)))
+    assert Property.COMMAND_DELIVERABILITY not in delta.affected
+    assert Property.OBSERVABILITY in delta.affected
+
+
+def test_redundant_events_are_noops_with_empty_affected(ieee14):
+    compiler = DeltaCompiler(ieee14)
+    ied = sorted(ieee14.network.ied_ids)[0]
+    state = compiler.apply(LiveState(), _event(
+        EventKind.DEVICE_FAILURE, devices=(ied,))).after
+    again = compiler.apply(state, _event(
+        EventKind.DEVICE_FAILURE, seq=2, devices=(ied,)))
+    assert not again.changed
+    assert again.affected == frozenset()
+    assert "already failed" in again.note
+    not_cut = compiler.apply(state, _event(
+        EventKind.LINK_RESTORE, seq=3,
+        link=sorted(link.node_pair
+                    for link in ieee14.network.topology.links)[0]))
+    assert not not_cut.changed
+
+
+def test_invalid_subjects_are_rejected(ieee14):
+    compiler = DeltaCompiler(ieee14)
+    mtu = ieee14.network.mtu_id
+    with pytest.raises(StreamError, match="field device"):
+        compiler.apply(LiveState(), _event(
+            EventKind.DEVICE_FAILURE, devices=(mtu,)))
+    with pytest.raises(StreamError, match="no link"):
+        compiler.apply(LiveState(), _event(
+            EventKind.LINK_CUT, link=(99998, 99999)))
+    rtu = sorted(ieee14.network.rtu_ids)[0]
+    with pytest.raises(StreamError, match="not an IED"):
+        compiler.apply(LiveState(), _event(
+            EventKind.IED_COMPROMISE, devices=(rtu,)))
+
+
+def test_materialize_pristine_returns_base(ieee14):
+    compiler = DeltaCompiler(ieee14)
+    assert compiler.materialize(LiveState()) is ieee14
+
+
+def test_materialize_removes_failed_device_and_its_links(ieee14):
+    compiler = DeltaCompiler(ieee14)
+    ied = sorted(ieee14.network.ied_ids)[0]
+    state = LiveState(failed=frozenset({ied}))
+    config = compiler.materialize(state)
+    assert ied not in config.network.devices
+    assert all(ied not in link.node_pair
+               for link in config.network.topology.links)
+    assert ied not in config.network.measurement_map
+    assert config.problem is ieee14.problem
+
+
+def test_materialize_compromise_keeps_device_drops_measurements(ieee14):
+    compiler = DeltaCompiler(ieee14)
+    ied = next(i for i in sorted(ieee14.network.ied_ids)
+               if ieee14.network.measurement_map.get(i))
+    config = compiler.materialize(
+        LiveState(compromised=frozenset({ied})))
+    assert ied in config.network.devices
+    assert ied not in config.network.measurement_map
+
+
+def test_materialize_downgrade_forces_broken_profile(ieee14):
+    compiler = DeltaCompiler(ieee14)
+    link = sorted(link.node_pair
+                  for link in ieee14.network.topology.links)[0]
+    config = compiler.materialize(
+        LiveState(downgraded=frozenset({link})))
+    assert config.network.pair_security[link] == (DOWNGRADE_PROFILE,)
+    # Delivery survives a downgrade; the protections do not.
+    assert config.network.crypto_pairing_ok(*link)
+    assert not config.network.hop_authenticated(*link)
+
+
+def test_fail_then_recover_restores_the_base_fingerprint(ieee14):
+    """A recovered system hashes like the base — warm engines revive."""
+    compiler = DeltaCompiler(ieee14)
+    ied = sorted(ieee14.network.ied_ids)[0]
+    failed = compiler.materialize(LiveState(failed=frozenset({ied})))
+    assert (failed.network.fingerprint()
+            != ieee14.network.fingerprint())
+    state = compiler.apply(
+        LiveState(failed=frozenset({ied})),
+        _event(EventKind.DEVICE_RECOVERY, devices=(ied,))).after
+    assert state.pristine
+    assert (compiler.materialize(state).network.fingerprint()
+            == ieee14.network.fingerprint())

@@ -1,0 +1,111 @@
+"""Event model: validation, JSONL round-trips, emulator behaviour."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.stream import (
+    SCENARIOS,
+    EventKind,
+    ScenarioEmulator,
+    StreamError,
+    StreamEvent,
+    read_events,
+    write_events,
+)
+
+
+def test_event_requires_matching_payload():
+    with pytest.raises(StreamError):
+        StreamEvent(seq=1, time=0.0, kind=EventKind.DEVICE_FAILURE)
+    with pytest.raises(StreamError):
+        StreamEvent(seq=1, time=0.0, kind=EventKind.LINK_CUT)
+    with pytest.raises(StreamError):
+        StreamEvent(seq=1, time=0.0, kind=EventKind.CRYPTO_DOWNGRADE)
+
+
+def test_pairs_are_normalized_sorted():
+    event = StreamEvent(seq=1, time=0.0, kind=EventKind.LINK_CUT,
+                        link=(9, 3))
+    assert event.link == (3, 9)
+    event = StreamEvent(seq=2, time=0.0,
+                        kind=EventKind.CRYPTO_DOWNGRADE, pair=(7, 2))
+    assert event.pair == (2, 7)
+
+
+def test_json_round_trip_preserves_everything():
+    original = StreamEvent(seq=4, time=1.25,
+                           kind=EventKind.DEVICE_FAILURE,
+                           devices=(11, 12), scenario="cascading-outage")
+    assert StreamEvent.from_json(original.to_json()) == original
+
+
+def test_from_json_rejects_newer_schema_and_bad_kind():
+    with pytest.raises(StreamError):
+        StreamEvent.from_json({"v": 99, "kind": "device-failure",
+                               "devices": [1]})
+    with pytest.raises(StreamError):
+        StreamEvent.from_json({"kind": "meteor-strike"})
+
+
+def test_jsonl_round_trip_and_blank_lines():
+    events = [
+        StreamEvent(seq=1, time=0.5, kind=EventKind.IED_COMPROMISE,
+                    devices=(3,)),
+        StreamEvent(seq=2, time=1.0, kind=EventKind.LINK_RESTORE,
+                    link=(1, 2)),
+    ]
+    buffer = io.StringIO()
+    assert write_events(events, buffer) == 2
+    buffer = io.StringIO(buffer.getvalue() + "\n\n")
+    assert read_events(buffer) == events
+
+
+def test_read_events_reports_line_numbers():
+    with pytest.raises(StreamError, match="line 2"):
+        read_events(io.StringIO('{"kind": "link-cut", "link": [1, 2]}\n'
+                                "not json\n"))
+
+
+def test_emulator_is_deterministic(ieee14):
+    first = ScenarioEmulator(ieee14.network, seed=3).events(15)
+    second = ScenarioEmulator(ieee14.network, seed=3).events(15)
+    assert first == second
+    assert [e.seq for e in first] == list(range(1, 16))
+    times = [e.time for e in first]
+    assert times == sorted(times)
+
+
+def test_emulator_rejects_unknown_scenarios(ieee14):
+    with pytest.raises(StreamError):
+        ScenarioEmulator(ieee14.network, scenarios=("zero-day",))
+
+
+def test_emulator_respects_scenario_restriction(ieee14):
+    emulator = ScenarioEmulator(
+        ieee14.network, seed=1,
+        scenarios=("crypto-downgrade", "ied-compromise"))
+    kinds = {event.kind for event in emulator.events(20)}
+    allowed = {EventKind.CRYPTO_DOWNGRADE, EventKind.CRYPTO_RESTORE,
+               EventKind.IED_COMPROMISE, EventKind.IED_RESTORE}
+    assert kinds <= allowed
+
+
+def test_emulated_sequences_replay_cleanly(ieee14):
+    """Every emitted event is valid against the live state so far."""
+    from repro.stream import DeltaCompiler, LiveState
+
+    compiler = DeltaCompiler(ieee14)
+    for seed in (0, 1, 2):
+        state = LiveState()
+        emulator = ScenarioEmulator(ieee14.network, seed=seed)
+        for event in emulator.events(30):
+            delta = compiler.apply(state, event)
+            assert delta.changed, (
+                f"seed {seed}: emulator emitted no-op {event.describe()}")
+            state = delta.after
+    assert set(SCENARIOS) == {
+        "device-outage", "link-cut", "crypto-downgrade",
+        "ied-compromise", "cascading-outage"}

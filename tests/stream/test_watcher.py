@@ -1,0 +1,143 @@
+"""Watcher: replay equivalence, alarms, warm-engine reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import Status
+from repro.core.specs import ResiliencySpec
+from repro.obs import Tracer, activate
+from repro.stream import (
+    EventKind,
+    ScenarioEmulator,
+    StreamError,
+    StreamEvent,
+    Watcher,
+    batch_verdicts,
+)
+
+
+def _floors(k=1):
+    return [
+        ResiliencySpec.observability(k=k),
+        ResiliencySpec.secured_observability(k=k),
+        ResiliencySpec.bad_data_detectability(r=1, k=k),
+    ]
+
+
+def test_watcher_needs_floors_and_positive_cache(ieee14):
+    with pytest.raises(StreamError):
+        Watcher(ieee14, floors=[])
+    with pytest.raises(StreamError):
+        Watcher(ieee14, floors=_floors(), engine_cache=0)
+
+
+def test_replay_equivalence_across_property_kinds(ieee14):
+    """After every event the watcher's incrementally-maintained
+    verdicts equal a from-scratch batch verification of the mutated
+    configuration — the affected-property pruning loses nothing."""
+    floors = _floors(k=1)
+    watcher = Watcher(ieee14, floors)
+    emulator = ScenarioEmulator(ieee14.network, seed=3)
+    for event in emulator.events(12):
+        watcher.apply(event)
+        expected = batch_verdicts(ieee14, watcher.state, floors)
+        for spec in floors:
+            assert watcher.verdicts[spec].status is expected[spec], (
+                f"divergence after {event.describe()} "
+                f"on {spec.describe()}")
+
+
+def test_alarms_raise_and_clear_with_the_fault(ieee14):
+    floors = _floors(k=0)
+    watcher = Watcher(ieee14, floors)
+    baseline = {spec: result.status
+                for spec, result in watcher.verdicts.items()}
+    emulator = ScenarioEmulator(ieee14.network, seed=5)
+    seq = 0
+    for seq, event in enumerate(emulator.events(20), start=1):
+        watcher.apply(event)
+    raised = [a for a in watcher.alarms if a.kind == "raised"]
+    assert raised, "seeded feed never broke a k=0 floor"
+    # Undo everything still outstanding; verdicts must return to the
+    # baseline and every raised cell must clear.
+    state = watcher.state
+    for device in sorted(state.failed):
+        seq += 1
+        watcher.apply(StreamEvent(seq=seq, time=float(seq),
+                                  kind=EventKind.DEVICE_RECOVERY,
+                                  devices=(device,)))
+    for link in sorted(state.cut):
+        seq += 1
+        watcher.apply(StreamEvent(seq=seq, time=float(seq),
+                                  kind=EventKind.LINK_RESTORE,
+                                  link=link))
+    for pair in sorted(state.downgraded):
+        seq += 1
+        watcher.apply(StreamEvent(seq=seq, time=float(seq),
+                                  kind=EventKind.CRYPTO_RESTORE,
+                                  pair=pair))
+    for device in sorted(state.compromised):
+        seq += 1
+        watcher.apply(StreamEvent(seq=seq, time=float(seq),
+                                  kind=EventKind.IED_RESTORE,
+                                  devices=(device,)))
+    assert watcher.state.pristine
+    for spec in floors:
+        assert watcher.verdicts[spec].status is baseline[spec]
+    assert any(a.kind == "cleared" for a in watcher.alarms)
+    assert not watcher.below_floor or any(
+        baseline[spec] is Status.THREAT_FOUND
+        for spec in watcher.below_floor)
+
+
+def test_recovery_lands_on_the_warm_engine(ieee14):
+    """Fail → recover returns to the base fingerprint: an LRU hit."""
+    floors = [ResiliencySpec.observability(k=1)]
+    tracer = Tracer(meta={})
+    with activate(tracer):
+        watcher = Watcher(ieee14, floors)
+        ied = sorted(ieee14.network.ied_ids)[0]
+        watcher.apply(StreamEvent(seq=1, time=1.0,
+                                  kind=EventKind.DEVICE_FAILURE,
+                                  devices=(ied,)))
+        watcher.apply(StreamEvent(seq=2, time=2.0,
+                                  kind=EventKind.DEVICE_RECOVERY,
+                                  devices=(ied,)))
+    counters = tracer.registry.counters
+    assert counters.get("stream.engine.hits", 0) >= 1
+    assert counters.get("stream.events", 0) == 2
+    assert watcher.snapshot()["engines"] == 2
+
+
+def test_noop_event_skips_every_floor(ieee14):
+    floors = _floors(k=1)
+    watcher = Watcher(ieee14, floors)
+    ied = sorted(ieee14.network.ied_ids)[0]
+    update = watcher.apply(StreamEvent(seq=1, time=1.0,
+                                       kind=EventKind.DEVICE_RECOVERY,
+                                       devices=(ied,)))
+    assert not update.delta.changed
+    assert update.reverified == []
+    assert len(update.skipped) == len(floors)
+
+
+def test_crypto_event_reverifies_only_security_floors(ieee14):
+    floors = _floors(k=1)
+    watcher = Watcher(ieee14, floors)
+    link = sorted(link.node_pair
+                  for link in ieee14.network.topology.links)[0]
+    update = watcher.apply(StreamEvent(
+        seq=1, time=1.0, kind=EventKind.CRYPTO_DOWNGRADE, pair=link))
+    touched = {spec.property.value for spec, _ in update.reverified}
+    assert "observability" not in touched
+    assert touched <= {"secured-observability",
+                       "bad-data-detectability"}
+    assert any(spec.property.value == "observability"
+               for spec in update.skipped)
+
+
+def test_duplicate_floors_are_deduplicated(ieee14):
+    spec = ResiliencySpec.observability(k=1)
+    watcher = Watcher(ieee14, [spec, spec])
+    assert watcher.floors == [spec]

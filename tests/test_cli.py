@@ -270,3 +270,71 @@ def test_enumerate_screened_empty_space(tmp_path, capsys):
         assert code == 0
     else:
         assert code in (0, 1)
+
+
+def test_emulate_is_deterministic_jsonl(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    first = str(tmp_path / "a.jsonl")
+    second = str(tmp_path / "b.jsonl")
+    assert main(["emulate", path, "--events", "10", "--seed", "3",
+                 "--out", first]) == 0
+    assert main(["emulate", path, "--events", "10", "--seed", "3",
+                 "--out", second]) == 0
+    with open(first, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    assert len(lines) == 10
+    import json as _json
+    records = [_json.loads(line) for line in lines]
+    assert [r["seq"] for r in records] == list(range(1, 11))
+    with open(second, encoding="utf-8") as handle:
+        assert handle.read().splitlines() == lines
+
+
+def test_emulate_rejects_unknown_scenario(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    assert main(["emulate", path, "--scenarios", "zero-day"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_watch_selfcheck_over_events_file(tmp_path, capsys):
+    path = str(tmp_path / "system.scada")
+    events = str(tmp_path / "events.jsonl")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    main(["emulate", path, "--events", "6", "--seed", "3",
+          "--out", events])
+    capsys.readouterr()
+    code = main(["watch", path, "--events-file", events,
+                 "--selfcheck", "--k", "0"])
+    out = capsys.readouterr()
+    assert code in (0, 1)
+    assert "baseline" in out.out
+    assert "watched 6 event(s)" in out.out
+    assert "SELFCHECK MISMATCH" not in out.err
+
+
+def test_watch_json_stream_and_trace(tmp_path, capsys):
+    import json as _json
+
+    from repro.obs.schema import validate_trace
+
+    path = str(tmp_path / "system.scada")
+    trace = str(tmp_path / "watch.jsonl")
+    main(["generate", "--buses", "14", "--seed", "5", "--out", path])
+    capsys.readouterr()
+    code = main(["watch", path, "--emulate", "4", "--seed", "1",
+                 "--k", "0", "--json", "--trace", trace])
+    out = capsys.readouterr().out
+    assert code in (0, 1)
+    records = [_json.loads(line) for line in out.splitlines()]
+    assert sum(1 for r in records if "event" in r) == 4
+    assert "final" in records[-1]
+    with open(trace, encoding="utf-8") as handle:
+        trace_records = [_json.loads(line) for line in handle
+                         if line.strip()]
+    assert validate_trace(trace_records) == []
+    counters = trace_records[-1]["counters"]
+    assert counters.get("stream.events") == 4
