@@ -26,6 +26,12 @@ Commands
     Search for a minimal configuration repair restoring a failed
     specification.
 
+``corpus generate|run|status <dir>``
+    Grow a corpus of seeded synthetic grids (hundreds to thousands of
+    buses), sweep grids × properties × budgets into a versioned
+    on-disk result store, and resume interrupted sweeps without
+    re-solving stored cells.
+
 ``audit <config>``
     Cross-validate the polynomial-time structural analysis (security
     indices, min-cut silencing costs) against the SAT engine on the
@@ -724,6 +730,83 @@ def _cmd_audit(args) -> int:
     return report.exit_code()
 
 
+def _cmd_corpus_generate(args) -> int:
+    from .corpus import generate_corpus
+
+    scada = GeneratorConfig(
+        measurement_fraction=args.measurement_fraction,
+        hierarchy_level=args.hierarchy,
+        secure_fraction=args.secure_fraction,
+        rtus_per_bus=args.rtus_per_bus,
+        seed=args.scada_seed)
+    entries = generate_corpus(
+        args.root, sizes=args.sizes, seeds=args.seeds,
+        avg_degree=args.avg_degree, preferential=args.preferential,
+        meshing=args.meshing, scada=scada)
+    for entry in entries:
+        print(f"  {entry['num_buses']:>6d} buses  "
+              f"{entry['num_devices']:>6d} devices  "
+              f"{entry['network_fingerprint']}")
+    print(f"{len(entries)} grid recipe(s) written to {args.root}")
+    return 0
+
+
+def _cmd_corpus_run(args) -> int:
+    from .corpus import StoreVersionError, run_corpus
+
+    properties = [Property(name) for name in args.properties]
+    try:
+        report = run_corpus(
+            args.root, properties=properties, ks=args.ks, r=args.r,
+            limits=_limits_from_args(args), jobs=args.jobs,
+            timeout=args.task_timeout, retries=args.retries,
+            backend=args.backend, resume=args.resume)
+    except StoreVersionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        for failure in report.failures:
+            print(f"  ! {failure}", file=sys.stderr)
+    # The verify convention, over the whole sweep: a lost task is a
+    # failed run (2); an UNKNOWN cell anywhere — fresh or resumed —
+    # means the sweep proved less than asked (3); any threat is 1.
+    if report.failures:
+        return 2
+    verdicts = set(report.verdicts.values())
+    if Status.UNKNOWN.value in verdicts:
+        return EXIT_UNKNOWN
+    if Status.THREAT_FOUND.value in verdicts:
+        return 1
+    return 0
+
+
+def _cmd_corpus_status(args) -> int:
+    from .corpus import StoreVersionError, corpus_status
+
+    try:
+        status = corpus_status(args.root)
+    except StoreVersionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    buses = ", ".join(map(str, status["buses"]))
+    print(f"corpus {status['root']}: {status['grids']} grid(s) "
+          f"({buses} buses), {status['records']} stored cell(s)")
+    for name, tally in status["by_status"].items():
+        print(f"  {name}: {tally}")
+    if status["quarantined_shards"]:
+        print(f"  quarantined shards: {status['quarantined_shards']}")
+    for cell in status["unknown_cells"]:
+        print(f"  ? {cell['spec']} — bounds {cell['bounds']} "
+              f"({cell['limit_reason']} limit)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -967,6 +1050,80 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--json", action="store_true",
                          help="emit the machine-readable summary")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_corpus = sub.add_parser(
+        "corpus",
+        help="corpus-scale synthetic grids and resumable sweeps")
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command",
+                                         required=True)
+
+    p_cgen = corpus_sub.add_parser(
+        "generate",
+        help="grow seeded synthetic grids and write their recipes")
+    p_cgen.add_argument("root", help="corpus directory")
+    p_cgen.add_argument("--sizes", type=int, nargs="+", required=True,
+                        metavar="BUSES", help="bus counts to grow")
+    p_cgen.add_argument("--seeds", type=int, nargs="+", default=[0],
+                        help="one grid per size × seed")
+    p_cgen.add_argument("--avg-degree", type=float, default=3.0,
+                        dest="avg_degree",
+                        help="target mean bus degree (real grids ≈ 3)")
+    p_cgen.add_argument("--preferential", type=float, default=0.8,
+                        help="hub-attachment probability in [0, 1]")
+    p_cgen.add_argument("--meshing", type=float, default=0.3,
+                        help="local-reinforcement probability in [0, 1]")
+    p_cgen.add_argument("--measurement-fraction", type=float,
+                        default=0.7, dest="measurement_fraction")
+    p_cgen.add_argument("--hierarchy", type=int, default=1,
+                        help="mean RTU hierarchy depth")
+    p_cgen.add_argument("--rtus-per-bus", type=float, default=1 / 3,
+                        dest="rtus_per_bus")
+    p_cgen.add_argument("--secure-fraction", type=float, default=0.8,
+                        dest="secure_fraction")
+    p_cgen.add_argument("--scada-seed", type=int, default=0,
+                        dest="scada_seed")
+    p_cgen.set_defaults(func=_cmd_corpus_generate)
+
+    p_crun = corpus_sub.add_parser(
+        "run",
+        help="sweep grids × properties × budgets, resumably: cells "
+             "already in the store are never re-solved")
+    p_crun.add_argument("root", help="corpus directory")
+    p_crun.add_argument("--properties", nargs="+",
+                        default=["observability"],
+                        choices=[p.value for p in Property],
+                        help="properties to sweep")
+    p_crun.add_argument("--ks", type=int, nargs="+", default=[0, 1, 2],
+                        metavar="K", help="total failure budgets")
+    p_crun.add_argument("-r", type=int, default=1,
+                        help="corrupted-measurement budget (bad data)")
+    p_crun.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (0 = all cores)")
+    p_crun.add_argument("--task-timeout", type=float, default=None,
+                        dest="task_timeout", metavar="SECONDS",
+                        help="wall-clock budget per grid task "
+                             "(pooled runs)")
+    p_crun.add_argument("--retries", type=int, default=0,
+                        help="extra solo attempts per failed grid task")
+    p_crun.add_argument("--backend", default="fresh",
+                        choices=BACKEND_NAMES)
+    p_crun.add_argument("--no-resume", dest="resume",
+                        action="store_false",
+                        help="recompute every cell (overwrites in "
+                             "place) instead of skipping stored ones")
+    p_crun.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report")
+    p_crun.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a JSONL telemetry trace; aggregate "
+                             "with 'repro stats FILE'")
+    _add_limit_args(p_crun)
+    p_crun.set_defaults(func=_cmd_corpus_run)
+
+    p_cstat = corpus_sub.add_parser(
+        "status", help="summarize a corpus store without running")
+    p_cstat.add_argument("root", help="corpus directory")
+    p_cstat.add_argument("--json", action="store_true")
+    p_cstat.set_defaults(func=_cmd_corpus_status)
     return parser
 
 

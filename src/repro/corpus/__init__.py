@@ -1,0 +1,32 @@
+"""Corpus-scale verification: synthetic grids, a persistent result
+store, and resumable sweeps.
+
+The paper's evaluation stops at IEEE-118; this package grows seeded
+synthetic transmission grids to thousands of buses
+(:mod:`repro.corpus.synth`), persists every verification verdict in a
+versioned sharded store keyed by encoding fingerprints
+(:mod:`repro.corpus.store`), and drives resumable grid × property ×
+budget sweeps across a process pool (:mod:`repro.corpus.runner`).
+"""
+
+from .runner import (
+    CorpusReport,
+    corpus_status,
+    generate_corpus,
+    load_grids,
+    run_corpus,
+)
+from .store import (
+    STORE_VERSION,
+    CellKey,
+    CorpusRecord,
+    ResultStore,
+    StoreVersionError,
+)
+from .synth import GridSpec, grow_grid
+
+__all__ = [
+    "STORE_VERSION", "CellKey", "CorpusRecord", "CorpusReport",
+    "GridSpec", "ResultStore", "StoreVersionError", "corpus_status",
+    "generate_corpus", "grow_grid", "load_grids", "run_corpus",
+]

@@ -1,0 +1,386 @@
+"""Versioned on-disk result store for corpus sweeps.
+
+Layout under one root directory::
+
+    store/
+      index.json          # {"version": 1, "shards": [...], "records": N}
+      shards/<xx>.jsonl   # records whose cell digest starts with xx
+      quarantine/         # shards that failed to parse, moved aside
+
+Records are keyed by a :class:`CellKey` — the PR-2 encoding
+fingerprints plus canonical digests of the spec and the solver
+:class:`~repro.sat.Limits` — so a cell re-run on the same grid with
+the same budget is a store hit whatever process computes it.  Every
+write goes through write-to-temp + :func:`os.replace` (atomic on
+POSIX), so a killed run leaves either the old shard or the new one,
+never a torn file.  A shard that *does* arrive corrupt (disk fault,
+hand editing, a version from the future) is moved whole into
+``quarantine/`` at open: its cells simply re-run, and nothing of the
+rest of the store is lost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..core.results import Status, ThreatVector, VerificationResult
+from ..core.search import SearchBounds
+from ..core.specs import Property, ResiliencySpec
+from ..obs.tracer import count as obs_count
+from ..sat.limits import Limits
+
+__all__ = [
+    "STORE_VERSION", "CellKey", "CorpusRecord", "ResultStore",
+    "StoreVersionError", "spec_payload", "spec_from_payload",
+    "limits_payload", "limits_from_payload",
+]
+
+#: Schema version of the persisted record format.  Bump on any
+#: incompatible change; old stores fail loudly instead of misreading.
+STORE_VERSION = 1
+
+
+class StoreVersionError(ValueError):
+    """The on-disk store speaks a different schema version."""
+
+
+def _digest(payload: Mapping[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def spec_payload(spec: ResiliencySpec) -> Dict[str, Any]:
+    """A canonical JSON form of *spec* (round-trips exactly)."""
+    return {
+        "property": spec.property.value,
+        "k": spec.budget.k,
+        "k1": spec.budget.k1,
+        "k2": spec.budget.k2,
+        "r": spec.r,
+        "link_k": spec.link_k,
+    }
+
+
+def spec_from_payload(payload: Mapping[str, Any]) -> ResiliencySpec:
+    prop = Property(payload["property"])
+    return ResiliencySpec.for_property(
+        prop, r=int(payload.get("r") or 1),
+        k=payload.get("k"), k1=payload.get("k1"), k2=payload.get("k2"),
+        link_k=payload.get("link_k"))
+
+
+def limits_payload(limits: Optional[Limits]) -> Dict[str, Any]:
+    if limits is None:
+        return {}
+    return {
+        "max_time": limits.max_time,
+        "max_conflicts": limits.max_conflicts,
+        "max_propagations": limits.max_propagations,
+        "max_memory_mb": limits.max_memory_mb,
+    }
+
+
+def limits_from_payload(payload: Mapping[str, Any]) -> Optional[Limits]:
+    if not any(payload.get(name) is not None for name in
+               ("max_time", "max_conflicts", "max_propagations",
+                "max_memory_mb")):
+        return None
+    return Limits(max_time=payload.get("max_time"),
+                  max_conflicts=payload.get("max_conflicts"),
+                  max_propagations=payload.get("max_propagations"),
+                  max_memory_mb=payload.get("max_memory_mb"))
+
+
+class CellKey(NamedTuple):
+    """What uniquely identifies one stored verification cell.
+
+    Mirrors :class:`~repro.engine.EncodingKey`'s fingerprint pair, and
+    adds the spec and limits — a retry of an UNKNOWN cell under a
+    *bigger* budget is deliberately a different cell, so it re-runs
+    while the cheap verdict stays on record.
+    """
+
+    network_fingerprint: str
+    problem_fingerprint: str
+    spec_digest: str
+    limits_digest: str
+
+    @classmethod
+    def for_cell(cls, network_fingerprint: str, problem_fingerprint: str,
+                 spec: ResiliencySpec,
+                 limits: Optional[Limits]) -> "CellKey":
+        return cls(network_fingerprint, problem_fingerprint,
+                   _digest(spec_payload(spec)),
+                   _digest(limits_payload(limits)))
+
+    def digest(self) -> str:
+        return _digest({"n": self.network_fingerprint,
+                        "p": self.problem_fingerprint,
+                        "s": self.spec_digest,
+                        "l": self.limits_digest})
+
+
+def _threat_payload(threat: ThreatVector) -> Dict[str, Any]:
+    return {
+        "ieds": sorted(threat.failed_ieds),
+        "rtus": sorted(threat.failed_rtus),
+        "links": sorted(list(pair) for pair in threat.failed_links),
+        "undelivered": sorted(threat.undelivered_measurements),
+        "uncovered": sorted(threat.uncovered_states),
+        "minimal": threat.minimal,
+    }
+
+
+def _threat_from_payload(payload: Mapping[str, Any]) -> ThreatVector:
+    return ThreatVector(
+        failed_ieds=frozenset(payload.get("ieds") or ()),
+        failed_rtus=frozenset(payload.get("rtus") or ()),
+        failed_links=frozenset(tuple(pair) for pair
+                               in payload.get("links") or ()),
+        undelivered_measurements=frozenset(
+            payload.get("undelivered") or ()),
+        uncovered_states=frozenset(payload.get("uncovered") or ()),
+        minimal=bool(payload.get("minimal", False)))
+
+
+def _bounds_payload(bounds: Optional[SearchBounds]
+                    ) -> Optional[Dict[str, Any]]:
+    if bounds is None:
+        return None
+    return {"lower": bounds.lower, "upper": bounds.upper,
+            "unknown_budgets": list(bounds.unknown_budgets)}
+
+
+def _bounds_from_payload(payload: Optional[Mapping[str, Any]]
+                         ) -> Optional[SearchBounds]:
+    if payload is None:
+        return None
+    return SearchBounds(
+        lower=int(payload["lower"]), upper=int(payload["upper"]),
+        unknown_budgets=tuple(payload.get("unknown_budgets") or ()))
+
+
+@dataclass
+class CorpusRecord:
+    """One stored cell: its key, verdict, and (for UNKNOWN) bounds."""
+
+    key: CellKey
+    spec: ResiliencySpec
+    limits: Optional[Limits]
+    result: VerificationResult
+    #: The sound search bracket recorded alongside an UNKNOWN verdict,
+    #: seeding a later retry under bigger limits.  ``None`` otherwise.
+    bounds: Optional[SearchBounds] = None
+    #: Free-form provenance (grid name, bus count, screening flag).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        result = self.result
+        payload: Dict[str, Any] = {
+            "version": STORE_VERSION,
+            "key": list(self.key),
+            "spec": spec_payload(self.spec),
+            "limits": limits_payload(self.limits),
+            "result": {
+                "status": result.status.value,
+                "threat": (_threat_payload(result.threat)
+                           if result.threat is not None else None),
+                "solve_time": result.solve_time,
+                "encode_time": result.encode_time,
+                "extract_time": result.extract_time,
+                "num_vars": result.num_vars,
+                "num_clauses": result.num_clauses,
+                "backend": result.backend,
+                "limit_reason": result.limit_reason,
+            },
+            "bounds": _bounds_payload(self.bounds),
+            "meta": dict(self.meta),
+        }
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "CorpusRecord":
+        if payload.get("version") != STORE_VERSION:
+            raise StoreVersionError(
+                f"record version {payload.get('version')!r} != "
+                f"{STORE_VERSION}")
+        raw_key = payload.get("key")
+        if not isinstance(raw_key, list) or len(raw_key) != 4:
+            raise ValueError("record key is malformed")
+        spec = spec_from_payload(payload["spec"])
+        limits = limits_from_payload(payload.get("limits") or {})
+        raw = payload["result"]
+        threat_raw = raw.get("threat")
+        result = VerificationResult(
+            spec=spec,
+            status=Status(raw["status"]),
+            threat=(_threat_from_payload(threat_raw)
+                    if threat_raw is not None else None),
+            solve_time=float(raw.get("solve_time") or 0.0),
+            encode_time=float(raw.get("encode_time") or 0.0),
+            extract_time=float(raw.get("extract_time") or 0.0),
+            num_vars=int(raw.get("num_vars") or 0),
+            num_clauses=int(raw.get("num_clauses") or 0),
+            backend=str(raw.get("backend") or "fresh"),
+            limit_reason=raw.get("limit_reason"))
+        return cls(key=CellKey(*raw_key), spec=spec, limits=limits,
+                   result=result,
+                   bounds=_bounds_from_payload(payload.get("bounds")),
+                   meta=dict(payload.get("meta") or {}))
+
+
+class ResultStore:
+    """The sharded, versioned, crash-safe corpus result store."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.shards_dir = os.path.join(root, "shards")
+        self.quarantine_dir = os.path.join(root, "quarantine")
+        os.makedirs(self.shards_dir, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.appends = 0
+        self.quarantined = 0
+        self._records: Dict[str, CorpusRecord] = {}
+        self._dirty: Set[str] = set()
+        self._load()
+
+    # -- loading --------------------------------------------------------
+
+    def _load(self) -> None:
+        index_path = os.path.join(self.root, "index.json")
+        if os.path.exists(index_path):
+            with open(index_path, "r", encoding="utf-8") as handle:
+                index = json.load(handle)
+            version = index.get("version")
+            if version != STORE_VERSION:
+                raise StoreVersionError(
+                    f"store at {self.root} has version {version!r}; "
+                    f"this build speaks {STORE_VERSION}")
+        for name in sorted(os.listdir(self.shards_dir)):
+            if not name.endswith(".jsonl"):
+                continue
+            self._load_shard(name)
+
+    def _load_shard(self, name: str) -> None:
+        path = os.path.join(self.shards_dir, name)
+        loaded: List[Tuple[str, CorpusRecord]] = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = CorpusRecord.from_json(json.loads(line))
+                    loaded.append((record.key.digest(), record))
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(name)
+            return
+        for digest, record in loaded:
+            self._records[digest] = record
+
+    def _quarantine(self, name: str) -> None:
+        """Move a corrupt shard aside; its cells will simply re-run."""
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        source = os.path.join(self.shards_dir, name)
+        target = os.path.join(self.quarantine_dir, name + ".corrupt")
+        os.replace(source, target)
+        self.quarantined += 1
+        obs_count("corpus.store.quarantined")
+
+    # -- lookup / append ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: CellKey) -> bool:
+        return key.digest() in self._records
+
+    def __iter__(self) -> Iterator[CorpusRecord]:
+        for digest in sorted(self._records):
+            yield self._records[digest]
+
+    def get(self, key: CellKey) -> Optional[CorpusRecord]:
+        record = self._records.get(key.digest())
+        if record is not None:
+            self.hits += 1
+            obs_count("corpus.store.hits")
+        else:
+            self.misses += 1
+            obs_count("corpus.store.misses")
+        return record
+
+    def put(self, record: CorpusRecord, flush: bool = True) -> None:
+        digest = record.key.digest()
+        self._records[digest] = record
+        self._dirty.add(digest[:2])
+        self.appends += 1
+        obs_count("corpus.store.appends")
+        if flush:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically persist every dirty shard, then the index."""
+        if not self._dirty:
+            return
+        by_shard: Dict[str, List[str]] = {s: [] for s in self._dirty}
+        for digest in sorted(self._records):
+            shard = digest[:2]
+            if shard in by_shard:
+                line = json.dumps(self._records[digest].to_json(),
+                                  sort_keys=True)
+                by_shard[shard].append(line)
+        for shard, lines in by_shard.items():
+            self._write_atomic(
+                os.path.join(self.shards_dir, f"{shard}.jsonl"),
+                "".join(line + "\n" for line in lines))
+        self._dirty.clear()
+        shards = sorted(name for name in os.listdir(self.shards_dir)
+                        if name.endswith(".jsonl"))
+        index = {"version": STORE_VERSION, "shards": shards,
+                 "records": len(self._records)}
+        self._write_atomic(os.path.join(self.root, "index.json"),
+                           json.dumps(index, sort_keys=True) + "\n")
+
+    @staticmethod
+    def _write_atomic(path: str, text: str) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    # -- summaries ------------------------------------------------------
+
+    def by_status(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for record in self._records.values():
+            status = record.result.status.value
+            tally[status] = tally.get(status, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def unknown_records(self) -> List[CorpusRecord]:
+        """UNKNOWN cells (with their bounds), ready for bigger-budget
+        retries."""
+        return [record for record in self
+                if record.result.status is Status.UNKNOWN]
+
+    def __repr__(self) -> str:
+        return (f"ResultStore({self.root!r}, records={len(self)}, "
+                f"hits={self.hits}, misses={self.misses}, "
+                f"quarantined={self.quarantined})")

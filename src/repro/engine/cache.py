@@ -12,6 +12,7 @@ LRU rather than unbounded.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, NamedTuple, Optional
 
@@ -40,7 +41,19 @@ class EncodingKey(NamedTuple):
 
 
 class EncodingCache:
-    """LRU cache of :class:`IncrementalContext` base encodings."""
+    """LRU cache of :class:`IncrementalContext` base encodings.
+
+    All public operations are atomic under one re-entrant lock: the
+    service layer shares a cache between its request threads, and an
+    unlocked ``get_or_create`` racing ``invalidate_config`` is a
+    check-then-act bug — the invalidation can run *between* a miss and
+    its ``put``, silently resurrecting a context for a configuration
+    the operator just declared stale.  ``get_or_create`` therefore
+    holds the lock across the factory call too: an invalidation issued
+    while an encode is in flight serializes after it and still wins.
+    (Contexts are not safe for concurrent *use* anyway — each owns a
+    solver — so serializing creation costs the service nothing.)
+    """
 
     def __init__(self, maxsize: int = 8) -> None:
         if maxsize < 1:
@@ -49,44 +62,50 @@ class EncodingCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[EncodingKey, IncrementalContext]" = \
             OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def keys(self) -> "list[EncodingKey]":
         """The cached keys, least-recently-used first."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def get(self, key: EncodingKey) -> Optional[IncrementalContext]:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            obs_count("cache.hits")
-        else:
-            self.misses += 1
-            obs_count("cache.misses")
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                obs_count("cache.hits")
+            else:
+                self.misses += 1
+                obs_count("cache.misses")
+            return entry
 
     def put(self, key: EncodingKey, entry: IncrementalContext) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            obs_count("cache.evictions")
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                obs_count("cache.evictions")
 
     def get_or_create(
         self, key: EncodingKey,
         factory: Callable[[], IncrementalContext],
     ) -> IncrementalContext:
-        entry = self.get(key)
-        if entry is None:
-            entry = factory()
-            self.put(key, entry)
-        return entry
+        with self._lock:
+            entry = self.get(key)
+            if entry is None:
+                entry = factory()
+                self.put(key, entry)
+            return entry
 
     def invalidate(self, key: EncodingKey) -> bool:
         """Drop one entry (if present); True when something was removed.
@@ -99,7 +118,8 @@ class EncodingCache:
         its scopes on the way out and the cached base encoding — often
         seconds of encoding work — stays reusable.
         """
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def invalidate_config(self, network_fingerprint: str,
                           problem_fingerprint: str) -> int:
@@ -112,15 +132,17 @@ class EncodingCache:
         ``r``, or cardinality encoding.  Returns the number of entries
         dropped.
         """
-        doomed = [key for key in self._entries
-                  if key.network_fingerprint == network_fingerprint
-                  and key.problem_fingerprint == problem_fingerprint]
-        for key in doomed:
-            del self._entries[key]
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._entries
+                      if key.network_fingerprint == network_fingerprint
+                      and key.problem_fingerprint == problem_fingerprint]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __repr__(self) -> str:
         return (f"EncodingCache(entries={len(self)}, hits={self.hits}, "

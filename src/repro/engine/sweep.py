@@ -359,11 +359,34 @@ class SweepExecutor:
                         fut.result(timeout=timeout), idx)
                     resolved[idx] = True
                     attempts[idx] = 1
-                except (_FuturesTimeout, BrokenProcessPool):
-                    # A hang or crash poisons the shared pool either
-                    # way; kill it and fall through to solo recovery.
+                except _FuturesTimeout:
+                    # Futures drain in submission order, so this task
+                    # has provably been running for the full budget:
+                    # the hang is *its* attempt, and it counts against
+                    # its retry budget like any other failed attempt.
                     pool_dead = True
                     _kill_pool(pool)
+                    attempts[idx] = 1
+                    failures[idx] = _WorkerFailure(
+                        "Timeout",
+                        f"task exceeded its {timeout:g}s "
+                        f"wall-clock budget")
+                except BrokenProcessPool:
+                    # A crash poisons the shared pool, but a neighbour
+                    # sharing the pool may be the culprit — no attempt
+                    # is charged to this task; solo recovery isolates
+                    # the guilty one with a full budget.
+                    pool_dead = True
+                    _kill_pool(pool)
+        except BaseException:
+            # Anything unexpected (KeyboardInterrupt, a telemetry
+            # failure in _settle) must still tear the pool down hard:
+            # the cooperative shutdown below would block forever
+            # behind a worker that is hung mid-task.
+            if not pool_dead:
+                pool_dead = True
+                _kill_pool(pool)
+            raise
         finally:
             if not pool_dead:
                 pool.shutdown(wait=True)

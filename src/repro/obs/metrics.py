@@ -97,7 +97,8 @@ class Histogram:
         if tuple(bounds or ()) != self.bounds:  # type: ignore[arg-type]
             raise ValueError("histogram bucket bounds differ; cannot merge")
         counts = snapshot.get("counts")
-        assert isinstance(counts, list)
+        if not isinstance(counts, list) or len(counts) != len(self.counts):
+            raise ValueError("histogram snapshot counts are malformed")
         for index, value in enumerate(counts):
             self.counts[index] += int(value)
         self.count += int(snapshot.get("count", 0))  # type: ignore[arg-type]
@@ -156,22 +157,34 @@ class MetricsRegistry:
         Counters and histograms add; gauges keep the merged-in value
         (last writer wins, matching their point-in-time semantics).
         """
+        # Snapshots read back from disk can be malformed (truncated
+        # writes, hand-edited traces); raise ValueError — the error
+        # class the stats CLI reports — never AssertionError.
         counters = snapshot.get("counters") or {}
-        assert isinstance(counters, Mapping)
+        if not isinstance(counters, Mapping):
+            raise ValueError("metrics snapshot counters must be a mapping")
         for name, value in counters.items():
             self.count(name, int(value))
         gauges = snapshot.get("gauges") or {}
-        assert isinstance(gauges, Mapping)
+        if not isinstance(gauges, Mapping):
+            raise ValueError("metrics snapshot gauges must be a mapping")
         for name, value in gauges.items():
             self.gauge(name, float(value))
         histograms = snapshot.get("histograms") or {}
-        assert isinstance(histograms, Mapping)
+        if not isinstance(histograms, Mapping):
+            raise ValueError(
+                "metrics snapshot histograms must be a mapping")
         for name, hist_snapshot in histograms.items():
-            assert isinstance(hist_snapshot, Mapping)
+            if not isinstance(hist_snapshot, Mapping):
+                raise ValueError(
+                    f"histogram snapshot {name!r} must be a mapping")
             hist = self.histograms.get(name)
             if hist is None:
                 bounds = hist_snapshot.get("bounds") or DEFAULT_BUCKETS
-                assert isinstance(bounds, Sequence)
+                if not isinstance(bounds, Sequence):
+                    raise ValueError(
+                        f"histogram snapshot {name!r} bounds are "
+                        f"malformed")
                 hist = Histogram(tuple(float(b) for b in bounds))
                 self.histograms[name] = hist
             hist.merge(hist_snapshot)

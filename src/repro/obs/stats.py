@@ -132,6 +132,13 @@ class TraceStats:
                 if name.startswith("stream.")}
 
     @property
+    def corpus_counters(self) -> Dict[str, int]:
+        """The ``corpus.*`` counters (empty when no corpus run ran)."""
+        return {name: value
+                for name, value in sorted(self.metrics.counters.items())
+                if name.startswith("corpus.")}
+
+    @property
     def worker_utilization(self) -> Optional[float]:
         """Mean fraction of sweep wall time each worker spent busy."""
         if not self.worker_busy or self.sweep_time <= 0.0:
@@ -183,6 +190,7 @@ class TraceStats:
                 "utilization": self.worker_utilization,
             },
             "stream": self.stream_counters,
+            "corpus": self.corpus_counters,
             "counters": dict(sorted(self.metrics.counters.items())),
             "histograms": histograms,
             "events": dict(sorted(self.events.items())),
@@ -221,7 +229,11 @@ class TraceStats:
             misses = self.metrics.counters.get("cache.misses", 0)
             lines.append(f"encoding cache: {hits} hit(s), {misses} "
                          f"miss(es) ({100.0 * rate:.1f}% hit rate)")
-        if self.sweep_tasks:
+        else:
+            # Zero lookups: the rate is undefined, not 0% — say so
+            # explicitly rather than dividing by zero or going silent.
+            lines.append("encoding cache: hit rate n/a (no lookups)")
+        if self.sweeps or self.sweep_tasks:
             lines.append(f"sweeps: {self.sweeps} "
                          f"({self.sweep_time:.3f}s wall), "
                          f"{self.sweep_tasks} task(s), "
@@ -230,8 +242,34 @@ class TraceStats:
             util = self.worker_utilization
             if util is not None:
                 lines.append(f"  worker utilization: {100.0 * util:.1f}%")
+            else:
+                # No busy-time attribution or a zero-duration sweep
+                # span: utilization is undefined for this trace.
+                lines.append("  worker utilization: n/a")
             for pid, busy in sorted(self.worker_busy.items()):
                 lines.append(f"  worker {pid}: {busy:.3f}s busy")
+        corpus = self.corpus_counters
+        if corpus:
+            cells = corpus.get("corpus.cells", 0)
+            skipped = corpus.get("corpus.cells.skipped", 0)
+            screened = corpus.get("corpus.cells.screened", 0)
+            solved = corpus.get("corpus.cells.solved", 0)
+            unknown = corpus.get("corpus.cells.unknown", 0)
+            lines.append(f"corpus: {cells} cell(s) — {skipped} "
+                         f"resumed from store, {screened} screened "
+                         f"structurally, {solved} solved, "
+                         f"{unknown} unknown")
+            hits = corpus.get("corpus.store.hits", 0)
+            misses = corpus.get("corpus.store.misses", 0)
+            lookups = hits + misses
+            stored = corpus.get("corpus.store.appends", 0)
+            quarantined = corpus.get("corpus.store.quarantined", 0)
+            rate_text = (f"{100.0 * hits / lookups:.1f}% hit rate"
+                         if lookups else "hit rate n/a (no lookups)")
+            lines.append(f"  store: {hits} hit(s), {misses} miss(es) "
+                         f"({rate_text}), {stored} record(s) appended"
+                         + (f", {quarantined} shard(s) quarantined"
+                            if quarantined else ""))
         stream = self.stream_counters
         if stream:
             events = stream.get("stream.events", 0)

@@ -63,6 +63,16 @@ class GeneratorConfig:
             raise ValueError("secure_fraction must be in [0, 1]")
         if not 0 <= self.dual_home_fraction <= 1:
             raise ValueError("dual_home_fraction must be in [0, 1]")
+        # `not x > 0` rather than `x <= 0`: rejects NaN too.
+        if not self.rtus_per_bus > 0:
+            raise ValueError(
+                f"rtus_per_bus must be positive, got "
+                f"{self.rtus_per_bus!r}: every SCADA system needs at "
+                f"least one RTU tier between the IEDs and the MTU")
+        if not 0 <= self.extra_rtu_link_fraction <= 1:
+            raise ValueError(
+                f"extra_rtu_link_fraction must be in [0, 1], got "
+                f"{self.extra_rtu_link_fraction!r}")
 
 
 @dataclass
@@ -114,6 +124,13 @@ def generate_scada(bus_system: BusSystem,
 
     # --- RTUs in a hierarchy. ------------------------------------------
     num_rtus = max(2, round(bus_system.num_buses * config.rtus_per_bus))
+    if config.hierarchy_level > num_rtus:
+        raise ValueError(
+            f"hierarchy_level={config.hierarchy_level} needs at least "
+            f"one RTU per level, but rtus_per_bus="
+            f"{config.rtus_per_bus:g} yields only {num_rtus} RTU(s) "
+            f"over {bus_system.num_buses} buses; lower hierarchy_level "
+            f"or raise rtus_per_bus")
     rtu_ids = list(range(next_id, next_id + num_rtus))
     next_id += num_rtus
     router_id = next_id
@@ -213,9 +230,12 @@ def _assign_levels(rtu_ids: Sequence[int], hierarchy_level: int,
 
     Depths are drawn uniformly from ``1..2h-1`` (mean ``h``); every depth
     from 1 up to the deepest drawn is guaranteed non-empty so uplinks
-    always have a parent level.
+    always have a parent level.  The depth range is clamped to the RTU
+    count: more levels than RTUs cannot all be inhabited, and an
+    unclamped range would make the fill-missing-levels pass below
+    allocate ``O(2h)`` scratch regardless of the actual system size.
     """
-    top = max(1, 2 * hierarchy_level - 1)
+    top = max(1, min(2 * hierarchy_level - 1, len(rtu_ids)))
     levels = {rtu: rng.randint(1, top) for rtu in rtu_ids}
     # Guarantee all levels 1..max are inhabited.
     used = sorted(set(levels.values()))

@@ -1,0 +1,150 @@
+"""Resumable corpus sweeps."""
+
+import json
+
+import pytest
+
+import repro.corpus.runner as runner_mod
+from repro.core.specs import Property
+from repro.corpus import (
+    corpus_status,
+    generate_corpus,
+    load_grids,
+    run_corpus,
+)
+from repro.sat.limits import Limits
+from repro.scada.generator import GeneratorConfig
+
+
+def _small_config():
+    # Lean knobs so a test corpus generates and verifies in
+    # milliseconds per grid.
+    return GeneratorConfig(measurement_fraction=0.4, rtus_per_bus=0.1,
+                           seed=3)
+
+
+@pytest.fixture
+def corpus_root(tmp_path):
+    root = str(tmp_path / "corpus")
+    generate_corpus(root, sizes=[30, 40], seeds=[0],
+                    scada=_small_config())
+    return root
+
+
+def test_generate_writes_recipes_with_fingerprints(corpus_root):
+    entries = load_grids(corpus_root)
+    assert [e["num_buses"] for e in entries] == [30, 40]
+    for entry in entries:
+        assert len(entry["network_fingerprint"]) == 16
+        assert len(entry["problem_fingerprint"]) == 16
+        assert entry["num_devices"] > 0
+        assert entry["scada"]["seed"] == 3
+
+
+def test_load_grids_without_generate_errors(tmp_path):
+    with pytest.raises(FileNotFoundError, match="corpus generate"):
+        load_grids(str(tmp_path / "nowhere"))
+
+
+def test_cold_run_then_resume_skips_everything(corpus_root):
+    cold = run_corpus(corpus_root, ks=(0, 1, 2))
+    assert cold.cells == 6 and cold.skipped == 0
+    assert cold.resilient + cold.threats + cold.unknown == 6
+    assert not cold.failures
+
+    resumed = run_corpus(corpus_root, ks=(0, 1, 2))
+    assert resumed.skipped == 6
+    assert resumed.screened == resumed.solved == resumed.unknown == 0
+    # The acceptance property: identical verdicts either way.
+    assert resumed.verdicts == cold.verdicts
+
+
+def test_interrupted_run_resumes_only_whats_missing(corpus_root):
+    # Simulate a kill after the first grid × budget slice: run a
+    # subset of the cells, then the full sweep.
+    partial = run_corpus(corpus_root, ks=(0,))
+    assert partial.cells == 2 and partial.skipped == 0
+    full = run_corpus(corpus_root, ks=(0, 1))
+    assert full.cells == 4
+    assert full.skipped == 2  # exactly the cells the partial run did
+    assert all(digest in full.verdicts for digest in partial.verdicts)
+
+
+def test_verdicts_agree_between_inline_and_pool(corpus_root, tmp_path):
+    inline = run_corpus(corpus_root, ks=(0, 1))
+    other = str(tmp_path / "other")
+    generate_corpus(other, sizes=[30, 40], seeds=[0],
+                    scada=_small_config())
+    pooled = run_corpus(other, ks=(0, 1), jobs=2)
+    assert pooled.verdicts == inline.verdicts
+
+
+def test_unscreenable_cells_hit_the_solver(corpus_root, monkeypatch):
+    # Force the solver path: with screening disabled every cell must
+    # be solved, and the verdicts must match the screened run exactly.
+    screened = run_corpus(corpus_root, ks=(0, 1))
+    monkeypatch.setattr(runner_mod, "_screen_cell",
+                        lambda engine, spec: None)
+    solved = run_corpus(corpus_root, ks=(0, 1), resume=False)
+    assert solved.solved + solved.unknown == 4
+    assert solved.screened == 0
+    assert solved.verdicts == screened.verdicts
+
+
+def test_starved_solver_records_unknown_with_bounds(
+        corpus_root, monkeypatch):
+    monkeypatch.setattr(runner_mod, "_screen_cell",
+                        lambda engine, spec: None)
+    starved = run_corpus(corpus_root, ks=(1,),
+                         limits=Limits(max_propagations=1))
+    assert starved.unknown == 2
+    assert set(starved.verdicts.values()) == {"unknown"}
+    status = corpus_status(corpus_root)
+    assert status["by_status"]["unknown"] == 2
+    assert len(status["unknown_cells"]) == 2
+    for cell in status["unknown_cells"]:
+        assert cell["bounds"] is not None
+        assert cell["limit_reason"] == "propagations"
+
+    # Same limits → skipped; a bigger budget is a *different* cell and
+    # re-runs to a real verdict.
+    again = run_corpus(corpus_root, ks=(1,),
+                       limits=Limits(max_propagations=1))
+    assert again.skipped == 2
+    retried = run_corpus(corpus_root, ks=(1,))
+    assert retried.skipped == 0
+    assert set(retried.verdicts.values()) <= {"resilient",
+                                              "threat-found"}
+
+
+def test_fingerprint_drift_fails_loudly(corpus_root, tmp_path):
+    entries = load_grids(corpus_root)
+    entries[0]["network_fingerprint"] = "0" * 16
+    grids = tmp_path / "corpus" / "grids.jsonl"
+    grids.write_text("".join(json.dumps(e) + "\n" for e in entries))
+    report = run_corpus(corpus_root, ks=(0,))
+    assert len(report.failures) == 1
+    assert "drifted" in report.failures[0]
+    # The healthy grid's cells still completed and persisted.
+    assert report.verdicts
+
+
+def test_status_summarizes_without_running(corpus_root):
+    run_corpus(corpus_root, ks=(0,))
+    status = corpus_status(corpus_root)
+    assert status["grids"] == 2
+    assert status["buses"] == [30, 40]
+    assert status["records"] == 2
+    assert status["quarantined_shards"] == 0
+    assert sum(status["by_status"].values()) == 2
+
+
+def test_bad_data_and_secured_properties_sweep(corpus_root):
+    report = run_corpus(
+        corpus_root,
+        properties=(Property.SECURED_OBSERVABILITY,
+                    Property.BAD_DATA_DETECTABILITY),
+        ks=(0, 1), r=2)
+    assert report.cells == 8
+    assert not report.failures
+    assert len(report.verdicts) == 8

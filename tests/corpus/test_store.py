@@ -1,0 +1,215 @@
+"""The versioned sharded corpus result store."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.results import Status, ThreatVector, VerificationResult
+from repro.core.search import SearchBounds
+from repro.core.specs import Property, ResiliencySpec
+from repro.corpus.store import (
+    STORE_VERSION,
+    CellKey,
+    CorpusRecord,
+    ResultStore,
+    StoreVersionError,
+    limits_from_payload,
+    limits_payload,
+    spec_from_payload,
+    spec_payload,
+)
+from repro.sat.limits import Limits
+
+
+def _key(tag="aa"):
+    return CellKey(f"net-{tag}", f"prob-{tag}", f"spec-{tag}",
+                   f"lim-{tag}")
+
+
+def _spec(k=1, prop=Property.OBSERVABILITY, r=1):
+    return ResiliencySpec.for_property(prop, r=r, k=k)
+
+
+def _record(tag="aa", status=Status.RESILIENT, **kwargs):
+    spec = kwargs.pop("spec", _spec())
+    result = VerificationResult(spec=spec, status=status, **kwargs)
+    return CorpusRecord(key=_key(tag), spec=spec,
+                        limits=kwargs.get("limits"), result=result)
+
+
+def test_spec_payload_roundtrips_every_property():
+    specs = [
+        ResiliencySpec.observability(k=2),
+        ResiliencySpec.observability(k1=1, k2=2),
+        ResiliencySpec.secured_observability(k=0, link_k=1),
+        ResiliencySpec.bad_data_detectability(r=2, k=3),
+        ResiliencySpec.command_deliverability(k1=0, k2=1),
+    ]
+    for spec in specs:
+        assert spec_from_payload(spec_payload(spec)) == spec
+
+
+def test_limits_payload_roundtrips():
+    assert limits_from_payload(limits_payload(None)) is None
+    limits = Limits(max_time=1.5, max_conflicts=100)
+    assert limits_from_payload(limits_payload(limits)) == limits
+
+
+@pytest.mark.parametrize("status", list(Status))
+def test_record_roundtrips_every_status(status):
+    # The store must reproduce every verdict bit-for-bit, including
+    # UNKNOWN with its search bounds — that is what makes a resumed
+    # sweep's verdicts provably identical to a cold one's.
+    spec = _spec(k=2)
+    threat = (ThreatVector(failed_ieds=frozenset({1, 2}),
+                           failed_rtus=frozenset({9}),
+                           failed_links=frozenset({(3, 4)}),
+                           undelivered_measurements=frozenset({5}),
+                           uncovered_states=frozenset({6}),
+                           minimal=True)
+              if status is Status.THREAT_FOUND else None)
+    bounds = (SearchBounds(lower=0, upper=5, unknown_budgets=(2,))
+              if status is Status.UNKNOWN else None)
+    record = CorpusRecord(
+        key=_key(), spec=spec, limits=Limits(max_conflicts=50),
+        result=VerificationResult(
+            spec=spec, status=status, threat=threat, solve_time=0.25,
+            encode_time=0.5, extract_time=0.125, num_vars=100,
+            num_clauses=300, backend="fresh",
+            limit_reason="conflicts" if status is Status.UNKNOWN
+            else None),
+        bounds=bounds, meta={"grid": {"num_buses": 30}})
+    clone = CorpusRecord.from_json(
+        json.loads(json.dumps(record.to_json())))
+    assert clone.key == record.key
+    assert clone.spec == record.spec
+    assert clone.limits == record.limits
+    assert clone.result.status is status
+    assert clone.result.threat == threat
+    assert clone.result.solve_time == 0.25
+    assert clone.result.limit_reason == record.result.limit_reason
+    assert clone.bounds == bounds
+    assert clone.meta == record.meta
+
+
+def test_put_get_and_persistence(tmp_path):
+    root = str(tmp_path / "store")
+    store = ResultStore(root)
+    record = _record("aa")
+    assert store.get(record.key) is None
+    assert store.misses == 1
+    store.put(record)
+    assert record.key in store
+    # A brand-new store instance reads it back from disk.
+    reopened = ResultStore(root)
+    assert len(reopened) == 1
+    got = reopened.get(record.key)
+    assert got is not None and got.result.status is Status.RESILIENT
+    assert reopened.hits == 1
+
+
+def test_records_shard_by_digest_prefix(tmp_path):
+    store = ResultStore(str(tmp_path))
+    records = [_record(f"t{i}") for i in range(20)]
+    for record in records:
+        store.put(record, flush=False)
+    store.flush()
+    shards = os.listdir(store.shards_dir)
+    assert all(name.endswith(".jsonl") for name in shards)
+    assert len(shards) > 1  # 20 random digests don't share one prefix
+    for record in records:
+        assert any(name.startswith(record.key.digest()[:2])
+                   for name in shards)
+    index = json.loads(
+        (tmp_path / "index.json").read_text())
+    assert index["version"] == STORE_VERSION
+    assert index["records"] == 20
+
+
+def test_corrupt_shard_is_quarantined_not_fatal(tmp_path):
+    root = str(tmp_path)
+    store = ResultStore(root)
+    good, bad = _record("good"), _record("bad")
+    store.put(good)
+    store.put(bad)
+    bad_shard = os.path.join(store.shards_dir,
+                             bad.key.digest()[:2] + ".jsonl")
+    with open(bad_shard, "a", encoding="utf-8") as handle:
+        handle.write("{torn json\n")
+    reopened = ResultStore(root)
+    assert reopened.quarantined == 1
+    assert bad.key not in reopened  # its shard's cells re-run
+    if good.key.digest()[:2] != bad.key.digest()[:2]:
+        assert good.key in reopened  # other shards are untouched
+    quarantined = os.listdir(reopened.quarantine_dir)
+    assert quarantined == [bad.key.digest()[:2] + ".jsonl.corrupt"]
+
+
+def test_future_version_fails_loudly(tmp_path):
+    root = str(tmp_path)
+    store = ResultStore(root)
+    store.put(_record())
+    index_path = os.path.join(root, "index.json")
+    index = json.loads(open(index_path).read())
+    index["version"] = STORE_VERSION + 1
+    with open(index_path, "w", encoding="utf-8") as handle:
+        json.dump(index, handle)
+    with pytest.raises(StoreVersionError, match="version"):
+        ResultStore(root)
+
+
+def test_future_record_version_quarantines_its_shard(tmp_path):
+    root = str(tmp_path)
+    store = ResultStore(root)
+    record = _record()
+    payload = record.to_json()
+    payload["version"] = STORE_VERSION + 1
+    shard = os.path.join(store.shards_dir, "zz.jsonl")
+    with open(shard, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload) + "\n")
+    reopened = ResultStore(root)
+    assert reopened.quarantined == 1
+    assert len(reopened) == 0
+
+
+def test_flush_is_atomic_no_tmp_left_behind(tmp_path):
+    store = ResultStore(str(tmp_path))
+    for i in range(5):
+        store.put(_record(f"r{i}"))
+    leftovers = [name for name in os.listdir(store.shards_dir)
+                 if name.endswith(".tmp")]
+    assert leftovers == []
+    assert not os.path.exists(
+        os.path.join(str(tmp_path), "index.json.tmp"))
+
+
+def test_retry_under_bigger_limits_is_a_different_cell():
+    spec = _spec(k=1)
+    small = CellKey.for_cell("net", "prob", spec,
+                             Limits(max_conflicts=10))
+    big = CellKey.for_cell("net", "prob", spec,
+                           Limits(max_conflicts=10_000))
+    none = CellKey.for_cell("net", "prob", spec, None)
+    assert small != big != none
+    assert len({small.digest(), big.digest(), none.digest()}) == 3
+    # ...while the same cell keys identically from any process.
+    again = CellKey.for_cell("net", "prob", _spec(k=1),
+                             Limits(max_conflicts=10))
+    assert again == small
+
+
+def test_by_status_and_unknown_records(tmp_path):
+    store = ResultStore(str(tmp_path))
+    store.put(_record("a", Status.RESILIENT))
+    store.put(_record("b", Status.THREAT_FOUND,
+                      threat=ThreatVector(frozenset({1}), frozenset())))
+    unknown = _record("c", Status.UNKNOWN)
+    unknown.bounds = SearchBounds(lower=0, upper=3,
+                                  unknown_budgets=(1,))
+    store.put(unknown)
+    assert store.by_status() == {"resilient": 1, "threat-found": 1,
+                                 "unknown": 1}
+    pending = store.unknown_records()
+    assert len(pending) == 1
+    assert pending[0].bounds == unknown.bounds

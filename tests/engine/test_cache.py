@@ -1,4 +1,7 @@
-"""Encoding cache: keying, LRU eviction, hit accounting, poisoning."""
+"""Encoding cache: keying, LRU eviction, hit accounting, poisoning,
+thread-safety under the service's concurrent request threads."""
+
+import threading
 
 import pytest
 
@@ -139,6 +142,43 @@ def test_eviction_counter_tracks_lru_overflow():
         cache.get_or_create(_key(network_fp=name), object)
     assert len(cache) == 2
     assert cache.evictions == 1
+
+
+def test_get_or_create_atomic_wrt_invalidate_config():
+    # Regression: get_or_create was check-then-act — an
+    # invalidate_config issued from another thread while the factory
+    # was still encoding removed nothing, and the subsequent put
+    # resurrected a context for a configuration the operator had just
+    # declared stale.  With the cache lock held across the factory,
+    # the invalidation serializes after the in-flight create and wins.
+    cache = EncodingCache()
+    key = _key(network_fp="grid", problem_fp="prob")
+    factory_entered = threading.Event()
+    release_factory = threading.Event()
+
+    def slow_factory():
+        factory_entered.set()
+        release_factory.wait(timeout=10.0)
+        return object()
+
+    creator = threading.Thread(
+        target=cache.get_or_create, args=(key, slow_factory))
+    creator.start()
+    assert factory_entered.wait(timeout=10.0)
+    # Let the factory finish shortly after invalidate_config blocks on
+    # the cache lock (pre-fix it does not block and returns 0 at once).
+    releaser = threading.Timer(0.2, release_factory.set)
+    releaser.start()
+    try:
+        dropped = cache.invalidate_config("grid", "prob")
+    finally:
+        release_factory.set()
+        creator.join(timeout=10.0)
+        releaser.cancel()
+    assert not creator.is_alive()
+    assert dropped == 1
+    assert cache.get(key) is None
+    assert len(cache) == 0
 
 
 def test_invalidate_config_drops_only_that_configuration():

@@ -146,6 +146,51 @@ def test_retry_recovers_transient_failure():
             os.remove(_FLAKY_MARKER)
 
 
+def _hang_marking(path):
+    # Records one line per actual execution, then hangs (the `.ok`
+    # variant returns immediately so the pool path is exercised).
+    if path.endswith(".ok"):
+        return "ok"
+    with open(path, "a") as fh:
+        fh.write("run\n")
+    time.sleep(60.0)
+
+
+def test_timeout_attempts_match_actual_runs(tmp_path):
+    # Regression: the pooled attempt that timed out was not counted,
+    # so a hung task ran retries+2 times while SweepTaskError reported
+    # retries+1 attempts.  The marker file counts real executions.
+    ok = str(tmp_path / "task.ok")
+    marker = str(tmp_path / "task.runs")
+    executor = SweepExecutor(jobs=2)
+    results = executor.map(_hang_marking, [ok, marker], timeout=1.5,
+                           retries=1, on_error="return")
+    assert results[0] == "ok"
+    err = results[1]
+    assert isinstance(err, SweepTaskError)
+    assert err.cause_type == "Timeout"
+    with open(marker) as fh:
+        runs = len(fh.read().splitlines())
+    assert err.attempts == 2  # pooled timeout + one solo retry
+    assert runs == err.attempts
+
+
+def test_unexpected_error_still_kills_hung_pool(monkeypatch):
+    # Regression: an exception escaping the drain loop (here a broken
+    # telemetry settle) reached a cooperative shutdown(wait=True) that
+    # blocked forever behind the hung worker.  The pool must be killed
+    # on *every* exit path, so the error propagates promptly.
+    def explode(self, value, index):
+        raise RuntimeError("telemetry plumbing failed")
+
+    monkeypatch.setattr(SweepExecutor, "_settle", explode)
+    executor = SweepExecutor(jobs=2)
+    started = time.monotonic()
+    with pytest.raises(RuntimeError, match="telemetry plumbing"):
+        executor.map(_hang_on_one, [0, 1], timeout=30.0)
+    assert time.monotonic() - started < 10.0
+
+
 def test_retry_exhaustion_counts_attempts():
     executor = SweepExecutor(jobs=2)
     results = executor.map(_raise_on_two, [2], retries=2,

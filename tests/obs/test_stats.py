@@ -81,6 +81,70 @@ def test_aggregate_multiple_files(tmp_path):
     assert stats.metrics.counters["cache.hits"] == 6
 
 
+def test_empty_trace_renders_na_not_crash():
+    # Regression: an empty-but-valid trace (no queries, no cache
+    # lookups, no sweep busy-time) must render cleanly, with the
+    # undefined rates shown as n/a rather than divided by zero or
+    # silently omitted.
+    tracer = Tracer(meta={"command": "verify"})
+    tracer.close()
+    stats = TraceStats()
+    stats.add_trace(tracer.records)
+    assert stats.cache_hit_rate is None
+    assert stats.worker_utilization is None
+    text = stats.to_text()
+    assert "encoding cache: hit rate n/a" in text
+    payload = stats.to_json()
+    assert payload["cache"]["hit_rate"] is None
+    assert payload["sweep"]["utilization"] is None
+
+
+def test_zero_duration_sweep_renders_na_utilization():
+    # A sweep span recorded with zero duration (clock granularity on a
+    # fast machine) leaves utilization undefined; the sweep section
+    # must still render, saying n/a.
+    tracer = Tracer()
+    tracer.event("sweep.task", index=0, worker=7, dur=0.0, ok=True)
+    tracer.close()
+    stats = TraceStats()
+    stats.add_trace(tracer.records)
+    assert stats.sweep_time == 0.0
+    assert stats.worker_utilization is None
+    assert "worker utilization: n/a" in stats.to_text()
+
+
+def test_malformed_metrics_record_raises_value_error():
+    # Regression: malformed snapshots (truncated writes) used to trip
+    # bare asserts inside the metrics merge, and AssertionError is not
+    # an error class the stats CLI catches.  They must surface as
+    # ValueError like every other bad-trace problem.
+    stats = TraceStats()
+    with pytest.raises(ValueError):
+        stats.metrics.merge({"counters": ["not", "a", "mapping"]})
+    with pytest.raises(ValueError):
+        stats.metrics.merge(
+            {"histograms": {"solver.lbd": {"counts": "oops"}}})
+
+
+def test_corpus_counters_render_as_their_own_section():
+    tracer = Tracer()
+    tracer.count("corpus.cells", 6)
+    tracer.count("corpus.cells.skipped", 2)
+    tracer.count("corpus.cells.screened", 1)
+    tracer.count("corpus.cells.solved", 3)
+    tracer.count("corpus.store.hits", 2)
+    tracer.count("corpus.store.misses", 4)
+    tracer.count("corpus.store.appends", 4)
+    tracer.close()
+    stats = TraceStats()
+    stats.add_trace(tracer.records)
+    text = stats.to_text()
+    assert "corpus: 6 cell(s)" in text
+    assert "2 resumed from store" in text
+    payload = stats.to_json()
+    assert payload["corpus"]["corpus.cells"] == 6
+
+
 def test_renderings_cover_every_section():
     tracer = _demo_tracer()
     with tracer.span("sweep"):

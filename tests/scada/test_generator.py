@@ -16,6 +16,42 @@ def test_config_validation():
         GeneratorConfig(secure_fraction=1.5)
 
 
+def test_degenerate_knobs_rejected_up_front():
+    # Regression: rtus_per_bus and extra_rtu_link_fraction were never
+    # validated — zero/negative RTU densities silently clamped to the
+    # 2-RTU floor and NaN sailed straight through into the topology.
+    with pytest.raises(ValueError, match="rtus_per_bus"):
+        GeneratorConfig(rtus_per_bus=0)
+    with pytest.raises(ValueError, match="rtus_per_bus"):
+        GeneratorConfig(rtus_per_bus=-0.5)
+    with pytest.raises(ValueError, match="rtus_per_bus"):
+        GeneratorConfig(rtus_per_bus=float("nan"))
+    with pytest.raises(ValueError, match="extra_rtu_link_fraction"):
+        GeneratorConfig(extra_rtu_link_fraction=-0.1)
+    with pytest.raises(ValueError, match="extra_rtu_link_fraction"):
+        GeneratorConfig(extra_rtu_link_fraction=1.5)
+    # Boundary values stay legal.
+    GeneratorConfig(extra_rtu_link_fraction=0.0)
+    GeneratorConfig(extra_rtu_link_fraction=1.0)
+    GeneratorConfig(rtus_per_bus=0.01)
+
+
+def test_hierarchy_deeper_than_rtu_count_rejected():
+    # Regression: a hierarchy deeper than the RTU count used to be
+    # accepted and silently flattened (and an unbounded depth range
+    # made _assign_levels allocate O(2h) scratch for any h).  It now
+    # fails fast with a diagnostic naming both knobs.
+    config = GeneratorConfig(hierarchy_level=10)  # 14 buses → 5 RTUs
+    with pytest.raises(ValueError, match="hierarchy_level"):
+        generate_scada(ieee14(), config)
+    # Absurd depths fail fast too, instead of allocating O(2h) scratch.
+    with pytest.raises(ValueError, match="hierarchy_level"):
+        generate_scada(ieee14(), GeneratorConfig(hierarchy_level=10**9))
+    # The boundary case — exactly one RTU per level — still generates.
+    syn = generate_scada(ieee14(), GeneratorConfig(hierarchy_level=5))
+    assert syn.network.fingerprint()
+
+
 def test_ied_policy_matches_paper():
     """One IED per two flow measurements, one per injection."""
     syn = generate_scada(ieee14(), GeneratorConfig(seed=1))
